@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean check outputs
+
+all: build test
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/in_situ.exe
+	dune exec examples/mpi_overlap.exe
+	dune exec examples/mpi_stencil.exe
+	dune exec examples/fiber_demo.exe
+
+check:
+	dune exec bin/ulp_pip.exe -- check --blts 8 --roundtrips 16
+
+# the artifacts DESIGN.md's process step 6 asks for
+outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
