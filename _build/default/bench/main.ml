@@ -1,0 +1,771 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section VI) on the simulated machines, runs the
+   ablation studies of DESIGN.md, and measures the real effects-based
+   fiber runtime with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table3       -- one experiment
+     (targets: table3 table4 table5 figure7 figure8 figure9
+      ablation-tls ablation-idle ablation-faults ablation-mn
+      ablation-sigmask ablation-blocking ablation-oversub
+      ablation-nonblock ablation-policy ablation-scale mpi real)
+
+   Absolute numbers for Tables III-V are expected to match the paper
+   closely (the base rows are calibration, the composites are validated
+   model output); Figures 7-8 reproduce shapes, not testbed-exact
+   values.  See EXPERIMENTS.md for the recorded comparison. *)
+
+open Workload
+module Cm = Arch.Cost_model
+module Table = Report.Table
+module Plot = Report.Ascii_plot
+
+let machines = [ Arch.Machines.wallaby; Arch.Machines.albireo ]
+
+let iters = 200
+
+let sci = Table.sci
+
+let delta_pct expected actual =
+  if expected = 0.0 then "-"
+  else Printf.sprintf "%+.1f%%" (100.0 *. (actual -. expected) /. expected)
+
+(* ---------------------------------------------------------------- *)
+(* Table III: context switch and TLS load                            *)
+(* ---------------------------------------------------------------- *)
+
+(* paper values: (machine, ctx_switch, tls_load) *)
+let table3_paper = [ ("Wallaby", 3.34e-8, 1.09e-7); ("Albireo", 2.45e-8, 2.5e-9) ]
+
+let run_table3 () =
+  let t =
+    Table.create ~title:"Table III: context switch and load TLS [s]"
+      ~headers:
+        [ "machine"; "ctx switch"; "paper"; "d"; "load TLS"; "paper"; "d"; "cycles(ctx)" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+                Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let r = Microbench.table3 ~iters m in
+      let _, p_ctx, p_tls =
+        List.find (fun (n, _, _) -> n = m.Cm.name)
+          (List.map (fun (n, a, b) -> (n, a, b)) table3_paper)
+      in
+      let cyc =
+        match m.Cm.isa with
+        | Cm.X86_64 -> Printf.sprintf "%.0f" (Cm.cycles m r.Microbench.ctx_switch)
+        | Cm.Aarch64 -> "-"
+      in
+      Table.add_row t
+        [
+          m.Cm.name;
+          sci r.Microbench.ctx_switch;
+          sci p_ctx;
+          delta_pct p_ctx r.Microbench.ctx_switch;
+          sci r.Microbench.tls_load;
+          sci p_tls;
+          delta_pct p_tls r.Microbench.tls_load;
+          cyc;
+        ])
+    machines;
+  Table.print t
+
+(* ---------------------------------------------------------------- *)
+(* Table IV: yielding time                                           *)
+(* ---------------------------------------------------------------- *)
+
+let table4_paper =
+  [
+    ("Wallaby", 1.50e-7, 2.66e-7, 7.79e-8);
+    ("Albireo", 1.20e-7, 1.22e-6, 3.48e-7);
+  ]
+
+let run_table4 () =
+  let t =
+    Table.create ~title:"Table IV: yielding time, 2 ULPs or PThreads [s]"
+      ~headers:
+        [ "machine"; "row"; "measured"; "paper"; "d" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let r = Microbench.table4 ~iters m in
+      let _, p_ulp, p_1c, p_2c =
+        List.find (fun (n, _, _, _) -> n = m.Cm.name) table4_paper
+      in
+      let row label v p =
+        Table.add_row t [ m.Cm.name; label; sci v; sci p; delta_pct p v ]
+      in
+      row "ULP-PiP yield" r.Microbench.ulp_yield p_ulp;
+      row "sched_yield on 1 core" r.Microbench.sched_yield_1core p_1c;
+      row "sched_yield on 2 cores" r.Microbench.sched_yield_2cores p_2c)
+    machines;
+  Table.print t
+
+(* ---------------------------------------------------------------- *)
+(* Table V: getpid()                                                 *)
+(* ---------------------------------------------------------------- *)
+
+let table5_paper =
+  [
+    ("Wallaby", 6.71e-8, 1.33e-6, 2.91e-6);
+    ("Albireo", 3.85e-7, 2.71e-6, 4.48e-6);
+  ]
+
+let run_table5 () =
+  let t =
+    Table.create ~title:"Table V: time of getpid() [s]"
+      ~headers:[ "machine"; "row"; "measured"; "paper"; "d" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let r = Microbench.table5 ~iters m in
+      let _, p_linux, p_bw, p_bl =
+        List.find (fun (n, _, _, _) -> n = m.Cm.name) table5_paper
+      in
+      let row label v p =
+        Table.add_row t [ m.Cm.name; label; sci v; sci p; delta_pct p v ]
+      in
+      row "Linux" r.Microbench.linux p_linux;
+      row "ULP-PiP: BUSYWAIT" r.Microbench.busywait p_bw;
+      row "ULP-PiP: BLOCKING" r.Microbench.blocking p_bl)
+    machines;
+  Table.print t
+
+(* ---------------------------------------------------------------- *)
+(* Figure 7: open-write-close slowdown                               *)
+(* ---------------------------------------------------------------- *)
+
+let run_figure7 () =
+  List.iter
+    (fun m ->
+      let points = Owc.figure7 ~iters:100 m in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Figure 7 (%s): slowdown of open-write-close vs plain syscalls"
+               m.Cm.name)
+          ~headers:
+            [ "buffer"; "plain [s]"; "ULP-BUSYWAIT"; "ULP-BLOCKING";
+              "AIO-return"; "AIO-suspend" ]
+          ~aligns:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+              Table.Right ]
+          ()
+      in
+      List.iter
+        (fun (p : Owc.f7_point) ->
+          let sd v = Printf.sprintf "%.3f" (Owc.slowdown p v) in
+          Table.add_row t
+            [
+              Harness.size_label p.Owc.bytes;
+              sci p.Owc.t_plain;
+              sd p.Owc.t_ulp_busywait;
+              sd p.Owc.t_ulp_blocking;
+              sd p.Owc.t_aio_return;
+              sd p.Owc.t_aio_suspend;
+            ])
+        points;
+      Table.print t;
+      let serie glyph label f =
+        Plot.series ~label ~glyph
+          (List.map
+             (fun (p : Owc.f7_point) ->
+               (float_of_int p.Owc.bytes, Owc.slowdown p (f p)))
+             points)
+      in
+      Plot.print
+        ~title:(Printf.sprintf "Figure 7 (%s), slowdown over buffer size" m.Cm.name)
+        [
+          serie 'b' "ULP-BUSYWAIT" (fun p -> p.Owc.t_ulp_busywait);
+          serie 'B' "ULP-BLOCKING" (fun p -> p.Owc.t_ulp_blocking);
+          serie 'r' "AIO-return" (fun p -> p.Owc.t_aio_return);
+          serie 's' "AIO-suspend" (fun p -> p.Owc.t_aio_suspend);
+        ];
+      print_newline ())
+    machines
+
+(* ---------------------------------------------------------------- *)
+(* Figure 8: overlap ratios                                          *)
+(* ---------------------------------------------------------------- *)
+
+let run_figure8 () =
+  List.iter
+    (fun m ->
+      let points = Overlap.figure8 ~iters:100 m in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf "Figure 8 (%s): overlap ratio [%%] (IMB method)"
+               m.Cm.name)
+          ~headers:
+            [ "buffer"; "ULP-BUSYWAIT"; "ULP-BLOCKING"; "AIO-return";
+              "AIO-suspend" ]
+          ~aligns:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+          ()
+      in
+      List.iter
+        (fun (p : Overlap.f8_point) ->
+          let pc v = Printf.sprintf "%.1f" v in
+          Table.add_row t
+            [
+              Harness.size_label p.Overlap.bytes;
+              pc p.Overlap.ulp_busywait;
+              pc p.Overlap.ulp_blocking;
+              pc p.Overlap.aio_return;
+              pc p.Overlap.aio_suspend;
+            ])
+        points;
+      Table.print t;
+      let serie glyph label f =
+        Plot.series ~label ~glyph
+          (List.map
+             (fun (p : Overlap.f8_point) -> (float_of_int p.Overlap.bytes, f p))
+             points)
+      in
+      Plot.print
+        ~title:(Printf.sprintf "Figure 8 (%s), overlap %% over buffer size" m.Cm.name)
+        [
+          serie 'b' "ULP-BUSYWAIT" (fun p -> p.Overlap.ulp_busywait);
+          serie 'B' "ULP-BLOCKING" (fun p -> p.Overlap.ulp_blocking);
+          serie 'r' "AIO-return" (fun p -> p.Overlap.aio_return);
+          serie 's' "AIO-suspend" (fun p -> p.Overlap.aio_suspend);
+        ];
+      print_newline ())
+    machines
+
+(* ---------------------------------------------------------------- *)
+(* Ablations                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let run_ablation_tls () =
+  let t =
+    Table.create
+      ~title:"Ablation A1: ULP yield with and without the TLS-load cost [s]"
+      ~headers:[ "machine"; "with TLS"; "without TLS"; "difference" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let r = Ablations.tls_ablation ~iters m in
+      Table.add_row t
+        [
+          m.Cm.name;
+          sci r.Ablations.with_tls;
+          sci r.Ablations.without_tls;
+          sci (r.Ablations.with_tls -. r.Ablations.without_tls);
+        ])
+    machines;
+  Table.print t;
+  print_endline
+    "  (the difference is exactly the per-switch TLS register load: the\n\
+    \   arch_prctl syscall on x86_64, a register write on AArch64)"
+
+let run_ablation_idle () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A2: Table V BUSYWAIT roundtrip vs handoff-latency multiplier"
+      ~headers:[ "machine"; "x0.25"; "x0.5"; "x1"; "x2"; "x4" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let sweep = Ablations.handoff_sweep ~iters m in
+      Table.add_row t (m.Cm.name :: List.map (fun (_, v) -> sci v) sweep))
+    machines;
+  Table.print t;
+  print_endline
+    "  (the latency/power knob of Section VII: faster spin-wake costs\n\
+    \   more power, slower polling converges to BLOCKING latency)"
+
+let run_ablation_faults () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A3: minor page faults, address-space sharing vs POSIX shm"
+      ~headers:[ "processes"; "pages"; "sharing"; "shm"; "ratio" ]
+      ()
+  in
+  List.iter
+    (fun processes ->
+      let r = Ablations.fault_ablation ~processes ~pages:256 Arch.Machines.wallaby in
+      Table.add_row t
+        [
+          string_of_int r.Ablations.processes;
+          string_of_int r.Ablations.pages;
+          string_of_int r.Ablations.faults_sharing;
+          string_of_int r.Ablations.faults_shm;
+          Printf.sprintf "%.0fx"
+            (float_of_int r.Ablations.faults_shm
+            /. float_of_int r.Ablations.faults_sharing);
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Table.print t;
+  print_endline
+    "  (Section IV: one shared page table faults once per page in total;\n\
+    \   shared memory faults once per page PER PROCESS)"
+
+let run_ablation_mn () =
+  let t =
+    Table.create ~title:"Ablation A4: N:N vs M:N BLT creation (Section VII)"
+      ~headers:
+        [ "UCs"; "kernel tasks N:N"; "kernel tasks M:N"; "siblings share pid";
+          "N:N pids distinct" ]
+      ()
+  in
+  List.iter
+    (fun ucs ->
+      let r = Ablations.mn_ablation ~ucs Arch.Machines.wallaby in
+      Table.add_row t
+        [
+          string_of_int r.Ablations.ucs;
+          string_of_int r.Ablations.kernel_tasks_nn;
+          string_of_int r.Ablations.kernel_tasks_mn;
+          string_of_bool r.Ablations.siblings_share_pid;
+          string_of_bool r.Ablations.independent_pids_distinct;
+        ])
+    [ 2; 4; 8 ];
+  Table.print t;
+  print_endline
+    "  (sibling UCs sharing one original KC observe the same kernel state,\n\
+    \   like threads of a process, and cut the kernel-resource footprint)"
+
+let run_ablation_blocking () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A6: the blocking-syscall problem (1 ms block among compute \
+         ULTs)"
+      ~headers:
+        [ "machine"; "model"; "compute done [s]"; "all done [s]" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let c = Blocking_demo.compare ~block_time:1e-3 m in
+      let row label (r : Blocking_demo.result) =
+        Table.add_row t
+          [ m.Cm.name; label; sci r.Blocking_demo.compute_done_at;
+            sci r.Blocking_demo.elapsed ]
+      in
+      row "conventional ULT" c.Blocking_demo.ult_result;
+      row "BLT (coupled block)" c.Blocking_demo.blt_result)
+    machines;
+  Table.print t;
+  print_endline
+    "  (pure ULTs stall behind the blocked scheduler KC; BLTs couple the\n\
+    \   blocking call onto the original KC and compute continues -- the\n\
+    \   paper's contribution 2)"
+
+let run_ablation_oversub () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A7: over-subscription sweep (Figure 6: NB = NC_prog x (O+1))"
+      ~headers:
+        [ "machine"; "O"; "ranks"; "KLT [s]"; "ULP [s]"; "speedup";
+          "prog util"; "sys util" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (p : Oversub.point) ->
+          Table.add_row t
+            [
+              m.Cm.name;
+              string_of_int p.Oversub.oversub;
+              string_of_int p.Oversub.nb;
+              sci p.Oversub.t_klt;
+              sci p.Oversub.t_ulp;
+              Printf.sprintf "%.2fx" (Oversub.speedup p);
+              Printf.sprintf "%.0f%%" (100.0 *. p.Oversub.prog_core_util);
+              Printf.sprintf "%.0f%%" (100.0 *. p.Oversub.syscall_core_util);
+            ])
+        (Oversub.sweep m))
+    machines;
+  Table.print t;
+  print_endline
+    "  (ULP-run core utilizations: over-subscription keeps the program\n\
+    \   cores computing while the syscall cores absorb the I/O)"
+
+let run_ablation_sigmask () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A5: fcontext vs ucontext (signal-mask save), Table IV yield"
+      ~headers:
+        [ "machine"; "fcontext yield"; "ucontext yield"; "signal lands on" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let yield ctx_kind =
+        Harness.run ~cost:m ~cores:4 (fun env ->
+            let sys =
+              Core.Ulp.init ~ctx_kind env.Harness.kernel
+                ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+            in
+            let _sk = Core.Ulp.add_scheduler sys ~cpu:0 in
+            let result = ref nan in
+            let prog =
+              Addrspace.Loader.program ~name:"y" ~globals:[] ~text_size:4096 ()
+            in
+            let u =
+              Core.Ulp.spawn sys ~name:"y" ~cpu:1 ~prog (fun _self ->
+                  Core.Ulp.decouple sys;
+                  result :=
+                    Harness.per_iter env.Harness.kernel ~warmup:16 ~iters:128
+                      (fun _ -> Core.Ulp.yield sys))
+            in
+            ignore (Core.Ulp.join sys ~waiter:env.Harness.root u);
+            Core.Ulp.shutdown sys ~by:env.Harness.root;
+            !result)
+      in
+      Table.add_row t
+        [
+          m.Cm.name;
+          sci (yield Core.Blt.Fcontext);
+          sci (yield Core.Blt.Ucontext);
+          "scheduler KC / original KC";
+        ])
+    machines;
+  Table.print t;
+  print_endline
+    "  (Section VII: fcontext drops the signal mask -- fast switches but\n\
+    \   signals land on the scheduling KC; ucontext restores the mask with\n\
+    \   two extra sigprocmask syscalls per switch and delivery follows the\n\
+    \   original KC.  Verified behaviourally in test/test_ulp.ml.)"
+
+let run_ablation_nonblock () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A9: blocking reads via couple() vs O_NONBLOCK+yield (paced \
+         pipe, 20 messages)"
+      ~headers:
+        [ "machine"; "consumer"; "elapsed [s]"; "read syscalls"; "wasted" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let c = Nonblock_demo.compare m in
+      let row label (r : Nonblock_demo.result) wasted =
+        Table.add_row t
+          [
+            m.Cm.name;
+            label;
+            sci r.Nonblock_demo.elapsed;
+            string_of_int r.Nonblock_demo.read_attempts;
+            wasted;
+          ]
+      in
+      row "BLT coupled blocking read" c.Nonblock_demo.blt_result "0";
+      row "ULT nonblocking + yield" c.Nonblock_demo.ult_result
+        (string_of_int c.Nonblock_demo.wasted_reads))
+    machines;
+  Table.print t;
+  print_endline
+    "  (the Background section's alternative: non-blocking I/O also keeps\n\
+    \   the ULT scheduler live, but burns an EAGAIN syscall per poll round\n\
+    \   -- the \"more programming effort\" comes with a syscall tax too)"
+
+let run_ablation_scale () =
+  let t =
+    Table.create
+      ~title:"Ablation A8: per-yield cost and kernel footprint vs ULP count"
+      ~headers:[ "machine"; "ULPs"; "yield [s]"; "kernel tasks" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (p : Scale.point) ->
+          Table.add_row t
+            [
+              m.Cm.name;
+              string_of_int p.Scale.ulps;
+              sci p.Scale.yield_cost;
+              string_of_int p.Scale.kernel_tasks;
+            ])
+        (Scale.sweep m))
+    machines;
+  Table.print t;
+  print_endline
+    "  (O(1) user-level dispatch: the per-yield cost is flat in the number\n\
+    \   of ULPs, while kernel tasks grow linearly -- the N:N resource cost\n\
+    \   the paper's M:N extension addresses)"
+
+let run_figure9 () =
+  let t =
+    Table.create
+      ~title:
+        "Figure 9 (extension): couple/decouple round trip vs concurrent ULPs"
+      ~headers:[ "machine"; "policy"; "K=1"; "K=2"; "K=4"; "K=8" ]
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun policy ->
+          let points = Contention.sweep ~policy m in
+          Table.add_row t
+            (m.Cm.name
+            :: Oskernel.Sync.Waitcell.policy_to_string policy
+            :: List.map
+                 (fun (p : Contention.point) -> sci p.Contention.roundtrip)
+                 points))
+        [ Oskernel.Sync.Waitcell.Busywait; Oskernel.Sync.Waitcell.Blocking ])
+    machines;
+  Table.print t;
+  print_endline
+    "  (one scheduling KC serializes the decoupled halves of all K round\n\
+    \   trips.  Note the dip at moderate K: a scheduler that never goes\n\
+    \   idle skips the wake handoff on every decouple, so light pipelining\n\
+    \   BEATS the solo round trip before queueing dominates at larger K --\n\
+    \   the Figure 6 scheduler bottleneck, quantified)"
+
+let run_ablation_policy () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A10: user-defined scheduling (SJF) vs FIFO vs kernel \
+         round-robin -- mean completion time of a known-size batch"
+      ~headers:[ "machine"; "policy"; "mean completion [s]"; "makespan [s]" ]
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun m ->
+      let c = Policy_demo.compare m in
+      let row label (r : Policy_demo.result) =
+        Table.add_row t
+          [
+            m.Cm.name;
+            label;
+            sci r.Policy_demo.mean_completion;
+            sci r.Policy_demo.max_completion;
+          ]
+      in
+      row "ULT, user SJF" c.Policy_demo.sjf;
+      row "ULT, FIFO" c.Policy_demo.fifo;
+      row "KLT, kernel RR slices" c.Policy_demo.rr)
+    machines;
+  Table.print t;
+  print_endline
+    "  (the Introduction's claim, quantified: only the application knows\n\
+    \   the job sizes, so only a user-level scheduler can run\n\
+    \   shortest-job-first; the kernel's fair slicing cannot be customized)"
+
+(* ---------------------------------------------------------------- *)
+(* MPI ping-pong: the in-node advantage of address-space sharing     *)
+(* ---------------------------------------------------------------- *)
+
+let mpi_pingpong ~mode ~bytes ~iters m =
+  Harness.run ~cost:m ~cores:4 (fun env ->
+      let sys =
+        Core.Ulp.init ~policy:Oskernel.Sync.Waitcell.Blocking
+          env.Harness.kernel ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      let _sk = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let elapsed = ref nan in
+      let world =
+        Mpi.init sys ~ranks:2 ~kc_cpus:[ 1 ] (fun ctx ->
+            let peer = 1 - Mpi.rank ctx in
+            if Mpi.rank ctx = 0 then begin
+              (* warmup *)
+              for _ = 1 to 8 do
+                Mpi.send ctx ~dst:peer ~mode ~bytes Addrspace.Memval.Unit;
+                ignore (Mpi.recv ctx ~src:peer ~mode ())
+              done;
+              let t0 = Oskernel.Kernel.now env.Harness.kernel in
+              for _ = 1 to iters do
+                Mpi.send ctx ~dst:peer ~mode ~bytes Addrspace.Memval.Unit;
+                ignore (Mpi.recv ctx ~src:peer ~mode ())
+              done;
+              elapsed :=
+                (Oskernel.Kernel.now env.Harness.kernel -. t0)
+                /. float_of_int iters
+                /. 2.0 (* one-way *)
+            end
+            else
+              for _ = 1 to iters + 8 do
+                ignore (Mpi.recv ctx ~src:peer ~mode ());
+                Mpi.send ctx ~dst:peer ~mode ~bytes Addrspace.Memval.Unit
+              done)
+      in
+      Mpi.wait_all world ~waiter:env.Harness.root;
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      !elapsed)
+
+let run_mpi () =
+  List.iter
+    (fun m ->
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "MPI ping-pong (%s): one-way latency, ULP ranks in one address \
+                space"
+               m.Cm.name)
+          ~headers:
+            [ "size"; "zero-copy [s]"; "copy [s]"; "zc bandwidth"; "copy bw" ]
+          ~aligns:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+          ()
+      in
+      List.iter
+        (fun bytes ->
+          let zc = mpi_pingpong ~mode:Mpi.Zero_copy ~bytes ~iters:60 m in
+          let cp = mpi_pingpong ~mode:Mpi.Copy ~bytes ~iters:60 m in
+          let bw v =
+            if bytes < 4096 then "-"
+            else Printf.sprintf "%.1f GB/s" (float_of_int bytes /. v /. 1e9)
+          in
+          Table.add_row t
+            [ Harness.size_label bytes; sci zc; sci cp; bw zc; bw cp ])
+        [ 8; 1024; 65536; 1048576 ];
+      Table.print t)
+    machines;
+  print_endline
+    "  (zero-copy: the message is a pointer into the shared address space,\n\
+    \   so latency is size-independent; copy mode pays the per-side memcpy\n\
+    \   a shared-memory mailbox would -- the Section IV contrast)"
+
+(* ---------------------------------------------------------------- *)
+(* Real-runtime micro-benchmarks (Bechamel)                          *)
+(* ---------------------------------------------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let fiber_spawn_join =
+    Test.make ~name:"fiber: spawn+join"
+      (Staged.stage (fun () ->
+           Fiber_rt.Fiber.run (fun () ->
+               let f = Fiber_rt.Fiber.spawn (fun () -> ()) in
+               Fiber_rt.Fiber.join f)))
+  in
+  let fiber_yield_pair =
+    Test.make ~name:"fiber: 2 fibers x 100 yields"
+      (Staged.stage (fun () ->
+           Fiber_rt.Fiber.run (fun () ->
+               let mk () =
+                 Fiber_rt.Fiber.spawn (fun () ->
+                     for _ = 1 to 100 do
+                       Fiber_rt.Fiber.yield ()
+                     done)
+               in
+               let a = mk () and b = mk () in
+               Fiber_rt.Fiber.join a;
+               Fiber_rt.Fiber.join b)))
+  in
+  let coupled_roundtrip =
+    Test.make ~name:"fiber: coupled() roundtrip"
+      (Staged.stage (fun () ->
+           Fiber_rt.Fiber.run (fun () ->
+               let f =
+                 Fiber_rt.Fiber.spawn (fun () ->
+                     for _ = 1 to 10 do
+                       ignore (Fiber_rt.Blt_rt.coupled (fun () -> ()))
+                     done)
+               in
+               Fiber_rt.Fiber.join f)))
+  in
+  let sim_table5 =
+    Test.make ~name:"sim: Table V busywait run (wall clock)"
+      (Staged.stage (fun () ->
+           ignore
+             (Microbench.getpid_ulp_time ~iters:64
+                ~policy:Oskernel.Sync.Waitcell.Busywait Arch.Machines.wallaby)))
+  in
+  [ fiber_spawn_join; fiber_yield_pair; coupled_roundtrip; sim_table5 ]
+
+let run_real () =
+  let open Bechamel in
+  print_endline "== Real-runtime micro-benchmarks (wall clock, Bechamel) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "  %-40s %12.1f ns/run\n%!" name est
+          | Some [] | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        analyzed)
+    (bechamel_tests ())
+
+(* ---------------------------------------------------------------- *)
+(* main                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("table3", run_table3);
+    ("table4", run_table4);
+    ("table5", run_table5);
+    ("figure7", run_figure7);
+    ("figure8", run_figure8);
+    ("figure9", run_figure9);
+    ("ablation-tls", run_ablation_tls);
+    ("ablation-idle", run_ablation_idle);
+    ("ablation-faults", run_ablation_faults);
+    ("ablation-mn", run_ablation_mn);
+    ("ablation-sigmask", run_ablation_sigmask);
+    ("ablation-blocking", run_ablation_blocking);
+    ("ablation-oversub", run_ablation_oversub);
+    ("ablation-nonblock", run_ablation_nonblock);
+    ("ablation-policy", run_ablation_policy);
+    ("ablation-scale", run_ablation_scale);
+    ("mpi", run_mpi);
+    ("real", run_real);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          f ();
+          print_newline ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested

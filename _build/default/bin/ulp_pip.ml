@@ -1,0 +1,420 @@
+(* ulp_pip: command-line driver for the ULP-PiP reproduction.
+
+   Subcommands:
+     tables       print Tables III / IV / V vs the paper
+     figures      print Figures 7 / 8 series (optionally dump CSV)
+     trace        dump the couple/decouple event trace of a tiny scenario
+     timeline     per-KC ASCII lanes of a two-BLT run
+     demo         show the system-call consistency anomaly and its repair
+     check        validate a random multi-BLT trace against Table I
+     faults       address-space sharing vs shm minor-fault ablation
+     oversub      Figure 6 over-subscription sweep with core utilizations
+     machines     list the simulated machines and their calibration
+
+   All commands accept -v/--verbosity for runtime Logs. *)
+
+open Cmdliner
+open Workload
+module Cm = Arch.Cost_model
+
+(* --verbose / -v handling: route runtime Logs (BLT transitions, ULP
+   spawns, consistency warnings) to stderr. *)
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+let machine_conv =
+  let parse s =
+    match Arch.Machines.by_name s with
+    | Some m -> Ok m
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown machine %S (wallaby|albireo)" s))
+  in
+  let print ppf m = Fmt.string ppf m.Cm.name in
+  Arg.conv (parse, print)
+
+let machines_arg =
+  let doc = "Simulated machine to run on (wallaby or albireo)." in
+  Arg.(
+    value
+    & opt_all machine_conv [ Arch.Machines.wallaby; Arch.Machines.albireo ]
+    & info [ "m"; "machine" ] ~docv:"MACHINE" ~doc)
+
+let iters_arg =
+  let doc = "Measured iterations per micro-benchmark." in
+  Arg.(value & opt int 200 & info [ "iters" ] ~docv:"N" ~doc)
+
+(* ---------- tables ---------- *)
+
+let run_tables machines iters =
+  List.iter
+    (fun m ->
+      Fmt.pr "### %a ###@." Cm.pp m;
+      let t3 = Microbench.table3 ~iters m in
+      Fmt.pr "Table III: ctx switch %s  TLS load %s  (ctx %d bytes)@."
+        (Report.Table.sci t3.Microbench.ctx_switch)
+        (Report.Table.sci t3.Microbench.tls_load)
+        t3.Microbench.ctx_size;
+      let t4 = Microbench.table4 ~iters m in
+      Fmt.pr
+        "Table IV : ULP yield %s | sched_yield 1-core %s | 2-cores %s@."
+        (Report.Table.sci t4.Microbench.ulp_yield)
+        (Report.Table.sci t4.Microbench.sched_yield_1core)
+        (Report.Table.sci t4.Microbench.sched_yield_2cores);
+      let t5 = Microbench.table5 ~iters m in
+      Fmt.pr "Table V  : getpid %s | BUSYWAIT %s | BLOCKING %s@.@."
+        (Report.Table.sci t5.Microbench.linux)
+        (Report.Table.sci t5.Microbench.busywait)
+        (Report.Table.sci t5.Microbench.blocking))
+    machines;
+  0
+
+let tables_cmd =
+  let info = Cmd.info "tables" ~doc:"Reproduce Tables III, IV and V." in
+  Cmd.v info Term.(const (fun () m i -> run_tables m i) $ logs_term $ machines_arg $ iters_arg)
+
+(* ---------- figures ---------- *)
+
+let csv_arg =
+  let doc = "Directory to write figure7/figure8 CSV files into." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let run_figures machines iters csv_dir =
+  List.iter
+    (fun m ->
+      let f7 = Owc.figure7 ~iters m in
+      Fmt.pr "### Figure 7 (%s): slowdown over buffer size ###@." m.Cm.name;
+      Fmt.pr "%-8s %10s %10s %10s %10s@." "buffer" "ULP-bw" "ULP-bl" "AIO-ret"
+        "AIO-sus";
+      let f7_rows =
+        List.map
+          (fun (p : Owc.f7_point) ->
+            let sd v = Owc.slowdown p v in
+            Fmt.pr "%-8s %10.3f %10.3f %10.3f %10.3f@."
+              (Harness.size_label p.Owc.bytes)
+              (sd p.Owc.t_ulp_busywait) (sd p.Owc.t_ulp_blocking)
+              (sd p.Owc.t_aio_return) (sd p.Owc.t_aio_suspend);
+            [
+              string_of_int p.Owc.bytes;
+              Printf.sprintf "%.6f" (sd p.Owc.t_ulp_busywait);
+              Printf.sprintf "%.6f" (sd p.Owc.t_ulp_blocking);
+              Printf.sprintf "%.6f" (sd p.Owc.t_aio_return);
+              Printf.sprintf "%.6f" (sd p.Owc.t_aio_suspend);
+            ])
+          f7
+      in
+      let f8 = Overlap.figure8 ~iters m in
+      Fmt.pr "### Figure 8 (%s): overlap ratio [%%] ###@." m.Cm.name;
+      let f8_rows =
+        List.map
+          (fun (p : Overlap.f8_point) ->
+            Fmt.pr "%-8s %10.1f %10.1f %10.1f %10.1f@."
+              (Harness.size_label p.Overlap.bytes)
+              p.Overlap.ulp_busywait p.Overlap.ulp_blocking p.Overlap.aio_return
+              p.Overlap.aio_suspend;
+            [
+              string_of_int p.Overlap.bytes;
+              Printf.sprintf "%.2f" p.Overlap.ulp_busywait;
+              Printf.sprintf "%.2f" p.Overlap.ulp_blocking;
+              Printf.sprintf "%.2f" p.Overlap.aio_return;
+              Printf.sprintf "%.2f" p.Overlap.aio_suspend;
+            ])
+          f8
+      in
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+          let headers =
+            [ "bytes"; "ulp_busywait"; "ulp_blocking"; "aio_return"; "aio_suspend" ]
+          in
+          let base = Filename.concat dir (String.lowercase_ascii m.Cm.name) in
+          Report.Csv.write_file (base ^ "_figure7.csv") ~headers f7_rows;
+          Report.Csv.write_file (base ^ "_figure8.csv") ~headers f8_rows;
+          Fmt.pr "wrote %s_figure{7,8}.csv@." base)
+    machines;
+  0
+
+let figures_cmd =
+  let info = Cmd.info "figures" ~doc:"Reproduce Figures 7 and 8." in
+  Cmd.v info Term.(const (fun () m i c -> run_figures m i c) $ logs_term $ machines_arg $ iters_arg $ csv_arg)
+
+(* ---------- trace ---------- *)
+
+let run_trace () =
+  let entries =
+    Harness.run ~cost:Arch.Machines.wallaby ~cores:4 ~trace:true (fun env ->
+        let sys = Core.Blt.init env.Harness.kernel in
+        let _sk = Core.Blt.add_scheduler sys ~cpu:1 in
+        let b =
+          Core.Blt.create sys ~name:"uc0" ~cpu:0 (fun () ->
+              Core.Blt.decouple sys;
+              Core.Blt.coupled sys (fun () ->
+                  ignore
+                    (Oskernel.Kernel.getpid env.Harness.kernel
+                       (Core.Blt.original_kc (Core.Blt.current sys)))))
+        in
+        ignore (Core.Blt.join sys ~waiter:env.Harness.root b);
+        Core.Blt.shutdown sys ~by:env.Harness.root;
+        Sim.Trace.entries (Sim.Engine.trace env.Harness.engine))
+  in
+  Fmt.pr
+    "Couple/decouple protocol trace (one getpid enclosed by couple() and@.\
+     decouple(), cf. the paper's Table I):@.@.";
+  List.iter (fun e -> Fmt.pr "  %a@." Sim.Trace.pp_entry e) entries;
+  0
+
+let trace_cmd =
+  let info =
+    Cmd.info "trace" ~doc:"Dump the Table I couple/decouple event trace."
+  in
+  Cmd.v info Term.(const (fun () -> run_trace ()) $ logs_term)
+
+(* ---------- timeline ---------- *)
+
+let run_timeline () =
+  let entries =
+    Harness.run ~cost:Arch.Machines.wallaby ~cores:4 ~trace:true (fun env ->
+        let sys = Core.Blt.init env.Harness.kernel in
+        let _sk = Core.Blt.add_scheduler sys ~cpu:1 in
+        let mk name =
+          Core.Blt.create sys ~name ~cpu:0 (fun () ->
+              Core.Blt.decouple sys;
+              for _ = 1 to 2 do
+                Core.Blt.yield sys;
+                Core.Blt.coupled sys (fun () ->
+                    ignore
+                      (Oskernel.Kernel.getpid env.Harness.kernel
+                         (Core.Blt.original_kc (Core.Blt.current sys))))
+              done)
+        in
+        let a = mk "uc0" in
+        let b = mk "uc1" in
+        ignore (Core.Blt.join sys ~waiter:env.Harness.root a);
+        ignore (Core.Blt.join sys ~waiter:env.Harness.root b);
+        Core.Blt.shutdown sys ~by:env.Harness.root;
+        Sim.Trace.entries (Sim.Engine.trace env.Harness.engine))
+  in
+  let events =
+    List.filter_map
+      (fun e ->
+        match e.Sim.Trace.tag with
+        | "spawn" -> None
+        | tag ->
+            Some
+              (Report.Timeline.event ~time:e.Sim.Trace.time
+                 ~actor:e.Sim.Trace.actor ~tag))
+      entries
+  in
+  Fmt.pr
+    "Two BLTs bouncing between their original KCs (cpu0) and the@.\
+     scheduling KC (cpu1); one lane per kernel context:@.@.";
+  Report.Timeline.print events;
+  0
+
+let timeline_cmd =
+  let info =
+    Cmd.info "timeline"
+      ~doc:"Render per-KC lanes of a two-BLT couple/decouple run."
+  in
+  Cmd.v info Term.(const (fun () -> run_timeline ()) $ logs_term)
+
+(* ---------- oversub ---------- *)
+
+let run_oversub factors =
+  List.iter
+    (fun m ->
+      Fmt.pr "### %a ###@." Cm.pp m;
+      List.iter
+        (fun (p : Workload.Oversub.point) ->
+          Fmt.pr
+            "O=%d  ranks=%d  KLT %s  ULP %s  speedup %.2fx  (prog %.0f%%, \
+             syscall %.0f%%)@."
+            p.Workload.Oversub.oversub p.Workload.Oversub.nb
+            (Report.Table.sci p.Workload.Oversub.t_klt)
+            (Report.Table.sci p.Workload.Oversub.t_ulp)
+            (Workload.Oversub.speedup p)
+            (100.0 *. p.Workload.Oversub.prog_core_util)
+            (100.0 *. p.Workload.Oversub.syscall_core_util))
+        (Workload.Oversub.sweep ~factors m))
+    [ Arch.Machines.wallaby; Arch.Machines.albireo ];
+  0
+
+let oversub_cmd =
+  let factors =
+    Arg.(value & opt (list int) [ 0; 1; 2; 3 ] & info [ "O"; "factors" ] ~docv:"LIST")
+  in
+  let info =
+    Cmd.info "oversub"
+      ~doc:"Over-subscription sweep (Figure 6 equations), ULP vs KLT."
+  in
+  Cmd.v info Term.(const (fun () f -> run_oversub f) $ logs_term $ factors)
+
+(* ---------- consistency demo ---------- *)
+
+let run_demo () =
+  let violations, wrong_pid, right_pid =
+    Harness.run ~cost:Arch.Machines.wallaby ~cores:4 (fun env ->
+        let sys =
+          Core.Ulp.init ~consistency:Core.Consistency.Detect env.Harness.kernel
+            ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+        in
+        let _sk = Core.Ulp.add_scheduler sys ~cpu:0 in
+        let wrong = ref 0 and right = ref 0 in
+        let prog =
+          Addrspace.Loader.program ~name:"demo" ~globals:[] ~text_size:4096 ()
+        in
+        let u =
+          Core.Ulp.spawn sys ~name:"demo" ~cpu:1 ~prog (fun self ->
+              let home = (Core.Blt.original_kc (Core.Ulp.blt self)).Oskernel.Types.pid in
+              Core.Ulp.decouple sys;
+              (* anomalous: decoupled getpid observes the scheduler *)
+              wrong := Core.Ulp.getpid sys;
+              (* repaired: enclose in couple()/decouple() *)
+              Core.Ulp.coupled sys (fun () -> right := Core.Ulp.getpid sys);
+              ignore home)
+        in
+        ignore (Core.Ulp.join sys ~waiter:env.Harness.root u);
+        Core.Ulp.shutdown sys ~by:env.Harness.root;
+        (Core.Ulp.violations sys, !wrong, !right))
+  in
+  Fmt.pr "System-call consistency demo (Detect mode):@.";
+  Fmt.pr "  getpid() while decoupled returned pid %d  <- the SCHEDULER's pid@."
+    wrong_pid;
+  Fmt.pr "  getpid() inside couple()/decouple() returned pid %d  <- our own@."
+    right_pid;
+  Fmt.pr "  recorded violations:@.";
+  List.iter (fun v -> Fmt.pr "    %a@." Core.Consistency.pp_violation v) violations;
+  0
+
+let demo_cmd =
+  let info =
+    Cmd.info "demo"
+      ~doc:"Demonstrate the system-call consistency anomaly and its repair."
+  in
+  Cmd.v info Term.(const (fun () -> run_demo ()) $ logs_term)
+
+(* ---------- faults ---------- *)
+
+let run_faults processes pages =
+  let r = Ablations.fault_ablation ~processes ~pages Arch.Machines.wallaby in
+  Fmt.pr "minor faults for %d processes touching %d shared pages:@." processes
+    pages;
+  Fmt.pr "  address-space sharing : %d (once per page, total)@."
+    r.Ablations.faults_sharing;
+  Fmt.pr "  POSIX shared memory   : %d (once per page per process)@."
+    r.Ablations.faults_shm;
+  0
+
+let faults_cmd =
+  let processes =
+    Arg.(value & opt int 8 & info [ "p"; "processes" ] ~docv:"N")
+  in
+  let pages = Arg.(value & opt int 256 & info [ "pages" ] ~docv:"N") in
+  let info =
+    Cmd.info "faults" ~doc:"Minor-fault ablation: sharing vs shared memory."
+  in
+  Cmd.v info Term.(const (fun () p g -> run_faults p g) $ logs_term $ processes $ pages)
+
+(* ---------- protocol check ---------- *)
+
+let run_check blts roundtrips =
+  let entries =
+    Harness.run ~cost:Arch.Machines.wallaby ~cores:6 ~trace:true (fun env ->
+        let sys =
+          Core.Blt.init ~policy:Oskernel.Sync.Waitcell.Blocking
+            env.Harness.kernel
+        in
+        let _s0 = Core.Blt.add_scheduler sys ~cpu:0 in
+        let _s1 = Core.Blt.add_scheduler sys ~cpu:1 in
+        let bs =
+          List.init blts (fun i ->
+              Core.Blt.create sys
+                ~name:(Printf.sprintf "uc%d" i)
+                ~cpu:(2 + (i mod 3))
+                (fun () ->
+                  Core.Blt.decouple sys;
+                  for _ = 1 to roundtrips do
+                    Core.Blt.yield sys;
+                    Core.Blt.coupled sys (fun () ->
+                        ignore
+                          (Oskernel.Kernel.getpid env.Harness.kernel
+                             (Core.Blt.original_kc (Core.Blt.current sys))))
+                  done))
+        in
+        List.iter
+          (fun b -> ignore (Core.Blt.join sys ~waiter:env.Harness.root b))
+          bs;
+        Core.Blt.shutdown sys ~by:env.Harness.root;
+        Sim.Trace.entries (Sim.Engine.trace env.Harness.engine))
+  in
+  let violations = Core.Trace_check.check entries in
+  Fmt.pr "replayed %d trace events from %d BLTs x %d roundtrips@."
+    (List.length entries) blts roundtrips;
+  if violations = [] then begin
+    Fmt.pr "protocol check: OK (no state-machine violations)@.";
+    0
+  end
+  else begin
+    Fmt.pr "protocol check: %d violation(s):@." (List.length violations);
+    List.iter (fun v -> Fmt.pr "  %a@." Core.Trace_check.pp_violation v) violations;
+    1
+  end
+
+let check_cmd =
+  let blts = Arg.(value & opt int 6 & info [ "blts" ] ~docv:"N") in
+  let roundtrips = Arg.(value & opt int 10 & info [ "roundtrips" ] ~docv:"N") in
+  let info =
+    Cmd.info "check"
+      ~doc:"Run a multi-BLT scenario and validate its trace against the \
+            Table I state machine."
+  in
+  Cmd.v info Term.(const (fun () b r -> run_check b r) $ logs_term $ blts $ roundtrips)
+
+(* ---------- machines ---------- *)
+
+let run_machines () =
+  List.iter
+    (fun m ->
+      Fmt.pr "%a@." Cm.pp m;
+      Fmt.pr "  uctx switch %s   TLS load %s   getpid %s@."
+        (Report.Table.sci m.Cm.uctx_switch)
+        (Report.Table.sci m.Cm.tls_load)
+        (Report.Table.sci m.Cm.syscall_getpid);
+      Fmt.pr "  kernel ctx switch %s   futex wake %s   busywait handoff %s@."
+        (Report.Table.sci m.Cm.kernel_ctx_switch)
+        (Report.Table.sci m.Cm.futex_wake)
+        (Report.Table.sci m.Cm.busywait_handoff);
+      Fmt.pr "  memory bandwidth %.1f GB/s   remote copy penalty %s/B@.@."
+        (m.Cm.mem_bandwidth /. 1e9)
+        (Report.Table.sci m.Cm.remote_copy_penalty))
+    Arch.Machines.all;
+  0
+
+let machines_cmd =
+  let info = Cmd.info "machines" ~doc:"List simulated machines." in
+  Cmd.v info Term.(const (fun () -> run_machines ()) $ logs_term)
+
+let () =
+  let info =
+    Cmd.info "ulp_pip" ~version:"1.0.0"
+      ~doc:
+        "Bi-level threads and user-level processes (ULP-PiP) on a simulated \
+         machine."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            tables_cmd;
+            figures_cmd;
+            trace_cmd;
+            timeline_cmd;
+            demo_cmd;
+            faults_cmd;
+            oversub_cmd;
+            check_cmd;
+            machines_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/event_loop.ml: Arch Bytes Harness Kernel List Oskernel Printf String Types Vfs Workload

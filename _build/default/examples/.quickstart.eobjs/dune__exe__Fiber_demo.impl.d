@@ -1,0 +1,1 @@
+examples/fiber_demo.ml: Fiber_rt Filename List Printf String Sys Thread Unix

@@ -1,0 +1,1 @@
+examples/in_situ.ml: Addrspace Arch Array Bytes Core Harness Option Oskernel Printf String Workload

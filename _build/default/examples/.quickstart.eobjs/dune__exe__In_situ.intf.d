@@ -1,0 +1,1 @@
+examples/in_situ.mli:

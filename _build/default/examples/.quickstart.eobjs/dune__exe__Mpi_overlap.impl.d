@@ -1,0 +1,1 @@
+examples/mpi_overlap.ml: Addrspace Arch Core Harness List Oskernel Printf Workload

@@ -1,0 +1,1 @@
+examples/mpi_stencil.ml: Addrspace Arch Array Bytes Core Float Harness Mpi Option Oskernel Printf String Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addrspace Arch Core Harness Oskernel Printf Workload

@@ -1,0 +1,127 @@
+(* In-situ analysis, the Section III motivation: two DIFFERENT programs
+   -- a physics "simulation" and an "analytics" tool -- run as ULPs in
+   one shared address space.  The simulation publishes its field array
+   by raw pointer (no copy, no serialization: PiP pointers dereference
+   unchanged everywhere); the analytics ULP reduces it in place and
+   writes results to tmpfs through its own kernel context.
+
+   Merging the two programs into one binary is what the paper calls
+   impractical; here they stay separate programs (separate dlmopen
+   namespaces, privatized globals) and still share data at memory speed.
+
+   Run with:  dune exec examples/in_situ.exe *)
+
+open Workload
+module Ulp = Core.Ulp
+module Pip = Core.Pip
+module Memval = Addrspace.Memval
+module Loader = Addrspace.Loader
+module Kernel = Oskernel.Kernel
+
+let steps = 5
+let field_size = 64
+
+(* two distinct PIE programs *)
+let simulation_prog =
+  Loader.program ~name:"simulation"
+    ~globals:[ ("step", Memval.Int 0); ("field_ptr", Memval.Ptr 0) ]
+    ~text_size:8192 ()
+
+let analytics_prog =
+  Loader.program ~name:"analytics"
+    ~globals:[ ("sums_seen", Memval.Int 0) ]
+    ~text_size:8192 ()
+
+let () =
+  Harness.run ~cost:Arch.Machines.wallaby ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let sys = Ulp.init k ~root_task:env.Harness.root ~vfs:env.Harness.vfs in
+      let _sched = Ulp.add_scheduler sys ~cpu:0 in
+
+      (* the shared field lives in mmap space, allocated by the root *)
+      let field = Array.make field_size 0.0 in
+      let field_addr =
+        Pip.malloc (Ulp.root sys) ~by:env.Harness.root (Memval.Float_array field)
+      in
+      (* a tiny mailbox protocol in shared memory: the step the simulation
+         has finished writing, and the step analytics has consumed *)
+      let produced = Pip.malloc (Ulp.root sys) ~by:env.Harness.root (Memval.Int 0) in
+      let consumed = Pip.malloc (Ulp.root sys) ~by:env.Harness.root (Memval.Int 0) in
+      let get addr =
+        match Ulp.deref sys addr with Memval.Int i -> i | _ -> 0
+      in
+
+      let simulation self =
+        Ulp.set_global self "field_ptr" (Memval.Ptr field_addr);
+        Ulp.decouple sys;
+        for step = 1 to steps do
+          (* compute: advance the field (runs on the program core) *)
+          (match Ulp.deref sys field_addr with
+          | Memval.Float_array f ->
+              for i = 0 to field_size - 1 do
+                f.(i) <- f.(i) +. float_of_int (step * (i + 1))
+              done
+          | _ -> failwith "field vanished");
+          Ulp.compute sys 2e-6;
+          Ulp.set_global self "step" (Memval.Int step);
+          Ulp.store sys produced (Memval.Int step);
+          Printf.printf "simulation: step %d published (in place, no copy)\n"
+            step;
+          (* wait for the analytics to catch up, yielding the core *)
+          while get consumed < step do
+            Ulp.yield sys
+          done
+        done
+      in
+
+      let analytics self =
+        (* born coupled: open the results file on OUR kernel context, so
+           the fd stays valid for every later coupled write *)
+        let fd =
+          match
+            Ulp.open_file sys "/results.csv"
+              [ Oskernel.Types.O_CREAT; Oskernel.Types.O_WRONLY ]
+          with
+          | Ok fd -> fd
+          | Error _ -> failwith "open failed"
+        in
+        Ulp.decouple sys;
+        for step = 1 to steps do
+          (* wait for fresh data, yielding the program core *)
+          while get produced < step do
+            Ulp.yield sys
+          done;
+          (* reduce the simulation's array THROUGH THE POINTER *)
+          let sum =
+            match Ulp.deref sys field_addr with
+            | Memval.Float_array f -> Array.fold_left ( +. ) 0.0 f
+            | _ -> nan
+          in
+          Ulp.set_global self "sums_seen" (Memval.Int step);
+          (* write the result consistently on our own KC *)
+          let line = Printf.sprintf "%d,%.1f\n" step sum in
+          Ulp.coupled sys (fun () ->
+              ignore
+                (Ulp.write sys fd ~bytes:(String.length line)
+                   ~data:(Bytes.of_string line)));
+          Printf.printf "analytics : step %d sum=%.1f -> /results.csv\n" step
+            sum;
+          Ulp.store sys consumed (Memval.Int step)
+        done;
+        Ulp.coupled sys (fun () -> ignore (Ulp.close sys fd))
+      in
+
+      let sim =
+        Ulp.spawn sys ~name:"simulation" ~cpu:1 ~prog:simulation_prog simulation
+      in
+      let ana =
+        Ulp.spawn sys ~name:"analytics" ~cpu:2 ~prog:analytics_prog analytics
+      in
+      ignore (Ulp.join sys ~waiter:env.Harness.root sim);
+      ignore (Ulp.join sys ~waiter:env.Harness.root ana);
+      Ulp.shutdown sys ~by:env.Harness.root;
+      Printf.printf
+        "done in %.1f us of simulated time; results file holds %d bytes\n"
+        (Kernel.now k *. 1e6)
+        (Option.value ~default:0
+           (Oskernel.Vfs.file_size env.Harness.vfs "/results.csv")))

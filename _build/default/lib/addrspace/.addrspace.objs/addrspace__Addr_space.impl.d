@@ -1,0 +1,1 @@
+lib/addrspace/addr_space.ml: Hashtbl List Memval Page_table Vma

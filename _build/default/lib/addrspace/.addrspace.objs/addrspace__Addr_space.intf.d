@@ -1,0 +1,1 @@
+lib/addrspace/addr_space.mli: Memval Page_table Vma

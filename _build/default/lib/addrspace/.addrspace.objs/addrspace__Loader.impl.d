@@ -1,0 +1,1 @@
+lib/addrspace/loader.ml: Addr_space List Memval Printf Vma

@@ -1,0 +1,1 @@
+lib/addrspace/loader.mli: Addr_space Memval Vma

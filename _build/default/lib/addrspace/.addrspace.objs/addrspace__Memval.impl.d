@@ -1,0 +1,1 @@
+lib/addrspace/memval.ml: Array Printf

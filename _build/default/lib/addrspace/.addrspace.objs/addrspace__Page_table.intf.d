@@ -1,0 +1,1 @@
+lib/addrspace/page_table.mli:

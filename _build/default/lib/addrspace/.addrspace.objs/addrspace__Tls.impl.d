@@ -1,0 +1,1 @@
+lib/addrspace/tls.ml: Addr_space Arch Hashtbl Kernel Memval Oskernel Types Vma

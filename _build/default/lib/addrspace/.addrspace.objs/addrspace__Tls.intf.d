@@ -1,0 +1,1 @@
+lib/addrspace/tls.mli: Addr_space Hashtbl Kernel Memval Oskernel Types Vma

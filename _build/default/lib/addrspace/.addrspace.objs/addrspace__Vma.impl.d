@@ -1,0 +1,1 @@
+lib/addrspace/vma.ml: Fmt Printf

@@ -1,0 +1,111 @@
+(* A virtual address space: a page table, a VMA list, and a simulated
+   memory (address -> cell).  In the sharing model several tasks attach
+   to one [t] -- they then see identical address->cell mappings, so
+   pointers travel freely between them (PiP).  Distinct spaces model
+   ordinary processes: the same numeric address dereferences to nothing
+   (or something else) in another space. *)
+
+type address = Memval.address
+
+exception Fault of address (* access to an unmapped address *)
+
+type t = {
+  asid : int;
+  page_table : Page_table.t;
+  mutable vmas : Vma.t list;
+  mem : (address, Memval.cell) Hashtbl.t;
+  mutable next_addr : address;
+  mutable attached : int list; (* tids of attached tasks *)
+}
+
+let counter = ref 0
+
+let create ?(page_size = 4096) ?(base = 0x400000) () =
+  incr counter;
+  {
+    asid = !counter;
+    page_table = Page_table.create ~page_size ();
+    vmas = [];
+    mem = Hashtbl.create 1024;
+    next_addr = base;
+    attached = [];
+  }
+
+let asid t = t.asid
+let page_table t = t.page_table
+let vmas t = t.vmas
+let attached t = t.attached
+
+let attach t ~tid =
+  if not (List.mem tid t.attached) then t.attached <- tid :: t.attached
+
+let detach t ~tid = t.attached <- List.filter (fun x -> x <> tid) t.attached
+
+let find_vma t addr = List.find_opt (fun v -> Vma.contains v addr) t.vmas
+
+(* Reserve an address range (never reuses addresses: simulated spaces
+   are vast, like 64-bit VA). *)
+let map t ~len ~kind ~populated =
+  let page = Page_table.page_size t.page_table in
+  let start = t.next_addr in
+  let len = max len 1 in
+  let rounded = (len + page - 1) / page * page in
+  t.next_addr <- start + rounded + page (* guard page *);
+  let vma = Vma.create ~start ~len:rounded ~kind ~populated in
+  t.vmas <- vma :: t.vmas;
+  if populated then ignore (Page_table.populate t.page_table ~addr:start ~len);
+  vma
+
+let unmap t (vma : Vma.t) =
+  t.vmas <- List.filter (fun v -> not (v == vma)) t.vmas;
+  Hashtbl.iter
+    (fun addr _ -> if Vma.contains vma addr then Hashtbl.remove t.mem addr)
+    (Hashtbl.copy t.mem)
+
+(* Allocate one cell inside an existing VMA-backed bump region. *)
+let alloc_in t (vma : Vma.t) ~slot value =
+  let addr = vma.Vma.start + slot in
+  if not (Vma.contains vma addr) then invalid_arg "Addr_space.alloc_in: overflow";
+  Hashtbl.replace t.mem addr (Memval.cell value);
+  addr
+
+(* Map a fresh single-cell region and store [value] there. *)
+let alloc t ~kind value =
+  let vma = map t ~len:64 ~kind ~populated:false in
+  alloc_in t vma ~slot:0 value
+
+(* Dereference: page-table touch (fault accounting) then cell lookup. *)
+let deref t addr =
+  match find_vma t addr with
+  | None -> raise (Fault addr)
+  | Some _ -> (
+      ignore (Page_table.touch t.page_table addr);
+      match Hashtbl.find_opt t.mem addr with
+      | Some cell -> cell
+      | None -> raise (Fault addr))
+
+let load t addr = (deref t addr).Memval.v
+
+let store t addr value = (deref t addr).Memval.v <- value
+
+let minor_faults t = Page_table.minor_faults t.page_table
+
+(* A summary of the space's footprint, for reports and tests. *)
+type stats = {
+  vma_count : int;
+  mapped_bytes : int;
+  resident_pages : int;
+  minor_fault_count : int;
+  attached_tasks : int;
+  object_count : int;
+}
+
+let stats t =
+  {
+    vma_count = List.length t.vmas;
+    mapped_bytes = List.fold_left (fun acc v -> acc + v.Vma.len) 0 t.vmas;
+    resident_pages = Page_table.resident_pages t.page_table;
+    minor_fault_count = Page_table.minor_faults t.page_table;
+    attached_tasks = List.length t.attached;
+    object_count = Hashtbl.length t.mem;
+  }

@@ -1,0 +1,66 @@
+(** A virtual address space: one page table, a VMA list, and a simulated
+    memory mapping addresses to cells.
+
+    In the sharing model (PiP) several tasks attach to one [t] and see
+    identical address→cell mappings, so pointers travel freely between
+    them.  Distinct spaces model ordinary processes: the same numeric
+    address dereferences to nothing (or something else) elsewhere. *)
+
+type address = Memval.address
+
+exception Fault of address
+(** Access to an unmapped address (or an address with no object). *)
+
+type t
+
+val create : ?page_size:int -> ?base:address -> unit -> t
+val asid : t -> int
+val page_table : t -> Page_table.t
+val vmas : t -> Vma.t list
+
+(** {2 Task attachment} *)
+
+val attached : t -> int list
+val attach : t -> tid:int -> unit
+val detach : t -> tid:int -> unit
+
+(** {2 Mapping} *)
+
+val find_vma : t -> address -> Vma.t option
+
+val map : t -> len:int -> kind:Vma.kind -> populated:bool -> Vma.t
+(** Reserve a fresh range (mmap); [populated] pre-creates the PTEs
+    (MAP_POPULATE), trading load-time work for zero demand faults. *)
+
+val unmap : t -> Vma.t -> unit
+
+(** {2 Objects} *)
+
+val alloc_in : t -> Vma.t -> slot:int -> Memval.value -> address
+(** Place a cell at a fixed offset inside an existing VMA. *)
+
+val alloc : t -> kind:Vma.kind -> Memval.value -> address
+(** Map a fresh single-cell region holding the value. *)
+
+val deref : t -> address -> Memval.cell
+(** Touch the page (fault accounting) and return the cell.
+    @raise Fault on unmapped or empty addresses. *)
+
+val load : t -> address -> Memval.value
+val store : t -> address -> Memval.value -> unit
+
+val minor_faults : t -> int
+(** Demand minor faults taken in this space so far. *)
+
+(** {2 Footprint} *)
+
+type stats = {
+  vma_count : int;
+  mapped_bytes : int;
+  resident_pages : int;
+  minor_fault_count : int;
+  attached_tasks : int;
+  object_count : int;
+}
+
+val stats : t -> stats

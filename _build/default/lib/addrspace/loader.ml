@@ -1,0 +1,65 @@
+(* The dlmopen() model.  A [program] is a position-independent executable:
+   a name, a set of global variable symbols with initial values, and an
+   entry point.  [load] links it into an address space under a fresh
+   namespace: every global gets a brand-new cell at a brand-new address.
+   Loading the same program twice therefore yields two private instances
+   of each variable -- PiP's variable privatization -- while both live in
+   one address space and can exchange pointers. *)
+
+type program = {
+  prog_name : string;
+  globals : (string * Memval.value) list;
+  text_size : int; (* bytes of code, affects load cost only *)
+}
+
+let program ?(text_size = 1 lsl 20) ~name ~globals () =
+  { prog_name = name; globals; text_size }
+
+type namespace = {
+  ns_id : int;
+  prog : program;
+  space : Addr_space.t;
+  code_vma : Vma.t;
+  data_vma : Vma.t;
+  symbols : (string * Memval.address) list; (* symbol -> private address *)
+}
+
+let ns_counter = ref 0
+
+(* Link [prog] into [space] under a new namespace (dlmopen(LM_ID_NEWLM)). *)
+let load space prog =
+  incr ns_counter;
+  let ns_id = !ns_counter in
+  let tag = Printf.sprintf "%s#%d" prog.prog_name ns_id in
+  let code_vma =
+    Addr_space.map space ~len:prog.text_size ~kind:(Vma.Code tag)
+      ~populated:false
+  in
+  let slot_size = 64 in
+  let data_len = max slot_size (slot_size * List.length prog.globals) in
+  let data_vma =
+    Addr_space.map space ~len:data_len ~kind:(Vma.Data tag) ~populated:false
+  in
+  let symbols =
+    List.mapi
+      (fun i (name, init) ->
+        let addr = Addr_space.alloc_in space data_vma ~slot:(i * slot_size) init in
+        (name, addr))
+      prog.globals
+  in
+  { ns_id; prog; space; code_vma; data_vma; symbols }
+
+(* dlsym within one namespace. *)
+let dlsym ns symbol = List.assoc_opt symbol ns.symbols
+
+let dlsym_exn ns symbol =
+  match dlsym ns symbol with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Loader.dlsym: %s not defined by %s" symbol
+           ns.prog.prog_name)
+
+let read_global ns symbol = Addr_space.load ns.space (dlsym_exn ns symbol)
+
+let write_global ns symbol v = Addr_space.store ns.space (dlsym_exn ns symbol) v

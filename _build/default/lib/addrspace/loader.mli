@@ -1,0 +1,35 @@
+(** The dlmopen() model: position-independent programs linked into an
+    address space under fresh namespaces.
+
+    Loading a program creates a brand-new private instance of each of
+    its global variables at a brand-new address — PiP's {e variable
+    privatization} — while everything stays addressable inside the one
+    shared space. *)
+
+type program = {
+  prog_name : string;
+  globals : (string * Memval.value) list; (** symbols and initial values *)
+  text_size : int; (** bytes of code; affects load cost only *)
+}
+
+val program :
+  ?text_size:int -> name:string -> globals:(string * Memval.value) list ->
+  unit -> program
+
+type namespace = {
+  ns_id : int;
+  prog : program;
+  space : Addr_space.t;
+  code_vma : Vma.t;
+  data_vma : Vma.t;
+  symbols : (string * Memval.address) list; (** symbol → private address *)
+}
+
+val load : Addr_space.t -> program -> namespace
+(** Link under a new namespace (dlmopen with LM_ID_NEWLM): fresh
+    instances for every global. *)
+
+val dlsym : namespace -> string -> Memval.address option
+val dlsym_exn : namespace -> string -> Memval.address
+val read_global : namespace -> string -> Memval.value
+val write_global : namespace -> string -> Memval.value -> unit

@@ -1,0 +1,32 @@
+(* Values stored in simulated memory cells.  A cell is what one symbol
+   (global variable) or one heap object holds; pointers are plain
+   simulated addresses, so they can be passed between tasks and
+   dereferenced anywhere in the same address space -- the PiP property. *)
+
+type address = int
+
+type value =
+  | Unit
+  | Int of int
+  | Float of float
+  | Str of string
+  | Float_array of float array
+  | Ptr of address
+
+type cell = { mutable v : value }
+
+let cell v = { v }
+
+let to_string = function
+  | Unit -> "()"
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Str s -> Printf.sprintf "%S" s
+  | Float_array a -> Printf.sprintf "<float array:%d>" (Array.length a)
+  | Ptr a -> Printf.sprintf "0x%x" a
+
+let as_int = function Int i -> Some i | _ -> None
+let as_float = function Float f -> Some f | _ -> None
+let as_str = function Str s -> Some s | _ -> None
+let as_ptr = function Ptr a -> Some a | _ -> None
+let as_float_array = function Float_array a -> Some a | _ -> None

@@ -1,0 +1,54 @@
+(* A page table: virtual page number -> present bit.  In the
+   address-space-sharing model one page table is shared by all tasks of
+   the space, so a page faults at most once in total; in the POSIX
+   shared-memory model each process has its own table over the shared
+   region, so every process faults on every page -- the contrast the
+   paper draws in Section IV and our ablation A3 measures. *)
+
+type t = {
+  pt_id : int;
+  page_size : int;
+  present : (int, unit) Hashtbl.t;
+  mutable minor_faults : int;
+}
+
+let counter = ref 0
+
+let create ?(page_size = 4096) () =
+  incr counter;
+  {
+    pt_id = !counter;
+    page_size;
+    present = Hashtbl.create 256;
+    minor_faults = 0;
+  }
+
+let page_size t = t.page_size
+let vpn t addr = addr / t.page_size
+let minor_faults t = t.minor_faults
+let resident_pages t = Hashtbl.length t.present
+
+(* Touch one address: creates the PTE on first access. *)
+let touch t addr =
+  let p = vpn t addr in
+  if Hashtbl.mem t.present p then `Hit
+  else begin
+    Hashtbl.replace t.present p ();
+    t.minor_faults <- t.minor_faults + 1;
+    `Minor_fault
+  end
+
+(* Pre-populate the range (MAP_POPULATE): PTEs exist up front, counted
+   as populate work rather than demand faults. *)
+let populate t ~addr ~len =
+  let first = vpn t addr and last = vpn t (addr + max 0 (len - 1)) in
+  let created = ref 0 in
+  for p = first to last do
+    if not (Hashtbl.mem t.present p) then begin
+      Hashtbl.replace t.present p ();
+      incr created
+    end
+  done;
+  !created
+
+let is_resident t addr = Hashtbl.mem t.present (vpn t addr)

@@ -1,0 +1,25 @@
+(** A page table: virtual page number → present bit, with minor-fault
+    accounting.
+
+    One shared table (address-space sharing) faults at most once per
+    page in total; per-process tables over a shared-memory segment fault
+    once per page {e per process} — the Section IV contrast measured by
+    ablation A3. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+val page_size : t -> int
+val vpn : t -> int -> int
+
+val touch : t -> int -> [ `Hit | `Minor_fault ]
+(** Access one address, creating the PTE (and counting a fault) on
+    first touch of its page. *)
+
+val populate : t -> addr:int -> len:int -> int
+(** Pre-create PTEs for a range (MAP_POPULATE); returns how many were
+    created.  Not counted as demand faults. *)
+
+val is_resident : t -> int -> bool
+val minor_faults : t -> int
+val resident_pages : t -> int

@@ -1,0 +1,71 @@
+(* Thread-local storage model.  Each ULP owns a TLS region (holding e.g.
+   errno); each kernel context has a TLS register pointing at the region
+   of whatever user context it is currently running.  Loading that
+   register is the operation Table III prices: a privileged arch_prctl
+   syscall on x86_64, a plain tpidr_el0 write on AArch64 -- the asymmetry
+   that decides who wins Table IV. *)
+
+open Oskernel
+
+type region = {
+  owner_tid : int;
+  vma : Vma.t;
+  base : Memval.address;
+  vars : (string, Memval.cell) Hashtbl.t;
+}
+
+(* One TLS register per kernel task. *)
+type bank = {
+  registers : (int, Memval.address) Hashtbl.t; (* kc tid -> base *)
+  mutable loads : int; (* how many register loads happened *)
+}
+
+let bank_create () = { registers = Hashtbl.create 16; loads = 0 }
+
+let create_region space ~owner_tid =
+  let vma =
+    Addr_space.map space ~len:4096 ~kind:(Vma.Tls owner_tid) ~populated:true
+  in
+  let vars = Hashtbl.create 4 in
+  Hashtbl.replace vars "errno" (Memval.cell (Memval.Int 0));
+  { owner_tid; vma; base = vma.Vma.start; vars }
+
+let var region name =
+  match Hashtbl.find_opt region.vars name with
+  | Some c -> c
+  | None ->
+      let c = Memval.cell (Memval.Int 0) in
+      Hashtbl.replace region.vars name c;
+      c
+
+let set_errno region v = (var region "errno").Memval.v <- Memval.Int v
+
+let get_errno region =
+  match (var region "errno").Memval.v with Memval.Int v -> v | _ -> 0
+
+(* Point [kc]'s TLS register at [base], paying the load cost.  The
+   paper's runtime reloads the register at *every* context switch except
+   TC<->UC transitions, so the load is unconditional here and the BLT
+   dispatcher decides when to call it (scheduler dispatches: always;
+   original-KC dispatches: only when the incoming UC is not the one the
+   register already serves). *)
+let load_register k bank ~(kc : Types.task) ~base =
+  let cost = Kernel.cost k in
+  (match cost.Arch.Cost_model.isa with
+  | Arch.Cost_model.X86_64 ->
+      (* arch_prctl(ARCH_SET_FS) is a syscall *)
+      Kernel.count_syscall kc
+  | Arch.Cost_model.Aarch64 -> ());
+  Kernel.burn k kc cost.Arch.Cost_model.tls_load;
+  Hashtbl.replace bank.registers kc.Types.tid base;
+  bank.loads <- bank.loads + 1
+
+(* Record the register contents without charging: models the save/set
+   done once at ULP creation time. *)
+let set_register_free bank ~(kc : Types.task) ~base =
+  Hashtbl.replace bank.registers kc.Types.tid base
+
+let current bank ~(kc : Types.task) =
+  Hashtbl.find_opt bank.registers kc.Types.tid
+
+let loads bank = bank.loads

@@ -1,0 +1,42 @@
+(** Thread-local storage: per-ULP TLS regions and per-KC TLS registers.
+
+    Loading the register is the operation the paper's Table III prices:
+    a privileged [arch_prctl] {e syscall} on x86_64, a plain [tpidr_el0]
+    register write on AArch64 — the asymmetry that decides Table IV.
+    The BLT dispatcher calls {!load_register} on every scheduler
+    dispatch and skips it on TC↔UC transitions, exactly as the paper's
+    runtime does. *)
+
+open Oskernel
+
+type region = {
+  owner_tid : int;
+  vma : Vma.t;
+  base : Memval.address;
+  vars : (string, Memval.cell) Hashtbl.t;
+}
+
+type bank
+(** One TLS register per kernel task. *)
+
+val bank_create : unit -> bank
+
+val create_region : Addr_space.t -> owner_tid:int -> region
+(** A fresh populated TLS region with an [errno] variable. *)
+
+val var : region -> string -> Memval.cell
+(** The cell of a TLS variable, created on first use. *)
+
+val set_errno : region -> int -> unit
+val get_errno : region -> int
+
+val load_register : Kernel.t -> bank -> kc:Types.task -> base:Memval.address -> unit
+(** Point the KC's register at [base], paying the per-ISA load cost
+    (and counting a syscall on x86_64). *)
+
+val set_register_free : bank -> kc:Types.task -> base:Memval.address -> unit
+(** Record the register without charging — the save/set done once at
+    ULP creation (Section V.B). *)
+
+val current : bank -> kc:Types.task -> Memval.address option
+val loads : bank -> int

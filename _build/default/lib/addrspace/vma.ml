@@ -1,0 +1,30 @@
+(* Virtual memory areas: typed address ranges inside an address space. *)
+
+type kind =
+  | Code of string (* namespace name *)
+  | Data of string (* privatized globals of a namespace *)
+  | Heap
+  | Stack of int (* owning task tid *)
+  | Tls of int (* owning task tid *)
+  | Mmap
+
+let kind_to_string = function
+  | Code ns -> Printf.sprintf "code(%s)" ns
+  | Data ns -> Printf.sprintf "data(%s)" ns
+  | Heap -> "heap"
+  | Stack tid -> Printf.sprintf "stack(tid=%d)" tid
+  | Tls tid -> Printf.sprintf "tls(tid=%d)" tid
+  | Mmap -> "mmap"
+
+type t = { start : int; len : int; kind : kind; populated : bool }
+
+let create ~start ~len ~kind ~populated = { start; len; kind; populated }
+
+let contains t addr = addr >= t.start && addr < t.start + t.len
+
+let overlap a b = a.start < b.start + b.len && b.start < a.start + a.len
+
+let pp ppf t =
+  Fmt.pf ppf "[0x%x-0x%x) %s%s" t.start (t.start + t.len)
+    (kind_to_string t.kind)
+    (if t.populated then " populated" else "")

@@ -1,0 +1,200 @@
+(* Linux POSIX AIO, as implemented by glibc and described in the paper's
+   Background section: the first aio_read()/aio_write() call creates a
+   helper pthread; subsequent requests are delegated to it over a queue;
+   the caller waits with aio_error()/aio_return() polling or blocks in
+   aio_suspend().  Only read and write exist -- open(), close() etc. have
+   no asynchronous counterpart, which is why AIO cannot overlap them
+   (and why its Figure 8 overlap ratio saturates below ULP's).
+
+   The helper is created as a *thread* of the owner (shared fd table),
+   and the kernel places it on [helper_cpu]; Linux wake-affinity keeps
+   it cache-warm with respect to the owner's buffers, so its copies run
+   at local bandwidth. *)
+
+open Oskernel
+module Cm = Arch.Cost_model
+
+type op =
+  | Write of { fd : int; bytes : int; data : bytes option }
+  | Read of { fd : int; bytes : int }
+
+type state =
+  | Queued
+  | In_progress
+  | Completed of (int, Vfs.errno) result
+  | Canceled
+
+type aiocb = {
+  req_id : int;
+  op : op;
+  mutable state : state;
+  done_sem : Sync.Semaphore.t; (* posted once on completion *)
+  mutable suspended : bool;
+}
+
+type t = {
+  kernel : Kernel.t;
+  vfs : Vfs.t;
+  futex_reg : Futex.t;
+  owner : Types.task;
+  helper_cpu : int;
+  queue : aiocb Queue.t;
+  work_sem : Sync.Semaphore.t;
+  mutable helper : Types.task option;
+  mutable next_req : int;
+  mutable shutting_down : bool;
+  mutable completed_ops : int;
+}
+
+let init kernel vfs ~owner ~helper_cpu =
+  let futex_reg = Futex.create () in
+  {
+    kernel;
+    vfs;
+    futex_reg;
+    owner;
+    helper_cpu;
+    queue = Queue.create ();
+    work_sem = Sync.Semaphore.create ~value:0 futex_reg;
+    helper = None;
+    next_req = 0;
+    shutting_down = false;
+    completed_ops = 0;
+  }
+
+let completed_ops t = t.completed_ops
+let helper_task t = t.helper
+
+let perform_op t helper req =
+  match req.op with
+  | Write { fd; bytes; data } ->
+      (* buffers are cache-warm for the helper (wake affinity) *)
+      Vfs.write ?data ~cold:false t.kernel t.vfs ~executing:helper fd ~bytes
+  | Read { fd; bytes } -> Vfs.read t.kernel t.vfs ~executing:helper fd ~bytes
+
+let rec helper_loop t helper =
+  match Queue.take_opt t.queue with
+  | Some req when req.state = Canceled ->
+      (* cancelled while queued: skip, the completion was posted by
+         aio_cancel itself *)
+      helper_loop t helper
+  | Some req ->
+      req.state <- In_progress;
+      let result = perform_op t helper req in
+      req.state <- Completed result;
+      t.completed_ops <- t.completed_ops + 1;
+      (* post completion: wakes an aio_suspend sleeper if present, or
+         banks the count so a later aio_suspend returns immediately *)
+      Sync.Semaphore.post t.kernel helper req.done_sem;
+      helper_loop t helper
+  | None ->
+      if not t.shutting_down then begin
+        Sync.Semaphore.wait t.kernel helper t.work_sem;
+        helper_loop t helper
+      end
+
+(* glibc creates the helper at the first AIO call; [by] pays for it. *)
+let ensure_helper t ~by =
+  match t.helper with
+  | Some h -> h
+  | None ->
+      Kernel.charge_creation t.kernel ~creator:by ~share:(`Thread t.owner);
+      let h =
+        Kernel.spawn t.kernel ~parent:t.owner ~share:(`Thread t.owner)
+          ~name:"aio-helper" ~cpu:t.helper_cpu (fun task -> helper_loop t task)
+      in
+      t.helper <- Some h;
+      h
+
+let submit t ~by op =
+  let _helper = ensure_helper t ~by in
+  t.next_req <- t.next_req + 1;
+  let req =
+    {
+      req_id = t.next_req;
+      op;
+      state = Queued;
+      done_sem = Sync.Semaphore.create ~value:0 t.futex_reg;
+      suspended = false;
+    }
+  in
+  Kernel.burn t.kernel by (Kernel.cost t.kernel).Cm.aio_submit;
+  Queue.add req t.queue;
+  Sync.Semaphore.post t.kernel by t.work_sem;
+  req
+
+let aio_write ?data t ~by ~fd ~bytes = submit t ~by (Write { fd; bytes; data })
+let aio_read t ~by ~fd ~bytes = submit t ~by (Read { fd; bytes })
+
+(* aio_error: probe completion (one polling step). *)
+let aio_error t ~by req =
+  Kernel.burn t.kernel by (Kernel.cost t.kernel).Cm.aio_completion_check;
+  match req.state with
+  | Completed _ -> `Done
+  | Canceled -> `Canceled
+  | Queued | In_progress -> `In_progress
+
+(* aio_return: fetch the result; only valid once completed. *)
+let aio_return t ~by req =
+  Kernel.burn t.kernel by (Kernel.cost t.kernel).Cm.aio_completion_check;
+  match req.state with
+  | Completed r -> r
+  | Canceled -> Error Vfs.ECANCELED
+  | Queued | In_progress -> Error Vfs.EINVAL
+
+(* aio_cancel: cancellable only while still queued (the helper owns it
+   once in progress, like the real thing). *)
+let aio_cancel t ~by req =
+  Kernel.burn t.kernel by (Kernel.cost t.kernel).Cm.aio_completion_check;
+  match req.state with
+  | Queued ->
+      req.state <- Canceled;
+      (* release any aio_suspend sleeper *)
+      Sync.Semaphore.post t.kernel by req.done_sem;
+      `Canceled
+  | In_progress -> `Not_canceled
+  | Completed _ | Canceled -> `All_done
+
+(* Poll until completion with a caller-supplied yield between probes --
+   the ULT-friendly waiting style of the paper's Background section. *)
+let wait_return ?(yield = fun () -> ()) t ~by req =
+  let rec loop () =
+    match aio_error t ~by req with
+    | `Done | `Canceled -> aio_return t ~by req
+    | `In_progress ->
+        yield ();
+        loop ()
+  in
+  loop ()
+
+(* aio_suspend: block until the request completes. *)
+let aio_suspend t ~by req =
+  Kernel.burn t.kernel by (Kernel.cost t.kernel).Cm.aio_suspend_enter;
+  match req.state with
+  | Completed _ | Canceled -> ()
+  | Queued | In_progress ->
+      req.suspended <- true;
+      Sync.Semaphore.wait t.kernel by req.done_sem
+
+(* lio_listio: batch submission.  [`Wait] blocks until every request in
+   the batch completed; [`Nowait] returns the control blocks for later
+   polling. *)
+type lio_op = Lio_write of { fd : int; bytes : int } | Lio_read of { fd : int; bytes : int }
+
+let lio_listio t ~by ~mode ops =
+  let reqs =
+    List.map
+      (fun op ->
+        match op with
+        | Lio_write { fd; bytes } -> aio_write t ~by ~fd ~bytes
+        | Lio_read { fd; bytes } -> aio_read t ~by ~fd ~bytes)
+      ops
+  in
+  (match mode with
+  | `Wait -> List.iter (fun r -> aio_suspend t ~by r) reqs
+  | `Nowait -> ());
+  reqs
+
+let shutdown t ~by =
+  t.shutting_down <- true;
+  Sync.Semaphore.post t.kernel by t.work_sem

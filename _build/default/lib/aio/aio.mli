@@ -1,0 +1,53 @@
+(** Linux POSIX AIO as glibc implements it (the paper's Background
+    section): the first aio call creates a helper pthread; requests are
+    delegated to it over a queue; callers wait by polling
+    {!aio_error}/{!aio_return} or by blocking in {!aio_suspend}.
+
+    Only read and write exist — open(), close() etc. have no
+    asynchronous counterpart, which is why AIO cannot overlap them (and
+    why its Figure 8 overlap saturates below ULP's). *)
+
+open Oskernel
+
+type aiocb
+(** An asynchronous request control block. *)
+
+type t
+
+val init : Kernel.t -> Vfs.t -> owner:Types.task -> helper_cpu:int -> t
+(** An AIO context for [owner]; the helper thread (created lazily,
+    sharing the owner's fd table) runs on [helper_cpu]. *)
+
+val helper_task : t -> Types.task option
+val completed_ops : t -> int
+
+val aio_write : ?data:bytes -> t -> by:Types.task -> fd:int -> bytes:int -> aiocb
+val aio_read : t -> by:Types.task -> fd:int -> bytes:int -> aiocb
+
+val aio_error : t -> by:Types.task -> aiocb -> [ `Done | `In_progress | `Canceled ]
+(** One completion probe (priced as such). *)
+
+val aio_return : t -> by:Types.task -> aiocb -> (int, Vfs.errno) result
+(** The result; [Error EINVAL] if not yet complete, [Error ECANCELED]
+    after a successful cancel. *)
+
+val aio_cancel :
+  t -> by:Types.task -> aiocb -> [ `Canceled | `Not_canceled | `All_done ]
+(** Cancellable only while still queued; in-flight requests belong to
+    the helper, completed ones report [`All_done]. *)
+
+val wait_return :
+  ?yield:(unit -> unit) -> t -> by:Types.task -> aiocb -> (int, Vfs.errno) result
+(** Poll until done, calling [yield] between probes — the ULT-friendly
+    waiting style. *)
+
+val aio_suspend : t -> by:Types.task -> aiocb -> unit
+(** Block until the request completes. *)
+
+type lio_op = Lio_write of { fd : int; bytes : int } | Lio_read of { fd : int; bytes : int }
+
+val lio_listio :
+  t -> by:Types.task -> mode:[ `Wait | `Nowait ] -> lio_op list -> aiocb list
+(** Batch submission; [`Wait] blocks until the whole batch completed. *)
+
+val shutdown : t -> by:Types.task -> unit

@@ -1,0 +1,1 @@
+lib/arch/machines.ml: Cost_model List String

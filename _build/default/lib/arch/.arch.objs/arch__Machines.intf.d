@@ -1,0 +1,1 @@
+lib/arch/machines.mli: Cost_model

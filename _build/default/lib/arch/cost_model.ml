@@ -1,0 +1,75 @@
+(* Per-architecture timing parameters for the simulated machine.
+
+   Calibration discipline: every *base* constant is tied to a measured row
+   of the paper's Tables II-V (see [Machines]); *composite* results
+   (Tables IV, V and Figures 7, 8) are not encoded anywhere -- they emerge
+   from executing the protocols on the simulated kernel, and the test
+   suite asserts they land within tolerance of the paper.  All times are
+   seconds of virtual time. *)
+
+type isa = X86_64 | Aarch64
+
+let isa_to_string = function X86_64 -> "x86_64" | Aarch64 -> "aarch64"
+
+type t = {
+  name : string;
+  isa : isa;
+  clock_ghz : float;
+  cores : int;
+  (* --- user-level context machinery --- *)
+  uctx_switch : float;
+      (* fcontext-style register save+load between two user contexts *)
+  uctx_size_bytes : int; (* saved context footprint, Table III text *)
+  tls_load : float;
+      (* load the TLS register: arch_prctl syscall on x86_64, a plain
+         register write on AArch64 *)
+  ult_sched_overhead : float;
+      (* ready-queue bookkeeping per user-level dispatch *)
+  queue_op : float; (* one lock-free enqueue or dequeue *)
+  (* --- kernel-level costs --- *)
+  syscall_getpid : float; (* a minimal syscall round trip *)
+  syscall_entry : float; (* sched_yield with nothing to switch to *)
+  kernel_ctx_switch : float; (* KLT-to-KLT switch inside the kernel *)
+  thread_create : float; (* clone/pthread_create *)
+  process_create : float; (* fork-like creation incl. kernel state *)
+  futex_wait : float; (* syscall entry until the task is parked *)
+  futex_wake : float; (* syscall cost paid by the waker *)
+  futex_wakeup_latency : float;
+      (* parked task becomes runnable and is dispatched *)
+  busywait_handoff : float;
+      (* store-flag to polling-core-notices latency (cache-line
+         transfer plus poll loop granularity) *)
+  signal_deliver : float;
+  (* --- memory & file system --- *)
+  mem_bandwidth : float; (* bytes/second, single-core tmpfs copy *)
+  remote_copy_penalty : float;
+      (* extra seconds per byte when the copying core does not own the
+         buffer in its cache (cross-core transfer); the mechanism behind
+         the Albireo large-buffer behaviour in Figure 7 *)
+  file_open : float; (* tmpfs open() excluding faults *)
+  file_close : float;
+  file_write_base : float; (* write() fixed cost before the copy *)
+  file_read_base : float;
+  page_fault_minor : float;
+  page_fault_major : float;
+  page_size : int;
+  (* --- Linux AIO subsystem --- *)
+  aio_submit : float; (* enqueue request to the helper thread *)
+  aio_completion_check : float; (* one aio_error/aio_return probe *)
+  aio_suspend_enter : float; (* aio_suspend syscall entry *)
+}
+
+let cycles t seconds = seconds *. t.clock_ghz *. 1e9
+
+let seconds_of_cycles t cycles = cycles /. (t.clock_ghz *. 1e9)
+
+(* Time to copy [bytes] at the local memory bandwidth. *)
+let copy_time t bytes = float_of_int bytes /. t.mem_bandwidth
+
+(* Same copy performed by a core that does not own the data. *)
+let remote_copy_time t bytes =
+  copy_time t bytes +. (float_of_int bytes *. t.remote_copy_penalty)
+
+let pp ppf t =
+  Fmt.pf ppf "%s (%s, %.1f GHz, %d cores)" t.name (isa_to_string t.isa)
+    t.clock_ghz t.cores

@@ -1,0 +1,73 @@
+(** Per-architecture timing parameters for the simulated machine.
+
+    Calibration discipline: every {e base} constant is tied to a
+    measured row of the paper's Tables II–V (see {!Machines});
+    {e composite} results (Tables IV, V, Figures 7, 8) are not encoded
+    anywhere — they emerge from executing the protocols on the simulated
+    kernel, and the test suite asserts they land within tolerance of the
+    paper.  All times are seconds of virtual time. *)
+
+type isa = X86_64 | Aarch64
+
+val isa_to_string : isa -> string
+
+type t = {
+  name : string;
+  isa : isa;
+  clock_ghz : float;
+  cores : int;
+  (* user-level context machinery *)
+  uctx_switch : float;
+      (** fcontext-style register save+load between user contexts *)
+  uctx_size_bytes : int;  (** saved context footprint (Table III text) *)
+  tls_load : float;
+      (** TLS register load: arch_prctl syscall on x86_64, a register
+          write on AArch64 *)
+  ult_sched_overhead : float;
+      (** ready-queue bookkeeping per user-level dispatch *)
+  queue_op : float;  (** one lock-free enqueue or dequeue *)
+  (* kernel-level costs *)
+  syscall_getpid : float;  (** a minimal syscall round trip *)
+  syscall_entry : float;  (** sched_yield with nothing to switch to *)
+  kernel_ctx_switch : float;  (** KLT-to-KLT switch inside the kernel *)
+  thread_create : float;
+  process_create : float;
+  futex_wait : float;  (** syscall entry until the task is parked *)
+  futex_wake : float;  (** syscall cost paid by the waker *)
+  futex_wakeup_latency : float;
+      (** parked task becomes runnable and is dispatched *)
+  busywait_handoff : float;
+      (** store-flag to polling-core-notices latency *)
+  signal_deliver : float;
+  (* memory & file system *)
+  mem_bandwidth : float;  (** bytes/second, single-core tmpfs copy *)
+  remote_copy_penalty : float;
+      (** extra seconds per byte when the copying core does not own the
+          buffer in its cache — the mechanism behind the Albireo
+          large-buffer behaviour in Figure 7 *)
+  file_open : float;
+  file_close : float;
+  file_write_base : float;
+  file_read_base : float;
+  page_fault_minor : float;
+  page_fault_major : float;
+  page_size : int;
+  (* Linux AIO subsystem *)
+  aio_submit : float;  (** enqueue a request to the helper thread *)
+  aio_completion_check : float;  (** one aio_error/aio_return probe *)
+  aio_suspend_enter : float;
+}
+
+val cycles : t -> float -> float
+(** Seconds → CPU cycles at the machine's clock (the paper reports both
+    on x86_64 via RDTSC). *)
+
+val seconds_of_cycles : t -> float -> float
+
+val copy_time : t -> int -> float
+(** Time to copy [bytes] at local memory bandwidth. *)
+
+val remote_copy_time : t -> int -> float
+(** The same copy performed by a core that does not own the data. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+(** The paper's two evaluation machines (Table II), with every base
+    constant calibrated from a paper row (see the annotations in
+    [machines.ml]).
+
+    - {!wallaby}: Intel Xeon E5-2650 v2, x86_64, 2.6 GHz — TLS loads are
+      an [arch_prctl] syscall.
+    - {!albireo}: AMD Opteron A1170 (Cortex-A57), AArch64, 2.0 GHz — TLS
+      loads are a plain register write. *)
+
+val wallaby : Cost_model.t
+val albireo : Cost_model.t
+val all : Cost_model.t list
+
+val by_name : string -> Cost_model.t option
+(** Case-insensitive lookup. *)

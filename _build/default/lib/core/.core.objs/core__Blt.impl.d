@@ -1,0 +1,1 @@
+lib/core/blt.ml: Arch Effect Format Futex Hashtbl Kernel List Logs Oskernel Printexc Printf Queue Sim Sync Types Ult

@@ -1,0 +1,1 @@
+lib/core/blt.mli: Futex Kernel Oskernel Sync Types Ult

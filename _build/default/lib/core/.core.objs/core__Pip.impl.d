@@ -1,0 +1,1 @@
+lib/core/pip.ml: Addrspace Arch Kernel Oskernel Types

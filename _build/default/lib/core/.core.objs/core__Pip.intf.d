@@ -1,0 +1,1 @@
+lib/core/pip.mli: Addrspace Kernel Oskernel Types

@@ -1,0 +1,1 @@
+lib/core/trace_check.ml: Fmt Hashtbl List Printf Sim String

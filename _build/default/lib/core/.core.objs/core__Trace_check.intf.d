@@ -1,0 +1,1 @@
+lib/core/trace_check.mli: Format Sim

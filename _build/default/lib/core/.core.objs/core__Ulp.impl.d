@@ -1,0 +1,1 @@
+lib/core/ulp.ml: Addrspace Arch Blt Consistency Hashtbl Kernel Logs Oskernel Pip Sync Types Vfs

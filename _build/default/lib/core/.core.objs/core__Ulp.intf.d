@@ -1,0 +1,1 @@
+lib/core/ulp.mli: Addrspace Blt Consistency Kernel Oskernel Pip Sync Types Vfs

@@ -1,0 +1,462 @@
+(* Bi-Level Threads: the paper's core contribution.
+
+   A BLT is created as a KLT -- a kernel task (the original KC) running a
+   user context (UC).  [decouple] detaches the UC, hands it to the
+   scheduling KCs, and parks the original KC on its trampoline context;
+   [couple] routes the UC back to its original KC, which is how system
+   calls regain consistency.  The implementation follows Table I of the
+   paper step by step; the trampoline context is the original KC's
+   dispatch loop, whose frame is never touched while the UC runs
+   elsewhere -- so the busy-stack hazard of the paper's Figure 4 cannot
+   occur.
+
+   Cost accounting per couple+decouple round trip (Table V): four user
+   context switches, two TLS loads (via the dispatch hook; TC<->UC
+   transitions are exempt), queue operations, and two idle-policy
+   handoffs. *)
+
+open Oskernel
+module Context = Ult.Context
+module Cm = Arch.Cost_model
+
+type mode = Coupled | Decoupled
+
+let mode_to_string = function Coupled -> "KLT" | Decoupled -> "ULT"
+
+exception Invalid_transition of string
+
+(* One original KC.  Several sibling UCs may share it (the paper's M:N
+   extension, Section VII); all of them observe this KC's kernel state. *)
+type kc_state = {
+  kc_task : Types.task;
+  cell : Sync.Waitcell.t; (* trampoline parking spot *)
+  handoff : blt Queue.t; (* UCs that requested coupling to this KC *)
+  mutable live_ucs : int;
+  mutable last_uc : int; (* uc id the TLS register currently serves *)
+  mutable exit_code : int; (* nonzero if any of its UCs crashed *)
+}
+
+and blt = {
+  blt_id : int;
+  blt_name : string;
+  uc : Context.t;
+  home : kc_state;
+  sys : system;
+  mutable mode : mode;
+  mutable current_kc : Types.task option; (* KC running the UC right now *)
+  mutable couples : int;
+  mutable decouples : int;
+}
+
+and sched = {
+  sched_task : Types.task;
+  idle_cell : Sync.Waitcell.t;
+  mutable dispatches : int;
+  mutable last_sched_uc : int;
+}
+
+and system = {
+  kernel : Kernel.t;
+  futex_reg : Futex.t;
+  policy : Sync.Waitcell.policy;
+  ctx_kind : ctx_kind;
+  ready : blt Queue.t; (* decoupled UCs eligible to run *)
+  mutable scheds : sched list;
+  mutable idle_scheds : sched list;
+  mutable shutting_down : bool;
+  registry : (int, blt) Hashtbl.t; (* uc id -> blt *)
+  mutable next_blt_id : int;
+  mutable dispatch_hook :
+    kind:[ `Sched of Types.task | `Kc of Types.task ] -> blt -> unit;
+      (* the ULP layer loads the TLS register here *)
+}
+
+(* What a user context saves on a switch (Section VII).  fcontext saves
+   registers only: fast, but signal masks do not travel with the UC, so
+   signals land on whichever KC is scheduling it.  ucontext adds a
+   sigprocmask save+restore -- two more syscalls per switch -- and keeps
+   signal delivery consistent. *)
+and ctx_kind = Fcontext | Ucontext
+
+type t = blt
+
+let kernel sys = sys.kernel
+let id blt = blt.blt_id
+let policy sys = sys.policy
+let context_kind sys = sys.ctx_kind
+let futex_registry sys = sys.futex_reg
+let mode blt = blt.mode
+let name blt = blt.blt_name
+let uc blt = blt.uc
+let original_kc blt = blt.home.kc_task
+let current_kc blt = blt.current_kc
+let couples blt = blt.couples
+let decouples blt = blt.decouples
+let ready_length sys = Queue.length sys.ready
+let schedulers sys = sys.scheds
+let sched_dispatches sk = sk.dispatches
+let set_dispatch_hook sys hook = sys.dispatch_hook <- hook
+
+(* Operational logging (enable with Logs.set_level in hosts); the
+   simulation [Trace] stays the structured source of truth. *)
+let log_src = Logs.Src.create "ulp_pip.blt" ~doc:"BLT runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let tracef sys ~actor ~tag fmt =
+  Format.kasprintf
+    (fun detail ->
+      Log.debug (fun m ->
+          m "[%.9f] %s %s %s" (Kernel.now sys.kernel) actor tag detail);
+      Sim.Trace.record
+        (Sim.Engine.trace (Kernel.engine sys.kernel))
+        ~time:(Kernel.now sys.kernel) ~actor ~tag detail)
+    fmt
+
+(* ---------- system ---------- *)
+
+let init ?(policy = Sync.Waitcell.Busywait) ?(ctx_kind = Fcontext) kernel =
+  {
+    kernel;
+    futex_reg = Futex.create ();
+    policy;
+    ctx_kind;
+    ready = Queue.create ();
+    scheds = [];
+    idle_scheds = [];
+    shutting_down = false;
+    registry = Hashtbl.create 64;
+    next_blt_id = 0;
+    dispatch_hook = (fun ~kind:_ _ -> ());
+  }
+
+(* Cost of one user context switch under the system's context kind:
+   ucontext pays two sigprocmask syscalls on top of the register swap. *)
+let swap_cost sys =
+  let cost = Kernel.cost sys.kernel in
+  match sys.ctx_kind with
+  | Fcontext -> cost.Cm.uctx_switch
+  | Ucontext -> cost.Cm.uctx_switch +. (2.0 *. cost.Cm.syscall_entry)
+
+(* Put a decoupled UC on the ready queue and kick an idle scheduler.
+   [by] is the kernel task paying for the queue operation. *)
+let enqueue_ready ?(charge_queue_op = true) sys ~by blt =
+  if charge_queue_op then
+    Kernel.compute sys.kernel by (Kernel.cost sys.kernel).Cm.queue_op;
+  Queue.add blt sys.ready;
+  match sys.idle_scheds with
+  | [] -> ()
+  | sk :: rest ->
+      sys.idle_scheds <- rest;
+      Sync.Waitcell.signal sys.kernel by sk.idle_cell
+
+(* ---------- couple / decouple (Table I) ---------- *)
+
+(* Couple: route the calling UC (running as a ULT on some scheduling KC)
+   back to its original KC.  Returns once the UC runs as a KLT there. *)
+let couple_blt blt =
+  let sys = blt.sys in
+  if blt.mode <> Decoupled then
+    raise (Invalid_transition (blt.blt_name ^ ": couple while coupled"));
+  let sched_kc =
+    match blt.current_kc with
+    | Some t -> t
+    | None -> raise (Invalid_transition (blt.blt_name ^ ": couple with no KC"))
+  in
+  blt.couples <- blt.couples + 1;
+  tracef sys ~actor:sched_kc.Types.tname ~tag:"couple" "%s" blt.blt_name;
+  Context.park ~after_suspend:(fun () ->
+      let cost = Kernel.cost sys.kernel in
+      (* Table I Seq 1-2 on KC1: enqueue(UC0, KC0); unblock(KC0) *)
+      Kernel.compute sys.kernel sched_kc cost.Cm.queue_op;
+      Queue.add blt blt.home.handoff;
+      Sync.Waitcell.signal sys.kernel sched_kc blt.home.cell;
+      (* Seq 3: swap_ctx(UC0 -> UCi): the scheduler loop takes over *)
+      Kernel.compute sys.kernel sched_kc (swap_cost sys))
+(* resumed here by the original KC: we are a KLT again *)
+
+(* Decouple: detach the calling UC (running as a KLT on its original KC)
+   and publish it to the scheduling KCs.  Returns once a scheduler runs
+   the UC as a ULT. *)
+let decouple_blt blt =
+  let sys = blt.sys in
+  if blt.mode <> Coupled then
+    raise (Invalid_transition (blt.blt_name ^ ": decouple while decoupled"));
+  if sys.scheds = [] then
+    raise (Invalid_transition "decouple: no scheduling BLTs configured");
+  let kc = blt.home.kc_task in
+  blt.decouples <- blt.decouples + 1;
+  tracef sys ~actor:kc.Types.tname ~tag:"decouple" "%s" blt.blt_name;
+  Context.park ~after_suspend:(fun () ->
+      (* swap_ctx(UC0 -> TC0) on the original KC, then publish the UC *)
+      Kernel.compute sys.kernel kc (swap_cost sys);
+      blt.mode <- Decoupled;
+      blt.current_kc <- None;
+      enqueue_ready sys ~by:kc blt)
+(* resumed here by a scheduling KC: we are a ULT now *)
+
+(* ---------- the scheduling KC loop ---------- *)
+
+(* A UC finishing while decoupled would violate rule 7 (UCs terminate as
+   KLTs); the creation wrapper prevents it, but tolerate it anyway by
+   retiring the UC and nudging its original KC. *)
+let finish_as_ult sys ~by blt =
+  blt.current_kc <- None;
+  blt.home.live_ucs <- blt.home.live_ucs - 1;
+  Sync.Waitcell.signal sys.kernel by blt.home.cell
+
+let rec sched_loop sys sk =
+  match Queue.take_opt sys.ready with
+  | Some blt ->
+      let cost = Kernel.cost sys.kernel in
+      (* swap_ctx to the UC plus ready-queue bookkeeping *)
+      Kernel.compute sys.kernel sk.sched_task
+        (swap_cost sys +. cost.Cm.ult_sched_overhead);
+      sys.dispatch_hook ~kind:(`Sched sk.sched_task) blt;
+      sk.dispatches <- sk.dispatches + 1;
+      sk.last_sched_uc <- Context.id blt.uc;
+      blt.current_kc <- Some sk.sched_task;
+      tracef sys ~actor:sk.sched_task.Types.tname ~tag:"sched-dispatch" "%s"
+        blt.blt_name;
+      (match Context.resume blt.uc with
+      | Context.Yielded ->
+          enqueue_ready ~charge_queue_op:false sys ~by:sk.sched_task blt
+      | Context.Parked callback -> callback ()
+      | Context.Finished -> finish_as_ult sys ~by:sk.sched_task blt);
+      sched_loop sys sk
+  | None ->
+      if not sys.shutting_down then begin
+        sys.idle_scheds <- sk :: sys.idle_scheds;
+        tracef sys ~actor:sk.sched_task.Types.tname ~tag:"sched-idle" "";
+        Sync.Waitcell.park sys.kernel sk.sched_task sk.idle_cell;
+        sched_loop sys sk
+      end
+
+(* Start a scheduling BLT: a KC bound to [cpu] that runs decoupled UCs
+   (the "BLTs to act as a scheduler" of the paper's Figure 6). *)
+let add_scheduler sys ~cpu =
+  let n = List.length sys.scheds in
+  let name = Printf.sprintf "sched%d" n in
+  let idle_cell = Sync.Waitcell.create ~policy:sys.policy sys.futex_reg in
+  let holder = ref None in
+  let sched_task =
+    Kernel.spawn sys.kernel ~share:`Process ~name ~cpu (fun _task ->
+        match !holder with
+        | Some sk -> sched_loop sys sk
+        | None -> failwith "scheduler started before registration")
+  in
+  let sk = { sched_task; idle_cell; dispatches = 0; last_sched_uc = -1 } in
+  holder := Some sk;
+  sys.scheds <- sys.scheds @ [ sk ];
+  sk
+
+(* ---------- the original-KC loop (trampoline context) ---------- *)
+
+let rec kc_loop sys st =
+  match Queue.take_opt st.handoff with
+  | Some blt ->
+      let cost = Kernel.cost sys.kernel in
+      (* Table I Seq 3-4 on KC0: UC0 = dequeue(); swap_ctx(TC0 -> UC0).
+         No TLS load unless the incoming UC differs from the one this
+         KC's register serves (only possible with sibling UCs). *)
+      Kernel.compute sys.kernel st.kc_task
+        (cost.Cm.queue_op +. swap_cost sys);
+      if Context.id blt.uc <> st.last_uc then begin
+        sys.dispatch_hook ~kind:(`Kc st.kc_task) blt;
+        st.last_uc <- Context.id blt.uc
+      end;
+      blt.mode <- Coupled;
+      blt.current_kc <- Some st.kc_task;
+      tracef sys ~actor:st.kc_task.Types.tname ~tag:"kc-dispatch" "%s"
+        blt.blt_name;
+      run_coupled sys st blt;
+      kc_loop sys st
+  | None ->
+      if st.live_ucs > 0 then begin
+        tracef sys ~actor:st.kc_task.Types.tname ~tag:"kc-park" "";
+        Sync.Waitcell.park sys.kernel st.kc_task st.cell;
+        kc_loop sys st
+      end
+(* live_ucs = 0: fall through and terminate as a KLT (rule 7) *)
+
+and run_coupled sys st blt =
+  match Context.resume blt.uc with
+  | Context.Finished ->
+      st.live_ucs <- st.live_ucs - 1;
+      blt.current_kc <- None;
+      tracef sys ~actor:st.kc_task.Types.tname ~tag:"uc-finished" "%s"
+        blt.blt_name
+  | Context.Yielded ->
+      if Queue.is_empty st.handoff then begin
+        (* a lone coupled UC: behave like a KLT's sched_yield *)
+        Kernel.sched_yield sys.kernel st.kc_task;
+        run_coupled sys st blt
+      end
+      else begin
+        (* sibling UCs waiting on this KC (M:N): rotate to them, like
+           threads of one process time-sharing their kernel context *)
+        Queue.add blt st.handoff;
+        blt.current_kc <- None
+        (* kc_loop dequeues the next sibling and charges the swap *)
+      end
+  | Context.Parked callback -> callback ()
+
+(* ---------- BLT lifecycle ---------- *)
+
+(* A crashing user body must terminate ITS process, not the scheduling
+   KC it happened to be running on: catch, record, and still honour
+   rule 7 (terminate as a KLT) so wait() observes a nonzero exit. *)
+let make_uc sys name body =
+  Context.make ~name (fun () ->
+      let crashed =
+        try
+          body ();
+          false
+        with e ->
+          Log.warn (fun m ->
+              m "UC %s crashed: %s" name (Printexc.to_string e));
+          true
+      in
+      let self = Hashtbl.find sys.registry (Context.id (Context.self ())) in
+      if crashed then self.home.exit_code <- 1;
+      (* rule 7: terminate as a KLT coupled with the original KC *)
+      if self.mode = Decoupled then couple_blt self)
+
+(* Create a BLT: a fresh kernel task (its original KC, a full process in
+   the PiP sense) whose first dispatch runs [body] as the UC.  Rule 1:
+   every BLT starts life as a KLT. *)
+let create sys ?name ~cpu body =
+  sys.next_blt_id <- sys.next_blt_id + 1;
+  let id = sys.next_blt_id in
+  let blt_name =
+    match name with Some n -> n | None -> Printf.sprintf "blt%d" id
+  in
+  let uc = make_uc sys blt_name body in
+  (* The KC's body needs the kc_state, which needs the spawned task:
+     break the knot with a holder that is filled before any event runs
+     (spawn only schedules the body; it does not execute it). *)
+  let holder = ref None in
+  let kc_task =
+    Kernel.spawn sys.kernel ~share:`Process ~name:(blt_name ^ "-kc") ~cpu
+      (fun task ->
+        match !holder with
+        | Some st ->
+            kc_loop sys st;
+            if st.exit_code <> 0 then
+              Kernel.exit_task sys.kernel task st.exit_code
+        | None -> failwith "original KC started before registration")
+  in
+  let st =
+    {
+      kc_task;
+      cell = Sync.Waitcell.create ~policy:sys.policy sys.futex_reg;
+      handoff = Queue.create ();
+      live_ucs = 1;
+      last_uc = Context.id uc;
+      exit_code = 0;
+    }
+  in
+  holder := Some st;
+  let blt =
+    {
+      blt_id = id;
+      blt_name;
+      uc;
+      home = st;
+      sys;
+      mode = Coupled;
+      current_kc = None;
+      couples = 0;
+      decouples = 0;
+    }
+  in
+  Hashtbl.replace sys.registry (Context.id uc) blt;
+  Queue.add blt st.handoff;
+  blt
+
+(* ---------- API used from inside a UC ---------- *)
+
+let current sys =
+  match Context.self () with
+  | uc -> (
+      match Hashtbl.find_opt sys.registry (Context.id uc) with
+      | Some blt -> blt
+      | None -> invalid_arg "Blt.current: calling context is not a BLT")
+  | exception Effect.Unhandled _ ->
+      invalid_arg "Blt.current: not running inside a user context"
+
+let couple sys = couple_blt (current sys)
+let decouple sys = decouple_blt (current sys)
+
+(* Yield the processor: as a ULT this re-enters the scheduler's ready
+   queue; as a KLT it maps to the original KC's sched_yield. *)
+let yield _sys = Context.yield ()
+
+(* Enclose [f] in couple()/decouple() -- the usage pattern the paper
+   prescribes for blocking system calls.  Runs [f] directly if already
+   coupled. *)
+let coupled sys f =
+  let blt = current sys in
+  match blt.mode with
+  | Coupled -> f ()
+  | Decoupled ->
+      couple_blt blt;
+      let result = try Ok (f ()) with e -> Error e in
+      decouple_blt blt;
+      (match result with Ok v -> v | Error e -> raise e)
+
+(* ---------- sibling UCs (M:N extension, Section VII) ---------- *)
+
+(* Create an additional UC whose original KC is [of_]'s.  Sibling UCs
+   observe the same kernel state, like threads of one process.  [by]
+   pays the setup costs.  [start] extends the paper's Section VII note
+   that "it is not difficult to create a number of ULTs (UCs) having
+   the same original KC": [`Decoupled] births the UC directly as a ULT
+   in the scheduler's ready queue. *)
+let create_sibling sys ~of_:(primary : blt) ?name ?(start = `Coupled) ~by body =
+  sys.next_blt_id <- sys.next_blt_id + 1;
+  let id = sys.next_blt_id in
+  let blt_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s.sib%d" primary.blt_name id
+  in
+  let uc = make_uc sys blt_name body in
+  let blt =
+    {
+      blt_id = id;
+      blt_name;
+      uc;
+      home = primary.home;
+      sys;
+      mode = Coupled;
+      current_kc = None;
+      couples = 0;
+      decouples = 0;
+    }
+  in
+  Hashtbl.replace sys.registry (Context.id uc) blt;
+  primary.home.live_ucs <- primary.home.live_ucs + 1;
+  (match start with
+  | `Coupled ->
+      Kernel.compute sys.kernel by (Kernel.cost sys.kernel).Cm.queue_op;
+      Queue.add blt primary.home.handoff;
+      Sync.Waitcell.signal sys.kernel by primary.home.cell
+  | `Decoupled ->
+      if sys.scheds = [] then
+        raise (Invalid_transition "create_sibling: no scheduling BLTs");
+      blt.mode <- Decoupled;
+      enqueue_ready sys ~by blt);
+  blt
+
+(* ---------- shutdown ---------- *)
+
+(* Wait (from [waiter], e.g. the root process) for a BLT's original KC to
+   terminate -- the wait() usage of the paper's Section II. *)
+let join sys ~waiter blt = Kernel.waitpid sys.kernel waiter blt.home.kc_task
+
+let shutdown sys ~by =
+  sys.shutting_down <- true;
+  let idle = sys.idle_scheds in
+  sys.idle_scheds <- [];
+  List.iter (fun sk -> Sync.Waitcell.signal sys.kernel by sk.idle_cell) idle

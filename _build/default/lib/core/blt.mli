@@ -1,0 +1,131 @@
+(** Bi-Level Threads — the paper's core contribution.
+
+    A BLT is born a KLT: a kernel task (its {e original KC}) running a
+    user context.  {!decouple} detaches the UC and hands it to the
+    scheduling KCs (it becomes a ULT with ~100ns switches);
+    {!couple} routes it back to its original KC, which is how system
+    calls regain consistency.  The implementation follows the paper's
+    Table I; the trampoline context is the original KC's dispatch loop,
+    whose frame is never touched while the UC runs elsewhere, so the
+    busy-stack hazard of the paper's Figure 4 cannot occur.
+
+    Summary of the paper's rules, all enforced here:
+    + a BLT is created as a KLT (a UC/KC pair);
+    + the creating KC is its {e original KC};
+    + decoupling turns the UC into a ULT, the orphaned KC idles
+      (busy-waiting or blocked, per the system's {!Oskernel.Sync.Waitcell.policy});
+    + coupling turns it back into a KLT;
+    + an idle KC handed a UC resumes it;
+    + a terminating UC is first coupled home, so the BLT dies as a KLT
+      and plain [wait()] works. *)
+
+open Oskernel
+
+type mode = Coupled | Decoupled
+
+val mode_to_string : mode -> string
+
+exception Invalid_transition of string
+
+(** What a user context saves on a switch (Section VII): [Fcontext]
+    saves registers only — fast, but signal masks do not travel with the
+    UC, so signals land on whichever KC is scheduling it; [Ucontext]
+    adds a sigprocmask save+restore (two extra syscalls per switch) and
+    keeps signal delivery consistent. *)
+type ctx_kind = Fcontext | Ucontext
+
+type system
+type t
+
+(** A scheduling KC (the "BLT acting as a scheduler" of Figure 6). *)
+type sched = {
+  sched_task : Types.task;
+  idle_cell : Sync.Waitcell.t;
+  mutable dispatches : int;
+  mutable last_sched_uc : int;
+}
+
+(** {2 System setup} *)
+
+val init : ?policy:Sync.Waitcell.policy -> ?ctx_kind:ctx_kind -> Kernel.t -> system
+(** Create a BLT runtime; [policy] selects how idle KCs wait (default
+    busy-waiting, the faster of the paper's Table V pair); [ctx_kind]
+    selects the context-save flavour (default [Fcontext], as the
+    paper's prototype). *)
+
+val kernel : system -> Kernel.t
+val policy : system -> Sync.Waitcell.policy
+val context_kind : system -> ctx_kind
+
+val swap_cost : system -> float
+(** One user-context switch under the system's context kind. *)
+
+val futex_registry : system -> Futex.t
+val ready_length : system -> int
+val schedulers : system -> sched list
+val sched_dispatches : sched -> int
+
+val add_scheduler : system -> cpu:int -> sched
+(** Start a scheduling KC pinned to a program core. *)
+
+val set_dispatch_hook :
+  system -> (kind:[ `Sched of Types.task | `Kc of Types.task ] -> t -> unit) -> unit
+(** Invoked at every UC dispatch: [`Sched] on scheduler dispatches
+    (always), [`Kc] on original-KC dispatches of a {e different} UC
+    only (TC↔UC transitions are exempt).  The ULP layer loads the TLS
+    register here. *)
+
+(** {2 BLT lifecycle} *)
+
+val create : system -> ?name:string -> cpu:int -> (unit -> unit) -> t
+(** Create a BLT whose original KC lives on [cpu] (typically a syscall
+    core).  The body starts running as a KLT at a future event. *)
+
+val create_sibling :
+  system -> of_:t -> ?name:string -> ?start:[ `Coupled | `Decoupled ] ->
+  by:Types.task -> (unit -> unit) -> t
+(** The M:N extension (Section VII): an additional UC sharing [of_]'s
+    original KC, hence observing the same kernel state like a thread.
+    [by] pays the setup cost.  [`Decoupled] births it directly as a ULT
+    in the scheduler's ready queue (default [`Coupled]: first dispatch
+    on the shared KC). *)
+
+val join : system -> waiter:Types.task -> t -> int
+(** Wait for the BLT's original KC to terminate (rule 7 guarantees it
+    does) and return the exit code. *)
+
+val shutdown : system -> by:Types.task -> unit
+(** Release the scheduling KCs once all BLTs are joined. *)
+
+(** {2 Introspection} *)
+
+val id : t -> int
+val name : t -> string
+val mode : t -> mode
+val uc : t -> Ult.Context.t
+val original_kc : t -> Types.task
+val current_kc : t -> Types.task option
+val couples : t -> int
+val decouples : t -> int
+
+(** {2 Called from inside a UC} *)
+
+val current : system -> t
+(** The BLT of the calling user context. *)
+
+val couple : system -> unit
+(** Return to the original KC (Table I Seq 1-4).  The calling UC must
+    be decoupled.  On return it runs as a KLT. *)
+
+val decouple : system -> unit
+(** Detach from the original KC and join the scheduler's ready queue
+    (Table I Seq 6-9).  The calling UC must be coupled. *)
+
+val coupled : system -> (unit -> 'a) -> 'a
+(** Enclose [f] in couple()/decouple() — the paper's prescribed pattern
+    for (series of) blocking system calls.  Runs [f] directly if already
+    coupled; exception-safe. *)
+
+val yield : system -> unit
+(** Give up the processor: re-enter the ready queue as a ULT, or
+    sched_yield the original KC as a KLT. *)

@@ -1,0 +1,65 @@
+(* System-call consistency (Sections I and V.B): a syscall issued by a
+   user context must execute on -- and therefore observe the kernel state
+   of -- that context's original kernel context.  The checker compares
+   the KC about to execute a syscall with the caller's original KC and
+   reacts per the configured mode. *)
+
+type mode =
+  | Enforce (* raise on violation: nothing inconsistent ever executes *)
+  | Detect (* record the violation but let it happen (study mode) *)
+  | Auto_couple (* transparently wrap the syscall in couple()/decouple() *)
+
+let mode_to_string = function
+  | Enforce -> "enforce"
+  | Detect -> "detect"
+  | Auto_couple -> "auto-couple"
+
+type violation = {
+  time : float;
+  ulp_name : string;
+  syscall : string;
+  expected_tid : int; (* the original KC *)
+  actual_tid : int; (* the KC that would execute *)
+}
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%.9f %s: %s on KC %d (expected original KC %d)" v.time
+    v.ulp_name v.syscall v.actual_tid v.expected_tid
+
+type checker = {
+  mutable mode : mode;
+  mutable violations : violation list; (* newest first *)
+  mutable checks : int;
+}
+
+let create ?(mode = Enforce) () = { mode; violations = []; checks = 0 }
+
+let set_mode c mode = c.mode <- mode
+let violations c = List.rev c.violations
+let violation_count c = List.length c.violations
+let checks c = c.checks
+let clear c = c.violations <- []
+
+let log_src = Logs.Src.create "ulp_pip.consistency" ~doc:"syscall consistency"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Classify one prospective syscall.  [`Proceed] means execute where you
+   are; [`Reroute] means the caller must couple first. *)
+let check c ~time ~ulp_name ~syscall ~expected_tid ~actual_tid =
+  c.checks <- c.checks + 1;
+  if expected_tid = actual_tid then `Proceed
+  else begin
+    let v = { time; ulp_name; syscall; expected_tid; actual_tid } in
+    match c.mode with
+    | Auto_couple -> `Reroute
+    | Detect ->
+        Log.warn (fun m -> m "%a" pp_violation v);
+        c.violations <- v :: c.violations;
+        `Proceed
+    | Enforce ->
+        c.violations <- v :: c.violations;
+        raise (Violation v)
+  end

@@ -1,0 +1,45 @@
+(** System-call consistency (the paper's Sections I and V.B): a syscall
+    issued by a user context must execute on — and therefore observe the
+    kernel state of — that context's original kernel context.  The
+    checker compares the KC about to execute with the caller's original
+    KC and reacts per the configured mode. *)
+
+type mode =
+  | Enforce  (** raise on violation: nothing inconsistent ever executes *)
+  | Detect  (** record the violation but let it happen (study mode) *)
+  | Auto_couple  (** transparently wrap the syscall in couple()/decouple() *)
+
+val mode_to_string : mode -> string
+
+type violation = {
+  time : float;
+  ulp_name : string;
+  syscall : string;
+  expected_tid : int; (** the original KC *)
+  actual_tid : int; (** the KC that would execute *)
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type checker
+
+val create : ?mode:mode -> unit -> checker
+val set_mode : checker -> mode -> unit
+val violations : checker -> violation list
+val violation_count : checker -> int
+val checks : checker -> int
+val clear : checker -> unit
+
+val check :
+  checker ->
+  time:float ->
+  ulp_name:string ->
+  syscall:string ->
+  expected_tid:int ->
+  actual_tid:int ->
+  [ `Proceed | `Reroute ]
+(** Classify one prospective syscall: [`Proceed] executes where it is,
+    [`Reroute] means the caller must couple first.
+    @raise Violation in [Enforce] mode when the KCs differ. *)

@@ -1,0 +1,161 @@
+(* Process-in-Process (Section IV): a root process owns one virtual
+   address space; spawned PiP processes are linked into that same space
+   via dlmopen-style namespaces, so all variables are privatized yet
+   every object is addressable by every process.  [Shm] models the POSIX
+   shared-memory alternative the paper contrasts against (per-process
+   page tables, per-process attach addresses, N-fold minor faults). *)
+
+open Oskernel
+module Space = Addrspace.Addr_space
+module Loader = Addrspace.Loader
+module Tls = Addrspace.Tls
+module Cm = Arch.Cost_model
+
+type root = {
+  kernel : Kernel.t;
+  space : Space.t;
+  root_task : Types.task;
+  mutable loaded : Loader.namespace list;
+  mutable procs : proc list;
+}
+
+and proc = {
+  ns : Loader.namespace;
+  task : Types.task;
+  tls : Tls.region;
+  stack : Addrspace.Vma.t;
+}
+
+type mode = Process_mode | Thread_mode
+
+let create_root kernel ~root_task =
+  let space =
+    Space.create ~page_size:(Kernel.cost kernel).Cm.page_size ()
+  in
+  Space.attach space ~tid:root_task.Types.tid;
+  { kernel; space; root_task; loaded = []; procs = [] }
+
+let space root = root.space
+let root_task root = root.root_task
+let processes root = root.procs
+
+(* dlmopen, split in two: [link_program] does the (instant) bookkeeping,
+   [charge_load] bills the relocation work.  Callers that must finish
+   registering state before virtual time advances (Ulp.spawn) call them
+   separately; [load_program] is the combined convenience. *)
+let link_program root prog =
+  let ns = Loader.load root.space prog in
+  root.loaded <- ns :: root.loaded;
+  ns
+
+let charge_load root ~by prog =
+  let cost = Kernel.cost root.kernel in
+  Kernel.compute root.kernel by
+    (Cm.copy_time cost prog.Loader.text_size
+    +. (cost.Cm.file_open *. 2.0) (* opening the object files *))
+
+let load_program root ~by prog =
+  charge_load root ~by prog;
+  link_program root prog
+
+(* Create the per-process pieces (stack and TLS region) for a kernel
+   task living in the shared space. *)
+let make_task_memory root ~tid =
+  let stack =
+    Space.map root.space ~len:(1 lsl 16) ~kind:(Addrspace.Vma.Stack tid)
+      ~populated:true
+  in
+  let tls = Tls.create_region root.space ~owner_tid:tid in
+  Space.attach root.space ~tid;
+  (stack, tls)
+
+(* Spawn a PiP process: dlmopen + clone().  In [Process_mode] the child
+   has its own pid, fd table and signal state; in [Thread_mode] it shares
+   the root's (pthread_create), but variable privatization holds in both
+   modes -- that is the point of PiP. *)
+let spawn root ?(mode = Process_mode) ~name ~cpu ~prog body =
+  let share =
+    match mode with
+    | Process_mode -> `Process
+    | Thread_mode -> `Thread root.root_task
+  in
+  Kernel.charge_creation root.kernel ~creator:root.root_task ~share;
+  let ns = load_program root ~by:root.root_task prog in
+  let holder = ref None in
+  let task =
+    Kernel.spawn root.kernel ~parent:root.root_task ~share ~name ~cpu
+      (fun _task ->
+        match !holder with
+        | Some p -> body p
+        | None -> failwith "PiP process started before registration")
+  in
+  let stack, tls = make_task_memory root ~tid:task.Types.tid in
+  let p = { ns; task; tls; stack } in
+  holder := Some p;
+  root.procs <- p :: root.procs;
+  p
+
+(* Wait for a PiP process (process mode only in real PiP; the simulated
+   kernel allows both). *)
+let wait root p = Kernel.waitpid root.kernel root.root_task p.task
+
+(* mmap-backed malloc: PiP disables sbrk-based heaps (one heap segment
+   per address space cannot be shared safely), so allocations go through
+   mmap.  Returns a shared-space address any PiP process may deref. *)
+let malloc root ~by:_ value =
+  Space.alloc root.space ~kind:Addrspace.Vma.Mmap value
+
+(* ----- POSIX shared memory, for contrast (ablation A3) ----- *)
+
+module Shm = struct
+  type segment = { seg_id : int; seg_len : int }
+
+  type attachment = {
+    seg : segment;
+    owner_space : Space.t; (* each process has its own space *)
+    base : Addrspace.Memval.address; (* and its own attach address *)
+  }
+
+  let seg_counter = ref 0
+
+  let create_segment ~len =
+    incr seg_counter;
+    { seg_id = !seg_counter; seg_len = len }
+
+  (* shmat: map the segment into [space]; every process gets a different
+     base address, so raw pointers cannot be exchanged. *)
+  let attach space seg =
+    let vma =
+      Space.map space ~len:seg.seg_len ~kind:Addrspace.Vma.Mmap
+        ~populated:false
+    in
+    { seg; owner_space = space; base = vma.Addrspace.Vma.start }
+
+  (* Touch every page of the attachment; returns minor faults taken by
+     THIS process (they repeat per process: private page tables). *)
+  let touch_all att =
+    let pt = Space.page_table att.owner_space in
+    let page = Addrspace.Page_table.page_size pt in
+    let pages = (att.seg.seg_len + page - 1) / page in
+    let faults = ref 0 in
+    for i = 0 to pages - 1 do
+      match Addrspace.Page_table.touch pt (att.base + (i * page)) with
+      | `Minor_fault -> incr faults
+      | `Hit -> ()
+    done;
+    !faults
+  end
+
+(* Touch every page of a region in the SHARED space: faults happen once
+   in total, regardless of how many tasks touch it afterwards. *)
+let touch_all_shared root (vma : Addrspace.Vma.t) =
+  let pt = Space.page_table root.space in
+  let page = Addrspace.Page_table.page_size pt in
+  let pages = (vma.Addrspace.Vma.len + page - 1) / page in
+  let faults = ref 0 in
+  for i = 0 to pages - 1 do
+    match Addrspace.Page_table.touch pt (vma.Addrspace.Vma.start + (i * page)) with
+    | `Minor_fault -> incr faults
+    | `Hit -> ()
+  done;
+  !faults

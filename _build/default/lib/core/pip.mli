@@ -1,0 +1,81 @@
+(** Process-in-Process (the paper's Section IV): a root process owns one
+    virtual address space; spawned PiP processes are dlmopen'd into that
+    same space under fresh namespaces, so every variable is privatized
+    yet every object is addressable by every process, and pointers are
+    exchanged with no translation. *)
+
+open Oskernel
+module Space = Addrspace.Addr_space
+module Loader = Addrspace.Loader
+module Tls = Addrspace.Tls
+
+type root
+
+(** A spawned PiP process. *)
+type proc = {
+  ns : Loader.namespace; (** its private namespace (privatized globals) *)
+  task : Types.task; (** its kernel task *)
+  tls : Tls.region;
+  stack : Addrspace.Vma.t;
+}
+
+(** Process mode (clone(): own pid, fds, signals) vs thread mode
+    (pthread_create(): shared with the root).  Variable privatization
+    holds in both — that is PiP's point. *)
+type mode = Process_mode | Thread_mode
+
+val create_root : Kernel.t -> root_task:Types.task -> root
+val space : root -> Space.t
+val root_task : root -> Types.task
+val processes : root -> proc list
+
+(** {2 Loading} *)
+
+val link_program : root -> Loader.program -> Loader.namespace
+(** dlmopen bookkeeping only (instant). *)
+
+val charge_load : root -> by:Types.task -> Loader.program -> unit
+(** Bill the relocation work of a matching link. *)
+
+val load_program : root -> by:Types.task -> Loader.program -> Loader.namespace
+(** [charge_load] + [link_program]. *)
+
+val make_task_memory : root -> tid:int -> Addrspace.Vma.t * Tls.region
+(** Stack and TLS region for a task living in the shared space. *)
+
+(** {2 Spawning} *)
+
+val spawn :
+  root -> ?mode:mode -> name:string -> cpu:int -> prog:Loader.program ->
+  (proc -> unit) -> proc
+(** dlmopen + clone(): run [prog] as a PiP process in the shared
+    space. *)
+
+val wait : root -> proc -> int
+
+val malloc : root -> by:Types.task -> Addrspace.Memval.value -> Addrspace.Memval.address
+(** mmap-backed malloc (PiP forbids the sbrk heap): the returned address
+    is dereferenceable by every PiP process. *)
+
+(** {2 POSIX shared memory, for contrast (ablation A3)} *)
+
+module Shm : sig
+  type segment
+
+  type attachment = {
+    seg : segment;
+    owner_space : Space.t; (** each process has its own space... *)
+    base : Addrspace.Memval.address; (** ...and its own attach address *)
+  }
+
+  val create_segment : len:int -> segment
+  val attach : Space.t -> segment -> attachment
+
+  val touch_all : attachment -> int
+  (** Touch every page; returns the minor faults taken by THIS process
+      (they repeat per process: private page tables). *)
+end
+
+val touch_all_shared : root -> Addrspace.Vma.t -> int
+(** Touch every page of a shared-space region: faults happen once in
+    total, no matter how many tasks touch it afterwards. *)

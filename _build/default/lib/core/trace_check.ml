@@ -1,0 +1,105 @@
+(* A trace validator for the BLT protocol: replays a simulation trace
+   and checks it against the paper's state machine (Section II's rules
+   plus the Table I procedure).  Used by tests as a lightweight model
+   checker over randomly generated programs, and available to the CLI
+   for post-mortem trace inspection.
+
+   Checked invariants, per BLT (identified by its UC name):
+   - born coupled: the first event is a kc-dispatch by its original KC;
+   - transitions alternate: decouple only while coupled, couple only
+     while decoupled;
+   - a decoupled UC is only ever run by scheduler dispatches, a coupled
+     one only by its original KC;
+   - couple is requested from a scheduling KC and the next dispatch of
+     that UC is by its original KC;
+   - the terminating exit happens in the coupled state (rule 7). *)
+
+type mode = Coupled | Decoupled
+
+type blt_state = {
+  mutable mode : mode;
+  mutable home : string option; (* actor name of the original KC *)
+  mutable seen_dispatch : bool;
+  mutable finished : bool;
+}
+
+type violation = { at : float; uc : string; what : string }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%.9f %s: %s" v.at v.uc v.what
+
+(* Scheduler actors are the ones whose name the BLT system generated as
+   schedN; everything else that dispatches is an original KC. *)
+let is_scheduler actor =
+  String.length actor >= 5 && String.sub actor 0 5 = "sched"
+
+let check (entries : Sim.Trace.entry list) =
+  let blts : (string, blt_state) Hashtbl.t = Hashtbl.create 16 in
+  let violations = ref [] in
+  let violate at uc what = violations := { at; uc; what } :: !violations in
+  let state uc =
+    match Hashtbl.find_opt blts uc with
+    | Some s -> s
+    | None ->
+        let s =
+          { mode = Coupled; home = None; seen_dispatch = false; finished = false }
+        in
+        Hashtbl.replace blts uc s;
+        s
+  in
+  List.iter
+    (fun (e : Sim.Trace.entry) ->
+      let uc = e.Sim.Trace.detail in
+      let actor = e.Sim.Trace.actor in
+      let at = e.Sim.Trace.time in
+      match e.Sim.Trace.tag with
+      | "kc-dispatch" ->
+          let s = state uc in
+          if s.finished then violate at uc "dispatched after finishing";
+          (match s.home with
+          | None -> s.home <- Some actor (* first dispatch defines home *)
+          | Some home ->
+              if home <> actor then
+                violate at uc
+                  (Printf.sprintf "coupled dispatch by %s, home is %s" actor
+                     home));
+          if s.seen_dispatch && s.mode <> Coupled then
+            (* a kc-dispatch marks the completion of a couple *)
+            s.mode <- Coupled;
+          s.seen_dispatch <- true
+      | "sched-dispatch" ->
+          let s = state uc in
+          if s.finished then violate at uc "ULT dispatch after finishing";
+          if not (is_scheduler actor) then
+            violate at uc ("ULT dispatch by non-scheduler " ^ actor);
+          if s.mode <> Decoupled then
+            violate at uc "scheduler ran a UC that is not decoupled"
+      | "decouple" ->
+          let s = state uc in
+          if s.mode <> Coupled then violate at uc "decouple while decoupled";
+          (match s.home with
+          | Some home when home <> actor ->
+              violate at uc
+                (Printf.sprintf "decouple executed on %s, home is %s" actor home)
+          | _ -> ());
+          s.mode <- Decoupled
+      | "couple" ->
+          let s = state uc in
+          if s.mode <> Decoupled then violate at uc "couple while coupled";
+          if not (is_scheduler actor) then
+            violate at uc ("couple initiated on non-scheduler " ^ actor)
+          (* the mode flips back to Coupled at the next kc-dispatch *)
+      | "uc-finished" ->
+          let s = state uc in
+          if s.mode <> Coupled then
+            violate at uc "terminated while decoupled (rule 7 violated)";
+          (match s.home with
+          | Some home when home <> actor ->
+              violate at uc "terminated away from the original KC"
+          | _ -> ());
+          s.finished <- true
+      | _ -> ())
+    entries;
+  List.rev !violations
+
+let is_valid entries = check entries = []

@@ -1,0 +1,14 @@
+(** A trace validator for the BLT protocol: replays a simulation trace
+    against the paper's state machine (born coupled; transitions
+    alternate; decoupled UCs run only on schedulers, coupled ones only
+    on their original KC; termination happens coupled — rule 7).  Tests
+    use it as a lightweight model checker over random programs. *)
+
+type violation = { at : float; uc : string; what : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Sim.Trace.entry list -> violation list
+(** All invariant violations found in the trace, oldest first. *)
+
+val is_valid : Sim.Trace.entry list -> bool

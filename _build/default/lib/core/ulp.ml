@@ -1,0 +1,260 @@
+(* User-Level Processes: BLT + PiP + TLS switching + system-call
+   consistency.  This is the ULP-PiP library of the paper: spawn
+   programs as ULPs inside one shared address space, schedule them like
+   user-level threads, and route system calls back to each ULP's
+   original kernel context with couple()/decouple(). *)
+
+open Oskernel
+module Space = Addrspace.Addr_space
+module Loader = Addrspace.Loader
+module Tls = Addrspace.Tls
+module Memval = Addrspace.Memval
+module Cm = Arch.Cost_model
+
+type t = {
+  kernel : Kernel.t;
+  blt_sys : Blt.system;
+  root : Pip.root;
+  tls_bank : Tls.bank;
+  tls_by_base : (Memval.address, Tls.region) Hashtbl.t;
+  checker : Consistency.checker;
+  ulps : (int, ulp) Hashtbl.t; (* blt id -> ulp *)
+  vfs : Vfs.t;
+}
+
+and ulp = {
+  blt : Blt.t;
+  ns : Loader.namespace;
+  tls : Tls.region;
+  parent : t;
+  mutable last_program_cpu : int;
+      (* core where the UC last ran decoupled: data it produced lives in
+         that core's cache, which decides whether a coupled write pays
+         the cross-core copy penalty *)
+}
+
+let kernel t = t.kernel
+let blt_system t = t.blt_sys
+let root t = t.root
+let checker t = t.checker
+let vfs t = t.vfs
+let tls_bank t = t.tls_bank
+let blt u = u.blt
+let namespace u = u.ns
+let tls_region u = u.tls
+let name u = Blt.name u.blt
+
+let log_src = Logs.Src.create "ulp_pip.ulp" ~doc:"ULP runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let find_by_blt t b = Hashtbl.find_opt t.ulps (Blt.id b)
+
+(* TLS register switching at dispatch time: always when a scheduling KC
+   dispatches a UC; on the original KC only for a different sibling UC
+   (the TC<->UC exemption).  [Blt] invokes this hook at exactly those
+   points. *)
+let dispatch_hook t ~kind b =
+  match find_by_blt t b with
+  | None -> ()
+  | Some u -> (
+      match kind with
+      | `Sched kc ->
+          u.last_program_cpu <- kc.Types.cpu;
+          Tls.load_register t.kernel t.tls_bank ~kc ~base:u.tls.Tls.base
+      | `Kc kc -> Tls.load_register t.kernel t.tls_bank ~kc ~base:u.tls.Tls.base)
+
+let init ?(policy = Sync.Waitcell.Busywait) ?(ctx_kind = Blt.Fcontext)
+    ?(consistency = Consistency.Enforce) kernel ~root_task ~vfs =
+  let blt_sys = Blt.init ~policy ~ctx_kind kernel in
+  let root = Pip.create_root kernel ~root_task in
+  let t =
+    {
+      kernel;
+      blt_sys;
+      root;
+      tls_bank = Tls.bank_create ();
+      tls_by_base = Hashtbl.create 16;
+      checker = Consistency.create ~mode:consistency ();
+      ulps = Hashtbl.create 16;
+      vfs;
+    }
+  in
+  Blt.set_dispatch_hook blt_sys (fun ~kind b -> dispatch_hook t ~kind b);
+  t
+
+(* Start a scheduling KC on a program core (Figure 6). *)
+let add_scheduler t ~cpu = Blt.add_scheduler t.blt_sys ~cpu
+
+(* Spawn a ULP: dlmopen the program into the shared space, create its
+   BLT (original KC on [cpu], typically a syscall core), give it a stack
+   and a TLS region, and record its TLS register (set once, for free, at
+   creation -- Section V.B). *)
+let spawn t ?name ~cpu ~prog body =
+  let blt =
+    Blt.create t.blt_sys ?name ~cpu (fun () ->
+        let self =
+          Hashtbl.find t.ulps (Blt.id (Blt.current t.blt_sys))
+        in
+        body self)
+  in
+  (* registration must complete before virtual time advances (the UC may
+     start at the next event): link now, bill the dlmopen work after *)
+  let ns = Pip.link_program t.root prog in
+  let kc = Blt.original_kc blt in
+  let _stack, tls = Pip.make_task_memory t.root ~tid:kc.Types.tid in
+  Tls.set_register_free t.tls_bank ~kc ~base:tls.Tls.base;
+  Hashtbl.replace t.tls_by_base tls.Tls.base tls;
+  let u = { blt; ns; tls; parent = t; last_program_cpu = kc.Types.cpu } in
+  Hashtbl.replace t.ulps (Blt.id blt) u;
+  Pip.charge_load t.root ~by:(Pip.root_task t.root) prog;
+  Log.info (fun m ->
+      m "spawned ULP %s (pid %d, original KC on cpu %d)" (Blt.name blt)
+        kc.Types.pid kc.Types.cpu);
+  u
+
+(* ---------- operations from inside a ULP ---------- *)
+
+let self t =
+  match find_by_blt t (Blt.current t.blt_sys) with
+  | Some u -> u
+  | None -> invalid_arg "Ulp.self: calling context is not a ULP"
+
+let decouple t = Blt.decouple t.blt_sys
+let couple t = Blt.couple t.blt_sys
+let yield t = Blt.yield t.blt_sys
+let coupled t f = Blt.coupled t.blt_sys f
+let mode u = Blt.mode u.blt
+
+let executing_kc u =
+  match Blt.current_kc u.blt with
+  | Some kc -> kc
+  | None -> Blt.original_kc u.blt
+
+(* Burn CPU time on whatever KC currently runs this ULP (computation
+   phases of a workload). *)
+let compute t seconds =
+  let u = self t in
+  Kernel.compute t.kernel (executing_kc u) seconds
+
+(* errno lives in TLS: it is written through the *executing* KC's TLS
+   register.  While coupled that register points at our own region; in
+   Detect mode on the wrong KC it points at whatever that KC last
+   loaded -- the misdelivery the paper's TLS discussion warns about. *)
+let store_errno t ~kc value =
+  match Tls.current t.tls_bank ~kc with
+  | None -> ()
+  | Some base -> (
+      match Hashtbl.find_opt t.tls_by_base base with
+      | Some region -> Tls.set_errno region value
+      | None -> ())
+
+let errno t = Tls.get_errno (self t).tls
+
+(* Run one system call under the consistency checker.  [f] receives the
+   KC that will execute it. *)
+let guarded t ~syscall f =
+  let u = self t in
+  let expected_tid = (Blt.original_kc u.blt).Types.tid in
+  let run () = f u (executing_kc u) in
+  match
+    Consistency.check t.checker ~time:(Kernel.now t.kernel)
+      ~ulp_name:(name u) ~syscall ~expected_tid
+      ~actual_tid:(executing_kc u).Types.tid
+  with
+  | `Proceed -> run ()
+  | `Reroute -> Blt.coupled t.blt_sys run
+
+(* ---------- system-call wrappers ---------- *)
+
+let getpid t =
+  guarded t ~syscall:"getpid" (fun u kc ->
+      Kernel.getpid ~executing:kc t.kernel (Blt.original_kc u.blt))
+
+let gettid t =
+  guarded t ~syscall:"gettid" (fun u kc ->
+      Kernel.gettid ~executing:kc t.kernel (Blt.original_kc u.blt))
+
+let open_file t path flags =
+  guarded t ~syscall:"open" (fun _u kc ->
+      let r = Vfs.openf t.kernel t.vfs ~executing:kc path flags in
+      (match r with Error _ -> store_errno t ~kc 2 | Ok _ -> ());
+      r)
+
+(* nanosleep: the blocking call par excellence; consistency does not
+   depend on WHICH kernel task sleeps, but blocking the scheduling KC
+   would stall every other ULP, so the checker treats it like any other
+   syscall (couple first, or Auto_couple reroutes). *)
+let sleep t seconds =
+  guarded t ~syscall:"nanosleep" (fun _u kc -> Kernel.nanosleep t.kernel kc seconds)
+
+(* pipe(2): both descriptors land in the executing KC's table, so a
+   ULP should create its pipes while coupled. *)
+let make_pipe ?capacity t =
+  guarded t ~syscall:"pipe" (fun _u kc ->
+      Vfs.pipe ?capacity t.kernel t.vfs ~executing:kc ())
+
+(* [cold] defaults to "the buffer was produced on a different core than
+   the one executing the write" -- true for a coupled ULP whose compute
+   phases ran on a program core. *)
+let write t ?cold ?data fd ~bytes =
+  guarded t ~syscall:"write" (fun u kc ->
+      let cold =
+        match cold with
+        | Some c -> c
+        | None -> kc.Types.cpu <> u.last_program_cpu
+      in
+      let r = Vfs.write ~cold ?data t.kernel t.vfs ~executing:kc fd ~bytes in
+      (match r with Error _ -> store_errno t ~kc 9 | Ok _ -> ());
+      r)
+
+let read t ?into fd ~bytes =
+  guarded t ~syscall:"read" (fun _u kc ->
+      let r = Vfs.read ?into t.kernel t.vfs ~executing:kc fd ~bytes in
+      (match r with Error _ -> store_errno t ~kc 9 | Ok _ -> ());
+      r)
+
+let close t fd =
+  guarded t ~syscall:"close" (fun _u kc ->
+      let r = Vfs.close t.kernel t.vfs ~executing:kc fd in
+      (match r with Error _ -> store_errno t ~kc 9 | Ok _ -> ());
+      r)
+
+(* ---------- shared-space data access ---------- *)
+
+(* Read/write a privatized global of this ULP's own namespace. *)
+let get_global u sym = Loader.read_global u.ns sym
+let set_global u sym v = Loader.write_global u.ns sym v
+
+(* Dereference any address in the shared space: PiP pointers work across
+   ULPs with no translation. *)
+let deref t addr = Space.load (Pip.space t.root) addr
+let store t addr v = Space.store (Pip.space t.root) addr v
+
+(* Address of one of our globals, to hand to another ULP. *)
+let addr_of_global u sym = Loader.dlsym_exn u.ns sym
+
+(* ---------- signals (Section VII caveat) ---------- *)
+
+(* Send a signal to a ULP.  Under fcontext (the paper's prototype)
+   delivery lands on whichever KC is currently running the UC -- the
+   scheduling KC if decoupled, the inconsistency Section VII discusses.
+   Under ucontext the mask travels with the UC and delivery follows the
+   original KC (at the cost ablation A5 measures). *)
+let signal_ulp t ~sender u s =
+  let target =
+    match Blt.context_kind t.blt_sys with
+    | Blt.Fcontext -> executing_kc u
+    | Blt.Ucontext -> Blt.original_kc u.blt
+  in
+  Kernel.kill t.kernel ~sender ~target s
+
+(* What a fixed implementation would do: deliver to the original KC. *)
+let signal_ulp_consistent t ~sender u s =
+  Kernel.kill t.kernel ~sender ~target:(Blt.original_kc u.blt) s
+
+(* ---------- teardown ---------- *)
+
+let join t ~waiter u = Blt.join t.blt_sys ~waiter u.blt
+let shutdown t ~by = Blt.shutdown t.blt_sys ~by
+let violations t = Consistency.violations t.checker

@@ -1,0 +1,115 @@
+(** User-Level Processes: BLT + PiP + TLS switching + system-call
+    consistency — the ULP-PiP library of the paper.
+
+    Spawn programs as ULPs inside one shared address space, schedule
+    them like user-level threads, and route system calls back to each
+    ULP's original kernel context with couple()/decouple().  Every
+    syscall wrapper goes through the {!Consistency} checker. *)
+
+open Oskernel
+
+type t
+(** A ULP-PiP runtime instance. *)
+
+type ulp
+(** One user-level process. *)
+
+val init :
+  ?policy:Sync.Waitcell.policy ->
+  ?ctx_kind:Blt.ctx_kind ->
+  ?consistency:Consistency.mode ->
+  Kernel.t ->
+  root_task:Types.task ->
+  vfs:Vfs.t ->
+  t
+(** Build the runtime: a BLT system, a PiP root owning the shared
+    address space, a TLS register bank, and a consistency checker
+    (default [Enforce]). *)
+
+val kernel : t -> Kernel.t
+val blt_system : t -> Blt.system
+val root : t -> Pip.root
+val checker : t -> Consistency.checker
+val vfs : t -> Vfs.t
+val tls_bank : t -> Addrspace.Tls.bank
+val violations : t -> Consistency.violation list
+
+val add_scheduler : t -> cpu:int -> Blt.sched
+(** Start a scheduling KC on a program core (Figure 6). *)
+
+val spawn :
+  t -> ?name:string -> cpu:int -> prog:Addrspace.Loader.program ->
+  (ulp -> unit) -> ulp
+(** dlmopen the program into the shared space and run it as a ULP whose
+    original KC lives on [cpu] (typically a syscall core).  Its TLS
+    register is saved once, for free, at creation (Section V.B). *)
+
+val join : t -> waiter:Types.task -> ulp -> int
+val shutdown : t -> by:Types.task -> unit
+
+(** {2 Per-ULP introspection} *)
+
+val blt : ulp -> Blt.t
+val namespace : ulp -> Addrspace.Loader.namespace
+val tls_region : ulp -> Addrspace.Tls.region
+val name : ulp -> string
+val mode : ulp -> Blt.mode
+val executing_kc : ulp -> Types.task
+val find_by_blt : t -> Blt.t -> ulp option
+
+(** {2 Called from inside a ULP} *)
+
+val self : t -> ulp
+val couple : t -> unit
+val decouple : t -> unit
+val yield : t -> unit
+val coupled : t -> (unit -> 'a) -> 'a
+val compute : t -> float -> unit
+(** Burn CPU on whatever KC currently runs this ULP (a workload's
+    computation phase: on the program core while decoupled). *)
+
+val errno : t -> int
+(** This ULP's TLS-resident errno. *)
+
+(** {3 System calls (consistency-checked)} *)
+
+val getpid : t -> int
+val gettid : t -> int
+val open_file : t -> string -> Types.open_flag list -> (int, Vfs.errno) result
+
+val sleep : t -> float -> unit
+(** nanosleep through the checker: coupled it blocks only our KC;
+    decoupled it would stall the scheduler (Enforce raises, Auto_couple
+    reroutes). *)
+
+val make_pipe : ?capacity:int -> t -> int * int
+(** pipe(2): [(read_fd, write_fd)] in the executing KC's table — create
+    pipes while coupled so later coupled reads/writes find them. *)
+
+val write :
+  t -> ?cold:bool -> ?data:bytes -> int -> bytes:int -> (int, Vfs.errno) result
+(** [cold] defaults to "the buffer was produced on a different core than
+    the one executing the write" — automatically true for a coupled ULP
+    whose compute phases ran on a program core. *)
+
+val read : t -> ?into:bytes -> int -> bytes:int -> (int, Vfs.errno) result
+val close : t -> int -> (unit, Vfs.errno) result
+
+(** {3 Shared-space data} *)
+
+val get_global : ulp -> string -> Addrspace.Memval.value
+val set_global : ulp -> string -> Addrspace.Memval.value -> unit
+val addr_of_global : ulp -> string -> Addrspace.Memval.address
+val deref : t -> Addrspace.Memval.address -> Addrspace.Memval.value
+val store : t -> Addrspace.Memval.address -> Addrspace.Memval.value -> unit
+
+(** {3 Signals (the Section VII caveat)} *)
+
+val signal_ulp : t -> sender:Types.task -> ulp -> Types.signal -> unit
+(** Under [Fcontext] (the paper's prototype) delivery lands on whichever
+    KC currently runs the UC — the scheduling KC if decoupled, the
+    Section VII inconsistency.  Under [Ucontext] the mask travels with
+    the UC and delivery follows the original KC. *)
+
+val signal_ulp_consistent : t -> sender:Types.task -> ulp -> Types.signal -> unit
+(** What a fixed implementation would do: deliver to the original KC. *)

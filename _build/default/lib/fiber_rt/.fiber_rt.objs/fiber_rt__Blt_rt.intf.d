@@ -1,0 +1,1 @@
+lib/fiber_rt/blt_rt.mli: Executor

@@ -1,0 +1,1 @@
+lib/fiber_rt/executor.ml: Condition Mutex Queue Thread

@@ -1,0 +1,1 @@
+lib/fiber_rt/fiber.ml: Atomic Condition Effect Executor Fun List Mutex Queue

@@ -1,0 +1,1 @@
+lib/fiber_rt/fiber.mli: Condition Executor Mutex Queue

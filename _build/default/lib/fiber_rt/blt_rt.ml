@@ -1,0 +1,50 @@
+(* The bi-level thread API on the real fiber runtime.
+
+   A fiber (UC) normally runs decoupled on the scheduler thread.
+   [coupled f] is the paper's couple()/decouple() pair: ship [f] to the
+   fiber's own executor thread (its original KC), suspend the fiber so
+   the scheduler keeps running other fibers, and resume with [f]'s
+   result once the executor finishes.  Because each fiber always couples
+   to the *same* OS thread, thread-keyed kernel state (and blocking
+   syscalls) behave exactly as they would on a plain kernel thread --
+   system-call consistency, for real. *)
+
+exception Coupled_raised of exn
+
+(* The executor (original KC) of the calling fiber, created on first
+   use. *)
+let my_executor () =
+  let fb = Fiber.self () in
+  match fb.Fiber.executor with
+  | Some e -> e
+  | None ->
+      let e = Executor.create () in
+      fb.Fiber.executor <- Some e;
+      let sched = Fiber.scheduler () in
+      sched.Fiber.executors <- e :: sched.Fiber.executors;
+      e
+
+(* Run [f] coupled to this fiber's original KC; other fibers keep
+   running meanwhile.  Exceptions from [f] re-raise in the fiber. *)
+let coupled f =
+  let e = my_executor () in
+  let slot = ref None in
+  Fiber.suspend (fun wake ->
+      Executor.submit e (fun () ->
+          (slot := try Some (Ok (f ())) with exn -> Some (Error exn));
+          wake ()));
+  match !slot with
+  | Some (Ok v) -> v
+  | Some (Error exn) -> raise (Coupled_raised exn)
+  | None -> assert false
+
+(* The OS thread id of this fiber's original KC (stable across coupled
+   calls -- the consistency property). *)
+let original_kc_thread_id () = Executor.thread_id (my_executor ())
+
+(* Convenience: run a blocking Unix syscall consistently. *)
+let coupled_syscall f = coupled f
+
+(* Sleep without stalling the scheduler: the delay blocks this fiber's
+   original KC while every other fiber keeps running. *)
+let sleep seconds = coupled (fun () -> Thread.delay seconds)

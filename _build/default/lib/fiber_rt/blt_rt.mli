@@ -1,0 +1,29 @@
+(** The bi-level thread API on the real fiber runtime.
+
+    A fiber normally runs decoupled on the scheduler thread;
+    {!coupled} ships a section to the fiber's own executor thread (its
+    original KC) and suspends the fiber meanwhile — the scheduler keeps
+    running every other fiber.  Because each fiber always couples to the
+    {e same} OS thread, thread-keyed kernel state and blocking syscalls
+    behave exactly as on a plain kernel thread: system-call consistency,
+    for real. *)
+
+exception Coupled_raised of exn
+(** Wraps an exception raised inside a coupled section. *)
+
+val my_executor : unit -> Executor.t
+(** The calling fiber's original KC, created on first use. *)
+
+val coupled : (unit -> 'a) -> 'a
+(** Run [f] coupled to this fiber's original KC; other fibers keep
+    running meanwhile.  @raise Coupled_raised if [f] raises. *)
+
+val original_kc_thread_id : unit -> int
+(** The OS thread id of this fiber's original KC (stable across
+    {!coupled} calls — the consistency property). *)
+
+val coupled_syscall : (unit -> 'a) -> 'a
+(** Alias of {!coupled}, named for its intended use. *)
+
+val sleep : float -> unit
+(** Sleep on the original KC; other fibers keep running meanwhile. *)

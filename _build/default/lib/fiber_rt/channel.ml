@@ -1,0 +1,79 @@
+(* Bounded FIFO channels for fibers: the communication primitive the
+   real runtime's examples and tests build pipelines from.  All
+   operations run on the scheduler thread (fibers are cooperative), so
+   no locking is needed beyond the suspend/wake protocol. *)
+
+exception Closed
+
+type 'a t = {
+  capacity : int;
+  items : 'a Queue.t;
+  recv_waiters : (unit -> unit) Queue.t;
+  send_waiters : (unit -> unit) Queue.t;
+  mutable closed : bool;
+}
+
+let create ?(capacity = 1) () =
+  if capacity < 1 then invalid_arg "Channel.create: capacity must be >= 1";
+  {
+    capacity;
+    items = Queue.create ();
+    recv_waiters = Queue.create ();
+    send_waiters = Queue.create ();
+    closed = false;
+  }
+
+let length t = Queue.length t.items
+let is_closed t = t.closed
+
+let wake_one q = match Queue.take_opt q with Some w -> w () | None -> ()
+let wake_all q = Queue.iter (fun w -> w ()) q
+
+(* Send, suspending while the channel is full.
+   @raise Closed if the channel is (or becomes) closed. *)
+let send t v =
+  if t.closed then raise Closed;
+  while Queue.length t.items >= t.capacity && not t.closed do
+    Fiber.suspend (fun wake -> Queue.push wake t.send_waiters)
+  done;
+  if t.closed then raise Closed;
+  Queue.push v t.items;
+  wake_one t.recv_waiters
+
+(* Receive, suspending while the channel is empty.  Returns [None] once
+   the channel is closed and drained. *)
+let rec recv t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      wake_one t.send_waiters;
+      Some v
+  | None ->
+      if t.closed then None
+      else begin
+        Fiber.suspend (fun wake -> Queue.push wake t.recv_waiters);
+        recv t
+      end
+
+let try_recv t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      wake_one t.send_waiters;
+      Some v
+  | None -> None
+
+(* Close: senders raise, receivers drain then see [None]. *)
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    wake_all t.recv_waiters;
+    Queue.clear t.recv_waiters;
+    wake_all t.send_waiters;
+    Queue.clear t.send_waiters
+  end
+
+(* Fold over everything received until the channel closes. *)
+let fold t ~init ~f =
+  let rec go acc = match recv t with None -> acc | Some v -> go (f acc v) in
+  go init
+
+let iter t ~f = fold t ~init:() ~f:(fun () v -> f v)

@@ -1,0 +1,27 @@
+(** Bounded FIFO channels for fibers (cooperative, scheduler-thread
+    only): the communication primitive pipelines are built from. *)
+
+exception Closed
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 1 (rendezvous-ish).
+    @raise Invalid_argument on capacity < 1. *)
+
+val length : 'a t -> int
+val is_closed : 'a t -> bool
+
+val send : 'a t -> 'a -> unit
+(** Suspends while full.  @raise Closed if the channel is closed. *)
+
+val recv : 'a t -> 'a option
+(** Suspends while empty; [None] once closed and drained. *)
+
+val try_recv : 'a t -> 'a option
+val close : 'a t -> unit
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+(** Consume until the channel closes. *)
+
+val iter : 'a t -> f:('a -> unit) -> unit

@@ -1,0 +1,17 @@
+(** A dedicated OS thread with a job mailbox — the real-runtime analogue
+    of a BLT's original kernel context.  Jobs run FIFO on the same OS
+    thread every time, so thread-keyed state and blocking syscalls stay
+    consistent across jobs. *)
+
+type t
+
+val create : unit -> t
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a job.  @raise Invalid_argument after {!shutdown}. *)
+
+val executed : t -> int
+val thread_id : t -> int
+
+val shutdown : t -> unit
+(** Drain remaining jobs and join the thread. *)

@@ -1,0 +1,179 @@
+(* A real cooperative fiber runtime on OCaml effect handlers: user
+   contexts as one-shot continuations, scheduled by a single OS thread,
+   with a thread-safe injection queue so that other OS threads (the
+   executors of [Blt_rt]) can wake suspended fibers.
+
+   This is substrate S2 of DESIGN.md: it shows that the BLT control flow
+   is real executable code, and it carries the wall-clock micro-benches
+   of the bench harness. *)
+
+type fiber = {
+  fid : int;
+  mutable state : [ `Runnable | `Running | `Suspended | `Done ];
+  mutable joiners : (unit -> unit) list; (* wake functions of joiners *)
+  mutable executor : Executor.t option; (* lazily-created original KC *)
+}
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Spawn : (unit -> unit) -> fiber Effect.t
+  | Self : fiber Effect.t
+
+exception Not_in_scheduler
+
+type scheduler = {
+  ready : (unit -> unit) Queue.t; (* thunks resuming fibers *)
+  inject_mutex : Mutex.t;
+  inject_cond : Condition.t;
+  injected : (unit -> unit) Queue.t;
+  mutable live : int; (* fibers not yet Done *)
+  mutable next_fid : int;
+  mutable current : fiber option;
+  mutable executors : Executor.t list;
+}
+
+let make_scheduler () =
+  {
+    ready = Queue.create ();
+    inject_mutex = Mutex.create ();
+    inject_cond = Condition.create ();
+    injected = Queue.create ();
+    live = 0;
+    next_fid = 0;
+    current = None;
+    executors = [];
+  }
+
+(* Wake-ups may arrive from any OS thread. *)
+let inject sched thunk =
+  Mutex.lock sched.inject_mutex;
+  Queue.push thunk sched.injected;
+  Condition.signal sched.inject_cond;
+  Mutex.unlock sched.inject_mutex
+
+let drain_injected sched =
+  Mutex.lock sched.inject_mutex;
+  Queue.transfer sched.injected sched.ready;
+  Mutex.unlock sched.inject_mutex
+
+let new_fiber sched =
+  sched.next_fid <- sched.next_fid + 1;
+  sched.live <- sched.live + 1;
+  { fid = sched.next_fid; state = `Runnable; joiners = []; executor = None }
+
+let rec exec sched (fb : fiber) (thunk : unit -> unit) =
+  sched.current <- Some fb;
+  fb.state <- `Running;
+  thunk ();
+  sched.current <- None
+
+and handle sched fb body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          fb.state <- `Done;
+          sched.live <- sched.live - 1;
+          let joiners = fb.joiners in
+          fb.joiners <- [];
+          List.iter (fun wake -> wake ()) joiners);
+      exnc = raise;
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  fb.state <- `Runnable;
+                  Queue.push
+                    (fun () -> exec sched fb (fun () -> continue k ()))
+                    sched.ready)
+          | Suspend register ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  fb.state <- `Suspended;
+                  let fired = Atomic.make false in
+                  let wake () =
+                    if not (Atomic.exchange fired true) then
+                      inject sched (fun () ->
+                          fb.state <- `Runnable;
+                          exec sched fb (fun () -> continue k ()))
+                  in
+                  register wake)
+          | Spawn body' ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  let child = new_fiber sched in
+                  Queue.push
+                    (fun () -> exec sched child (fun () -> handle sched child body'))
+                    sched.ready;
+                  continue k child)
+          | Self -> Some (fun (k : (b, unit) continuation) -> continue k fb)
+          | _ -> None);
+    }
+
+(* Scheduler main loop: run ready fibers; when none are ready but fibers
+   are still live, sleep until an executor injects a wake-up. *)
+let run_loop sched =
+  let rec loop () =
+    drain_injected sched;
+    match Queue.take_opt sched.ready with
+    | Some thunk ->
+        thunk ();
+        loop ()
+    | None ->
+        if sched.live > 0 then begin
+          Mutex.lock sched.inject_mutex;
+          while Queue.is_empty sched.injected do
+            Condition.wait sched.inject_cond sched.inject_mutex
+          done;
+          Mutex.unlock sched.inject_mutex;
+          loop ()
+        end
+  in
+  loop ()
+
+(* ---------- public API ---------- *)
+
+(* The ambient scheduler of the calling [run], stored per OS thread
+   (the scheduler loop runs on the thread that called [run]). *)
+let current_sched : scheduler option ref = ref None
+
+let scheduler () =
+  match !current_sched with Some s -> s | None -> raise Not_in_scheduler
+
+(* Run [main] plus everything it spawns to completion. *)
+let run main =
+  let sched = make_scheduler () in
+  let saved = !current_sched in
+  current_sched := Some sched;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Executor.shutdown sched.executors;
+      current_sched := saved)
+    (fun () ->
+      let fb = new_fiber sched in
+      Queue.push (fun () -> exec sched fb (fun () -> handle sched fb main)) sched.ready;
+      run_loop sched)
+
+let spawn body = Effect.perform (Spawn body)
+let yield () = Effect.perform Yield
+let self () = Effect.perform Self
+let id fb = fb.fid
+let state fb = fb.state
+
+(* Park the fiber; [register] receives a wake function callable exactly
+   once from any OS thread. *)
+let suspend register = Effect.perform (Suspend register)
+
+(* Wait until [fb] finishes. *)
+let join fb =
+  if fb.state <> `Done then
+    suspend (fun wake ->
+        (* check-then-register is race-free: only the scheduler thread
+           mutates joiners and state *)
+        if fb.state = `Done then wake () else fb.joiners <- wake :: fb.joiners)
+
+let live () = (scheduler ()).live

@@ -1,0 +1,49 @@
+(** A real cooperative fiber runtime on OCaml effect handlers
+    (substrate S2 of DESIGN.md).
+
+    User contexts are one-shot continuations scheduled by the OS thread
+    that called {!run}; a thread-safe injection queue lets other OS
+    threads (the executors of {!Blt_rt}) wake suspended fibers.  This
+    demonstrates the BLT control flow as genuinely executable code and
+    carries the wall-clock micro-benches. *)
+
+type fiber = {
+  fid : int;
+  mutable state : [ `Runnable | `Running | `Suspended | `Done ];
+  mutable joiners : (unit -> unit) list;
+  mutable executor : Executor.t option;
+      (** lazily-created original KC ({!Blt_rt}) *)
+}
+
+type scheduler = {
+  ready : (unit -> unit) Queue.t;
+  inject_mutex : Mutex.t;
+  inject_cond : Condition.t;
+  injected : (unit -> unit) Queue.t;
+  mutable live : int;
+  mutable next_fid : int;
+  mutable current : fiber option;
+  mutable executors : Executor.t list;
+}
+
+exception Not_in_scheduler
+
+val run : (unit -> unit) -> unit
+(** Run [main] plus everything it spawns to completion; shuts the
+    executors down on exit. *)
+
+val scheduler : unit -> scheduler
+(** The ambient scheduler.  @raise Not_in_scheduler outside {!run}. *)
+
+val spawn : (unit -> unit) -> fiber
+val yield : unit -> unit
+val self : unit -> fiber
+val id : fiber -> int
+val state : fiber -> [ `Runnable | `Running | `Suspended | `Done ]
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** Park the calling fiber; the callback receives a wake function
+    callable exactly once from any OS thread. *)
+
+val join : fiber -> unit
+val live : unit -> int

@@ -1,0 +1,402 @@
+(* A small MPI-like message-passing runtime where the ranks are ULPs in
+   one shared address space -- the paper's Section III motivation made
+   concrete ("most MPI implementations are based on the multi-process
+   execution model... therefore ULP is a more suitable execution model
+   than ULT").
+
+   Because every rank lives in the same address space (PiP), an eager
+   send can hand over a raw pointer: zero copies, no marshalling -- the
+   in-node advantage address-space sharing buys.  A [`Copy] mode charges
+   one memcpy (what a shared-memory mailbox does per side) so the
+   benchmark harness can quantify the difference.
+
+   Blocking operations spin with [Ulp.yield]: the rank keeps its place
+   in the cooperative schedule and progress costs scheduler dispatches,
+   exactly like a ULT-based MPI (MPC, AMPI) would behave.  File I/O and
+   other syscalls inside rank code use the normal couple()/decouple()
+   discipline. *)
+
+open Oskernel
+module Ulp = Core.Ulp
+module Memval = Addrspace.Memval
+module Cm = Arch.Cost_model
+
+exception Invalid_rank of int
+
+type message = {
+  src : int;
+  tag : int;
+  payload : Memval.value;
+  msg_bytes : int;
+}
+
+type transfer_mode =
+  | Zero_copy (* hand over the pointer/value: address-space sharing *)
+  | Copy (* one memcpy, the shared-memory-mailbox cost per side *)
+
+type mailbox = {
+  mutable queue : message list; (* newest last *)
+  mutable delivered : int;
+}
+
+type world = {
+  sys : Ulp.t;
+  size : int;
+  mailboxes : mailbox array;
+  barrier_arrivals : int ref;
+  barrier_generation : int ref;
+  bcast_slot : (int * Memval.value) option ref; (* generation, value *)
+  mutable members : Ulp.ulp list; (* filled by init *)
+}
+
+type ctx = { world : world; rank : int; self : Ulp.ulp }
+
+let any_source = -1
+let any_tag = -1
+
+let size ctx = ctx.world.size
+let rank ctx = ctx.rank
+let world_size w = w.size
+let sys w = w.sys
+
+let charge ctx dt = Ulp.compute ctx.world.sys dt
+
+let cost_of ctx = Kernel.cost (Ulp.kernel ctx.world.sys)
+
+(* ---------- setup ---------- *)
+
+let rank_prog =
+  Addrspace.Loader.program ~name:"mpi-rank" ~globals:[] ~text_size:4096 ()
+
+(* Spawn [ranks] ULPs running [body]; their original KCs are placed by
+   [kc_cpu_of] (default: round-robin over [kc_cpus]).  The caller is
+   responsible for having added scheduling KCs to [sys] already. *)
+let init sys ~ranks ?(kc_cpus = [ 0 ]) ?kc_cpu_of body =
+  if ranks <= 0 then invalid_arg "Mpi.init: ranks must be positive";
+  let kc_cpu_of =
+    match kc_cpu_of with
+    | Some f -> f
+    | None ->
+        let arr = Array.of_list kc_cpus in
+        fun r -> arr.(r mod Array.length arr)
+  in
+  let world =
+    {
+      sys;
+      size = ranks;
+      mailboxes = Array.init ranks (fun _ -> { queue = []; delivered = 0 });
+      barrier_arrivals = ref 0;
+      barrier_generation = ref 0;
+      bcast_slot = ref None;
+      members = [];
+    }
+  in
+  let members =
+    List.init ranks (fun r ->
+        Ulp.spawn sys
+          ~name:(Printf.sprintf "rank%d" r)
+          ~cpu:(kc_cpu_of r) ~prog:rank_prog
+          (fun self ->
+            (* every rank starts decoupled: it is a user-level process *)
+            Ulp.decouple sys;
+            body { world; rank = r; self }))
+  in
+  world.members <- members;
+  world
+
+(* Wait for every rank to terminate (each terminates as a KLT, so this
+   is a sequence of plain wait() calls). *)
+let wait_all world ~waiter =
+  List.iter
+    (fun u -> ignore (Ulp.join world.sys ~waiter u))
+    world.members
+
+(* ---------- point-to-point ---------- *)
+
+let check_rank w r =
+  if r < 0 || r >= w.size then raise (Invalid_rank r)
+
+(* Eager send: deposit into the destination mailbox.  Never blocks. *)
+let send ctx ~dst ?(tag = 0) ?(mode = Zero_copy) ~bytes payload =
+  check_rank ctx.world dst;
+  let cost = cost_of ctx in
+  let transfer =
+    match mode with
+    | Zero_copy -> cost.Cm.queue_op (* pointer handoff *)
+    | Copy -> cost.Cm.queue_op +. Cm.copy_time cost bytes
+  in
+  charge ctx transfer;
+  let mb = ctx.world.mailboxes.(dst) in
+  mb.queue <-
+    mb.queue @ [ { src = ctx.rank; tag; payload; msg_bytes = bytes } ]
+
+let matches ~src ~tag m =
+  (src = any_source || m.src = src) && (tag = any_tag || m.tag = tag)
+
+(* Take the first matching message out of our mailbox, if any. *)
+let take_match ctx ~src ~tag =
+  let mb = ctx.world.mailboxes.(ctx.rank) in
+  let rec go acc = function
+    | [] -> None
+    | m :: rest when matches ~src ~tag m ->
+        mb.queue <- List.rev_append acc rest;
+        mb.delivered <- mb.delivered + 1;
+        Some m
+    | m :: rest -> go (m :: acc) rest
+  in
+  go [] mb.queue
+
+(* Non-blocking probe. *)
+let iprobe ctx ?(src = any_source) ?(tag = any_tag) () =
+  let mb = ctx.world.mailboxes.(ctx.rank) in
+  charge ctx (cost_of ctx).Cm.queue_op;
+  List.exists (matches ~src ~tag) mb.queue
+
+(* Blocking receive: spin through the cooperative scheduler.  In [Copy]
+   mode the receive side pays its memcpy too. *)
+let recv ctx ?(src = any_source) ?(tag = any_tag) ?(mode = Zero_copy) () =
+  let cost = cost_of ctx in
+  let rec loop () =
+    charge ctx cost.Cm.queue_op;
+    match take_match ctx ~src ~tag with
+    | Some m ->
+        (match mode with
+        | Zero_copy -> ()
+        | Copy -> charge ctx (Cm.copy_time cost m.msg_bytes));
+        m
+    | None ->
+        Ulp.yield ctx.world.sys;
+        loop ()
+  in
+  loop ()
+
+(* ---------- non-blocking ---------- *)
+
+type request =
+  | Recv_req of { ctx : ctx; src : int; tag : int; mutable got : message option }
+  | Send_req (* eager sends complete immediately *)
+
+let isend ctx ~dst ?tag ?mode ~bytes payload =
+  send ctx ~dst ?tag ?mode ~bytes payload;
+  Send_req
+
+let irecv ctx ?(src = any_source) ?(tag = any_tag) () =
+  Recv_req { ctx; src; tag; got = None }
+
+(* Progress + completion check (MPI_Test). *)
+let test req =
+  match req with
+  | Send_req -> true
+  | Recv_req r -> (
+      match r.got with
+      | Some _ -> true
+      | None -> (
+          charge r.ctx (cost_of r.ctx).Cm.queue_op;
+          match take_match r.ctx ~src:r.src ~tag:r.tag with
+          | Some m ->
+              r.got <- Some m;
+              true
+          | None -> false))
+
+(* MPI_Wait: spin until complete; returns the message for receives. *)
+let wait req =
+  match req with
+  | Send_req -> None
+  | Recv_req r ->
+      let rec loop () =
+        if test req then r.got
+        else begin
+          Ulp.yield r.ctx.world.sys;
+          loop ()
+        end
+      in
+      loop ()
+
+(* ---------- collectives ---------- *)
+
+(* Dissemination-free central-counter barrier: fine at in-node scale. *)
+let barrier ctx =
+  let w = ctx.world in
+  let cost = cost_of ctx in
+  let my_generation = !(w.barrier_generation) in
+  charge ctx cost.Cm.queue_op;
+  incr w.barrier_arrivals;
+  if !(w.barrier_arrivals) = w.size then begin
+    w.barrier_arrivals := 0;
+    incr w.barrier_generation
+  end
+  else
+    while !(w.barrier_generation) = my_generation do
+      Ulp.yield w.sys
+    done
+
+(* Broadcast via a shared slot: the root publishes once (zero-copy) and
+   everyone reads -- the address-space-sharing fast path. *)
+let bcast ctx ~root ?(mode = Zero_copy) ~bytes value =
+  check_rank ctx.world root;
+  let w = ctx.world in
+  let cost = cost_of ctx in
+  let generation = !(w.barrier_generation) in
+  if ctx.rank = root then begin
+    charge ctx cost.Cm.queue_op;
+    w.bcast_slot := Some (generation, value)
+  end;
+  let rec read () =
+    match !(w.bcast_slot) with
+    | Some (g, v) when g = generation ->
+        (match mode with
+        | Zero_copy -> ()
+        | Copy -> charge ctx (Cm.copy_time cost bytes));
+        v
+    | _ ->
+        Ulp.yield w.sys;
+        read ()
+  in
+  let v = read () in
+  (* the closing barrier guarantees every rank has read the slot before
+     any rank can start the next collective; stale slots are harmless
+     because they carry an older generation *)
+  barrier ctx;
+  v
+
+type reduce_op = Sum | Max | Min
+
+let apply_op op a b =
+  match op with Sum -> a +. b | Max -> Float.max a b | Min -> Float.min a b
+
+(* Reduce to [root] over float contributions (via point-to-point). *)
+let reduce ctx ~root ~op value =
+  check_rank ctx.world root;
+  if ctx.rank = root then begin
+    let acc = ref value in
+    for _ = 1 to ctx.world.size - 1 do
+      let m = recv ctx ~tag:max_int () in
+      match m.payload with
+      | Memval.Float f -> acc := apply_op op !acc f
+      | _ -> invalid_arg "Mpi.reduce: non-float contribution"
+    done;
+    Some !acc
+  end
+  else begin
+    send ctx ~dst:root ~tag:max_int ~bytes:8 (Memval.Float value);
+    None
+  end
+
+(* Element-wise reduction of float arrays to the root (the realistic
+   HPC payload); contributions travel zero-copy and the root combines
+   in place into a fresh accumulator. *)
+let reduce_array ctx ~root ~op (values : float array) =
+  check_rank ctx.world root;
+  let tag = max_int - 4 in
+  let n = Array.length values in
+  if ctx.rank = root then begin
+    let acc = Array.copy values in
+    for _ = 1 to ctx.world.size - 1 do
+      let m = recv ctx ~tag () in
+      match m.payload with
+      | Memval.Float_array contrib when Array.length contrib = n ->
+          for i = 0 to n - 1 do
+            acc.(i) <- apply_op op acc.(i) contrib.(i)
+          done
+      | _ -> invalid_arg "Mpi.reduce_array: shape mismatch"
+    done;
+    (* combining n elements costs real CPU *)
+    let cost = cost_of ctx in
+    charge ctx
+      (float_of_int (n * (ctx.world.size - 1))
+      /. cost.Cm.mem_bandwidth *. 8.0);
+    Some acc
+  end
+  else begin
+    send ctx ~dst:root ~tag ~bytes:(8 * n) (Memval.Float_array values);
+    None
+  end
+
+(* Element-wise allreduce: reduce to rank 0, then broadcast. *)
+let allreduce_array ctx ~op values =
+  let total = reduce_array ctx ~root:0 ~op values in
+  let v =
+    bcast ctx ~root:0
+      ~bytes:(8 * Array.length values)
+      (match total with Some a -> Memval.Float_array a | None -> Memval.Unit)
+  in
+  match v with
+  | Memval.Float_array a -> a
+  | _ -> invalid_arg "Mpi.allreduce_array: root published a non-array"
+
+(* Allreduce = reduce + bcast. *)
+let allreduce ctx ~op value =
+  let total = reduce ctx ~root:0 ~op value in
+  let v =
+    bcast ctx ~root:0 ~bytes:8
+      (match total with Some f -> Memval.Float f | None -> Memval.Unit)
+  in
+  match v with
+  | Memval.Float f -> f
+  | _ -> invalid_arg "Mpi.allreduce: root published a non-float"
+
+(* sendrecv: the deadlock-free exchange (eager sends make it trivially
+   safe here, but the API matches MPI usage). *)
+let sendrecv ctx ~dst ?(send_tag = 0) ~src ?(recv_tag = any_tag)
+    ?(mode = Zero_copy) ~bytes payload =
+  send ctx ~dst ~tag:send_tag ~mode ~bytes payload;
+  recv ctx ~src ~tag:recv_tag ~mode ()
+
+(* Gather everyone's value at the root (rank order).  Returns the array
+   at the root, [None] elsewhere. *)
+let gather ctx ~root ?(bytes = 8) value =
+  check_rank ctx.world root;
+  let gather_tag = max_int - 1 in
+  if ctx.rank = root then begin
+    let out = Array.make ctx.world.size Memval.Unit in
+    out.(root) <- value;
+    for _ = 1 to ctx.world.size - 1 do
+      let m = recv ctx ~tag:gather_tag () in
+      out.(m.src) <- m.payload
+    done;
+    Some out
+  end
+  else begin
+    send ctx ~dst:root ~tag:gather_tag ~bytes value;
+    None
+  end
+
+(* Scatter the root's per-rank values; every rank returns its slice. *)
+let scatter ctx ~root ?(bytes = 8) values =
+  check_rank ctx.world root;
+  let scatter_tag = max_int - 2 in
+  if ctx.rank = root then begin
+    (match values with
+    | Some vs when Array.length vs = ctx.world.size ->
+        Array.iteri
+          (fun r v ->
+            if r <> ctx.rank then send ctx ~dst:r ~tag:scatter_tag ~bytes v)
+          vs
+    | _ -> invalid_arg "Mpi.scatter: root must supply size values");
+    (Option.get values).(ctx.rank)
+  end
+  else (recv ctx ~src:root ~tag:scatter_tag ()).payload
+
+(* All-to-all: rank i's j-th value lands as rank j's i-th result. *)
+let alltoall ctx ?(bytes = 8) values =
+  if Array.length values <> ctx.world.size then
+    invalid_arg "Mpi.alltoall: need one value per rank";
+  let a2a_tag = max_int - 3 in
+  let out = Array.make ctx.world.size Memval.Unit in
+  out.(ctx.rank) <- values.(ctx.rank);
+  Array.iteri
+    (fun r v -> if r <> ctx.rank then send ctx ~dst:r ~tag:a2a_tag ~bytes v)
+    values;
+  for _ = 1 to ctx.world.size - 1 do
+    let m = recv ctx ~tag:a2a_tag () in
+    out.(m.src) <- m.payload
+  done;
+  barrier ctx;
+  out
+
+(* MPI_Wtime: the simulated wall clock. *)
+let wtime ctx = Kernel.now (Ulp.kernel ctx.world.sys)
+
+(* Gather message counts, for tests and stats. *)
+let delivered ctx = ctx.world.mailboxes.(ctx.rank).delivered
+let pending ctx = List.length ctx.world.mailboxes.(ctx.rank).queue

@@ -1,0 +1,127 @@
+(** An MPI-like message-passing runtime whose ranks are ULPs in one
+    shared address space — the paper's Section III motivation made
+    concrete.
+
+    Eager sends can hand over raw pointers (zero copies — the in-node
+    advantage of address-space sharing); [Copy] mode charges the memcpy
+    a shared-memory mailbox would, for comparison.  Blocking operations
+    spin through the cooperative ULP scheduler; syscalls inside rank
+    code use the normal couple()/decouple() discipline. *)
+
+module Ulp = Core.Ulp
+module Memval = Addrspace.Memval
+
+exception Invalid_rank of int
+
+type message = {
+  src : int;
+  tag : int;
+  payload : Memval.value;
+  msg_bytes : int;
+}
+
+type transfer_mode =
+  | Zero_copy  (** hand over the pointer/value: address-space sharing *)
+  | Copy  (** one memcpy per side, shared-memory-mailbox style *)
+
+type world
+type ctx = { world : world; rank : int; self : Ulp.ulp }
+
+val any_source : int
+val any_tag : int
+
+(** {2 Setup} *)
+
+val init :
+  Ulp.t ->
+  ranks:int ->
+  ?kc_cpus:int list ->
+  ?kc_cpu_of:(int -> int) ->
+  (ctx -> unit) ->
+  world
+(** Spawn [ranks] ULPs running the body (each starts decoupled).
+    Original KCs are placed round-robin over [kc_cpus] unless
+    [kc_cpu_of] overrides.  Scheduling KCs must already exist on the
+    [Ulp.t]. *)
+
+val wait_all : world -> waiter:Oskernel.Types.task -> unit
+
+val size : ctx -> int
+val rank : ctx -> int
+val world_size : world -> int
+val sys : world -> Ulp.t
+
+(** {2 Point-to-point} *)
+
+val send :
+  ctx -> dst:int -> ?tag:int -> ?mode:transfer_mode -> bytes:int ->
+  Memval.value -> unit
+(** Eager deposit into the destination mailbox; never blocks. *)
+
+val recv :
+  ctx -> ?src:int -> ?tag:int -> ?mode:transfer_mode -> unit -> message
+(** Blocking receive with source/tag matching ([any_source]/[any_tag]
+    wildcards); spins through the cooperative scheduler. *)
+
+val iprobe : ctx -> ?src:int -> ?tag:int -> unit -> bool
+
+(** {2 Non-blocking} *)
+
+type request
+
+val isend :
+  ctx -> dst:int -> ?tag:int -> ?mode:transfer_mode -> bytes:int ->
+  Memval.value -> request
+
+val irecv : ctx -> ?src:int -> ?tag:int -> unit -> request
+
+val test : request -> bool
+(** MPI_Test: one progress + completion probe. *)
+
+val wait : request -> message option
+(** MPI_Wait: spin until complete; the message for receives. *)
+
+(** {2 Collectives} *)
+
+val barrier : ctx -> unit
+
+val bcast :
+  ctx -> root:int -> ?mode:transfer_mode -> bytes:int -> Memval.value ->
+  Memval.value
+(** Root publishes once through a shared slot; everyone reads. *)
+
+type reduce_op = Sum | Max | Min
+
+val reduce : ctx -> root:int -> op:reduce_op -> float -> float option
+(** The combined value at the root, [None] elsewhere. *)
+
+val allreduce : ctx -> op:reduce_op -> float -> float
+
+val reduce_array :
+  ctx -> root:int -> op:reduce_op -> float array -> float array option
+(** Element-wise reduction of equal-shape arrays at the root. *)
+
+val allreduce_array : ctx -> op:reduce_op -> float array -> float array
+
+val sendrecv :
+  ctx -> dst:int -> ?send_tag:int -> src:int -> ?recv_tag:int ->
+  ?mode:transfer_mode -> bytes:int -> Memval.value -> message
+(** Deadlock-free exchange (send, then matched receive). *)
+
+val gather : ctx -> root:int -> ?bytes:int -> Memval.value -> Memval.value array option
+(** Everyone's value at the root in rank order; [None] elsewhere. *)
+
+val scatter : ctx -> root:int -> ?bytes:int -> Memval.value array option -> Memval.value
+(** The root supplies one value per rank ([Some values]); every rank
+    returns its slice. *)
+
+val alltoall : ctx -> ?bytes:int -> Memval.value array -> Memval.value array
+(** Rank i's j-th value becomes rank j's i-th result. *)
+
+(** {2 Stats} *)
+
+val wtime : ctx -> float
+(** MPI_Wtime: simulated seconds. *)
+
+val delivered : ctx -> int
+val pending : ctx -> int

@@ -1,0 +1,1 @@
+lib/oskernel/futex.ml: Arch Kernel List Sim Types

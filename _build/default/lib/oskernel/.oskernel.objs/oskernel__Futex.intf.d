@@ -1,0 +1,1 @@
+lib/oskernel/futex.mli: Kernel Types

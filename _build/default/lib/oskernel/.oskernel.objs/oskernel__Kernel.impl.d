@@ -1,0 +1,1 @@
+lib/oskernel/kernel.ml: Arch Array Format Hashtbl List Option Printf Queue Sim Types

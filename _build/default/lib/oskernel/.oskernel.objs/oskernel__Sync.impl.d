@@ -1,0 +1,1 @@
+lib/oskernel/sync.ml: Arch Futex Kernel Types

@@ -1,0 +1,1 @@
+lib/oskernel/sync.mli: Futex Kernel Types

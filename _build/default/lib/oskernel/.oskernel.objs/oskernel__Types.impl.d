@@ -1,0 +1,1 @@
+lib/oskernel/types.ml: Buffer Queue Sim

@@ -1,0 +1,1 @@
+lib/oskernel/vfs.ml: Arch Buffer Bytes Hashtbl Kernel List Option Sim Types

@@ -1,0 +1,1 @@
+lib/oskernel/vfs.mli: Kernel Types

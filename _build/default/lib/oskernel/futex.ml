@@ -1,0 +1,101 @@
+(* Futexes over simulated shared-memory words, following the Linux
+   contract: [wait] blocks only if the word still holds the expected
+   value; [wake] releases up to [n] waiters.  Timing: the waiter pays the
+   futex_wait syscall entry before parking; the waker pays futex_wake and
+   each woken task additionally experiences the kernel wake-up latency
+   before it is dispatched. *)
+
+open Types
+
+type word = {
+  id : int;
+  mutable value : int;
+  mutable waiters : task list; (* FIFO: append at tail *)
+}
+
+type t = { mutable next_id : int }
+
+let create () = { next_id = 0 }
+
+let new_word ?(init = 0) reg =
+  let id = reg.next_id in
+  reg.next_id <- id + 1;
+  { id; value = init; waiters = [] }
+
+let get w = w.value
+let set w v = w.value <- v
+
+(* Atomic ops as seen by the simulated program (the simulation is
+   single-threaded, so plain updates are already atomic). *)
+let fetch_add w d =
+  let v = w.value in
+  w.value <- v + d;
+  v
+
+let compare_and_set w ~expected ~desired =
+  if w.value = expected then begin
+    w.value <- desired;
+    true
+  end
+  else false
+
+let waiter_count w = List.length w.waiters
+
+(* FUTEX_WAIT: park the calling task if [w] still holds [expected].
+   Returns [`Waited] if it actually slept, [`Value_changed] otherwise. *)
+let wait k t w ~expected =
+  Kernel.assert_running k t;
+  Kernel.count_syscall t;
+  Kernel.burn k t (Kernel.cost k).Arch.Cost_model.futex_wait;
+  if w.value <> expected then `Value_changed
+  else begin
+    w.waiters <- w.waiters @ [ t ];
+    Kernel.block k t;
+    `Waited
+  end
+
+(* FUTEX_WAIT with a timeout.  A normal wake and the timeout race is
+   resolved by whoever removes the task from the wait list first. *)
+let wait_timeout k t w ~expected ~timeout =
+  Kernel.assert_running k t;
+  Kernel.count_syscall t;
+  Kernel.burn k t (Kernel.cost k).Arch.Cost_model.futex_wait;
+  if w.value <> expected then `Value_changed
+  else begin
+    let outcome = ref `Pending in
+    w.waiters <- w.waiters @ [ t ];
+    Sim.Engine.schedule (Kernel.engine k) ~delay:timeout (fun () ->
+        if !outcome = `Pending && List.memq t w.waiters then begin
+          outcome := `Timeout;
+          w.waiters <- List.filter (fun x -> not (x == t)) w.waiters;
+          Kernel.wake k t
+        end);
+    Kernel.block k t;
+    match !outcome with
+    | `Timeout -> `Timed_out
+    | `Pending ->
+        outcome := `Woken;
+        `Waited
+    | `Woken -> `Waited
+  end
+
+(* FUTEX_WAKE: wake up to [n] waiters; returns how many were woken. *)
+let wake k t w n =
+  Kernel.assert_running k t;
+  Kernel.count_syscall t;
+  Kernel.burn k t (Kernel.cost k).Arch.Cost_model.futex_wake;
+  let rec go n woken =
+    if n = 0 then woken
+    else
+      match w.waiters with
+      | [] -> woken
+      | first :: rest ->
+          w.waiters <- rest;
+          Kernel.wake
+            ~extra_latency:(Kernel.cost k).Arch.Cost_model.futex_wakeup_latency
+            k first;
+          go (n - 1) (woken + 1)
+  in
+  go n 0
+
+let wake_all k t w = wake k t w max_int

@@ -1,0 +1,45 @@
+(** Futexes over simulated shared-memory words (the Linux contract).
+
+    A {!word} stands for a 32-bit user-memory location; {!wait} parks
+    the calling task only if the word still holds the expected value,
+    {!wake} releases up to [n] waiters.  Timing: the waiter pays the
+    futex_wait syscall before parking; the waker pays futex_wake, and
+    each woken task additionally experiences the kernel wake-up latency
+    before being dispatched. *)
+
+open Types
+
+type word
+(** A futex-capable shared word. *)
+
+type t
+(** A registry of words (one per simulated machine). *)
+
+val create : unit -> t
+val new_word : ?init:int -> t -> word
+
+(** {2 Plain and atomic access} *)
+
+val get : word -> int
+val set : word -> int -> unit
+
+val fetch_add : word -> int -> int
+(** Returns the previous value. *)
+
+val compare_and_set : word -> expected:int -> desired:int -> bool
+val waiter_count : word -> int
+
+(** {2 The syscalls} *)
+
+val wait : Kernel.t -> task -> word -> expected:int -> [ `Waited | `Value_changed ]
+(** FUTEX_WAIT: park if the word still holds [expected]. *)
+
+val wait_timeout :
+  Kernel.t -> task -> word -> expected:int -> timeout:float ->
+  [ `Waited | `Value_changed | `Timed_out ]
+(** FUTEX_WAIT with a relative timeout in seconds. *)
+
+val wake : Kernel.t -> task -> word -> int -> int
+(** FUTEX_WAKE: wake up to [n] waiters (FIFO); returns how many. *)
+
+val wake_all : Kernel.t -> task -> word -> int

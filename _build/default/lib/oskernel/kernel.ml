@@ -1,0 +1,535 @@
+(* The simulated OS kernel: CPUs, kernel tasks (the paper's kernel
+   contexts), a per-core run-queue scheduler, task lifecycle
+   (clone / exit / waitpid), sched_yield, signals, and CPU-time
+   accounting.  Cooperative within a core: a task relinquishes its CPU by
+   blocking, yielding or exiting, which is faithful to every workload in
+   the paper (tight syscall/yield loops).
+
+   Timing discipline: virtual time only ever advances through
+   [compute] (the task burns its own CPU), through dispatch switch costs,
+   or through explicit wake-up latencies charged by the synchronisation
+   primitives. *)
+
+open Types
+module Engine = Sim.Engine
+module Cost_model = Arch.Cost_model
+
+exception Task_exit of int
+
+type t = {
+  engine : Engine.t;
+  cost : Cost_model.t;
+  cpus : cpu array;
+  mutable next_tid : int;
+  mutable next_ino : int;
+  tasks : (int, task) Hashtbl.t;
+  preempt_slice : float option;
+      (* timeslice for user computation; None = fully cooperative *)
+  sched_policy : sched_policy;
+}
+
+(* The kernel's CPU scheduling policy -- the thing the paper says is
+   "hard to customize to application needs".  Round_robin picks FIFO;
+   Cfs picks the smallest weighted virtual runtime (a CFS-lite). *)
+and sched_policy = Round_robin | Cfs
+
+let create ~engine ~(cost : Cost_model.t) ?cores ?preempt_slice
+    ?(sched_policy = Round_robin) () =
+  let cores = Option.value cores ~default:cost.cores in
+  if cores <= 0 then invalid_arg "Kernel.create: cores must be positive";
+  let cpus =
+    Array.init cores (fun cpu_id ->
+        {
+          cpu_id;
+          current = None;
+          runq = Queue.create ();
+          dispatches = 0;
+          busy_until = 0.0;
+          busy_time = 0.0;
+        })
+  in
+  {
+    engine;
+    cost;
+    cpus;
+    next_tid = 1;
+    next_ino = 1;
+    tasks = Hashtbl.create 64;
+    preempt_slice;
+    sched_policy;
+  }
+
+let engine k = k.engine
+let cost k = k.cost
+let now k = Engine.now k.engine
+let cpu_count k = Array.length k.cpus
+let cpu k i = k.cpus.(i)
+let find_task k tid = Hashtbl.find_opt k.tasks tid
+
+let fresh_ino k =
+  let i = k.next_ino in
+  k.next_ino <- i + 1;
+  i
+
+let tracef k ~actor ~tag fmt =
+  Format.kasprintf
+    (fun detail ->
+      Sim.Trace.record (Engine.trace k.engine) ~time:(now k) ~actor ~tag detail)
+    fmt
+
+(* ---------- dispatch ---------- *)
+
+(* Take the next task off a run queue per the kernel policy. *)
+let take_next k (c : cpu) =
+  match k.sched_policy with
+  | Round_robin -> Queue.take_opt c.runq
+  | Cfs ->
+      if Queue.is_empty c.runq then None
+      else begin
+        let all = List.of_seq (Queue.to_seq c.runq) in
+        let best =
+          List.fold_left
+            (fun acc t ->
+              match acc with
+              | None -> Some t
+              | Some b -> if t.vruntime < b.vruntime then Some t else acc)
+            None all
+        in
+        match best with
+        | None -> None
+        | Some b ->
+            Queue.clear c.runq;
+            List.iter (fun t -> if not (t == b) then Queue.add t c.runq) all;
+            Some b
+      end
+
+let rec dispatch_loop k (c : cpu) ~switch_cost =
+  match c.current with
+  | Some _ -> ()
+  | None -> (
+      match take_next k c with
+      | None -> ()
+      | Some t when t.state <> Ready ->
+          (* killed or reaped while queued; skip it *)
+          dispatch_loop k c ~switch_cost
+      | Some t -> (
+          c.current <- Some t;
+          t.state <- Running;
+          c.dispatches <- c.dispatches + 1;
+          t.ctx_switches <- t.ctx_switches + 1;
+          match t.body with
+          | Some body ->
+              t.body <- None;
+              Engine.schedule k.engine ~delay:switch_cost (fun () ->
+                  Engine.spawn k.engine ~name:t.tname body)
+          | None -> (
+              match t.park with
+              | Some r ->
+                  t.park <- None;
+                  ignore (Engine.resume_after k.engine ~delay:switch_cost r)
+              | None ->
+                  (* The task enqueued itself within the current event and
+                     has not reached its suspension point yet (yield /
+                     affinity migration).  The CPU is claimed; finish the
+                     dispatch once the current event settles. *)
+                  Engine.schedule k.engine ~delay:switch_cost (fun () ->
+                      match t.park with
+                      | Some r ->
+                          t.park <- None;
+                          ignore (Engine.resume k.engine r)
+                      | None ->
+                          failwith
+                            (Printf.sprintf
+                               "dispatch: task %s never suspended" t.tname)))))
+
+let maybe_dispatch ?(switch_cost = 0.0) k c = dispatch_loop k c ~switch_cost
+
+(* ---------- task lifecycle ---------- *)
+
+let enqueue_ready k t =
+  t.state <- Ready;
+  Queue.add t k.cpus.(t.cpu).runq
+
+(* Wake a blocked task: it becomes ready on its CPU and is dispatched if
+   the CPU is idle.  [extra_latency] models wake-up paths (futex). *)
+let wake ?(extra_latency = 0.0) k t =
+  match t.state with
+  | Blocked ->
+      if extra_latency > 0.0 then
+        Engine.schedule k.engine ~delay:extra_latency (fun () ->
+            if t.state = Blocked then begin
+              enqueue_ready k t;
+              maybe_dispatch k k.cpus.(t.cpu)
+            end)
+      else begin
+        enqueue_ready k t;
+        maybe_dispatch k k.cpus.(t.cpu)
+      end
+  | New | Ready | Running | Busywaiting | Zombie | Reaped -> ()
+
+let current_cpu_of k t = k.cpus.(t.cpu)
+
+let assert_running k t =
+  (match t.state with
+  | Running -> ()
+  | s ->
+      failwith
+        (Printf.sprintf "task %s used while %s" t.tname (task_state_to_string s)));
+  match (current_cpu_of k t).current with
+  | Some cur when cur == t -> ()
+  | _ -> failwith (Printf.sprintf "task %s is not current on cpu %d" t.tname t.cpu)
+
+let check_fatal_signal t =
+  match t.pending_kill with
+  | Some code ->
+      t.pending_kill <- None;
+      raise (Task_exit code)
+  | None -> ()
+
+(* Burn [dt] seconds of CPU on the task's core, never preempted: the
+   path every simulated kernel operation (syscall work) uses. *)
+let burn k t dt =
+  assert_running k t;
+  check_fatal_signal t;
+  if dt < 0.0 then invalid_arg "Kernel.burn: negative time";
+  t.cpu_time <- t.cpu_time +. dt;
+  t.vruntime <- t.vruntime +. (dt /. t.weight);
+  (current_cpu_of k t).busy_time <- (current_cpu_of k t).busy_time +. dt;
+  Engine.delay dt;
+  check_fatal_signal t
+
+(* Involuntary context switch at timeslice expiry: like sched_yield but
+   with no syscall entry (the timer interrupt pays the switch only). *)
+let preempt_self k t =
+  let c = current_cpu_of k t in
+  if not (Queue.is_empty c.runq) then begin
+    c.current <- None;
+    enqueue_ready k t;
+    maybe_dispatch ~switch_cost:k.cost.kernel_ctx_switch k c;
+    Engine.suspend (fun r -> t.park <- Some r);
+    check_fatal_signal t
+  end
+
+(* User computation: preemptible when the kernel was built with a
+   timeslice and another task waits on this core. *)
+let compute k t dt =
+  match k.preempt_slice with
+  | None -> burn k t dt
+  | Some slice ->
+      let rec go remaining =
+        if remaining > 0.0 then begin
+          let c = current_cpu_of k t in
+          if remaining <= slice || Queue.is_empty c.runq then
+            burn k t remaining
+          else begin
+            burn k t slice;
+            preempt_self k t;
+            go (remaining -. slice)
+          end
+        end
+      in
+      go dt
+
+let count_syscall ?(executing = None) t =
+  t.syscalls <- t.syscalls + 1;
+  let kc = match executing with Some e -> e | None -> t in
+  t.last_syscall_tid <- kc.tid
+
+(* Relinquish the CPU and park until woken.  The caller must arrange for
+   a later [wake]. *)
+let block k t =
+  assert_running k t;
+  let c = current_cpu_of k t in
+  c.current <- None;
+  t.state <- Blocked;
+  maybe_dispatch ~switch_cost:k.cost.kernel_ctx_switch k c;
+  Engine.suspend (fun r -> t.park <- Some r);
+  (* woken: the dispatcher made us Running again *)
+  check_fatal_signal t
+
+(* Spin until woken: the CPU stays occupied by this task and the wake-up
+   costs only a cache-line handoff.  Used by the BUSYWAIT idle policy. *)
+let busywait_park k t =
+  assert_running k t;
+  t.state <- Busywaiting;
+  Engine.suspend (fun r -> t.park <- Some r);
+  t.state <- Running;
+  check_fatal_signal t
+
+let busywait_wake k t =
+  match t.state with
+  | Busywaiting -> (
+      match t.park with
+      | Some r ->
+          t.park <- None;
+          ignore (Engine.resume_after k.engine ~delay:k.cost.busywait_handoff r)
+      | None ->
+          (* it has not reached its suspend point yet in this event; try
+             again once the current event cascade settles *)
+          Engine.schedule k.engine ~delay:k.cost.busywait_handoff (fun () ->
+              match t.park with
+              | Some r when t.state = Busywaiting ->
+                  t.park <- None;
+                  ignore (Engine.resume k.engine r)
+              | _ -> ()))
+  | New | Ready | Running | Blocked | Zombie | Reaped -> ()
+
+let do_exit k t code =
+  if t.state <> Zombie && t.state <> Reaped then begin
+    t.exit_code <- Some code;
+    let was_current =
+      match (current_cpu_of k t).current with
+      | Some cur -> cur == t
+      | None -> false
+    in
+    t.state <- Zombie;
+    tracef k ~actor:t.tname ~tag:"exit" "code=%d" code;
+    let waiters = t.exit_waiters in
+    t.exit_waiters <- [];
+    List.iter (fun w -> wake k w) waiters;
+    if was_current then begin
+      let c = current_cpu_of k t in
+      c.current <- None;
+      maybe_dispatch ~switch_cost:k.cost.kernel_ctx_switch k c
+    end
+  end
+
+(* Exit the current task from inside its own body. *)
+let exit_task _k _t code = raise (Task_exit code)
+
+let make_task k ?parent ?(inherit_fds = false) ~name ~cpu ~share () =
+  if cpu < 0 || cpu >= Array.length k.cpus then
+    invalid_arg "Kernel.make_task: bad cpu index";
+  let tid = k.next_tid in
+  k.next_tid <- tid + 1;
+  let pid, fds, sigs =
+    match share with
+    | `Process ->
+        let fds =
+          match (inherit_fds, parent) with
+          | true, Some p ->
+              (* fork semantics: the child gets a COPY of the parent's
+                 descriptor table; each descriptor references the same
+                 open file description (shared offset, same pipe), and
+                 pipe-end/file reference counts grow accordingly *)
+              List.iter
+                (fun (_, e) ->
+                  match e.target with
+                  | Pipe_read pp -> pp.readers <- pp.readers + 1
+                  | Pipe_write pp -> pp.writers <- pp.writers + 1
+                  | File inode -> inode.open_count <- inode.open_count + 1)
+                p.fds.entries;
+              { entries = p.fds.entries; next_fd = p.fds.next_fd }
+          | _ -> fd_table_create ()
+        in
+        (tid, fds, signal_state_create ())
+    | `Thread leader -> (leader.pid, leader.fds, leader.sigs)
+  in
+  let t =
+    {
+      tid;
+      pid;
+      tname = name;
+      parent_tid = Option.map (fun p -> p.tid) parent;
+      children = [];
+      state = New;
+      cpu;
+      fds;
+      sigs;
+      exit_code = None;
+      exit_waiters = [];
+      pending_kill = None;
+      body = None;
+      park = None;
+      weight = 1.0;
+      vruntime = 0.0;
+      cpu_time = 0.0;
+      syscalls = 0;
+      ctx_switches = 0;
+      last_syscall_tid = tid;
+    }
+  in
+  Hashtbl.replace k.tasks tid t;
+  (match parent with Some p -> p.children <- t :: p.children | None -> ());
+  t
+
+(* Create a task and make it runnable.  [body] receives the task itself.
+   [share]: [`Process] gives it a fresh pid, fd table and signal state
+   (PiP process mode); [`Thread leader] shares the leader's (thread
+   mode / pthreads). *)
+let spawn k ?parent ?inherit_fds ?(share = `Process) ~name ~cpu body =
+  let t = make_task k ?parent ?inherit_fds ~name ~cpu ~share () in
+  t.body <-
+    Some
+      (fun () ->
+        let code = try body t; 0 with Task_exit c -> c in
+        do_exit k t code);
+  tracef k ~actor:name ~tag:"spawn" "tid=%d pid=%d cpu=%d" t.tid t.pid cpu;
+  enqueue_ready k t;
+  maybe_dispatch k k.cpus.(cpu);
+  t
+
+(* Charge the creator for the clone()/fork() work. *)
+let charge_creation k ~creator ~share =
+  let c =
+    match share with
+    | `Process -> k.cost.process_create
+    | `Thread _ -> k.cost.thread_create
+  in
+  burn k creator c
+
+(* ---------- scheduling syscalls ---------- *)
+
+let sched_yield k t =
+  assert_running k t;
+  count_syscall t;
+  burn k t k.cost.syscall_entry;
+  let c = current_cpu_of k t in
+  if not (Queue.is_empty c.runq) then begin
+    c.current <- None;
+    enqueue_ready k t;
+    maybe_dispatch ~switch_cost:k.cost.kernel_ctx_switch k c;
+    Engine.suspend (fun r -> t.park <- Some r);
+    check_fatal_signal t
+  end
+
+let getpid ?executing k t =
+  let kc = Option.value executing ~default:t in
+  assert_running k kc;
+  count_syscall ~executing:(Some kc) t;
+  burn k kc k.cost.syscall_getpid;
+  kc.pid
+
+let gettid ?executing k t =
+  let kc = Option.value executing ~default:t in
+  assert_running k kc;
+  count_syscall ~executing:(Some kc) t;
+  burn k kc k.cost.syscall_getpid;
+  kc.tid
+
+let nanosleep k t seconds =
+  assert_running k t;
+  count_syscall t;
+  burn k t k.cost.syscall_entry;
+  let c = current_cpu_of k t in
+  c.current <- None;
+  t.state <- Blocked;
+  maybe_dispatch ~switch_cost:k.cost.kernel_ctx_switch k c;
+  Engine.schedule k.engine ~delay:seconds (fun () -> wake k t);
+  Engine.suspend (fun r -> t.park <- Some r);
+  check_fatal_signal t
+
+(* Move the task to another CPU (sched_setaffinity).  Only legal while
+   it is Running; it keeps running and will be dispatched on the new CPU
+   at its next relinquish point. *)
+let set_affinity k t cpu_id =
+  if cpu_id < 0 || cpu_id >= Array.length k.cpus then
+    invalid_arg "Kernel.set_affinity: bad cpu";
+  assert_running k t;
+  count_syscall t;
+  burn k t k.cost.syscall_entry;
+  if cpu_id <> t.cpu then begin
+    let old_c = current_cpu_of k t in
+    old_c.current <- None;
+    maybe_dispatch k old_c;
+    t.cpu <- cpu_id;
+    let c = k.cpus.(cpu_id) in
+    enqueue_ready k t;
+    maybe_dispatch ~switch_cost:k.cost.kernel_ctx_switch k c;
+    Engine.suspend (fun r -> t.park <- Some r);
+    check_fatal_signal t
+  end
+
+(* ---------- waitpid ---------- *)
+
+let waitpid k t child =
+  assert_running k t;
+  count_syscall t;
+  burn k t k.cost.syscall_entry;
+  let reap () =
+    child.state <- Reaped;
+    Option.value child.exit_code ~default:0
+  in
+  match child.state with
+  | Zombie -> reap ()
+  | Reaped -> invalid_arg "Kernel.waitpid: child already reaped"
+  | New | Ready | Running | Busywaiting | Blocked ->
+      child.exit_waiters <- t :: child.exit_waiters;
+      block k t;
+      reap ()
+
+(* ---------- signals ---------- *)
+
+let set_signal_handler _k t signal disposition =
+  t.sigs.dispositions <-
+    (signal, disposition) :: List.remove_assoc signal t.sigs.dispositions
+
+let set_signal_mask k t mask =
+  assert_running k t;
+  count_syscall t;
+  burn k t k.cost.syscall_entry;
+  t.sigs.mask <- mask
+
+let disposition_of t signal =
+  match List.assoc_opt signal t.sigs.dispositions with
+  | Some d -> d
+  | None -> Sig_default
+
+let deliver_signal k target signal =
+  target.sigs.delivered_count <- target.sigs.delivered_count + 1;
+  match disposition_of target signal with
+  | Sig_ignore -> ()
+  | Sig_handler f ->
+      (* handlers run at the target's next interruption point; at
+         simulation level we run the closure now and charge delivery *)
+      f signal
+  | Sig_default -> (
+      match signal with
+      | SIGCHLD -> ()
+      | SIGINT | SIGTERM | SIGKILL | SIGUSR1 | SIGUSR2 -> (
+          let code = 128 + 9 in
+          match target.state with
+          | Blocked ->
+              target.pending_kill <- Some code;
+              wake k target
+          | Busywaiting ->
+              target.pending_kill <- Some code;
+              busywait_wake k target
+          | Ready | Running | New -> target.pending_kill <- Some code
+          | Zombie | Reaped -> ()))
+
+let kill k ~sender ~target signal =
+  assert_running k sender;
+  count_syscall sender;
+  burn k sender k.cost.signal_deliver;
+  if signal <> SIGKILL && List.mem signal target.sigs.mask then
+    target.sigs.pending <- signal :: target.sigs.pending
+  else deliver_signal k target signal
+
+(* Unblock pending signals after a mask change. *)
+let flush_pending_signals k t =
+  let deliverable, still =
+    List.partition (fun s -> not (List.mem s t.sigs.mask)) t.sigs.pending
+  in
+  t.sigs.pending <- still;
+  List.iter (fun s -> deliver_signal k t s) deliverable
+
+(* ---------- idle diagnostics ---------- *)
+
+(* renice: set the CFS weight (higher = more CPU share). *)
+let set_weight _k t w =
+  if w <= 0.0 then invalid_arg "Kernel.set_weight: weight must be positive";
+  t.weight <- w
+
+(* Fraction of elapsed virtual time this core spent computing. *)
+let cpu_utilization k i =
+  let c = k.cpus.(i) in
+  let now = Engine.now k.engine in
+  if now <= 0.0 then 0.0 else c.busy_time /. now
+
+let idle_cpus k =
+  Array.to_list k.cpus
+  |> List.filter (fun c -> c.current = None && Queue.is_empty c.runq)
+  |> List.map (fun c -> c.cpu_id)
+
+let run ?until k = Engine.run ?until k.engine

@@ -1,0 +1,166 @@
+(** The simulated OS kernel.
+
+    Owns the CPUs and the kernel tasks — the paper's {e kernel contexts}
+    (KCs).  Scheduling is per-core and cooperative: a task holds its CPU
+    until it blocks, yields, sleeps, migrates or exits, which is
+    faithful to every workload in the paper's evaluation.  All timing
+    flows through {!compute} (a task burning its own CPU), dispatch
+    switch costs, and the wake-up latencies charged by the
+    synchronisation primitives. *)
+
+open Types
+
+exception Task_exit of int
+(** Raised by {!exit_task}; the task wrapper converts it into a normal
+    termination with the carried exit code. *)
+
+type t
+
+(** The kernel's CPU scheduling policy — the thing the paper says is
+    "hard to customize to application needs": [Round_robin] picks FIFO;
+    [Cfs] picks the smallest weighted virtual runtime (CFS-lite, see
+    {!set_weight}). *)
+type sched_policy = Round_robin | Cfs
+
+val create :
+  engine:Sim.Engine.t ->
+  cost:Arch.Cost_model.t ->
+  ?cores:int ->
+  ?preempt_slice:float ->
+  ?sched_policy:sched_policy ->
+  unit ->
+  t
+(** Build a machine with [cores] CPUs (default: the cost model's core
+    count) on the given simulation engine.  [preempt_slice] enables
+    timeslice preemption of user computation ({!compute}); omitted, the
+    kernel is fully cooperative (the paper's workloads need nothing
+    more). *)
+
+val set_weight : t -> task -> float -> unit
+(** renice: the task's CFS weight (higher = larger CPU share under
+    [Cfs] with preemption). *)
+
+val engine : t -> Sim.Engine.t
+val cost : t -> Arch.Cost_model.t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val cpu_count : t -> int
+val cpu : t -> int -> cpu
+val find_task : t -> int -> task option
+
+val fresh_ino : t -> int
+(** Allocate an inode number (used by the VFS). *)
+
+(** {2 Task lifecycle} *)
+
+val spawn :
+  t ->
+  ?parent:task ->
+  ?inherit_fds:bool ->
+  ?share:[ `Process | `Thread of task ] ->
+  name:string ->
+  cpu:int ->
+  (task -> unit) ->
+  task
+(** Create a runnable kernel task executing the body.  [`Process] (the
+    default) gives it a fresh pid, fd table and signal state — a clone()
+    into PiP process mode; [`Thread leader] shares the leader's — a
+    pthread_create() / PiP thread mode.  With [inherit_fds] (and a
+    [parent]) the new process receives a fork-style copy of the parent's
+    descriptor table: same open file descriptions, shared offsets — the
+    pipe-then-fork pattern.  Returns immediately; the body starts at a
+    future event. *)
+
+val charge_creation :
+  t -> creator:task -> share:[ `Process | `Thread of task ] -> unit
+(** Bill the creator for the clone()/fork() work of a matching spawn. *)
+
+val exit_task : t -> task -> int -> 'a
+(** Terminate the calling task with the given code (raises
+    {!Task_exit}). *)
+
+val waitpid : t -> task -> task -> int
+(** [waitpid k waiter child] blocks [waiter] until [child] is a zombie,
+    reaps it, and returns its exit code.  Raises [Invalid_argument] if
+    the child was already reaped. *)
+
+val do_exit : t -> task -> int -> unit
+(** Force-terminate a task from outside (used by signal delivery). *)
+
+(** {2 Execution} *)
+
+val compute : t -> task -> float -> unit
+(** Burn CPU seconds on the task's core.  The task must be the core's
+    current task.  Subject to timeslice preemption when the kernel was
+    built with one. *)
+
+val burn : t -> task -> float -> unit
+(** Like {!compute} but never preempted: the path all simulated kernel
+    work (syscall internals) takes. *)
+
+val assert_running : t -> task -> unit
+(** Fail loudly unless the task currently owns its CPU — the invariant
+    every simulated syscall relies on. *)
+
+val count_syscall : ?executing:task option -> task -> unit
+(** Account one system call to [task]; [executing] records which KC
+    actually ran it (system-call consistency bookkeeping). *)
+
+(** {2 Blocking and waking} *)
+
+val block : t -> task -> unit
+(** Relinquish the CPU and park until {!wake}.  The caller must have
+    arranged for a later wake. *)
+
+val wake : ?extra_latency:float -> t -> task -> unit
+(** Make a blocked task runnable (after [extra_latency] seconds, e.g. a
+    futex wake-up path); no-op in any other state. *)
+
+val busywait_park : t -> task -> unit
+(** Spin-park: the task stops executing but {e keeps its CPU occupied}
+    (the paper's BUSYWAIT idling).  Woken by {!busywait_wake}. *)
+
+val busywait_wake : t -> task -> unit
+(** Release a spin-parked task after one cache-line handoff latency. *)
+
+(** {2 Scheduling syscalls} *)
+
+val sched_yield : t -> task -> unit
+(** Kernel yield: syscall entry cost always; an actual context switch
+    (and its cost) only when another task waits on this core. *)
+
+val getpid : ?executing:task -> t -> task -> int
+(** The pid of the {e executing} KC — which is the whole point: a
+    migrated UC calling this on the wrong KC gets the wrong answer. *)
+
+val gettid : ?executing:task -> t -> task -> int
+
+val nanosleep : t -> task -> float -> unit
+(** Sleep in virtual time, freeing the CPU. *)
+
+val set_affinity : t -> task -> int -> unit
+(** Migrate the calling task to another CPU (sched_setaffinity). *)
+
+(** {2 Signals} *)
+
+val set_signal_handler : t -> task -> signal -> signal_disposition -> unit
+val set_signal_mask : t -> task -> signal list -> unit
+
+val kill : t -> sender:task -> target:task -> signal -> unit
+(** Deliver a signal: runs the handler, queues it if masked, or
+    terminates the target on a fatal default disposition. *)
+
+val flush_pending_signals : t -> task -> unit
+(** Deliver signals that were queued while masked (after a mask
+    change). *)
+
+(** {2 Misc} *)
+
+val cpu_utilization : t -> int -> float
+(** Fraction of elapsed virtual time the core spent computing. *)
+
+val idle_cpus : t -> int list
+val run : ?until:float -> t -> unit
+(** Drive the underlying engine (convenience for [Engine.run]). *)

@@ -1,0 +1,51 @@
+(** Synchronisation built on futexes.
+
+    {!Semaphore} is the "Linux semaphore (implemented by using futex)"
+    the paper uses for the BLOCKING idle policy; {!Waitcell} is the
+    parking spot implementing both of the paper's idle policies for an
+    orphaned kernel context (Table V: BUSYWAIT vs BLOCKING). *)
+
+open Types
+
+module Semaphore : sig
+  type t
+
+  val create : ?value:int -> Futex.t -> t
+  val value : t -> int
+
+  val wait : Kernel.t -> task -> t -> unit
+  (** sem_wait: decrement, blocking on the futex while zero. *)
+
+  val try_wait : Kernel.t -> task -> t -> bool
+  (** sem_trywait: non-blocking; whether a unit was obtained. *)
+
+  val wait_timeout : Kernel.t -> task -> t -> timeout:float -> bool
+  (** sem_timedwait: give up after [timeout] seconds; whether a unit was
+      obtained. *)
+
+  val post : Kernel.t -> task -> t -> unit
+  (** sem_post: increment and wake one sleeper. *)
+end
+
+module Waitcell : sig
+  (** How an idle kernel context waits to be given a user context:
+      spinning (cheap wake, occupies the CPU) or blocking on a futex
+      semaphore (frees the CPU, expensive wake). *)
+  type policy = Busywait | Blocking
+
+  val policy_to_string : policy -> string
+
+  type t
+
+  val create : policy:policy -> Futex.t -> t
+  val policy : t -> policy
+
+  val park : Kernel.t -> task -> t -> unit
+  (** Park until {!signal}.  A signal that arrived first is consumed
+      immediately (never lost). *)
+
+  val signal : Kernel.t -> task -> t -> unit
+  (** Wake the parked task, or bank the signal if none is parked yet.
+      Costs the signaller a futex wake (Blocking) or a store
+      (Busywait). *)
+end

@@ -1,0 +1,471 @@
+(* A tmpfs-like in-memory file system plus POSIX pipes.  Files are the
+   I/O substrate of the paper's Figure 7/8 benchmarks (open-write-close
+   on tmpfs); pipes are the canonical *blocking* syscalls that motivate
+   bi-level threads in the first place.
+
+   Consistency rule: every operation resolves file descriptors in the fd
+   table of the *executing* kernel task.  A descriptor opened while
+   coupled to KC_a is invisible to KC_b -- exactly the system-call
+   consistency hazard the paper's ULP design must preserve. *)
+
+open Types
+
+type errno =
+  | ENOENT
+  | EBADF
+  | EEXIST
+  | EINVAL
+  | EACCES
+  | ESPIPE
+  | EPIPE
+  | ECANCELED
+  | EAGAIN
+
+let errno_to_string = function
+  | ENOENT -> "ENOENT"
+  | EBADF -> "EBADF"
+  | EEXIST -> "EEXIST"
+  | EINVAL -> "EINVAL"
+  | EACCES -> "EACCES"
+  | ESPIPE -> "ESPIPE"
+  | EPIPE -> "EPIPE"
+  | ECANCELED -> "ECANCELED"
+  | EAGAIN -> "EAGAIN"
+
+type file = { inode : inode; path : string; mutable stored : bytes }
+
+type t = {
+  files : (string, file) Hashtbl.t;
+  mutable total_minor_faults : int;
+  mutable next_pipe_id : int;
+}
+
+let create () =
+  { files = Hashtbl.create 32; total_minor_faults = 0; next_pipe_id = 1 }
+
+let file_exists fs path = Hashtbl.mem fs.files path
+let file_count fs = Hashtbl.length fs.files
+
+let lookup fs path = Hashtbl.find_opt fs.files path
+
+let file_size fs path =
+  match lookup fs path with Some f -> Some f.inode.size | None -> None
+
+let find_fd (t : task) fd = List.assoc_opt fd t.fds.entries
+
+let alloc_fd (t : task) entry =
+  let fd = t.fds.next_fd in
+  t.fds.next_fd <- fd + 1;
+  t.fds.entries <- (fd, entry) :: t.fds.entries;
+  fd
+
+let page_count (cost : Arch.Cost_model.t) bytes =
+  (bytes + cost.page_size - 1) / cost.page_size
+
+let writable flags = List.mem O_WRONLY flags || List.mem O_RDWR flags
+let readable flags =
+  List.mem O_RDONLY flags || List.mem O_RDWR flags
+  || not (List.mem O_WRONLY flags)
+
+(* ---------- open / close ---------- *)
+
+let openf k fs ~(executing : task) path flags =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  let cost = Kernel.cost k in
+  Kernel.burn k executing cost.Arch.Cost_model.file_open;
+  let get_file () =
+    match lookup fs path with
+    | Some f -> Ok f
+    | None ->
+        if List.mem O_CREAT flags then begin
+          let inode =
+            {
+              ino = Kernel.fresh_ino k;
+              size = 0;
+              link_count = 1;
+              open_count = 0;
+              content_version = 0;
+              resident_pages = 0;
+            }
+          in
+          let f = { inode; path; stored = Bytes.empty } in
+          Hashtbl.replace fs.files path f;
+          Ok f
+        end
+        else Error ENOENT
+  in
+  match get_file () with
+  | Error e -> Error e
+  | Ok f ->
+      if List.mem O_TRUNC flags && writable flags then begin
+        f.inode.size <- 0;
+        f.stored <- Bytes.empty
+      end;
+      f.inode.open_count <- f.inode.open_count + 1;
+      let offset = if List.mem O_APPEND flags then f.inode.size else 0 in
+      Ok (alloc_fd executing { target = File f.inode; offset; flags })
+
+(* ---------- pipes ---------- *)
+
+let default_pipe_capacity = 65536
+
+(* pipe(2): returns (read_fd, write_fd) in the executing task's table. *)
+let pipe ?(capacity = default_pipe_capacity) k fs ~(executing : task) () =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  let cost = Kernel.cost k in
+  Kernel.burn k executing cost.Arch.Cost_model.file_open;
+  let p =
+    {
+      pipe_id = fs.next_pipe_id;
+      capacity;
+      buffered = 0;
+      pipe_stored = Buffer.create 256;
+      readers = 1;
+      writers = 1;
+      read_waiters = [];
+      write_waiters = [];
+    }
+  in
+  fs.next_pipe_id <- fs.next_pipe_id + 1;
+  let rfd =
+    alloc_fd executing { target = Pipe_read p; offset = 0; flags = [ O_RDONLY ] }
+  in
+  let wfd =
+    alloc_fd executing { target = Pipe_write p; offset = 0; flags = [ O_WRONLY ] }
+  in
+  (rfd, wfd)
+
+let wake_pipe_waiters k waiters =
+  List.iter (fun t -> Kernel.wake k t) waiters
+
+(* ---------- close ---------- *)
+
+let close k fs ~(executing : task) fd =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  let cost = Kernel.cost k in
+  Kernel.burn k executing cost.Arch.Cost_model.file_close;
+  ignore fs;
+  match find_fd executing fd with
+  | None -> Error EBADF
+  | Some entry ->
+      (match entry.target with
+      | File inode -> inode.open_count <- max 0 (inode.open_count - 1)
+      | Pipe_read p ->
+          p.readers <- max 0 (p.readers - 1);
+          if p.readers = 0 then begin
+            (* writers blocked on a reader-less pipe must fail: EPIPE *)
+            let ws = p.write_waiters in
+            p.write_waiters <- [];
+            wake_pipe_waiters k ws
+          end
+      | Pipe_write p ->
+          p.writers <- max 0 (p.writers - 1);
+          if p.writers = 0 then begin
+            (* readers see EOF once drained *)
+            let rs = p.read_waiters in
+            p.read_waiters <- [];
+            wake_pipe_waiters k rs
+          end);
+      executing.fds.entries <- List.remove_assoc fd executing.fds.entries;
+      Ok ()
+
+(* ---------- file write / read internals ---------- *)
+
+let grow_stored f new_size =
+  if Bytes.length f.stored < new_size then begin
+    let b = Bytes.make (max new_size (2 * Bytes.length f.stored)) '\000' in
+    Bytes.blit f.stored 0 b 0 (Bytes.length f.stored);
+    f.stored <- b
+  end
+
+let path_of fs inode =
+  let found = ref None in
+  Hashtbl.iter (fun p f -> if f.inode == inode then found := Some p) fs.files;
+  !found
+
+let file_of_inode fs inode =
+  match path_of fs inode with Some p -> lookup fs p | None -> None
+
+let write_file ?(cold = false) ?data k fs ~(executing : task) entry inode ~bytes =
+  let cost = Kernel.cost k in
+  if not (writable entry.flags) then Error EACCES
+  else begin
+    let copy =
+      if cold then Arch.Cost_model.remote_copy_time cost bytes
+      else Arch.Cost_model.copy_time cost bytes
+    in
+    let new_size = max inode.size (entry.offset + bytes) in
+    let new_pages = page_count cost new_size - inode.resident_pages in
+    let fault_cost =
+      if new_pages > 0 then
+        float_of_int new_pages *. cost.Arch.Cost_model.page_fault_minor
+      else 0.0
+    in
+    if new_pages > 0 then begin
+      inode.resident_pages <- inode.resident_pages + new_pages;
+      fs.total_minor_faults <- fs.total_minor_faults + new_pages
+    end;
+    Kernel.burn k executing
+      (cost.Arch.Cost_model.file_write_base +. copy +. fault_cost);
+    (match (data, file_of_inode fs inode) with
+    | Some src, Some f ->
+        grow_stored f (entry.offset + bytes);
+        Bytes.blit src 0 f.stored entry.offset (min bytes (Bytes.length src))
+    | _, _ -> ());
+    inode.size <- new_size;
+    inode.content_version <- inode.content_version + 1;
+    entry.offset <- entry.offset + bytes;
+    Ok bytes
+  end
+
+let read_file ?into k fs ~(executing : task) entry inode ~bytes =
+  let cost = Kernel.cost k in
+  if not (readable entry.flags) then Error EACCES
+  else begin
+    let avail = max 0 (inode.size - entry.offset) in
+    let n = min bytes avail in
+    Kernel.burn k executing
+      (cost.Arch.Cost_model.file_read_base +. Arch.Cost_model.copy_time cost n);
+    (match (into, file_of_inode fs inode) with
+    | Some dst, Some f ->
+        if Bytes.length f.stored >= entry.offset + n then
+          Bytes.blit f.stored entry.offset dst 0 (min n (Bytes.length dst))
+    | _, _ -> ());
+    entry.offset <- entry.offset + n;
+    Ok n
+  end
+
+(* ---------- pipe write / read internals ---------- *)
+
+(* Pipe write: blocks while the buffer is full; EPIPE once the read end
+   is closed.  Writes larger than the capacity are transferred in
+   chunks, blocking between them, like the real thing. *)
+let rec write_pipe ?data ?(nonblock = false) k ~(executing : task) p ~bytes
+    ~written =
+  let cost = Kernel.cost k in
+  if p.readers = 0 then
+    if written > 0 then Ok written else Error EPIPE
+  else if bytes = 0 then Ok written
+  else begin
+    let room = p.capacity - p.buffered in
+    if room = 0 then begin
+      if nonblock then
+        (* O_NONBLOCK: report the partial transfer, or EAGAIN *)
+        if written > 0 then Ok written else Error EAGAIN
+      else begin
+        (* block until a reader drains some bytes *)
+        p.write_waiters <- p.write_waiters @ [ executing ];
+        Kernel.block k executing;
+        write_pipe ?data k ~executing p ~bytes ~written
+      end
+    end
+    else begin
+      let n = min room bytes in
+      Kernel.burn k executing
+        (cost.Arch.Cost_model.file_write_base
+        +. Arch.Cost_model.copy_time cost n);
+      p.buffered <- p.buffered + n;
+      (match data with
+      | Some src ->
+          let off = min written (Bytes.length src) in
+          let len = min n (Bytes.length src - off) in
+          if len > 0 then Buffer.add_subbytes p.pipe_stored src off len
+      | None -> ());
+      let rs = p.read_waiters in
+      p.read_waiters <- [];
+      wake_pipe_waiters k rs;
+      write_pipe ?data ~nonblock k ~executing p ~bytes:(bytes - n)
+        ~written:(written + n)
+    end
+  end
+
+(* Pipe read: blocks while empty (unless the write end closed: EOF). *)
+let rec read_pipe ?into ?(nonblock = false) k ~(executing : task) p ~bytes =
+  let cost = Kernel.cost k in
+  if bytes = 0 then Ok 0
+  else if p.buffered = 0 then
+    if p.writers = 0 then Ok 0 (* EOF *)
+    else if nonblock then Error EAGAIN
+    else begin
+      p.read_waiters <- p.read_waiters @ [ executing ];
+      Kernel.block k executing;
+      read_pipe ?into k ~executing p ~bytes
+    end
+  else begin
+    let n = min bytes p.buffered in
+    Kernel.burn k executing
+      (cost.Arch.Cost_model.file_read_base +. Arch.Cost_model.copy_time cost n);
+    p.buffered <- p.buffered - n;
+    (match into with
+    | Some dst ->
+        let available = Buffer.length p.pipe_stored in
+        let take = min n available in
+        if take > 0 then begin
+          Bytes.blit (Buffer.to_bytes p.pipe_stored) 0 dst 0
+            (min take (Bytes.length dst));
+          let rest = Buffer.sub p.pipe_stored take (available - take) in
+          Buffer.clear p.pipe_stored;
+          Buffer.add_string p.pipe_stored rest
+        end
+    | None ->
+        let available = Buffer.length p.pipe_stored in
+        let take = min n available in
+        if take > 0 then begin
+          let rest = Buffer.sub p.pipe_stored take (available - take) in
+          Buffer.clear p.pipe_stored;
+          Buffer.add_string p.pipe_stored rest
+        end);
+    let ws = p.write_waiters in
+    p.write_waiters <- [];
+    wake_pipe_waiters k ws;
+    Ok n
+  end
+
+(* ---------- dispatching write / read / lseek ---------- *)
+
+(* Write [bytes] at the descriptor.  [cold] means the source buffer is
+   not resident in the executing core's cache, so a file copy pays the
+   cross-core penalty (a coupled ULP write on a dedicated syscall core
+   against data produced on the program core). *)
+let write ?(cold = false) ?data k fs ~(executing : task) fd ~bytes =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  if bytes < 0 then Error EINVAL
+  else
+    match find_fd executing fd with
+    | None -> Error EBADF
+    | Some entry -> (
+        match entry.target with
+        | File inode -> write_file ~cold ?data k fs ~executing entry inode ~bytes
+        | Pipe_write p ->
+            write_pipe ?data
+              ~nonblock:(List.mem O_NONBLOCK entry.flags)
+              k ~executing p ~bytes ~written:0
+        | Pipe_read _ -> Error EBADF)
+
+let read ?into k fs ~(executing : task) fd ~bytes =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  if bytes < 0 then Error EINVAL
+  else
+    match find_fd executing fd with
+    | None -> Error EBADF
+    | Some entry -> (
+        match entry.target with
+        | File inode -> read_file ?into k fs ~executing entry inode ~bytes
+        | Pipe_read p ->
+            read_pipe ?into
+              ~nonblock:(List.mem O_NONBLOCK entry.flags)
+              k ~executing p ~bytes
+        | Pipe_write _ -> Error EBADF)
+
+let lseek _k _fs ~(executing : task) fd ~pos =
+  match find_fd executing fd with
+  | None -> Error EBADF
+  | Some entry -> (
+      match entry.target with
+      | File _ ->
+          if pos < 0 then Error EINVAL
+          else begin
+            entry.offset <- pos;
+            Ok pos
+          end
+      | Pipe_read _ | Pipe_write _ -> Error ESPIPE)
+
+let unlink k fs ~(executing : task) path =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  Kernel.burn k executing (Kernel.cost k).Arch.Cost_model.file_close;
+  match lookup fs path with
+  | None -> Error ENOENT
+  | Some _ ->
+      Hashtbl.remove fs.files path;
+      Ok ()
+
+(* ---------- fcntl / poll ---------- *)
+
+(* fcntl(F_SETFL): replace the status flags (used to toggle O_NONBLOCK). *)
+let set_flags k _fs ~(executing : task) fd flags =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  Kernel.burn k executing (Kernel.cost k).Arch.Cost_model.syscall_entry;
+  match find_fd executing fd with
+  | None -> Error EBADF
+  | Some entry ->
+      entry.flags <- flags;
+      Ok ()
+
+type poll_event = POLLIN | POLLOUT
+
+let poll_ready entry ev =
+  match (entry.target, ev) with
+  | File _, (POLLIN | POLLOUT) -> true (* regular files are always ready *)
+  | Pipe_read p, POLLIN -> p.buffered > 0 || p.writers = 0
+  | Pipe_write p, POLLOUT -> p.buffered < p.capacity || p.readers = 0
+  | Pipe_read _, POLLOUT | Pipe_write _, POLLIN -> false
+
+(* poll(2) over the executing task's descriptors: returns the ready
+   subset; blocks (registering on every polled pipe) until something is
+   ready or the timeout fires.  [timeout = None] waits forever;
+   [Some 0.] is a pure probe. *)
+let poll ?timeout k _fs ~(executing : task) specs =
+  Kernel.assert_running k executing;
+  Kernel.count_syscall executing;
+  Kernel.burn k executing (Kernel.cost k).Arch.Cost_model.syscall_entry;
+  let resolve () =
+    List.filter_map
+      (fun (fd, ev) ->
+        match find_fd executing fd with
+        | None -> None
+        | Some entry -> if poll_ready entry ev then Some (fd, ev) else None)
+      specs
+  in
+  let register () =
+    List.iter
+      (fun (fd, ev) ->
+        match find_fd executing fd with
+        | Some { target = Pipe_read p; _ } when ev = POLLIN ->
+            p.read_waiters <- p.read_waiters @ [ executing ]
+        | Some { target = Pipe_write p; _ } when ev = POLLOUT ->
+            p.write_waiters <- p.write_waiters @ [ executing ]
+        | _ -> ())
+      specs
+  in
+  let deregister () =
+    List.iter
+      (fun (fd, _) ->
+        match find_fd executing fd with
+        | Some { target = Pipe_read p; _ } ->
+            p.read_waiters <-
+              List.filter (fun t -> not (t == executing)) p.read_waiters
+        | Some { target = Pipe_write p; _ } ->
+            p.write_waiters <-
+              List.filter (fun t -> not (t == executing)) p.write_waiters
+        | _ -> ())
+      specs
+  in
+  let deadline =
+    Option.map (fun d -> Kernel.now k +. d) timeout
+  in
+  let rec wait () =
+    match resolve () with
+    | _ :: _ as ready -> ready
+    | [] -> (
+        match deadline with
+        | Some d when Kernel.now k >= d -> []
+        | _ ->
+            register ();
+            (match deadline with
+            | Some d ->
+                let remaining = d -. Kernel.now k in
+                Sim.Engine.schedule (Kernel.engine k) ~delay:remaining
+                  (fun () -> Kernel.wake k executing)
+            | None -> ());
+            Kernel.block k executing;
+            deregister ();
+            wait ())
+  in
+  wait ()

@@ -1,0 +1,82 @@
+(** A tmpfs-like in-memory file system — the I/O substrate of the
+    paper's Figure 7/8 benchmarks.
+
+    Consistency rule: every operation resolves file descriptors in the
+    fd table of the {e executing} kernel task.  A descriptor opened
+    while coupled to one KC is invisible to another — the
+    system-call-consistency hazard ULP must fence with
+    couple()/decouple(). *)
+
+open Types
+
+type errno =
+  | ENOENT
+  | EBADF
+  | EEXIST
+  | EINVAL
+  | EACCES
+  | ESPIPE
+  | EPIPE
+  | ECANCELED
+  | EAGAIN
+
+val errno_to_string : errno -> string
+
+type t
+
+val create : unit -> t
+
+val default_pipe_capacity : int
+
+(** pipe(2): a bounded in-kernel byte buffer; returns
+    [(read_fd, write_fd)] in the executing task's table.  Reads block
+    while empty (EOF once the write end closes); writes block while
+    full (EPIPE once the read end closes) — the canonical blocking
+    syscalls that motivate bi-level threads. *)
+val pipe : ?capacity:int -> Kernel.t -> t -> executing:task -> unit -> int * int
+val file_exists : t -> string -> bool
+val file_count : t -> int
+val file_size : t -> string -> int option
+
+val openf :
+  Kernel.t -> t -> executing:task -> string -> open_flag list ->
+  (int, errno) result
+(** open(2): returns a descriptor in the executing task's fd table. *)
+
+val close : Kernel.t -> t -> executing:task -> int -> (unit, errno) result
+
+val write :
+  ?cold:bool ->
+  ?data:bytes ->
+  Kernel.t -> t -> executing:task -> int -> bytes:int ->
+  (int, errno) result
+(** write(2).  [cold] means the source buffer is not resident in the
+    executing core's cache, so the copy pays the cross-core penalty —
+    how a coupled ULP write on a dedicated syscall core behaves for
+    data produced on a program core.  [data] optionally stores real
+    content for integrity checks. *)
+
+val read :
+  ?into:bytes ->
+  Kernel.t -> t -> executing:task -> int -> bytes:int ->
+  (int, errno) result
+
+val lseek : Kernel.t -> t -> executing:task -> int -> pos:int -> (int, errno) result
+val unlink : Kernel.t -> t -> executing:task -> string -> (unit, errno) result
+
+(** {2 Non-blocking I/O (the Background section's ULT alternative)} *)
+
+val set_flags :
+  Kernel.t -> t -> executing:task -> int -> open_flag list -> (unit, errno) result
+(** fcntl(F_SETFL): replace a descriptor's status flags (toggle
+    [O_NONBLOCK]).  Non-blocking pipe reads/writes return [EAGAIN]
+    instead of blocking. *)
+
+type poll_event = POLLIN | POLLOUT
+
+val poll :
+  ?timeout:float -> Kernel.t -> t -> executing:task ->
+  (int * poll_event) list -> (int * poll_event) list
+(** poll(2): the ready subset of the polled descriptors; blocks until
+    something is ready or the timeout fires ([None] = forever,
+    [Some 0.] = probe). *)

@@ -1,0 +1,1 @@
+lib/report/timeline.ml: Buffer Bytes Hashtbl List Printf String

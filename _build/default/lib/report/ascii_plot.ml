@@ -1,0 +1,72 @@
+(* Terminal line plots for the figure reproductions: one character column
+   per x value, multiple series overlaid with distinct glyphs.  Crude but
+   dependency-free; the precise values are printed alongside as tables
+   and CSV. *)
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let series ~label ~glyph points = { label; glyph; points }
+
+let nice v = Printf.sprintf "%.3g" v
+
+(* Render series sharing an x grid (x values are taken from the first
+   series and treated as categorical columns, e.g. buffer sizes). *)
+let render ?(height = 16) ?(title = "") (all : series list) =
+  match all with
+  | [] -> "(empty plot)\n"
+  | first :: _ ->
+      let xs = List.map fst first.points in
+      let cols = List.length xs in
+      let ys = List.concat_map (fun s -> List.map snd s.points) all in
+      let ymin = List.fold_left min infinity ys in
+      let ymax = List.fold_left max neg_infinity ys in
+      let span = if ymax -. ymin < 1e-12 then 1.0 else ymax -. ymin in
+      let grid = Array.make_matrix height cols ' ' in
+      List.iter
+        (fun s ->
+          List.iteri
+            (fun col (_, y) ->
+              if col < cols then begin
+                let frac = (y -. ymin) /. span in
+                let r =
+                  height - 1 - int_of_float (frac *. float_of_int (height - 1))
+                in
+                let r = max 0 (min (height - 1) r) in
+                if grid.(r).(col) = ' ' then grid.(r).(col) <- s.glyph
+                else if grid.(r).(col) <> s.glyph then grid.(r).(col) <- '*'
+              end)
+            s.points)
+        all;
+      let buf = Buffer.create 1024 in
+      if title <> "" then Buffer.add_string buf (title ^ "\n");
+      for r = 0 to height - 1 do
+        let yval = ymax -. (float_of_int r /. float_of_int (height - 1) *. span) in
+        Buffer.add_string buf (Printf.sprintf "%10s |" (nice yval));
+        for c = 0 to cols - 1 do
+          Buffer.add_char buf ' ';
+          Buffer.add_char buf grid.(r).(c);
+          Buffer.add_char buf ' '
+        done;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (String.make 12 ' ');
+      Buffer.add_string buf (String.make (cols * 3) '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make 12 ' ');
+      List.iter
+        (fun x ->
+          let label =
+            if x >= 1048576.0 then Printf.sprintf "%gM" (x /. 1048576.0)
+            else if x >= 1024.0 then Printf.sprintf "%gK" (x /. 1024.0)
+            else Printf.sprintf "%g" x
+          in
+          Buffer.add_string buf (Printf.sprintf "%-3s" label))
+        xs;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun s ->
+          Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.glyph s.label))
+        all;
+      Buffer.contents buf
+
+let print ?height ?title all = print_string (render ?height ?title all)

@@ -1,0 +1,13 @@
+(** Terminal line plots for the figure reproductions: one character
+    column per x value, multiple series overlaid by glyph ('*' marks
+    collisions). *)
+
+type series
+
+val series : label:string -> glyph:char -> (float * float) list -> series
+
+val render : ?height:int -> ?title:string -> series list -> string
+(** X values are taken from the first series and treated as categorical
+    columns (e.g. buffer sizes, labelled K/M). *)
+
+val print : ?height:int -> ?title:string -> series list -> unit

@@ -1,0 +1,30 @@
+(* Minimal CSV output for benchmark series (no external deps). *)
+
+let escape field =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      field
+  then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let row_to_string cells = String.concat "," (List.map escape cells)
+
+let to_string ~headers rows =
+  String.concat "\n" (row_to_string headers :: List.map row_to_string rows)
+  ^ "\n"
+
+let write_file path ~headers rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~headers rows))

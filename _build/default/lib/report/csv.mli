@@ -1,0 +1,6 @@
+(** Minimal CSV output for benchmark series (RFC-4180-style quoting). *)
+
+val escape : string -> string
+val row_to_string : string list -> string
+val to_string : headers:string list -> string list list -> string
+val write_file : string -> headers:string list -> string list list -> unit

@@ -1,0 +1,84 @@
+(* Fixed-width ASCII tables for the benchmark harness: the same rows the
+   paper's tables report, printed to the terminal. *)
+
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* newest last *)
+}
+
+let create ~title ~headers ?aligns () =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  if List.length aligns <> List.length headers then
+    invalid_arg "Table.create: aligns/headers length mismatch";
+  { title; headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- t.rows @ [ cells ]
+
+let add_rowf t fmts = add_row t fmts
+
+let widths t =
+  let all = t.headers :: t.rows in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+    t.headers
+
+let pad align width s =
+  let n = max 0 (width - String.length s) in
+  match align with
+  | Left -> s ^ String.make n ' '
+  | Right -> String.make n ' ' ^ s
+
+let render t =
+  let ws = widths t in
+  let buf = Buffer.create 256 in
+  let line ch =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      ws;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = List.nth ws i and a = List.nth t.aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a w cell);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* Scientific notation like the paper's tables (e.g. 1.50E-7). *)
+let sci v =
+  if Float.is_nan v then "-"
+  else
+    let s = Printf.sprintf "%.2e" v in
+    String.uppercase_ascii s
+
+let fixed ?(digits = 1) v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.*f" digits v

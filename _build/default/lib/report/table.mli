@@ -1,0 +1,22 @@
+(** Fixed-width ASCII tables for the benchmark harness. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> headers:string list -> ?aligns:align list -> unit -> t
+(** Defaults to right alignment.
+    @raise Invalid_argument if [aligns] and [headers] differ in length. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val add_rowf : t -> string list -> unit
+val render : t -> string
+val print : t -> unit
+
+val sci : float -> string
+(** Scientific notation like the paper's tables (1.50E-07); "-" for
+    NaN. *)
+
+val fixed : ?digits:int -> float -> string

@@ -1,0 +1,68 @@
+(* Per-actor event timelines rendered as ASCII lanes: a poor man's Gantt
+   chart for simulation traces.  Each distinct event tag gets a marker
+   letter; overlapping events in one cell show '*'. *)
+
+type event = { time : float; actor : string; tag : string }
+
+let event ~time ~actor ~tag = { time; actor; tag }
+
+(* Stable first-appearance order. *)
+let uniq xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
+
+let marker_letters = "abcdefghijklmnopqrstuvwxyz"
+
+let render ?(width = 72) (events : event list) =
+  match events with
+  | [] -> "(empty timeline)\n"
+  | _ ->
+      let times = List.map (fun e -> e.time) events in
+      let t0 = List.fold_left min infinity times in
+      let t1 = List.fold_left max neg_infinity times in
+      let span = if t1 -. t0 < 1e-15 then 1e-15 else t1 -. t0 in
+      let actors = uniq (List.map (fun e -> e.actor) events) in
+      let tags = uniq (List.map (fun e -> e.tag) events) in
+      let marker tag =
+        match List.find_index (fun t -> t = tag) tags with
+        | Some i when i < String.length marker_letters -> marker_letters.[i]
+        | _ -> '?'
+      in
+      let name_width =
+        List.fold_left (fun acc a -> max acc (String.length a)) 0 actors
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "%*s  t = %.3e .. %.3e s\n" name_width "" t0 t1);
+      List.iter
+        (fun actor ->
+          let lane = Bytes.make width '.' in
+          List.iter
+            (fun e ->
+              if e.actor = actor then begin
+                let col =
+                  int_of_float ((e.time -. t0) /. span *. float_of_int (width - 1))
+                in
+                let col = max 0 (min (width - 1) col) in
+                let m = marker e.tag in
+                Bytes.set lane col
+                  (if Bytes.get lane col = '.' then m else '*')
+              end)
+            events;
+          Buffer.add_string buf
+            (Printf.sprintf "%*s |%s|\n" name_width actor
+               (Bytes.to_string lane)))
+        actors;
+      List.iter
+        (fun tag -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" (marker tag) tag))
+        tags;
+      Buffer.contents buf
+
+let print ?width events = print_string (render ?width events)

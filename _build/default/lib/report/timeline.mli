@@ -1,0 +1,9 @@
+(** Per-actor event timelines as ASCII lanes: a small Gantt renderer for
+    simulation traces.  Each distinct tag gets a marker letter;
+    overlapping events in one cell show '*'. *)
+
+type event
+
+val event : time:float -> actor:string -> tag:string -> event
+val render : ?width:int -> event list -> string
+val print : ?width:int -> event list -> unit

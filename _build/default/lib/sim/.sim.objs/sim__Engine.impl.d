@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Effect Event_heap Option Printexc Rng Trace

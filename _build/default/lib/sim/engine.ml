@@ -1,0 +1,133 @@
+exception Cancelled
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : (unit -> unit) Event_heap.t;
+  mutable stopped : bool;
+  mutable failure : exn option;
+  rng : Rng.t;
+  trace : Trace.t;
+}
+
+type resumer = {
+  engine : t;
+  mutable state : [ `Pending | `Done ];
+  k : (unit, unit) Effect.Deep.continuation;
+}
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : (resumer -> unit) -> unit Effect.t
+  | Now : float Effect.t
+
+let create ?(seed = 42L) ?(trace = false) () =
+  {
+    now = 0.0;
+    seq = 0;
+    heap = Event_heap.create ();
+    stopped = false;
+    failure = None;
+    rng = Rng.create ~seed ();
+    trace = Trace.create ~enabled:trace ();
+  }
+
+let now t = t.now
+let rng t = t.rng
+let trace t = t.trace
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Event_heap.push t.heap ~time:(t.now +. delay) ~seq f
+
+let spawn t ?name f =
+  let name = Option.value name ~default:"proc" in
+  let open Effect.Deep in
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc =
+          (fun e ->
+            match e with
+            | Cancelled -> ()
+            | e ->
+                if t.failure = None then t.failure <- Some e;
+                Trace.record t.trace ~time:t.now ~actor:name ~tag:"crash"
+                  (Printexc.to_string e));
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Delay d ->
+                Some
+                  (fun (k : (b, unit) continuation) ->
+                    schedule t ~delay:d (fun () -> continue k ()))
+            | Suspend register ->
+                Some
+                  (fun (k : (b, unit) continuation) ->
+                    let r = { engine = t; state = `Pending; k } in
+                    register r)
+            | Now -> Some (fun (k : (b, unit) continuation) -> continue k t.now)
+            | _ -> None);
+      }
+  in
+  schedule t ~delay:0.0 body
+
+let stop t = t.stopped <- true
+
+let pending_events t = Event_heap.length t.heap
+
+let run ?until t =
+  t.stopped <- false;
+  let limit = Option.value until ~default:infinity in
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Event_heap.pop t.heap with
+      | None -> ()
+      | Some { Event_heap.time; payload; _ } ->
+          if time > limit then begin
+            (* Put the clock at the horizon; the event stays consumed on
+               purpose: a bounded run is a hard cutoff. *)
+            t.now <- limit
+          end
+          else begin
+            t.now <- time;
+            payload ();
+            (match t.failure with
+            | Some e ->
+                t.failure <- None;
+                raise e
+            | None -> ());
+            loop ()
+          end
+  in
+  loop ()
+
+(* Inside-process operations. *)
+
+let delay d = Effect.perform (Delay d)
+
+let suspend register = Effect.perform (Suspend register)
+
+let current_time () = Effect.perform Now
+
+let resume_after t ~delay r =
+  match r.state with
+  | `Done -> false
+  | `Pending ->
+      r.state <- `Done;
+      schedule t ~delay (fun () -> Effect.Deep.continue r.k ());
+      true
+
+let resume t r = resume_after t ~delay:0.0 r
+
+let cancel t r =
+  match r.state with
+  | `Done -> false
+  | `Pending ->
+      r.state <- `Done;
+      schedule t ~delay:0.0 (fun () -> Effect.Deep.discontinue r.k Cancelled);
+      true

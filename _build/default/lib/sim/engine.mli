@@ -1,0 +1,67 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and an event heap.  Simulated
+    activities are ordinary OCaml functions run as effect-handler
+    coroutines ({i processes}); inside a process, {!delay} advances
+    virtual time and {!suspend} parks the process until some other
+    process resumes it.  Everything is deterministic: there is no wall
+    clock, no global [Random], and event ties break by insertion order. *)
+
+type t
+
+(** A handle used to resume (or cancel) a suspended process exactly
+    once. *)
+type resumer
+
+exception Cancelled
+(** Raised inside a process whose resumer was {!cancel}ed. *)
+
+val create : ?seed:int64 -> ?trace:bool -> unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+
+val trace : t -> Trace.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a plain callback at [now + delay].  The callback must not perform
+    process effects unless it resumes a captured continuation. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a new process at the current time.  Uncaught exceptions other
+    than {!Cancelled} are recorded and re-raised by {!run}. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the heap is empty (or virtual time exceeds
+    [until]).  Re-raises the first exception that escaped a process. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current event. *)
+
+val pending_events : t -> int
+
+(** {2 Inside a process} *)
+
+val delay : float -> unit
+(** Advance this process's virtual time by the given number of seconds. *)
+
+val suspend : (resumer -> unit) -> unit
+(** Park the current process.  The callback receives the resumer and runs
+    immediately (before the process actually yields control is NOT
+    guaranteed to other processes; it runs synchronously), typically
+    storing it in a wait queue. *)
+
+val current_time : unit -> float
+(** Virtual [now] as seen from inside a process. *)
+
+val resume : t -> resumer -> bool
+(** Schedule the suspended process to continue at the current time.
+    Returns [false] if it was already resumed or cancelled. *)
+
+val resume_after : t -> delay:float -> resumer -> bool
+(** Like {!resume} but at [now + delay]. *)
+
+val cancel : t -> resumer -> bool
+(** Resume the suspended process by raising {!Cancelled} inside it. *)

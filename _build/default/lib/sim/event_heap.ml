@@ -1,0 +1,73 @@
+(* Binary min-heap of timestamped events.  Ties on the timestamp break by
+   insertion sequence number so that the simulation is deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let data = Array.make new_cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h ~time ~seq payload =
+  let e = { time; seq; payload } in
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 64 e else grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt h.data.(i) h.data.(parent) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* sift down *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some top
+  end
+
+let clear h = h.size <- 0

@@ -1,0 +1,60 @@
+(* SplitMix64: a small, fast, deterministic PRNG.  The simulation never
+   uses the global [Random] state so that runs are reproducible from the
+   seed alone. *)
+
+type t = { mutable state : int64 }
+
+let create ?(seed = 0x9E3779B97F4A7C15L) () = { state = seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+(* Uniform int in [0, bound).  Shift by 2 so the value fits OCaml's
+   63-bit native int without touching the sign bit. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  x mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+(* Exponentially distributed value with the given mean. *)
+let exponential t ~mean =
+  let u = float t in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+(* Standard normal via Box-Muller. *)
+let normal t ~mean ~stddev =
+  let u1 = max epsilon_float (float t) in
+  let u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let shuffle_in_place t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,24 @@
+(** SplitMix64: a small deterministic PRNG.  The simulation never touches
+    the global [Random] state, so runs reproduce from the seed alone. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** Uniform in [0, bound).  @raise Invalid_argument on bound <= 0. *)
+
+val bool : t -> bool
+val float_range : t -> float -> float -> float
+val exponential : t -> mean:float -> float
+val normal : t -> mean:float -> stddev:float -> float
+
+val split : t -> t
+(** An independent stream derived from this one. *)
+
+val shuffle_in_place : t -> 'a array -> unit

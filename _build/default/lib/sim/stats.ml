@@ -1,0 +1,102 @@
+(* Online statistics and percentile summaries for measured samples.
+   Accumulates every sample so that exact percentiles can be reported,
+   which is fine at micro-benchmark scale. *)
+
+type t = {
+  mutable samples : float array;
+  mutable size : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    samples = [||];
+    size = 0;
+    sum = 0.0;
+    sum_sq = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let add t x =
+  if t.size = Array.length t.samples then begin
+    let cap = if t.size = 0 then 64 else t.size * 2 in
+    let data = Array.make cap 0.0 in
+    Array.blit t.samples 0 data 0 t.size;
+    t.samples <- data
+  end;
+  t.samples.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.size
+
+let mean t = if t.size = 0 then nan else t.sum /. float_of_int t.size
+
+let variance t =
+  if t.size < 2 then 0.0
+  else begin
+    let n = float_of_int t.size in
+    let m = t.sum /. n in
+    Float.max 0.0 ((t.sum_sq /. n) -. (m *. m))
+  end
+
+let stddev t = sqrt (variance t)
+
+let min_value t = if t.size = 0 then nan else t.min_v
+
+let max_value t = if t.size = 0 then nan else t.max_v
+
+let sorted t =
+  let a = Array.sub t.samples 0 t.size in
+  Array.sort compare a;
+  a
+
+(* Linear-interpolated percentile, [p] in [0, 100]. *)
+let percentile t p =
+  if t.size = 0 then nan
+  else begin
+    let a = sorted t in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+  end
+
+let median t = percentile t 50.0
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize t =
+  {
+    n = t.size;
+    mean = mean t;
+    stddev = stddev t;
+    min = min_value t;
+    p50 = median t;
+    p99 = percentile t 99.0;
+    max = max_value t;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.3e sd=%.3e min=%.3e p50=%.3e p99=%.3e max=%.3e"
+    s.n s.mean s.stddev s.min s.p50 s.p99 s.max

@@ -1,0 +1,32 @@
+(** Statistics over measured samples: exact percentiles, running
+    moments.  Keeps every sample (fine at micro-benchmark scale). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val sorted : t -> float array
+
+val percentile : t -> float -> float
+(** Linear-interpolated percentile, argument in [0, 100]. *)
+
+val median : t -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

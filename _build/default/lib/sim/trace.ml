@@ -1,0 +1,44 @@
+(* Execution trace: a time-ordered log of tagged events.  Used by tests to
+   assert protocol step orderings (e.g. the Table I couple/decouple
+   procedure) and by the CLI to dump what a simulated run did. *)
+
+type entry = { time : float; actor : string; tag : string; detail : string }
+
+type t = { mutable entries : entry list; mutable enabled : bool }
+
+let create ?(enabled = true) () = { entries = []; enabled }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let record t ~time ~actor ~tag detail =
+  if t.enabled then t.entries <- { time; actor; tag; detail } :: t.entries
+
+let entries t = List.rev t.entries
+
+let clear t = t.entries <- []
+
+let length t = List.length t.entries
+
+(* All entries carrying the given tag, oldest first. *)
+let find_tag t tag = List.filter (fun e -> e.tag = tag) (entries t)
+
+(* True iff the tags appear in the trace in the given relative order
+   (not necessarily adjacent). *)
+let tags_in_order t tags =
+  let rec go remaining = function
+    | [] -> remaining = []
+    | e :: rest -> (
+        match remaining with
+        | [] -> true
+        | tag :: more ->
+            if e.tag = tag then go more rest else go remaining rest)
+  in
+  go tags (entries t)
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%.9f [%s] %s %s" e.time e.actor e.tag e.detail
+
+let pp ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) (entries t)

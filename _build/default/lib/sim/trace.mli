@@ -1,0 +1,27 @@
+(** Execution trace: a time-ordered log of tagged events, used by tests
+    to assert protocol orderings (e.g. the Table I couple/decouple
+    procedure) and by the CLI to dump what a run did. *)
+
+type entry = { time : float; actor : string; tag : string; detail : string }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+val record : t -> time:float -> actor:string -> tag:string -> string -> unit
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val clear : t -> unit
+val length : t -> int
+val find_tag : t -> string -> entry list
+
+val tags_in_order : t -> string list -> bool
+(** True iff the tags appear as a (not necessarily contiguous)
+    subsequence of the trace. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/ult/context.mli:

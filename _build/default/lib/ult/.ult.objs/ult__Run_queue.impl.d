@@ -1,0 +1,1 @@
+lib/ult/run_queue.ml: List Queue Seq

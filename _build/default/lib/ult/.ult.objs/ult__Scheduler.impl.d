@@ -1,0 +1,1 @@
+lib/ult/scheduler.ml: Arch Context Hashtbl Kernel List Option Oskernel Run_queue Types Ws_deque

@@ -1,0 +1,1 @@
+lib/ult/scheduler.mli: Context Kernel Oskernel Types

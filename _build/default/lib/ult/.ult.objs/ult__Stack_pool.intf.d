@@ -1,0 +1,1 @@
+lib/ult/stack_pool.mli: Addrspace

@@ -1,0 +1,1 @@
+lib/ult/ws_deque.ml: Array List

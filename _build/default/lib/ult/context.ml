@@ -1,0 +1,108 @@
+(* User contexts: the UC of the paper, i.e. a suspendable user-level
+   computation.  The real system saves registers onto a private stack
+   (Boost fcontext); we capture a one-shot effect continuation.  A
+   suspended context is inert data -- *any* kernel context may resume it,
+   which is precisely the property decoupling relies on.  The resuming
+   KC's simulated time is charged by the scheduler around [resume]. *)
+
+type outcome =
+  | Yielded (* cooperative yield: still runnable, requeue me *)
+  | Parked of (unit -> unit)
+      (* suspended; run the callback (it has custody of the context and
+         arranges the future resume) *)
+  | Finished
+
+type status = Created | Runnable | Running | Suspended | Done
+
+type t = {
+  uc_id : int;
+  uc_name : string;
+  mutable status : status;
+  mutable k : (unit, outcome) Effect.Deep.continuation option;
+  mutable body : (unit -> outcome) option;
+  mutable steps : int; (* resume count, for accounting *)
+}
+
+type _ Effect.t +=
+  | Uc_suspend : [ `Yield | `Park of (unit -> unit) ] -> unit Effect.t
+  | Uc_self : t Effect.t
+
+exception Not_resumable of string
+
+let counter = ref 0
+
+let make ?name body =
+  incr counter;
+  let uc_id = !counter in
+  let uc_name =
+    match name with Some n -> n | None -> Printf.sprintf "uc%d" uc_id
+  in
+  let rec t =
+    { uc_id; uc_name; status = Created; k = None; body = None; steps = 0 }
+  and wrapped () =
+    let open Effect.Deep in
+    match_with
+      (fun () ->
+        body ();
+        Finished)
+      ()
+      {
+        retc = (fun outcome -> outcome);
+        exnc = raise;
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Uc_suspend how ->
+                Some
+                  (fun (kk : (b, outcome) continuation) ->
+                    t.k <- Some kk;
+                    match how with
+                    | `Yield ->
+                        t.status <- Runnable;
+                        Yielded
+                    | `Park cb ->
+                        t.status <- Suspended;
+                        Parked cb)
+            | Uc_self -> Some (fun kk -> continue kk t)
+            | _ -> None);
+      }
+  in
+  t.body <- Some wrapped;
+  t
+
+let id t = t.uc_id
+let name t = t.uc_name
+let status t = t.status
+let steps t = t.steps
+let is_done t = t.status = Done
+
+(* Run the context until it yields, parks or finishes.  Called by
+   whichever KC currently schedules it. *)
+let resume t =
+  t.steps <- t.steps + 1;
+  let outcome =
+    match (t.status, t.body, t.k) with
+    | Created, Some body, _ ->
+        t.body <- None;
+        t.status <- Running;
+        body ()
+    | (Runnable | Suspended), _, Some k ->
+        t.k <- None;
+        t.status <- Running;
+        Effect.Deep.continue k ()
+    | Done, _, _ -> raise (Not_resumable (t.uc_name ^ ": already finished"))
+    | Running, _, _ -> raise (Not_resumable (t.uc_name ^ ": already running"))
+    | _ -> raise (Not_resumable (t.uc_name ^ ": no continuation"))
+  in
+  (match outcome with Finished -> t.status <- Done | Yielded | Parked _ -> ());
+  outcome
+
+(* ---- inside a context ---- *)
+
+let yield () = Effect.perform (Uc_suspend `Yield)
+
+(* Suspend; [after_suspend] runs once the continuation is safely saved.
+   It must arrange for a later [resume] by someone. *)
+let park ~after_suspend = Effect.perform (Uc_suspend (`Park after_suspend))
+
+let self () = Effect.perform Uc_self

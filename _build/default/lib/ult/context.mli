@@ -1,0 +1,46 @@
+(** User contexts — the paper's UC: a suspendable user-level
+    computation.
+
+    The real system saves registers onto a private stack (Boost
+    fcontext); here a suspended context is a one-shot effect
+    continuation.  Crucially it is inert data: {e any} kernel context
+    may {!resume} it, which is the property decoupling relies on.  The
+    resuming KC's virtual time is charged by its scheduler around the
+    resume. *)
+
+type outcome =
+  | Yielded  (** cooperative yield: still runnable, requeue me *)
+  | Parked of (unit -> unit)
+      (** suspended; run the callback — it has custody of the context
+          and arranges the future resume *)
+  | Finished
+
+type status = Created | Runnable | Running | Suspended | Done
+
+type t
+
+exception Not_resumable of string
+
+val make : ?name:string -> (unit -> unit) -> t
+val id : t -> int
+val name : t -> string
+val status : t -> status
+val steps : t -> int
+val is_done : t -> bool
+
+val resume : t -> outcome
+(** Run until the next yield, park or return.  One-shot per suspension:
+    resuming a Running or Done context raises {!Not_resumable}. *)
+
+(** {2 Inside a context} *)
+
+val yield : unit -> unit
+(** Suspend cooperatively; the resumer sees {!Yielded}. *)
+
+val park : after_suspend:(unit -> unit) -> unit
+(** Suspend; [after_suspend] runs (in the resumer's frame) once the
+    continuation is safely saved — the hook couple()/decouple() use to
+    enqueue the UC and signal kernel contexts. *)
+
+val self : unit -> t
+(** The currently executing context. *)

@@ -1,0 +1,31 @@
+(* FIFO ready queue for user contexts.  Also usable as a LIFO; the BLT
+   runtime uses the FIFO discipline of the paper's Table I
+   (enqueue/dequeue). *)
+
+type 'a t = { q : 'a Queue.t; mutable enqueues : int; mutable dequeues : int }
+
+let create () = { q = Queue.create (); enqueues = 0; dequeues = 0 }
+
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+
+let enqueue t x =
+  t.enqueues <- t.enqueues + 1;
+  Queue.add x t.q
+
+let dequeue t =
+  match Queue.take_opt t.q with
+  | Some x ->
+      t.dequeues <- t.dequeues + 1;
+      Some x
+  | None -> None
+
+let enqueues t = t.enqueues
+let dequeues t = t.dequeues
+
+let to_list t = List.of_seq (Queue.to_seq t.q)
+
+let filter_inplace t keep =
+  let kept = Queue.of_seq (Seq.filter keep (Queue.to_seq t.q)) in
+  Queue.clear t.q;
+  Queue.transfer kept t.q

@@ -1,0 +1,13 @@
+(** FIFO ready queue for user contexts, with operation counters. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val enqueue : 'a t -> 'a -> unit
+val dequeue : 'a t -> 'a option
+val enqueues : 'a t -> int
+val dequeues : 'a t -> int
+val to_list : 'a t -> 'a list
+val filter_inplace : 'a t -> ('a -> bool) -> unit

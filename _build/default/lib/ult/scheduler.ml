@@ -1,0 +1,124 @@
+(* A plain user-level-thread scheduler: one kernel context runs many user
+   contexts cooperatively.  This is the conventional ULT baseline of the
+   paper's Background section -- fast switches, but a blocking syscall in
+   any context stalls the whole scheduler.  The BLT runtime in lib/core
+   extends this loop with coupling/decoupling. *)
+
+open Oskernel
+
+type policy = Fifo | Lifo_ws | Priority
+
+type t = {
+  kernel : Kernel.t;
+  kc : Types.task; (* the kernel context this scheduler occupies *)
+  fifo : Context.t Run_queue.t;
+  deque : Context.t Ws_deque.t;
+  mutable prio_q : Context.t list; (* insertion order kept among equals *)
+  priorities : (int, int) Hashtbl.t; (* uc id -> priority *)
+  policy : policy;
+  mutable live : int; (* contexts not yet finished *)
+  mutable switches : int;
+  on_switch : Context.t -> unit; (* hook: ULP layer loads TLS here *)
+  charge_switch : bool; (* pay uctx_switch per dispatch *)
+}
+
+let dummy_context = Context.make ~name:"<dummy>" (fun () -> ())
+
+let create ?(policy = Fifo) ?(on_switch = fun _ -> ()) ?(charge_switch = true)
+    kernel kc =
+  {
+    kernel;
+    kc;
+    fifo = Run_queue.create ();
+    deque = Ws_deque.create ~dummy:dummy_context;
+    prio_q = [];
+    priorities = Hashtbl.create 16;
+    policy;
+    live = 0;
+    switches = 0;
+    on_switch;
+    charge_switch;
+  }
+
+let kc t = t.kc
+
+let pending t =
+  Run_queue.length t.fifo + Ws_deque.length t.deque + List.length t.prio_q
+
+let switches t = t.switches
+
+let priority_of t uc =
+  Option.value (Hashtbl.find_opt t.priorities (Context.id uc)) ~default:0
+
+let set_priority t uc priority =
+  Hashtbl.replace t.priorities (Context.id uc) priority
+
+let push t uc =
+  match t.policy with
+  | Fifo -> Run_queue.enqueue t.fifo uc
+  | Lifo_ws -> Ws_deque.push t.deque uc
+  | Priority -> t.prio_q <- t.prio_q @ [ uc ]
+
+let pop t =
+  match t.policy with
+  | Fifo -> Run_queue.dequeue t.fifo
+  | Lifo_ws -> Ws_deque.pop t.deque
+  | Priority -> (
+      (* the user-defined policy the paper's Introduction promises:
+         highest priority first, FIFO among equals *)
+      match t.prio_q with
+      | [] -> None
+      | first :: _ ->
+          let best =
+            List.fold_left
+              (fun acc uc ->
+                if priority_of t uc > priority_of t acc then uc else acc)
+              first t.prio_q
+          in
+          t.prio_q <- List.filter (fun uc -> not (uc == best)) t.prio_q;
+          Some best)
+
+(* Another scheduler may steal runnable work (Lifo_ws only). *)
+let steal t =
+  match t.policy with
+  | Fifo | Priority -> None
+  | Lifo_ws -> Ws_deque.steal t.deque
+
+let add ?priority t uc =
+  (match priority with
+  | Some p -> set_priority t uc p
+  | None -> ());
+  t.live <- t.live + 1;
+  push t uc
+
+(* Dispatch one context: pay the user-level switch and run it to its next
+   suspension point.  Returns [false] when the queue was empty. *)
+let run_one t =
+  match pop t with
+  | None -> false
+  | Some uc ->
+      let cost = Kernel.cost t.kernel in
+      if t.charge_switch then
+        Kernel.compute t.kernel t.kc
+          (cost.Arch.Cost_model.uctx_switch
+          +. cost.Arch.Cost_model.ult_sched_overhead);
+      t.on_switch uc;
+      t.switches <- t.switches + 1;
+      (match Context.resume uc with
+      | Context.Yielded -> push t uc
+      | Context.Parked callback -> callback ()
+      | Context.Finished -> t.live <- t.live - 1);
+      true
+
+(* Run until every context added so far has finished.  Contexts parked
+   elsewhere must be handed back via [add] or [push] by their custodian
+   before this returns. *)
+let run_to_completion t =
+  let made_progress = ref true in
+  while t.live > 0 && !made_progress do
+    if not (run_one t) then
+      if pending t = 0 && t.live > 0 then
+        (* parked contexts exist but nobody can resume them from here *)
+        made_progress := false
+  done;
+  t.live = 0

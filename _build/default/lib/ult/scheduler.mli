@@ -1,0 +1,46 @@
+(** A plain user-level-thread scheduler: one kernel context running many
+    user contexts cooperatively — the conventional ULT baseline of the
+    paper's Background section.  Fast switches, but a blocking syscall
+    in any context stalls the whole scheduler (the problem BLT fixes). *)
+
+open Oskernel
+
+(** Plain FIFO; LIFO + work stealing; or a user-defined priority order
+    (the customizability the paper's Introduction credits ULTs with). *)
+type policy = Fifo | Lifo_ws | Priority
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?on_switch:(Context.t -> unit) ->
+  ?charge_switch:bool ->
+  Kernel.t -> Types.task -> t
+(** A scheduler hosted by the given kernel context.  [on_switch] runs at
+    every dispatch (the ULP layer loads TLS there); [charge_switch]
+    bills the per-dispatch user context switch (default true). *)
+
+val kc : t -> Types.task
+val pending : t -> int
+val switches : t -> int
+
+val add : ?priority:int -> t -> Context.t -> unit
+(** Register and enqueue a context ([priority] matters under the
+    [Priority] policy; default 0, higher runs first). *)
+
+val set_priority : t -> Context.t -> int -> unit
+val priority_of : t -> Context.t -> int
+
+val push : t -> Context.t -> unit
+(** Re-enqueue without touching the live count (for contexts returning
+    from external custody). *)
+
+val steal : t -> Context.t option
+(** Take the oldest runnable context ([Lifo_ws] only). *)
+
+val run_one : t -> bool
+(** Dispatch one context; [false] if the queue was empty. *)
+
+val run_to_completion : t -> bool
+(** Run until every added context finished; [false] if progress stopped
+    because contexts are parked in external custody. *)

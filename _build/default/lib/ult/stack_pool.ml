@@ -1,0 +1,82 @@
+(* Per-ULT stack management.  The paper: "A ULT can be created by
+   allocating a new stack region and switching to it".  Real ULT
+   libraries recycle stacks because mmap/munmap per thread is expensive;
+   this pool models that: fixed-size stacks carved from an address
+   space, recycled through a free list, with allocation statistics the
+   scalability experiments can report. *)
+
+module Space = Addrspace.Addr_space
+module Vma = Addrspace.Vma
+
+type stack = {
+  vma : Vma.t;
+  base : int;
+  size : int;
+  mutable generation : int; (* how many ULTs have used it *)
+}
+
+type t = {
+  space : Space.t;
+  stack_size : int;
+  populated : bool;
+  mutable free : stack list;
+  mutable allocated : int; (* fresh regions carved *)
+  mutable reused : int; (* recycles served from the free list *)
+  mutable live : int;
+  mutable peak_live : int;
+}
+
+let create ?(stack_size = 1 lsl 16) ?(populated = true) space =
+  if stack_size <= 0 then invalid_arg "Stack_pool.create: bad stack size";
+  {
+    space;
+    stack_size;
+    populated;
+    free = [];
+    allocated = 0;
+    reused = 0;
+    live = 0;
+    peak_live = 0;
+  }
+
+let stack_size t = t.stack_size
+let allocated t = t.allocated
+let reused t = t.reused
+let live t = t.live
+let peak_live t = t.peak_live
+let free_count t = List.length t.free
+
+(* Take a stack for a new ULT: recycle if possible. *)
+let acquire t ~owner_tid =
+  let s =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        t.reused <- t.reused + 1;
+        s.generation <- s.generation + 1;
+        s
+    | [] ->
+        let vma =
+          Space.map t.space ~len:t.stack_size
+            ~kind:(Vma.Stack owner_tid) ~populated:t.populated
+        in
+        t.allocated <- t.allocated + 1;
+        { vma; base = vma.Vma.start; size = t.stack_size; generation = 1 }
+  in
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live;
+  s
+
+(* Return a stack once its ULT finished. *)
+let release t s =
+  if t.live <= 0 then invalid_arg "Stack_pool.release: nothing live";
+  t.live <- t.live - 1;
+  t.free <- s :: t.free
+
+(* Drop the free list's regions from the space (e.g. under memory
+   pressure); live stacks are untouched. *)
+let trim t =
+  let dropped = List.length t.free in
+  List.iter (fun s -> Space.unmap t.space s.vma) t.free;
+  t.free <- [];
+  dropped

@@ -1,0 +1,30 @@
+(** Per-ULT stack management: fixed-size stacks carved from an address
+    space and recycled through a free list (real ULT libraries never
+    mmap per thread), with statistics for the scalability
+    experiments. *)
+
+type stack = {
+  vma : Addrspace.Vma.t;
+  base : int;
+  size : int;
+  mutable generation : int;  (** how many ULTs have used it *)
+}
+
+type t
+
+val create : ?stack_size:int -> ?populated:bool -> Addrspace.Addr_space.t -> t
+(** Default 64 KiB stacks, populated (no demand faults on first use —
+    the §VII HPC practice). *)
+
+val stack_size : t -> int
+val allocated : t -> int
+val reused : t -> int
+val live : t -> int
+val peak_live : t -> int
+val free_count : t -> int
+
+val acquire : t -> owner_tid:int -> stack
+val release : t -> stack -> unit
+
+val trim : t -> int
+(** Unmap the free list; returns how many regions were dropped. *)

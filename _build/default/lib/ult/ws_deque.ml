@@ -1,0 +1,62 @@
+(* Work-stealing deque (Chase-Lev discipline): the owner pushes and pops
+   at the bottom (LIFO, cache-friendly), thieves steal from the top
+   (FIFO, oldest work).  The simulation is single-threaded so no memory
+   fences are needed; the *policy* is what matters for scheduling
+   experiments. *)
+
+type 'a t = {
+  mutable items : 'a array;
+  mutable bottom : int; (* next push slot *)
+  mutable top : int; (* next steal slot *)
+  mutable steals : int;
+  dummy : 'a;
+}
+
+let create ~dummy =
+  { items = Array.make 16 dummy; bottom = 0; top = 0; steals = 0; dummy }
+
+let length t = t.bottom - t.top
+let is_empty t = length t <= 0
+
+let grow t =
+  let n = Array.length t.items in
+  let items = Array.make (2 * n) t.dummy in
+  for i = t.top to t.bottom - 1 do
+    items.(i mod (2 * n)) <- t.items.(i mod n)
+  done;
+  t.items <- items
+
+let push t x =
+  if length t >= Array.length t.items then grow t;
+  t.items.(t.bottom mod Array.length t.items) <- x;
+  t.bottom <- t.bottom + 1
+
+(* Owner-side pop (bottom, LIFO). *)
+let pop t =
+  if is_empty t then None
+  else begin
+    t.bottom <- t.bottom - 1;
+    let x = t.items.(t.bottom mod Array.length t.items) in
+    t.items.(t.bottom mod Array.length t.items) <- t.dummy;
+    Some x
+  end
+
+(* Thief-side steal (top, FIFO). *)
+let steal t =
+  if is_empty t then None
+  else begin
+    let x = t.items.(t.top mod Array.length t.items) in
+    t.items.(t.top mod Array.length t.items) <- t.dummy;
+    t.top <- t.top + 1;
+    t.steals <- t.steals + 1;
+    Some x
+  end
+
+let steals t = t.steals
+
+let to_list t =
+  let rec go i acc =
+    if i >= t.bottom then List.rev acc
+    else go (i + 1) (t.items.(i mod Array.length t.items) :: acc)
+  in
+  go t.top []

@@ -1,0 +1,20 @@
+(** Work-stealing deque (Chase-Lev discipline): the owner pushes and
+    pops at the bottom (LIFO, cache-friendly), thieves steal the oldest
+    work from the top.  Single-threaded simulation: the {e policy} is
+    what matters, not the fences. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Owner side: newest first. *)
+
+val steal : 'a t -> 'a option
+(** Thief side: oldest first. *)
+
+val steals : 'a t -> int
+val to_list : 'a t -> 'a list

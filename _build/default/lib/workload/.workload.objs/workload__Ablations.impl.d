@@ -1,0 +1,1 @@
+lib/workload/ablations.ml: Addrspace Arch Core Harness Kernel List Microbench Oskernel Printf Sync Types

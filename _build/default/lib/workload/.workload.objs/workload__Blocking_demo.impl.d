@@ -1,0 +1,1 @@
+lib/workload/blocking_demo.ml: Core Harness Kernel List Option Oskernel Printf Ult

@@ -1,0 +1,1 @@
+lib/workload/blocking_demo.mli: Arch

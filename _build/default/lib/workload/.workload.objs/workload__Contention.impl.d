@@ -1,0 +1,1 @@
+lib/workload/contention.ml: Core Harness Kernel List Oskernel Printf Sync Util

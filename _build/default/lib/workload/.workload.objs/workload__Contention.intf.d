@@ -1,0 +1,1 @@
+lib/workload/contention.mli: Arch Oskernel Sync

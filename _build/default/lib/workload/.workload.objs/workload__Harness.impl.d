@@ -1,0 +1,1 @@
+lib/workload/harness.ml: Arch Fmt Kernel Oskernel Sim Types Vfs

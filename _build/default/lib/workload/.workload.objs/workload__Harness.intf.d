@@ -1,0 +1,1 @@
+lib/workload/harness.mli: Arch Format Kernel Oskernel Sim Types Vfs

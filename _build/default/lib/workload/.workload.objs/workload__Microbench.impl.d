@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Addrspace Arch Array Core Harness Kernel Oskernel Sync Util

@@ -1,0 +1,1 @@
+lib/workload/microbench.mli: Addrspace Arch Oskernel Sync

@@ -1,0 +1,1 @@
+lib/workload/nonblock_demo.ml: Core Harness Kernel Option Oskernel Owc Sync Types Ult Vfs

@@ -1,0 +1,1 @@
+lib/workload/nonblock_demo.mli: Arch

@@ -1,0 +1,1 @@
+lib/workload/overlap.ml: Addrspace Core Float Harness Kernel List Oskernel Owc Sync Util Vfs

@@ -1,0 +1,1 @@
+lib/workload/overlap.mli: Arch Oskernel Sync

@@ -1,0 +1,1 @@
+lib/workload/oversub.ml: Addrspace Arch Core Harness Kernel List Oskernel Printf Sync Types Vfs

@@ -1,0 +1,1 @@
+lib/workload/oversub.mli: Arch

@@ -1,0 +1,1 @@
+lib/workload/owc.ml: Addrspace Aio Arch Core Harness Kernel List Oskernel Sync Types Vfs

@@ -1,0 +1,1 @@
+lib/workload/owc.mli: Addrspace Arch Oskernel Sync Types

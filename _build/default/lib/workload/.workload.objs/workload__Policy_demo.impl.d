@@ -1,0 +1,1 @@
+lib/workload/policy_demo.ml: Float Harness Kernel List Oskernel Printf Ult

@@ -1,0 +1,1 @@
+lib/workload/policy_demo.mli: Arch

@@ -1,0 +1,1 @@
+lib/workload/scale.ml: Addrspace Core Harness Kernel List Oskernel Printf Sync Util

@@ -1,0 +1,1 @@
+lib/workload/scale.mli: Arch

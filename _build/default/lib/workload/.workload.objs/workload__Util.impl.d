@@ -1,0 +1,1 @@
+lib/workload/util.ml: Addrspace Core

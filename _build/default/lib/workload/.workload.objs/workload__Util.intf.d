@@ -1,0 +1,1 @@
+lib/workload/util.mli: Addrspace Core

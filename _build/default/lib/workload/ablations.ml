@@ -1,0 +1,134 @@
+(* Ablation studies for the design choices DESIGN.md calls out.
+
+   A1: zero out the TLS-load cost and re-run the Table IV ULP yield --
+       shows the x86_64 penalty is entirely the arch_prctl syscall.
+   A2: sweep the busy-wait handoff latency in the Table V workload --
+       the latency/power trade-off knob of Section VII.
+   A3: minor page faults, address-space sharing vs POSIX shared memory
+       (Section IV's claim).
+   A4: N:N vs M:N BLT creation -- kernel-resource footprint of sibling
+       UCs that share an original KC (Section VII). *)
+
+open Oskernel
+module Cm = Arch.Cost_model
+module Space = Addrspace.Addr_space
+module Loader = Addrspace.Loader
+
+(* ---------- A1: TLS cost on/off ---------- *)
+
+type a1_result = { with_tls : float; without_tls : float }
+
+let tls_ablation ?iters cost =
+  {
+    with_tls = Microbench.ulp_yield_time ?iters cost;
+    without_tls = Microbench.ulp_yield_time ?iters { cost with Cm.tls_load = 0.0 };
+  }
+
+(* ---------- A2: handoff latency sweep ---------- *)
+
+(* Multipliers applied to the busy-wait handoff latency; returns
+   (multiplier, getpid-roundtrip seconds) pairs. *)
+let handoff_sweep ?iters ?(multipliers = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]) cost =
+  List.map
+    (fun m ->
+      let cost' = { cost with Cm.busywait_handoff = cost.Cm.busywait_handoff *. m } in
+      (m, Microbench.getpid_ulp_time ?iters ~policy:Sync.Waitcell.Busywait cost'))
+    multipliers
+
+(* ---------- A3: minor faults, sharing vs shared memory ---------- *)
+
+type a3_result = {
+  processes : int;
+  pages : int;
+  faults_sharing : int; (* one shared page table *)
+  faults_shm : int; (* one page table per process *)
+}
+
+let fault_ablation ?(processes = 8) ?(pages = 256) cost =
+  Harness.run ~cost ~cores:2 (fun env ->
+      let page = (Kernel.cost env.Harness.kernel).Cm.page_size in
+      let len = pages * page in
+      (* address-space sharing: all tasks touch one region of one space *)
+      let root =
+        Core.Pip.create_root env.Harness.kernel ~root_task:env.Harness.root
+      in
+      let vma =
+        Space.map (Core.Pip.space root) ~len ~kind:Addrspace.Vma.Mmap
+          ~populated:false
+      in
+      let faults_sharing = ref 0 in
+      for _p = 1 to processes do
+        faults_sharing := !faults_sharing + Core.Pip.touch_all_shared root vma
+      done;
+      (* POSIX shm: one segment, one attach per private space *)
+      let seg = Core.Pip.Shm.create_segment ~len in
+      let faults_shm = ref 0 in
+      for _p = 1 to processes do
+        let space = Space.create ~page_size:page () in
+        let att = Core.Pip.Shm.attach space seg in
+        faults_shm := !faults_shm + Core.Pip.Shm.touch_all att
+      done;
+      {
+        processes;
+        pages;
+        faults_sharing = !faults_sharing;
+        faults_shm = !faults_shm;
+      })
+
+(* ---------- A4: N:N vs M:N ---------- *)
+
+type a4_result = {
+  ucs : int;
+  kernel_tasks_nn : int; (* one KC per UC *)
+  kernel_tasks_mn : int; (* sibling UCs share one KC *)
+  siblings_share_pid : bool;
+  independent_pids_distinct : bool;
+}
+
+let mn_ablation ?(ucs = 8) cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let pids_nn = ref [] and pids_mn = ref [] in
+      (* N:N -- independent BLTs *)
+      let sys1 = Core.Blt.init k in
+      let _s1 = Core.Blt.add_scheduler sys1 ~cpu:0 in
+      let blts_nn =
+        List.init ucs (fun i ->
+            Core.Blt.create sys1 ~name:(Printf.sprintf "nn%d" i) ~cpu:1
+              (fun () ->
+                let b = Core.Blt.current sys1 in
+                pids_nn :=
+                  (Core.Blt.original_kc b).Types.pid :: !pids_nn))
+      in
+      List.iter
+        (fun b -> ignore (Core.Blt.join sys1 ~waiter:env.Harness.root b))
+        blts_nn;
+      Core.Blt.shutdown sys1 ~by:env.Harness.root;
+      (* M:N -- one primary plus siblings sharing its KC *)
+      let sys2 = Core.Blt.init k in
+      let _s2 = Core.Blt.add_scheduler sys2 ~cpu:2 in
+      let primary =
+        Core.Blt.create sys2 ~name:"mn-primary" ~cpu:3 (fun () ->
+            let b = Core.Blt.current sys2 in
+            pids_mn := (Core.Blt.original_kc b).Types.pid :: !pids_mn;
+            (* create the siblings from inside the running primary *)
+            let me = Core.Blt.original_kc b in
+            for i = 2 to ucs do
+              ignore
+                (Core.Blt.create_sibling sys2 ~of_:b
+                   ~name:(Printf.sprintf "mn%d" i) ~by:me (fun () ->
+                     let s = Core.Blt.current sys2 in
+                     pids_mn :=
+                       (Core.Blt.original_kc s).Types.pid :: !pids_mn))
+            done)
+      in
+      ignore (Core.Blt.join sys2 ~waiter:env.Harness.root primary);
+      Core.Blt.shutdown sys2 ~by:env.Harness.root;
+      let distinct l = List.sort_uniq compare l in
+      {
+        ucs;
+        kernel_tasks_nn = ucs + 1 (* one KC per BLT + scheduler *);
+        kernel_tasks_mn = 1 + 1 (* one shared KC + scheduler *);
+        siblings_share_pid = List.length (distinct !pids_mn) = 1;
+        independent_pids_distinct = List.length (distinct !pids_nn) = ucs;
+      })

@@ -1,0 +1,35 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+    TLS cost (A1), idle handoff latency (A2), minor faults under
+    address-space sharing vs POSIX shm (A3), and N:N vs M:N BLT
+    creation (A4). *)
+
+type a1_result = { with_tls : float; without_tls : float }
+
+val tls_ablation : ?iters:int -> Arch.Cost_model.t -> a1_result
+(** Table IV's ULP yield with the TLS-load cost present and zeroed. *)
+
+val handoff_sweep :
+  ?iters:int -> ?multipliers:float list -> Arch.Cost_model.t ->
+  (float * float) list
+(** Table V BUSYWAIT round trip per busy-wait handoff-latency
+    multiplier: the Section VII latency/power knob. *)
+
+type a3_result = {
+  processes : int;
+  pages : int;
+  faults_sharing : int;  (** one shared page table *)
+  faults_shm : int;  (** one page table per process *)
+}
+
+val fault_ablation :
+  ?processes:int -> ?pages:int -> Arch.Cost_model.t -> a3_result
+
+type a4_result = {
+  ucs : int;
+  kernel_tasks_nn : int;
+  kernel_tasks_mn : int;
+  siblings_share_pid : bool;
+  independent_pids_distinct : bool;
+}
+
+val mn_ablation : ?ucs:int -> Arch.Cost_model.t -> a4_result

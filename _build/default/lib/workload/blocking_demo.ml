@@ -1,0 +1,117 @@
+(* The blocking-system-call problem of conventional ULTs (the paper's
+   Introduction and Background) and its BLT resolution (contribution 2).
+
+   Scenario: one scheduler core hosts [workers] compute threads plus one
+   thread that performs a long blocking system call (a nanosleep of
+   [block_time]).
+
+   - Pure ULT: the blocking call blocks the scheduler's kernel context,
+     so NO user-level thread runs until it returns -- total time ~=
+     block_time + all compute, fully serialized.
+   - BLT/ULP: the blocker wraps the call in couple()/decouple(); the
+     sleep happens on its original KC (a syscall core) while the
+     scheduler keeps running every compute ULT -- total time ~=
+     max(block_time, compute). *)
+
+open Oskernel
+module Context = Ult.Context
+
+type result = {
+  elapsed : float; (* time until everyone finished *)
+  compute_done_at : float; (* when the last compute thread finished *)
+}
+
+let default_workers = 4
+let default_rounds = 10
+let default_round_time = 1e-5 (* 10 us of compute per round *)
+let default_block_time = 1e-3 (* a 1 ms blocking syscall *)
+
+(* ---------- conventional ULTs: the scheduler stalls ---------- *)
+
+let ult ?(workers = default_workers) ?(rounds = default_rounds)
+    ?(round_time = default_round_time) ?(block_time = default_block_time) cost =
+  Harness.run ~cost ~cores:3 (fun env ->
+      let k = env.Harness.kernel in
+      let compute_done_at = ref nan in
+      let remaining = ref workers in
+      let result = ref None in
+      let sched_task =
+        Kernel.spawn k ~name:"ult-sched" ~cpu:0 (fun task ->
+            let s = Ult.Scheduler.create k task in
+            let t0 = Kernel.now k in
+            (* the blocking ULT: calls nanosleep DIRECTLY -- this parks
+               the scheduler's kernel context *)
+            Ult.Scheduler.add s
+              (Context.make ~name:"blocker" (fun () ->
+                   Kernel.nanosleep k task block_time));
+            for i = 1 to workers do
+              Ult.Scheduler.add s
+                (Context.make ~name:(Printf.sprintf "w%d" i) (fun () ->
+                     for _ = 1 to rounds do
+                       Kernel.compute k task round_time;
+                       Context.yield ()
+                     done;
+                     decr remaining;
+                     if !remaining = 0 then compute_done_at := Kernel.now k -. t0))
+            done;
+            ignore (Ult.Scheduler.run_to_completion s);
+            result := Some (Kernel.now k -. t0))
+      in
+      ignore (Kernel.waitpid k env.Harness.root sched_task);
+      {
+        elapsed = Option.value !result ~default:nan;
+        compute_done_at = !compute_done_at;
+      })
+
+(* ---------- BLTs: the blocking call is coupled away ---------- *)
+
+let blt ?(workers = default_workers) ?(rounds = default_rounds)
+    ?(round_time = default_round_time) ?(block_time = default_block_time) cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let sys = Core.Blt.init k in
+      let _sk = Core.Blt.add_scheduler sys ~cpu:0 in
+      let compute_done_at = ref nan in
+      let remaining = ref workers in
+      let t0 = Kernel.now k in
+      let blocker =
+        Core.Blt.create sys ~name:"blocker" ~cpu:1 (fun () ->
+            Core.Blt.decouple sys;
+            (* the paper's pattern: blocking syscall inside couple() /
+               decouple() -- it runs on the original KC on core 1 *)
+            Core.Blt.coupled sys (fun () ->
+                let self = Core.Blt.current sys in
+                Kernel.nanosleep k (Core.Blt.original_kc self) block_time))
+      in
+      let ws =
+        List.init workers (fun i ->
+            Core.Blt.create sys ~name:(Printf.sprintf "w%d" i) ~cpu:2
+              (fun () ->
+                Core.Blt.decouple sys;
+                for _ = 1 to rounds do
+                  let self = Core.Blt.current sys in
+                  Kernel.compute k
+                    (Option.get (Core.Blt.current_kc self))
+                    round_time;
+                  Core.Blt.yield sys
+                done;
+                decr remaining;
+                if !remaining = 0 then compute_done_at := Kernel.now k))
+      in
+      ignore (Core.Blt.join sys ~waiter:env.Harness.root blocker);
+      List.iter (fun b -> ignore (Core.Blt.join sys ~waiter:env.Harness.root b)) ws;
+      Core.Blt.shutdown sys ~by:env.Harness.root;
+      { elapsed = Kernel.now k -. t0; compute_done_at = !compute_done_at -. t0 })
+
+type comparison = { ult_result : result; blt_result : result; stall_factor : float }
+
+(* Side-by-side run; [stall_factor] is how much longer the compute
+   threads take under pure ULT because of the blocked scheduler. *)
+let compare ?workers ?rounds ?round_time ?block_time cost =
+  let u = ult ?workers ?rounds ?round_time ?block_time cost in
+  let b = blt ?workers ?rounds ?round_time ?block_time cost in
+  {
+    ult_result = u;
+    blt_result = b;
+    stall_factor = u.compute_done_at /. b.compute_done_at;
+  }

@@ -1,0 +1,37 @@
+(** The blocking-system-call problem of conventional ULTs and its BLT
+    resolution (the paper's Introduction/Background, contribution 2):
+    one scheduler core hosts compute threads plus one thread making a
+    long blocking call. *)
+
+type result = {
+  elapsed : float;  (** time until everyone finished *)
+  compute_done_at : float;  (** when the last compute thread finished *)
+}
+
+val default_workers : int
+val default_rounds : int
+val default_round_time : float
+val default_block_time : float
+
+val ult :
+  ?workers:int -> ?rounds:int -> ?round_time:float -> ?block_time:float ->
+  Arch.Cost_model.t -> result
+(** Pure ULTs: the blocking call parks the scheduler's kernel context,
+    so every thread stalls behind it. *)
+
+val blt :
+  ?workers:int -> ?rounds:int -> ?round_time:float -> ?block_time:float ->
+  Arch.Cost_model.t -> result
+(** BLTs: the blocker couples the call onto its original KC; compute
+    threads keep running. *)
+
+type comparison = {
+  ult_result : result;
+  blt_result : result;
+  stall_factor : float;
+      (** how much longer compute takes under pure ULT *)
+}
+
+val compare :
+  ?workers:int -> ?rounds:int -> ?round_time:float -> ?block_time:float ->
+  Arch.Cost_model.t -> comparison

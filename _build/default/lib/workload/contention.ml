@@ -1,0 +1,55 @@
+(* "Figure 9" (our extension): how the couple()/decouple() round trip
+   scales with the number of ULPs doing it concurrently.
+
+   K ULPs share one scheduling KC and run the Table V loop (couple;
+   getpid; decouple) simultaneously; each original KC gets its own
+   syscall core (the simulator is free to provision cores, so both idle
+   policies stay meaningful).  The scheduler serializes the decoupled
+   halves, so the per-ULP round trip grows with K -- quantifying the
+   scheduling-KC bottleneck implicit in the paper's Figure 6 design. *)
+
+open Oskernel
+
+type point = {
+  concurrency : int;
+  roundtrip : float; (* mean seconds per couple+getpid+decouple *)
+}
+
+let roundtrip_time ?(iters = 64) ~policy ~concurrency cost =
+  (* cores: 1 scheduler + K syscall cores + 1 root *)
+  Harness.run ~cost ~cores:(concurrency + 2) (fun env ->
+      let k = env.Harness.kernel in
+      let sys =
+        Core.Ulp.init ~policy k ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      let _sk = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let arrived = ref 0 in
+      let totals = ref 0.0 and samples = ref 0 in
+      let body _self =
+        Core.Ulp.decouple sys;
+        Util.barrier sys ~parties:concurrency arrived;
+        for _ = 1 to iters do
+          let t0 = Kernel.now k in
+          Core.Ulp.coupled sys (fun () -> ignore (Core.Ulp.getpid sys));
+          totals := !totals +. (Kernel.now k -. t0);
+          incr samples
+        done
+      in
+      let ulps =
+        List.init concurrency (fun i ->
+            Core.Ulp.spawn sys
+              ~name:(Printf.sprintf "c%d" i)
+              ~cpu:(1 + i) ~prog:(Util.small_prog "contender") body)
+      in
+      List.iter
+        (fun u -> ignore (Core.Ulp.join sys ~waiter:env.Harness.root u))
+        ulps;
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      !totals /. float_of_int !samples)
+
+let sweep ?iters ?(policy = Sync.Waitcell.Busywait)
+    ?(concurrencies = [ 1; 2; 4; 8 ]) cost =
+  List.map
+    (fun concurrency ->
+      { concurrency; roundtrip = roundtrip_time ?iters ~policy ~concurrency cost })
+    concurrencies

@@ -1,0 +1,19 @@
+(** "Figure 9" (extension): couple()/decouple() round-trip latency as a
+    function of how many ULPs perform it concurrently against one
+    scheduling KC — the scheduler-bottleneck dimension of the paper's
+    Figure 6 design. *)
+
+open Oskernel
+
+type point = { concurrency : int; roundtrip : float }
+
+val roundtrip_time :
+  ?iters:int -> policy:Sync.Waitcell.policy -> concurrency:int ->
+  Arch.Cost_model.t -> float
+
+val sweep :
+  ?iters:int ->
+  ?policy:Sync.Waitcell.policy ->
+  ?concurrencies:int list ->
+  Arch.Cost_model.t ->
+  point list

@@ -1,0 +1,61 @@
+(* Experiment harness: builds a fresh simulated machine, runs a scenario
+   inside a root process, and returns the scenario's result once the
+   event loop drains.  Every experiment is deterministic and isolated. *)
+
+open Oskernel
+module Engine = Sim.Engine
+module Cm = Arch.Cost_model
+
+type env = {
+  engine : Engine.t;
+  kernel : Kernel.t;
+  root : Types.task;
+  vfs : Vfs.t;
+}
+
+exception Scenario_incomplete
+
+(* Run [scenario] as the root process on the machine's last core (cores
+   0..n-2 stay free for workers).  Returns the scenario's value. *)
+let run ?(cost = Arch.Machines.wallaby) ?cores ?preempt_slice ?seed
+    ?(trace = false) scenario =
+  let engine = Engine.create ?seed ~trace () in
+  let kernel = Kernel.create ~engine ~cost ?cores ?preempt_slice () in
+  let vfs = Vfs.create () in
+  let root_cpu = Kernel.cpu_count kernel - 1 in
+  let result = ref None in
+  let _root =
+    Kernel.spawn kernel ~share:`Process ~name:"root" ~cpu:root_cpu
+      (fun task ->
+        result := Some (scenario { engine; kernel; root = task; vfs }))
+  in
+  Engine.run engine;
+  match !result with Some r -> r | None -> raise Scenario_incomplete
+
+(* Standard measurement loop: [warmup] unmeasured iterations, then
+   [iters] measured ones; returns seconds per iteration.  Mirrors the
+   paper's warm-up-then-measure methodology (virtual time has no noise,
+   so one run replaces their min-of-ten). *)
+let per_iter kernel ~warmup ~iters f =
+  for i = 1 to warmup do
+    f i
+  done;
+  let t0 = Kernel.now kernel in
+  for i = 1 to iters do
+    f i
+  done;
+  let t1 = Kernel.now kernel in
+  (t1 -. t0) /. float_of_int iters
+
+(* The buffer-size grid of Figures 7 and 8. *)
+let figure7_sizes =
+  [ 1; 64; 256; 1024; 4096; 16384; 32768; 65536; 262144; 1048576 ]
+
+let figure8_sizes = [ 1; 64; 256; 1024; 4096; 16384 ]
+
+let pp_size ppf bytes =
+  if bytes >= 1048576 then Fmt.pf ppf "%dMiB" (bytes / 1048576)
+  else if bytes >= 1024 then Fmt.pf ppf "%dKiB" (bytes / 1024)
+  else Fmt.pf ppf "%dB" bytes
+
+let size_label bytes = Fmt.str "%a" pp_size bytes

@@ -1,0 +1,35 @@
+(** Experiment harness: a fresh simulated machine per scenario, run to
+    completion, deterministic and isolated. *)
+
+open Oskernel
+
+type env = {
+  engine : Sim.Engine.t;
+  kernel : Kernel.t;
+  root : Types.task; (** the scenario runs inside this root process *)
+  vfs : Vfs.t;
+}
+
+exception Scenario_incomplete
+(** The event loop drained before the scenario produced a value. *)
+
+val run :
+  ?cost:Arch.Cost_model.t ->
+  ?cores:int ->
+  ?preempt_slice:float ->
+  ?seed:int64 ->
+  ?trace:bool ->
+  (env -> 'a) ->
+  'a
+(** Build a machine (default Wallaby) and run the scenario as the root
+    process on the last core; returns its value once events drain. *)
+
+val per_iter :
+  Kernel.t -> warmup:int -> iters:int -> (int -> unit) -> float
+(** Standard measurement loop: warm up, then measure; seconds per
+    iteration of virtual time. *)
+
+val figure7_sizes : int list
+val figure8_sizes : int list
+val pp_size : Format.formatter -> int -> unit
+val size_label : int -> string

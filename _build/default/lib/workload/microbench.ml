@@ -1,0 +1,194 @@
+(* Micro-benchmarks for Tables III, IV and V.
+
+   Table III rows are calibration identities (they validate that the
+   simulated primitives cost what the paper measured); Tables IV and V
+   are *composites*: the numbers emerge from executing the yield and
+   couple/decouple protocols on the simulated kernel. *)
+
+open Oskernel
+module Cm = Arch.Cost_model
+module Loader = Addrspace.Loader
+module Tls = Addrspace.Tls
+
+let default_iters = 512
+let default_warmup = 32
+
+let trivial_prog name =
+  Loader.program ~name
+    ~globals:[ ("counter", Addrspace.Memval.Int 0) ]
+    ~text_size:4096 ()
+
+(* ---------- Table III ---------- *)
+
+(* Raw user-level context switch: a tight swap loop on one KC. *)
+let context_switch_time ?(iters = default_iters) cost =
+  Harness.run ~cost ~cores:2 (fun env ->
+      Harness.per_iter env.Harness.kernel ~warmup:default_warmup ~iters
+        (fun _ ->
+          Kernel.compute env.Harness.kernel env.Harness.root
+            cost.Cm.uctx_switch))
+
+(* Raw TLS register load (arch_prctl on x86_64, tpidr_el0 on AArch64). *)
+let tls_load_time ?(iters = default_iters) cost =
+  Harness.run ~cost ~cores:2 (fun env ->
+      let space = Addrspace.Addr_space.create () in
+      let bank = Tls.bank_create () in
+      let regions =
+        Array.init 2 (fun i -> Tls.create_region space ~owner_tid:(1000 + i))
+      in
+      Harness.per_iter env.Harness.kernel ~warmup:default_warmup ~iters
+        (fun i ->
+          (* alternate targets so every load is a real change *)
+          let r = regions.(i mod 2) in
+          Tls.load_register env.Harness.kernel bank ~kc:env.Harness.root
+            ~base:r.Tls.base))
+
+type table3 = { ctx_switch : float; tls_load : float; ctx_size : int }
+
+let table3 ?iters cost =
+  {
+    ctx_switch = context_switch_time ?iters cost;
+    tls_load = tls_load_time ?iters cost;
+    ctx_size = cost.Cm.uctx_size_bytes;
+  }
+
+(* ---------- Table IV: yielding two ULPs / two PThreads ---------- *)
+
+(* Two ULPs yielding on one scheduling KC.  Reported per single yield
+   (each resumption of a ULP implies two scheduler dispatches). *)
+let ulp_yield_time ?(iters = default_iters) ?(policy = Sync.Waitcell.Busywait)
+    cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let sys =
+        Core.Ulp.init ~policy k ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      let _sched = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let result = ref nan in
+      let arrived = ref 0 in
+      let body which _u =
+        Core.Ulp.decouple sys;
+        (* both ULPs must be in the ready queue before measuring *)
+        Util.barrier sys ~parties:2 arrived;
+        for _ = 1 to default_warmup do
+          Core.Ulp.yield sys
+        done;
+        if which = 0 then begin
+          let t0 = Kernel.now k in
+          for _ = 1 to iters do
+            Core.Ulp.yield sys
+          done;
+          let t1 = Kernel.now k in
+          (* one resumption = two dispatches (the peer ran in between) *)
+          result := (t1 -. t0) /. float_of_int (2 * iters)
+        end
+        else
+          for _ = 1 to iters + default_warmup do
+            Core.Ulp.yield sys
+          done
+      in
+      let u0 =
+        Core.Ulp.spawn sys ~name:"ulp0" ~cpu:1 ~prog:(trivial_prog "yielder")
+          (body 0)
+      in
+      let u1 =
+        Core.Ulp.spawn sys ~name:"ulp1" ~cpu:2 ~prog:(trivial_prog "yielder")
+          (body 1)
+      in
+      Core.Ulp.join sys ~waiter:env.Harness.root u0 |> ignore;
+      Core.Ulp.join sys ~waiter:env.Harness.root u1 |> ignore;
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      !result)
+
+(* Two kernel tasks calling sched_yield, pinned to one core or spread
+   over two. *)
+let sched_yield_time ?(iters = default_iters) ~same_core cost =
+  Harness.run ~cost ~cores:3 (fun env ->
+      let k = env.Harness.kernel in
+      let result = ref nan in
+      let cpu_of which = if same_core then 0 else which in
+      let body which task =
+        for _ = 1 to default_warmup do
+          Kernel.sched_yield k task
+        done;
+        if which = 0 then begin
+          let t0 = Kernel.now k in
+          for _ = 1 to iters do
+            Kernel.sched_yield k task
+          done;
+          let t1 = Kernel.now k in
+          let denom = if same_core then 2 * iters else iters in
+          result := (t1 -. t0) /. float_of_int denom
+        end
+        else
+          for _ = 1 to iters + default_warmup do
+            Kernel.sched_yield k task
+          done
+      in
+      let t0 = Kernel.spawn k ~name:"yield0" ~cpu:(cpu_of 0) (body 0) in
+      let t1 = Kernel.spawn k ~name:"yield1" ~cpu:(cpu_of 1) (body 1) in
+      ignore (Kernel.waitpid k env.Harness.root t0);
+      ignore (Kernel.waitpid k env.Harness.root t1);
+      !result)
+
+type table4 = {
+  ulp_yield : float;
+  sched_yield_1core : float;
+  sched_yield_2cores : float;
+}
+
+let table4 ?iters cost =
+  {
+    ulp_yield = ulp_yield_time ?iters cost;
+    sched_yield_1core = sched_yield_time ?iters ~same_core:true cost;
+    sched_yield_2cores = sched_yield_time ?iters ~same_core:false cost;
+  }
+
+(* ---------- Table V: getpid ---------- *)
+
+(* Plain getpid on a kernel task. *)
+let getpid_plain_time ?(iters = default_iters) cost =
+  Harness.run ~cost ~cores:2 (fun env ->
+      let k = env.Harness.kernel in
+      let result = ref nan in
+      let t =
+        Kernel.spawn k ~name:"getpid" ~cpu:0 (fun task ->
+            result :=
+              Harness.per_iter k ~warmup:default_warmup ~iters (fun _ ->
+                  ignore (Kernel.getpid k task)))
+      in
+      ignore (Kernel.waitpid k env.Harness.root t);
+      !result)
+
+(* getpid enclosed in couple()/decouple(): the Figure 6 configuration
+   with one program core (scheduler) and one syscall core (the ULP's
+   original KC). *)
+let getpid_ulp_time ?(iters = default_iters) ~policy cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let sys =
+        Core.Ulp.init ~policy k ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      let _sched = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let result = ref nan in
+      let u =
+        Core.Ulp.spawn sys ~name:"ulp0" ~cpu:1 ~prog:(trivial_prog "getpid")
+          (fun _u ->
+            Core.Ulp.decouple sys;
+            result :=
+              Harness.per_iter k ~warmup:default_warmup ~iters (fun _ ->
+                  Core.Ulp.coupled sys (fun () ->
+                      ignore (Core.Ulp.getpid sys))))
+      in
+      ignore (Core.Ulp.join sys ~waiter:env.Harness.root u);
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      !result)
+
+type table5 = { linux : float; busywait : float; blocking : float }
+
+let table5 ?iters cost =
+  {
+    linux = getpid_plain_time ?iters cost;
+    busywait = getpid_ulp_time ?iters ~policy:Sync.Waitcell.Busywait cost;
+    blocking = getpid_ulp_time ?iters ~policy:Sync.Waitcell.Blocking cost;
+  }

@@ -1,0 +1,49 @@
+(** Micro-benchmarks for the paper's Tables III, IV and V.
+
+    Table III rows are calibration identities; Tables IV and V are
+    composites that emerge from executing the yield and couple/decouple
+    protocols on the simulated kernel. *)
+
+open Oskernel
+
+val default_iters : int
+val default_warmup : int
+
+val trivial_prog : string -> Addrspace.Loader.program
+
+(** {2 Table III} *)
+
+val context_switch_time : ?iters:int -> Arch.Cost_model.t -> float
+val tls_load_time : ?iters:int -> Arch.Cost_model.t -> float
+
+type table3 = { ctx_switch : float; tls_load : float; ctx_size : int }
+
+val table3 : ?iters:int -> Arch.Cost_model.t -> table3
+
+(** {2 Table IV} *)
+
+val ulp_yield_time :
+  ?iters:int -> ?policy:Sync.Waitcell.policy -> Arch.Cost_model.t -> float
+(** Two ULPs yielding on one scheduling KC, per single yield. *)
+
+val sched_yield_time : ?iters:int -> same_core:bool -> Arch.Cost_model.t -> float
+
+type table4 = {
+  ulp_yield : float;
+  sched_yield_1core : float;
+  sched_yield_2cores : float;
+}
+
+val table4 : ?iters:int -> Arch.Cost_model.t -> table4
+
+(** {2 Table V} *)
+
+val getpid_plain_time : ?iters:int -> Arch.Cost_model.t -> float
+
+val getpid_ulp_time :
+  ?iters:int -> policy:Sync.Waitcell.policy -> Arch.Cost_model.t -> float
+(** getpid enclosed in couple()/decouple(), Figure 6 configuration. *)
+
+type table5 = { linux : float; busywait : float; blocking : float }
+
+val table5 : ?iters:int -> Arch.Cost_model.t -> table5

@@ -1,0 +1,164 @@
+(* The Background section's alternative to AIO for ULTs: non-blocking
+   I/O.  "The nonblocking I/O might be another solution to I/O
+   operations for ULTs, however, it requires more programming effort."
+
+   This workload quantifies the trade-off on a paced pipe: a producer
+   writes [messages] chunks spaced [gap] seconds apart; a consumer must
+   read them all while a compute ULT shares its scheduler.
+
+   - BLT/ULP consumer: plain blocking reads enclosed in couple()/
+     decouple() -- one read syscall per message, the scheduler stays
+     live because the block happens on the original KC.
+   - ULT + O_NONBLOCK consumer: read, and on EAGAIN yield and retry --
+     the scheduler also stays live, but the consumer burns a syscall
+     per poll-round: many wasted EAGAIN reads per message. *)
+
+open Oskernel
+
+type result = {
+  elapsed : float;
+  read_attempts : int; (* read syscalls issued by the consumer *)
+  messages : int;
+  compute_rounds : int; (* progress the compute ULT made meanwhile *)
+}
+
+let default_messages = 20
+let default_bytes = 512
+let default_gap = 2e-5
+
+let spawn_producer k ~share_with ~cpu ~wfd ~messages ~bytes ~gap vfs =
+  Kernel.spawn k ~share:(`Thread share_with) ~name:"producer" ~cpu
+    (fun task ->
+      for _ = 1 to messages do
+        Kernel.nanosleep k task gap;
+        match Vfs.write k vfs ~executing:task wfd ~bytes with
+        | Ok _ -> ()
+        | Error e -> failwith ("producer: " ^ Vfs.errno_to_string e)
+      done;
+      ignore (Vfs.close k vfs ~executing:task wfd))
+
+(* ---------- BLT/ULP: blocking reads, coupled ---------- *)
+
+let blt ?(messages = default_messages) ?(bytes = default_bytes)
+    ?(gap = default_gap) cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel and vfs = env.Harness.vfs in
+      let sys =
+        Core.Ulp.init ~policy:Sync.Waitcell.Blocking k
+          ~root_task:env.Harness.root ~vfs
+      in
+      let _sk = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let attempts = ref 0 and compute_rounds = ref 0 in
+      let consumer_done = ref false in
+      let t0 = Kernel.now k in
+      let consumer =
+        Core.Ulp.spawn sys ~name:"consumer" ~cpu:1 ~prog:Owc.prog
+          (fun self ->
+            (* the pipe belongs to OUR kernel context *)
+            let rfd, wfd = Core.Ulp.make_pipe sys in
+            (* hand the write end to the producer thread of our KC *)
+            let kc = Core.Blt.original_kc (Core.Ulp.blt self) in
+            ignore
+              (spawn_producer k ~share_with:kc ~cpu:2 ~wfd ~messages ~bytes
+                 ~gap vfs);
+            Core.Ulp.decouple sys;
+            let received = ref 0 in
+            while !received < messages * bytes do
+              incr attempts;
+              match
+                Core.Ulp.coupled sys (fun () ->
+                    Core.Ulp.read sys rfd ~bytes)
+              with
+              | Ok 0 -> received := messages * bytes (* EOF *)
+              | Ok n -> received := !received + n
+              | Error e -> failwith (Vfs.errno_to_string e)
+            done;
+            consumer_done := true)
+      in
+      let cruncher =
+        Core.Ulp.spawn sys ~name:"cruncher" ~cpu:1 ~prog:Owc.prog
+          (fun _self ->
+            Core.Ulp.decouple sys;
+            while not !consumer_done do
+              Core.Ulp.compute sys 1e-6;
+              incr compute_rounds;
+              Core.Ulp.yield sys
+            done)
+      in
+      ignore (Core.Ulp.join sys ~waiter:env.Harness.root consumer);
+      ignore (Core.Ulp.join sys ~waiter:env.Harness.root cruncher);
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      {
+        elapsed = Kernel.now k -. t0;
+        read_attempts = !attempts;
+        messages;
+        compute_rounds = !compute_rounds;
+      })
+
+(* ---------- conventional ULT: non-blocking reads + yield ---------- *)
+
+let ult_nonblock ?(messages = default_messages) ?(bytes = default_bytes)
+    ?(gap = default_gap) cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel and vfs = env.Harness.vfs in
+      let attempts = ref 0 and compute_rounds = ref 0 in
+      let consumer_done = ref false in
+      let result = ref None in
+      let sched_task =
+        Kernel.spawn k ~name:"ult-sched" ~cpu:0 (fun task ->
+            let rfd, wfd = Vfs.pipe k vfs ~executing:task () in
+            (match
+               Vfs.set_flags k vfs ~executing:task rfd
+                 [ Types.O_RDONLY; Types.O_NONBLOCK ]
+             with
+            | Ok () -> ()
+            | Error _ -> failwith "fcntl failed");
+            ignore
+              (spawn_producer k ~share_with:task ~cpu:2 ~wfd ~messages ~bytes
+                 ~gap vfs);
+            let s = Ult.Scheduler.create k task in
+            Ult.Scheduler.add s
+              (Ult.Context.make ~name:"consumer" (fun () ->
+                   let received = ref 0 in
+                   while !received < messages * bytes do
+                     incr attempts;
+                     match Vfs.read k vfs ~executing:task rfd ~bytes with
+                     | Ok 0 -> received := messages * bytes (* EOF *)
+                     | Ok n -> received := !received + n
+                     | Error Vfs.EAGAIN -> Ult.Context.yield ()
+                     | Error e -> failwith (Vfs.errno_to_string e)
+                   done;
+                   consumer_done := true));
+            Ult.Scheduler.add s
+              (Ult.Context.make ~name:"cruncher" (fun () ->
+                   while not !consumer_done do
+                     Kernel.compute k task 1e-6;
+                     incr compute_rounds;
+                     Ult.Context.yield ()
+                   done));
+            let t0 = Kernel.now k in
+            ignore (Ult.Scheduler.run_to_completion s);
+            result := Some (Kernel.now k -. t0))
+      in
+      ignore (Kernel.waitpid k env.Harness.root sched_task);
+      {
+        elapsed = Option.value !result ~default:nan;
+        read_attempts = !attempts;
+        messages;
+        compute_rounds = !compute_rounds;
+      })
+
+type comparison = {
+  blt_result : result;
+  ult_result : result;
+  wasted_reads : int; (* EAGAIN rounds the nonblocking consumer burned *)
+}
+
+let compare ?messages ?bytes ?gap cost =
+  let b = blt ?messages ?bytes ?gap cost in
+  let u = ult_nonblock ?messages ?bytes ?gap cost in
+  {
+    blt_result = b;
+    ult_result = u;
+    wasted_reads = u.read_attempts - u.messages;
+  }

@@ -1,0 +1,28 @@
+(** The Background section's non-blocking-I/O alternative, quantified: a
+    paced pipe consumed either by a coupled blocking read (BLT/ULP) or
+    by an O_NONBLOCK read-yield-retry loop (conventional ULT).  Both
+    keep the scheduler live; the non-blocking consumer pays a wasted
+    EAGAIN syscall per poll round. *)
+
+type result = {
+  elapsed : float;
+  read_attempts : int;  (** read syscalls issued by the consumer *)
+  messages : int;
+  compute_rounds : int;  (** progress of the co-scheduled compute ULT *)
+}
+
+val default_messages : int
+val default_bytes : int
+val default_gap : float
+
+val blt : ?messages:int -> ?bytes:int -> ?gap:float -> Arch.Cost_model.t -> result
+val ult_nonblock :
+  ?messages:int -> ?bytes:int -> ?gap:float -> Arch.Cost_model.t -> result
+
+type comparison = {
+  blt_result : result;
+  ult_result : result;
+  wasted_reads : int;  (** EAGAIN rounds the non-blocking consumer burned *)
+}
+
+val compare : ?messages:int -> ?bytes:int -> ?gap:float -> Arch.Cost_model.t -> comparison

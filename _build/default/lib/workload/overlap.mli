@@ -1,0 +1,31 @@
+(** Computation/communication overlap, measured the IMB way (Figure 8):
+
+    {v overlap = (t_pure + t_cpu - t_ovrl) / min(t_pure, t_cpu) v}
+
+    clamped to [0, 1], reported as a percentage. *)
+
+open Oskernel
+
+val ratio : t_pure:float -> t_cpu:float -> t_ovrl:float -> float
+val percent : t_pure:float -> t_cpu:float -> t_ovrl:float -> float
+
+val compute_chunks : int
+(** The compute ULT yields between this many sub-chunks (the
+    IMB-CPU-exploitation cooperative discipline). *)
+
+val ulp_ovrl_time :
+  ?iters:int -> policy:Sync.Waitcell.policy -> bytes:int -> t_cpu:float ->
+  Arch.Cost_model.t -> float
+(** Elapsed per iteration pair: an I/O ULP doing coupled open-write-close
+    while a compute ULP occupies the program core. *)
+
+type f8_point = {
+  bytes : int;
+  ulp_busywait : float;  (** overlap percentages *)
+  ulp_blocking : float;
+  aio_return : float;
+  aio_suspend : float;
+}
+
+val figure8_point : ?iters:int -> bytes:int -> Arch.Cost_model.t -> f8_point
+val figure8 : ?iters:int -> ?sizes:int list -> Arch.Cost_model.t -> f8_point list

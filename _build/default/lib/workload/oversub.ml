@@ -1,0 +1,143 @@
+(* Over-subscription sweep: the paper's Figure 6 configuration made
+   quantitative.
+
+       NC = NC_prog + NC_syscall            (equation 1)
+       NB = NC_prog x (O + 1)               (equation 2)
+
+   NB ranks each iterate [compute; open-write-close].  As ULPs the I/O
+   couples onto the syscall cores while the schedulers keep the program
+   cores computing; the baseline runs the same ranks as kernel threads
+   time-sharing the program cores.  Sweeping O shows where
+   over-subscription pays. *)
+
+open Oskernel
+module Cm = Arch.Cost_model
+
+type config = {
+  nc_prog : int;
+  nc_syscall : int;
+  oversub : int; (* O *)
+  rounds : int;
+  compute_time : float;
+  io_bytes : int;
+}
+
+let default_config =
+  {
+    nc_prog = 2;
+    nc_syscall = 2;
+    oversub = 1;
+    rounds = 12;
+    compute_time = 4e-6;
+    io_bytes = 4096;
+  }
+
+let ranks cfg = cfg.nc_prog * (cfg.oversub + 1)
+
+let flags = [ Types.O_CREAT; Types.O_WRONLY ]
+
+let prog = Addrspace.Loader.program ~name:"rank" ~globals:[] ~text_size:4096 ()
+
+(* ULP version: blocking idle policy, because several original KCs share
+   each syscall core (a busy-waiting KC would monopolize it). *)
+let ulp_time cfg cost =
+  Harness.run ~cost ~cores:(cfg.nc_prog + cfg.nc_syscall + 1) (fun env ->
+      let k = env.Harness.kernel in
+      let sys =
+        Core.Ulp.init ~policy:Sync.Waitcell.Blocking k
+          ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      for c = 0 to cfg.nc_prog - 1 do
+        ignore (Core.Ulp.add_scheduler sys ~cpu:c)
+      done;
+      let rank r _self =
+        Core.Ulp.decouple sys;
+        let path = Printf.sprintf "/rank%d" r in
+        for _ = 1 to cfg.rounds do
+          Core.Ulp.compute sys cfg.compute_time;
+          Core.Ulp.coupled sys (fun () ->
+              match Core.Ulp.open_file sys path flags with
+              | Error _ -> failwith "open failed"
+              | Ok fd ->
+                  ignore (Core.Ulp.write sys fd ~bytes:cfg.io_bytes);
+                  ignore (Core.Ulp.close sys fd))
+        done
+      in
+      let us =
+        List.init (ranks cfg) (fun r ->
+            let cpu = cfg.nc_prog + (r mod cfg.nc_syscall) in
+            Core.Ulp.spawn sys ~name:(Printf.sprintf "rank%d" r) ~cpu ~prog
+              (rank r))
+      in
+      List.iter
+        (fun u -> ignore (Core.Ulp.join sys ~waiter:env.Harness.root u))
+        us;
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      let avg_util lo hi =
+        let n = hi - lo + 1 in
+        let sum = ref 0.0 in
+        for c = lo to hi do
+          sum := !sum +. Kernel.cpu_utilization k c
+        done;
+        !sum /. float_of_int n
+      in
+      ( Kernel.now k,
+        avg_util 0 (cfg.nc_prog - 1),
+        avg_util cfg.nc_prog (cfg.nc_prog + cfg.nc_syscall - 1) ))
+
+(* Baseline: the same ranks as kernel threads time-sharing the program
+   cores only (the conventional deployment: no core is reserved for
+   syscalls). *)
+let klt_time cfg cost =
+  Harness.run ~cost ~cores:(cfg.nc_prog + cfg.nc_syscall + 1) (fun env ->
+      let k = env.Harness.kernel in
+      let vfs = env.Harness.vfs in
+      let rank r task =
+        let path = Printf.sprintf "/rank%d" r in
+        for _ = 1 to cfg.rounds do
+          Kernel.compute k task cfg.compute_time;
+          Kernel.sched_yield k task;
+          (match Vfs.openf k vfs ~executing:task path flags with
+          | Error _ -> failwith "open failed"
+          | Ok fd ->
+              ignore
+                (Vfs.write ~cold:false k vfs ~executing:task fd
+                   ~bytes:cfg.io_bytes);
+              ignore (Vfs.close k vfs ~executing:task fd));
+          Kernel.sched_yield k task
+        done
+      in
+      let ts =
+        List.init (ranks cfg) (fun r ->
+            Kernel.spawn k ~name:(Printf.sprintf "rank%d" r)
+              ~cpu:(r mod cfg.nc_prog) (rank r))
+      in
+      List.iter (fun t -> ignore (Kernel.waitpid k env.Harness.root t)) ts;
+      Kernel.now k)
+
+type point = {
+  oversub : int;
+  nb : int;
+  t_klt : float;
+  t_ulp : float;
+  prog_core_util : float; (* ULP run: program cores *)
+  syscall_core_util : float; (* ULP run: syscall cores *)
+}
+
+let speedup p = p.t_klt /. p.t_ulp
+
+(* Sweep the over-subscription factor. *)
+let sweep ?(config = default_config) ?(factors = [ 0; 1; 2; 3 ]) cost =
+  List.map
+    (fun o ->
+      let cfg = { config with oversub = o } in
+      let t_ulp, prog_core_util, syscall_core_util = ulp_time cfg cost in
+      {
+        oversub = o;
+        nb = ranks cfg;
+        t_klt = klt_time cfg cost;
+        t_ulp;
+        prog_core_util;
+        syscall_core_util;
+      })
+    factors

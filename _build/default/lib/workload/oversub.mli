@@ -1,0 +1,35 @@
+(** Over-subscription sweep: the paper's Figure 6 configuration made
+    quantitative (NC = NC_prog + NC_syscall; NB = NC_prog x (O+1)). *)
+
+type config = {
+  nc_prog : int;
+  nc_syscall : int;
+  oversub : int;  (** O *)
+  rounds : int;
+  compute_time : float;
+  io_bytes : int;
+}
+
+val default_config : config
+val ranks : config -> int
+(** Equation (2): NB = NC_prog x (O + 1). *)
+
+val ulp_time : config -> Arch.Cost_model.t -> float * float * float
+(** Elapsed, mean program-core utilization, mean syscall-core
+    utilization for the ULP deployment (blocking idle policy: several
+    original KCs share each syscall core). *)
+
+val klt_time : config -> Arch.Cost_model.t -> float
+(** The same ranks as kernel threads time-sharing the program cores. *)
+
+type point = {
+  oversub : int;
+  nb : int;
+  t_klt : float;
+  t_ulp : float;
+  prog_core_util : float;
+  syscall_core_util : float;
+}
+
+val speedup : point -> float
+val sweep : ?config:config -> ?factors:int list -> Arch.Cost_model.t -> point list

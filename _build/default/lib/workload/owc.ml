@@ -1,0 +1,143 @@
+(* Open-Write-Close workloads for Figures 7 and 8: a file on tmpfs is
+   opened, one block written, and closed -- the paper's I/O unit.
+
+   Variants:
+   - [plain]  : direct syscalls on a kernel task (the baseline that
+                Figure 7 normalizes against);
+   - [ulp]    : the whole sequence enclosed in couple()/decouple(),
+                executed by the ULP's original KC on a syscall core;
+   - [aio]    : open/close direct, the write delegated to the Linux AIO
+                helper thread, completion awaited by aio_return polling
+                or aio_suspend. *)
+
+open Oskernel
+module Cm = Arch.Cost_model
+module Loader = Addrspace.Loader
+
+type aio_wait = Return | Suspend
+
+let aio_wait_to_string = function Return -> "AIO-return" | Suspend -> "AIO-suspend"
+
+let default_iters = 200
+let default_warmup = 20
+
+let owc_flags = [ Types.O_CREAT; Types.O_WRONLY; Types.O_TRUNC ]
+
+let prog = Loader.program ~name:"owc" ~globals:[] ~text_size:4096 ()
+
+(* ---------- plain baseline ---------- *)
+
+let plain_time ?(iters = default_iters) ~bytes cost =
+  Harness.run ~cost ~cores:3 (fun env ->
+      let k = env.Harness.kernel and vfs = env.Harness.vfs in
+      let result = ref nan in
+      let t =
+        Kernel.spawn k ~name:"plain" ~cpu:0 (fun task ->
+            result :=
+              Harness.per_iter k ~warmup:default_warmup ~iters (fun _ ->
+                  match Vfs.openf k vfs ~executing:task "/tmp/owc" owc_flags with
+                  | Error e -> failwith (Vfs.errno_to_string e)
+                  | Ok fd ->
+                      (match
+                         Vfs.write ~cold:false k vfs ~executing:task fd ~bytes
+                       with
+                      | Error e -> failwith (Vfs.errno_to_string e)
+                      | Ok _ -> ());
+                      (match Vfs.close k vfs ~executing:task fd with
+                      | Error e -> failwith (Vfs.errno_to_string e)
+                      | Ok () -> ())))
+      in
+      ignore (Kernel.waitpid k env.Harness.root t);
+      !result)
+
+(* ---------- ULP: couple / open-write-close / decouple ---------- *)
+
+(* One scheduler on program core 0; the ULP's original KC on syscall
+   core 1 (the Figure 6 split).  The write buffer lives on the program
+   core where the ULP computes, so the coupled write pays the cross-core
+   copy (automatic [cold] detection in [Ulp.write]). *)
+let ulp_time ?(iters = default_iters) ~policy ~bytes cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let sys =
+        Core.Ulp.init ~policy k ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      let _sched = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let result = ref nan in
+      let u =
+        Core.Ulp.spawn sys ~name:"owc-ulp" ~cpu:1 ~prog (fun _u ->
+            Core.Ulp.decouple sys;
+            result :=
+              Harness.per_iter k ~warmup:default_warmup ~iters (fun _ ->
+                  Core.Ulp.coupled sys (fun () ->
+                      match Core.Ulp.open_file sys "/tmp/owc" owc_flags with
+                      | Error e -> failwith (Vfs.errno_to_string e)
+                      | Ok fd ->
+                          (match Core.Ulp.write sys fd ~bytes with
+                          | Error e -> failwith (Vfs.errno_to_string e)
+                          | Ok _ -> ());
+                          (match Core.Ulp.close sys fd with
+                          | Error e -> failwith (Vfs.errno_to_string e)
+                          | Ok () -> ()))))
+      in
+      ignore (Core.Ulp.join sys ~waiter:env.Harness.root u);
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      !result)
+
+(* ---------- AIO ---------- *)
+
+(* [compute] seconds of work inserted between submit and wait (0 for
+   Figure 7; the calibrated CPU phase for Figure 8). *)
+let aio_time ?(iters = default_iters) ?(compute = 0.0) ~wait ~bytes cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel and vfs = env.Harness.vfs in
+      let result = ref nan in
+      let t =
+        Kernel.spawn k ~name:"aio-main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            result :=
+              Harness.per_iter k ~warmup:default_warmup ~iters (fun _ ->
+                  match Vfs.openf k vfs ~executing:task "/tmp/owc" owc_flags with
+                  | Error e -> failwith (Vfs.errno_to_string e)
+                  | Ok fd ->
+                      let req = Aio.aio_write ctx ~by:task ~fd ~bytes in
+                      if compute > 0.0 then Kernel.compute k task compute;
+                      (match wait with
+                      | Return ->
+                          ignore (Aio.wait_return ctx ~by:task req)
+                      | Suspend ->
+                          Aio.aio_suspend ctx ~by:task req;
+                          ignore (Aio.aio_return ctx ~by:task req));
+                      (match Vfs.close k vfs ~executing:task fd with
+                      | Error e -> failwith (Vfs.errno_to_string e)
+                      | Ok () -> ()));
+            Aio.shutdown ctx ~by:task)
+      in
+      ignore (Kernel.waitpid k env.Harness.root t);
+      !result)
+
+(* ---------- Figure 7: slowdown over buffer size ---------- *)
+
+type f7_point = {
+  bytes : int;
+  t_plain : float;
+  t_ulp_busywait : float;
+  t_ulp_blocking : float;
+  t_aio_return : float;
+  t_aio_suspend : float;
+}
+
+let slowdown point v = v /. point.t_plain
+
+let figure7_point ?iters ~bytes cost =
+  {
+    bytes;
+    t_plain = plain_time ?iters ~bytes cost;
+    t_ulp_busywait = ulp_time ?iters ~policy:Sync.Waitcell.Busywait ~bytes cost;
+    t_ulp_blocking = ulp_time ?iters ~policy:Sync.Waitcell.Blocking ~bytes cost;
+    t_aio_return = aio_time ?iters ~wait:Return ~bytes cost;
+    t_aio_suspend = aio_time ?iters ~wait:Suspend ~bytes cost;
+  }
+
+let figure7 ?iters ?(sizes = Harness.figure7_sizes) cost =
+  List.map (fun bytes -> figure7_point ?iters ~bytes cost) sizes

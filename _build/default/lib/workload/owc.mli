@@ -1,0 +1,39 @@
+(** Open-write-close workloads (Figure 7): plain syscalls, the coupled
+    ULP sequence, and Linux-AIO delegation. *)
+
+open Oskernel
+
+type aio_wait = Return  (** aio_return polling *) | Suspend  (** aio_suspend *)
+
+val aio_wait_to_string : aio_wait -> string
+val default_iters : int
+val default_warmup : int
+val owc_flags : Types.open_flag list
+val prog : Addrspace.Loader.program
+
+val plain_time : ?iters:int -> bytes:int -> Arch.Cost_model.t -> float
+(** The baseline Figure 7 normalizes against. *)
+
+val ulp_time :
+  ?iters:int -> policy:Sync.Waitcell.policy -> bytes:int ->
+  Arch.Cost_model.t -> float
+(** couple(); open-write-close; decouple() on the original KC. *)
+
+val aio_time :
+  ?iters:int -> ?compute:float -> wait:aio_wait -> bytes:int ->
+  Arch.Cost_model.t -> float
+(** open/close direct, write via the AIO helper; [compute] seconds are
+    inserted between submit and wait (Figure 8's CPU phase). *)
+
+type f7_point = {
+  bytes : int;
+  t_plain : float;
+  t_ulp_busywait : float;
+  t_ulp_blocking : float;
+  t_aio_return : float;
+  t_aio_suspend : float;
+}
+
+val slowdown : f7_point -> float -> float
+val figure7_point : ?iters:int -> bytes:int -> Arch.Cost_model.t -> f7_point
+val figure7 : ?iters:int -> ?sizes:int list -> Arch.Cost_model.t -> f7_point list

@@ -1,0 +1,105 @@
+(* User-defined scheduling beats the kernel's one-size-fits-all policy
+   (the paper's Introduction: ULTs "can be scheduled by a user-defined
+   scheduling policy that suits the needs of the specific application",
+   while the kernel policy "is hard to customize").
+
+   The application: a batch of jobs with KNOWN sizes, minimizing mean
+   completion time.  The optimal policy is shortest-job-first -- which
+   only the application can implement, because only it knows the sizes.
+
+   - ULT + SJF: a user Priority scheduler with priority = -size;
+   - ULT + FIFO: same runtime, arrival order;
+   - KLT + round-robin slices: the kernel's fair time-sharing, which is
+     the WORST of the three for heterogeneous sizes (every job finishes
+     late because all progress together). *)
+
+open Oskernel
+module Context = Ult.Context
+
+type result = {
+  mean_completion : float;
+  max_completion : float; (* = makespan, similar across policies *)
+}
+
+(* compute chunk between cooperative yields *)
+let chunk = 1e-5
+
+let default_sizes = [ 2e-3; 5e-5; 1e-3; 1e-4; 5e-4; 2e-5; 8e-4; 2e-4 ]
+
+let summarize completions =
+  let n = float_of_int (List.length completions) in
+  {
+    mean_completion = List.fold_left ( +. ) 0.0 completions /. n;
+    max_completion = List.fold_left Float.max 0.0 completions;
+  }
+
+(* ---------- ULTs under a user-defined policy ---------- *)
+
+let ult ?(sizes = default_sizes) ~policy cost =
+  Harness.run ~cost ~cores:2 (fun env ->
+      let k = env.Harness.kernel in
+      let completions = ref [] in
+      let sched_policy =
+        match policy with
+        | `Sjf -> Ult.Scheduler.Priority
+        | `Fifo -> Ult.Scheduler.Fifo
+      in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Ult.Scheduler.create ~policy:sched_policy k task in
+            let t0 = Kernel.now k in
+            List.iteri
+              (fun i size ->
+                let job =
+                  Context.make ~name:(Printf.sprintf "job%d" i) (fun () ->
+                      let remaining = ref size in
+                      while !remaining > 0.0 do
+                        let c = Float.min chunk !remaining in
+                        Kernel.compute k task c;
+                        remaining := !remaining -. c;
+                        if !remaining > 0.0 then Context.yield ()
+                      done;
+                      completions := (Kernel.now k -. t0) :: !completions)
+                in
+                (* SJF: the application knows the size; the priority is
+                   its negation (higher priority = shorter job) *)
+                let priority =
+                  match policy with
+                  | `Sjf -> -int_of_float (size *. 1e9)
+                  | `Fifo -> 0
+                in
+                Ult.Scheduler.add ~priority s job)
+              sizes;
+            ignore (Ult.Scheduler.run_to_completion s))
+      in
+      ignore (Kernel.waitpid k env.Harness.root t);
+      summarize !completions)
+
+(* ---------- KLTs under the kernel's fair policy ---------- *)
+
+let klt ?(sizes = default_sizes) cost =
+  Harness.run ~cost ~cores:2 ~preempt_slice:5e-5
+    (fun env ->
+      let k = env.Harness.kernel in
+      let completions = ref [] in
+      let t0 = Kernel.now k in
+      let jobs =
+        List.mapi
+          (fun i size ->
+            Kernel.spawn k ~name:(Printf.sprintf "job%d" i) ~cpu:0
+              (fun task ->
+                Kernel.compute k task size;
+                completions := (Kernel.now k -. t0) :: !completions))
+          sizes
+      in
+      List.iter (fun j -> ignore (Kernel.waitpid k env.Harness.root j)) jobs;
+      summarize !completions)
+
+type comparison = { sjf : result; fifo : result; rr : result }
+
+let compare ?sizes cost =
+  {
+    sjf = ult ?sizes ~policy:`Sjf cost;
+    fifo = ult ?sizes ~policy:`Fifo cost;
+    rr = klt ?sizes cost;
+  }

@@ -1,0 +1,19 @@
+(** User-defined scheduling vs the kernel's fair policy (the paper's
+    Introduction claim, quantified): a batch of jobs with known sizes,
+    mean completion time under SJF (user priority scheduler), FIFO, and
+    kernel round-robin time slicing. *)
+
+type result = { mean_completion : float; max_completion : float }
+
+val chunk : float
+val default_sizes : float list
+
+val ult :
+  ?sizes:float list -> policy:[ `Sjf | `Fifo ] -> Arch.Cost_model.t -> result
+
+val klt : ?sizes:float list -> Arch.Cost_model.t -> result
+(** Kernel tasks under preemptive round-robin on one core. *)
+
+type comparison = { sjf : result; fifo : result; rr : result }
+
+val compare : ?sizes:float list -> Arch.Cost_model.t -> comparison

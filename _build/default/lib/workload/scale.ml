@@ -1,0 +1,57 @@
+(* Scalability of user-level scheduling: per-yield cost and kernel
+   resource footprint as the number of ULPs grows.
+
+   The ULT/ULP promise is O(1) dispatch: yielding among 1000 ULPs costs
+   the same per switch as among 2 (a FIFO queue pop), while each ULP
+   still consumes one kernel task (its original KC) -- the resource
+   trade-off the paper's Section VII discusses and the M:N extension
+   mitigates. *)
+
+open Oskernel
+
+type point = {
+  ulps : int;
+  yield_cost : float; (* per dispatch, steady state *)
+  kernel_tasks : int; (* original KCs + scheduler *)
+}
+
+let prog = Addrspace.Loader.program ~name:"scale" ~globals:[] ~text_size:4096 ()
+
+(* Per-yield cost with [n] ULPs sharing one scheduler. *)
+let yield_cost ?(rounds = 32) ~n cost =
+  Harness.run ~cost ~cores:4 (fun env ->
+      let k = env.Harness.kernel in
+      let sys =
+        Core.Ulp.init ~policy:Sync.Waitcell.Blocking k
+          ~root_task:env.Harness.root ~vfs:env.Harness.vfs
+      in
+      let _sk = Core.Ulp.add_scheduler sys ~cpu:0 in
+      let arrived = ref 0 in
+      let t_start = ref nan and t_stop = ref nan in
+      let body which _self =
+        Core.Ulp.decouple sys;
+        Util.barrier sys ~parties:n arrived;
+        if which = 0 then t_start := Kernel.now k;
+        for _ = 1 to rounds do
+          Core.Ulp.yield sys
+        done;
+        if which = 0 then t_stop := Kernel.now k
+      in
+      let us =
+        List.init n (fun i ->
+            Core.Ulp.spawn sys ~name:(Printf.sprintf "u%d" i) ~cpu:1 ~prog
+              (body i))
+      in
+      List.iter
+        (fun u -> ignore (Core.Ulp.join sys ~waiter:env.Harness.root u))
+        us;
+      Core.Ulp.shutdown sys ~by:env.Harness.root;
+      (* between u0's first and last yield, every ULP was dispatched
+         [rounds] times: n * rounds dispatches *)
+      (!t_stop -. !t_start) /. float_of_int (n * rounds))
+
+let sweep ?(counts = [ 2; 8; 32; 128 ]) cost =
+  List.map
+    (fun n ->
+      { ulps = n; yield_cost = yield_cost ~n cost; kernel_tasks = n + 1 })
+    counts

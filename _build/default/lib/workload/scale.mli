@@ -1,0 +1,8 @@
+(** Scalability of user-level scheduling: per-yield cost and kernel
+    resource footprint as the ULP count grows (O(1) dispatch vs linear
+    kernel tasks). *)
+
+type point = { ulps : int; yield_cost : float; kernel_tasks : int }
+
+val yield_cost : ?rounds:int -> n:int -> Arch.Cost_model.t -> float
+val sweep : ?counts:int list -> Arch.Cost_model.t -> point list

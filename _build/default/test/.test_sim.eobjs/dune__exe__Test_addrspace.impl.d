@@ -1,0 +1,1 @@
+test/test_addrspace.ml: Addrspace Alcotest Arch Float Fun Gen List Oskernel QCheck QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_aio.ml: Aio Alcotest Arch Kernel List Oskernel Printf QCheck QCheck_alcotest Types Vfs Workload

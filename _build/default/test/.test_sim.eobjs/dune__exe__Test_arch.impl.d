@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arch Float List Printf QCheck QCheck_alcotest

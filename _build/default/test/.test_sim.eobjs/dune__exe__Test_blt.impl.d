@@ -1,0 +1,1 @@
+test/test_blt.ml: Alcotest Arch Core Float Fmt Kernel List Option Oskernel Printf QCheck QCheck_alcotest Sim String Sync Types Workload

@@ -1,0 +1,1 @@
+test/test_fiber_rt.ml: Alcotest Condition Fiber_rt Gen List Mutex Printexc Printf QCheck QCheck_alcotest Thread Unix

@@ -1,0 +1,1 @@
+test/test_mpi.ml: Addrspace Alcotest Arch Array Core Float Gen Kernel List Mpi Oskernel Printf QCheck QCheck_alcotest Sync Workload

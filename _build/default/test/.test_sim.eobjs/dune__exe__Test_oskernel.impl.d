@@ -1,0 +1,1 @@
+test/test_oskernel.ml: Alcotest Arch Bytes Float Futex Gen Hashtbl Kernel List Oskernel Printf QCheck QCheck_alcotest Sim Sync Types Vfs Workload

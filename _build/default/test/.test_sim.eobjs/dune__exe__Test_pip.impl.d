@@ -1,0 +1,1 @@
+test/test_pip.ml: Addrspace Alcotest Arch Array Core List Option Oskernel Printf QCheck QCheck_alcotest Types Workload

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Float Gen List Printf QCheck QCheck_alcotest Report String Sys

@@ -1,0 +1,1 @@
+test/test_ulp.ml: Addrspace Alcotest Arch Bytes Core Gen Kernel List Oskernel Printf QCheck QCheck_alcotest Sync Types Vfs Workload

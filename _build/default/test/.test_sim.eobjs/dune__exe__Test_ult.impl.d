@@ -1,0 +1,1 @@
+test/test_ult.ml: Addrspace Alcotest Arch Float Kernel List Oskernel Printf QCheck QCheck_alcotest Ult Workload

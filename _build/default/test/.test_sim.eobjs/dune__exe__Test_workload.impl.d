@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Arch Core Float List Oskernel Printf QCheck QCheck_alcotest Sync Workload

@@ -1,0 +1,313 @@
+(* Tests for the address-space sharing substrate: page tables and fault
+   accounting, VMAs, simulated memory cells, the dlmopen-style loader
+   with variable privatization, and TLS regions/registers. *)
+
+module Space = Addrspace.Addr_space
+module Pt = Addrspace.Page_table
+module Vma = Addrspace.Vma
+module Memval = Addrspace.Memval
+module Loader = Addrspace.Loader
+module Tls = Addrspace.Tls
+module H = Workload.Harness
+
+let wallaby = Arch.Machines.wallaby
+
+(* ---------- page table ---------- *)
+
+let test_pt_fault_once_per_page () =
+  let pt = Pt.create ~page_size:4096 () in
+  Alcotest.(check bool) "first touch faults" true (Pt.touch pt 0 = `Minor_fault);
+  Alcotest.(check bool) "second touch hits" true (Pt.touch pt 100 = `Hit);
+  Alcotest.(check bool) "next page faults" true (Pt.touch pt 4096 = `Minor_fault);
+  Alcotest.(check int) "two faults" 2 (Pt.minor_faults pt);
+  Alcotest.(check int) "two resident" 2 (Pt.resident_pages pt)
+
+let test_pt_populate () =
+  let pt = Pt.create ~page_size:4096 () in
+  let created = Pt.populate pt ~addr:0 ~len:(4096 * 4) in
+  Alcotest.(check int) "four PTEs" 4 created;
+  Alcotest.(check bool) "populated pages hit" true (Pt.touch pt 8192 = `Hit);
+  Alcotest.(check int) "populate is not a demand fault" 0 (Pt.minor_faults pt)
+
+let test_pt_populate_idempotent () =
+  let pt = Pt.create ~page_size:4096 () in
+  ignore (Pt.populate pt ~addr:0 ~len:8192);
+  Alcotest.(check int) "second populate creates none" 0
+    (Pt.populate pt ~addr:0 ~len:8192)
+
+(* ---------- vma ---------- *)
+
+let test_vma_contains () =
+  let v = Vma.create ~start:0x1000 ~len:0x1000 ~kind:Vma.Heap ~populated:false in
+  Alcotest.(check bool) "start" true (Vma.contains v 0x1000);
+  Alcotest.(check bool) "interior" true (Vma.contains v 0x1fff);
+  Alcotest.(check bool) "end exclusive" false (Vma.contains v 0x2000);
+  Alcotest.(check bool) "before" false (Vma.contains v 0xfff)
+
+let test_vma_overlap () =
+  let mk start len = Vma.create ~start ~len ~kind:Vma.Mmap ~populated:false in
+  Alcotest.(check bool) "overlapping" true (Vma.overlap (mk 0 100) (mk 50 100));
+  Alcotest.(check bool) "disjoint" false (Vma.overlap (mk 0 100) (mk 100 100))
+
+(* ---------- address space ---------- *)
+
+let test_space_map_no_overlap () =
+  let s = Space.create () in
+  let a = Space.map s ~len:4096 ~kind:Vma.Mmap ~populated:false in
+  let b = Space.map s ~len:4096 ~kind:Vma.Mmap ~populated:false in
+  Alcotest.(check bool) "regions disjoint" false (Vma.overlap a b)
+
+let test_space_alloc_deref () =
+  let s = Space.create () in
+  let addr = Space.alloc s ~kind:Vma.Mmap (Memval.Int 7) in
+  (match Space.load s addr with
+  | Memval.Int 7 -> ()
+  | v -> Alcotest.failf "wrong value %s" (Memval.to_string v));
+  Space.store s addr (Memval.Str "x");
+  match Space.load s addr with
+  | Memval.Str "x" -> ()
+  | v -> Alcotest.failf "wrong value %s" (Memval.to_string v)
+
+let test_space_fault_on_unmapped () =
+  let s = Space.create () in
+  (match Space.load s 0xdeadbeef with
+  | exception Space.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault");
+  (* mapped but no cell there: still a fault *)
+  let vma = Space.map s ~len:4096 ~kind:Vma.Mmap ~populated:false in
+  match Space.load s (vma.Vma.start + 8) with
+  | exception Space.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault on empty cell"
+
+let test_space_attach_detach () =
+  let s = Space.create () in
+  Space.attach s ~tid:1;
+  Space.attach s ~tid:2;
+  Space.attach s ~tid:1;
+  Alcotest.(check int) "attach is idempotent" 2 (List.length (Space.attached s));
+  Space.detach s ~tid:1;
+  Alcotest.(check (list int)) "detached" [ 2 ] (Space.attached s)
+
+let test_space_unmap_removes_cells () =
+  let s = Space.create () in
+  let vma = Space.map s ~len:4096 ~kind:Vma.Mmap ~populated:false in
+  let addr = Space.alloc_in s vma ~slot:0 (Memval.Int 1) in
+  Space.unmap s vma;
+  match Space.load s addr with
+  | exception Space.Fault _ -> ()
+  | _ -> Alcotest.fail "cell survived unmap"
+
+let test_distinct_spaces_do_not_share () =
+  (* pointers do not transfer between ordinary processes *)
+  let s1 = Space.create () and s2 = Space.create () in
+  let addr = Space.alloc s1 ~kind:Vma.Mmap (Memval.Int 42) in
+  match Space.load s2 addr with
+  | exception Space.Fault _ -> ()
+  | _ -> Alcotest.fail "foreign space dereferenced our pointer"
+
+let test_space_stats () =
+  let s = Space.create () in
+  let vma = Space.map s ~len:8192 ~kind:Vma.Mmap ~populated:true in
+  ignore (Space.alloc_in s vma ~slot:0 (Memval.Int 1));
+  Space.attach s ~tid:7;
+  let st = Space.stats s in
+  Alcotest.(check int) "one vma" 1 st.Space.vma_count;
+  Alcotest.(check int) "mapped" 8192 st.Space.mapped_bytes;
+  Alcotest.(check int) "resident (populated)" 2 st.Space.resident_pages;
+  Alcotest.(check int) "no demand faults" 0 st.Space.minor_fault_count;
+  Alcotest.(check int) "one attach" 1 st.Space.attached_tasks;
+  Alcotest.(check int) "one object" 1 st.Space.object_count
+
+(* ---------- loader / privatization ---------- *)
+
+let counter_prog =
+  Loader.program ~name:"counter"
+    ~globals:[ ("count", Memval.Int 0); ("label", Memval.Str "init") ]
+    ~text_size:4096 ()
+
+let test_loader_symbols () =
+  let s = Space.create () in
+  let ns = Loader.load s counter_prog in
+  Alcotest.(check bool) "count resolves" true (Loader.dlsym ns "count" <> None);
+  Alcotest.(check bool) "missing is None" true (Loader.dlsym ns "nope" = None);
+  match Loader.read_global ns "label" with
+  | Memval.Str "init" -> ()
+  | v -> Alcotest.failf "wrong init %s" (Memval.to_string v)
+
+let test_loader_privatization () =
+  (* two namespaces of one program: same symbols, different instances *)
+  let s = Space.create () in
+  let ns1 = Loader.load s counter_prog in
+  let ns2 = Loader.load s counter_prog in
+  let a1 = Loader.dlsym_exn ns1 "count" and a2 = Loader.dlsym_exn ns2 "count" in
+  Alcotest.(check bool) "distinct addresses" true (a1 <> a2);
+  Loader.write_global ns1 "count" (Memval.Int 10);
+  (match Loader.read_global ns2 "count" with
+  | Memval.Int 0 -> ()
+  | v -> Alcotest.failf "privatization broken: %s" (Memval.to_string v));
+  match Loader.read_global ns1 "count" with
+  | Memval.Int 10 -> ()
+  | v -> Alcotest.failf "own write lost: %s" (Memval.to_string v)
+
+let test_loader_cross_namespace_pointers () =
+  (* PiP's point: a raw address from one namespace dereferences fine
+     from anywhere in the shared space *)
+  let s = Space.create () in
+  let ns1 = Loader.load s counter_prog in
+  let addr = Loader.dlsym_exn ns1 "count" in
+  Space.store s addr (Memval.Int 99);
+  match Loader.read_global ns1 "count" with
+  | Memval.Int 99 -> ()
+  | v -> Alcotest.failf "aliasing broken: %s" (Memval.to_string v)
+
+let test_dlsym_exn_raises () =
+  let s = Space.create () in
+  let ns = Loader.load s counter_prog in
+  match Loader.dlsym_exn ns "ghost" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---------- tls ---------- *)
+
+let test_tls_region_errno () =
+  let s = Space.create () in
+  let r = Tls.create_region s ~owner_tid:1 in
+  Alcotest.(check int) "errno starts 0" 0 (Tls.get_errno r);
+  Tls.set_errno r 9;
+  Alcotest.(check int) "errno set" 9 (Tls.get_errno r)
+
+let test_tls_regions_are_private () =
+  let s = Space.create () in
+  let r1 = Tls.create_region s ~owner_tid:1 in
+  let r2 = Tls.create_region s ~owner_tid:2 in
+  Tls.set_errno r1 5;
+  Alcotest.(check int) "r2 unaffected" 0 (Tls.get_errno r2)
+
+let test_tls_load_cost_per_isa () =
+  let load cost =
+    H.run ~cost (fun env ->
+        let s = Space.create () in
+        let bank = Tls.bank_create () in
+        let r = Tls.create_region s ~owner_tid:99 in
+        let k = env.H.kernel in
+        let t0 = Oskernel.Kernel.now k in
+        Tls.load_register k bank ~kc:env.H.root ~base:r.Tls.base;
+        Oskernel.Kernel.now k -. t0)
+  in
+  let w = load Arch.Machines.wallaby and a = load Arch.Machines.albireo in
+  Alcotest.(check bool) "x86 load = 1.09e-7" true (Float.abs (w -. 1.09e-7) < 1e-12);
+  Alcotest.(check bool) "aarch64 load = 2.5e-9" true (Float.abs (a -. 2.5e-9) < 1e-13)
+
+let test_tls_load_is_syscall_on_x86_only () =
+  let syscalls cost =
+    H.run ~cost (fun env ->
+        let s = Space.create () in
+        let bank = Tls.bank_create () in
+        let r = Tls.create_region s ~owner_tid:99 in
+        let before = env.H.root.Oskernel.Types.syscalls in
+        Tls.load_register env.H.kernel bank ~kc:env.H.root ~base:r.Tls.base;
+        env.H.root.Oskernel.Types.syscalls - before)
+  in
+  Alcotest.(check int) "arch_prctl on x86" 1 (syscalls Arch.Machines.wallaby);
+  Alcotest.(check int) "plain register on aarch64" 0
+    (syscalls Arch.Machines.albireo)
+
+let test_tls_bank_tracks_register () =
+  let s = Space.create () in
+  let bank = Tls.bank_create () in
+  let r = Tls.create_region s ~owner_tid:1 in
+  H.run ~cost:wallaby (fun env ->
+      Alcotest.(check bool) "empty initially" true
+        (Tls.current bank ~kc:env.H.root = None);
+      Tls.set_register_free bank ~kc:env.H.root ~base:r.Tls.base;
+      Alcotest.(check (option int)) "recorded" (Some r.Tls.base)
+        (Tls.current bank ~kc:env.H.root);
+      Alcotest.(check int) "free set not counted" 0 (Tls.loads bank))
+
+(* ---------- properties ---------- *)
+
+let prop_alloc_load_roundtrip =
+  QCheck.Test.make ~name:"alloc/load roundtrip any int" ~count:100 QCheck.int
+    (fun n ->
+      let s = Space.create () in
+      let addr = Space.alloc s ~kind:Vma.Mmap (Memval.Int n) in
+      Space.load s addr = Memval.Int n)
+
+let prop_privatization_holds_for_n_namespaces =
+  QCheck.Test.make ~name:"N namespaces keep N private instances" ~count:30
+    QCheck.(int_range 1 10)
+    (fun n ->
+      let s = Space.create () in
+      let nss = List.init n (fun _ -> Loader.load s counter_prog) in
+      List.iteri (fun i ns -> Loader.write_global ns "count" (Memval.Int i)) nss;
+      List.for_all2
+        (fun i ns -> Loader.read_global ns "count" = Memval.Int i)
+        (List.init n Fun.id) nss)
+
+let prop_faults_bounded_by_pages =
+  QCheck.Test.make ~name:"minor faults equal distinct touched pages" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_bound 1_000_000))
+    (fun addrs ->
+      let pt = Pt.create ~page_size:4096 () in
+      List.iter (fun a -> ignore (Pt.touch pt a)) addrs;
+      let distinct_pages =
+        List.sort_uniq compare (List.map (fun a -> a / 4096) addrs)
+      in
+      Pt.minor_faults pt = List.length distinct_pages)
+
+let () =
+  Alcotest.run "addrspace"
+    [
+      ( "page_table",
+        [
+          Alcotest.test_case "fault once per page" `Quick
+            test_pt_fault_once_per_page;
+          Alcotest.test_case "populate" `Quick test_pt_populate;
+          Alcotest.test_case "populate idempotent" `Quick
+            test_pt_populate_idempotent;
+        ] );
+      ( "vma",
+        [
+          Alcotest.test_case "contains" `Quick test_vma_contains;
+          Alcotest.test_case "overlap" `Quick test_vma_overlap;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "map disjoint" `Quick test_space_map_no_overlap;
+          Alcotest.test_case "alloc/deref" `Quick test_space_alloc_deref;
+          Alcotest.test_case "fault unmapped" `Quick
+            test_space_fault_on_unmapped;
+          Alcotest.test_case "attach/detach" `Quick test_space_attach_detach;
+          Alcotest.test_case "unmap removes cells" `Quick
+            test_space_unmap_removes_cells;
+          Alcotest.test_case "spaces isolated" `Quick
+            test_distinct_spaces_do_not_share;
+          Alcotest.test_case "stats" `Quick test_space_stats;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "symbols" `Quick test_loader_symbols;
+          Alcotest.test_case "privatization" `Quick test_loader_privatization;
+          Alcotest.test_case "cross-namespace pointers" `Quick
+            test_loader_cross_namespace_pointers;
+          Alcotest.test_case "dlsym_exn raises" `Quick test_dlsym_exn_raises;
+        ] );
+      ( "tls",
+        [
+          Alcotest.test_case "errno" `Quick test_tls_region_errno;
+          Alcotest.test_case "regions private" `Quick
+            test_tls_regions_are_private;
+          Alcotest.test_case "load cost per ISA" `Quick
+            test_tls_load_cost_per_isa;
+          Alcotest.test_case "syscall on x86 only" `Quick
+            test_tls_load_is_syscall_on_x86_only;
+          Alcotest.test_case "bank tracks register" `Quick
+            test_tls_bank_tracks_register;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_alloc_load_roundtrip;
+          QCheck_alcotest.to_alcotest prop_privatization_holds_for_n_namespaces;
+          QCheck_alcotest.to_alcotest prop_faults_bounded_by_pages;
+        ] );
+    ]

@@ -1,0 +1,335 @@
+(* Tests for the Linux-AIO model: lazy helper creation, delegation to a
+   thread sharing the caller's fd table, aio_error/aio_return polling,
+   aio_suspend blocking, completion after suspend-before-finish, reads,
+   and error propagation. *)
+
+open Oskernel
+module H = Workload.Harness
+
+let wallaby = Arch.Machines.wallaby
+
+let run f = H.run ~cost:wallaby ~cores:4 f
+
+let with_file k vfs task f =
+  match
+    Vfs.openf k vfs ~executing:task "/aio" [ Types.O_CREAT; Types.O_RDWR ]
+  with
+  | Ok fd -> f fd
+  | Error e -> Alcotest.failf "open: %s" (Vfs.errno_to_string e)
+
+let test_helper_created_lazily () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            Alcotest.(check bool) "no helper yet" true
+              (Aio.helper_task ctx = None);
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:10 in
+                Alcotest.(check bool) "helper exists after first call" true
+                  (Aio.helper_task ctx <> None);
+                ignore (Aio.wait_return ctx ~by:task req);
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_helper_shares_fd_table () =
+  (* glibc's helper is a pthread: fds opened by the caller are valid on
+     the helper -- this is why AIO works at all *)
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:128 in
+                match Aio.wait_return ctx ~by:task req with
+                | Ok 128 -> Aio.shutdown ctx ~by:task
+                | Ok n -> Alcotest.failf "short write %d" n
+                | Error e -> Alcotest.failf "write: %s" (Vfs.errno_to_string e)))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      Alcotest.(check (option int)) "file grew" (Some 128)
+        (Vfs.file_size env.H.vfs "/aio"))
+
+let test_aio_error_polling () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:1048576 in
+                (* a large write is still in flight at first probe *)
+                Alcotest.(check bool) "in progress initially" true
+                  (Aio.aio_error ctx ~by:task req = `In_progress);
+                let polls = ref 0 in
+                let rec wait () =
+                  match Aio.aio_error ctx ~by:task req with
+                  | `Done -> ()
+                  | `Canceled -> Alcotest.fail "spurious cancel"
+                  | `In_progress ->
+                      incr polls;
+                      wait ()
+                in
+                wait ();
+                Alcotest.(check bool) "polled several times" true (!polls > 1);
+                (match Aio.aio_return ctx ~by:task req with
+                | Ok n -> Alcotest.(check int) "full write" 1048576 n
+                | Error e -> Alcotest.failf "aio: %s" (Vfs.errno_to_string e));
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_return_before_completion_einval () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:1048576 in
+                (match Aio.aio_return ctx ~by:task req with
+                | Error Vfs.EINVAL -> ()
+                | _ -> Alcotest.fail "EINVAL expected before completion");
+                ignore (Aio.wait_return ctx ~by:task req);
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_suspend_blocks_until_done () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let bytes = 1048576 in
+                let t0 = Kernel.now k in
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes in
+                Aio.aio_suspend ctx ~by:task req;
+                let elapsed = Kernel.now k -. t0 in
+                let write_time = Arch.Cost_model.copy_time wallaby bytes in
+                Alcotest.(check bool)
+                  (Printf.sprintf "suspended across the write (%.2e)" elapsed)
+                  true
+                  (elapsed >= write_time);
+                (match Aio.aio_return ctx ~by:task req with
+                | Ok n -> Alcotest.(check int) "result" bytes n
+                | Error _ -> Alcotest.fail "aio failed");
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_suspend_after_completion_immediate () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:8 in
+                (* overlap-like compute lets the helper finish *)
+                Kernel.compute k task 1e-3;
+                let t0 = Kernel.now k in
+                Aio.aio_suspend ctx ~by:task req;
+                let elapsed = Kernel.now k -. t0 in
+                Alcotest.(check bool) "no blocking needed" true (elapsed < 1e-5);
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_read () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:256 in
+                ignore (Aio.wait_return ctx ~by:task req);
+                ignore (Vfs.lseek k vfs ~executing:task fd ~pos:0);
+                let rreq = Aio.aio_read ctx ~by:task ~fd ~bytes:256 in
+                (match Aio.wait_return ctx ~by:task rreq with
+                | Ok n -> Alcotest.(check int) "read back" 256 n
+                | Error e -> Alcotest.failf "read: %s" (Vfs.errno_to_string e));
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_bad_fd_error_propagates () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            let req = Aio.aio_write ctx ~by:task ~fd:99 ~bytes:8 in
+            (match Aio.wait_return ctx ~by:task req with
+            | Error Vfs.EBADF -> ()
+            | _ -> Alcotest.fail "EBADF expected");
+            Aio.shutdown ctx ~by:task)
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_multiple_requests_fifo () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let reqs =
+                  List.init 5 (fun _ -> Aio.aio_write ctx ~by:task ~fd ~bytes:64)
+                in
+                List.iter
+                  (fun r -> ignore (Aio.wait_return ctx ~by:task r))
+                  reqs;
+                Alcotest.(check int) "all completed" 5 (Aio.completed_ops ctx);
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      Alcotest.(check (option int)) "file is 5 x 64" (Some 320)
+        (Vfs.file_size env.H.vfs "/aio"))
+
+let test_helper_runs_on_its_cpu () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:2 in
+            with_file k vfs task (fun fd ->
+                let req = Aio.aio_write ctx ~by:task ~fd ~bytes:8 in
+                ignore (Aio.wait_return ctx ~by:task req);
+                (match Aio.helper_task ctx with
+                | Some h -> Alcotest.(check int) "pinned" 2 h.Types.cpu
+                | None -> Alcotest.fail "no helper");
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_lio_listio_wait () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let reqs =
+                  Aio.lio_listio ctx ~by:task ~mode:`Wait
+                    [
+                      Aio.Lio_write { fd; bytes = 100 };
+                      Aio.Lio_write { fd; bytes = 100 };
+                      Aio.Lio_write { fd; bytes = 100 };
+                    ]
+                in
+                Alcotest.(check int) "three cbs" 3 (List.length reqs);
+                List.iter
+                  (fun r ->
+                    match Aio.aio_return ctx ~by:task r with
+                    | Ok 100 -> ()
+                    | _ -> Alcotest.fail "batch op failed")
+                  reqs;
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      Alcotest.(check (option int)) "file holds 300" (Some 300)
+        (Vfs.file_size env.H.vfs "/aio"))
+
+let test_lio_listio_nowait_then_poll () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                let reqs =
+                  Aio.lio_listio ctx ~by:task ~mode:`Nowait
+                    [ Aio.Lio_write { fd; bytes = 64 }; Aio.Lio_read { fd; bytes = 0 } ]
+                in
+                List.iter
+                  (fun r -> ignore (Aio.wait_return ctx ~by:task r))
+                  reqs;
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_aio_cancel_queued () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let t =
+        Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+            let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+            with_file k vfs task (fun fd ->
+                (* a big write keeps the helper busy; the second request
+                   stays queued long enough to cancel *)
+                let big = Aio.aio_write ctx ~by:task ~fd ~bytes:1048576 in
+                let victim = Aio.aio_write ctx ~by:task ~fd ~bytes:64 in
+                (match Aio.aio_cancel ctx ~by:task victim with
+                | `Canceled -> ()
+                | _ -> Alcotest.fail "queued request not cancellable");
+                (match Aio.aio_return ctx ~by:task victim with
+                | Error Vfs.ECANCELED -> ()
+                | _ -> Alcotest.fail "expected ECANCELED");
+                (* aio_suspend on a cancelled request must not block *)
+                Aio.aio_suspend ctx ~by:task victim;
+                ignore (Aio.wait_return ctx ~by:task big);
+                (match Aio.aio_cancel ctx ~by:task big with
+                | `All_done -> ()
+                | _ -> Alcotest.fail "completed request should be All_done");
+                Aio.shutdown ctx ~by:task))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      (* the cancelled 64-byte write never happened *)
+      Alcotest.(check (option int)) "only the big write landed"
+        (Some 1048576)
+        (Vfs.file_size env.H.vfs "/aio"))
+
+let prop_aio_write_sizes =
+  QCheck.Test.make ~name:"any write size completes with the same count"
+    ~count:20
+    QCheck.(int_range 1 (1 lsl 20))
+    (fun bytes ->
+      run (fun env ->
+          let k = env.H.kernel and vfs = env.H.vfs in
+          let result = ref (-1) in
+          let t =
+            Kernel.spawn k ~name:"main" ~cpu:0 (fun task ->
+                let ctx = Aio.init k vfs ~owner:task ~helper_cpu:1 in
+                with_file k vfs task (fun fd ->
+                    let req = Aio.aio_write ctx ~by:task ~fd ~bytes in
+                    (match Aio.wait_return ctx ~by:task req with
+                    | Ok n -> result := n
+                    | Error _ -> ());
+                    Aio.shutdown ctx ~by:task))
+          in
+          ignore (Kernel.waitpid k env.H.root t);
+          !result = bytes))
+
+let () =
+  Alcotest.run "aio"
+    [
+      ( "aio",
+        [
+          Alcotest.test_case "lazy helper" `Quick test_helper_created_lazily;
+          Alcotest.test_case "helper shares fds" `Quick
+            test_helper_shares_fd_table;
+          Alcotest.test_case "polling" `Quick test_aio_error_polling;
+          Alcotest.test_case "premature return EINVAL" `Quick
+            test_aio_return_before_completion_einval;
+          Alcotest.test_case "suspend blocks" `Quick
+            test_aio_suspend_blocks_until_done;
+          Alcotest.test_case "suspend after done" `Quick
+            test_aio_suspend_after_completion_immediate;
+          Alcotest.test_case "read" `Quick test_aio_read;
+          Alcotest.test_case "bad fd" `Quick test_aio_bad_fd_error_propagates;
+          Alcotest.test_case "multiple requests" `Quick
+            test_aio_multiple_requests_fifo;
+          Alcotest.test_case "helper cpu" `Quick test_helper_runs_on_its_cpu;
+          Alcotest.test_case "lio_listio wait" `Quick test_lio_listio_wait;
+          Alcotest.test_case "lio_listio nowait" `Quick
+            test_lio_listio_nowait_then_poll;
+          Alcotest.test_case "aio_cancel" `Quick test_aio_cancel_queued;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_aio_write_sizes ]);
+    ]

@@ -1,0 +1,158 @@
+(* Tests for the architecture cost models: the calibration constants
+   must match the paper's base rows exactly, and the derived helpers
+   must be coherent. *)
+
+module Cm = Arch.Cost_model
+module M = Arch.Machines
+
+let feq ?(eps = 1e-12) a b = Float.abs (a -. b) <= eps
+
+let check_float ?eps name expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+(* ---------- paper Table II identity ---------- *)
+
+let test_machine_identity () =
+  Alcotest.(check string) "wallaby name" "Wallaby" M.wallaby.Cm.name;
+  Alcotest.(check string) "albireo name" "Albireo" M.albireo.Cm.name;
+  Alcotest.(check bool) "wallaby isa" true (M.wallaby.Cm.isa = Cm.X86_64);
+  Alcotest.(check bool) "albireo isa" true (M.albireo.Cm.isa = Cm.Aarch64);
+  check_float "wallaby clock" 2.6 M.wallaby.Cm.clock_ghz;
+  check_float "albireo clock" 2.0 M.albireo.Cm.clock_ghz
+
+(* ---------- paper Table III base rows ---------- *)
+
+let test_table3_calibration () =
+  check_float "wallaby ctx switch" 3.34e-8 M.wallaby.Cm.uctx_switch;
+  check_float "wallaby tls load" 1.09e-7 M.wallaby.Cm.tls_load;
+  check_float "albireo ctx switch" 2.45e-8 M.albireo.Cm.uctx_switch;
+  check_float "albireo tls load" 2.5e-9 M.albireo.Cm.tls_load;
+  Alcotest.(check int) "wallaby fcontext size" 64 M.wallaby.Cm.uctx_size_bytes;
+  Alcotest.(check int) "albireo fcontext size" 88 M.albireo.Cm.uctx_size_bytes
+
+(* Table III also reports 86 cycles for the Wallaby context switch and
+   284 for the TLS load: the cycle conversion must reproduce those. *)
+let test_cycle_conversion () =
+  let cyc = Cm.cycles M.wallaby M.wallaby.Cm.uctx_switch in
+  Alcotest.(check bool)
+    (Printf.sprintf "ctx switch cycles ~86 (got %.1f)" cyc)
+    true
+    (cyc > 85.0 && cyc < 88.0);
+  let cyc = Cm.cycles M.wallaby M.wallaby.Cm.tls_load in
+  Alcotest.(check bool)
+    (Printf.sprintf "tls cycles ~284 (got %.1f)" cyc)
+    true
+    (cyc > 282.0 && cyc < 285.0)
+
+let test_cycles_roundtrip () =
+  let t = 1.234e-7 in
+  check_float ~eps:1e-18 "roundtrip"
+    t
+    (Cm.seconds_of_cycles M.wallaby (Cm.cycles M.wallaby t))
+
+(* ---------- Table IV / V base rows ---------- *)
+
+let test_syscall_calibration () =
+  check_float "wallaby getpid" 6.71e-8 M.wallaby.Cm.syscall_getpid;
+  check_float "albireo getpid" 3.85e-7 M.albireo.Cm.syscall_getpid;
+  check_float "wallaby sched_yield" 7.79e-8 M.wallaby.Cm.syscall_entry;
+  check_float "albireo sched_yield" 3.48e-7 M.albireo.Cm.syscall_entry
+
+(* Derived: yield on one core = syscall entry + kernel context switch *)
+let test_kernel_ctx_switch_derivation () =
+  check_float ~eps:1e-10 "wallaby 1-core yield" 2.66e-7
+    (M.wallaby.Cm.syscall_entry +. M.wallaby.Cm.kernel_ctx_switch);
+  check_float ~eps:1e-10 "albireo 1-core yield" 1.22e-6
+    (M.albireo.Cm.syscall_entry +. M.albireo.Cm.kernel_ctx_switch)
+
+(* Derived: ULP yield = uctx switch + TLS load + scheduler overhead *)
+let test_ulp_yield_derivation () =
+  check_float ~eps:1e-10 "wallaby ulp yield" 1.50e-7
+    (M.wallaby.Cm.uctx_switch +. M.wallaby.Cm.tls_load
+    +. M.wallaby.Cm.ult_sched_overhead);
+  check_float ~eps:1e-10 "albireo ulp yield" 1.20e-7
+    (M.albireo.Cm.uctx_switch +. M.albireo.Cm.tls_load
+    +. M.albireo.Cm.ult_sched_overhead)
+
+(* ---------- copy helpers ---------- *)
+
+let test_copy_time () =
+  let t = Cm.copy_time M.wallaby 5_000_000_000 in
+  check_float ~eps:1e-9 "1s for bandwidth bytes" 1.0 t;
+  check_float "zero bytes" 0.0 (Cm.copy_time M.wallaby 0)
+
+let test_remote_copy_penalty () =
+  let local = Cm.copy_time M.albireo 65536 in
+  let remote = Cm.remote_copy_time M.albireo 65536 in
+  Alcotest.(check bool) "remote slower on albireo" true (remote > local);
+  check_float ~eps:1e-15 "wallaby remote = local"
+    (Cm.copy_time M.wallaby 65536)
+    (Cm.remote_copy_time M.wallaby 65536)
+
+let test_by_name () =
+  (match M.by_name "wallaby" with
+  | Some m -> Alcotest.(check string) "ci lookup" "Wallaby" m.Cm.name
+  | None -> Alcotest.fail "wallaby not found");
+  (match M.by_name "ALBIREO" with
+  | Some m -> Alcotest.(check string) "uc lookup" "Albireo" m.Cm.name
+  | None -> Alcotest.fail "albireo not found");
+  Alcotest.(check bool) "unknown" true (M.by_name "nonesuch" = None)
+
+(* AArch64's TLS advantage is the paper's central asymmetry: assert the
+   ordering relations the conclusions depend on. *)
+let test_paper_asymmetries () =
+  Alcotest.(check bool) "x86 TLS is a syscall-scale cost" true
+    (M.wallaby.Cm.tls_load > M.wallaby.Cm.syscall_getpid);
+  Alcotest.(check bool) "aarch64 TLS is register-scale" true
+    (M.albireo.Cm.tls_load < M.albireo.Cm.uctx_switch);
+  Alcotest.(check bool) "busywait handoff cheaper than futex path" true
+    (M.wallaby.Cm.busywait_handoff
+    < M.wallaby.Cm.futex_wake +. M.wallaby.Cm.futex_wakeup_latency);
+  Alcotest.(check bool) "albireo too" true
+    (M.albireo.Cm.busywait_handoff
+    < M.albireo.Cm.futex_wake +. M.albireo.Cm.futex_wakeup_latency)
+
+let prop_copy_time_monotone =
+  QCheck.Test.make ~name:"copy time is monotone in size" ~count:100
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      Cm.copy_time M.albireo lo <= Cm.copy_time M.albireo hi +. 1e-15)
+
+let prop_remote_never_faster =
+  QCheck.Test.make ~name:"remote copy never beats local" ~count:100
+    (QCheck.int_bound 10_000_000)
+    (fun bytes ->
+      List.for_all
+        (fun m -> Cm.remote_copy_time m bytes >= Cm.copy_time m bytes -. 1e-15)
+        M.all)
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "machine identity" `Quick test_machine_identity;
+          Alcotest.test_case "table3 rows" `Quick test_table3_calibration;
+          Alcotest.test_case "cycle conversion" `Quick test_cycle_conversion;
+          Alcotest.test_case "cycles roundtrip" `Quick test_cycles_roundtrip;
+          Alcotest.test_case "syscall rows" `Quick test_syscall_calibration;
+          Alcotest.test_case "kernel ctx switch derived" `Quick
+            test_kernel_ctx_switch_derivation;
+          Alcotest.test_case "ulp yield derived" `Quick
+            test_ulp_yield_derivation;
+        ] );
+      ( "helpers",
+        [
+          Alcotest.test_case "copy time" `Quick test_copy_time;
+          Alcotest.test_case "remote penalty" `Quick test_remote_copy_penalty;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "paper asymmetries" `Quick test_paper_asymmetries;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_copy_time_monotone;
+          QCheck_alcotest.to_alcotest prop_remote_never_faster;
+        ] );
+    ]

@@ -1,0 +1,720 @@
+(* Tests for the BLT runtime: the KLT<->ULT state machine, the Table I
+   couple/decouple protocol (asserted against the execution trace), rule
+   1 (born a KLT) and rule 7 (dies a KLT), sibling UCs (M:N), both idle
+   policies, and error conditions. *)
+
+open Oskernel
+module Blt = Core.Blt
+module H = Workload.Harness
+
+let wallaby = Arch.Machines.wallaby
+
+let run ?(policy = Sync.Waitcell.Busywait) ?(trace = false) f =
+  H.run ~cost:wallaby ~cores:4 ~trace (fun env ->
+      let sys = Blt.init ~policy env.H.kernel in
+      f env sys)
+
+(* ---------- lifecycle ---------- *)
+
+let test_born_as_klt () =
+  run (fun env sys ->
+      let observed = ref None in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            let self = Blt.current sys in
+            observed :=
+              Some
+                ( Blt.mode self,
+                  (Option.get (Blt.current_kc self)).Types.tid,
+                  (Blt.original_kc self).Types.tid ))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      match !observed with
+      | Some (mode, cur, orig) ->
+          Alcotest.(check bool) "starts coupled" true (mode = Blt.Coupled);
+          Alcotest.(check int) "runs on its original KC" orig cur
+      | None -> Alcotest.fail "body never ran")
+
+let test_join_returns_exit () =
+  run (fun env sys ->
+      let b = Blt.create sys ~name:"b" ~cpu:0 (fun () -> ()) in
+      Alcotest.(check int) "clean exit" 0 (Blt.join sys ~waiter:env.H.root b))
+
+let test_decouple_moves_to_scheduler () =
+  run (fun env sys ->
+      let sk = Blt.add_scheduler sys ~cpu:1 in
+      let seen = ref None in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            let self = Blt.current sys in
+            seen :=
+              Some (Blt.mode self, (Option.get (Blt.current_kc self)).Types.tid))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      match !seen with
+      | Some (mode, kc_tid) ->
+          Alcotest.(check bool) "decoupled" true (mode = Blt.Decoupled);
+          Alcotest.(check int) "runs on the scheduler"
+            sk.Blt.sched_task.Types.tid kc_tid
+      | None -> Alcotest.fail "body never ran")
+
+let test_couple_returns_home () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let seen = ref None in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            Blt.couple sys;
+            let self = Blt.current sys in
+            seen :=
+              Some (Blt.mode self, (Option.get (Blt.current_kc self)).Types.tid))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      match !seen with
+      | Some (mode, kc_tid) ->
+          Alcotest.(check bool) "coupled again" true (mode = Blt.Coupled);
+          Alcotest.(check int) "back on original KC"
+            (Blt.original_kc b).Types.tid kc_tid
+      | None -> Alcotest.fail "body never ran")
+
+let test_rule7_terminates_as_klt () =
+  (* a UC left decoupled at return must be coupled home before the KLT
+     exits, so the root's wait() works like for fork()ed children *)
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys
+            (* returns while decoupled *))
+      in
+      Alcotest.(check int) "join sees the KLT exit" 0
+        (Blt.join sys ~waiter:env.H.root b);
+      Alcotest.(check int) "one couple happened for termination" 1
+        (Blt.couples b);
+      Blt.shutdown sys ~by:env.H.root)
+
+let test_transition_counters () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            for _ = 1 to 3 do
+              Blt.couple sys;
+              Blt.decouple sys
+            done)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      (* 3 explicit couples + 1 terminating couple; 1 + 3 decouples *)
+      Alcotest.(check int) "couples" 4 (Blt.couples b);
+      Alcotest.(check int) "decouples" 4 (Blt.decouples b))
+
+(* ---------- Table I protocol ordering ---------- *)
+
+let test_table1_trace_order () =
+  let entries =
+    H.run ~cost:wallaby ~cores:4 ~trace:true (fun env ->
+        let sys = Blt.init env.H.kernel in
+        let _sk = Blt.add_scheduler sys ~cpu:1 in
+        let b =
+          Blt.create sys ~name:"uc0" ~cpu:0 (fun () ->
+              Blt.decouple sys;
+              Blt.couple sys;
+              Blt.decouple sys)
+        in
+        ignore (Blt.join sys ~waiter:env.H.root b);
+        Blt.shutdown sys ~by:env.H.root;
+        Sim.Trace.entries (Sim.Engine.trace env.H.engine))
+  in
+  let trace = Sim.Trace.create () in
+  List.iter
+    (fun e ->
+      Sim.Trace.record trace ~time:e.Sim.Trace.time ~actor:e.Sim.Trace.actor
+        ~tag:e.Sim.Trace.tag e.Sim.Trace.detail)
+    entries;
+  (* Table I: decouple publishes the UC; a scheduler dispatches it as a
+     ULT; couple hands it back; the original KC dispatches it as a KLT *)
+  Alcotest.(check bool) "protocol order" true
+    (Sim.Trace.tags_in_order trace
+       [
+         "kc-dispatch" (* born a KLT *);
+         "decouple";
+         "kc-park" (* KC0 idles on its trampoline *);
+         "sched-dispatch" (* ULT on the scheduler *);
+         "couple";
+         "kc-dispatch" (* TC -> UC: KLT again *);
+         "decouple";
+         "exit";
+       ])
+
+let test_couple_decouple_roundtrip_cost_busywait () =
+  (* the composite protocol cost must land on the paper's Table V
+     BUSYWAIT number minus the getpid itself *)
+  let per_iter =
+    Workload.Microbench.getpid_ulp_time ~iters:128
+      ~policy:Sync.Waitcell.Busywait wallaby
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 10%% of 1.33e-6 (got %.3e)" per_iter)
+    true
+    (Float.abs (per_iter -. 1.33e-6) /. 1.33e-6 < 0.10)
+
+(* ---------- invalid transitions ---------- *)
+
+let test_couple_while_coupled_raises () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let raised = ref false in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            try Blt.couple sys
+            with Blt.Invalid_transition _ -> raised := true)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check bool) "raised" true !raised)
+
+let test_decouple_without_scheduler_raises () =
+  run (fun env sys ->
+      let raised = ref false in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            try Blt.decouple sys
+            with Blt.Invalid_transition _ -> raised := true)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Alcotest.(check bool) "raised" true !raised)
+
+let test_current_outside_blt_raises () =
+  run (fun _env sys ->
+      match Blt.current sys with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "current outside a UC should fail")
+
+(* ---------- coupled wrapper ---------- *)
+
+let test_coupled_wrapper_restores_mode () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let inner_mode = ref None and after_mode = ref None in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            let v =
+              Blt.coupled sys (fun () ->
+                  inner_mode := Some (Blt.mode (Blt.current sys));
+                  17)
+            in
+            Alcotest.(check int) "value through" 17 v;
+            after_mode := Some (Blt.mode (Blt.current sys)))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check bool) "coupled inside" true (!inner_mode = Some Blt.Coupled);
+      Alcotest.(check bool) "decoupled after" true
+        (!after_mode = Some Blt.Decoupled))
+
+let test_coupled_wrapper_exception_safe () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let after_mode = ref None in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            (try Blt.coupled sys (fun () -> failwith "inner") with
+            | Failure _ -> ());
+            after_mode := Some (Blt.mode (Blt.current sys)))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check bool) "still decoupled after raise" true
+        (!after_mode = Some Blt.Decoupled))
+
+let test_coupled_wrapper_noop_when_coupled () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            let v = Blt.coupled sys (fun () -> 5) in
+            Alcotest.(check int) "direct" 5 v)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check int) "no transition happened" 0 (Blt.couples b))
+
+(* ---------- scheduling behaviour ---------- *)
+
+let test_two_ults_share_scheduler () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let log = ref [] in
+      let mk name =
+        Blt.create sys ~name ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            for i = 1 to 3 do
+              log := (name, i) :: !log;
+              Blt.yield sys
+            done)
+      in
+      let a = mk "a" in
+      let b = mk "b" in
+      ignore (Blt.join sys ~waiter:env.H.root a);
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check int) "six entries" 6 (List.length !log);
+      (* after both are decoupled they alternate *)
+      let tail = List.filteri (fun i _ -> i < 4) !log in
+      let names = List.map fst tail in
+      Alcotest.(check bool) "interleaved" true
+        (List.mem "a" names && List.mem "b" names))
+
+let test_many_blts_one_scheduler () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let finished = ref 0 in
+      let blts =
+        List.init 16 (fun i ->
+            Blt.create sys ~name:(Printf.sprintf "w%d" i) ~cpu:0 (fun () ->
+                Blt.decouple sys;
+                for _ = 1 to 5 do
+                  Blt.yield sys
+                done;
+                incr finished))
+      in
+      List.iter (fun b -> ignore (Blt.join sys ~waiter:env.H.root b)) blts;
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check int) "all finished" 16 !finished)
+
+let test_two_schedulers_share_ready_queue () =
+  (* blocking policy: a parked original KC frees its core, so all eight
+     BLTs (sharing core 0) decouple promptly and the ready queue holds
+     enough work to occupy both schedulers.  (With busy-waiting the
+     parked KC monopolizes core 0 and BLTs serialize -- faithful to the
+     paper's warning about busy-wait idling.) *)
+  run ~policy:Sync.Waitcell.Blocking (fun env sys ->
+      let sk1 = Blt.add_scheduler sys ~cpu:1 in
+      let sk2 = Blt.add_scheduler sys ~cpu:2 in
+      let blts =
+        List.init 8 (fun i ->
+            Blt.create sys ~name:(Printf.sprintf "w%d" i) ~cpu:0 (fun () ->
+                Blt.decouple sys;
+                for _ = 1 to 10 do
+                  Blt.yield sys
+                done))
+      in
+      List.iter (fun b -> ignore (Blt.join sys ~waiter:env.H.root b)) blts;
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check bool) "both schedulers dispatched" true
+        (Blt.sched_dispatches sk1 > 0 && Blt.sched_dispatches sk2 > 0))
+
+let test_klt_yield_progresses () =
+  (* yielding while coupled must not hang the KC loop *)
+  run (fun env sys ->
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            for _ = 1 to 3 do
+              Blt.yield sys
+            done)
+      in
+      Alcotest.(check int) "finished" 0 (Blt.join sys ~waiter:env.H.root b))
+
+let blocking_policy_roundtrip () =
+  run ~policy:Sync.Waitcell.Blocking (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let b =
+        Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            for _ = 1 to 5 do
+              Blt.couple sys;
+              Blt.decouple sys
+            done)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root)
+
+let test_blocking_policy () = blocking_policy_roundtrip ()
+
+(* ---------- siblings (M:N) ---------- *)
+
+let test_sibling_shares_original_kc () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let sibling_kc = ref None in
+      let primary =
+        Blt.create sys ~name:"prim" ~cpu:0 (fun () ->
+            let self = Blt.current sys in
+            let me = Blt.original_kc self in
+            ignore
+              (Blt.create_sibling sys ~of_:self ~name:"sib" ~by:me (fun () ->
+                   sibling_kc :=
+                     Some (Blt.original_kc (Blt.current sys)).Types.tid)))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root primary);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check (option int)) "same original KC"
+        (Some (Blt.original_kc primary).Types.tid)
+        !sibling_kc)
+
+let test_siblings_rotate_on_yield () =
+  (* two coupled siblings yielding alternate on their shared KC, like
+     threads of one process *)
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let log = ref [] in
+      let primary =
+        Blt.create sys ~name:"prim" ~cpu:0 (fun () ->
+            let self = Blt.current sys in
+            let me = Blt.original_kc self in
+            ignore
+              (Blt.create_sibling sys ~of_:self ~name:"sib" ~by:me (fun () ->
+                   for i = 1 to 3 do
+                     log := ("sib", i) :: !log;
+                     Blt.yield sys
+                   done));
+            for i = 1 to 3 do
+              log := ("prim", i) :: !log;
+              Blt.yield sys
+            done)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root primary);
+      Blt.shutdown sys ~by:env.H.root;
+      (* after the sibling is enqueued, the two interleave *)
+      let names = List.map fst (List.rev !log) in
+      Alcotest.(check int) "six entries" 6 (List.length names);
+      let rec alternations = function
+        | a :: (b :: _ as rest) ->
+            (if a <> b then 1 else 0) + alternations rest
+        | _ -> 0
+      in
+      Alcotest.(check bool) "they interleave" true (alternations names >= 3))
+
+let test_sibling_born_decoupled () =
+  (* the full M:N shape: a UC born directly as a ULT, whose original KC
+     is shared; its first syscall home still routes correctly *)
+  run (fun env sys ->
+      let sk = Blt.add_scheduler sys ~cpu:1 in
+      let first_kc = ref None and home_kc = ref None in
+      let primary =
+        Blt.create sys ~name:"prim" ~cpu:0 (fun () ->
+            let self = Blt.current sys in
+            let me = Blt.original_kc self in
+            ignore
+              (Blt.create_sibling sys ~of_:self ~name:"ult-born"
+                 ~start:`Decoupled ~by:me (fun () ->
+                   let s = Blt.current sys in
+                   (* born a ULT: currently on the scheduler *)
+                   first_kc := Some (Option.get (Blt.current_kc s)).Types.tid;
+                   Blt.coupled sys (fun () ->
+                       home_kc :=
+                         Some (Option.get (Blt.current_kc s)).Types.tid)));
+            (* keep the shared KC alive long enough *)
+            for _ = 1 to 3 do
+              Blt.yield sys
+            done)
+      in
+      ignore (Blt.join sys ~waiter:env.H.root primary);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check (option int)) "first dispatch by the scheduler"
+        (Some sk.Blt.sched_task.Types.tid) !first_kc;
+      Alcotest.(check (option int)) "couple reached the shared KC"
+        (Some (Blt.original_kc primary).Types.tid)
+        !home_kc)
+
+let test_siblings_counted_in_join () =
+  (* the shared KC exits only after ALL its UCs finish *)
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let sibling_done = ref false in
+      let primary =
+        Blt.create sys ~name:"prim" ~cpu:0 (fun () ->
+            let self = Blt.current sys in
+            let me = Blt.original_kc self in
+            ignore
+              (Blt.create_sibling sys ~of_:self ~name:"sib" ~by:me (fun () ->
+                   Blt.decouple sys;
+                   for _ = 1 to 3 do
+                     Blt.yield sys
+                   done;
+                   sibling_done := true)))
+      in
+      ignore (Blt.join sys ~waiter:env.H.root primary);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check bool) "sibling completed before KC exit" true
+        !sibling_done)
+
+(* ---------- crash containment ---------- *)
+
+let test_crashing_uc_exits_nonzero () =
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let b =
+        Blt.create sys ~name:"crasher" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            failwith "user bug")
+      in
+      Alcotest.(check bool) "nonzero exit, like a crashed process" true
+        (Blt.join sys ~waiter:env.H.root b <> 0);
+      Blt.shutdown sys ~by:env.H.root)
+
+let test_crash_does_not_harm_peers () =
+  (* a UC crashing while decoupled must not take down the scheduling KC
+     or the other BLTs running on it *)
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let crasher =
+        Blt.create sys ~name:"crasher" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            Blt.yield sys;
+            failwith "boom")
+      in
+      let survivor_rounds = ref 0 in
+      let survivor =
+        Blt.create sys ~name:"survivor" ~cpu:2 (fun () ->
+            Blt.decouple sys;
+            for _ = 1 to 20 do
+              incr survivor_rounds;
+              Blt.yield sys
+            done)
+      in
+      Alcotest.(check bool) "crasher reported" true
+        (Blt.join sys ~waiter:env.H.root crasher <> 0);
+      Alcotest.(check int) "survivor unharmed" 0
+        (Blt.join sys ~waiter:env.H.root survivor);
+      Alcotest.(check int) "survivor ran fully" 20 !survivor_rounds;
+      Blt.shutdown sys ~by:env.H.root)
+
+let test_crashed_uc_still_couples_home () =
+  (* rule 7 holds even on the failure path: the crashed UC's last act is
+     returning to its original KC *)
+  run (fun env sys ->
+      let _sk = Blt.add_scheduler sys ~cpu:1 in
+      let b =
+        Blt.create sys ~name:"crasher" ~cpu:0 (fun () ->
+            Blt.decouple sys;
+            failwith "boom")
+      in
+      ignore (Blt.join sys ~waiter:env.H.root b);
+      Blt.shutdown sys ~by:env.H.root;
+      Alcotest.(check int) "terminating couple happened" 1 (Blt.couples b))
+
+(* ---------- trace model checking ---------- *)
+
+(* Run a random multi-BLT program with tracing on and validate the whole
+   trace against the protocol state machine. *)
+let trace_of_program ?(policy = Sync.Waitcell.Blocking)
+    ?(ctx_kind = Blt.Fcontext) ~n_blts ~programs () =
+  H.run ~cost:wallaby ~cores:5 ~trace:true (fun env ->
+      let sys = Blt.init ~policy ~ctx_kind env.H.kernel in
+      let _s0 = Blt.add_scheduler sys ~cpu:0 in
+      let _s1 = Blt.add_scheduler sys ~cpu:1 in
+      let blts =
+        List.init n_blts (fun i ->
+            let ops = List.nth programs (i mod List.length programs) in
+            Blt.create sys ~name:(Printf.sprintf "mc%d" i)
+              ~cpu:(2 + (i mod 2))
+              (fun () ->
+                Blt.decouple sys;
+                List.iter
+                  (fun op ->
+                    match op with
+                    | `Yield -> Blt.yield sys
+                    | `Roundtrip ->
+                        Blt.couple sys;
+                        Blt.decouple sys
+                    | `Coupled_work ->
+                        Blt.coupled sys (fun () ->
+                            let self = Blt.current sys in
+                            Kernel.compute env.H.kernel
+                              (Blt.original_kc self) 1e-6))
+                  ops))
+      in
+      List.iter (fun b -> ignore (Blt.join sys ~waiter:env.H.root b)) blts;
+      Blt.shutdown sys ~by:env.H.root;
+      Sim.Trace.entries (Sim.Engine.trace env.H.engine))
+
+let test_trace_checker_accepts_valid_run () =
+  let entries =
+    trace_of_program ~n_blts:3
+      ~programs:[ [ `Yield; `Roundtrip; `Coupled_work ] ]
+      ()
+  in
+  let vs = Core.Trace_check.check entries in
+  if vs <> [] then
+    Alcotest.failf "unexpected violations: %s"
+      (String.concat "; "
+         (List.map (Fmt.str "%a" Core.Trace_check.pp_violation) vs))
+
+let test_trace_checker_rejects_forged_trace () =
+  (* forge a trace where a scheduler runs a coupled UC *)
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~time:0.0 ~actor:"uc0-kc" ~tag:"kc-dispatch" "uc0";
+  Sim.Trace.record t ~time:1e-6 ~actor:"sched0" ~tag:"sched-dispatch" "uc0";
+  Alcotest.(check bool) "forgery detected" false
+    (Core.Trace_check.is_valid (Sim.Trace.entries t))
+
+let test_trace_checker_rejects_double_decouple () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~time:0.0 ~actor:"uc0-kc" ~tag:"kc-dispatch" "uc0";
+  Sim.Trace.record t ~time:1e-6 ~actor:"uc0-kc" ~tag:"decouple" "uc0";
+  Sim.Trace.record t ~time:2e-6 ~actor:"uc0-kc" ~tag:"decouple" "uc0";
+  Alcotest.(check bool) "double decouple detected" false
+    (Core.Trace_check.is_valid (Sim.Trace.entries t))
+
+let prop_random_programs_satisfy_protocol =
+  let op_gen = QCheck.Gen.oneofl [ `Yield; `Roundtrip; `Coupled_work ] in
+  let prog_gen = QCheck.Gen.list_size (QCheck.Gen.int_range 0 10) op_gen in
+  let arb =
+    QCheck.make QCheck.Gen.(pair (int_range 1 6) (list_size (return 4) prog_gen))
+  in
+  QCheck.Test.make ~name:"random BLT programs produce protocol-valid traces"
+    ~count:20 arb
+    (fun (n_blts, programs) ->
+      (* cover both idle policies and both context kinds *)
+      List.for_all
+        (fun (policy, ctx_kind) ->
+          Core.Trace_check.is_valid
+            (trace_of_program ~policy ~ctx_kind ~n_blts ~programs ()))
+        [
+          (Sync.Waitcell.Blocking, Blt.Fcontext);
+          (Sync.Waitcell.Busywait, Blt.Fcontext);
+          (Sync.Waitcell.Blocking, Blt.Ucontext);
+        ])
+
+(* ---------- properties ---------- *)
+
+let prop_n_roundtrips_preserve_home =
+  QCheck.Test.make ~name:"any number of roundtrips returns to the original KC"
+    ~count:20
+    QCheck.(int_bound 12)
+    (fun n ->
+      run (fun env sys ->
+          let _sk = Blt.add_scheduler sys ~cpu:1 in
+          let ok = ref false in
+          let b =
+            Blt.create sys ~name:"b" ~cpu:0 (fun () ->
+                Blt.decouple sys;
+                for _ = 1 to n do
+                  Blt.couple sys;
+                  Blt.decouple sys
+                done;
+                Blt.couple sys;
+                let self = Blt.current sys in
+                ok :=
+                  (Option.get (Blt.current_kc self)).Types.tid
+                  = (Blt.original_kc self).Types.tid)
+          in
+          ignore (Blt.join sys ~waiter:env.H.root b);
+          Blt.shutdown sys ~by:env.H.root;
+          !ok))
+
+let prop_many_blts_all_finish =
+  QCheck.Test.make ~name:"any fleet size drains" ~count:10
+    QCheck.(int_range 1 24)
+    (fun n ->
+      run (fun env sys ->
+          let _sk = Blt.add_scheduler sys ~cpu:1 in
+          let finished = ref 0 in
+          let blts =
+            List.init n (fun i ->
+                Blt.create sys ~name:(Printf.sprintf "p%d" i) ~cpu:0 (fun () ->
+                    Blt.decouple sys;
+                    Blt.yield sys;
+                    Blt.coupled sys (fun () -> ());
+                    incr finished))
+          in
+          List.iter (fun b -> ignore (Blt.join sys ~waiter:env.H.root b)) blts;
+          Blt.shutdown sys ~by:env.H.root;
+          !finished = n))
+
+let () =
+  Alcotest.run "blt"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "born as KLT" `Quick test_born_as_klt;
+          Alcotest.test_case "join returns exit" `Quick test_join_returns_exit;
+          Alcotest.test_case "decouple moves to scheduler" `Quick
+            test_decouple_moves_to_scheduler;
+          Alcotest.test_case "couple returns home" `Quick
+            test_couple_returns_home;
+          Alcotest.test_case "rule 7: dies a KLT" `Quick
+            test_rule7_terminates_as_klt;
+          Alcotest.test_case "transition counters" `Quick
+            test_transition_counters;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "trace order" `Quick test_table1_trace_order;
+          Alcotest.test_case "roundtrip cost (busywait)" `Quick
+            test_couple_decouple_roundtrip_cost_busywait;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "couple while coupled" `Quick
+            test_couple_while_coupled_raises;
+          Alcotest.test_case "decouple without scheduler" `Quick
+            test_decouple_without_scheduler_raises;
+          Alcotest.test_case "current outside BLT" `Quick
+            test_current_outside_blt_raises;
+        ] );
+      ( "coupled_wrapper",
+        [
+          Alcotest.test_case "restores mode" `Quick
+            test_coupled_wrapper_restores_mode;
+          Alcotest.test_case "exception safe" `Quick
+            test_coupled_wrapper_exception_safe;
+          Alcotest.test_case "noop when coupled" `Quick
+            test_coupled_wrapper_noop_when_coupled;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "two ULTs share scheduler" `Quick
+            test_two_ults_share_scheduler;
+          Alcotest.test_case "many BLTs" `Quick test_many_blts_one_scheduler;
+          Alcotest.test_case "two schedulers" `Quick
+            test_two_schedulers_share_ready_queue;
+          Alcotest.test_case "KLT yield progresses" `Quick
+            test_klt_yield_progresses;
+          Alcotest.test_case "blocking policy" `Quick test_blocking_policy;
+        ] );
+      ( "siblings",
+        [
+          Alcotest.test_case "share original KC" `Quick
+            test_sibling_shares_original_kc;
+          Alcotest.test_case "rotate on yield" `Quick
+            test_siblings_rotate_on_yield;
+          Alcotest.test_case "born decoupled" `Quick
+            test_sibling_born_decoupled;
+          Alcotest.test_case "counted in join" `Quick
+            test_siblings_counted_in_join;
+        ] );
+      ( "crash_containment",
+        [
+          Alcotest.test_case "nonzero exit" `Quick
+            test_crashing_uc_exits_nonzero;
+          Alcotest.test_case "peers unharmed" `Quick
+            test_crash_does_not_harm_peers;
+          Alcotest.test_case "rule 7 on failure path" `Quick
+            test_crashed_uc_still_couples_home;
+        ] );
+      ( "trace_model_check",
+        [
+          Alcotest.test_case "accepts valid run" `Quick
+            test_trace_checker_accepts_valid_run;
+          Alcotest.test_case "rejects forged trace" `Quick
+            test_trace_checker_rejects_forged_trace;
+          Alcotest.test_case "rejects double decouple" `Quick
+            test_trace_checker_rejects_double_decouple;
+          QCheck_alcotest.to_alcotest prop_random_programs_satisfy_protocol;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_n_roundtrips_preserve_home;
+          QCheck_alcotest.to_alcotest prop_many_blts_all_finish;
+        ] );
+    ]

@@ -1,0 +1,504 @@
+(* Tests for the real effects-based fiber runtime (substrate S2): these
+   exercise actual OS threads, so they are about behaviour, not timing.
+   The headline assertions: fibers interleave cooperatively; [coupled]
+   sections of one fiber always execute on the same OS thread (real
+   system-call consistency); and the scheduler keeps running other
+   fibers while one is coupled. *)
+
+module Fiber = Fiber_rt.Fiber
+module Blt_rt = Fiber_rt.Blt_rt
+module Executor = Fiber_rt.Executor
+
+(* ---------- executor ---------- *)
+
+let test_executor_runs_jobs_in_order () =
+  let e = Executor.create () in
+  let log = ref [] in
+  let m = Mutex.create () and c = Condition.create () in
+  let done_count = ref 0 in
+  for i = 1 to 5 do
+    Executor.submit e (fun () ->
+        Mutex.lock m;
+        log := i :: !log;
+        incr done_count;
+        Condition.signal c;
+        Mutex.unlock m)
+  done;
+  Mutex.lock m;
+  while !done_count < 5 do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Executor.shutdown e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log);
+  Alcotest.(check int) "executed count" 5 (Executor.executed e)
+
+let test_executor_single_thread () =
+  let e = Executor.create () in
+  let tids = ref [] in
+  let m = Mutex.create () and c = Condition.create () in
+  let done_count = ref 0 in
+  for _ = 1 to 4 do
+    Executor.submit e (fun () ->
+        Mutex.lock m;
+        tids := Thread.id (Thread.self ()) :: !tids;
+        incr done_count;
+        Condition.signal c;
+        Mutex.unlock m)
+  done;
+  Mutex.lock m;
+  while !done_count < 4 do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Executor.shutdown e;
+  Alcotest.(check int) "one thread for all jobs" 1
+    (List.length (List.sort_uniq compare !tids))
+
+let test_executor_submit_after_shutdown_rejected () =
+  let e = Executor.create () in
+  Executor.shutdown e;
+  match Executor.submit e (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "submit after shutdown accepted"
+
+(* ---------- fibers ---------- *)
+
+let test_fibers_interleave () =
+  let log = ref [] in
+  Fiber.run (fun () ->
+      let mk tag =
+        Fiber.spawn (fun () ->
+            for i = 1 to 3 do
+              log := (tag, i) :: !log;
+              Fiber.yield ()
+            done)
+      in
+      let a = mk "a" and b = mk "b" in
+      Fiber.join a;
+      Fiber.join b);
+  Alcotest.(check (list (pair string int)))
+    "strict alternation"
+    [ ("a", 1); ("b", 1); ("a", 2); ("b", 2); ("a", 3); ("b", 3) ]
+    (List.rev !log)
+
+let test_join_after_completion () =
+  Fiber.run (fun () ->
+      let f = Fiber.spawn (fun () -> ()) in
+      (* let it finish first *)
+      Fiber.yield ();
+      Fiber.yield ();
+      Fiber.join f;
+      Alcotest.(check bool) "done" true (Fiber.state f = `Done))
+
+let test_join_unblocks_all_joiners () =
+  let joined = ref 0 in
+  Fiber.run (fun () ->
+      let slow =
+        Fiber.spawn (fun () ->
+            for _ = 1 to 5 do
+              Fiber.yield ()
+            done)
+      in
+      let joiners =
+        List.init 3 (fun _ ->
+            Fiber.spawn (fun () ->
+                Fiber.join slow;
+                incr joined))
+      in
+      List.iter Fiber.join joiners);
+  Alcotest.(check int) "all three" 3 !joined
+
+let test_spawn_nested () =
+  let order = ref [] in
+  Fiber.run (fun () ->
+      let outer =
+        Fiber.spawn (fun () ->
+            order := `Outer :: !order;
+            let inner = Fiber.spawn (fun () -> order := `Inner :: !order) in
+            Fiber.join inner;
+            order := `After :: !order)
+      in
+      Fiber.join outer);
+  match List.rev !order with
+  | [ `Outer; `Inner; `After ] -> ()
+  | _ -> Alcotest.fail "wrong nesting order"
+
+let test_fiber_ids_unique () =
+  Fiber.run (fun () ->
+      let a = Fiber.spawn (fun () -> ()) in
+      let b = Fiber.spawn (fun () -> ()) in
+      Alcotest.(check bool) "distinct" true (Fiber.id a <> Fiber.id b);
+      Fiber.join a;
+      Fiber.join b)
+
+let test_run_outside_scheduler_raises () =
+  match Fiber.scheduler () with
+  | exception Fiber.Not_in_scheduler -> ()
+  | _ -> Alcotest.fail "scheduler available outside run"
+
+(* ---------- BLT coupling on real threads ---------- *)
+
+let test_coupled_returns_value () =
+  Fiber.run (fun () ->
+      let f =
+        Fiber.spawn (fun () ->
+            Alcotest.(check int) "result" 42 (Blt_rt.coupled (fun () -> 42)))
+      in
+      Fiber.join f)
+
+let test_coupled_runs_off_scheduler_thread () =
+  Fiber.run (fun () ->
+      let sched_tid = Thread.id (Thread.self ()) in
+      let f =
+        Fiber.spawn (fun () ->
+            let kc_tid = Blt_rt.coupled (fun () -> Thread.id (Thread.self ())) in
+            Alcotest.(check bool) "different OS thread" true (kc_tid <> sched_tid))
+      in
+      Fiber.join f)
+
+let test_coupled_thread_is_consistent () =
+  (* the real system-call-consistency property: every coupled section of
+     one fiber executes on the same OS thread *)
+  Fiber.run (fun () ->
+      let f =
+        Fiber.spawn (fun () ->
+            let tids =
+              List.init 5 (fun _ ->
+                  Blt_rt.coupled (fun () -> Thread.id (Thread.self ())))
+            in
+            Alcotest.(check int) "one KC thread" 1
+              (List.length (List.sort_uniq compare tids)))
+      in
+      Fiber.join f)
+
+let test_distinct_fibers_distinct_kcs () =
+  Fiber.run (fun () ->
+      let tid_of = ref [] in
+      let mk () =
+        Fiber.spawn (fun () ->
+            (* bind first: the read of !tid_of must happen after the
+               suspension, not before (argument evaluation order) *)
+            let tid = Blt_rt.coupled (fun () -> Thread.id (Thread.self ())) in
+            tid_of := tid :: !tid_of)
+      in
+      let a = mk () and b = mk () in
+      Fiber.join a;
+      Fiber.join b;
+      Alcotest.(check int) "two original KCs" 2
+        (List.length (List.sort_uniq compare !tid_of)))
+
+let test_scheduler_runs_others_while_coupled () =
+  (* the whole point of BLT: a blocking coupled call must not stall the
+     other fibers *)
+  let progress = ref 0 in
+  Fiber.run (fun () ->
+      let blocker =
+        Fiber.spawn (fun () ->
+            Blt_rt.coupled (fun () ->
+                (* real blocking syscall on the original KC *)
+                Thread.delay 0.05))
+      in
+      let worker =
+        Fiber.spawn (fun () ->
+            (* keep yielding while the blocker is away *)
+            for _ = 1 to 1000 do
+              incr progress;
+              Fiber.yield ()
+            done)
+      in
+      Fiber.join worker;
+      Fiber.join blocker);
+  Alcotest.(check int) "worker never stalled" 1000 !progress
+
+let test_coupled_exception_propagates () =
+  Fiber.run (fun () ->
+      let f =
+        Fiber.spawn (fun () ->
+            match Blt_rt.coupled (fun () -> failwith "inner") with
+            | exception Blt_rt.Coupled_raised (Failure msg) ->
+                Alcotest.(check string) "message carried" "inner" msg
+            | exception e -> Alcotest.failf "wrong exn %s" (Printexc.to_string e)
+            | _ -> Alcotest.fail "no exception")
+      in
+      Fiber.join f)
+
+let test_coupled_real_syscall () =
+  Fiber.run (fun () ->
+      let f =
+        Fiber.spawn (fun () ->
+            (* a real getpid via the Unix module, consistently *)
+            let p1 = Blt_rt.coupled_syscall (fun () -> Unix.getpid ()) in
+            let p2 = Blt_rt.coupled_syscall (fun () -> Unix.getpid ()) in
+            Alcotest.(check int) "stable pid" p1 p2)
+      in
+      Fiber.join f)
+
+let test_sleep_does_not_stall_scheduler () =
+  let rounds = ref 0 in
+  Fiber.run (fun () ->
+      let sleeper = Fiber.spawn (fun () -> Blt_rt.sleep 0.03) in
+      let worker =
+        Fiber.spawn (fun () ->
+            while Fiber.state sleeper <> `Done do
+              incr rounds;
+              Fiber.yield ()
+            done)
+      in
+      Fiber.join sleeper;
+      Fiber.join worker);
+  Alcotest.(check bool)
+    (Printf.sprintf "worker kept running (%d rounds)" !rounds)
+    true (!rounds > 100)
+
+let test_many_fibers_coupled_concurrently () =
+  let results = ref [] in
+  Fiber.run (fun () ->
+      let fibers =
+        List.init 8 (fun i ->
+            Fiber.spawn (fun () ->
+                let v = Blt_rt.coupled (fun () -> i * i) in
+                let seen = !results in
+                results := v :: seen))
+      in
+      List.iter Fiber.join fibers);
+  Alcotest.(check (list int)) "all coupled calls returned"
+    (List.init 8 (fun i -> i * i))
+    (List.sort compare !results)
+
+(* ---------- channels ---------- *)
+
+module Channel = Fiber_rt.Channel
+
+let test_channel_roundtrip () =
+  let got = ref [] in
+  Fiber.run (fun () ->
+      let ch = Channel.create ~capacity:2 () in
+      let producer =
+        Fiber.spawn (fun () ->
+            for i = 1 to 5 do
+              Channel.send ch i
+            done;
+            Channel.close ch)
+      in
+      let consumer =
+        Fiber.spawn (fun () -> Channel.iter ch ~f:(fun v -> got := v :: !got))
+      in
+      Fiber.join producer;
+      Fiber.join consumer);
+  Alcotest.(check (list int)) "fifo delivery" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_channel_capacity_blocks_sender () =
+  let sent = ref 0 in
+  Fiber.run (fun () ->
+      let ch = Channel.create ~capacity:1 () in
+      let producer =
+        Fiber.spawn (fun () ->
+            Channel.send ch 1;
+            incr sent;
+            Channel.send ch 2 (* blocks: capacity 1 and nobody received *);
+            incr sent)
+      in
+      let observer =
+        Fiber.spawn (fun () ->
+            (* give the producer plenty of turns *)
+            for _ = 1 to 10 do
+              Fiber.yield ()
+            done;
+            Alcotest.(check int) "second send blocked" 1 !sent;
+            Alcotest.(check (option int)) "drain one" (Some 1) (Channel.recv ch))
+      in
+      Fiber.join observer;
+      Fiber.join producer);
+  Alcotest.(check int) "second send completed after drain" 2 !sent
+
+let test_channel_recv_blocks_until_send () =
+  Fiber.run (fun () ->
+      let ch = Channel.create () in
+      let consumer =
+        Fiber.spawn (fun () ->
+            Alcotest.(check (option string)) "waited for the value"
+              (Some "late") (Channel.recv ch))
+      in
+      let producer =
+        Fiber.spawn (fun () ->
+            for _ = 1 to 5 do
+              Fiber.yield ()
+            done;
+            Channel.send ch "late")
+      in
+      Fiber.join consumer;
+      Fiber.join producer)
+
+let test_channel_close_semantics () =
+  Fiber.run (fun () ->
+      let ch = Channel.create ~capacity:4 () in
+      Channel.send ch 1;
+      Channel.send ch 2;
+      Channel.close ch;
+      Alcotest.(check (option int)) "drains after close" (Some 1)
+        (Channel.recv ch);
+      Alcotest.(check (option int)) "drains fully" (Some 2) (Channel.recv ch);
+      Alcotest.(check (option int)) "then None" None (Channel.recv ch);
+      match Channel.send ch 3 with
+      | exception Channel.Closed -> ()
+      | () -> Alcotest.fail "send after close accepted")
+
+let test_channel_pipeline () =
+  (* three-stage pipeline across fibers, with a coupled stage *)
+  let out = ref [] in
+  Fiber.run (fun () ->
+      let a = Channel.create ~capacity:2 () in
+      let b = Channel.create ~capacity:2 () in
+      let source =
+        Fiber.spawn (fun () ->
+            for i = 1 to 8 do
+              Channel.send a i
+            done;
+            Channel.close a)
+      in
+      let square =
+        Fiber.spawn (fun () ->
+            Channel.iter a ~f:(fun v ->
+                (* a "blocking" transformation on the original KC *)
+                let v2 = Blt_rt.coupled (fun () -> v * v) in
+                Channel.send b v2);
+            Channel.close b)
+      in
+      let sink = Fiber.spawn (fun () -> Channel.iter b ~f:(fun v -> out := v :: !out)) in
+      Fiber.join source;
+      Fiber.join square;
+      Fiber.join sink);
+  Alcotest.(check (list int)) "squares through the pipeline"
+    [ 1; 4; 9; 16; 25; 36; 49; 64 ]
+    (List.rev !out)
+
+let test_channel_try_recv () =
+  Fiber.run (fun () ->
+      let ch = Channel.create ~capacity:2 () in
+      Alcotest.(check (option int)) "empty" None (Channel.try_recv ch);
+      Channel.send ch 9;
+      Alcotest.(check (option int)) "value" (Some 9) (Channel.try_recv ch);
+      Alcotest.(check int) "drained" 0 (Channel.length ch))
+
+let test_channel_fold () =
+  let total = ref 0 in
+  Fiber.run (fun () ->
+      let ch = Channel.create ~capacity:4 () in
+      let p =
+        Fiber.spawn (fun () ->
+            for i = 1 to 10 do
+              Channel.send ch i
+            done;
+            Channel.close ch)
+      in
+      let c =
+        Fiber.spawn (fun () -> total := Channel.fold ch ~init:0 ~f:( + ))
+      in
+      Fiber.join p;
+      Fiber.join c);
+  Alcotest.(check int) "sum 1..10" 55 !total
+
+let test_channel_bad_capacity () =
+  match Channel.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
+let prop_channel_preserves_all_items =
+  QCheck.Test.make ~name:"channel delivers every item exactly once" ~count:30
+    QCheck.(pair (int_range 1 4) (list_of_size (Gen.int_range 0 30) small_nat))
+    (fun (capacity, items) ->
+      let got = ref [] in
+      Fiber.run (fun () ->
+          let ch = Channel.create ~capacity () in
+          let p =
+            Fiber.spawn (fun () ->
+                List.iter (Channel.send ch) items;
+                Channel.close ch)
+          in
+          let c =
+            Fiber.spawn (fun () -> Channel.iter ch ~f:(fun v -> got := v :: !got))
+          in
+          Fiber.join p;
+          Fiber.join c);
+      List.rev !got = items)
+
+(* ---------- properties ---------- *)
+
+let prop_yield_count_independent_of_interleaving =
+  QCheck.Test.make ~name:"n fibers of k yields all finish" ~count:20
+    QCheck.(pair (int_range 1 6) (int_range 0 10))
+    (fun (n, k) ->
+      let finished = ref 0 in
+      Fiber.run (fun () ->
+          let fs =
+            List.init n (fun _ ->
+                Fiber.spawn (fun () ->
+                    for _ = 1 to k do
+                      Fiber.yield ()
+                    done;
+                    incr finished))
+          in
+          List.iter Fiber.join fs);
+      !finished = n)
+
+let () =
+  Alcotest.run "fiber_rt"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "fifo order" `Quick test_executor_runs_jobs_in_order;
+          Alcotest.test_case "single thread" `Quick test_executor_single_thread;
+          Alcotest.test_case "shutdown rejects" `Quick
+            test_executor_submit_after_shutdown_rejected;
+        ] );
+      ( "fibers",
+        [
+          Alcotest.test_case "interleave" `Quick test_fibers_interleave;
+          Alcotest.test_case "join after done" `Quick test_join_after_completion;
+          Alcotest.test_case "multiple joiners" `Quick
+            test_join_unblocks_all_joiners;
+          Alcotest.test_case "nested spawn" `Quick test_spawn_nested;
+          Alcotest.test_case "unique ids" `Quick test_fiber_ids_unique;
+          Alcotest.test_case "no ambient scheduler" `Quick
+            test_run_outside_scheduler_raises;
+        ] );
+      ( "coupling",
+        [
+          Alcotest.test_case "returns value" `Quick test_coupled_returns_value;
+          Alcotest.test_case "off scheduler thread" `Quick
+            test_coupled_runs_off_scheduler_thread;
+          Alcotest.test_case "thread consistency" `Quick
+            test_coupled_thread_is_consistent;
+          Alcotest.test_case "distinct KCs" `Quick
+            test_distinct_fibers_distinct_kcs;
+          Alcotest.test_case "non-blocking scheduler" `Quick
+            test_scheduler_runs_others_while_coupled;
+          Alcotest.test_case "exception propagates" `Quick
+            test_coupled_exception_propagates;
+          Alcotest.test_case "real syscall" `Quick test_coupled_real_syscall;
+          Alcotest.test_case "sleep keeps scheduler live" `Quick
+            test_sleep_does_not_stall_scheduler;
+          Alcotest.test_case "many coupled fibers" `Quick
+            test_many_fibers_coupled_concurrently;
+        ] );
+      ( "channels",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_channel_roundtrip;
+          Alcotest.test_case "capacity blocks sender" `Quick
+            test_channel_capacity_blocks_sender;
+          Alcotest.test_case "recv blocks" `Quick
+            test_channel_recv_blocks_until_send;
+          Alcotest.test_case "close semantics" `Quick
+            test_channel_close_semantics;
+          Alcotest.test_case "pipeline" `Quick test_channel_pipeline;
+          Alcotest.test_case "try_recv" `Quick test_channel_try_recv;
+          Alcotest.test_case "fold" `Quick test_channel_fold;
+          Alcotest.test_case "bad capacity" `Quick test_channel_bad_capacity;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_yield_count_independent_of_interleaving;
+          QCheck_alcotest.to_alcotest prop_channel_preserves_all_items;
+        ] );
+    ]

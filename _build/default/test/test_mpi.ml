@@ -1,0 +1,486 @@
+(* Tests for the MPI-like runtime on ULP ranks: point-to-point
+   send/recv with tag and source matching, non-blocking requests,
+   collectives (barrier, bcast, reduce, allreduce), zero-copy pointer
+   semantics through the shared address space, and determinism. *)
+
+open Oskernel
+module Ulp = Core.Ulp
+module Memval = Addrspace.Memval
+module H = Workload.Harness
+
+let wallaby = Arch.Machines.wallaby
+
+(* Run an MPI world of [ranks] with one scheduler; returns after all
+   ranks joined. *)
+let run_world ?(ranks = 4) ?(extra = fun _env _sys -> ()) body =
+  H.run ~cost:wallaby ~cores:4 (fun env ->
+      let sys =
+        Ulp.init ~policy:Sync.Waitcell.Blocking env.H.kernel
+          ~root_task:env.H.root ~vfs:env.H.vfs
+      in
+      let _sk = Ulp.add_scheduler sys ~cpu:0 in
+      let world = Mpi.init sys ~ranks ~kc_cpus:[ 1; 2 ] body in
+      extra env sys;
+      Mpi.wait_all world ~waiter:env.H.root;
+      Ulp.shutdown sys ~by:env.H.root)
+
+(* ---------- point-to-point ---------- *)
+
+let test_ring_pass () =
+  (* token travels 0 -> 1 -> 2 -> 3 -> 0, incremented at each hop *)
+  let final = ref (-1) in
+  run_world ~ranks:4 (fun ctx ->
+      let n = Mpi.size ctx and me = Mpi.rank ctx in
+      let next = (me + 1) mod n and prev = (me + n - 1) mod n in
+      if me = 0 then begin
+        Mpi.send ctx ~dst:next ~bytes:8 (Memval.Int 0);
+        let m = Mpi.recv ctx ~src:prev () in
+        match m.Mpi.payload with
+        | Memval.Int v -> final := v
+        | _ -> Alcotest.fail "bad token"
+      end
+      else begin
+        let m = Mpi.recv ctx ~src:prev () in
+        match m.Mpi.payload with
+        | Memval.Int v -> Mpi.send ctx ~dst:next ~bytes:8 (Memval.Int (v + 1))
+        | _ -> Alcotest.fail "bad token"
+      end);
+  Alcotest.(check int) "token incremented n-1 times" 3 !final
+
+let test_tag_matching () =
+  (* rank 1 sends two tags; rank 0 receives them out of arrival order *)
+  let order = ref [] in
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 1 then begin
+        Mpi.send ctx ~dst:0 ~tag:7 ~bytes:8 (Memval.Str "seven");
+        Mpi.send ctx ~dst:0 ~tag:9 ~bytes:8 (Memval.Str "nine")
+      end
+      else begin
+        let m9 = Mpi.recv ctx ~tag:9 () in
+        let m7 = Mpi.recv ctx ~tag:7 () in
+        order := [ m9.Mpi.payload; m7.Mpi.payload ]
+      end);
+  Alcotest.(check bool) "tag 9 picked first despite arrival order" true
+    (!order = [ Memval.Str "nine"; Memval.Str "seven" ])
+
+let test_wildcard_source () =
+  let sources = ref [] in
+  run_world ~ranks:3 (fun ctx ->
+      if Mpi.rank ctx = 0 then
+        for _ = 1 to 2 do
+          let m = Mpi.recv ctx () in
+          sources := m.Mpi.src :: !sources
+        done
+      else Mpi.send ctx ~dst:0 ~bytes:4 (Memval.Int (Mpi.rank ctx)));
+  Alcotest.(check (list int)) "both senders seen" [ 1; 2 ]
+    (List.sort compare !sources)
+
+let test_fifo_per_pair () =
+  (* messages between one pair with one tag arrive in order *)
+  let got = ref [] in
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 1 then
+        for i = 1 to 5 do
+          Mpi.send ctx ~dst:0 ~bytes:4 (Memval.Int i)
+        done
+      else
+        for _ = 1 to 5 do
+          match (Mpi.recv ctx ~src:1 ()).Mpi.payload with
+          | Memval.Int i -> got := i :: !got
+          | _ -> ()
+        done);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_invalid_rank_raises () =
+  let raised = ref false in
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then
+        try Mpi.send ctx ~dst:7 ~bytes:1 Memval.Unit
+        with Mpi.Invalid_rank 7 -> raised := true);
+  Alcotest.(check bool) "raised" true !raised
+
+(* ---------- zero-copy semantics ---------- *)
+
+let test_zero_copy_shares_the_object () =
+  (* the receiver mutates the array it received; the sender sees the
+     mutation: it is the same object in the shared space *)
+  let sender_sees = ref nan in
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then begin
+        let arr = Array.make 4 1.0 in
+        Mpi.send ctx ~dst:1 ~bytes:32 (Memval.Float_array arr);
+        Mpi.barrier ctx;
+        sender_sees := arr.(0)
+      end
+      else begin
+        (match (Mpi.recv ctx ()).Mpi.payload with
+        | Memval.Float_array arr -> arr.(0) <- 42.0
+        | _ -> Alcotest.fail "bad payload");
+        Mpi.barrier ctx
+      end);
+  Alcotest.(check (float 1e-9)) "receiver's write visible to sender" 42.0
+    !sender_sees
+
+let test_copy_mode_costs_more () =
+  (* a 1 MiB Copy-mode exchange takes longer than Zero_copy *)
+  let time mode =
+    H.run ~cost:wallaby ~cores:4 (fun env ->
+        let sys =
+          Ulp.init ~policy:Sync.Waitcell.Blocking env.H.kernel
+            ~root_task:env.H.root ~vfs:env.H.vfs
+        in
+        let _sk = Ulp.add_scheduler sys ~cpu:0 in
+        let elapsed = ref nan in
+        let world =
+          Mpi.init sys ~ranks:2 ~kc_cpus:[ 1 ] (fun ctx ->
+              if Mpi.rank ctx = 0 then begin
+                let t0 = Kernel.now env.H.kernel in
+                for _ = 1 to 10 do
+                  Mpi.send ctx ~dst:1 ~mode ~bytes:1048576 Memval.Unit;
+                  ignore (Mpi.recv ctx ~src:1 ())
+                done;
+                elapsed := Kernel.now env.H.kernel -. t0
+              end
+              else
+                for _ = 1 to 10 do
+                  ignore (Mpi.recv ctx ~src:0 ~mode ());
+                  Mpi.send ctx ~dst:0 ~bytes:4 Memval.Unit
+                done)
+        in
+        Mpi.wait_all world ~waiter:env.H.root;
+        Ulp.shutdown sys ~by:env.H.root;
+        !elapsed)
+  in
+  let zc = time Mpi.Zero_copy and cp = time Mpi.Copy in
+  Alcotest.(check bool)
+    (Printf.sprintf "copy mode much slower (%.2e vs %.2e)" cp zc)
+    true
+    (cp > 5.0 *. zc)
+
+(* ---------- non-blocking ---------- *)
+
+let test_irecv_before_send () =
+  let got = ref None in
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then begin
+        let req = Mpi.irecv ctx ~src:1 () in
+        Alcotest.(check bool) "not yet" false (Mpi.test req);
+        (* overlap computation with the in-flight receive *)
+        Ulp.compute (Mpi.sys ctx.Mpi.world) 1e-5;
+        got := Mpi.wait req
+      end
+      else begin
+        Ulp.compute (Mpi.sys ctx.Mpi.world) 2e-5;
+        Mpi.send ctx ~dst:0 ~bytes:8 (Memval.Int 5)
+      end);
+  match !got with
+  | Some m -> Alcotest.(check bool) "value" true (m.Mpi.payload = Memval.Int 5)
+  | None -> Alcotest.fail "no message"
+
+let test_isend_completes_immediately () =
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then begin
+        let req = Mpi.isend ctx ~dst:1 ~bytes:8 (Memval.Int 1) in
+        Alcotest.(check bool) "eager send done" true (Mpi.test req)
+      end
+      else ignore (Mpi.recv ctx ()))
+
+let test_iprobe () =
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then begin
+        while not (Mpi.iprobe ctx ~src:1 ()) do
+          Ulp.yield (Mpi.sys ctx.Mpi.world)
+        done;
+        ignore (Mpi.recv ctx ~src:1 ())
+      end
+      else Mpi.send ctx ~dst:0 ~bytes:4 (Memval.Int 1))
+
+(* ---------- collectives ---------- *)
+
+let test_barrier_synchronizes () =
+  (* no rank leaves the barrier before every rank arrived *)
+  let arrived = Array.make 4 false in
+  let violation = ref false in
+  run_world ~ranks:4 (fun ctx ->
+      let me = Mpi.rank ctx in
+      (* stagger the arrivals *)
+      Ulp.compute (Mpi.sys ctx.Mpi.world) (float_of_int me *. 1e-5);
+      arrived.(me) <- true;
+      Mpi.barrier ctx;
+      if Array.exists not arrived then violation := true);
+  Alcotest.(check bool) "no early exit" false !violation
+
+let test_bcast_value () =
+  let got = Array.make 4 Memval.Unit in
+  run_world ~ranks:4 (fun ctx ->
+      let v =
+        Mpi.bcast ctx ~root:2 ~bytes:8
+          (if Mpi.rank ctx = 2 then Memval.Int 99 else Memval.Unit)
+      in
+      got.(Mpi.rank ctx) <- v);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) (Printf.sprintf "rank %d" i) true (v = Memval.Int 99))
+    got
+
+let test_reduce_sum () =
+  let at_root = ref None in
+  run_world ~ranks:4 (fun ctx ->
+      let r =
+        Mpi.reduce ctx ~root:0 ~op:Mpi.Sum (float_of_int (Mpi.rank ctx + 1))
+      in
+      if Mpi.rank ctx = 0 then at_root := r);
+  Alcotest.(check (option (float 1e-9))) "1+2+3+4" (Some 10.0) !at_root
+
+let test_allreduce_everyone () =
+  let got = Array.make 4 nan in
+  run_world ~ranks:4 (fun ctx ->
+      got.(Mpi.rank ctx) <-
+        Mpi.allreduce ctx ~op:Mpi.Max (float_of_int (Mpi.rank ctx)));
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-9)) (Printf.sprintf "rank %d" i) 3.0 v)
+    got
+
+let test_sendrecv_ring () =
+  (* classic ring exchange via sendrecv: no deadlock, right neighbours *)
+  let got = Array.make 4 (-1) in
+  run_world ~ranks:4 (fun ctx ->
+      let n = Mpi.size ctx and me = Mpi.rank ctx in
+      let m =
+        Mpi.sendrecv ctx
+          ~dst:((me + 1) mod n)
+          ~src:((me + n - 1) mod n)
+          ~bytes:4 (Memval.Int me)
+      in
+      match m.Mpi.payload with
+      | Memval.Int v -> got.(me) <- v
+      | _ -> ());
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) (Printf.sprintf "rank %d got left neighbour" i)
+        ((i + 4 - 1) mod 4) v)
+    got
+
+let test_gather () =
+  let at_root = ref None in
+  run_world ~ranks:4 (fun ctx ->
+      let r = Mpi.gather ctx ~root:2 (Memval.Int (10 * Mpi.rank ctx)) in
+      if Mpi.rank ctx = 2 then at_root := r);
+  match !at_root with
+  | Some arr ->
+      Alcotest.(check (array int)) "rank order"
+        [| 0; 10; 20; 30 |]
+        (Array.map (function Memval.Int i -> i | _ -> -1) arr)
+  | None -> Alcotest.fail "root got nothing"
+
+let test_scatter () =
+  let got = Array.make 3 (-1) in
+  run_world ~ranks:3 (fun ctx ->
+      let values =
+        if Mpi.rank ctx = 0 then
+          Some (Array.init 3 (fun i -> Memval.Int (100 + i)))
+        else None
+      in
+      match Mpi.scatter ctx ~root:0 values with
+      | Memval.Int v -> got.(Mpi.rank ctx) <- v
+      | _ -> ());
+  Alcotest.(check (array int)) "slices" [| 100; 101; 102 |] got
+
+let test_alltoall () =
+  let results = Array.make 3 [||] in
+  run_world ~ranks:3 (fun ctx ->
+      let me = Mpi.rank ctx in
+      let values = Array.init 3 (fun j -> Memval.Int ((10 * me) + j)) in
+      results.(me) <-
+        Array.map
+          (function Memval.Int i -> i | _ -> -1)
+          (Mpi.alltoall ctx values));
+  (* rank j's i-th result = rank i's j-th value = 10*i + j *)
+  Array.iteri
+    (fun j row ->
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check int) (Printf.sprintf "out.(%d).(%d)" j i)
+            ((10 * i) + j) v)
+        row)
+    results
+
+let test_allreduce_array_elementwise () =
+  let results = Array.make 3 [||] in
+  run_world ~ranks:3 (fun ctx ->
+      let me = Mpi.rank ctx in
+      let mine = Array.init 4 (fun i -> float_of_int ((10 * me) + i)) in
+      results.(Mpi.rank ctx) <- Mpi.allreduce_array ctx ~op:Mpi.Sum mine);
+  (* element i total = sum over ranks of (10*rank + i) = 30 + 3i *)
+  Array.iteri
+    (fun r row ->
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "rank %d elem %d" r i)
+            (30.0 +. (3.0 *. float_of_int i))
+            v)
+        row)
+    results
+
+let test_reduce_array_shape_mismatch () =
+  let raised = ref false in
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then (
+        try ignore (Mpi.reduce_array ctx ~root:0 ~op:Mpi.Sum [| 1.0; 2.0 |])
+        with Invalid_argument _ -> raised := true)
+      else
+        ignore (Mpi.reduce_array ctx ~root:0 ~op:Mpi.Sum [| 1.0 |]));
+  Alcotest.(check bool) "shape mismatch detected" true !raised
+
+let test_consecutive_collectives () =
+  (* repeated barriers and allreduces stay consistent (generation logic) *)
+  let sums = Array.make 3 0.0 in
+  run_world ~ranks:3 (fun ctx ->
+      for round = 1 to 5 do
+        let s =
+          Mpi.allreduce ctx ~op:Mpi.Sum (float_of_int (round * (Mpi.rank ctx + 1)))
+        in
+        if round = 5 then sums.(Mpi.rank ctx) <- s
+      done);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "rank %d" i) 30.0 v)
+    sums
+
+let test_send_to_self () =
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 0 then begin
+        Mpi.send ctx ~dst:0 ~bytes:4 (Memval.Int 7);
+        match (Mpi.recv ctx ~src:0 ()).Mpi.payload with
+        | Memval.Int 7 -> ()
+        | _ -> Alcotest.fail "self-send lost"
+      end)
+
+let test_counters () =
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 1 then begin
+        Mpi.send ctx ~dst:0 ~bytes:4 (Memval.Int 1);
+        Mpi.send ctx ~dst:0 ~bytes:4 (Memval.Int 2)
+      end
+      else begin
+        ignore (Mpi.recv ctx ());
+        Alcotest.(check int) "delivered" 1 (Mpi.delivered ctx);
+        (* wait until the second message sits pending *)
+        while not (Mpi.iprobe ctx ()) do
+          Ulp.yield (Mpi.sys ctx.Mpi.world)
+        done;
+        Alcotest.(check int) "pending" 1 (Mpi.pending ctx);
+        ignore (Mpi.recv ctx ());
+        Alcotest.(check int) "drained" 0 (Mpi.pending ctx)
+      end)
+
+let test_message_metadata () =
+  run_world ~ranks:2 (fun ctx ->
+      if Mpi.rank ctx = 1 then
+        Mpi.send ctx ~dst:0 ~tag:42 ~bytes:1234 Memval.Unit
+      else begin
+        let m = Mpi.recv ctx () in
+        Alcotest.(check int) "src" 1 m.Mpi.src;
+        Alcotest.(check int) "tag" 42 m.Mpi.tag;
+        Alcotest.(check int) "bytes" 1234 m.Mpi.msg_bytes
+      end)
+
+(* ---------- determinism & properties ---------- *)
+
+let test_deterministic () =
+  let run () =
+    let acc = ref 0.0 in
+    run_world ~ranks:3 (fun ctx ->
+        let v = Mpi.allreduce ctx ~op:Mpi.Sum (float_of_int (Mpi.rank ctx)) in
+        if Mpi.rank ctx = 0 then acc := v);
+    !acc
+  in
+  Alcotest.(check (float 0.0)) "bit-identical" (run ()) (run ())
+
+let prop_allreduce_equals_fold =
+  QCheck.Test.make ~name:"allreduce sum equals the fold of contributions"
+    ~count:15
+    QCheck.(list_of_size (Gen.int_range 2 5) (float_range (-100.0) 100.0))
+    (fun contributions ->
+      let n = List.length contributions in
+      let arr = Array.of_list contributions in
+      let expected = List.fold_left ( +. ) 0.0 contributions in
+      let results = Array.make n nan in
+      run_world ~ranks:n (fun ctx ->
+          results.(Mpi.rank ctx) <-
+            Mpi.allreduce ctx ~op:Mpi.Sum arr.(Mpi.rank ctx));
+      Array.for_all (fun v -> Float.abs (v -. expected) < 1e-6) results)
+
+let prop_ring_any_size =
+  QCheck.Test.make ~name:"ring pass works for any world size" ~count:10
+    QCheck.(int_range 2 8)
+    (fun n ->
+      let final = ref (-1) in
+      run_world ~ranks:n (fun ctx ->
+          let me = Mpi.rank ctx in
+          let next = (me + 1) mod n and prev = (me + n - 1) mod n in
+          if me = 0 then begin
+            Mpi.send ctx ~dst:next ~bytes:8 (Memval.Int 0);
+            match (Mpi.recv ctx ~src:prev ()).Mpi.payload with
+            | Memval.Int v -> final := v
+            | _ -> ()
+          end
+          else
+            match (Mpi.recv ctx ~src:prev ()).Mpi.payload with
+            | Memval.Int v -> Mpi.send ctx ~dst:next ~bytes:8 (Memval.Int (v + 1))
+            | _ -> ());
+      !final = n - 1)
+
+let () =
+  Alcotest.run "mpi"
+    [
+      ( "point_to_point",
+        [
+          Alcotest.test_case "ring pass" `Quick test_ring_pass;
+          Alcotest.test_case "tag matching" `Quick test_tag_matching;
+          Alcotest.test_case "wildcard source" `Quick test_wildcard_source;
+          Alcotest.test_case "fifo per pair" `Quick test_fifo_per_pair;
+          Alcotest.test_case "invalid rank" `Quick test_invalid_rank_raises;
+          Alcotest.test_case "send to self" `Quick test_send_to_self;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "message metadata" `Quick test_message_metadata;
+        ] );
+      ( "zero_copy",
+        [
+          Alcotest.test_case "shares the object" `Quick
+            test_zero_copy_shares_the_object;
+          Alcotest.test_case "copy mode costs more" `Quick
+            test_copy_mode_costs_more;
+        ] );
+      ( "nonblocking",
+        [
+          Alcotest.test_case "irecv before send" `Quick test_irecv_before_send;
+          Alcotest.test_case "isend immediate" `Quick
+            test_isend_completes_immediately;
+          Alcotest.test_case "iprobe" `Quick test_iprobe;
+        ] );
+      ( "collectives",
+        [
+          Alcotest.test_case "barrier" `Quick test_barrier_synchronizes;
+          Alcotest.test_case "bcast" `Quick test_bcast_value;
+          Alcotest.test_case "reduce sum" `Quick test_reduce_sum;
+          Alcotest.test_case "allreduce max" `Quick test_allreduce_everyone;
+          Alcotest.test_case "sendrecv ring" `Quick test_sendrecv_ring;
+          Alcotest.test_case "gather" `Quick test_gather;
+          Alcotest.test_case "scatter" `Quick test_scatter;
+          Alcotest.test_case "alltoall" `Quick test_alltoall;
+          Alcotest.test_case "allreduce array" `Quick
+            test_allreduce_array_elementwise;
+          Alcotest.test_case "reduce array shape" `Quick
+            test_reduce_array_shape_mismatch;
+          Alcotest.test_case "consecutive collectives" `Quick
+            test_consecutive_collectives;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "bit-identical" `Quick test_deterministic;
+          QCheck_alcotest.to_alcotest prop_allreduce_equals_fold;
+          QCheck_alcotest.to_alcotest prop_ring_any_size;
+        ] );
+    ]

@@ -1,0 +1,1416 @@
+(* Tests for the simulated OS kernel: task lifecycle, per-core
+   scheduling, sched_yield semantics and costs, futexes, semaphores,
+   wait cells (both idle policies), the tmpfs VFS, and signals. *)
+
+open Oskernel
+module Engine = Sim.Engine
+module Cm = Arch.Cost_model
+module H = Workload.Harness
+
+let wallaby = Arch.Machines.wallaby
+
+let feq ?(eps = 1e-12) a b = Float.abs (a -. b) <= eps
+
+let check_float ?eps name expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+let run ?cores f = H.run ~cost:wallaby ?cores f
+
+(* ---------- lifecycle ---------- *)
+
+let test_spawn_and_wait () =
+  let code =
+    run (fun env ->
+        let t =
+          Kernel.spawn env.H.kernel ~name:"child" ~cpu:0 (fun task ->
+              Kernel.compute env.H.kernel task 1e-6;
+              Kernel.exit_task env.H.kernel task 42)
+        in
+        Kernel.waitpid env.H.kernel env.H.root t)
+  in
+  Alcotest.(check int) "exit code" 42 code
+
+let test_normal_return_is_zero () =
+  let code =
+    run (fun env ->
+        let t = Kernel.spawn env.H.kernel ~name:"child" ~cpu:0 (fun _ -> ()) in
+        Kernel.waitpid env.H.kernel env.H.root t)
+  in
+  Alcotest.(check int) "exit code" 0 code
+
+let test_wait_before_exit_blocks () =
+  (* parent waits while child still computes: wait returns only after *)
+  let elapsed =
+    run (fun env ->
+        let k = env.H.kernel in
+        let t =
+          Kernel.spawn k ~name:"slow" ~cpu:0 (fun task ->
+              Kernel.compute k task 5e-6)
+        in
+        let t0 = Kernel.now k in
+        ignore (Kernel.waitpid k env.H.root t);
+        Kernel.now k -. t0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "waited >= 5us (got %.2e)" elapsed)
+    true (elapsed >= 5e-6)
+
+let test_wait_after_exit_reaps_zombie () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let t = Kernel.spawn k ~name:"quick" ~cpu:0 (fun _ -> ()) in
+      (* let the child finish first *)
+      Kernel.compute k env.H.root 1e-3;
+      Alcotest.(check bool) "zombie" true (t.Types.state = Types.Zombie);
+      ignore (Kernel.waitpid k env.H.root t);
+      Alcotest.(check bool) "reaped" true (t.Types.state = Types.Reaped))
+
+let test_double_reap_rejected () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let t = Kernel.spawn k ~name:"c" ~cpu:0 (fun _ -> ()) in
+      ignore (Kernel.waitpid k env.H.root t);
+      match Kernel.waitpid k env.H.root t with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "second waitpid should fail")
+
+let test_pid_tid_identity () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let proc = Kernel.spawn k ~name:"p" ~cpu:0 (fun _ -> ()) in
+      let thr =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"t" ~cpu:0 (fun _ -> ())
+      in
+      Alcotest.(check bool) "process has own pid" true
+        (proc.Types.pid = proc.Types.tid);
+      Alcotest.(check int) "thread shares pid" env.H.root.Types.pid
+        thr.Types.pid;
+      Alcotest.(check bool) "thread has own tid" true
+        (thr.Types.tid <> env.H.root.Types.tid);
+      ignore (Kernel.waitpid k env.H.root proc);
+      ignore (Kernel.waitpid k env.H.root thr))
+
+let test_thread_shares_fd_table () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let thr =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"t" ~cpu:0 (fun _ -> ())
+      in
+      Alcotest.(check bool) "same fd table" true
+        (thr.Types.fds == env.H.root.Types.fds);
+      ignore (Kernel.waitpid k env.H.root thr))
+
+let test_getpid_cost () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let t0 = Kernel.now k in
+      let pid = Kernel.getpid k env.H.root in
+      check_float "getpid cost" wallaby.Cm.syscall_getpid (Kernel.now k -. t0);
+      Alcotest.(check int) "pid value" env.H.root.Types.pid pid)
+
+(* ---------- scheduling ---------- *)
+
+let test_two_tasks_one_core_serialize () =
+  (* two CPU-bound tasks on one core cannot overlap *)
+  let elapsed =
+    run (fun env ->
+        let k = env.H.kernel in
+        let t0 = Kernel.now k in
+        let mk () =
+          Kernel.spawn k ~name:"busy" ~cpu:0 (fun task ->
+              Kernel.compute k task 1e-3)
+        in
+        let a = mk () and b = mk () in
+        ignore (Kernel.waitpid k env.H.root a);
+        ignore (Kernel.waitpid k env.H.root b);
+        Kernel.now k -. t0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "serialized (%.3e)" elapsed)
+    true (elapsed >= 2e-3)
+
+let test_two_tasks_two_cores_overlap () =
+  let elapsed =
+    run (fun env ->
+        let k = env.H.kernel in
+        let t0 = Kernel.now k in
+        let mk cpu =
+          Kernel.spawn k ~name:"busy" ~cpu (fun task ->
+              Kernel.compute k task 1e-3)
+        in
+        let a = mk 0 and b = mk 1 in
+        ignore (Kernel.waitpid k env.H.root a);
+        ignore (Kernel.waitpid k env.H.root b);
+        Kernel.now k -. t0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel (%.3e)" elapsed)
+    true
+    (elapsed < 1.5e-3)
+
+let test_sched_yield_alone_is_cheap () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"y" ~cpu:0 (fun task ->
+            let t0 = Kernel.now k in
+            Kernel.sched_yield k task;
+            check_float "no switch: just syscall entry" wallaby.Cm.syscall_entry
+              (Kernel.now k -. t0))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_yield_round_robin () =
+  (* two yielding tasks on one core alternate fairly *)
+  let log =
+    run (fun env ->
+        let k = env.H.kernel in
+        let log = ref [] in
+        let mk name =
+          Kernel.spawn k ~name ~cpu:0 (fun task ->
+              for i = 1 to 3 do
+                log := (name, i) :: !log;
+                Kernel.sched_yield k task
+              done)
+        in
+        let a = mk "a" and b = mk "b" in
+        ignore (Kernel.waitpid k env.H.root a);
+        ignore (Kernel.waitpid k env.H.root b);
+        List.rev !log)
+  in
+  Alcotest.(check (list (pair string int)))
+    "alternation"
+    [ ("a", 1); ("b", 1); ("a", 2); ("b", 2); ("a", 3); ("b", 3) ]
+    log
+
+let test_set_affinity_migrates () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"mig" ~cpu:0 (fun task ->
+            Alcotest.(check int) "starts on 0" 0 task.Types.cpu;
+            Kernel.set_affinity k task 1;
+            Alcotest.(check int) "moved to 1" 1 task.Types.cpu;
+            Kernel.compute k task 1e-6)
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_nanosleep () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"sleeper" ~cpu:0 (fun task ->
+            let t0 = Kernel.now k in
+            Kernel.nanosleep k task 1e-3;
+            Alcotest.(check bool) "slept" true (Kernel.now k -. t0 >= 1e-3))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_sleeping_frees_core () =
+  (* while one task sleeps, another runs on the same core *)
+  run (fun env ->
+      let k = env.H.kernel in
+      let progressed = ref false in
+      let sleeper =
+        Kernel.spawn k ~name:"sleeper" ~cpu:0 (fun task ->
+            Kernel.nanosleep k task 1e-3;
+            Alcotest.(check bool) "other ran while sleeping" true !progressed)
+      in
+      let worker =
+        Kernel.spawn k ~name:"worker" ~cpu:0 (fun task ->
+            Kernel.compute k task 1e-5;
+            progressed := true)
+      in
+      ignore (Kernel.waitpid k env.H.root sleeper);
+      ignore (Kernel.waitpid k env.H.root worker))
+
+(* ---------- preemption (extension; off by default) ---------- *)
+
+let test_preemption_interleaves_cpu_hogs () =
+  (* with a timeslice, two CPU-bound tasks on one core finish close
+     together instead of strictly one after the other *)
+  let finish_gap ~preempt =
+    H.run ~cost:wallaby ~cores:2
+      ?preempt_slice:(if preempt then Some 1e-4 else None)
+      (fun env ->
+        let k = env.H.kernel in
+        let done_at = Hashtbl.create 2 in
+        let mk name =
+          Kernel.spawn k ~name ~cpu:0 (fun task ->
+              Kernel.compute k task 1e-3;
+              Hashtbl.replace done_at name (Kernel.now k))
+        in
+        let a = mk "a" and b = mk "b" in
+        ignore (Kernel.waitpid k env.H.root a);
+        ignore (Kernel.waitpid k env.H.root b);
+        Float.abs (Hashtbl.find done_at "a" -. Hashtbl.find done_at "b"))
+  in
+  let coop = finish_gap ~preempt:false in
+  let preempted = finish_gap ~preempt:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "cooperative gap ~1ms (%.2e)" coop)
+    true (coop > 9e-4);
+  Alcotest.(check bool)
+    (Printf.sprintf "preempted gap small (%.2e)" preempted)
+    true
+    (preempted < 3e-4)
+
+let test_preemption_no_other_task_no_slicing () =
+  (* a lone task is never preempted: exactly dt elapses *)
+  let elapsed =
+    H.run ~cost:wallaby ~cores:2 ~preempt_slice:1e-5 (fun env ->
+        let k = env.H.kernel in
+        let r = ref nan in
+        let t =
+          Kernel.spawn k ~name:"lone" ~cpu:0 (fun task ->
+              let t0 = Kernel.now k in
+              Kernel.compute k task 1e-3;
+              r := Kernel.now k -. t0)
+        in
+        ignore (Kernel.waitpid k env.H.root t);
+        !r)
+  in
+  check_float ~eps:1e-12 "exact" 1e-3 elapsed
+
+let test_preemption_charges_switches () =
+  (* sliced execution pays kernel context switches *)
+  let elapsed ~preempt =
+    H.run ~cost:wallaby ~cores:2
+      ?preempt_slice:(if preempt then Some 1e-4 else None)
+      (fun env ->
+        let k = env.H.kernel in
+        let t0 = Kernel.now k in
+        let mk name =
+          Kernel.spawn k ~name ~cpu:0 (fun task -> Kernel.compute k task 1e-3)
+        in
+        let a = mk "a" and b = mk "b" in
+        ignore (Kernel.waitpid k env.H.root a);
+        ignore (Kernel.waitpid k env.H.root b);
+        Kernel.now k -. t0)
+  in
+  Alcotest.(check bool) "preemption costs switch overhead" true
+    (elapsed ~preempt:true > elapsed ~preempt:false)
+
+let test_syscall_work_never_preempted () =
+  (* a large tmpfs write is kernel work: it completes in one piece even
+     under a tiny timeslice with a competitor waiting *)
+  H.run ~cost:wallaby ~cores:2 ~preempt_slice:1e-6 (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let mid_write_switches = ref (-1) in
+      let writer =
+        Kernel.spawn k ~name:"writer" ~cpu:0 (fun task ->
+            match
+              Vfs.openf k vfs ~executing:task "/big" [ Types.O_CREAT; Types.O_WRONLY ]
+            with
+            | Error _ -> Alcotest.fail "open failed"
+            | Ok fd ->
+                let before = task.Types.ctx_switches in
+                ignore (Vfs.write k vfs ~executing:task fd ~bytes:1048576);
+                mid_write_switches := task.Types.ctx_switches - before)
+      in
+      let _competitor =
+        Kernel.spawn k ~name:"comp" ~cpu:0 (fun task ->
+            Kernel.compute k task 1e-3)
+      in
+      ignore (Kernel.waitpid k env.H.root writer);
+      Alcotest.(check int) "write ran unpreempted" 0 !mid_write_switches)
+
+(* ---------- futex / semaphore / waitcell ---------- *)
+
+let test_futex_value_changed () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let w = Futex.new_word ~init:5 reg in
+      let t =
+        Kernel.spawn k ~name:"f" ~cpu:0 (fun task ->
+            match Futex.wait k task w ~expected:4 with
+            | `Value_changed -> ()
+            | `Waited -> Alcotest.fail "should not have slept")
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_futex_wait_wake () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let w = Futex.new_word ~init:0 reg in
+      let woken_at = ref nan in
+      let sleeper =
+        Kernel.spawn k ~name:"sleeper" ~cpu:0 (fun task ->
+            (match Futex.wait k task w ~expected:0 with
+            | `Waited -> ()
+            | `Value_changed -> Alcotest.fail "expected to sleep");
+            woken_at := Kernel.now k)
+      in
+      let waker =
+        Kernel.spawn k ~name:"waker" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-4;
+            Futex.set w 1;
+            Alcotest.(check int) "one woken" 1 (Futex.wake k task w 1))
+      in
+      ignore (Kernel.waitpid k env.H.root sleeper);
+      ignore (Kernel.waitpid k env.H.root waker);
+      Alcotest.(check bool) "woke after waker acted" true (!woken_at >= 1e-4))
+
+let test_futex_wake_count () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let w = Futex.new_word ~init:0 reg in
+      let sleepers =
+        List.init 3 (fun i ->
+            Kernel.spawn k ~name:(Printf.sprintf "s%d" i) ~cpu:0 (fun task ->
+                ignore (Futex.wait k task w ~expected:0)))
+      in
+      let waker =
+        Kernel.spawn k ~name:"w" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-4;
+            Futex.set w 1;
+            Alcotest.(check int) "woke 2 of 3" 2 (Futex.wake k task w 2);
+            Alcotest.(check int) "woke last" 1 (Futex.wake_all k task w))
+      in
+      List.iter (fun s -> ignore (Kernel.waitpid k env.H.root s)) sleepers;
+      ignore (Kernel.waitpid k env.H.root waker))
+
+let test_futex_timeout_expires () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let w = Futex.new_word ~init:0 reg in
+      let t =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            let t0 = Kernel.now k in
+            (match Futex.wait_timeout k task w ~expected:0 ~timeout:1e-3 with
+            | `Timed_out -> ()
+            | `Waited -> Alcotest.fail "woken without a waker"
+            | `Value_changed -> Alcotest.fail "value did not change");
+            Alcotest.(check bool) "waited about the timeout" true
+              (Kernel.now k -. t0 >= 1e-3))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_futex_timeout_wake_beats_timer () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let w = Futex.new_word ~init:0 reg in
+      let sleeper =
+        Kernel.spawn k ~name:"s" ~cpu:0 (fun task ->
+            match Futex.wait_timeout k task w ~expected:0 ~timeout:1e-2 with
+            | `Waited -> Alcotest.(check bool) "woke early" true (Kernel.now k < 5e-3)
+            | `Timed_out -> Alcotest.fail "timer fired despite wake"
+            | `Value_changed -> Alcotest.fail "value did not change")
+      in
+      let _waker =
+        Kernel.spawn k ~name:"w" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-4;
+            Futex.set w 1;
+            ignore (Futex.wake k task w 1))
+      in
+      ignore (Kernel.waitpid k env.H.root sleeper))
+
+let test_semaphore_try_wait () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let s = Sync.Semaphore.create ~value:1 reg in
+      let t =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            Alcotest.(check bool) "first succeeds" true
+              (Sync.Semaphore.try_wait k task s);
+            Alcotest.(check bool) "second fails" false
+              (Sync.Semaphore.try_wait k task s))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_semaphore_wait_timeout () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let s = Sync.Semaphore.create ~value:0 reg in
+      let t =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            Alcotest.(check bool) "times out empty" false
+              (Sync.Semaphore.wait_timeout k task s ~timeout:1e-4);
+            Sync.Semaphore.post k task s;
+            Alcotest.(check bool) "succeeds when posted" true
+              (Sync.Semaphore.wait_timeout k task s ~timeout:1e-4))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_cpu_utilization_accounting () =
+  run ~cores:3 (fun env ->
+      let k = env.H.kernel in
+      let busy =
+        Kernel.spawn k ~name:"busy" ~cpu:0 (fun task ->
+            Kernel.compute k task 1e-3)
+      in
+      ignore (Kernel.waitpid k env.H.root busy);
+      (* core 0 computed 1 ms of the elapsed time; core 1 did nothing *)
+      Alcotest.(check bool) "busy core accounted" true
+        (Kernel.cpu_utilization k 0 > 0.5);
+      Alcotest.(check bool) "idle core at zero" true
+        (Kernel.cpu_utilization k 1 = 0.0))
+
+let test_futex_atomics () =
+  let reg = Futex.create () in
+  let w = Futex.new_word ~init:10 reg in
+  Alcotest.(check int) "fetch_add returns old" 10 (Futex.fetch_add w 5);
+  Alcotest.(check int) "added" 15 (Futex.get w);
+  Alcotest.(check bool) "cas success" true
+    (Futex.compare_and_set w ~expected:15 ~desired:20);
+  Alcotest.(check bool) "cas failure" false
+    (Futex.compare_and_set w ~expected:15 ~desired:30);
+  Alcotest.(check int) "value" 20 (Futex.get w)
+
+let test_semaphore_post_then_wait () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let s = Sync.Semaphore.create ~value:1 reg in
+      let t =
+        Kernel.spawn k ~name:"s" ~cpu:0 (fun task ->
+            Sync.Semaphore.wait k task s;
+            Alcotest.(check int) "drained" 0 (Sync.Semaphore.value s))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_semaphore_blocks_until_post () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let s = Sync.Semaphore.create ~value:0 reg in
+      let resumed = ref nan in
+      let waiter =
+        Kernel.spawn k ~name:"w" ~cpu:0 (fun task ->
+            Sync.Semaphore.wait k task s;
+            resumed := Kernel.now k)
+      in
+      let poster =
+        Kernel.spawn k ~name:"p" ~cpu:1 (fun task ->
+            Kernel.compute k task 2e-4;
+            Sync.Semaphore.post k task s)
+      in
+      ignore (Kernel.waitpid k env.H.root waiter);
+      ignore (Kernel.waitpid k env.H.root poster);
+      Alcotest.(check bool) "resumed after post" true (!resumed >= 2e-4))
+
+let waitcell_roundtrip policy =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let cell = Sync.Waitcell.create ~policy reg in
+      let woke = ref nan in
+      let parker =
+        Kernel.spawn k ~name:"parker" ~cpu:0 (fun task ->
+            Sync.Waitcell.park k task cell;
+            woke := Kernel.now k)
+      in
+      let signaller =
+        Kernel.spawn k ~name:"signaller" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-4;
+            Sync.Waitcell.signal k task cell)
+      in
+      ignore (Kernel.waitpid k env.H.root parker);
+      ignore (Kernel.waitpid k env.H.root signaller);
+      !woke)
+
+let test_waitcell_busywait () =
+  let woke = waitcell_roundtrip Sync.Waitcell.Busywait in
+  Alcotest.(check bool) "woke after signal" true (woke >= 1e-4)
+
+let test_waitcell_blocking () =
+  let woke = waitcell_roundtrip Sync.Waitcell.Blocking in
+  Alcotest.(check bool) "woke after signal" true (woke >= 1e-4)
+
+let test_waitcell_signal_before_park_not_lost () =
+  List.iter
+    (fun policy ->
+      run (fun env ->
+          let k = env.H.kernel in
+          let reg = Futex.create () in
+          let cell = Sync.Waitcell.create ~policy reg in
+          let t =
+            Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+                (* bank the signal first *)
+                Sync.Waitcell.signal k task cell;
+                Kernel.compute k task 1e-5;
+                (* park must not deadlock *)
+                Sync.Waitcell.park k task cell)
+          in
+          ignore (Kernel.waitpid k env.H.root t)))
+    [ Sync.Waitcell.Busywait; Sync.Waitcell.Blocking ]
+
+let test_busywait_occupies_core () =
+  (* a busy-waiting task starves same-core work; a blocking one lets it
+     run: the latency/power trade-off of Section VII *)
+  let starved policy =
+    run (fun env ->
+        let k = env.H.kernel in
+        let reg = Futex.create () in
+        let cell = Sync.Waitcell.create ~policy reg in
+        let other_ran = ref false in
+        let parker =
+          Kernel.spawn k ~name:"parker" ~cpu:0 (fun task ->
+              Sync.Waitcell.park k task cell)
+        in
+        let _other =
+          Kernel.spawn k ~name:"other" ~cpu:0 (fun task ->
+              Kernel.compute k task 1e-6;
+              other_ran := true)
+        in
+        let _sig =
+          Kernel.spawn k ~name:"sig" ~cpu:1 (fun task ->
+              Kernel.compute k task 1e-3;
+              Sync.Waitcell.signal k task cell)
+        in
+        ignore (Kernel.waitpid k env.H.root parker);
+        !other_ran)
+  in
+  Alcotest.(check bool) "blocking lets the core go" true
+    (starved Sync.Waitcell.Blocking);
+  Alcotest.(check bool) "busywait holds the core" false
+    (starved Sync.Waitcell.Busywait)
+
+(* ---------- vfs ---------- *)
+
+let test_vfs_open_write_read_close () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let task = env.H.root in
+      let fd =
+        match
+          Vfs.openf k vfs ~executing:task "/f"
+            [ Types.O_CREAT; Types.O_RDWR ]
+        with
+        | Ok fd -> fd
+        | Error e -> Alcotest.failf "open: %s" (Vfs.errno_to_string e)
+      in
+      (match Vfs.write k vfs ~executing:task fd ~bytes:100 with
+      | Ok n -> Alcotest.(check int) "wrote" 100 n
+      | Error e -> Alcotest.failf "write: %s" (Vfs.errno_to_string e));
+      (match Vfs.lseek k vfs ~executing:task fd ~pos:0 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "lseek: %s" (Vfs.errno_to_string e));
+      (match Vfs.read k vfs ~executing:task fd ~bytes:150 with
+      | Ok n -> Alcotest.(check int) "short read at eof" 100 n
+      | Error e -> Alcotest.failf "read: %s" (Vfs.errno_to_string e));
+      (match Vfs.close k vfs ~executing:task fd with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "close: %s" (Vfs.errno_to_string e));
+      Alcotest.(check (option int)) "size" (Some 100) (Vfs.file_size vfs "/f"))
+
+let test_vfs_open_missing_enoent () =
+  run (fun env ->
+      match Vfs.openf env.H.kernel env.H.vfs ~executing:env.H.root "/missing" [] with
+      | Error Vfs.ENOENT -> ()
+      | Error e -> Alcotest.failf "wrong errno %s" (Vfs.errno_to_string e)
+      | Ok _ -> Alcotest.fail "expected ENOENT")
+
+let test_vfs_bad_fd () =
+  run (fun env ->
+      (match Vfs.write env.H.kernel env.H.vfs ~executing:env.H.root 99 ~bytes:1 with
+      | Error Vfs.EBADF -> ()
+      | _ -> Alcotest.fail "expected EBADF on write");
+      match Vfs.close env.H.kernel env.H.vfs ~executing:env.H.root 99 with
+      | Error Vfs.EBADF -> ()
+      | _ -> Alcotest.fail "expected EBADF on close")
+
+let test_vfs_fd_isolated_between_processes () =
+  (* the system-call-consistency substrate: an fd opened by one process
+     is invalid in another *)
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let fd =
+        match
+          Vfs.openf k vfs ~executing:env.H.root "/f" [ Types.O_CREAT; Types.O_RDWR ]
+        with
+        | Ok fd -> fd
+        | Error _ -> Alcotest.fail "open failed"
+      in
+      let child =
+        Kernel.spawn k ~name:"other" ~cpu:0 (fun task ->
+            match Vfs.write k vfs ~executing:task fd ~bytes:1 with
+            | Error Vfs.EBADF -> ()
+            | _ -> Alcotest.fail "foreign process saw our fd")
+      in
+      ignore (Kernel.waitpid k env.H.root child))
+
+let test_vfs_write_cost_scales () =
+  let time bytes =
+    run (fun env ->
+        let k = env.H.kernel and vfs = env.H.vfs in
+        let fd =
+          match
+            Vfs.openf k vfs ~executing:env.H.root "/f"
+              [ Types.O_CREAT; Types.O_WRONLY ]
+          with
+          | Ok fd -> fd
+          | Error _ -> Alcotest.fail "open failed"
+        in
+        let t0 = Kernel.now k in
+        ignore (Vfs.write k vfs ~executing:env.H.root fd ~bytes);
+        Kernel.now k -. t0)
+  in
+  let small = time 64 and large = time 1048576 in
+  Alcotest.(check bool) "1MiB slower than 64B" true (large > small);
+  (* copy time dominates at 1MiB: within 3x of pure bandwidth *)
+  let pure = Cm.copy_time wallaby 1048576 in
+  Alcotest.(check bool) "large write near bandwidth" true (large < 3.0 *. pure)
+
+let test_vfs_cold_write_slower_on_albireo () =
+  let time ~cold =
+    H.run ~cost:Arch.Machines.albireo (fun env ->
+        let k = env.H.kernel and vfs = env.H.vfs in
+        let fd =
+          match
+            Vfs.openf k vfs ~executing:env.H.root "/f"
+              [ Types.O_CREAT; Types.O_WRONLY ]
+          with
+          | Ok fd -> fd
+          | Error _ -> Alcotest.fail "open failed"
+        in
+        let t0 = Kernel.now k in
+        ignore (Vfs.write ~cold k vfs ~executing:env.H.root fd ~bytes:1048576);
+        Kernel.now k -. t0)
+  in
+  Alcotest.(check bool) "cold write pays cross-core tax" true
+    (time ~cold:true > time ~cold:false)
+
+let test_vfs_data_integrity () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let task = env.H.root in
+      let fd =
+        match
+          Vfs.openf k vfs ~executing:task "/d" [ Types.O_CREAT; Types.O_RDWR ]
+        with
+        | Ok fd -> fd
+        | Error _ -> Alcotest.fail "open failed"
+      in
+      let payload = Bytes.of_string "hello tmpfs" in
+      ignore
+        (Vfs.write ~data:payload k vfs ~executing:task fd
+           ~bytes:(Bytes.length payload));
+      ignore (Vfs.lseek k vfs ~executing:task fd ~pos:0);
+      let buf = Bytes.create 32 in
+      (match Vfs.read ~into:buf k vfs ~executing:task fd ~bytes:32 with
+      | Ok n ->
+          Alcotest.(check string) "content" "hello tmpfs"
+            (Bytes.sub_string buf 0 n)
+      | Error _ -> Alcotest.fail "read failed"))
+
+let test_vfs_unlink () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      ignore (Vfs.openf k vfs ~executing:env.H.root "/u" [ Types.O_CREAT ]);
+      Alcotest.(check bool) "exists" true (Vfs.file_exists vfs "/u");
+      (match Vfs.unlink k vfs ~executing:env.H.root "/u" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "unlink failed");
+      Alcotest.(check bool) "gone" false (Vfs.file_exists vfs "/u"))
+
+let test_vfs_truncate () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let open_w flags =
+        match Vfs.openf k vfs ~executing:env.H.root "/t" flags with
+        | Ok fd -> fd
+        | Error _ -> Alcotest.fail "open failed"
+      in
+      let fd = open_w [ Types.O_CREAT; Types.O_WRONLY ] in
+      ignore (Vfs.write k vfs ~executing:env.H.root fd ~bytes:500);
+      ignore (Vfs.close k vfs ~executing:env.H.root fd);
+      let fd2 = open_w [ Types.O_WRONLY; Types.O_TRUNC ] in
+      ignore (Vfs.close k vfs ~executing:env.H.root fd2);
+      Alcotest.(check (option int)) "truncated" (Some 0) (Vfs.file_size vfs "/t"))
+
+(* ---------- more vfs edge cases ---------- *)
+
+let test_vfs_append_mode () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let task = env.H.root in
+      let open_w flags =
+        match Vfs.openf k vfs ~executing:task "/app" flags with
+        | Ok fd -> fd
+        | Error _ -> Alcotest.fail "open failed"
+      in
+      let fd = open_w [ Types.O_CREAT; Types.O_WRONLY ] in
+      ignore (Vfs.write k vfs ~executing:task fd ~bytes:100);
+      ignore (Vfs.close k vfs ~executing:task fd);
+      let fd2 = open_w [ Types.O_WRONLY; Types.O_APPEND ] in
+      ignore (Vfs.write k vfs ~executing:task fd2 ~bytes:50);
+      ignore (Vfs.close k vfs ~executing:task fd2);
+      Alcotest.(check (option int)) "appended" (Some 150)
+        (Vfs.file_size vfs "/app"))
+
+let test_vfs_write_readonly_eacces () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      ignore (Vfs.openf k vfs ~executing:env.H.root "/ro" [ Types.O_CREAT ]);
+      match Vfs.openf k vfs ~executing:env.H.root "/ro" [ Types.O_RDONLY ] with
+      | Error _ -> Alcotest.fail "open failed"
+      | Ok fd -> (
+          match Vfs.write k vfs ~executing:env.H.root fd ~bytes:1 with
+          | Error Vfs.EACCES -> ()
+          | _ -> Alcotest.fail "expected EACCES"))
+
+let test_vfs_read_writeonly_eacces () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      match
+        Vfs.openf k vfs ~executing:env.H.root "/wo"
+          [ Types.O_CREAT; Types.O_WRONLY ]
+      with
+      | Error _ -> Alcotest.fail "open failed"
+      | Ok fd -> (
+          match Vfs.read k vfs ~executing:env.H.root fd ~bytes:1 with
+          | Error Vfs.EACCES -> ()
+          | _ -> Alcotest.fail "expected EACCES"))
+
+let test_vfs_negative_write_einval () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      match
+        Vfs.openf k vfs ~executing:env.H.root "/n" [ Types.O_CREAT; Types.O_RDWR ]
+      with
+      | Error _ -> Alcotest.fail "open failed"
+      | Ok fd -> (
+          match Vfs.write k vfs ~executing:env.H.root fd ~bytes:(-5) with
+          | Error Vfs.EINVAL -> ()
+          | _ -> Alcotest.fail "expected EINVAL"))
+
+let test_vfs_lseek_bad_fd () =
+  run (fun env ->
+      match Vfs.lseek env.H.kernel env.H.vfs ~executing:env.H.root 42 ~pos:0 with
+      | Error Vfs.EBADF -> ()
+      | _ -> Alcotest.fail "expected EBADF")
+
+let test_vfs_unlink_missing () =
+  run (fun env ->
+      match Vfs.unlink env.H.kernel env.H.vfs ~executing:env.H.root "/ghost" with
+      | Error Vfs.ENOENT -> ()
+      | _ -> Alcotest.fail "expected ENOENT")
+
+(* ---------- pipes ---------- *)
+
+let mk_pipe env =
+  match Vfs.pipe env.H.kernel env.H.vfs ~executing:env.H.root () with
+  | rfd, wfd -> (rfd, wfd)
+
+let test_pipe_roundtrip () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      let payload = Bytes.of_string "through the pipe" in
+      (match
+         Vfs.write ~data:payload k vfs ~executing:env.H.root wfd
+           ~bytes:(Bytes.length payload)
+       with
+      | Ok n -> Alcotest.(check int) "wrote all" (Bytes.length payload) n
+      | Error e -> Alcotest.failf "write: %s" (Vfs.errno_to_string e));
+      let buf = Bytes.create 64 in
+      match Vfs.read ~into:buf k vfs ~executing:env.H.root rfd ~bytes:64 with
+      | Ok n ->
+          Alcotest.(check string) "content" "through the pipe"
+            (Bytes.sub_string buf 0 n)
+      | Error e -> Alcotest.failf "read: %s" (Vfs.errno_to_string e))
+
+let test_pipe_read_blocks_until_write () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      let read_done_at = ref nan in
+      let reader =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"reader" ~cpu:0
+          (fun task ->
+            match Vfs.read k vfs ~executing:task rfd ~bytes:10 with
+            | Ok 10 -> read_done_at := Kernel.now k
+            | _ -> Alcotest.fail "read failed")
+      in
+      let _writer =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"writer" ~cpu:1
+          (fun task ->
+            Kernel.compute k task 1e-4;
+            ignore (Vfs.write k vfs ~executing:task wfd ~bytes:10))
+      in
+      ignore (Kernel.waitpid k env.H.root reader);
+      Alcotest.(check bool) "reader blocked until the write" true
+        (!read_done_at >= 1e-4))
+
+let test_pipe_eof_on_closed_write_end () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      ignore (Vfs.write k vfs ~executing:env.H.root wfd ~bytes:5);
+      ignore (Vfs.close k vfs ~executing:env.H.root wfd);
+      (match Vfs.read k vfs ~executing:env.H.root rfd ~bytes:100 with
+      | Ok 5 -> ()
+      | _ -> Alcotest.fail "should drain the 5 buffered bytes");
+      match Vfs.read k vfs ~executing:env.H.root rfd ~bytes:100 with
+      | Ok 0 -> ()
+      | _ -> Alcotest.fail "expected EOF (0)")
+
+let test_pipe_epipe_on_closed_read_end () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      ignore (Vfs.close k vfs ~executing:env.H.root rfd);
+      match Vfs.write k vfs ~executing:env.H.root wfd ~bytes:1 with
+      | Error Vfs.EPIPE -> ()
+      | _ -> Alcotest.fail "expected EPIPE")
+
+let test_pipe_write_blocks_when_full () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd =
+        Vfs.pipe ~capacity:16 k vfs ~executing:env.H.root ()
+      in
+      let writer_done_at = ref nan in
+      let writer =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"writer" ~cpu:0
+          (fun task ->
+            (* 40 bytes through a 16-byte pipe: must block twice *)
+            match Vfs.write k vfs ~executing:task wfd ~bytes:40 with
+            | Ok 40 -> writer_done_at := Kernel.now k
+            | _ -> Alcotest.fail "chunked write failed")
+      in
+      let _reader =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"reader" ~cpu:1
+          (fun task ->
+            let drained = ref 0 in
+            while !drained < 40 do
+              Kernel.compute k task 1e-4;
+              match Vfs.read k vfs ~executing:task rfd ~bytes:16 with
+              | Ok n -> drained := !drained + n
+              | Error _ -> Alcotest.fail "drain failed"
+            done)
+      in
+      ignore (Kernel.waitpid k env.H.root writer);
+      Alcotest.(check bool) "writer waited for the slow reader" true
+        (!writer_done_at >= 2e-4))
+
+let test_pipe_lseek_espipe () =
+  run (fun env ->
+      let rfd, _ = mk_pipe env in
+      match Vfs.lseek env.H.kernel env.H.vfs ~executing:env.H.root rfd ~pos:0 with
+      | Error Vfs.ESPIPE -> ()
+      | _ -> Alcotest.fail "expected ESPIPE")
+
+let test_pipe_wrong_end_ebadf () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      (match Vfs.write k vfs ~executing:env.H.root rfd ~bytes:1 with
+      | Error Vfs.EBADF -> ()
+      | _ -> Alcotest.fail "write to read end accepted");
+      ignore (Vfs.write k vfs ~executing:env.H.root wfd ~bytes:1);
+      match Vfs.read k vfs ~executing:env.H.root wfd ~bytes:1 with
+      | Error Vfs.EBADF -> ()
+      | _ -> Alcotest.fail "read from write end accepted")
+
+let test_pipe_fds_process_private () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, _wfd = mk_pipe env in
+      let child =
+        Kernel.spawn k ~name:"other-proc" ~cpu:0 (fun task ->
+            match Vfs.read k vfs ~executing:task rfd ~bytes:1 with
+            | Error Vfs.EBADF -> ()
+            | _ -> Alcotest.fail "foreign process read our pipe fd")
+      in
+      ignore (Kernel.waitpid k env.H.root child))
+
+let test_pipe_then_fork () =
+  (* the classic pattern: pipe, fork, parent writes, child reads *)
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      let child =
+        Kernel.spawn k ~parent:env.H.root ~inherit_fds:true ~name:"child"
+          ~cpu:0 (fun task ->
+            Alcotest.(check bool) "own pid" true
+              (task.Types.pid <> env.H.root.Types.pid);
+            let buf = Bytes.create 16 in
+            match Vfs.read ~into:buf k vfs ~executing:task rfd ~bytes:16 with
+            | Ok n ->
+                Alcotest.(check string) "cross-process pipe" "from parent"
+                  (Bytes.sub_string buf 0 n)
+            | Error e -> Alcotest.failf "read: %s" (Vfs.errno_to_string e))
+      in
+      let payload = Bytes.of_string "from parent" in
+      ignore
+        (Vfs.write ~data:payload k vfs ~executing:env.H.root wfd
+           ~bytes:(Bytes.length payload));
+      ignore (Kernel.waitpid k env.H.root child))
+
+let test_fork_refcounts_pipe_ends () =
+  (* pipe ends are refcounted across the fork: the child closing its
+     copies must not kill the parent's ends *)
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      let child =
+        Kernel.spawn k ~parent:env.H.root ~inherit_fds:true ~name:"child"
+          ~cpu:0 (fun task ->
+            (match Vfs.close k vfs ~executing:task rfd with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "child close r failed");
+            match Vfs.close k vfs ~executing:task wfd with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "child close w failed")
+      in
+      ignore (Kernel.waitpid k env.H.root child);
+      (* parent's ends are still alive: write + read round-trip works *)
+      (match Vfs.write k vfs ~executing:env.H.root wfd ~bytes:3 with
+      | Ok 3 -> ()
+      | _ -> Alcotest.fail "parent write end died with the child");
+      match Vfs.read k vfs ~executing:env.H.root rfd ~bytes:3 with
+      | Ok 3 -> ()
+      | _ -> Alcotest.fail "parent read end died with the child")
+
+(* ---------- nonblocking I/O and poll ---------- *)
+
+let test_nonblock_read_eagain () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, _wfd = mk_pipe env in
+      (match Vfs.set_flags k vfs ~executing:env.H.root rfd [ Types.O_RDONLY; Types.O_NONBLOCK ] with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "fcntl failed");
+      match Vfs.read k vfs ~executing:env.H.root rfd ~bytes:10 with
+      | Error Vfs.EAGAIN -> ()
+      | _ -> Alcotest.fail "expected EAGAIN")
+
+let test_nonblock_write_partial_then_eagain () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let _rfd, wfd = Vfs.pipe ~capacity:8 k vfs ~executing:env.H.root () in
+      ignore
+        (Vfs.set_flags k vfs ~executing:env.H.root wfd
+           [ Types.O_WRONLY; Types.O_NONBLOCK ]);
+      (match Vfs.write k vfs ~executing:env.H.root wfd ~bytes:20 with
+      | Ok 8 -> () (* partial: the pipe took what it could *)
+      | r ->
+          Alcotest.failf "expected partial 8, got %s"
+            (match r with
+            | Ok n -> string_of_int n
+            | Error e -> Vfs.errno_to_string e));
+      match Vfs.write k vfs ~executing:env.H.root wfd ~bytes:1 with
+      | Error Vfs.EAGAIN -> ()
+      | _ -> Alcotest.fail "expected EAGAIN when full")
+
+let test_poll_probe_and_ready () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      (* probe: empty pipe is not readable but is writable *)
+      Alcotest.(check (list (pair int bool)))
+        "empty pipe readiness"
+        [ (rfd, false); (wfd, true) ]
+        (List.map
+           (fun (fd, ev) ->
+             ( fd,
+               Vfs.poll ~timeout:0.0 k vfs ~executing:env.H.root [ (fd, ev) ]
+               <> [] ))
+           [ (rfd, Vfs.POLLIN); (wfd, Vfs.POLLOUT) ]);
+      ignore (Vfs.write k vfs ~executing:env.H.root wfd ~bytes:4);
+      Alcotest.(check bool) "readable after write" true
+        (Vfs.poll ~timeout:0.0 k vfs ~executing:env.H.root [ (rfd, Vfs.POLLIN) ]
+        <> []))
+
+let test_poll_blocks_until_writer () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      let woke_at = ref nan in
+      let poller =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"poller" ~cpu:0
+          (fun task ->
+            let ready = Vfs.poll k vfs ~executing:task [ (rfd, Vfs.POLLIN) ] in
+            woke_at := Kernel.now k;
+            Alcotest.(check (list (pair int bool))) "pipe became readable"
+              [ (rfd, true) ]
+              (List.map (fun (fd, _) -> (fd, true)) ready))
+      in
+      let _writer =
+        Kernel.spawn k ~share:(`Thread env.H.root) ~name:"writer" ~cpu:1
+          (fun task ->
+            Kernel.compute k task 2e-4;
+            ignore (Vfs.write k vfs ~executing:task wfd ~bytes:1))
+      in
+      ignore (Kernel.waitpid k env.H.root poller);
+      Alcotest.(check bool) "poll blocked until the write" true
+        (!woke_at >= 2e-4))
+
+let test_poll_timeout_fires () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, _wfd = mk_pipe env in
+      let t0 = Kernel.now k in
+      let ready =
+        Vfs.poll ~timeout:1e-3 k vfs ~executing:env.H.root [ (rfd, Vfs.POLLIN) ]
+      in
+      Alcotest.(check (list (pair int bool))) "nothing ready" []
+        (List.map (fun (fd, _) -> (fd, true)) ready);
+      Alcotest.(check bool) "waited the timeout" true
+        (Kernel.now k -. t0 >= 1e-3))
+
+let test_poll_eof_counts_as_readable () =
+  run (fun env ->
+      let k = env.H.kernel and vfs = env.H.vfs in
+      let rfd, wfd = mk_pipe env in
+      ignore (Vfs.close k vfs ~executing:env.H.root wfd);
+      Alcotest.(check bool) "EOF is readable" true
+        (Vfs.poll ~timeout:0.0 k vfs ~executing:env.H.root [ (rfd, Vfs.POLLIN) ]
+        <> []))
+
+(* ---------- more kernel edge cases ---------- *)
+
+let test_spawn_bad_cpu_rejected () =
+  run ~cores:2 (fun env ->
+      match Kernel.spawn env.H.kernel ~name:"x" ~cpu:9 (fun _ -> ()) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad cpu accepted")
+
+let test_set_affinity_bad_cpu_rejected () =
+  run ~cores:2 (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"x" ~cpu:0 (fun task ->
+            match Kernel.set_affinity k task 99 with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail "bad cpu accepted")
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_negative_compute_rejected () =
+  run (fun env ->
+      match Kernel.compute env.H.kernel env.H.root (-1.0) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative compute accepted")
+
+let test_waitpid_from_non_parent () =
+  (* the simulated kernel allows any task to wait on any other *)
+  run (fun env ->
+      let k = env.H.kernel in
+      let child = Kernel.spawn k ~name:"c" ~cpu:0 (fun _ -> ()) in
+      let reaper =
+        Kernel.spawn k ~name:"r" ~cpu:1 (fun task ->
+            Alcotest.(check int) "stranger reaps" 0 (Kernel.waitpid k task child))
+      in
+      ignore (Kernel.waitpid k env.H.root reaper))
+
+let test_syscall_counting () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let before = env.H.root.Types.syscalls in
+      ignore (Kernel.getpid k env.H.root);
+      Kernel.sched_yield k env.H.root;
+      Alcotest.(check int) "two syscalls counted" (before + 2)
+        env.H.root.Types.syscalls)
+
+(* ---------- signals ---------- *)
+
+let test_signal_handler_runs () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let hits = ref 0 in
+      let target =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            Kernel.set_signal_handler k task Types.SIGUSR1
+              (Types.Sig_handler (fun _ -> incr hits));
+            Kernel.compute k task 1e-3)
+      in
+      let _sender =
+        Kernel.spawn k ~name:"s" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-5;
+            Kernel.kill k ~sender:task ~target Types.SIGUSR1)
+      in
+      ignore (Kernel.waitpid k env.H.root target);
+      Alcotest.(check int) "handler ran" 1 !hits)
+
+let test_signal_default_terminates_blocked () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let reg = Futex.create () in
+      let w = Futex.new_word ~init:0 reg in
+      let target =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            ignore (Futex.wait k task w ~expected:0);
+            Alcotest.fail "should have been killed while blocked")
+      in
+      let _sender =
+        Kernel.spawn k ~name:"s" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-4;
+            Kernel.kill k ~sender:task ~target Types.SIGTERM)
+      in
+      let code = Kernel.waitpid k env.H.root target in
+      Alcotest.(check bool) "fatal exit code" true (code > 128))
+
+let test_signal_masked_stays_pending () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let hits = ref 0 in
+      let target =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            Kernel.set_signal_handler k task Types.SIGUSR1
+              (Types.Sig_handler (fun _ -> incr hits));
+            Kernel.set_signal_mask k task [ Types.SIGUSR1 ];
+            Kernel.compute k task 1e-3;
+            Alcotest.(check int) "not delivered while masked" 0 !hits;
+            Kernel.set_signal_mask k task [];
+            Kernel.flush_pending_signals k task)
+      in
+      let _sender =
+        Kernel.spawn k ~name:"s" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-5;
+            Kernel.kill k ~sender:task ~target Types.SIGUSR1)
+      in
+      ignore (Kernel.waitpid k env.H.root target);
+      Alcotest.(check int) "delivered after unmask" 1 !hits)
+
+let test_signal_ignored () =
+  run (fun env ->
+      let k = env.H.kernel in
+      let target =
+        Kernel.spawn k ~name:"t" ~cpu:0 (fun task ->
+            Kernel.set_signal_handler k task Types.SIGTERM Types.Sig_ignore;
+            Kernel.compute k task 1e-3)
+      in
+      let _sender =
+        Kernel.spawn k ~name:"s" ~cpu:1 (fun task ->
+            Kernel.compute k task 1e-5;
+            Kernel.kill k ~sender:task ~target Types.SIGTERM)
+      in
+      let code = Kernel.waitpid k env.H.root target in
+      Alcotest.(check int) "survived" 0 code)
+
+(* ---------- properties ---------- *)
+
+let prop_pipe_conserves_bytes =
+  (* random write sizes against random read chunk sizes and a random
+     capacity: every byte written is read exactly once, then EOF *)
+  QCheck.Test.make ~name:"pipes conserve bytes under random interleavings"
+    ~count:30
+    QCheck.(
+      triple (int_range 1 512)
+        (list_of_size (Gen.int_range 1 12) (int_range 1 300))
+        (int_range 1 200))
+    (fun (capacity, writes, read_chunk) ->
+      let total = List.fold_left ( + ) 0 writes in
+      let received =
+        run (fun env ->
+            let k = env.H.kernel and vfs = env.H.vfs in
+            let rfd, wfd = Vfs.pipe ~capacity k vfs ~executing:env.H.root () in
+            let writer =
+              Kernel.spawn k ~share:(`Thread env.H.root) ~name:"w" ~cpu:0
+                (fun task ->
+                  List.iter
+                    (fun bytes ->
+                      match Vfs.write k vfs ~executing:task wfd ~bytes with
+                      | Ok n when n = bytes -> ()
+                      | _ -> failwith "short write")
+                    writes;
+                  ignore (Vfs.close k vfs ~executing:task wfd))
+            in
+            let got = ref 0 in
+            let reader =
+              Kernel.spawn k ~share:(`Thread env.H.root) ~name:"r" ~cpu:1
+                (fun task ->
+                  let eof = ref false in
+                  while not !eof do
+                    match
+                      Vfs.read k vfs ~executing:task rfd ~bytes:read_chunk
+                    with
+                    | Ok 0 -> eof := true
+                    | Ok n -> got := !got + n
+                    | Error e -> failwith (Vfs.errno_to_string e)
+                  done)
+            in
+            ignore (Kernel.waitpid k env.H.root writer);
+            ignore (Kernel.waitpid k env.H.root reader);
+            !got)
+      in
+      received = total)
+
+let prop_spawn_wait_any_exit_code =
+  QCheck.Test.make ~name:"waitpid returns the exit code" ~count:30
+    QCheck.(int_bound 127)
+    (fun code ->
+      code
+      = run (fun env ->
+            let t =
+              Kernel.spawn env.H.kernel ~name:"c" ~cpu:0 (fun task ->
+                  Kernel.exit_task env.H.kernel task code)
+            in
+            Kernel.waitpid env.H.kernel env.H.root t))
+
+let prop_compute_advances_exactly =
+  QCheck.Test.make ~name:"compute advances the clock exactly" ~count:30
+    QCheck.(float_range 1e-9 1e-3)
+    (fun dt ->
+      let elapsed =
+        run (fun env ->
+            let t0 = Kernel.now env.H.kernel in
+            Kernel.compute env.H.kernel env.H.root dt;
+            Kernel.now env.H.kernel -. t0)
+      in
+      feq ~eps:1e-15 elapsed dt)
+
+let () =
+  Alcotest.run "oskernel"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "spawn and wait" `Quick test_spawn_and_wait;
+          Alcotest.test_case "normal return" `Quick test_normal_return_is_zero;
+          Alcotest.test_case "wait blocks" `Quick test_wait_before_exit_blocks;
+          Alcotest.test_case "zombie reaped" `Quick
+            test_wait_after_exit_reaps_zombie;
+          Alcotest.test_case "double reap rejected" `Quick
+            test_double_reap_rejected;
+          Alcotest.test_case "pid/tid identity" `Quick test_pid_tid_identity;
+          Alcotest.test_case "thread shares fds" `Quick
+            test_thread_shares_fd_table;
+          Alcotest.test_case "getpid cost" `Quick test_getpid_cost;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "one core serializes" `Quick
+            test_two_tasks_one_core_serialize;
+          Alcotest.test_case "two cores overlap" `Quick
+            test_two_tasks_two_cores_overlap;
+          Alcotest.test_case "lone yield cheap" `Quick
+            test_sched_yield_alone_is_cheap;
+          Alcotest.test_case "yield round robin" `Quick test_yield_round_robin;
+          Alcotest.test_case "affinity migration" `Quick
+            test_set_affinity_migrates;
+          Alcotest.test_case "nanosleep" `Quick test_nanosleep;
+          Alcotest.test_case "sleep frees core" `Quick test_sleeping_frees_core;
+        ] );
+      ( "preemption",
+        [
+          Alcotest.test_case "interleaves cpu hogs" `Quick
+            test_preemption_interleaves_cpu_hogs;
+          Alcotest.test_case "lone task unsliced" `Quick
+            test_preemption_no_other_task_no_slicing;
+          Alcotest.test_case "charges switches" `Quick
+            test_preemption_charges_switches;
+          Alcotest.test_case "syscalls never preempted" `Quick
+            test_syscall_work_never_preempted;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "futex value changed" `Quick
+            test_futex_value_changed;
+          Alcotest.test_case "futex wait/wake" `Quick test_futex_wait_wake;
+          Alcotest.test_case "futex wake count" `Quick test_futex_wake_count;
+          Alcotest.test_case "futex timeout expires" `Quick
+            test_futex_timeout_expires;
+          Alcotest.test_case "futex wake beats timer" `Quick
+            test_futex_timeout_wake_beats_timer;
+          Alcotest.test_case "semaphore try_wait" `Quick
+            test_semaphore_try_wait;
+          Alcotest.test_case "semaphore timedwait" `Quick
+            test_semaphore_wait_timeout;
+          Alcotest.test_case "cpu utilization" `Quick
+            test_cpu_utilization_accounting;
+          Alcotest.test_case "futex atomics" `Quick test_futex_atomics;
+          Alcotest.test_case "semaphore fast path" `Quick
+            test_semaphore_post_then_wait;
+          Alcotest.test_case "semaphore blocks" `Quick
+            test_semaphore_blocks_until_post;
+          Alcotest.test_case "waitcell busywait" `Quick test_waitcell_busywait;
+          Alcotest.test_case "waitcell blocking" `Quick test_waitcell_blocking;
+          Alcotest.test_case "early signal banked" `Quick
+            test_waitcell_signal_before_park_not_lost;
+          Alcotest.test_case "busywait occupies core" `Quick
+            test_busywait_occupies_core;
+        ] );
+      ( "vfs",
+        [
+          Alcotest.test_case "open/write/read/close" `Quick
+            test_vfs_open_write_read_close;
+          Alcotest.test_case "ENOENT" `Quick test_vfs_open_missing_enoent;
+          Alcotest.test_case "EBADF" `Quick test_vfs_bad_fd;
+          Alcotest.test_case "fd isolation" `Quick
+            test_vfs_fd_isolated_between_processes;
+          Alcotest.test_case "write cost scales" `Quick
+            test_vfs_write_cost_scales;
+          Alcotest.test_case "cold write penalty" `Quick
+            test_vfs_cold_write_slower_on_albireo;
+          Alcotest.test_case "data integrity" `Quick test_vfs_data_integrity;
+          Alcotest.test_case "unlink" `Quick test_vfs_unlink;
+          Alcotest.test_case "truncate" `Quick test_vfs_truncate;
+          Alcotest.test_case "append mode" `Quick test_vfs_append_mode;
+          Alcotest.test_case "write readonly EACCES" `Quick
+            test_vfs_write_readonly_eacces;
+          Alcotest.test_case "read writeonly EACCES" `Quick
+            test_vfs_read_writeonly_eacces;
+          Alcotest.test_case "negative write EINVAL" `Quick
+            test_vfs_negative_write_einval;
+          Alcotest.test_case "lseek bad fd" `Quick test_vfs_lseek_bad_fd;
+          Alcotest.test_case "unlink missing" `Quick test_vfs_unlink_missing;
+        ] );
+      ( "pipes",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pipe_roundtrip;
+          Alcotest.test_case "read blocks" `Quick
+            test_pipe_read_blocks_until_write;
+          Alcotest.test_case "EOF on closed writer" `Quick
+            test_pipe_eof_on_closed_write_end;
+          Alcotest.test_case "EPIPE on closed reader" `Quick
+            test_pipe_epipe_on_closed_read_end;
+          Alcotest.test_case "write blocks when full" `Quick
+            test_pipe_write_blocks_when_full;
+          Alcotest.test_case "lseek ESPIPE" `Quick test_pipe_lseek_espipe;
+          Alcotest.test_case "wrong end EBADF" `Quick
+            test_pipe_wrong_end_ebadf;
+          Alcotest.test_case "fds process-private" `Quick
+            test_pipe_fds_process_private;
+          Alcotest.test_case "pipe then fork" `Quick test_pipe_then_fork;
+          Alcotest.test_case "fork refcounts pipe ends" `Quick
+            test_fork_refcounts_pipe_ends;
+        ] );
+      ( "nonblocking",
+        [
+          Alcotest.test_case "read EAGAIN" `Quick test_nonblock_read_eagain;
+          Alcotest.test_case "partial write then EAGAIN" `Quick
+            test_nonblock_write_partial_then_eagain;
+          Alcotest.test_case "poll probe" `Quick test_poll_probe_and_ready;
+          Alcotest.test_case "poll blocks" `Quick test_poll_blocks_until_writer;
+          Alcotest.test_case "poll timeout" `Quick test_poll_timeout_fires;
+          Alcotest.test_case "poll EOF readable" `Quick
+            test_poll_eof_counts_as_readable;
+        ] );
+      ( "edge_cases",
+        [
+          Alcotest.test_case "spawn bad cpu" `Quick test_spawn_bad_cpu_rejected;
+          Alcotest.test_case "affinity bad cpu" `Quick
+            test_set_affinity_bad_cpu_rejected;
+          Alcotest.test_case "negative compute" `Quick
+            test_negative_compute_rejected;
+          Alcotest.test_case "waitpid from non-parent" `Quick
+            test_waitpid_from_non_parent;
+          Alcotest.test_case "syscall counting" `Quick test_syscall_counting;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "handler runs" `Quick test_signal_handler_runs;
+          Alcotest.test_case "default terminates blocked" `Quick
+            test_signal_default_terminates_blocked;
+          Alcotest.test_case "masked stays pending" `Quick
+            test_signal_masked_stays_pending;
+          Alcotest.test_case "ignored" `Quick test_signal_ignored;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_pipe_conserves_bytes;
+          QCheck_alcotest.to_alcotest prop_spawn_wait_any_exit_code;
+          QCheck_alcotest.to_alcotest prop_compute_advances_exactly;
+        ] );
+    ]

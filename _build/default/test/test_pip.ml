@@ -1,0 +1,216 @@
+(* Tests for the PiP substrate: root/spawn in one shared address space,
+   variable privatization across PiP processes, cross-process pointer
+   exchange, process vs thread mode, mmap-backed malloc, and the
+   minor-fault contrast with POSIX shared memory (Section IV). *)
+
+open Oskernel
+module Pip = Core.Pip
+module Space = Addrspace.Addr_space
+module Loader = Addrspace.Loader
+module Memval = Addrspace.Memval
+module H = Workload.Harness
+
+let wallaby = Arch.Machines.wallaby
+
+let counter_prog =
+  Loader.program ~name:"counter" ~globals:[ ("count", Memval.Int 0) ]
+    ~text_size:4096 ()
+
+let run f = H.run ~cost:wallaby ~cores:4 f
+
+let test_spawn_runs_body () =
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let ran = ref false in
+      let p =
+        Pip.spawn root ~name:"p0" ~cpu:0 ~prog:counter_prog (fun _p ->
+            ran := true)
+      in
+      ignore (Pip.wait root p);
+      Alcotest.(check bool) "body ran" true !ran)
+
+let test_processes_share_one_space () =
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let p1 =
+        Pip.spawn root ~name:"p1" ~cpu:0 ~prog:counter_prog (fun _ -> ())
+      in
+      let p2 =
+        Pip.spawn root ~name:"p2" ~cpu:1 ~prog:counter_prog (fun _ -> ())
+      in
+      Alcotest.(check bool) "one space" true
+        (p1.Pip.ns.Loader.space == p2.Pip.ns.Loader.space);
+      Alcotest.(check bool) "attached" true
+        (List.mem p1.Pip.task.Types.tid (Space.attached (Pip.space root)));
+      ignore (Pip.wait root p1);
+      ignore (Pip.wait root p2))
+
+let test_variable_privatization_across_processes () =
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let v1 = ref None and v2 = ref None in
+      let p1 =
+        Pip.spawn root ~name:"p1" ~cpu:0 ~prog:counter_prog (fun p ->
+            Loader.write_global p.Pip.ns "count" (Memval.Int 111);
+            v1 := Some (Loader.read_global p.Pip.ns "count"))
+      in
+      ignore (Pip.wait root p1);
+      let p2 =
+        Pip.spawn root ~name:"p2" ~cpu:0 ~prog:counter_prog (fun p ->
+            v2 := Some (Loader.read_global p.Pip.ns "count"))
+      in
+      ignore (Pip.wait root p2);
+      Alcotest.(check bool) "p1 sees own write" true (!v1 = Some (Memval.Int 111));
+      Alcotest.(check bool) "p2 sees fresh instance" true
+        (!v2 = Some (Memval.Int 0)))
+
+let test_pointer_exchange_between_processes () =
+  (* the PiP promise: a raw pointer produced by one process dereferences
+     unchanged in another *)
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let shared_addr = ref None in
+      let p1 =
+        Pip.spawn root ~name:"producer" ~cpu:0 ~prog:counter_prog (fun p ->
+            Loader.write_global p.Pip.ns "count" (Memval.Int 777);
+            shared_addr := Some (Loader.dlsym_exn p.Pip.ns "count"))
+      in
+      ignore (Pip.wait root p1);
+      let seen = ref None in
+      let p2 =
+        Pip.spawn root ~name:"consumer" ~cpu:0 ~prog:counter_prog (fun _p ->
+            seen := Some (Space.load (Pip.space root) (Option.get !shared_addr)))
+      in
+      ignore (Pip.wait root p2);
+      Alcotest.(check bool) "dereferenced peer's global" true
+        (!seen = Some (Memval.Int 777)))
+
+let test_process_mode_own_pid_thread_mode_shared () =
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let pp =
+        Pip.spawn root ~mode:Pip.Process_mode ~name:"proc" ~cpu:0
+          ~prog:counter_prog (fun _ -> ())
+      in
+      let tp =
+        Pip.spawn root ~mode:Pip.Thread_mode ~name:"thr" ~cpu:1
+          ~prog:counter_prog (fun _ -> ())
+      in
+      Alcotest.(check bool) "process mode: own pid" true
+        (pp.Pip.task.Types.pid <> env.H.root.Types.pid);
+      Alcotest.(check int) "thread mode: root's pid" env.H.root.Types.pid
+        tp.Pip.task.Types.pid;
+      ignore (Pip.wait root pp);
+      ignore (Pip.wait root tp))
+
+let test_thread_mode_still_privatizes () =
+  (* "variable privatization is effective in both PiP modes" *)
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let v = ref None in
+      let t1 =
+        Pip.spawn root ~mode:Pip.Thread_mode ~name:"t1" ~cpu:0
+          ~prog:counter_prog (fun p ->
+            Loader.write_global p.Pip.ns "count" (Memval.Int 5))
+      in
+      ignore (Pip.wait root t1);
+      let t2 =
+        Pip.spawn root ~mode:Pip.Thread_mode ~name:"t2" ~cpu:0
+          ~prog:counter_prog (fun p ->
+            v := Some (Loader.read_global p.Pip.ns "count"))
+      in
+      ignore (Pip.wait root t2);
+      Alcotest.(check bool) "privatized in thread mode" true
+        (!v = Some (Memval.Int 0)))
+
+let test_malloc_shared_heap_object () =
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let addr =
+        Pip.malloc root ~by:env.H.root (Memval.Float_array (Array.make 4 0.0))
+      in
+      let p =
+        Pip.spawn root ~name:"writer" ~cpu:0 ~prog:counter_prog (fun _p ->
+            match Space.load (Pip.space root) addr with
+            | Memval.Float_array a -> a.(0) <- 3.14
+            | _ -> Alcotest.fail "wrong cell")
+      in
+      ignore (Pip.wait root p);
+      match Space.load (Pip.space root) addr with
+      | Memval.Float_array a ->
+          Alcotest.(check (float 1e-9)) "peer's write visible" 3.14 a.(0)
+      | _ -> Alcotest.fail "wrong cell")
+
+let test_namespaces_have_distinct_symbol_addresses () =
+  run (fun env ->
+      let root = Pip.create_root env.H.kernel ~root_task:env.H.root in
+      let ps =
+        List.init 4 (fun i ->
+            Pip.spawn root ~name:(Printf.sprintf "p%d" i) ~cpu:0
+              ~prog:counter_prog (fun _ -> ()))
+      in
+      List.iter (fun p -> ignore (Pip.wait root p)) ps;
+      let addrs = List.map (fun p -> Loader.dlsym_exn p.Pip.ns "count") ps in
+      Alcotest.(check int) "all distinct" 4
+        (List.length (List.sort_uniq compare addrs)))
+
+(* ---------- Section IV: faults, sharing vs shm ---------- *)
+
+let test_fault_ablation_sharing_constant () =
+  let r = Workload.Ablations.fault_ablation ~processes:8 ~pages:64 wallaby in
+  Alcotest.(check int) "sharing faults once per page" 64
+    r.Workload.Ablations.faults_sharing;
+  Alcotest.(check int) "shm faults per process per page" (8 * 64)
+    r.Workload.Ablations.faults_shm
+
+let test_shm_attach_addresses_differ () =
+  let seg = Pip.Shm.create_segment ~len:8192 in
+  let s1 = Space.create () and s2 = Space.create () in
+  let a1 = Pip.Shm.attach s1 seg and a2 = Pip.Shm.attach s2 seg in
+  (* attach addresses are per-process; with diverging allocation
+     histories they differ, so raw pointers cannot be exchanged *)
+  let s3 = Space.create () in
+  ignore (Space.map s3 ~len:4096 ~kind:Addrspace.Vma.Mmap ~populated:false);
+  let a3 = Pip.Shm.attach s3 seg in
+  Alcotest.(check bool) "histories diverge the base" true
+    (a3.Pip.Shm.base <> a1.Pip.Shm.base || a2.Pip.Shm.base <> a3.Pip.Shm.base)
+
+let prop_fault_ablation_scales_linearly =
+  QCheck.Test.make ~name:"shm faults = processes x pages; sharing = pages"
+    ~count:10
+    QCheck.(pair (int_range 1 8) (int_range 1 64))
+    (fun (procs, pages) ->
+      let r = Workload.Ablations.fault_ablation ~processes:procs ~pages wallaby in
+      r.Workload.Ablations.faults_sharing = pages
+      && r.Workload.Ablations.faults_shm = procs * pages)
+
+let () =
+  Alcotest.run "pip"
+    [
+      ( "spawn",
+        [
+          Alcotest.test_case "runs body" `Quick test_spawn_runs_body;
+          Alcotest.test_case "one shared space" `Quick
+            test_processes_share_one_space;
+          Alcotest.test_case "privatization" `Quick
+            test_variable_privatization_across_processes;
+          Alcotest.test_case "pointer exchange" `Quick
+            test_pointer_exchange_between_processes;
+          Alcotest.test_case "process vs thread mode" `Quick
+            test_process_mode_own_pid_thread_mode_shared;
+          Alcotest.test_case "thread mode privatizes" `Quick
+            test_thread_mode_still_privatizes;
+          Alcotest.test_case "malloc shared object" `Quick
+            test_malloc_shared_heap_object;
+          Alcotest.test_case "distinct symbol addresses" `Quick
+            test_namespaces_have_distinct_symbol_addresses;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "sharing vs shm" `Quick
+            test_fault_ablation_sharing_constant;
+          Alcotest.test_case "attach addresses differ" `Quick
+            test_shm_attach_addresses_differ;
+          QCheck_alcotest.to_alcotest prop_fault_ablation_scales_linearly;
+        ] );
+    ]

@@ -1,0 +1,430 @@
+(* Tests for the discrete-event simulation engine: event heap ordering,
+   RNG determinism, statistics, traces, and the effect-based process
+   machinery (delay, suspend/resume, cancellation). *)
+
+module Engine = Sim.Engine
+module Heap = Sim.Event_heap
+module Rng = Sim.Rng
+module Stats = Sim.Stats
+module Trace = Sim.Trace
+
+let feq ?(eps = 1e-12) a b = Float.abs (a -. b) <= eps
+
+let check_float ?eps name expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+(* ---------- event heap ---------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:0 "c";
+  Heap.push h ~time:1.0 ~seq:1 "a";
+  Heap.push h ~time:2.0 ~seq:2 "b";
+  let pop () =
+    match Heap.pop h with Some e -> e.Heap.payload | None -> "(empty)"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_tie_break () =
+  let h = Heap.create () in
+  Heap.push h ~time:1.0 ~seq:5 "later";
+  Heap.push h ~time:1.0 ~seq:2 "earlier";
+  (match Heap.pop h with
+  | Some e -> Alcotest.(check string) "fifo ties" "earlier" e.Heap.payload
+  | None -> Alcotest.fail "heap empty");
+  match Heap.pop h with
+  | Some e -> Alcotest.(check string) "fifo ties 2" "later" e.Heap.payload
+  | None -> Alcotest.fail "heap empty"
+
+let test_heap_many () =
+  let h = Heap.create () in
+  let n = 1000 in
+  let rng = Rng.create ~seed:7L () in
+  for i = 0 to n - 1 do
+    Heap.push h ~time:(Rng.float rng) ~seq:i i
+  done;
+  Alcotest.(check int) "length" n (Heap.length h);
+  let prev = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some e ->
+        if e.Heap.time < !prev then Alcotest.fail "heap order violated";
+        prev := e.Heap.time;
+        incr count;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "drained all" n !count
+
+let test_heap_peek () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Heap.peek h = None);
+  Heap.push h ~time:2.0 ~seq:0 "x";
+  (match Heap.peek h with
+  | Some e -> Alcotest.(check string) "peek" "x" e.Heap.payload
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek does not pop" 1 (Heap.length h)
+
+(* ---------- rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123L () and b = Rng.create ~seed:123L () in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if feq (Rng.float a) (Rng.float b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_range () =
+  let r = Rng.create ~seed:99L () in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x;
+    let i = Rng.int r 10 in
+    if i < 0 || i >= 10 then Alcotest.failf "int out of range: %d" i
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:4L () in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "exponential mean ~3 (got %f)" mean)
+    true
+    (mean > 2.8 && mean < 3.2)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:11L () in
+  let arr = Array.init 20 Fun.id in
+  Rng.shuffle_in_place r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 20 Fun.id) sorted
+
+(* ---------- stats ---------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min_value s);
+  check_float "max" 4.0 (Stats.max_value s);
+  check_float "median" 2.5 (Stats.median s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check_float ~eps:1.0 "p50" 50.5 (Stats.percentile s 50.0);
+  check_float ~eps:1.5 "p99" 99.0 (Stats.percentile s 99.0);
+  check_float "p0" 1.0 (Stats.percentile s 0.0);
+  check_float "p100" 100.0 (Stats.percentile s 100.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "nan median" true (Float.is_nan (Stats.median s))
+
+let test_stats_stddev () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float ~eps:1e-9 "stddev" 2.0 (Stats.stddev s)
+
+(* ---------- trace ---------- *)
+
+let test_trace_order () =
+  let t = Trace.create () in
+  Trace.record t ~time:0.0 ~actor:"a" ~tag:"x" "";
+  Trace.record t ~time:1.0 ~actor:"b" ~tag:"y" "";
+  Trace.record t ~time:2.0 ~actor:"c" ~tag:"z" "";
+  Alcotest.(check bool) "in order" true (Trace.tags_in_order t [ "x"; "y"; "z" ]);
+  Alcotest.(check bool) "not reversed" false (Trace.tags_in_order t [ "z"; "x" ]);
+  Alcotest.(check int) "length" 3 (Trace.length t)
+
+let test_trace_disabled () =
+  let t = Trace.create ~enabled:false () in
+  Trace.record t ~time:0.0 ~actor:"a" ~tag:"x" "";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length t)
+
+let test_trace_find_tag () =
+  let t = Trace.create () in
+  Trace.record t ~time:0.0 ~actor:"a" ~tag:"x" "1";
+  Trace.record t ~time:1.0 ~actor:"a" ~tag:"y" "2";
+  Trace.record t ~time:2.0 ~actor:"a" ~tag:"x" "3";
+  let xs = Trace.find_tag t "x" in
+  Alcotest.(check int) "two x" 2 (List.length xs);
+  Alcotest.(check string) "oldest first" "1" (List.hd xs).Trace.detail
+
+(* ---------- engine ---------- *)
+
+let test_engine_schedule_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "final time" 3.0 (Engine.now e)
+
+let test_engine_delay () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.spawn e (fun () ->
+      seen := Engine.current_time () :: !seen;
+      Engine.delay 1.5;
+      seen := Engine.current_time () :: !seen;
+      Engine.delay 0.5;
+      seen := Engine.current_time () :: !seen);
+  Engine.run e;
+  match List.rev !seen with
+  | [ a; b; c ] ->
+      check_float "t0" 0.0 a;
+      check_float "t1" 1.5 b;
+      check_float "t2" 2.0 c
+  | _ -> Alcotest.fail "expected three samples"
+
+let test_engine_suspend_resume () =
+  let e = Engine.create () in
+  let r = ref None in
+  let finished = ref false in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun resumer -> r := Some resumer);
+      finished := true);
+  Engine.schedule e ~delay:5.0 (fun () ->
+      match !r with
+      | Some resumer -> ignore (Engine.resume e resumer)
+      | None -> Alcotest.fail "no resumer captured");
+  Engine.run e;
+  Alcotest.(check bool) "resumed" true !finished;
+  check_float "resumed at 5" 5.0 (Engine.now e)
+
+let test_engine_double_resume_safe () =
+  let e = Engine.create () in
+  let r = ref None in
+  let count = ref 0 in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun resumer -> r := Some resumer);
+      incr count);
+  Engine.schedule e ~delay:1.0 (fun () ->
+      let resumer = Option.get !r in
+      Alcotest.(check bool) "first resume" true (Engine.resume e resumer);
+      Alcotest.(check bool) "second resume rejected" false
+        (Engine.resume e resumer));
+  Engine.run e;
+  Alcotest.(check int) "ran once" 1 !count
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let r = ref None in
+  let cancelled = ref false and after = ref false in
+  Engine.spawn e (fun () ->
+      (try Engine.suspend (fun resumer -> r := Some resumer)
+       with Engine.Cancelled ->
+         cancelled := true;
+         raise Engine.Cancelled);
+      after := true);
+  Engine.schedule e ~delay:1.0 (fun () ->
+      ignore (Engine.cancel e (Option.get !r)));
+  Engine.run e;
+  Alcotest.(check bool) "cancel raised" true !cancelled;
+  Alcotest.(check bool) "code after suspend skipped" true (not !after)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () -> incr ran);
+  Engine.schedule e ~delay:10.0 (fun () -> incr ran);
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only first ran" 1 !ran;
+  check_float "clock clipped" 5.0 (Engine.now e)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let ran = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      incr ran;
+      Engine.stop e);
+  Engine.schedule e ~delay:2.0 (fun () -> incr ran);
+  Engine.run e;
+  Alcotest.(check int) "stopped after first" 1 !ran
+
+let test_engine_exception_propagates () =
+  let e = Engine.create () in
+  Engine.spawn e (fun () -> failwith "boom");
+  Alcotest.check_raises "propagates" (Failure "boom") (fun () -> Engine.run e)
+
+let test_engine_negative_delay_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_resume_after_delay () =
+  let e = Engine.create () in
+  let r = ref None in
+  let resumed_at = ref nan in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun resumer -> r := Some resumer);
+      resumed_at := Engine.current_time ());
+  Engine.schedule e ~delay:1.0 (fun () ->
+      ignore (Engine.resume_after e ~delay:2.5 (Option.get !r)));
+  Engine.run e;
+  check_float "woke at 1.0 + 2.5" 3.5 !resumed_at
+
+let test_engine_schedule_during_run () =
+  (* events scheduled from inside events fire in order *)
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := `A :: !log;
+      Engine.schedule e ~delay:0.5 (fun () -> log := `C :: !log);
+      Engine.schedule e ~delay:0.1 (fun () -> log := `B :: !log));
+  Engine.run e;
+  (match List.rev !log with
+  | [ `A; `B; `C ] -> ()
+  | _ -> Alcotest.fail "wrong cascade order");
+  check_float "clock" 1.5 (Engine.now e)
+
+let test_engine_deterministic_with_seed () =
+  let run_once () =
+    let e = Engine.create ~seed:77L () in
+    let acc = ref [] in
+    for _ = 1 to 5 do
+      let d = Sim.Rng.float (Engine.rng e) in
+      Engine.schedule e ~delay:d (fun () -> acc := Engine.now e :: !acc)
+    done;
+    Engine.run e;
+    !acc
+  in
+  Alcotest.(check (list (float 0.0))) "bit-identical" (run_once ()) (run_once ())
+
+let test_engine_nested_spawn () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      log := `Parent :: !log;
+      Engine.delay 1.0;
+      Engine.spawn e (fun () ->
+          log := `Child :: !log;
+          Engine.delay 1.0;
+          log := `Child_done :: !log);
+      Engine.delay 0.5;
+      log := `Parent_done :: !log);
+  Engine.run e;
+  Alcotest.(check int) "four entries" 4 (List.length !log);
+  check_float "total" 2.0 (Engine.now e)
+
+(* ---------- property tests ---------- *)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:100
+    QCheck.(list (pair (float_range 0.0 1000.0) small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri
+        (fun i (time, payload) -> Heap.push h ~time ~seq:i payload)
+        entries;
+      let rec drain prev acc =
+        match Heap.pop h with
+        | None -> acc
+        | Some e ->
+            if e.Heap.time < prev then false else drain e.Heap.time acc
+      in
+      drain neg_infinity true)
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min_value s -. 1e-6
+      && Stats.mean s <= Stats.max_value s +. 1e-6)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 40) (float_range 0.0 100.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.percentile s 25.0 <= Stats.percentile s 75.0 +. 1e-9)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "event_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_order;
+          Alcotest.test_case "tie break by seq" `Quick test_heap_tie_break;
+          Alcotest.test_case "thousand events" `Quick test_heap_many;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "ranges" `Quick test_rng_range;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order" `Quick test_trace_order;
+          Alcotest.test_case "disabled" `Quick test_trace_disabled;
+          Alcotest.test_case "find tag" `Quick test_trace_find_tag;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "schedule order" `Quick test_engine_schedule_order;
+          Alcotest.test_case "delay advances time" `Quick test_engine_delay;
+          Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+          Alcotest.test_case "double resume safe" `Quick
+            test_engine_double_resume_safe;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "exception propagates" `Quick
+            test_engine_exception_propagates;
+          Alcotest.test_case "negative delay rejected" `Quick
+            test_engine_negative_delay_rejected;
+          Alcotest.test_case "nested spawn" `Quick test_engine_nested_spawn;
+          Alcotest.test_case "resume after delay" `Quick
+            test_engine_resume_after_delay;
+          Alcotest.test_case "schedule during run" `Quick
+            test_engine_schedule_during_run;
+          Alcotest.test_case "deterministic with seed" `Quick
+            test_engine_deterministic_with_seed;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+          QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        ] );
+    ]

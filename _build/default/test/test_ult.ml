@@ -1,0 +1,462 @@
+(* Tests for the user-level thread substrate: contexts (creation,
+   yield, park, migration between resuming KCs), ready queues, the
+   work-stealing deque, and the plain ULT scheduler. *)
+
+module Context = Ult.Context
+module Rq = Ult.Run_queue
+module Wsd = Ult.Ws_deque
+module Scheduler = Ult.Scheduler
+module H = Workload.Harness
+open Oskernel
+
+let wallaby = Arch.Machines.wallaby
+
+(* ---------- context ---------- *)
+
+let test_context_runs_to_completion () =
+  let hits = ref 0 in
+  let uc = Context.make (fun () -> incr hits) in
+  Alcotest.(check bool) "created" true (Context.status uc = Context.Created);
+  (match Context.resume uc with
+  | Context.Finished -> ()
+  | _ -> Alcotest.fail "expected Finished");
+  Alcotest.(check int) "body ran" 1 !hits;
+  Alcotest.(check bool) "done" true (Context.is_done uc)
+
+let test_context_yield_roundtrip () =
+  let log = ref [] in
+  let uc =
+    Context.make (fun () ->
+        log := `A :: !log;
+        Context.yield ();
+        log := `B :: !log;
+        Context.yield ();
+        log := `C :: !log)
+  in
+  (match Context.resume uc with
+  | Context.Yielded -> ()
+  | _ -> Alcotest.fail "expected yield 1");
+  Alcotest.(check int) "one step" 1 (List.length !log);
+  (match Context.resume uc with
+  | Context.Yielded -> ()
+  | _ -> Alcotest.fail "expected yield 2");
+  (match Context.resume uc with
+  | Context.Finished -> ()
+  | _ -> Alcotest.fail "expected finish");
+  Alcotest.(check int) "three steps" 3 (List.length !log);
+  Alcotest.(check int) "resume count" 3 (Context.steps uc)
+
+let test_context_park_callback_runs_after_suspend () =
+  let order = ref [] in
+  let uc =
+    Context.make (fun () ->
+        Context.park ~after_suspend:(fun () -> order := `Callback :: !order);
+        order := `Resumed :: !order)
+  in
+  (match Context.resume uc with
+  | Context.Parked cb ->
+      Alcotest.(check bool) "suspended" true
+        (Context.status uc = Context.Suspended);
+      cb ()
+  | _ -> Alcotest.fail "expected park");
+  (match Context.resume uc with
+  | Context.Finished -> ()
+  | _ -> Alcotest.fail "expected finish");
+  Alcotest.(check (list bool)) "callback before resume"
+    [ true; true ]
+    (List.rev_map (fun x -> x = `Callback || x = `Resumed) !order);
+  match List.rev !order with
+  | [ `Callback; `Resumed ] -> ()
+  | _ -> Alcotest.fail "wrong order"
+
+let test_context_double_resume_rejected () =
+  let uc = Context.make (fun () -> ()) in
+  ignore (Context.resume uc);
+  match Context.resume uc with
+  | exception Context.Not_resumable _ -> ()
+  | _ -> Alcotest.fail "resumed a finished context"
+
+let test_context_self () =
+  let captured = ref None in
+  let uc = Context.make (fun () -> captured := Some (Context.self ())) in
+  ignore (Context.resume uc);
+  match !captured with
+  | Some self -> Alcotest.(check int) "self is itself" (Context.id uc) (Context.id self)
+  | None -> Alcotest.fail "no self"
+
+let test_context_migrates_between_resumers () =
+  (* the decoupling property: a context suspended under one simulated KC
+     resumes correctly under another *)
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let phases = ref [] in
+      let uc =
+        Context.make (fun () ->
+            phases := `P1 :: !phases;
+            Context.yield ();
+            phases := `P2 :: !phases;
+            Context.yield ();
+            phases := `P3 :: !phases)
+      in
+      let step name cpu =
+        Kernel.spawn k ~name ~cpu (fun _task -> ignore (Context.resume uc))
+      in
+      let a = step "kc-a" 0 in
+      ignore (Kernel.waitpid k env.H.root a);
+      let b = step "kc-b" 1 in
+      ignore (Kernel.waitpid k env.H.root b);
+      let c = step "kc-c" 0 in
+      ignore (Kernel.waitpid k env.H.root c);
+      Alcotest.(check int) "three phases" 3 (List.length !phases);
+      Alcotest.(check bool) "finished" true (Context.is_done uc))
+
+let test_context_names_and_ids_unique () =
+  let a = Context.make (fun () -> ()) in
+  let b = Context.make (fun () -> ()) in
+  Alcotest.(check bool) "distinct ids" true (Context.id a <> Context.id b)
+
+(* ---------- run queue ---------- *)
+
+let test_rq_fifo () =
+  let q = Rq.create () in
+  Rq.enqueue q 1;
+  Rq.enqueue q 2;
+  Rq.enqueue q 3;
+  Alcotest.(check (option int)) "first" (Some 1) (Rq.dequeue q);
+  Alcotest.(check (option int)) "second" (Some 2) (Rq.dequeue q);
+  Alcotest.(check int) "length" 1 (Rq.length q);
+  Alcotest.(check int) "enqueues counted" 3 (Rq.enqueues q);
+  Alcotest.(check int) "dequeues counted" 2 (Rq.dequeues q)
+
+let test_rq_empty () =
+  let q = Rq.create () in
+  Alcotest.(check bool) "empty" true (Rq.is_empty q);
+  Alcotest.(check (option int)) "dequeue none" None (Rq.dequeue q)
+
+let test_rq_filter () =
+  let q = Rq.create () in
+  List.iter (Rq.enqueue q) [ 1; 2; 3; 4; 5 ];
+  Rq.filter_inplace q (fun x -> x mod 2 = 0);
+  Alcotest.(check (list int)) "evens kept in order" [ 2; 4 ] (Rq.to_list q)
+
+(* ---------- work-stealing deque ---------- *)
+
+let test_wsd_lifo_owner () =
+  let d = Wsd.create ~dummy:0 in
+  Wsd.push d 1;
+  Wsd.push d 2;
+  Wsd.push d 3;
+  Alcotest.(check (option int)) "owner pops newest" (Some 3) (Wsd.pop d);
+  Alcotest.(check (option int)) "then next" (Some 2) (Wsd.pop d)
+
+let test_wsd_fifo_thief () =
+  let d = Wsd.create ~dummy:0 in
+  Wsd.push d 1;
+  Wsd.push d 2;
+  Wsd.push d 3;
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (Wsd.steal d);
+  Alcotest.(check (option int)) "owner still pops newest" (Some 3) (Wsd.pop d);
+  Alcotest.(check int) "steal count" 1 (Wsd.steals d)
+
+let test_wsd_growth () =
+  let d = Wsd.create ~dummy:(-1) in
+  for i = 1 to 100 do
+    Wsd.push d i
+  done;
+  Alcotest.(check int) "length" 100 (Wsd.length d);
+  let seen = ref [] in
+  let rec drain () =
+    match Wsd.steal d with
+    | Some x ->
+        seen := x :: !seen;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo order preserved across growth"
+    (List.init 100 (fun i -> i + 1))
+    (List.rev !seen)
+
+let test_wsd_empty () =
+  let d = Wsd.create ~dummy:0 in
+  Alcotest.(check (option int)) "pop empty" None (Wsd.pop d);
+  Alcotest.(check (option int)) "steal empty" None (Wsd.steal d)
+
+(* ---------- scheduler ---------- *)
+
+let test_scheduler_runs_all () =
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let done_count = ref 0 in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Scheduler.create k task in
+            for i = 1 to 5 do
+              Scheduler.add s
+                (Context.make ~name:(Printf.sprintf "w%d" i) (fun () ->
+                     Context.yield ();
+                     incr done_count))
+            done;
+            Alcotest.(check bool) "completed" true (Scheduler.run_to_completion s))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      Alcotest.(check int) "all finished" 5 !done_count)
+
+let test_scheduler_charges_switch () =
+  let elapsed =
+    H.run ~cost:wallaby (fun env ->
+        let k = env.H.kernel in
+        let result = ref nan in
+        let t =
+          Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+              let s = Scheduler.create k task in
+              Scheduler.add s (Context.make (fun () -> ()));
+              let t0 = Kernel.now k in
+              ignore (Scheduler.run_to_completion s);
+              result := Kernel.now k -. t0)
+        in
+        ignore (Kernel.waitpid k env.H.root t);
+        !result)
+  in
+  let expected =
+    wallaby.Arch.Cost_model.uctx_switch
+    +. wallaby.Arch.Cost_model.ult_sched_overhead
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "one dispatch cost (got %.3e)" elapsed)
+    true
+    (Float.abs (elapsed -. expected) < 1e-12)
+
+let test_scheduler_work_stealing () =
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let victim = Scheduler.create ~policy:Scheduler.Lifo_ws k task in
+            Scheduler.add victim (Context.make (fun () -> ()));
+            Scheduler.add victim (Context.make (fun () -> ()));
+            (match Scheduler.steal victim with
+            | Some uc -> Alcotest.(check bool) "stole one" true (not (Context.is_done uc))
+            | None -> Alcotest.fail "steal failed");
+            Alcotest.(check int) "one left" 1 (Scheduler.pending victim))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_scheduler_fifo_never_steals () =
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Scheduler.create ~policy:Scheduler.Fifo k task in
+            Scheduler.add s (Context.make (fun () -> ()));
+            Alcotest.(check bool) "fifo refuses steal" true
+              (Scheduler.steal s = None))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_scheduler_on_switch_hook () =
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let seen = ref [] in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s =
+              Scheduler.create
+                ~on_switch:(fun uc -> seen := Context.name uc :: !seen)
+                k task
+            in
+            Scheduler.add s (Context.make ~name:"x" (fun () -> Context.yield ()));
+            ignore (Scheduler.run_to_completion s))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      (* two dispatches: initial + after yield *)
+      Alcotest.(check (list string)) "hook per dispatch" [ "x"; "x" ] !seen)
+
+let test_scheduler_no_switch_charge () =
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Scheduler.create ~charge_switch:false k task in
+            Scheduler.add s (Context.make (fun () -> ()));
+            let t0 = Kernel.now k in
+            ignore (Scheduler.run_to_completion s);
+            Alcotest.(check (float 0.0)) "free dispatch" 0.0 (Kernel.now k -. t0))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+let test_scheduler_stuck_when_parked_elsewhere () =
+  (* a context parked with external custody cannot complete the loop *)
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Scheduler.create k task in
+            Scheduler.add s
+              (Context.make (fun () ->
+                   Context.park ~after_suspend:(fun () -> ())));
+            Alcotest.(check bool) "reports incompletion" false
+              (Scheduler.run_to_completion s))
+      in
+      ignore (Kernel.waitpid k env.H.root t))
+
+(* ---------- stack pool ---------- *)
+
+module Sp = Ult.Stack_pool
+module Space = Addrspace.Addr_space
+
+let test_stack_pool_acquire_release_recycles () =
+  let space = Space.create () in
+  let pool = Sp.create ~stack_size:8192 space in
+  let s1 = Sp.acquire pool ~owner_tid:1 in
+  let s2 = Sp.acquire pool ~owner_tid:2 in
+  Alcotest.(check int) "two fresh" 2 (Sp.allocated pool);
+  Alcotest.(check int) "peak 2" 2 (Sp.peak_live pool);
+  Sp.release pool s1;
+  let s3 = Sp.acquire pool ~owner_tid:3 in
+  Alcotest.(check int) "recycled, not carved" 2 (Sp.allocated pool);
+  Alcotest.(check int) "one reuse" 1 (Sp.reused pool);
+  Alcotest.(check int) "generation bumped" 2 s3.Sp.generation;
+  Sp.release pool s2;
+  Sp.release pool s3;
+  Alcotest.(check int) "all parked" 2 (Sp.free_count pool)
+
+let test_stack_pool_stacks_disjoint () =
+  let space = Space.create () in
+  let pool = Sp.create ~stack_size:4096 space in
+  let a = Sp.acquire pool ~owner_tid:1 and b = Sp.acquire pool ~owner_tid:2 in
+  Alcotest.(check bool) "regions disjoint" false
+    (Addrspace.Vma.overlap a.Sp.vma b.Sp.vma)
+
+let test_stack_pool_populated_no_faults () =
+  let space = Space.create () in
+  let pool = Sp.create ~stack_size:8192 ~populated:true space in
+  let s = Sp.acquire pool ~owner_tid:1 in
+  let pt = Space.page_table space in
+  Alcotest.(check bool) "resident at first touch" true
+    (Addrspace.Page_table.touch pt s.Sp.base = `Hit)
+
+let test_stack_pool_trim () =
+  let space = Space.create () in
+  let pool = Sp.create space in
+  let s = Sp.acquire pool ~owner_tid:1 in
+  Sp.release pool s;
+  Alcotest.(check int) "trimmed one" 1 (Sp.trim pool);
+  Alcotest.(check int) "free list empty" 0 (Sp.free_count pool)
+
+let test_stack_pool_release_underflow () =
+  let space = Space.create () in
+  let pool = Sp.create space in
+  let s = Sp.acquire pool ~owner_tid:1 in
+  Sp.release pool s;
+  match Sp.release pool s with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double release accepted"
+
+(* ---------- properties ---------- *)
+
+let prop_wsd_steal_pop_partition =
+  QCheck.Test.make ~name:"steals + pops recover every push" ~count:100
+    QCheck.(list small_nat)
+    (fun xs ->
+      let d = Wsd.create ~dummy:(-1) in
+      List.iter (Wsd.push d) xs;
+      let out = ref [] in
+      let flip = ref true in
+      let rec drain () =
+        let next = if !flip then Wsd.steal d else Wsd.pop d in
+        flip := not !flip;
+        match next with
+        | Some x ->
+            out := x :: !out;
+            drain ()
+        | None -> if Wsd.length d > 0 then drain ()
+      in
+      drain ();
+      List.sort compare !out = List.sort compare xs)
+
+let prop_context_yield_count =
+  QCheck.Test.make ~name:"a context yielding n times needs n+1 resumes"
+    ~count:50
+    QCheck.(int_bound 30)
+    (fun n ->
+      let uc =
+        Context.make (fun () ->
+            for _ = 1 to n do
+              Context.yield ()
+            done)
+      in
+      let rec go resumes =
+        match Context.resume uc with
+        | Context.Yielded -> go (resumes + 1)
+        | Context.Finished -> resumes + 1
+        | Context.Parked _ -> -1
+      in
+      go 0 = n + 1)
+
+let () =
+  Alcotest.run "ult"
+    [
+      ( "context",
+        [
+          Alcotest.test_case "runs to completion" `Quick
+            test_context_runs_to_completion;
+          Alcotest.test_case "yield roundtrip" `Quick
+            test_context_yield_roundtrip;
+          Alcotest.test_case "park callback order" `Quick
+            test_context_park_callback_runs_after_suspend;
+          Alcotest.test_case "double resume rejected" `Quick
+            test_context_double_resume_rejected;
+          Alcotest.test_case "self" `Quick test_context_self;
+          Alcotest.test_case "migrates between KCs" `Quick
+            test_context_migrates_between_resumers;
+          Alcotest.test_case "unique ids" `Quick
+            test_context_names_and_ids_unique;
+        ] );
+      ( "run_queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_rq_fifo;
+          Alcotest.test_case "empty" `Quick test_rq_empty;
+          Alcotest.test_case "filter" `Quick test_rq_filter;
+        ] );
+      ( "ws_deque",
+        [
+          Alcotest.test_case "owner lifo" `Quick test_wsd_lifo_owner;
+          Alcotest.test_case "thief fifo" `Quick test_wsd_fifo_thief;
+          Alcotest.test_case "growth" `Quick test_wsd_growth;
+          Alcotest.test_case "empty" `Quick test_wsd_empty;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "runs all" `Quick test_scheduler_runs_all;
+          Alcotest.test_case "charges switch" `Quick
+            test_scheduler_charges_switch;
+          Alcotest.test_case "work stealing" `Quick
+            test_scheduler_work_stealing;
+          Alcotest.test_case "fifo never steals" `Quick
+            test_scheduler_fifo_never_steals;
+          Alcotest.test_case "on_switch hook" `Quick
+            test_scheduler_on_switch_hook;
+          Alcotest.test_case "charge_switch off" `Quick
+            test_scheduler_no_switch_charge;
+          Alcotest.test_case "parked elsewhere detected" `Quick
+            test_scheduler_stuck_when_parked_elsewhere;
+        ] );
+      ( "stack_pool",
+        [
+          Alcotest.test_case "recycles" `Quick
+            test_stack_pool_acquire_release_recycles;
+          Alcotest.test_case "disjoint stacks" `Quick
+            test_stack_pool_stacks_disjoint;
+          Alcotest.test_case "populated" `Quick
+            test_stack_pool_populated_no_faults;
+          Alcotest.test_case "trim" `Quick test_stack_pool_trim;
+          Alcotest.test_case "double release" `Quick
+            test_stack_pool_release_underflow;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_wsd_steal_pop_partition;
+          QCheck_alcotest.to_alcotest prop_context_yield_count;
+        ] );
+    ]
