@@ -9,7 +9,12 @@
      (targets: table3 table4 table5 figure7 figure8 figure9
       ablation-tls ablation-idle ablation-faults ablation-mn
       ablation-sigmask ablation-blocking ablation-oversub
-      ablation-nonblock ablation-policy ablation-scale mpi real)
+      ablation-nonblock ablation-policy ablation-scale mpi real
+      parallel [--quick])
+
+   The [parallel] target measures the work-stealing multicore fiber
+   scheduler for 1, 2 and 4 domains and writes BENCH_parallel.json;
+   [--quick] shrinks it for CI smoke runs.
 
    Absolute numbers for Tables III-V are expected to match the paper
    closely (the base rows are calibration, the composites are validated
@@ -727,6 +732,132 @@ let run_real () =
     (bechamel_tests ())
 
 (* ---------------------------------------------------------------- *)
+(* Parallel fiber runtime: scaling micro-benchmarks (wall clock)     *)
+(* ---------------------------------------------------------------- *)
+
+(* Spawn/join throughput, yield latency and cross-domain ping-pong on
+   [Fiber.run_parallel] for 1, 2 and 4 domains, plus the 1-vs-N speedup
+   curve on the embarrassingly parallel spawn/join workload.  Results
+   also go to BENCH_parallel.json (schema documented in README.md) so
+   later PRs can track the perf trajectory.  Speedup beyond 1.0 needs
+   real cores: the host core count is recorded in the JSON. *)
+
+let parallel_domain_counts = [ 1; 2; 4 ]
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let parallel_json ~quick ~results ~speedups =
+  let buf = Buffer.create 2048 in
+  let result_obj (r : Par_workload.result) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"domains\": %d, \"items\": %d, \"elapsed_s\": \
+       %.9f, \"throughput_per_s\": %.3f, \"steals\": %d}"
+      (json_escape r.Par_workload.name)
+      r.Par_workload.domains r.Par_workload.items r.Par_workload.elapsed
+      r.Par_workload.throughput r.Par_workload.steals
+  in
+  let speedup_obj ((r : Par_workload.result), s) =
+    Printf.sprintf
+      "    {\"name\": \"%s\", \"domains\": %d, \"speedup_vs_1\": %.4f}"
+      (json_escape r.Par_workload.name)
+      r.Par_workload.domains s
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"schema\": \"ulp-pip/parallel-bench/v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf "  \"results\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map result_obj results));
+  Buffer.add_string buf "\n  ],\n  \"speedups\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map speedup_obj speedups));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let run_parallel_bench ~quick () =
+  let fibers = if quick then 2_000 else 20_000 in
+  let work = if quick then 250 else 1_000 in
+  let yields = if quick then 50 else 200 in
+  let yfibers = if quick then 20 else 100 in
+  let msgs = if quick then 2_000 else 20_000 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Parallel fiber runtime (work stealing on OCaml domains; host has \
+            %d core%s)"
+           (Domain.recommended_domain_count ())
+           (if Domain.recommended_domain_count () = 1 then "" else "s"))
+      ~headers:
+        [ "workload"; "domains"; "items"; "elapsed [s]"; "items/s"; "steals" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      ()
+  in
+  let row (r : Par_workload.result) =
+    Table.add_row t
+      [
+        r.Par_workload.name;
+        string_of_int r.Par_workload.domains;
+        string_of_int r.Par_workload.items;
+        sci r.Par_workload.elapsed;
+        Printf.sprintf "%.0f" r.Par_workload.throughput;
+        string_of_int r.Par_workload.steals;
+      ]
+  in
+  (* spawn/join speedup curve first: its 1-domain run is the baseline *)
+  let curve =
+    Par_workload.speedup_curve ~domain_counts:parallel_domain_counts ~fibers
+      ~work
+  in
+  let spawn_results = List.map fst curve in
+  let yield_results =
+    List.map
+      (fun d -> Par_workload.yield_storm ~domains:d ~fibers:yfibers ~yields)
+      parallel_domain_counts
+  in
+  let pingpong_results =
+    List.map
+      (fun d -> Par_workload.ping_pong ~domains:d ~msgs)
+      parallel_domain_counts
+  in
+  List.iter row spawn_results;
+  List.iter row yield_results;
+  List.iter row pingpong_results;
+  Table.print t;
+  let st =
+    Table.create ~title:"Speedup vs 1 domain (spawn_join)"
+      ~headers:[ "domains"; "speedup" ]
+      ~aligns:[ Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun ((r : Par_workload.result), s) ->
+      Table.add_row st
+        [ string_of_int r.Par_workload.domains; Printf.sprintf "%.2fx" s ])
+    curve;
+  Table.print st;
+  print_endline
+    "  (LIFO owner pop + randomized FIFO steals per domain, MPSC injection\n\
+    \   for cross-thread wake-ups, spin-then-block idle workers -- the\n\
+    \   Section VII M:N extension on real cores.  Speedup > 1 requires a\n\
+    \   multicore host; host_cores is recorded in BENCH_parallel.json)";
+  let results = spawn_results @ yield_results @ pingpong_results in
+  let json = parallel_json ~quick ~results ~speedups:curve in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_parallel.json (%d results)\n" (List.length results)
+
+(* ---------------------------------------------------------------- *)
 (* main                                                              *)
 (* ---------------------------------------------------------------- *)
 
@@ -753,10 +884,13 @@ let experiments =
   ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --quick shrinks the parallel workloads for CI smoke runs *)
+  let quick = List.mem "--quick" args in
+  let names = List.filter (fun a -> a <> "--quick") args in
+  let experiments = experiments @ [ ("parallel", run_parallel_bench ~quick) ] in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match names with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->

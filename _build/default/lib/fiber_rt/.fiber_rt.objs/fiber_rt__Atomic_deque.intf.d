@@ -1,0 +1,1 @@
+lib/fiber_rt/atomic_deque.mli:

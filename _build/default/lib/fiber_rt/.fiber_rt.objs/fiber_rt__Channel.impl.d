@@ -1,1 +1,1 @@
-lib/fiber_rt/channel.ml: Fiber Queue
+lib/fiber_rt/channel.ml: Fiber List Mutex Queue

@@ -1,1 +1,1 @@
-lib/fiber_rt/fiber.ml: Atomic Condition Effect Executor Fun List Mutex Queue
+lib/fiber_rt/fiber.ml: Array Atomic Atomic_deque Condition Domain Effect Executor Fun List Mpsc_queue Mutex Printexc Queue

@@ -1,0 +1,1 @@
+lib/fiber_rt/mpsc_queue.ml: Atomic List

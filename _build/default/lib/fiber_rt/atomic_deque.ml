@@ -1,0 +1,97 @@
+(* The real Chase-Lev work-stealing deque, on OCaml 5 [Atomic].
+
+   One owner domain pushes and pops at the bottom (LIFO); any number of
+   thief domains steal at the top (FIFO, oldest work first).  This is
+   the concurrent counterpart of the single-threaded policy model in
+   lib/ult/ws_deque.ml and satisfies the same interface
+   (Ult.Deque_intf.S).
+
+   OCaml [Atomic] operations are sequentially consistent, which gives us
+   the fences the algorithm needs for free:
+   - [push] publishes the element store with the SC store to [bottom];
+   - [pop] makes its [bottom] decrement visible before reading [top]
+     (the store-load fence at the heart of Chase-Lev);
+   - [steal] claims an element with a CAS on [top]; a failed CAS means a
+     racing owner/thief won and the read value is discarded.
+
+   Indices grow monotonically (no ABA).  The circular buffer doubles
+   when full; the old buffer is never written again after a grow, so a
+   thief holding the stale buffer still reads valid elements for any
+   index its CAS can claim. *)
+
+type 'a buffer = { mask : int; slots : 'a array }
+
+type 'a t = {
+  top : int Atomic.t; (* next steal slot *)
+  bottom : int Atomic.t; (* next push slot *)
+  buf : 'a buffer Atomic.t;
+  dummy : 'a; (* fills vacated slots so the GC can drop them *)
+}
+
+let initial_size = 8 (* small on purpose: exercises grow-under-load *)
+
+let make_buffer n dummy = { mask = n - 1; slots = Array.make n dummy }
+
+let create ~dummy =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buffer initial_size dummy);
+    dummy;
+  }
+
+let length t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+let is_empty t = length t = 0
+
+(* Owner only.  Copy the live window [top, bottom) into a buffer twice
+   the size; stale thieves keep reading the old (now frozen) buffer. *)
+let grow t (old : 'a buffer) ~top ~bottom =
+  let buf = make_buffer (2 * (old.mask + 1)) t.dummy in
+  for i = top to bottom - 1 do
+    buf.slots.(i land buf.mask) <- old.slots.(i land old.mask)
+  done;
+  Atomic.set t.buf buf;
+  buf
+
+let push t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let a = Atomic.get t.buf in
+  let a = if b - tp > a.mask then grow t a ~top:tp ~bottom:b else a in
+  a.slots.(b land a.mask) <- x;
+  Atomic.set t.bottom (b + 1)
+
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let a = Atomic.get t.buf in
+  Atomic.set t.bottom b (* SC store: visible before the [top] load *);
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* deque was empty; undo *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then begin
+    let x = a.slots.(b land a.mask) in
+    a.slots.(b land a.mask) <- t.dummy;
+    Some x
+  end
+  else begin
+    (* last element: race the thieves for it with their own CAS *)
+    let x = a.slots.(b land a.mask) in
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    if won then a.slots.(b land a.mask) <- t.dummy;
+    Atomic.set t.bottom (tp + 1);
+    if won then Some x else None
+  end
+
+let rec steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    let a = Atomic.get t.buf in
+    let x = a.slots.(tp land a.mask) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then Some x
+    else steal t (* lost the race; re-read the indices *)
+  end

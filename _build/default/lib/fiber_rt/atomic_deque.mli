@@ -1,0 +1,26 @@
+(** The real Chase-Lev work-stealing deque on OCaml 5 [Atomic]: one
+    owner domain pushes/pops at the bottom (LIFO), any number of thief
+    domains steal the oldest element at the top.  Lock-free; the buffer
+    grows under load; indices are monotonic (no ABA).
+
+    The concurrent counterpart of the simulation-only policy model
+    [Ult.Ws_deque] — both satisfy [Ult.Deque_intf.S]. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+(** [dummy] fills vacated slots so the GC can reclaim popped values. *)
+
+val length : 'a t -> int
+(** Snapshot; may be stale under concurrent mutation. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: newest first. *)
+
+val steal : 'a t -> 'a option
+(** Any thief domain: oldest first. *)

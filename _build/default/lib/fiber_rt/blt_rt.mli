@@ -1,12 +1,13 @@
 (** The bi-level thread API on the real fiber runtime.
 
-    A fiber normally runs decoupled on the scheduler thread;
-    {!coupled} ships a section to the fiber's own executor thread (its
-    original KC) and suspends the fiber meanwhile — the scheduler keeps
-    running every other fiber.  Because each fiber always couples to the
-    {e same} OS thread, thread-keyed kernel state and blocking syscalls
-    behave exactly as on a plain kernel thread: system-call consistency,
-    for real. *)
+    A fiber normally runs decoupled on a scheduler thread (or worker
+    domain, under {!Fiber.run_parallel}); {!coupled} ships a section to
+    the fiber's own executor thread (its original KC) and suspends the
+    fiber meanwhile — the scheduler keeps running every other fiber.
+    Because each fiber always couples to the {e same} OS thread, even
+    after migrating between domains, thread-keyed kernel state and
+    blocking syscalls behave exactly as on a plain kernel thread:
+    system-call consistency, for real. *)
 
 exception Coupled_raised of exn
 (** Wraps an exception raised inside a coupled section. *)
@@ -20,7 +21,16 @@ val coupled : (unit -> 'a) -> 'a
 
 val original_kc_thread_id : unit -> int
 (** The OS thread id of this fiber's original KC (stable across
-    {!coupled} calls — the consistency property). *)
+    {!coupled} calls — the consistency property, preserved even when
+    the runnable half of the fiber migrates between domains). *)
+
+val kc_failures : unit -> int
+(** Raising jobs recorded on this fiber's original KC (raw
+    {!Executor.submit} uses; {!coupled} reports its own failures via
+    {!Coupled_raised} instead). *)
+
+val kc_last_error : unit -> exn option
+(** The most recent exception recorded on this fiber's original KC. *)
 
 val coupled_syscall : (unit -> 'a) -> 'a
 (** Alias of {!coupled}, named for its intended use. *)

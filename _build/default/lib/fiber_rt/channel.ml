@@ -1,11 +1,20 @@
 (* Bounded FIFO channels for fibers: the communication primitive the
-   real runtime's examples and tests build pipelines from.  All
-   operations run on the scheduler thread (fibers are cooperative), so
-   no locking is needed beyond the suspend/wake protocol. *)
+   real runtime's examples, tests and benches build pipelines from.
+
+   Channel state is guarded by a mutex so the same channel works under
+   both engines: uncontended on the single-threaded [Fiber.run], and a
+   real lock under [Fiber.run_parallel] where the two endpoints may sit
+   on different domains.  A fiber that must wait registers its waker
+   *while still holding the lock* (the unlock happens inside the
+   [Fiber.suspend] registration callback, after the waker is enqueued),
+   so a peer on another domain cannot slip in between the state check
+   and the registration -- the classic lost-wakeup race.  Wakers are
+   always invoked outside the lock. *)
 
 exception Closed
 
 type 'a t = {
+  mutex : Mutex.t;
   capacity : int;
   items : 'a Queue.t;
   recv_waiters : (unit -> unit) Queue.t;
@@ -16,6 +25,7 @@ type 'a t = {
 let create ?(capacity = 1) () =
   if capacity < 1 then invalid_arg "Channel.create: capacity must be >= 1";
   {
+    mutex = Mutex.create ();
     capacity;
     items = Queue.create ();
     recv_waiters = Queue.create ();
@@ -23,52 +33,91 @@ let create ?(capacity = 1) () =
     closed = false;
   }
 
-let length t = Queue.length t.items
-let is_closed t = t.closed
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n
 
-let wake_one q = match Queue.take_opt q with Some w -> w () | None -> ()
-let wake_all q = Queue.iter (fun w -> w ()) q
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+(* Park on [waiters]; called with the lock held, resumes with it
+   re-taken. *)
+let wait_on t waiters =
+  Fiber.suspend (fun wake ->
+      Queue.push wake waiters;
+      Mutex.unlock t.mutex);
+  Mutex.lock t.mutex
 
 (* Send, suspending while the channel is full.
    @raise Closed if the channel is (or becomes) closed. *)
 let send t v =
-  if t.closed then raise Closed;
+  Mutex.lock t.mutex;
   while Queue.length t.items >= t.capacity && not t.closed do
-    Fiber.suspend (fun wake -> Queue.push wake t.send_waiters)
+    wait_on t t.send_waiters
   done;
-  if t.closed then raise Closed;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
   Queue.push v t.items;
-  wake_one t.recv_waiters
+  let waiter = Queue.take_opt t.recv_waiters in
+  Mutex.unlock t.mutex;
+  match waiter with Some wake -> wake () | None -> ()
 
 (* Receive, suspending while the channel is empty.  Returns [None] once
    the channel is closed and drained. *)
-let rec recv t =
-  match Queue.take_opt t.items with
-  | Some v ->
-      wake_one t.send_waiters;
-      Some v
-  | None ->
-      if t.closed then None
-      else begin
-        Fiber.suspend (fun wake -> Queue.push wake t.recv_waiters);
-        recv t
-      end
+let recv t =
+  Mutex.lock t.mutex;
+  let rec go () =
+    match Queue.take_opt t.items with
+    | Some v ->
+        let waiter = Queue.take_opt t.send_waiters in
+        Mutex.unlock t.mutex;
+        (match waiter with Some wake -> wake () | None -> ());
+        Some v
+    | None ->
+        if t.closed then begin
+          Mutex.unlock t.mutex;
+          None
+        end
+        else begin
+          wait_on t t.recv_waiters;
+          go ()
+        end
+  in
+  go ()
 
 let try_recv t =
+  Mutex.lock t.mutex;
   match Queue.take_opt t.items with
   | Some v ->
-      wake_one t.send_waiters;
+      let waiter = Queue.take_opt t.send_waiters in
+      Mutex.unlock t.mutex;
+      (match waiter with Some wake -> wake () | None -> ());
       Some v
-  | None -> None
+  | None ->
+      Mutex.unlock t.mutex;
+      None
 
 (* Close: senders raise, receivers drain then see [None]. *)
 let close t =
-  if not t.closed then begin
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
     t.closed <- true;
-    wake_all t.recv_waiters;
+    let wakes =
+      List.of_seq (Queue.to_seq t.recv_waiters)
+      @ List.of_seq (Queue.to_seq t.send_waiters)
+    in
     Queue.clear t.recv_waiters;
-    wake_all t.send_waiters;
-    Queue.clear t.send_waiters
+    Queue.clear t.send_waiters;
+    Mutex.unlock t.mutex;
+    List.iter (fun wake -> wake ()) wakes
   end
 
 (* Fold over everything received until the channel closes. *)

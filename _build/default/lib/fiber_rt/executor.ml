@@ -12,6 +12,8 @@ type t = {
   mutable stopping : bool;
   mutable thread : Thread.t option;
   mutable executed : int;
+  mutable failures : int; (* jobs that raised *)
+  mutable last_error : exn option;
 }
 
 let worker t () =
@@ -24,7 +26,14 @@ let worker t () =
     else begin
       let job = Queue.pop t.jobs in
       Mutex.unlock t.mutex;
-      (try job () with _ -> ());
+      (* A raising job must not kill the KC thread, but silently eating
+         the exception hides real failures: record it for the owner. *)
+      (try job ()
+       with exn ->
+         Mutex.lock t.mutex;
+         t.failures <- t.failures + 1;
+         t.last_error <- Some exn;
+         Mutex.unlock t.mutex);
       t.executed <- t.executed + 1;
       loop ()
     end
@@ -40,6 +49,8 @@ let create () =
       stopping = false;
       thread = None;
       executed = 0;
+      failures = 0;
+      last_error = None;
     }
   in
   t.thread <- Some (Thread.create (worker t) ());
@@ -58,6 +69,18 @@ let submit t job =
   end
 
 let executed t = t.executed
+
+let failures t =
+  Mutex.lock t.mutex;
+  let n = t.failures in
+  Mutex.unlock t.mutex;
+  n
+
+let last_error t =
+  Mutex.lock t.mutex;
+  let e = t.last_error in
+  Mutex.unlock t.mutex;
+  e
 
 (* The OS thread id jobs run on (for consistency assertions). *)
 let thread_id t =

@@ -11,6 +11,14 @@ val submit : t -> (unit -> unit) -> unit
 (** Enqueue a job.  @raise Invalid_argument after {!shutdown}. *)
 
 val executed : t -> int
+
+val failures : t -> int
+(** Jobs that raised.  A raising job never kills the executor thread;
+    it is counted here and kept in {!last_error}. *)
+
+val last_error : t -> exn option
+(** The most recent exception a job raised, if any. *)
+
 val thread_id : t -> int
 
 val shutdown : t -> unit

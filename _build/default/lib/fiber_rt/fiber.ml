@@ -1,17 +1,35 @@
 (* A real cooperative fiber runtime on OCaml effect handlers: user
-   contexts as one-shot continuations, scheduled by a single OS thread,
-   with a thread-safe injection queue so that other OS threads (the
-   executors of [Blt_rt]) can wake suspended fibers.
+   contexts as one-shot continuations, with a thread-safe injection
+   path so other OS threads (the executors of [Blt_rt]) can wake
+   suspended fibers.
 
-   This is substrate S2 of DESIGN.md: it shows that the BLT control flow
-   is real executable code, and it carries the wall-clock micro-benches
-   of the bench harness. *)
+   Two engines share one fiber abstraction and one effect vocabulary:
+
+   - [run]: the original single-threaded scheduler (one OS thread
+     drains a FIFO ready queue) -- deterministic, used by the
+     simulation-adjacent tests and demos.
+
+   - [run_parallel ~domains:n]: the Section VII M:N extension made
+     real on OCaml 5 domains.  Each domain owns a Chase-Lev
+     [Atomic_deque] (LIFO owner pop, FIFO steal), victims are chosen
+     at random, cross-thread wake-ups arrive on a lock-free MPSC
+     injection channel, and idle workers spin briefly before blocking
+     on a condition variable (the spin-then-block idle-KC policy of
+     the paper's Table II).  Only *runnable* continuations migrate
+     between domains; a fiber's blocking jobs still route to its home
+     [Executor] (the original-KC analogue), so system-call consistency
+     is preserved under migration.
+
+   This is substrate S3 of DESIGN.md (S2 being the single-threaded
+   engine): it shows that the BLT control flow is real executable code
+   and carries the wall-clock micro-benches of the bench harness. *)
 
 type fiber = {
   fid : int;
   mutable state : [ `Runnable | `Running | `Suspended | `Done ];
   mutable joiners : (unit -> unit) list; (* wake functions of joiners *)
   mutable executor : Executor.t option; (* lazily-created original KC *)
+  lock : Mutex.t; (* guards [state]'s Done transition and [joiners] *)
 }
 
 type _ Effect.t +=
@@ -32,6 +50,22 @@ type scheduler = {
   mutable current : fiber option;
   mutable executors : Executor.t list;
 }
+
+(* Completion must be safe against joiners on other domains (the
+   parallel engine) and is harmless extra locking on the single
+   engine: publish Done and snatch the joiner list atomically, then
+   wake outside the lock. *)
+let finish_fiber fb =
+  Mutex.lock fb.lock;
+  fb.state <- `Done;
+  let joiners = fb.joiners in
+  fb.joiners <- [];
+  Mutex.unlock fb.lock;
+  List.iter (fun wake -> wake ()) joiners
+
+(* ================================================================ *)
+(* Engine 1: the single-threaded scheduler                           *)
+(* ================================================================ *)
 
 let make_scheduler () =
   {
@@ -60,7 +94,13 @@ let drain_injected sched =
 let new_fiber sched =
   sched.next_fid <- sched.next_fid + 1;
   sched.live <- sched.live + 1;
-  { fid = sched.next_fid; state = `Runnable; joiners = []; executor = None }
+  {
+    fid = sched.next_fid;
+    state = `Runnable;
+    joiners = [];
+    executor = None;
+    lock = Mutex.create ();
+  }
 
 let rec exec sched (fb : fiber) (thunk : unit -> unit) =
   sched.current <- Some fb;
@@ -74,11 +114,8 @@ and handle sched fb body =
     {
       retc =
         (fun () ->
-          fb.state <- `Done;
           sched.live <- sched.live - 1;
-          let joiners = fb.joiners in
-          fb.joiners <- [];
-          List.iter (fun wake -> wake ()) joiners);
+          finish_fiber fb);
       exnc = raise;
       effc =
         (fun (type b) (eff : b Effect.t) ->
@@ -135,6 +172,258 @@ let run_loop sched =
   in
   loop ()
 
+(* ================================================================ *)
+(* Engine 2: the parallel work-stealing scheduler (OCaml 5 domains)  *)
+(* ================================================================ *)
+
+type pworker = {
+  wid : int;
+  deque : (unit -> unit) Atomic_deque.t; (* runnable continuations *)
+  mutable rng : int; (* xorshift state for victim selection *)
+  mutable steals : int;
+  mutable tick : int; (* tasks run; paces the injection-queue check *)
+}
+
+type psched = {
+  workers : pworker array;
+  pinject : (unit -> unit) Mpsc_queue.t; (* cross-thread wake-ups *)
+  plive : int Atomic.t;
+  pnext_fid : int Atomic.t;
+  stop : bool Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  idle_mutex : Mutex.t;
+  idle_cond : Condition.t;
+  mutable n_idle : int; (* guarded by [idle_mutex] *)
+  mutable n_running : int; (* workers still in their loop; idem *)
+  idle_flag : bool Atomic.t; (* mirrors [n_idle > 0]; Dekker with pushers *)
+  pexec_mutex : Mutex.t;
+  mutable pexecutors : Executor.t list;
+}
+
+(* The worker executing on this domain, if any. *)
+type pctx = { ps : psched; w : pworker }
+
+let pctx_key : pctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+(* Spin-then-block: BUSYWAIT rounds before parking.  Spinning only pays
+   when another core can produce work meanwhile; on a single-core host
+   it just burns the producer's timeslice (the latency/power knob of
+   the paper's Table II, resolved per host). *)
+let spin_budget =
+  if Domain.recommended_domain_count () > 1 then 256 else 0
+let inject_check_interval = 64 (* drain the MPSC at least this often *)
+
+let make_psched ~domains =
+  {
+    workers =
+      Array.init domains (fun wid ->
+          {
+            wid;
+            deque = Atomic_deque.create ~dummy:ignore;
+            rng = (wid * 0x9e3779b9) lor 1;
+            steals = 0;
+            tick = 0;
+          });
+    pinject = Mpsc_queue.create ();
+    plive = Atomic.make 0;
+    pnext_fid = Atomic.make 1;
+    stop = Atomic.make false;
+    failure = Atomic.make None;
+    idle_mutex = Mutex.create ();
+    idle_cond = Condition.create ();
+    n_idle = 0;
+    n_running = domains;
+    idle_flag = Atomic.make false;
+    pexec_mutex = Mutex.create ();
+    pexecutors = [];
+  }
+
+(* Unpark blocked workers if any.  The atomic flag makes the common
+   nobody-is-idle path lock-free. *)
+let wake_idle ps =
+  if Atomic.get ps.idle_flag then begin
+    Mutex.lock ps.idle_mutex;
+    Condition.broadcast ps.idle_cond;
+    Mutex.unlock ps.idle_mutex
+  end
+
+(* Make a runnable continuation available: onto the local deque when
+   called from a worker of this scheduler, otherwise (executor threads,
+   foreign domains) onto the MPSC injection channel. *)
+let pschedule ps thunk =
+  (match Domain.DLS.get pctx_key with
+  | Some c when c.ps == ps -> Atomic_deque.push c.w.deque thunk
+  | _ -> Mpsc_queue.push ps.pinject thunk);
+  wake_idle ps
+
+let pstop ps =
+  Atomic.set ps.stop true;
+  Mutex.lock ps.idle_mutex;
+  Condition.broadcast ps.idle_cond;
+  Mutex.unlock ps.idle_mutex
+
+let pnew_fiber ps =
+  Atomic.incr ps.plive;
+  {
+    fid = Atomic.fetch_and_add ps.pnext_fid 1;
+    state = `Runnable;
+    joiners = [];
+    executor = None;
+    lock = Mutex.create ();
+  }
+
+let rec pexec (fb : fiber) (thunk : unit -> unit) =
+  fb.state <- `Running;
+  thunk ()
+
+and phandle ps fb body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          finish_fiber fb;
+          if Atomic.fetch_and_add ps.plive (-1) = 1 then pstop ps);
+      exnc = raise (* caught by the worker loop, aborts the run *);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Yield ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  fb.state <- `Runnable;
+                  (* the global FIFO, not the local LIFO deque: a
+                     self-push would be re-popped immediately and
+                     starve co-located fibers *)
+                  Mpsc_queue.push ps.pinject (fun () ->
+                      pexec fb (fun () -> continue k ()));
+                  wake_idle ps)
+          | Suspend register ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  fb.state <- `Suspended;
+                  let fired = Atomic.make false in
+                  let wake () =
+                    if not (Atomic.exchange fired true) then
+                      pschedule ps (fun () ->
+                          pexec fb (fun () -> continue k ()))
+                  in
+                  register wake)
+          | Spawn body' ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  let child = pnew_fiber ps in
+                  pschedule ps (fun () -> pexec child (fun () -> phandle ps child body'));
+                  continue k child)
+          | Self -> Some (fun (k : (b, unit) continuation) -> continue k fb)
+          | _ -> None);
+    }
+
+let xorshift x =
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  (x lxor (x lsl 17)) land max_int
+
+(* Drain the injection channel into the local deque; the batch head is
+   returned to run now, the rest become stealable local work. *)
+let take_injected ps w =
+  match Mpsc_queue.pop_all ps.pinject with
+  | [] -> None
+  | x :: rest ->
+      List.iter (Atomic_deque.push w.deque) rest;
+      if rest <> [] then wake_idle ps;
+      Some x
+
+(* Randomized victim selection: up to 4n probes before giving up. *)
+let try_steal ps w =
+  let n = Array.length ps.workers in
+  if n = 1 then None
+  else begin
+    let rec probe tries =
+      if tries = 0 then None
+      else begin
+        w.rng <- xorshift w.rng;
+        let v = w.rng mod n in
+        if v = w.wid then probe (tries - 1)
+        else
+          match Atomic_deque.steal ps.workers.(v).deque with
+          | Some _ as r ->
+              w.steals <- w.steals + 1;
+              r
+          | None -> probe (tries - 1)
+      end
+    in
+    probe (4 * n)
+  end
+
+let next_task ps w =
+  w.tick <- w.tick + 1;
+  (* starvation guard: under a steady local load, still look at the
+     injection channel periodically so external wake-ups make progress *)
+  let injected_first =
+    if w.tick mod inject_check_interval = 0 then take_injected ps w else None
+  in
+  match injected_first with
+  | Some _ as r -> r
+  | None -> (
+      match Atomic_deque.pop w.deque with
+      | Some _ as r -> r
+      | None -> (
+          match take_injected ps w with
+          | Some _ as r -> r
+          | None -> try_steal ps w))
+
+let work_available ps =
+  (not (Mpsc_queue.is_empty ps.pinject))
+  || Array.exists (fun w -> not (Atomic_deque.is_empty w.deque)) ps.workers
+
+(* The idle-KC policy (paper Table II): spin briefly (BUSYWAIT -- lowest
+   wake latency), then block on the condition variable (BLOCKING -- no
+   burn).  Pushers look at [idle_flag] after their SC push, parkers set
+   it before their re-check, so a wake-up cannot be lost. *)
+let park ps =
+  let rec spin i =
+    if i > 0 && not (Atomic.get ps.stop) && not (work_available ps) then begin
+      Domain.cpu_relax ();
+      spin (i - 1)
+    end
+  in
+  spin spin_budget;
+  if (not (Atomic.get ps.stop)) && not (work_available ps) then begin
+    Mutex.lock ps.idle_mutex;
+    ps.n_idle <- ps.n_idle + 1;
+    Atomic.set ps.idle_flag true;
+    while (not (work_available ps)) && not (Atomic.get ps.stop) do
+      Condition.wait ps.idle_cond ps.idle_mutex
+    done;
+    ps.n_idle <- ps.n_idle - 1;
+    if ps.n_idle = 0 then Atomic.set ps.idle_flag false;
+    Mutex.unlock ps.idle_mutex
+  end
+
+let worker_loop ps w =
+  Domain.DLS.set pctx_key (Some { ps; w });
+  let rec go () =
+    if not (Atomic.get ps.stop) then begin
+      (match next_task ps w with
+      | Some thunk -> (
+          try thunk ()
+          with exn ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set ps.failure None (Some (exn, bt)));
+            pstop ps)
+      | None -> park ps);
+      go ()
+    end
+  in
+  go ();
+  Domain.DLS.set pctx_key None;
+  (* last worker out lets [run_parallel] reap the executors *)
+  Mutex.lock ps.idle_mutex;
+  ps.n_running <- ps.n_running - 1;
+  Condition.broadcast ps.idle_cond;
+  Mutex.unlock ps.idle_mutex
+
 (* ---------- public API ---------- *)
 
 (* The ambient scheduler of the calling [run], stored per OS thread
@@ -158,6 +447,56 @@ let run main =
       Queue.push (fun () -> exec sched fb (fun () -> handle sched fb main)) sched.ready;
       run_loop sched)
 
+type par_stats = { par_domains : int; par_steals : int }
+
+(* Run [main] plus everything it spawns to completion on [domains]
+   domains (the calling domain is worker 0). *)
+let run_parallel ?domains ?on_stats main =
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if domains < 1 then invalid_arg "Fiber.run_parallel: domains must be >= 1";
+  (match Domain.DLS.get pctx_key with
+  | Some _ -> invalid_arg "Fiber.run_parallel: already inside run_parallel"
+  | None -> ());
+  let ps = make_psched ~domains in
+  let fb = pnew_fiber ps in
+  Mpsc_queue.push ps.pinject (fun () -> pexec fb (fun () -> phandle ps fb main));
+  let helpers =
+    Array.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop ps ps.workers.(i + 1)))
+  in
+  worker_loop ps ps.workers.(0);
+  (* Executors may be registered up to the very last thunk a helper
+     runs, so only reap them once every worker loop has exited; the
+     executors must be shut down BEFORE joining the helper domains --
+     a domain does not terminate while OS threads it created (the
+     executors of fibers that ran there) are still alive. *)
+  Mutex.lock ps.idle_mutex;
+  while ps.n_running > 0 do
+    Condition.wait ps.idle_cond ps.idle_mutex
+  done;
+  Mutex.unlock ps.idle_mutex;
+  Mutex.lock ps.pexec_mutex;
+  let executors = ps.pexecutors in
+  ps.pexecutors <- [];
+  Mutex.unlock ps.pexec_mutex;
+  List.iter Executor.shutdown executors;
+  Array.iter Domain.join helpers;
+  (match on_stats with
+  | Some f ->
+      f
+        {
+          par_domains = domains;
+          par_steals = Array.fold_left (fun acc w -> acc + w.steals) 0 ps.workers;
+        }
+  | None -> ());
+  match Atomic.get ps.failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
 let spawn body = Effect.perform (Spawn body)
 let yield () = Effect.perform Yield
 let self () = Effect.perform Self
@@ -168,12 +507,46 @@ let state fb = fb.state
    once from any OS thread. *)
 let suspend register = Effect.perform (Suspend register)
 
-(* Wait until [fb] finishes. *)
+(* Wait until [fb] finishes.  The lock pairs with [finish_fiber]: either
+   we see Done (and, having synchronized on the lock, every write the
+   fiber made before finishing), or our waker is on the joiner list
+   before Done is published. *)
 let join fb =
-  if fb.state <> `Done then
+  let done_already =
+    Mutex.lock fb.lock;
+    let d = fb.state = `Done in
+    Mutex.unlock fb.lock;
+    d
+  in
+  if not done_already then
     suspend (fun wake ->
-        (* check-then-register is race-free: only the scheduler thread
-           mutates joiners and state *)
-        if fb.state = `Done then wake () else fb.joiners <- wake :: fb.joiners)
+        Mutex.lock fb.lock;
+        if fb.state = `Done then begin
+          Mutex.unlock fb.lock;
+          wake ()
+        end
+        else begin
+          fb.joiners <- wake :: fb.joiners;
+          Mutex.unlock fb.lock
+        end)
 
-let live () = (scheduler ()).live
+let live () =
+  match Domain.DLS.get pctx_key with
+  | Some c -> Atomic.get c.ps.plive
+  | None -> (scheduler ()).live
+
+let worker_index () =
+  match Domain.DLS.get pctx_key with Some c -> Some c.w.wid | None -> None
+
+(* Track an executor (original KC) for shutdown when the run ends;
+   works under both engines. *)
+let register_executor e =
+  match Domain.DLS.get pctx_key with
+  | Some c ->
+      Mutex.lock c.ps.pexec_mutex;
+      c.ps.pexecutors <- e :: c.ps.pexecutors;
+      Mutex.unlock c.ps.pexec_mutex
+  | None -> (
+      match !current_sched with
+      | Some s -> s.executors <- e :: s.executors
+      | None -> raise Not_in_scheduler)

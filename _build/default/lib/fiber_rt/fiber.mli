@@ -1,11 +1,20 @@
 (** A real cooperative fiber runtime on OCaml effect handlers
-    (substrate S2 of DESIGN.md).
+    (substrates S2 and S3 of DESIGN.md).
 
-    User contexts are one-shot continuations scheduled by the OS thread
-    that called {!run}; a thread-safe injection queue lets other OS
-    threads (the executors of {!Blt_rt}) wake suspended fibers.  This
-    demonstrates the BLT control flow as genuinely executable code and
-    carries the wall-clock micro-benches. *)
+    Two engines share one fiber abstraction:
+
+    - {!run}: user contexts are one-shot continuations scheduled by the
+      OS thread that called it; a thread-safe injection queue lets other
+      OS threads (the executors of {!Blt_rt}) wake suspended fibers.
+
+    - {!run_parallel}: the paper's Section VII M:N extension on OCaml 5
+      domains — per-domain Chase-Lev deques ({!Atomic_deque}, LIFO owner
+      pop / FIFO randomized steal), a lock-free MPSC injection channel
+      for cross-thread wake-ups, and a spin-then-block idle policy
+      (the paper's Table II idle-KC policies).  Only runnable
+      continuations migrate between domains; a fiber's blocking jobs
+      still route to its home executor, preserving system-call
+      consistency under migration. *)
 
 type fiber = {
   fid : int;
@@ -13,6 +22,7 @@ type fiber = {
   mutable joiners : (unit -> unit) list;
   mutable executor : Executor.t option;
       (** lazily-created original KC ({!Blt_rt}) *)
+  lock : Mutex.t;  (** guards the Done transition and [joiners] *)
 }
 
 type scheduler = {
@@ -29,11 +39,27 @@ type scheduler = {
 exception Not_in_scheduler
 
 val run : (unit -> unit) -> unit
-(** Run [main] plus everything it spawns to completion; shuts the
-    executors down on exit. *)
+(** Run [main] plus everything it spawns to completion on the calling
+    OS thread; shuts the executors down on exit. *)
+
+type par_stats = {
+  par_domains : int;  (** worker domains of the finished run *)
+  par_steals : int;  (** successful deque steals across all workers *)
+}
+
+val run_parallel :
+  ?domains:int -> ?on_stats:(par_stats -> unit) -> (unit -> unit) -> unit
+(** Run [main] plus everything it spawns to completion on [domains]
+    worker domains (default [Domain.recommended_domain_count ()]; the
+    calling domain is worker 0).  Executors are shut down on exit; an
+    uncaught exception in any fiber aborts the run and re-raises here.
+    [on_stats] receives scheduler counters after completion.
+    @raise Invalid_argument for [domains < 1] or when nested. *)
 
 val scheduler : unit -> scheduler
-(** The ambient scheduler.  @raise Not_in_scheduler outside {!run}. *)
+(** The ambient single-threaded scheduler.
+    @raise Not_in_scheduler outside {!run} (including under
+    {!run_parallel}, which has no [scheduler]). *)
 
 val spawn : (unit -> unit) -> fiber
 val yield : unit -> unit
@@ -43,7 +69,20 @@ val state : fiber -> [ `Runnable | `Running | `Suspended | `Done ]
 
 val suspend : ((unit -> unit) -> unit) -> unit
 (** Park the calling fiber; the callback receives a wake function
-    callable exactly once from any OS thread. *)
+    callable exactly once from any OS thread or domain. *)
 
 val join : fiber -> unit
+
 val live : unit -> int
+(** Fibers not yet [`Done] under the ambient engine. *)
+
+val worker_index : unit -> int option
+(** Under {!run_parallel}, the index of the worker domain currently
+    executing the caller ([Some 0 .. domains-1]); [None] under {!run}
+    or outside any engine.  A fiber that observes two different indices
+    across a suspension has migrated. *)
+
+val register_executor : Executor.t -> unit
+(** Track an executor (original KC) for shutdown when the ambient run
+    ends; works under both engines.
+    @raise Not_in_scheduler outside any engine. *)

@@ -1,0 +1,23 @@
+(* Lock-free multi-producer injection channel (Treiber stack with batch
+   reversal): any OS thread or domain pushes with a CAS; a consumer
+   takes the whole batch with one [exchange] and receives it in FIFO
+   order.  Because the take is a single atomic exchange the structure is
+   in fact multi-consumer safe too -- the parallel fiber scheduler lets
+   whichever worker notices the batch first drain it. *)
+
+type 'a t = { head : 'a list Atomic.t }
+
+let create () = { head = Atomic.make [] }
+
+let rec push t x =
+  let old = Atomic.get t.head in
+  if not (Atomic.compare_and_set t.head old (x :: old)) then push t x
+
+let pop_all t =
+  match Atomic.get t.head with
+  | [] -> [] (* common fast path: no CAS traffic when idle *)
+  | _ -> List.rev (Atomic.exchange t.head [])
+
+let is_empty t = Atomic.get t.head == []
+
+let length t = List.length (Atomic.get t.head)

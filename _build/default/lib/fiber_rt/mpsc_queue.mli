@@ -1,0 +1,17 @@
+(** Lock-free multi-producer injection channel: push from any OS thread
+    or domain; [pop_all] takes the whole pending batch in FIFO order
+    with a single atomic exchange (safe even with several consumers).
+    The cross-thread wake-up path of the parallel fiber scheduler. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val pop_all : 'a t -> 'a list
+(** The pending batch, oldest first; empties the queue. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Snapshot; O(n). *)

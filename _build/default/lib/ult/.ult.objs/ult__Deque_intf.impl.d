@@ -1,0 +1,1 @@
+lib/ult/deque_intf.ml:

@@ -1,0 +1,1 @@
+lib/ult/prio_heap.ml: Array

@@ -1,1 +1,1 @@
-lib/ult/scheduler.ml: Arch Context Hashtbl Kernel List Option Oskernel Run_queue Types Ws_deque
+lib/ult/scheduler.ml: Arch Context Deque_intf Hashtbl Kernel Option Oskernel Prio_heap Run_queue Types Ws_deque

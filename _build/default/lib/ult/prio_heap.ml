@@ -1,0 +1,79 @@
+(* Binary max-heap of prioritized items.  Ties on the priority break by
+   insertion sequence number, so equal-priority items dispatch FIFO --
+   the order the paper's user-defined-policy example promises.  Replaces
+   the O(n^2) list scan the Priority scheduler policy used to do per
+   dispatch (same sift discipline as lib/sim/event_heap.ml). *)
+
+type 'a entry = { prio : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* max-heap on priority, FIFO among equals *)
+let before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let data = Array.make new_cap h.data.(0) in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h ~prio payload =
+  let e = { prio; seq = h.next_seq; payload } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = Array.length h.data then
+    if h.size = 0 then h.data <- Array.make 64 e else grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before h.data.(i) h.data.(parent) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0).payload
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let best = ref i in
+        if l < h.size && before h.data.(l) h.data.(!best) then best := l;
+        if r < h.size && before h.data.(r) h.data.(!best) then best := r;
+        if !best <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(!best);
+          h.data.(!best) <- tmp;
+          down !best
+        end
+      in
+      down 0
+    end;
+    Some top.payload
+  end
+
+let clear h =
+  h.size <- 0;
+  h.next_seq <- 0

@@ -1,0 +1,16 @@
+(** Binary max-heap of prioritized items: higher priority pops first,
+    FIFO among equal priorities.  O(log n) push/pop, O(1) length --
+    the queue behind the {!Scheduler.Priority} policy. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** Higher [prio] pops first; equal priorities pop in insertion order. *)
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -13,7 +13,7 @@ type t = {
   kc : Types.task; (* the kernel context this scheduler occupies *)
   fifo : Context.t Run_queue.t;
   deque : Context.t Ws_deque.t;
-  mutable prio_q : Context.t list; (* insertion order kept among equals *)
+  prio_h : Context.t Prio_heap.t; (* FIFO kept among equal priorities *)
   priorities : (int, int) Hashtbl.t; (* uc id -> priority *)
   policy : policy;
   mutable live : int; (* contexts not yet finished *)
@@ -24,6 +24,9 @@ type t = {
 
 let dummy_context = Context.make ~name:"<dummy>" (fun () -> ())
 
+(* the policy-model deque honours the shared work-stealing interface *)
+module _ : Deque_intf.S = Ws_deque
+
 let create ?(policy = Fifo) ?(on_switch = fun _ -> ()) ?(charge_switch = true)
     kernel kc =
   {
@@ -31,7 +34,7 @@ let create ?(policy = Fifo) ?(on_switch = fun _ -> ()) ?(charge_switch = true)
     kc;
     fifo = Run_queue.create ();
     deque = Ws_deque.create ~dummy:dummy_context;
-    prio_q = [];
+    prio_h = Prio_heap.create ();
     priorities = Hashtbl.create 16;
     policy;
     live = 0;
@@ -43,7 +46,7 @@ let create ?(policy = Fifo) ?(on_switch = fun _ -> ()) ?(charge_switch = true)
 let kc t = t.kc
 
 let pending t =
-  Run_queue.length t.fifo + Ws_deque.length t.deque + List.length t.prio_q
+  Run_queue.length t.fifo + Ws_deque.length t.deque + Prio_heap.length t.prio_h
 
 let switches t = t.switches
 
@@ -57,26 +60,20 @@ let push t uc =
   match t.policy with
   | Fifo -> Run_queue.enqueue t.fifo uc
   | Lifo_ws -> Ws_deque.push t.deque uc
-  | Priority -> t.prio_q <- t.prio_q @ [ uc ]
+  | Priority ->
+      (* the priority is read at enqueue time: re-prioritizing a queued
+         context takes effect at its next enqueue (all in-repo users set
+         the priority before [add]) *)
+      Prio_heap.push t.prio_h ~prio:(priority_of t uc) uc
 
 let pop t =
   match t.policy with
   | Fifo -> Run_queue.dequeue t.fifo
   | Lifo_ws -> Ws_deque.pop t.deque
-  | Priority -> (
+  | Priority ->
       (* the user-defined policy the paper's Introduction promises:
-         highest priority first, FIFO among equals *)
-      match t.prio_q with
-      | [] -> None
-      | first :: _ ->
-          let best =
-            List.fold_left
-              (fun acc uc ->
-                if priority_of t uc > priority_of t acc then uc else acc)
-              first t.prio_q
-          in
-          t.prio_q <- List.filter (fun uc -> not (uc == best)) t.prio_q;
-          Some best)
+         highest priority first, FIFO among equals -- O(log n) now *)
+      Prio_heap.pop t.prio_h
 
 (* Another scheduler may steal runnable work (Lifo_ws only). *)
 let steal t =

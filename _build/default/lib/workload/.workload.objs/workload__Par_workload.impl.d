@@ -1,0 +1,1 @@
+lib/workload/par_workload.ml: Fiber_rt List Sys Unix

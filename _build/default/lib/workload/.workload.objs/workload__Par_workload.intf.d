@@ -1,0 +1,1 @@
+lib/workload/par_workload.mli:

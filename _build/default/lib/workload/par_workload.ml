@@ -1,0 +1,116 @@
+(* Scaling workloads for the parallel fiber runtime (substrate S3):
+   wall-clock micro-benchmarks of the work-stealing scheduler in
+   [Fiber_rt.Fiber.run_parallel].  Unlike the rest of lib/workload these
+   run on the real machine, not the simulated one -- they are the
+   multicore counterpart of the Bechamel benches in bench/main.ml.
+
+   Three shapes:
+   - [spawn_join]: embarrassingly parallel fan-out/fan-in -- the
+     speedup-curve workload (scales with domains on a multicore host);
+   - [yield_storm]: scheduler-bound yield churn -- measures dispatch
+     latency, dominated by the injection channel under contention;
+   - [ping_pong]: two fibers bouncing messages over bounded channels --
+     cross-domain wake-up latency (the couple/decouple handoff shape of
+     the paper's Table V, on real cores). *)
+
+module Fiber = Fiber_rt.Fiber
+module Channel = Fiber_rt.Channel
+
+type result = {
+  name : string;
+  domains : int;
+  items : int; (* fibers finished / yields done / messages received *)
+  elapsed : float; (* wall-clock seconds *)
+  throughput : float; (* items per second *)
+  steals : int; (* successful deque steals during the run *)
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Opaque compute kernel: [work] additions the optimizer cannot drop. *)
+let spin work =
+  let acc = ref 0 in
+  for i = 1 to work do
+    acc := !acc + (i land 7)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let with_stats ~name ~domains ~items f =
+  let steals = ref 0 in
+  let t0 = now () in
+  Fiber.run_parallel ~domains
+    ~on_stats:(fun s -> steals := s.Fiber.par_steals)
+    f;
+  let elapsed = now () -. t0 in
+  {
+    name;
+    domains;
+    items;
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int items /. elapsed else 0.0);
+    steals = !steals;
+  }
+
+(* Fan out [fibers] fibers of [work] compute each from one root, join
+   them all: spawn/join throughput, and the speedup-curve workload. *)
+let spawn_join ~domains ~fibers ~work =
+  with_stats ~name:"spawn_join" ~domains ~items:fibers (fun () ->
+      let fs = List.init fibers (fun _ -> Fiber.spawn (fun () -> spin work)) in
+      List.iter Fiber.join fs)
+
+(* [fibers] fibers each yielding [yields] times: dispatch churn. *)
+let yield_storm ~domains ~fibers ~yields =
+  with_stats ~name:"yield_storm" ~domains ~items:(fibers * yields) (fun () ->
+      let fs =
+        List.init fibers (fun _ ->
+            Fiber.spawn (fun () ->
+                for _ = 1 to yields do
+                  Fiber.yield ()
+                done))
+      in
+      List.iter Fiber.join fs)
+
+(* Two fibers, two rendezvous channels, [msgs] round trips: the
+   cross-domain wake-up path.  With domains >= 2 the endpoints usually
+   land on different domains and every message crosses the MPSC
+   injection channel. *)
+let ping_pong ~domains ~msgs =
+  with_stats ~name:"ping_pong" ~domains ~items:msgs (fun () ->
+      let there = Channel.create ~capacity:1 () in
+      let back = Channel.create ~capacity:1 () in
+      let ponger =
+        Fiber.spawn (fun () ->
+            let rec loop () =
+              match Channel.recv there with
+              | Some v ->
+                  Channel.send back v;
+                  loop ()
+              | None -> ()
+            in
+            loop ())
+      in
+      let pinger =
+        Fiber.spawn (fun () ->
+            for i = 1 to msgs do
+              Channel.send there i;
+              ignore (Channel.recv back)
+            done;
+            Channel.close there)
+      in
+      Fiber.join pinger;
+      Fiber.join ponger)
+
+(* The speedup curve of the acceptance criteria: [spawn_join] at each
+   domain count, plus the ratio to the 1-domain run. *)
+let speedup_curve ~domain_counts ~fibers ~work =
+  let results =
+    List.map (fun d -> spawn_join ~domains:d ~fibers ~work) domain_counts
+  in
+  let base =
+    match results with
+    | r :: _ -> r.elapsed
+    | [] -> invalid_arg "Par_workload.speedup_curve: no domain counts"
+  in
+  List.map
+    (fun r -> (r, if r.elapsed > 0.0 then base /. r.elapsed else 0.0))
+    results

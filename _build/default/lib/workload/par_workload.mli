@@ -1,0 +1,30 @@
+(** Scaling workloads for the parallel fiber runtime (substrate S3):
+    wall-clock micro-benchmarks of {!Fiber_rt.Fiber.run_parallel} —
+    spawn/join fan-out, yield churn, and cross-domain channel
+    ping-pong.  These run on the real machine, not the simulated one;
+    speedup beyond 1 domain requires real cores. *)
+
+type result = {
+  name : string;
+  domains : int;
+  items : int;  (** fibers finished / yields done / messages received *)
+  elapsed : float;  (** wall-clock seconds *)
+  throughput : float;  (** items per second *)
+  steals : int;  (** successful deque steals during the run *)
+}
+
+val spawn_join : domains:int -> fibers:int -> work:int -> result
+(** Fan out [fibers] fibers of [work] opaque additions each, join all —
+    the embarrassingly parallel speedup-curve workload. *)
+
+val yield_storm : domains:int -> fibers:int -> yields:int -> result
+(** [fibers] fibers each yielding [yields] times: dispatch latency. *)
+
+val ping_pong : domains:int -> msgs:int -> result
+(** Two fibers bouncing [msgs] messages over rendezvous channels: the
+    cross-domain wake-up path. *)
+
+val speedup_curve :
+  domain_counts:int list -> fibers:int -> work:int -> (result * float) list
+(** [spawn_join] at each domain count paired with its speedup relative
+    to the first entry (conventionally 1 domain). *)

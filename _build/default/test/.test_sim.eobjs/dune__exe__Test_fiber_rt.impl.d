@@ -1,1 +1,1 @@
-test/test_fiber_rt.ml: Alcotest Condition Fiber_rt Gen List Mutex Printexc Printf QCheck QCheck_alcotest Thread Unix
+test/test_fiber_rt.ml: Alcotest Array Atomic Condition Domain Fiber_rt Fun Gen List Mutex Printexc Printf QCheck QCheck_alcotest Thread Unix

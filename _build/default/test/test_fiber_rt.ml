@@ -8,6 +8,8 @@
 module Fiber = Fiber_rt.Fiber
 module Blt_rt = Fiber_rt.Blt_rt
 module Executor = Fiber_rt.Executor
+module Adq = Fiber_rt.Atomic_deque
+module Mpsc = Fiber_rt.Mpsc_queue
 
 (* ---------- executor ---------- *)
 
@@ -61,6 +63,159 @@ let test_executor_submit_after_shutdown_rejected () =
   match Executor.submit e (fun () -> ()) with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "submit after shutdown accepted"
+
+let test_executor_records_failures () =
+  let e = Executor.create () in
+  Executor.submit e (fun () -> failwith "job blew up");
+  (* a second job orders us after the first one *)
+  let m = Mutex.create () and c = Condition.create () in
+  let settled = ref false in
+  Executor.submit e (fun () ->
+      Mutex.lock m;
+      settled := true;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while not !settled do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Alcotest.(check int) "one failure" 1 (Executor.failures e);
+  (match Executor.last_error e with
+  | Some (Failure msg) -> Alcotest.(check string) "kept exn" "job blew up" msg
+  | _ -> Alcotest.fail "no recorded error");
+  Executor.shutdown e;
+  Alcotest.(check int) "both jobs ran" 2 (Executor.executed e)
+
+(* ---------- Chase-Lev atomic deque ---------- *)
+
+let test_adq_owner_lifo_thief_fifo () =
+  let d = Adq.create ~dummy:(-1) in
+  Alcotest.(check bool) "starts empty" true (Adq.is_empty d);
+  Alcotest.(check (option int)) "pop empty" None (Adq.pop d);
+  Alcotest.(check (option int)) "steal empty" None (Adq.steal d);
+  List.iter (Adq.push d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Adq.length d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 4) (Adq.pop d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (Adq.steal d);
+  Alcotest.(check (option int)) "next steal" (Some 2) (Adq.steal d);
+  Alcotest.(check (option int)) "owner again" (Some 3) (Adq.pop d);
+  Alcotest.(check (option int)) "drained (pop)" None (Adq.pop d);
+  Alcotest.(check (option int)) "drained (steal)" None (Adq.steal d)
+
+let test_adq_grow_preserves_items () =
+  (* the initial buffer is 8 slots: 1000 pushes force several grows *)
+  let n = 1000 in
+  let d = Adq.create ~dummy:(-1) in
+  for i = 0 to n - 1 do
+    Adq.push d i
+  done;
+  Alcotest.(check int) "all queued" n (Adq.length d);
+  (* steal half (oldest first), pop the rest (newest first) *)
+  let steals = List.init (n / 2) (fun _ -> Adq.steal d) in
+  let pops = List.init (n / 2) (fun _ -> Adq.pop d) in
+  Alcotest.(check (list (option int)))
+    "steals are 0..499 in order"
+    (List.init (n / 2) (fun i -> Some i))
+    steals;
+  Alcotest.(check (list (option int)))
+    "pops are 999..500 in order"
+    (List.init (n / 2) (fun i -> Some (n - 1 - i)))
+    pops;
+  Alcotest.(check (option int)) "empty" None (Adq.pop d)
+
+(* The headline concurrency assertion: with one owner pushing/popping
+   and N thief domains stealing, every item is claimed exactly once --
+   no lost and no duplicated work, across buffer grows. *)
+let test_adq_multi_domain_stress () =
+  let n = 20_000 and stealers = 3 in
+  let d = Adq.create ~dummy:(-1) in
+  let stop = Atomic.make false in
+  let stolen = Array.make stealers [] in
+  let doms =
+    Array.init stealers (fun i ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              match Adq.steal d with
+              | Some x -> acc := x :: !acc
+              | None -> Domain.cpu_relax ()
+            done;
+            let rec drain () =
+              match Adq.steal d with
+              | Some x ->
+                  acc := x :: !acc;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            stolen.(i) <- !acc))
+  in
+  let popped = ref [] in
+  for x = 0 to n - 1 do
+    Adq.push d x;
+    (* interleave owner pops so the last-element CAS race is exercised *)
+    if x land 3 = 0 then
+      match Adq.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Adq.pop d with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join doms;
+  let all = List.concat (!popped :: Array.to_list stolen) in
+  Alcotest.(check int) "items conserved" n (List.length all);
+  Alcotest.(check (list int))
+    "each item exactly once"
+    (List.init n Fun.id)
+    (List.sort compare all)
+
+(* ---------- MPSC injection channel ---------- *)
+
+let test_mpsc_fifo_batches () =
+  let q = Mpsc.create () in
+  Alcotest.(check bool) "empty" true (Mpsc.is_empty q);
+  List.iter (Mpsc.push q) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "fifo batch" [ 1; 2; 3 ] (Mpsc.pop_all q);
+  Alcotest.(check (list int)) "then empty" [] (Mpsc.pop_all q)
+
+let test_mpsc_multi_producer () =
+  let producers = 3 and per = 1_000 in
+  let q = Mpsc.create () in
+  let doms =
+    Array.init producers (fun p ->
+        Domain.spawn (fun () ->
+            for v = 0 to per - 1 do
+              Mpsc.push q (p, v)
+            done))
+  in
+  (* drain concurrently with the producers *)
+  let got = ref [] in
+  let total = ref 0 in
+  while !total < producers * per do
+    match Mpsc.pop_all q with
+    | [] -> Domain.cpu_relax ()
+    | batch ->
+        got := List.rev_append batch !got;
+        total := !total + List.length batch
+  done;
+  Array.iter Domain.join doms;
+  let got = List.rev !got in
+  Alcotest.(check int) "conserved" (producers * per) (List.length got);
+  (* per-producer order survives the stack-reversal batching *)
+  for p = 0 to producers - 1 do
+    let seq = List.filter_map (fun (p', v) -> if p' = p then Some v else None) got in
+    Alcotest.(check (list int))
+      (Printf.sprintf "producer %d in order" p)
+      (List.init per Fun.id) seq
+  done
 
 (* ---------- fibers ---------- *)
 
@@ -266,6 +421,183 @@ let test_many_fibers_coupled_concurrently () =
     (List.init 8 (fun i -> i * i))
     (List.sort compare !results)
 
+(* ---------- the parallel work-stealing engine ---------- *)
+
+let test_par_invalid_domains () =
+  match Fiber.run_parallel ~domains:0 (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "domains:0 accepted"
+
+(* Join results are deterministic whatever the interleaving: every
+   fiber's effect lands, and joins see the finished values.  Run twice
+   to catch schedule-dependent drift. *)
+let par_square_batch ~domains ~fibers =
+  let results = Array.make fibers (-1) in
+  Fiber.run_parallel ~domains (fun () ->
+      let fs =
+        List.init fibers (fun i ->
+            Fiber.spawn (fun () -> results.(i) <- i * i))
+      in
+      List.iter Fiber.join fs);
+  Array.to_list results
+
+let test_par_join_results_deterministic () =
+  let expected = List.init 200 (fun i -> i * i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "first run, %d domains" domains)
+        expected
+        (par_square_batch ~domains ~fibers:200);
+      Alcotest.(check (list int))
+        (Printf.sprintf "second run, %d domains" domains)
+        expected
+        (par_square_batch ~domains ~fibers:200))
+    [ 1; 2; 4 ]
+
+let test_par_nested_spawn_and_yield () =
+  let total = Atomic.make 0 in
+  Fiber.run_parallel ~domains:4 (fun () ->
+      let outers =
+        List.init 8 (fun _ ->
+            Fiber.spawn (fun () ->
+                let inners =
+                  List.init 8 (fun _ ->
+                      Fiber.spawn (fun () ->
+                          Fiber.yield ();
+                          Atomic.incr total))
+                in
+                Fiber.yield ();
+                List.iter Fiber.join inners;
+                Atomic.incr total))
+      in
+      List.iter Fiber.join outers);
+  Alcotest.(check int) "all fibers ran" 72 (Atomic.get total)
+
+let test_par_exception_aborts_run () =
+  match
+    Fiber.run_parallel ~domains:2 (fun () ->
+        let f = Fiber.spawn (fun () -> failwith "fiber exploded") in
+        Fiber.join f)
+  with
+  | exception Failure msg ->
+      Alcotest.(check string) "exn carried" "fiber exploded" msg
+  | () -> Alcotest.fail "no exception"
+
+let test_par_worker_index () =
+  Fiber.run_parallel ~domains:2 (fun () ->
+      match Fiber.worker_index () with
+      | Some i -> Alcotest.(check bool) "index in range" true (i >= 0 && i < 2)
+      | None -> Alcotest.fail "no worker index under run_parallel");
+  Fiber.run (fun () ->
+      Alcotest.(check (option int))
+        "no worker index under run" None (Fiber.worker_index ()))
+
+(* The system-call-consistency property under migration: whatever
+   domain a fiber's runnable half lands on after each suspension, its
+   coupled sections always execute on the SAME home executor thread. *)
+let test_par_executor_affinity_under_migration () =
+  let fibers = 8 in
+  let migrated = Atomic.make 0 in
+  Fiber.run_parallel ~domains:4 (fun () ->
+      let fs =
+        List.init fibers (fun _ ->
+            Fiber.spawn (fun () ->
+                let tid0 = Blt_rt.coupled (fun () -> Thread.id (Thread.self ())) in
+                let declared = Blt_rt.original_kc_thread_id () in
+                let seen_workers = ref [] in
+                for _ = 1 to 5 do
+                  (match Fiber.worker_index () with
+                  | Some w ->
+                      if not (List.mem w !seen_workers) then
+                        seen_workers := w :: !seen_workers
+                  | None -> Alcotest.fail "lost worker context");
+                  Fiber.yield ();
+                  (* every post-suspension coupled call must land on the
+                     same home KC thread *)
+                  let tid =
+                    Blt_rt.coupled (fun () -> Thread.id (Thread.self ()))
+                  in
+                  Alcotest.(check int) "home KC stable" tid0 tid
+                done;
+                Alcotest.(check int) "declared id matches" declared tid0;
+                if List.length !seen_workers > 1 then Atomic.incr migrated))
+      in
+      List.iter Fiber.join fs);
+  (* migration is schedule-dependent; on a multi-domain run it usually
+     happens, but the property above must hold either way *)
+  ignore (Atomic.get migrated)
+
+let test_par_coupled_runs_off_worker_domains () =
+  Fiber.run_parallel ~domains:2 (fun () ->
+      let f =
+        Fiber.spawn (fun () ->
+            Alcotest.(check int) "coupled value" 41
+              (Blt_rt.coupled (fun () -> 41));
+            let p1 = Blt_rt.coupled_syscall (fun () -> Unix.getpid ()) in
+            let p2 = Blt_rt.coupled_syscall (fun () -> Unix.getpid ()) in
+            Alcotest.(check int) "stable pid" p1 p2)
+      in
+      Fiber.join f)
+
+let test_par_kc_failures_surface () =
+  Fiber.run_parallel ~domains:2 (fun () ->
+      let f =
+        Fiber.spawn (fun () ->
+            Alcotest.(check int) "clean KC" 0 (Blt_rt.kc_failures ());
+            (* a raw (non-coupled) job that raises on the home KC *)
+            Executor.submit (Blt_rt.my_executor ()) (fun () ->
+                failwith "raw job failed");
+            (* a coupled round trip orders us after the raw job *)
+            ignore (Blt_rt.coupled (fun () -> ()));
+            Alcotest.(check int) "failure recorded" 1 (Blt_rt.kc_failures ());
+            match Blt_rt.kc_last_error () with
+            | Some (Failure msg) ->
+                Alcotest.(check string) "message kept" "raw job failed" msg
+            | _ -> Alcotest.fail "no last_error")
+      in
+      Fiber.join f)
+
+let test_par_channel_pipeline_across_domains () =
+  let n = 500 in
+  let got = ref [] in
+  Fiber.run_parallel ~domains:2 (fun () ->
+      let ch = Fiber_rt.Channel.create ~capacity:4 () in
+      let producer =
+        Fiber.spawn (fun () ->
+            for i = 1 to n do
+              Fiber_rt.Channel.send ch i
+            done;
+            Fiber_rt.Channel.close ch)
+      in
+      let consumer =
+        Fiber.spawn (fun () ->
+            Fiber_rt.Channel.iter ch ~f:(fun v -> got := v :: !got))
+      in
+      Fiber.join producer;
+      Fiber.join consumer);
+  Alcotest.(check (list int))
+    "every item exactly once, in order"
+    (List.init n (fun i -> i + 1))
+    (List.rev !got)
+
+let prop_par_spawn_tree_completes =
+  QCheck.Test.make ~name:"parallel: n fibers of k yields all finish" ~count:10
+    QCheck.(triple (int_range 1 4) (int_range 1 12) (int_range 0 8))
+    (fun (domains, n, k) ->
+      let finished = Atomic.make 0 in
+      Fiber.run_parallel ~domains (fun () ->
+          let fs =
+            List.init n (fun _ ->
+                Fiber.spawn (fun () ->
+                    for _ = 1 to k do
+                      Fiber.yield ()
+                    done;
+                    Atomic.incr finished))
+          in
+          List.iter Fiber.join fs);
+      Atomic.get finished = n)
+
 (* ---------- channels ---------- *)
 
 module Channel = Fiber_rt.Channel
@@ -451,6 +783,42 @@ let () =
           Alcotest.test_case "single thread" `Quick test_executor_single_thread;
           Alcotest.test_case "shutdown rejects" `Quick
             test_executor_submit_after_shutdown_rejected;
+          Alcotest.test_case "records failures" `Quick
+            test_executor_records_failures;
+        ] );
+      ( "atomic_deque",
+        [
+          Alcotest.test_case "owner LIFO, thief FIFO" `Quick
+            test_adq_owner_lifo_thief_fifo;
+          Alcotest.test_case "grow preserves items" `Quick
+            test_adq_grow_preserves_items;
+          Alcotest.test_case "multi-domain stress" `Quick
+            test_adq_multi_domain_stress;
+        ] );
+      ( "mpsc",
+        [
+          Alcotest.test_case "fifo batches" `Quick test_mpsc_fifo_batches;
+          Alcotest.test_case "multi-producer" `Quick test_mpsc_multi_producer;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "invalid domains" `Quick test_par_invalid_domains;
+          Alcotest.test_case "deterministic joins" `Quick
+            test_par_join_results_deterministic;
+          Alcotest.test_case "nested spawn + yield" `Quick
+            test_par_nested_spawn_and_yield;
+          Alcotest.test_case "exception aborts run" `Quick
+            test_par_exception_aborts_run;
+          Alcotest.test_case "worker index" `Quick test_par_worker_index;
+          Alcotest.test_case "executor affinity under migration" `Quick
+            test_par_executor_affinity_under_migration;
+          Alcotest.test_case "coupled off workers" `Quick
+            test_par_coupled_runs_off_worker_domains;
+          Alcotest.test_case "KC failures surface" `Quick
+            test_par_kc_failures_surface;
+          Alcotest.test_case "channel pipeline across domains" `Quick
+            test_par_channel_pipeline_across_domains;
+          QCheck_alcotest.to_alcotest prop_par_spawn_tree_completes;
         ] );
       ( "fibers",
         [

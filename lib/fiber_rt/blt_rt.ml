@@ -1,18 +1,21 @@
 (* The bi-level thread API on the real fiber runtime.
 
-   A fiber (UC) normally runs decoupled on the scheduler thread.
+   A fiber (UC) normally runs decoupled on a scheduler thread (or, under
+   [Fiber.run_parallel], on whichever worker domain holds it).
    [coupled f] is the paper's couple()/decouple() pair: ship [f] to the
    fiber's own executor thread (its original KC), suspend the fiber so
    the scheduler keeps running other fibers, and resume with [f]'s
    result once the executor finishes.  Because each fiber always couples
-   to the *same* OS thread, thread-keyed kernel state (and blocking
-   syscalls) behave exactly as they would on a plain kernel thread --
+   to the *same* OS thread -- even after the runnable half of the fiber
+   migrates to another domain -- thread-keyed kernel state (and blocking
+   syscalls) behave exactly as they would on a plain kernel thread:
    system-call consistency, for real. *)
 
 exception Coupled_raised of exn
 
 (* The executor (original KC) of the calling fiber, created on first
-   use. *)
+   use.  Only the fiber itself touches its [executor] field and a fiber
+   runs on one domain at a time, so no locking is needed here. *)
 let my_executor () =
   let fb = Fiber.self () in
   match fb.Fiber.executor with
@@ -20,8 +23,7 @@ let my_executor () =
   | None ->
       let e = Executor.create () in
       fb.Fiber.executor <- Some e;
-      let sched = Fiber.scheduler () in
-      sched.Fiber.executors <- e :: sched.Fiber.executors;
+      Fiber.register_executor e;
       e
 
 (* Run [f] coupled to this fiber's original KC; other fibers keep
@@ -41,6 +43,12 @@ let coupled f =
 (* The OS thread id of this fiber's original KC (stable across coupled
    calls -- the consistency property). *)
 let original_kc_thread_id () = Executor.thread_id (my_executor ())
+
+(* Failure telemetry of this fiber's original KC: jobs submitted raw
+   via [Executor.submit] that raised.  ([coupled] itself converts the
+   exception to [Coupled_raised] before the executor can see it.) *)
+let kc_failures () = Executor.failures (my_executor ())
+let kc_last_error () = Executor.last_error (my_executor ())
 
 (* Convenience: run a blocking Unix syscall consistently. *)
 let coupled_syscall f = coupled f

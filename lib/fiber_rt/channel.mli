@@ -1,5 +1,8 @@
-(** Bounded FIFO channels for fibers (cooperative, scheduler-thread
-    only): the communication primitive pipelines are built from. *)
+(** Bounded FIFO channels for fibers: the communication primitive
+    pipelines are built from.  Safe under both engines — uncontended
+    locking on the single-threaded {!Fiber.run}, domain-safe under
+    {!Fiber.run_parallel} where the endpoints may sit on different
+    worker domains. *)
 
 exception Closed
 

@@ -353,6 +353,114 @@ let test_stack_pool_release_underflow () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "double release accepted"
 
+(* ---------- prio_heap ---------- *)
+
+module Ph = Ult.Prio_heap
+
+let test_prio_heap_pops_highest_first () =
+  let h = Ph.create () in
+  List.iter (fun (p, v) -> Ph.push h ~prio:p v)
+    [ (1, "low"); (9, "high"); (5, "mid"); (7, "upper") ];
+  let drain h =
+    let rec go acc = match Ph.pop h with
+      | Some v -> go (v :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  Alcotest.(check (list string))
+    "descending priority" [ "high"; "upper"; "mid"; "low" ] (drain h);
+  Alcotest.(check bool) "empty after drain" true (Ph.is_empty h)
+
+let test_prio_heap_fifo_among_equals () =
+  let h = Ph.create () in
+  (* same priority: insertion order must be preserved (no starvation
+     reordering among equal-priority contexts) *)
+  List.iteri (fun i v -> Ph.push h ~prio:(if i = 2 then 9 else 4) v)
+    [ "a"; "b"; "urgent"; "c"; "d" ];
+  let rec drain acc =
+    match Ph.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list string))
+    "fifo within a priority level"
+    [ "urgent"; "a"; "b"; "c"; "d" ] (drain [])
+
+let test_prio_heap_peek_and_clear () =
+  let h = Ph.create () in
+  Alcotest.(check (option int)) "peek empty" None (Ph.peek h);
+  Ph.push h ~prio:3 30;
+  Ph.push h ~prio:8 80;
+  Alcotest.(check (option int)) "peek max" (Some 80) (Ph.peek h);
+  Alcotest.(check int) "length" 2 (Ph.length h);
+  Ph.clear h;
+  Alcotest.(check int) "cleared" 0 (Ph.length h);
+  Alcotest.(check (option int)) "pop empty" None (Ph.pop h)
+
+let prop_prio_heap_matches_stable_sort =
+  QCheck.Test.make ~name:"heap drain = stable sort by priority desc"
+    ~count:200
+    QCheck.(list (pair (int_bound 10) small_nat))
+    (fun pairs ->
+      let h = Ph.create () in
+      List.iter (fun (p, v) -> Ph.push h ~prio:p v) pairs;
+      let rec drain acc =
+        match Ph.pop h with Some v -> drain (v :: acc) | None -> List.rev acc
+      in
+      let expected =
+        List.stable_sort
+          (fun (p1, _) (p2, _) -> compare p2 p1)
+          pairs
+        |> List.map snd
+      in
+      drain [] = expected)
+
+(* The satellite fix itself: Priority policy pops strictly by priority,
+   FIFO among equals, via the heap (was an O(n^2) list scan). *)
+let test_scheduler_priority_order () =
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let trace = ref [] in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Scheduler.create ~policy:Scheduler.Priority k task in
+            let mk name = Context.make ~name (fun () -> trace := name :: !trace) in
+            Scheduler.add s ~priority:1 (mk "low");
+            Scheduler.add s ~priority:5 (mk "mid1");
+            Scheduler.add s ~priority:10 (mk "hi");
+            Scheduler.add s ~priority:5 (mk "mid2");
+            Alcotest.(check bool) "completed" true
+              (Scheduler.run_to_completion s))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      Alcotest.(check (list string))
+        "priority order, fifo among equals"
+        [ "hi"; "mid1"; "mid2"; "low" ]
+        (List.rev !trace))
+
+let test_scheduler_priority_many () =
+  (* the heap keeps the policy correct at sizes where the old list scan
+     was quadratic *)
+  H.run ~cost:wallaby (fun env ->
+      let k = env.H.kernel in
+      let order = ref [] in
+      let n = 500 in
+      let t =
+        Kernel.spawn k ~name:"sched" ~cpu:0 (fun task ->
+            let s = Scheduler.create ~policy:Scheduler.Priority k task in
+            for i = 1 to n do
+              Scheduler.add s ~priority:(i mod 7)
+                (Context.make (fun () -> order := (i mod 7) :: !order))
+            done;
+            ignore (Scheduler.run_to_completion s))
+      in
+      ignore (Kernel.waitpid k env.H.root t);
+      let got = List.rev !order in
+      Alcotest.(check int) "all ran" n (List.length got);
+      Alcotest.(check (list int))
+        "non-increasing priorities"
+        (List.sort (fun a b -> compare b a) got)
+        got)
+
 (* ---------- properties ---------- *)
 
 let prop_wsd_steal_pop_partition =
@@ -441,6 +549,20 @@ let () =
             test_scheduler_no_switch_charge;
           Alcotest.test_case "parked elsewhere detected" `Quick
             test_scheduler_stuck_when_parked_elsewhere;
+          Alcotest.test_case "priority order" `Quick
+            test_scheduler_priority_order;
+          Alcotest.test_case "priority at size" `Quick
+            test_scheduler_priority_many;
+        ] );
+      ( "prio_heap",
+        [
+          Alcotest.test_case "highest first" `Quick
+            test_prio_heap_pops_highest_first;
+          Alcotest.test_case "fifo among equals" `Quick
+            test_prio_heap_fifo_among_equals;
+          Alcotest.test_case "peek and clear" `Quick
+            test_prio_heap_peek_and_clear;
+          QCheck_alcotest.to_alcotest prop_prio_heap_matches_stable_sort;
         ] );
       ( "stack_pool",
         [
