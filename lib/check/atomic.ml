@@ -1,0 +1,52 @@
+(* Traced replacement for [Stdlib.Atomic].
+
+   Inside lib/check this module shadows the stdlib one, so the copies
+   of atomic_deque.ml / mpsc_queue.ml compiled here route every atomic
+   operation through the interleaving scheduler: each call is a
+   scheduling point, and the memory effect executes only when [Sched]
+   decides this thread runs next.
+
+   The model is sequentially consistent -- exactly the guarantee OCaml 5
+   [Atomic] gives -- and single-threaded, so plain mutable fields are
+   enough as backing store. *)
+
+type 'a t = { id : int; mutable v : 'a }
+
+let make v = { id = Sched.fresh_obj (); v }
+
+let get r = Sched.atomic_step ~kind:Sched.Get ~obj:r.id ~note:"" (fun () -> r.v)
+
+let set r x =
+  Sched.atomic_step ~kind:Sched.Set ~obj:r.id ~note:"" (fun () -> r.v <- x)
+
+let exchange r x =
+  Sched.atomic_step ~kind:Sched.Exchange ~obj:r.id ~note:"" (fun () ->
+      let old = r.v in
+      r.v <- x;
+      old)
+
+(* Physical equality, like the real primitive. *)
+let compare_and_set r seen x =
+  Sched.atomic_step ~kind:Sched.Cas ~obj:r.id ~note:"" (fun () ->
+      if r.v == seen then begin
+        r.v <- x;
+        true
+      end
+      else false)
+
+let fetch_and_add r n =
+  Sched.atomic_step ~kind:Sched.Faa ~obj:r.id ~note:"" (fun () ->
+      let old = r.v in
+      r.v <- old + n;
+      old)
+
+let incr r = ignore (fetch_and_add r 1)
+let decr r = ignore (fetch_and_add r (-1))
+
+(* ---- checker extras (not part of TRACED_ATOMIC) ---- *)
+
+let id r = r.id
+
+(* Raw, untraced read: for enabledness predicates evaluated by the
+   scheduler, never for simulated-thread code. *)
+let peek r = r.v

@@ -1,0 +1,18 @@
+(* Park/wake shim standing in for [Fiber_rt.Fiber] inside lib/check: the
+   copy of channel.ml compiled here only needs [suspend].
+
+   The real runtime's contract: [register] receives a wake function
+   callable exactly once from any OS thread; the fiber stays parked
+   until it fires.  The model: the wake function performs a traced
+   write to a fresh flag, and the parked thread is a guarded step that
+   is enabled once the flag is set.  [register] itself runs in the
+   suspending thread's context, so traced operations inside it (for
+   Channel: the Mutex.unlock after enqueueing the waker) remain separate
+   scheduling points -- the window in which a lost wakeup would hide. *)
+
+let suspend register =
+  let woken = Atomic.make false in
+  register (fun () -> Atomic.set woken true);
+  Sched.guarded_step ~kind:Sched.Wait ~obj:(Atomic.id woken) ~note:"parked"
+    ~enabled:(fun () -> Atomic.peek woken)
+    (fun () -> ())

@@ -1,0 +1,7 @@
+(* Compile-time pins for the instrumentation seam (Fiber_rt.Atomic_intf):
+   both the traced model and the production primitives must keep
+   matching TRACED_ATOMIC, so the copied sources stay compilable on
+   either side.  No runtime content. *)
+
+module _ : Fiber_rt.Atomic_intf.TRACED_ATOMIC = Atomic
+module _ : Fiber_rt.Atomic_intf.TRACED_ATOMIC = Fiber_rt.Atomic_intf.Real

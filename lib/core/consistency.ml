@@ -32,9 +32,17 @@ type checker = {
   mutable mode : mode;
   mutable violations : violation list; (* newest first *)
   mutable checks : int;
+  mutable hook : (violation -> unit) option; (* invariant probe for tests *)
 }
 
-let create ?(mode = Enforce) () = { mode; violations = []; checks = 0 }
+let create ?(mode = Enforce) () =
+  { mode; violations = []; checks = 0; hook = None }
+
+(* Invariant hook: called on every recorded violation, before Enforce
+   raises.  The interleaving checker (lib/check) installs a counter
+   here to assert "Enforce never fires" across explored schedules. *)
+let set_hook c f = c.hook <- Some f
+let fire_hook c v = match c.hook with Some f -> f v | None -> ()
 
 let set_mode c mode = c.mode <- mode
 let violations c = List.rev c.violations
@@ -58,8 +66,10 @@ let check c ~time ~ulp_name ~syscall ~expected_tid ~actual_tid =
     | Detect ->
         Log.warn (fun m -> m "%a" pp_violation v);
         c.violations <- v :: c.violations;
+        fire_hook c v;
         `Proceed
     | Enforce ->
         c.violations <- v :: c.violations;
+        fire_hook c v;
         raise (Violation v)
   end

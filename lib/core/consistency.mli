@@ -27,6 +27,13 @@ type checker
 
 val create : ?mode:mode -> unit -> checker
 val set_mode : checker -> mode -> unit
+
+val set_hook : checker -> (violation -> unit) -> unit
+(** Invariant probe: [f] runs on every recorded violation (Detect and
+    Enforce modes), before [Enforce] raises.  Used by the interleaving
+    checker to assert that Enforce never fires on any explored
+    schedule. *)
+
 val violations : checker -> violation list
 val violation_count : checker -> int
 val checks : checker -> int

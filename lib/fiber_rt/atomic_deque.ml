@@ -17,7 +17,12 @@
    Indices grow monotonically (no ABA).  The circular buffer doubles
    when full; the old buffer is never written again after a grow, so a
    thief holding the stale buffer still reads valid elements for any
-   index its CAS can claim. *)
+   index its CAS can claim.
+
+   Instrumentation seam (see Atomic_intf): this file is compiled a
+   second time inside lib/check against a traced [Atomic] model, so it
+   must confine its synchronization to the TRACED_ATOMIC primitives --
+   no Mutex, Domain or raw spin loops here. *)
 
 type 'a buffer = { mask : int; slots : 'a array }
 

@@ -9,7 +9,13 @@
    [Fiber.suspend] registration callback, after the waker is enqueued),
    so a peer on another domain cannot slip in between the state check
    and the registration -- the classic lost-wakeup race.  Wakers are
-   always invoked outside the lock. *)
+   always invoked outside the lock.
+
+   Instrumentation seam (see Atomic_intf): this file is compiled a
+   second time inside lib/check, where sibling modules shadow [Mutex]
+   with a traced lock model and [Fiber] with a park/wake shim, so the
+   lost-wakeup protocol above is model-checked.  Keep the blocking
+   vocabulary down to Mutex.lock/unlock and Fiber.suspend. *)
 
 exception Closed
 

@@ -3,7 +3,11 @@
    takes the whole batch with one [exchange] and receives it in FIFO
    order.  Because the take is a single atomic exchange the structure is
    in fact multi-consumer safe too -- the parallel fiber scheduler lets
-   whichever worker notices the batch first drain it. *)
+   whichever worker notices the batch first drain it.
+
+   Instrumentation seam (see Atomic_intf): this file is compiled a
+   second time inside lib/check against a traced [Atomic] model, so it
+   must confine its synchronization to the TRACED_ATOMIC primitives. *)
 
 type 'a t = { head : 'a list Atomic.t }
 

@@ -1,0 +1,483 @@
+(* Model-checked concurrency scenarios for the lock-free fiber runtime.
+
+   Everything here runs on lib/check's deterministic interleaving
+   scheduler: the Atomic_deque / Mpsc_queue / Channel under test are the
+   SAME sources as production (recompiled against traced shims), and the
+   explorer enumerates the interleavings of 2-3 simulated domains that
+   the tier-1 stress tests can only sample by luck.
+
+   The suite also proves the checker itself has teeth: a deliberately
+   seeded bug (Check.Buggy_deque downgrades the pop CAS to a plain
+   read) must be caught, its schedule must replay, and the fuzzer's
+   CHECK_SEED must reproduce it. *)
+
+module Sched = Check.Sched
+module Adq = Check.Atomic_deque
+module Buggy = Check.Buggy_deque
+module Mpsc = Check.Mpsc_queue
+module Chan = Check.Channel
+module Atomic' = Check.Atomic
+module Consistency = Core.Consistency
+
+(* On an unexpected interleaving bug: print the schedule trace, dump it
+   where CI picks it up as an artifact, and fail the test. *)
+let trace_file = "CHECK_TRACE.txt"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_pass name outcome =
+  match outcome with
+  | Sched.Pass stats -> stats
+  | Sched.Bug (f, _) ->
+      Sched.dump_failure ~file:trace_file f;
+      Sched.print_failure f;
+      Alcotest.failf "%s: interleaving bug (schedule dumped to %s)" name
+        trace_file
+
+let expect_bug name outcome =
+  match outcome with
+  | Sched.Bug (f, stats) -> (f, stats)
+  | Sched.Pass stats ->
+      Alcotest.failf "%s: seeded bug NOT caught (%s)" name
+        (Format.asprintf "%a" Sched.pp_stats stats)
+
+(* ---------- scenario: the size-1 pop-vs-steal CAS race ---------- *)
+
+(* Parameterized over the deque implementation so the same scenario
+   drives both the faithful copy and the seeded-bug copy. *)
+module type DEQUE = sig
+  type 'a t
+
+  val create : dummy:'a -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val steal : 'a t -> 'a option
+end
+
+let pop_steal_race (module D : DEQUE) () =
+  let d = D.create ~dummy:(-1) in
+  D.push d 42;
+  let popped = ref None and stolen = ref None in
+  ( [ (fun () -> popped := D.pop d); (fun () -> stolen := D.steal d) ],
+    fun () ->
+      match (!popped, !stolen) with
+      | Some _, Some _ -> failwith "last element claimed twice"
+      | None, None -> failwith "last element lost"
+      | _ -> () )
+
+(* ---------- scenario: push/steal/pop conservation, two thieves ------ *)
+
+let deque_conservation () =
+  let d = Adq.create ~dummy:(-1) in
+  let claims = Array.make 3 0 in
+  let claim = function Some i -> claims.(i) <- claims.(i) + 1 | None -> () in
+  ( [
+      (fun () ->
+        (* owner: pushes interleaved with pops, so the last-element CAS
+           and the bottom/top fence are both exercised *)
+        for i = 0 to 2 do
+          Adq.push d i;
+          if i land 1 = 1 then claim (Adq.pop d)
+        done);
+      (fun () -> claim (Adq.steal d));
+      (fun () -> claim (Adq.steal d));
+    ],
+    fun () ->
+      let rec drain () =
+        match Adq.pop d with
+        | Some i ->
+            claim (Some i);
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Array.iteri
+        (fun i n ->
+          if n <> 1 then
+            failwith (Printf.sprintf "item %d claimed %d times" i n))
+        claims )
+
+(* ---------- scenario: buffer growth under a concurrent thief -------- *)
+
+let deque_growth () =
+  (* initial buffer is 8 slots; the 9th push grows it while a thief
+     holds the stale buffer *)
+  let n = 9 in
+  let d = Adq.create ~dummy:(-1) in
+  for i = 0 to 6 do
+    Adq.push d i
+  done;
+  let claims = Array.make n 0 in
+  let claim = function Some i -> claims.(i) <- claims.(i) + 1 | None -> () in
+  ( [
+      (fun () ->
+        Adq.push d 7;
+        Adq.push d 8 (* the growing push *);
+        claim (Adq.pop d));
+      (fun () ->
+        claim (Adq.steal d);
+        claim (Adq.steal d));
+    ],
+    fun () ->
+      let rec drain () =
+        match Adq.pop d with
+        | Some i ->
+            claim (Some i);
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Array.iteri
+        (fun i c ->
+          if c <> 1 then
+            failwith (Printf.sprintf "item %d claimed %d times after grow" i c))
+        claims )
+
+(* ---------- scenario: MPSC enqueue vs single-consumer drain --------- *)
+
+let mpsc_enqueue_drain () =
+  let q = Mpsc.create () in
+  let got = ref [] in
+  ( [
+      (fun () ->
+        Mpsc.push q (1, 0);
+        Mpsc.push q (1, 1));
+      (fun () ->
+        Mpsc.push q (2, 0);
+        Mpsc.push q (2, 1));
+      (fun () ->
+        (* bounded drain: the post-condition sweeps up leftovers, so no
+           busy-wait loop blows up the state space *)
+        for _ = 1 to 2 do
+          got := !got @ Mpsc.pop_all q
+        done);
+    ],
+    fun () ->
+      let all = !got @ Mpsc.pop_all q in
+      if List.length all <> 4 then
+        failwith
+          (Printf.sprintf "%d items out of 4 survived" (List.length all));
+      List.iter
+        (fun p ->
+          let seq =
+            List.filter_map (fun (p', v) -> if p' = p then Some v else None) all
+          in
+          if seq <> [ 0; 1 ] then
+            failwith
+              (Printf.sprintf "producer %d order broken under batching" p))
+        [ 1; 2 ] )
+
+(* ---------- scenario: channel send/recv wakeups ---------- *)
+
+let channel_send_recv () =
+  let ch = Chan.create ~capacity:1 () in
+  let got = ref [] in
+  ( [
+      (fun () ->
+        (* capacity 1: the second send must park and be woken by the
+           receiver -- the lost-wakeup window under test *)
+        Chan.send ch 1;
+        Chan.send ch 2;
+        Chan.close ch);
+      (fun () -> Chan.iter ch ~f:(fun v -> got := v :: !got));
+    ],
+    fun () ->
+      if List.rev !got <> [ 1; 2 ] then failwith "channel lost or reordered" )
+
+let channel_two_receivers () =
+  let ch = Chan.create ~capacity:1 () in
+  let a = ref [] and b = ref [] in
+  ( [
+      (fun () ->
+        Chan.send ch 1;
+        Chan.send ch 2;
+        Chan.close ch);
+      (fun () -> Chan.iter ch ~f:(fun v -> a := v :: !a));
+      (fun () -> Chan.iter ch ~f:(fun v -> b := v :: !b));
+    ],
+    fun () ->
+      let all = List.sort compare (!a @ !b) in
+      if all <> [ 1; 2 ] then failwith "two receivers lost/duplicated items" )
+
+(* A receiver on a channel nobody closes must be reported as a
+   deadlock, not hang the checker. *)
+let channel_forgotten_close () =
+  let ch = Chan.create ~capacity:1 () in
+  ( [ (fun () -> ignore (Chan.recv ch)); (fun () -> ()) ],
+    fun () -> () )
+
+(* ---------- scenario: couple() racing work-stealing (BLT) ----------- *)
+
+(* The paper's system-call-consistency invariant, as a protocol model:
+   a UC's coupled sections always execute on its ORIGINAL KC (the home
+   executor), even when the runnable half of the fiber migrates to a
+   stealing worker between them.  Thread 0 is the worker that runs the
+   fiber first, thread 1 is the home executor (KC id 100), thread 2 is
+   the stealing worker (KC id 1).  With [buggy:true] the stolen fiber
+   runs its second syscall inline on the thief's KC -- exactly what the
+   BLT couple() protocol forbids -- and Consistency.Enforce must fire. *)
+let couple_vs_steal ~buggy () =
+  let cons = Consistency.create ~mode:Enforce () in
+  let fired = ref 0 in
+  Consistency.set_hook cons (fun _ -> incr fired);
+  let home = 100 in
+  let syscall kc =
+    ignore
+      (Consistency.check cons ~time:0. ~ulp_name:"uc0" ~syscall:"getpid"
+         ~expected_tid:home ~actual_tid:kc)
+  in
+  let jobs : (int -> unit) Mpsc.t = Mpsc.create () in
+  let submitted = Atomic'.make 0 in
+  let submit job =
+    Mpsc.push jobs job;
+    Atomic'.incr submitted
+  in
+  let wake_q : int Mpsc.t = Mpsc.create () in
+  let woken = Atomic'.make 0 in
+  let flag2 = Atomic'.make false in
+  let jobs_expected = if buggy then 1 else 2 in
+  ( [
+      (* worker 0: fiber segment A -- couple #1, then the UC suspends *)
+      (fun () ->
+        submit (fun kc ->
+            syscall kc;
+            (* the wake path: executor -> MPSC -> whichever worker *)
+            Mpsc.push wake_q 1;
+            Atomic'.incr woken));
+      (* the home executor: every job runs with ITS kc id *)
+      (fun () ->
+        let ran = ref 0 in
+        while !ran < jobs_expected do
+          Sched.wait_until
+            ~on:(Atomic'.id submitted)
+            (fun () -> Atomic'.peek submitted > !ran);
+          let batch = Mpsc.pop_all jobs in
+          List.iter
+            (fun job ->
+              job home;
+              incr ran)
+            batch
+        done);
+      (* worker 1: steals the woken continuation, runs fiber segment B *)
+      (fun () ->
+        Sched.wait_until ~on:(Atomic'.id woken) (fun () ->
+            Atomic'.peek woken > 0);
+        ignore (Mpsc.pop_all wake_q);
+        if buggy then begin
+          (* the downgraded protocol: syscall inline on the thief *)
+          syscall 1;
+          Atomic'.set flag2 true
+        end
+        else
+          (* couple(): back to the home executor, never the thief *)
+          submit (fun kc ->
+              syscall kc;
+              Atomic'.set flag2 true);
+        Sched.wait_until ~on:(Atomic'.id flag2) (fun () ->
+            Atomic'.peek flag2));
+    ],
+    fun () ->
+      if !fired <> 0 then failwith "Consistency.Enforce fired";
+      if not (Atomic'.peek flag2) then failwith "fiber never resumed";
+      if Consistency.checks cons <> 2 then
+        failwith
+          (Printf.sprintf "expected 2 consistency checks, saw %d"
+             (Consistency.checks cons)) )
+
+(* ---------- the model-checked assertions ---------- *)
+
+let adq : (module DEQUE) = (module Adq)
+let buggy_adq : (module DEQUE) = (module Buggy)
+
+let test_pop_steal_race () =
+  let stats = expect_pass "pop-vs-steal" (Sched.check (pop_steal_race adq)) in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_deque_conservation () =
+  let stats =
+    expect_pass "deque-conservation"
+      (Sched.check ~max_schedules:4_000 deque_conservation)
+  in
+  Alcotest.(check bool) "explored plenty" true (stats.Sched.schedules >= 1_000)
+
+let test_deque_growth () =
+  ignore (expect_pass "deque-growth" (Sched.check ~max_schedules:4_000 deque_growth))
+
+let test_mpsc () =
+  ignore
+    (expect_pass "mpsc-enqueue-drain"
+       (Sched.check ~max_schedules:4_000 mpsc_enqueue_drain))
+
+let test_channel () =
+  let stats =
+    expect_pass "channel-send-recv" (Sched.check channel_send_recv)
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_channel_two_receivers () =
+  ignore
+    (expect_pass "channel-two-receivers"
+       (Sched.check ~max_schedules:4_000 channel_two_receivers))
+
+let test_deadlock_detected () =
+  let f, _ = expect_bug "forgotten close" (Sched.check channel_forgotten_close) in
+  Alcotest.(check bool)
+    "reported as deadlock" true
+    (contains ~sub:"Deadlock" f.Sched.f_reason)
+
+let test_couple_vs_steal () =
+  let stats =
+    expect_pass "couple-vs-steal"
+      (Sched.check ~max_schedules:4_000 (couple_vs_steal ~buggy:false))
+  in
+  Printf.printf "couple-vs-steal: %s\n%!"
+    (Format.asprintf "%a" Sched.pp_stats stats);
+  Alcotest.(check bool) "explored some" true (stats.Sched.schedules >= 1)
+
+let test_couple_vs_steal_buggy () =
+  let f, _ =
+    expect_bug "couple-on-thief"
+      (Sched.check ~max_schedules:4_000 (couple_vs_steal ~buggy:true))
+  in
+  Alcotest.(check bool)
+    "Enforce fired" true
+    (contains ~sub:"Violation" f.Sched.f_reason)
+
+(* ---------- the checker catches the seeded bug ---------- *)
+
+let test_buggy_deque_caught () =
+  let f, stats = expect_bug "buggy-deque" (Sched.check (pop_steal_race buggy_adq)) in
+  Printf.printf
+    "seeded bug caught after %d schedules; failing schedule: %s\n%!"
+    stats.Sched.schedules
+    (String.concat "," (List.map string_of_int f.Sched.f_schedule));
+  print_string (Sched.failure_to_string f);
+  (* the printed schedule replays to the same failure *)
+  (match Sched.replay ~schedule:f.Sched.f_schedule (pop_steal_race buggy_adq) with
+  | Error f' ->
+      Alcotest.(check string)
+        "replay reproduces the same failure" f.Sched.f_reason f'.Sched.f_reason
+  | Ok _ -> Alcotest.fail "replay of the failing schedule passed");
+  (* and the faithful deque survives the exact same schedule *)
+  match Sched.replay ~schedule:f.Sched.f_schedule (pop_steal_race adq) with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful deque failed the buggy deque's schedule"
+
+let test_fuzzer_finds_seeded_bug () =
+  match Sched.fuzz ~runs:500 ~seed:Test_seed.seed (pop_steal_race buggy_adq) with
+  | Sched.Fuzz_pass _ ->
+      Alcotest.fail "fuzzer missed the seeded bug in 500 schedules"
+  | Sched.Fuzz_bug f -> (
+      let seed =
+        match f.Sched.f_seed with
+        | Some s -> s
+        | None -> Alcotest.fail "fuzz failure carries no seed"
+      in
+      Printf.printf "fuzzer caught the seeded bug: CHECK_SEED=%d reproduces\n%!"
+        seed;
+      print_string (Sched.failure_to_string f);
+      (* CHECK_SEED replay path: the seed alone rebuilds the schedule *)
+      match Sched.fuzz_one ~seed (pop_steal_race buggy_adq) with
+      | Error f' ->
+          Alcotest.(check string)
+            "seed replays to the same failure" f.Sched.f_reason
+            f'.Sched.f_reason
+      | Ok _ -> Alcotest.fail "CHECK_SEED replay passed")
+
+let test_fuzz_real_structures_clean () =
+  List.iter
+    (fun (name, scen) ->
+      match Sched.fuzz ~runs:300 ~seed:Test_seed.seed scen with
+      | Sched.Fuzz_pass _ -> ()
+      | Sched.Fuzz_bug f ->
+          Sched.dump_failure ~file:trace_file f;
+          Sched.print_failure f;
+          Alcotest.failf "%s: fuzzer found a bug (CHECK_SEED=%s)" name
+            (match f.Sched.f_seed with
+            | Some s -> string_of_int s
+            | None -> "?"))
+    [
+      ("deque-conservation", deque_conservation);
+      ("deque-growth", deque_growth);
+      ("mpsc", mpsc_enqueue_drain);
+      ("channel", channel_send_recv);
+      ("couple-vs-steal", couple_vs_steal ~buggy:false);
+    ]
+
+(* ---------- the acceptance gate: >= 10k interleavings, bounded time -- *)
+
+let test_interleaving_budget () =
+  let t0 = Unix.gettimeofday () in
+  let total =
+    List.fold_left
+      (fun acc (name, cap, scen) ->
+        let stats = expect_pass name (Sched.check ~max_schedules:cap scen) in
+        Printf.printf "  %-24s %s\n%!" name
+          (Format.asprintf "%a" Sched.pp_stats stats);
+        acc + stats.Sched.schedules)
+      0
+      [
+        ("pop-steal-race", 4_000, pop_steal_race adq);
+        ("deque-conservation", 4_000, deque_conservation);
+        ("deque-growth", 4_000, deque_growth);
+        ("mpsc-enqueue-drain", 4_000, mpsc_enqueue_drain);
+        ("channel-send-recv", 4_000, channel_send_recv);
+        ("channel-two-receivers", 4_000, channel_two_receivers);
+        ("couple-vs-steal", 4_000, couple_vs_steal ~buggy:false);
+      ]
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "explored %d distinct interleavings in %.2fs\n%!" total dt;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 10k distinct interleavings (got %d)" total)
+    true (total >= 10_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "under 60s (took %.2fs)" dt)
+    true (dt < 60.0)
+
+let () =
+  Test_seed.announce "test_check";
+  Alcotest.run "check"
+    [
+      ( "deque",
+        [
+          Alcotest.test_case "size-1 pop vs steal race" `Quick
+            test_pop_steal_race;
+          Alcotest.test_case "push/steal/pop conservation" `Quick
+            test_deque_conservation;
+          Alcotest.test_case "growth under concurrent steal" `Quick
+            test_deque_growth;
+        ] );
+      ( "mpsc",
+        [ Alcotest.test_case "enqueue vs drain" `Quick test_mpsc ] );
+      ( "channel",
+        [
+          Alcotest.test_case "send/recv wakeups" `Quick test_channel;
+          Alcotest.test_case "two receivers" `Quick test_channel_two_receivers;
+          Alcotest.test_case "forgotten close = deadlock" `Quick
+            test_deadlock_detected;
+        ] );
+      ( "couple",
+        [
+          Alcotest.test_case "couple vs steal keeps home KC" `Quick
+            test_couple_vs_steal;
+          Alcotest.test_case "foreign-KC syscall caught" `Quick
+            test_couple_vs_steal_buggy;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "seeded deque bug caught + replay" `Quick
+            test_buggy_deque_caught;
+          Alcotest.test_case "fuzzer catches seeded bug via CHECK_SEED" `Quick
+            test_fuzzer_finds_seeded_bug;
+          Alcotest.test_case "fuzzer clean on real structures" `Quick
+            test_fuzz_real_structures_clean;
+          Alcotest.test_case "10k interleavings under 60s" `Quick
+            test_interleaving_budget;
+        ] );
+    ]

@@ -581,6 +581,113 @@ let test_par_channel_pipeline_across_domains () =
     (List.init n (fun i -> i + 1))
     (List.rev !got)
 
+(* The big one: N fibers x M domains, each fiber doing a seeded random
+   mix of yield / nested spawn+join / channel traffic / coupled
+   sections.  Whatever the interleaving: every fiber completes exactly
+   once, every channel message is accounted for, no KC ever records a
+   failure, and the whole thing finishes in bounded time.  The per-fiber
+   RNG streams derive from [Test_seed.seed], so a red run reproduces
+   with TEST_SEED=<printed seed>. *)
+let test_par_mixed_traffic_stress () =
+  let domains = 4 and n = 48 and steps = 25 in
+  let t0 = Unix.gettimeofday () in
+  let completions = Atomic.make 0 in
+  let children = Atomic.make 0 in
+  let received = Atomic.make 0 in
+  let sent = Atomic.make 0 in
+  let kc_bad = Atomic.make 0 in
+  Fiber.run_parallel ~domains (fun () ->
+      let ch = Fiber_rt.Channel.create ~capacity:8 () in
+      let consumer =
+        Fiber.spawn (fun () ->
+            Fiber_rt.Channel.iter ch ~f:(fun _ -> Atomic.incr received))
+      in
+      let fs =
+        List.init n (fun i ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state i in
+                for _ = 1 to steps do
+                  match Random.State.int rng 4 with
+                  | 0 -> Fiber.yield ()
+                  | 1 ->
+                      Atomic.incr children;
+                      let child =
+                        Fiber.spawn (fun () ->
+                            Fiber.yield ();
+                            Atomic.incr completions)
+                      in
+                      Fiber.join child
+                  | 2 ->
+                      Atomic.incr sent;
+                      Fiber_rt.Channel.send ch i
+                  | _ -> ignore (Blt_rt.coupled (fun () -> ()))
+                done;
+                if Blt_rt.kc_failures () > 0 then Atomic.incr kc_bad;
+                Atomic.incr completions))
+      in
+      List.iter Fiber.join fs;
+      Fiber_rt.Channel.close ch;
+      Fiber.join consumer);
+  let dt = Unix.gettimeofday () -. t0 in
+  let msg what =
+    Printf.sprintf "%s (TEST_SEED=%d to reproduce)" what Test_seed.seed
+  in
+  Alcotest.(check int)
+    (msg "every fiber and child completed exactly once")
+    (n + Atomic.get children)
+    (Atomic.get completions);
+  Alcotest.(check int)
+    (msg "no lost or duplicated channel messages")
+    (Atomic.get sent) (Atomic.get received);
+  Alcotest.(check int) (msg "no KC failures") 0 (Atomic.get kc_bad);
+  Alcotest.(check bool)
+    (msg (Printf.sprintf "bounded runtime (%.2fs)" dt))
+    true (dt < 30.0)
+
+(* Lost/dup completion accounting needs an exact count: run the same
+   seeded traffic but tally children deterministically. *)
+let test_par_stress_exact_completions () =
+  let domains = 3 and n = 32 and steps = 20 in
+  (* precompute each fiber's op sequence from its seeded stream, so the
+     expected completion count is known before the parallel run *)
+  let plans =
+    Array.init n (fun i ->
+        let rng = Test_seed.derived_state (1000 + i) in
+        Array.init steps (fun _ -> Random.State.int rng 3))
+  in
+  let expected_children =
+    Array.fold_left
+      (fun acc plan ->
+        acc + Array.fold_left (fun a op -> if op = 1 then a + 1 else a) 0 plan)
+      0 plans
+  in
+  let completions = Atomic.make 0 in
+  Fiber.run_parallel ~domains (fun () ->
+      let fs =
+        List.init n (fun i ->
+            Fiber.spawn (fun () ->
+                Array.iter
+                  (fun op ->
+                    match op with
+                    | 0 -> Fiber.yield ()
+                    | 1 ->
+                        let child =
+                          Fiber.spawn (fun () ->
+                              Fiber.yield ();
+                              Atomic.incr completions)
+                        in
+                        Fiber.join child
+                    | _ -> ignore (Blt_rt.coupled (fun () -> ())))
+                  plans.(i);
+                Atomic.incr completions))
+      in
+      List.iter Fiber.join fs);
+  Alcotest.(check int)
+    (Printf.sprintf
+       "every fiber and child completed exactly once (TEST_SEED=%d)"
+       Test_seed.seed)
+    (n + expected_children) (Atomic.get completions)
+
 let prop_par_spawn_tree_completes =
   QCheck.Test.make ~name:"parallel: n fibers of k yields all finish" ~count:10
     QCheck.(triple (int_range 1 4) (int_range 1 12) (int_range 0 8))
@@ -774,7 +881,12 @@ let prop_yield_count_independent_of_interleaving =
           List.iter Fiber.join fs);
       !finished = n)
 
+(* All qcheck properties draw from the shared [Test_seed.seed], so any
+   counterexample reproduces with TEST_SEED=<n>. *)
+let qcheck t = QCheck_alcotest.to_alcotest ~rand:(Test_seed.rand_state ()) t
+
 let () =
+  Test_seed.announce "test_fiber_rt";
   Alcotest.run "fiber_rt"
     [
       ( "executor",
@@ -818,7 +930,11 @@ let () =
             test_par_kc_failures_surface;
           Alcotest.test_case "channel pipeline across domains" `Quick
             test_par_channel_pipeline_across_domains;
-          QCheck_alcotest.to_alcotest prop_par_spawn_tree_completes;
+          Alcotest.test_case "mixed-traffic stress" `Quick
+            test_par_mixed_traffic_stress;
+          Alcotest.test_case "stress: exact completion accounting" `Quick
+            test_par_stress_exact_completions;
+          qcheck prop_par_spawn_tree_completes;
         ] );
       ( "fibers",
         [
@@ -866,7 +982,7 @@ let () =
         ] );
       ( "properties",
         [
-          QCheck_alcotest.to_alcotest prop_yield_count_independent_of_interleaving;
-          QCheck_alcotest.to_alcotest prop_channel_preserves_all_items;
+          qcheck prop_yield_count_independent_of_interleaving;
+          qcheck prop_channel_preserves_all_items;
         ] );
     ]

@@ -1,0 +1,187 @@
+(* Model-based property tests: the runtime's queues vs naive reference
+   models.
+
+   Each property generates a random operation sequence, applies it both
+   to the real structure (sequentially -- the interleaving checker in
+   test_check covers concurrency) and to a trivially-correct sequential
+   model, and compares every observable result.  QCheck shrinks a
+   failing sequence down to a minimal counterexample, and the generator
+   is seeded from [Test_seed.seed] so any red run reproduces with
+   TEST_SEED=<n>. *)
+
+module Adq = Fiber_rt.Atomic_deque
+module Mpsc = Fiber_rt.Mpsc_queue
+module Heap = Ult.Prio_heap
+
+(* ---------- Atomic_deque vs a list used as a stack/queue ---------- *)
+
+type deque_op = Push of int | Pop | Steal
+
+let deque_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun v -> Push v) (int_bound 999));
+        (2, return Pop);
+        (2, return Steal);
+      ])
+
+let show_deque_op = function
+  | Push v -> Printf.sprintf "Push %d" v
+  | Pop -> "Pop"
+  | Steal -> "Steal"
+
+let deque_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_deque_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) deque_op_gen)
+
+(* Reference: a list, newest at the head.  Pop takes the head (LIFO),
+   steal takes the last element (FIFO from the other end). *)
+let model_deque_apply model op =
+  match op with
+  | Push v -> (v :: model, None)
+  | Pop -> ( match model with [] -> ([], None) | v :: tl -> (tl, Some v))
+  | Steal -> (
+      match List.rev model with
+      | [] -> ([], None)
+      | oldest :: rest -> (List.rev rest, Some oldest))
+
+let prop_deque_matches_model ops =
+  let d = Adq.create ~dummy:(-1) in
+  let model = ref [] in
+  List.for_all
+    (fun op ->
+      let m', expected = model_deque_apply !model op in
+      model := m';
+      let got =
+        match op with
+        | Push v ->
+            Adq.push d v;
+            None
+        | Pop -> Adq.pop d
+        | Steal -> Adq.steal d
+      in
+      got = expected && Adq.length d = List.length !model)
+    ops
+
+(* ---------- Mpsc_queue vs a FIFO list ---------- *)
+
+type mpsc_op = Enq of int | Drain
+
+let mpsc_op_gen =
+  QCheck.Gen.(
+    frequency [ (4, map (fun v -> Enq v) (int_bound 999)); (1, return Drain) ])
+
+let show_mpsc_op = function
+  | Enq v -> Printf.sprintf "Enq %d" v
+  | Drain -> "Drain"
+
+let mpsc_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_mpsc_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) mpsc_op_gen)
+
+let prop_mpsc_matches_model ops =
+  let q = Mpsc.create () in
+  let model = ref [] (* oldest first *) in
+  List.for_all
+    (fun op ->
+      match op with
+      | Enq v ->
+          Mpsc.push q v;
+          model := !model @ [ v ];
+          Mpsc.length q = List.length !model
+      | Drain ->
+          let got = Mpsc.pop_all q in
+          let expected = !model in
+          model := [];
+          got = expected && Mpsc.is_empty q)
+    ops
+
+(* ---------- Ult.Prio_heap vs a sorted association list ---------- *)
+
+type heap_op = Hpush of int * int (* prio, value *) | Hpop | Hpeek
+
+let heap_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun p v -> Hpush (p, v)) (int_bound 9) (int_bound 999));
+        (2, return Hpop);
+        (1, return Hpeek);
+      ])
+
+let show_heap_op = function
+  | Hpush (p, v) -> Printf.sprintf "Push(prio=%d, %d)" p v
+  | Hpop -> "Pop"
+  | Hpeek -> "Peek"
+
+let heap_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_heap_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) heap_op_gen)
+
+(* Reference: a list of (prio, insertion-seq, value); pop takes the
+   max prio, FIFO (lowest seq) among equals.  Quadratic and obviously
+   right. *)
+let model_heap_best model =
+  List.fold_left
+    (fun best ((p, s, _) as cand) ->
+      match best with
+      | None -> Some cand
+      | Some (bp, bs, _) ->
+          if p > bp || (p = bp && s < bs) then Some cand else best)
+    None model
+
+let prop_heap_matches_model ops =
+  let h = Heap.create () in
+  let model = ref [] and next_seq = ref 0 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Hpush (p, v) ->
+          Heap.push h ~prio:p v;
+          model := (p, !next_seq, v) :: !model;
+          incr next_seq;
+          Heap.length h = List.length !model
+      | Hpeek ->
+          let expected =
+            Option.map (fun (_, _, v) -> v) (model_heap_best !model)
+          in
+          Heap.peek h = expected
+      | Hpop -> (
+          let got = Heap.pop h in
+          match model_heap_best !model with
+          | None -> got = None
+          | Some ((_, _, v) as best) ->
+              model := List.filter (fun e -> e != best) !model;
+              got = Some v && Heap.length h = List.length !model))
+    ops
+
+(* ---------- runner ---------- *)
+
+let () =
+  Test_seed.announce "test_model";
+  let rand = Test_seed.rand_state () in
+  let count = 300 in
+  let t name arb prop =
+    QCheck_alcotest.to_alcotest ~rand
+      (QCheck.Test.make ~count
+         ~name:(Printf.sprintf "%s (TEST_SEED=%d)" name Test_seed.seed)
+         arb prop)
+  in
+  Alcotest.run "model"
+    [
+      ( "vs-reference-model",
+        [
+          t "Atomic_deque = stack+queue list model" deque_ops_arb
+            prop_deque_matches_model;
+          t "Mpsc_queue = FIFO list model" mpsc_ops_arb prop_mpsc_matches_model;
+          t "Ult.Prio_heap = sorted assoc model" heap_ops_arb
+            prop_heap_matches_model;
+        ] );
+    ]

@@ -1,0 +1,31 @@
+(* One seed to reproduce any red run.
+
+   Every randomized test in this directory derives its randomness from
+   [seed]: qcheck properties via [rand_state], the parallel stress test
+   via per-fiber splitmix states.  The suites print the seed up front
+   and weave it into failure messages, so a failing CI log always says
+   how to reproduce: TEST_SEED=<n> dune exec test/<suite>.exe.
+
+   (This module is shared by all test executables in the directory; it
+   has no top-level effects.) *)
+
+let default = 0xC0FFEE
+
+let seed =
+  match Sys.getenv_opt "TEST_SEED" with
+  | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let announce suite =
+  Printf.printf "[%s] TEST_SEED=%d (env TEST_SEED overrides)\n%!" suite seed
+
+let rand_state () = Random.State.make [| seed |]
+
+(* Independent deterministic streams, e.g. one per stress fiber. *)
+let derive i =
+  let z = seed + ((i + 1) * 0x9e3779b9) in
+  let z = (z lxor (z lsr 16)) * 0x85ebca6b land max_int in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 land max_int in
+  (z lxor (z lsr 16)) land max_int
+
+let derived_state i = Random.State.make [| derive i |]
