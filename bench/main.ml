@@ -10,11 +10,15 @@
       ablation-tls ablation-idle ablation-faults ablation-mn
       ablation-sigmask ablation-blocking ablation-oversub
       ablation-nonblock ablation-policy ablation-scale mpi real
-      parallel [--quick])
+      parallel [--quick] [--diff old.json] validate)
 
    The [parallel] target measures the work-stealing multicore fiber
-   scheduler for 1, 2 and 4 domains and writes BENCH_parallel.json;
-   [--quick] shrinks it for CI smoke runs.
+   scheduler for 1, 2 and 4 domains (warmup + repetitions, median/p99
+   per config) and writes BENCH_parallel.json; [--quick] shrinks it for
+   CI smoke runs, [--diff old.json] appends a regression table against
+   a previous run's JSON.  [validate] re-parses BENCH_parallel.json and
+   exits nonzero if it is missing, malformed, or lying about
+   oversubscription -- the CI bench-smoke gate.
 
    Absolute numbers for Tables III-V are expected to match the paper
    closely (the base rows are calibration, the composites are validated
@@ -735,14 +739,61 @@ let run_real () =
 (* Parallel fiber runtime: scaling micro-benchmarks (wall clock)     *)
 (* ---------------------------------------------------------------- *)
 
-(* Spawn/join throughput, yield latency and cross-domain ping-pong on
-   [Fiber.run_parallel] for 1, 2 and 4 domains, plus the 1-vs-N speedup
-   curve on the embarrassingly parallel spawn/join workload.  Results
-   also go to BENCH_parallel.json (schema documented in README.md) so
-   later PRs can track the perf trajectory.  Speedup beyond 1.0 needs
-   real cores: the host core count is recorded in the JSON. *)
+(* Spawn/join fan-out, recursive fork-join (work_steal_tree), yield
+   churn and cross-domain ping-pong on [Fiber.run_parallel] for 1, 2
+   and 4 domains.  Every configuration runs [warmup] discarded rounds
+   plus [reps] measured repetitions; the table and the JSON report
+   median and p99 wall-clock per config, not a single sample.  Results
+   go to BENCH_parallel.json (schema ulp-pip/parallel-bench/v2,
+   documented in README.md) so later PRs can diff the perf trajectory
+   with --diff.  Speedup beyond 1.0 needs real cores: host_cores is
+   recorded, and any config with domains > host_cores carries an
+   explicit "oversubscribed": true -- those numbers measure scheduler
+   overhead under time-slicing, not scaling. *)
+
+module Stats = Sim.Stats
+module Json = Report.Json
 
 let parallel_domain_counts = [ 1; 2; 4 ]
+let host_cores () = Domain.recommended_domain_count ()
+let oversubscribed ~domains = domains > host_cores ()
+let bench_file = "BENCH_parallel.json"
+
+type pstat = {
+  ps_name : string;
+  ps_domains : int;
+  ps_items : int;
+  ps_reps : int;
+  ps_median_s : float;
+  ps_p99_s : float; (* = max for small rep counts; still honest *)
+  ps_median_tput : float;
+  ps_steals : int; (* median across reps *)
+}
+
+let measure ~warmup ~reps run =
+  for _ = 1 to warmup do
+    ignore (run ())
+  done;
+  let rs = List.init reps (fun _ -> run ()) in
+  let stat_of f =
+    let s = Stats.create () in
+    List.iter (fun r -> Stats.add s (f r)) rs;
+    s
+  in
+  let elapsed = stat_of (fun r -> r.Par_workload.elapsed) in
+  let tput = stat_of (fun r -> r.Par_workload.throughput) in
+  let steals = stat_of (fun r -> float_of_int r.Par_workload.steals) in
+  let r0 = List.hd rs in
+  {
+    ps_name = r0.Par_workload.name;
+    ps_domains = r0.Par_workload.domains;
+    ps_items = r0.Par_workload.items;
+    ps_reps = reps;
+    ps_median_s = Stats.median elapsed;
+    ps_p99_s = Stats.percentile elapsed 99.0;
+    ps_median_tput = Stats.median tput;
+    ps_steals = int_of_float (Stats.median steals +. 0.5);
+  }
 
 let json_escape s =
   String.concat ""
@@ -751,111 +802,259 @@ let json_escape s =
          | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let parallel_json ~quick ~results ~speedups =
-  let buf = Buffer.create 2048 in
-  let result_obj (r : Par_workload.result) =
+let parallel_json ~quick ~warmup ~stats ~speedups =
+  let buf = Buffer.create 4096 in
+  let stat_obj p =
     Printf.sprintf
-      "    {\"name\": \"%s\", \"domains\": %d, \"items\": %d, \"elapsed_s\": \
-       %.9f, \"throughput_per_s\": %.3f, \"steals\": %d}"
-      (json_escape r.Par_workload.name)
-      r.Par_workload.domains r.Par_workload.items r.Par_workload.elapsed
-      r.Par_workload.throughput r.Par_workload.steals
+      "    {\"name\": \"%s\", \"domains\": %d, \"oversubscribed\": %b, \
+       \"items\": %d, \"reps\": %d, \"median_s\": %.9f, \"p99_s\": %.9f, \
+       \"median_throughput_per_s\": %.3f, \"steals\": %d}"
+      (json_escape p.ps_name) p.ps_domains
+      (oversubscribed ~domains:p.ps_domains)
+      p.ps_items p.ps_reps p.ps_median_s p.ps_p99_s p.ps_median_tput p.ps_steals
   in
-  let speedup_obj ((r : Par_workload.result), s) =
+  let speedup_obj (name, domains, s) =
     Printf.sprintf
-      "    {\"name\": \"%s\", \"domains\": %d, \"speedup_vs_1\": %.4f}"
-      (json_escape r.Par_workload.name)
-      r.Par_workload.domains s
+      "    {\"name\": \"%s\", \"domains\": %d, \"oversubscribed\": %b, \
+       \"speedup_vs_1\": %.4f}"
+      (json_escape name) domains
+      (oversubscribed ~domains)
+      s
   in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"ulp-pip/parallel-bench/v2\",\n";
   Buffer.add_string buf
-    "  \"schema\": \"ulp-pip/parallel-bench/v1\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"host_cores\": %d,\n"
-       (Domain.recommended_domain_count ()));
+    (Printf.sprintf "  \"host_cores\": %d,\n" (host_cores ()));
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf (Printf.sprintf "  \"warmup\": %d,\n" warmup);
   Buffer.add_string buf "  \"results\": [\n";
-  Buffer.add_string buf (String.concat ",\n" (List.map result_obj results));
+  Buffer.add_string buf (String.concat ",\n" (List.map stat_obj stats));
   Buffer.add_string buf "\n  ],\n  \"speedups\": [\n";
   Buffer.add_string buf (String.concat ",\n" (List.map speedup_obj speedups));
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-let run_parallel_bench ~quick () =
+(* Regression table against a previous BENCH_parallel.json (v1 files
+   carry a single elapsed_s sample; v2 carries the median).  Reporting
+   only -- no gating, no exit code: machines differ, CI shares cores. *)
+let print_diff ~old_file stats =
+  match Json.parse_file old_file with
+  | Error msg ->
+      Printf.eprintf "--diff %s: %s\n" old_file msg;
+      exit 2
+  | Ok doc ->
+      let old_entries =
+        match Option.bind (Json.member "results" doc) Json.to_list with
+        | Some l ->
+            List.filter_map
+              (fun e ->
+                let num k = Option.bind (Json.member k e) Json.to_float in
+                match
+                  ( Option.bind (Json.member "name" e) Json.to_string,
+                    num "domains",
+                    (* v2 median_s, else the v1 single sample *)
+                    match num "median_s" with
+                    | Some _ as m -> m
+                    | None -> num "elapsed_s" )
+                with
+                | Some name, Some d, Some s -> Some ((name, int_of_float d), s)
+                | _ -> None)
+              l
+        | None -> []
+      in
+      let t =
+        Table.create
+          ~title:(Printf.sprintf "Regression vs %s (old/new; >1 = faster now)"
+                    old_file)
+          ~headers:[ "workload"; "domains"; "old [s]"; "new [s]"; "speedup" ]
+          ~aligns:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+          ()
+      in
+      List.iter
+        (fun p ->
+          match List.assoc_opt (p.ps_name, p.ps_domains) old_entries with
+          | None -> ()
+          | Some old_s ->
+              Table.add_row t
+                [
+                  p.ps_name;
+                  string_of_int p.ps_domains;
+                  sci old_s;
+                  sci p.ps_median_s;
+                  (if p.ps_median_s > 0.0 then
+                     Printf.sprintf "%.2fx" (old_s /. p.ps_median_s)
+                   else "-");
+                ])
+        stats;
+      Table.print t
+
+let run_parallel_bench ~quick ~diff () =
   let fibers = if quick then 2_000 else 20_000 in
   let work = if quick then 250 else 1_000 in
+  let depth = if quick then 9 else 12 (* 1023 / 8191 tree nodes *) in
+  let tree_work = if quick then 200 else 400 in
   let yields = if quick then 50 else 200 in
   let yfibers = if quick then 20 else 100 in
   let msgs = if quick then 2_000 else 20_000 in
+  let warmup = 1 in
+  let reps = if quick then 3 else 5 in
+  let stats =
+    List.concat_map
+      (fun (mk : domains:int -> Par_workload.result) ->
+        List.map
+          (fun domains -> measure ~warmup ~reps (fun () -> mk ~domains))
+          parallel_domain_counts)
+      [
+        (fun ~domains -> Par_workload.spawn_join ~domains ~fibers ~work);
+        (fun ~domains ->
+          Par_workload.work_steal_tree ~domains ~depth ~work:tree_work);
+        (fun ~domains ->
+          Par_workload.yield_storm ~domains ~fibers:yfibers ~yields);
+        (fun ~domains -> Par_workload.ping_pong ~domains ~msgs);
+      ]
+  in
   let t =
     Table.create
       ~title:
         (Printf.sprintf
            "Parallel fiber runtime (work stealing on OCaml domains; host has \
-            %d core%s)"
-           (Domain.recommended_domain_count ())
-           (if Domain.recommended_domain_count () = 1 then "" else "s"))
+            %d core%s; %d warmup + %d reps per config)"
+           (host_cores ())
+           (if host_cores () = 1 then "" else "s")
+           warmup reps)
       ~headers:
-        [ "workload"; "domains"; "items"; "elapsed [s]"; "items/s"; "steals" ]
+        [ "workload"; "domains"; "oversub"; "items"; "median [s]"; "p99 [s]";
+          "items/s"; "steals" ]
       ~aligns:
-        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right ]
-      ()
-  in
-  let row (r : Par_workload.result) =
-    Table.add_row t
-      [
-        r.Par_workload.name;
-        string_of_int r.Par_workload.domains;
-        string_of_int r.Par_workload.items;
-        sci r.Par_workload.elapsed;
-        Printf.sprintf "%.0f" r.Par_workload.throughput;
-        string_of_int r.Par_workload.steals;
-      ]
-  in
-  (* spawn/join speedup curve first: its 1-domain run is the baseline *)
-  let curve =
-    Par_workload.speedup_curve ~domain_counts:parallel_domain_counts ~fibers
-      ~work
-  in
-  let spawn_results = List.map fst curve in
-  let yield_results =
-    List.map
-      (fun d -> Par_workload.yield_storm ~domains:d ~fibers:yfibers ~yields)
-      parallel_domain_counts
-  in
-  let pingpong_results =
-    List.map
-      (fun d -> Par_workload.ping_pong ~domains:d ~msgs)
-      parallel_domain_counts
-  in
-  List.iter row spawn_results;
-  List.iter row yield_results;
-  List.iter row pingpong_results;
-  Table.print t;
-  let st =
-    Table.create ~title:"Speedup vs 1 domain (spawn_join)"
-      ~headers:[ "domains"; "speedup" ]
-      ~aligns:[ Table.Right; Table.Right ]
+        [ Table.Left; Table.Right; Table.Left; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right ]
       ()
   in
   List.iter
-    (fun ((r : Par_workload.result), s) ->
+    (fun p ->
+      Table.add_row t
+        [
+          p.ps_name;
+          string_of_int p.ps_domains;
+          (if oversubscribed ~domains:p.ps_domains then "YES" else "-");
+          string_of_int p.ps_items;
+          sci p.ps_median_s;
+          sci p.ps_p99_s;
+          Printf.sprintf "%.0f" p.ps_median_tput;
+          string_of_int p.ps_steals;
+        ])
+    stats;
+  Table.print t;
+  (* speedup curves from the medians, for the two scaling workloads *)
+  let speedups =
+    List.concat_map
+      (fun wname ->
+        let of_workload =
+          List.filter (fun p -> p.ps_name = wname) stats
+        in
+        match List.find_opt (fun p -> p.ps_domains = 1) of_workload with
+        | None -> []
+        | Some base ->
+            List.map
+              (fun p ->
+                ( p.ps_name,
+                  p.ps_domains,
+                  if p.ps_median_s > 0.0 then base.ps_median_s /. p.ps_median_s
+                  else 0.0 ))
+              of_workload)
+      [ "spawn_join"; "work_steal_tree" ]
+  in
+  let st =
+    Table.create ~title:"Speedup vs 1 domain (median wall clock)"
+      ~headers:[ "workload"; "domains"; "oversub"; "speedup" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Left; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun (name, domains, s) ->
       Table.add_row st
-        [ string_of_int r.Par_workload.domains; Printf.sprintf "%.2fx" s ])
-    curve;
+        [
+          name;
+          string_of_int domains;
+          (if oversubscribed ~domains then "YES" else "-");
+          Printf.sprintf "%.2fx" s;
+        ])
+    speedups;
   Table.print st;
   print_endline
-    "  (LIFO owner pop + randomized FIFO steals per domain, MPSC injection\n\
-    \   for cross-thread wake-ups, spin-then-block idle workers -- the\n\
-    \   Section VII M:N extension on real cores.  Speedup > 1 requires a\n\
-    \   multicore host; host_cores is recorded in BENCH_parallel.json)";
-  let results = spawn_results @ yield_results @ pingpong_results in
-  let json = parallel_json ~quick ~results ~speedups:curve in
-  let oc = open_out "BENCH_parallel.json" in
+    "  (per-worker overflow FIFO for yields, steal-half batches, lock-free\n\
+    \   join, targeted one-worker wake-ups -- the Section VII M:N extension\n\
+    \   on real cores.  Speedup > 1 requires a multicore host; configs with\n\
+    \   domains > host_cores are flagged oversubscribed above and in the\n\
+    \   JSON: they measure time-sliced overhead, not scaling)";
+  let json = parallel_json ~quick ~warmup ~stats ~speedups in
+  let oc = open_out bench_file in
   output_string oc json;
   close_out oc;
-  Printf.printf "  wrote BENCH_parallel.json (%d results)\n" (List.length results)
+  Printf.printf "  wrote %s (%d results)\n" bench_file (List.length stats);
+  match diff with
+  | Some old_file -> print_diff ~old_file stats
+  | None -> ()
+
+(* CI smoke gate: BENCH_parallel.json must exist, parse, and carry the
+   v2 schema with sane fields.  Exit 1 on any violation (the bench-smoke
+   job fails on crash or malformed output, never on perf numbers). *)
+let run_validate () =
+  let fail msg =
+    Printf.eprintf "%s: %s\n" bench_file msg;
+    exit 1
+  in
+  match Json.parse_file bench_file with
+  | Error msg -> fail msg
+  | Ok doc ->
+      (match Option.bind (Json.member "schema" doc) Json.to_string with
+      | Some "ulp-pip/parallel-bench/v2" -> ()
+      | Some other -> fail (Printf.sprintf "unexpected schema %S" other)
+      | None -> fail "missing schema");
+      let cores =
+        match Option.bind (Json.member "host_cores" doc) Json.to_float with
+        | Some c when c >= 1.0 -> int_of_float c
+        | _ -> fail "missing/bad host_cores"
+      in
+      let results =
+        match Option.bind (Json.member "results" doc) Json.to_list with
+        | Some (_ :: _ as l) -> l
+        | Some [] -> fail "empty results"
+        | None -> fail "missing results"
+      in
+      List.iter
+        (fun e ->
+          let num k =
+            match Option.bind (Json.member k e) Json.to_float with
+            | Some f when Float.is_finite f && f >= 0.0 -> f
+            | _ -> fail (Printf.sprintf "result with missing/bad %S" k)
+          in
+          let name =
+            match Option.bind (Json.member "name" e) Json.to_string with
+            | Some n -> n
+            | None -> fail "result without name"
+          in
+          let domains = int_of_float (num "domains") in
+          ignore (num "median_s");
+          ignore (num "p99_s");
+          ignore (num "median_throughput_per_s");
+          ignore (num "steals");
+          match Option.bind (Json.member "oversubscribed" e) Json.to_bool with
+          | Some flag ->
+              if flag <> (domains > cores) then
+                fail
+                  (Printf.sprintf
+                     "%s@%d: oversubscribed=%b but host_cores=%d -- the flag \
+                      must be honest"
+                     name domains flag cores)
+          | None -> fail (name ^ ": missing oversubscribed flag"))
+        results;
+      (match Option.bind (Json.member "speedups" doc) Json.to_list with
+      | Some (_ :: _) -> ()
+      | _ -> fail "missing/empty speedups");
+      Printf.printf "%s: valid (%d results, host_cores=%d)\n" bench_file
+        (List.length results) cores
 
 (* ---------------------------------------------------------------- *)
 (* main                                                              *)
@@ -885,21 +1084,36 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --quick shrinks the parallel workloads for CI smoke runs *)
+  (* --quick shrinks the parallel workloads for CI smoke runs;
+     --diff FILE prints a regression table against an older
+     BENCH_parallel.json after the parallel target runs *)
   let quick = List.mem "--quick" args in
+  let rec extract_diff acc = function
+    | "--diff" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | [ "--diff" ] ->
+        prerr_endline "--diff needs a file argument";
+        exit 2
+    | a :: rest -> extract_diff (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let diff, args = extract_diff [] args in
   let names = List.filter (fun a -> a <> "--quick") args in
-  let experiments = experiments @ [ ("parallel", run_parallel_bench ~quick) ] in
+  let experiments =
+    experiments @ [ ("parallel", run_parallel_bench ~quick ~diff) ]
+  in
+  (* [validate] is a CI gate, only run by name -- never part of "all" *)
+  let by_name = experiments @ [ ("validate", run_validate) ] in
   let requested =
     match names with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
+      match List.assoc_opt name by_name with
       | Some f ->
           f ();
           print_newline ()
       | None ->
           Printf.eprintf "unknown experiment %S; known: %s\n" name
-            (String.concat ", " (List.map fst experiments));
+            (String.concat ", " (List.map fst by_name));
           exit 2)
     requested

@@ -1,0 +1,42 @@
+(* TEST-ONLY copy of Completion with a deliberately seeded bug: [finish]
+   reads the joiner list with a plain [get] and then stores [Done] with a
+   plain [set], instead of snatching the list with one [exchange].  A
+   joiner whose CAS lands BETWEEN the read and the store is silently
+   overwritten -- its wake function never runs, so the joiner sleeps
+   forever (a lost wake-up, observed by the checker as a deadlock).
+
+   test_check asserts that the checker reports a bug on THIS module for
+   the finish-vs-join race while the faithful copy passes the same
+   scenario.  Never use outside tests. *)
+
+type state =
+  | Running
+  | Done
+  | Joiners of (unit -> unit) list (* newest first *)
+
+type t = state Atomic.t
+
+let create () = Atomic.make Running
+
+let is_done t = match Atomic.get t with Done -> true | _ -> false
+
+let rec add_joiner t wake =
+  match Atomic.get t with
+  | Done -> wake ()
+  | Running as cur ->
+      if not (Atomic.compare_and_set t cur (Joiners [ wake ])) then
+        add_joiner t wake
+  | Joiners ws as cur ->
+      if not (Atomic.compare_and_set t cur (Joiners (wake :: ws))) then
+        add_joiner t wake
+
+let finish t =
+  (* THE SEEDED BUG: the correct code snatches the joiner list with
+     [Atomic.exchange t Done] in one atomic step.  Read-then-store opens
+     a window for a joiner's CAS to register a wake that the store then
+     discards. *)
+  let seen = Atomic.get t in
+  Atomic.set t Done;
+  match seen with
+  | Joiners ws -> List.iter (fun wake -> wake ()) ws
+  | Running | Done -> ()

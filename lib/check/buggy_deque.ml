@@ -85,3 +85,26 @@ let rec steal t =
     if Atomic.compare_and_set t.top tp (tp + 1) then Some x
     else steal t
   end
+
+(* A SECOND SEEDED BUG: steal-half with one wide CAS [top -> top+k].
+   Looks plausible -- the CAS "claims the range atomically" -- but the
+   owner's [pop] free-takes slot [bottom-1] WITHOUT a CAS whenever its
+   post-decrement [top] read shows more than one element, so the range
+   the thief read can overlap slots the owner already consumed: the
+   same element is claimed twice.  The shipped Atomic_deque.steal_batch
+   claims one CAS per element precisely to dodge this; test_check
+   asserts the checker catches the double-claim here. *)
+let steal_batch ?(max_batch = 16) t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  let n = b - tp in
+  if n <= 0 then []
+  else begin
+    let k = min ((n + 1) / 2) max_batch in
+    let a = Atomic.get t.buf in
+    let rec read i acc =
+      if i < 0 then acc else read (i - 1) (a.slots.((tp + i) land a.mask) :: acc)
+    in
+    let batch = read (k - 1) [] in
+    if Atomic.compare_and_set t.top tp (tp + k) then batch else []
+  end

@@ -100,3 +100,40 @@ let rec steal t =
     if Atomic.compare_and_set t.top tp (tp + 1) then Some x
     else steal t (* lost the race; re-read the indices *)
   end
+
+(* Steal-half batching: claim up to ceil(n/2) elements (capped at
+   [max_batch]), oldest first.  Each element is still claimed with its
+   own single-slot CAS on [top] -- a wide CAS (top -> top+k) would race
+   the owner's lock-free pops: the owner takes slot [bottom-1] WITHOUT
+   a CAS whenever its post-decrement [top] read shows more than one
+   element, so a thief that claims a range in one shot can overlap the
+   slots the owner already took freely.  One CAS per element keeps the
+   proven single-steal linearization; the batching win is amortizing
+   victim-probe overhead and moving half the queue in one visit, not a
+   cheaper claim.  A lost CAS ends the batch early (the bounded-backoff
+   behaviour thieves want under contention) -- whatever was claimed so
+   far is returned. *)
+let steal_batch ?(max_batch = 16) t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  let n = b - tp in
+  if n <= 0 then []
+  else begin
+    let want = min ((n + 1) / 2) max_batch in
+    let rec claim k acc =
+      if k >= want then List.rev acc
+      else begin
+        let tp = Atomic.get t.top in
+        let b = Atomic.get t.bottom in
+        if tp >= b then List.rev acc
+        else begin
+          let a = Atomic.get t.buf in
+          let x = a.slots.(tp land a.mask) in
+          if Atomic.compare_and_set t.top tp (tp + 1) then
+            claim (k + 1) (x :: acc)
+          else List.rev acc
+        end
+      end
+    in
+    claim 0 []
+  end

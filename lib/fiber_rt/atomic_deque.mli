@@ -24,3 +24,10 @@ val pop : 'a t -> 'a option
 
 val steal : 'a t -> 'a option
 (** Any thief domain: oldest first. *)
+
+val steal_batch : ?max_batch:int -> 'a t -> 'a list
+(** Any thief domain: claim up to ⌈n/2⌉ elements (capped at
+    [max_batch], default 16), oldest first.  Each element is claimed
+    with its own CAS — safe against the owner's lock-free pops — and a
+    lost CAS ends the batch early, so the returned list may be shorter
+    than the target under contention. *)

@@ -1,0 +1,22 @@
+(** Lock-free fiber-completion cell: a single [Atomic.t] walking
+    [Running -> Joiners ws -> Done] by CAS, replacing the per-fiber
+    mutex.  [finish] snatches the joiner list with one exchange, so
+    every registered wake runs exactly once, from the finisher or (on a
+    lost CAS against [Done]) from the joiner itself.  Recompiled inside
+    [lib/check] against traced atomics and model-checked there. *)
+
+type state = Running | Done | Joiners of (unit -> unit) list
+
+type t = state Atomic.t
+
+val create : unit -> t
+
+val is_done : t -> bool
+
+val add_joiner : t -> (unit -> unit) -> unit
+(** Run the wake function when {!finish} fires — immediately when the
+    cell is already [Done].  Callable from any domain; each registered
+    wake runs exactly once. *)
+
+val finish : t -> unit
+(** Publish [Done] and wake every registered joiner.  Call once. *)

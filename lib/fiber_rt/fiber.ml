@@ -11,14 +11,17 @@
 
    - [run_parallel ~domains:n]: the Section VII M:N extension made
      real on OCaml 5 domains.  Each domain owns a Chase-Lev
-     [Atomic_deque] (LIFO owner pop, FIFO steal), victims are chosen
-     at random, cross-thread wake-ups arrive on a lock-free MPSC
-     injection channel, and idle workers spin briefly before blocking
-     on a condition variable (the spin-then-block idle-KC policy of
-     the paper's Table II).  Only *runnable* continuations migrate
-     between domains; a fiber's blocking jobs still route to its home
-     [Executor] (the original-KC analogue), so system-call consistency
-     is preserved under migration.
+     [Atomic_deque] (LIFO owner pop, FIFO steal-half batches) plus a
+     private overflow FIFO for its own yields; cross-thread wake-ups
+     arrive on a lock-free MPSC injection channel reserved for foreign
+     threads; fiber completion is the lock-free [Completion] cell; and
+     idle workers park individually on a Treiber stack so one ready
+     task wakes exactly one worker (the spin-then-block idle-KC policy
+     of the paper's Table II, without the thundering herd).  Only
+     *runnable* continuations migrate between domains; a fiber's
+     blocking jobs still route to its home [Executor] (the original-KC
+     analogue), so system-call consistency is preserved under
+     migration.
 
    This is substrate S3 of DESIGN.md (S2 being the single-threaded
    engine): it shows that the BLT control flow is real executable code
@@ -27,9 +30,8 @@
 type fiber = {
   fid : int;
   mutable state : [ `Runnable | `Running | `Suspended | `Done ];
-  mutable joiners : (unit -> unit) list; (* wake functions of joiners *)
+  completion : Completion.t; (* lock-free Done/joiners protocol *)
   mutable executor : Executor.t option; (* lazily-created original KC *)
-  lock : Mutex.t; (* guards [state]'s Done transition and [joiners] *)
 }
 
 type _ Effect.t +=
@@ -52,16 +54,12 @@ type scheduler = {
 }
 
 (* Completion must be safe against joiners on other domains (the
-   parallel engine) and is harmless extra locking on the single
-   engine: publish Done and snatch the joiner list atomically, then
-   wake outside the lock. *)
+   parallel engine) and costs one uncontended exchange on the single
+   engine: Completion.finish publishes Done and snatches the joiner
+   list in one atomic step, then wakes outside any lock. *)
 let finish_fiber fb =
-  Mutex.lock fb.lock;
   fb.state <- `Done;
-  let joiners = fb.joiners in
-  fb.joiners <- [];
-  Mutex.unlock fb.lock;
-  List.iter (fun wake -> wake ()) joiners
+  Completion.finish fb.completion
 
 (* ================================================================ *)
 (* Engine 1: the single-threaded scheduler                           *)
@@ -97,9 +95,8 @@ let new_fiber sched =
   {
     fid = sched.next_fid;
     state = `Runnable;
-    joiners = [];
+    completion = Completion.create ();
     executor = None;
-    lock = Mutex.create ();
   }
 
 let rec exec sched (fb : fiber) (thunk : unit -> unit) =
@@ -179,23 +176,35 @@ let run_loop sched =
 type pworker = {
   wid : int;
   deque : (unit -> unit) Atomic_deque.t; (* runnable continuations *)
+  overflow : (unit -> unit) Queue.t;
+      (* private FIFO: own yields + injected-batch tails.  Only the
+         owner domain touches it, so no synchronization; the owner
+         never parks while it is non-empty. *)
   mutable rng : int; (* xorshift state for victim selection *)
-  mutable steals : int;
-  mutable tick : int; (* tasks run; paces the injection-queue check *)
+  mutable steals : int; (* items obtained from other workers' deques *)
+  mutable tick : int; (* tasks run; paces the fairness drain *)
+  park_mutex : Mutex.t; (* per-worker parking: targeted wake-ups *)
+  park_cond : Condition.t;
+  mutable park_wake : bool; (* a pending wake token; guarded by park_mutex *)
 }
 
 type psched = {
   workers : pworker array;
-  pinject : (unit -> unit) Mpsc_queue.t; (* cross-thread wake-ups *)
+  pinject : (unit -> unit) Mpsc_queue.t;
+      (* cross-thread wake-ups ONLY: executors, foreign domains.  A
+         worker's own yields take its private overflow FIFO instead --
+         the global MPSC head was the serialization point that made
+         run_parallel scale negatively. *)
   plive : int Atomic.t;
   pnext_fid : int Atomic.t;
   stop : bool Atomic.t;
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
-  idle_mutex : Mutex.t;
-  idle_cond : Condition.t;
-  mutable n_idle : int; (* guarded by [idle_mutex] *)
-  mutable n_running : int; (* workers still in their loop; idem *)
-  idle_flag : bool Atomic.t; (* mirrors [n_idle > 0]; Dekker with pushers *)
+  idle_stack : int list Atomic.t;
+      (* Treiber stack of parked worker ids: a push of work pops and
+         wakes exactly one, instead of broadcasting to all *)
+  done_mutex : Mutex.t; (* run-exit accounting only (cold path) *)
+  done_cond : Condition.t;
+  mutable n_running : int; (* workers still in their loop; guarded above *)
   pexec_mutex : Mutex.t;
   mutable pexecutors : Executor.t list;
 }
@@ -211,7 +220,9 @@ let pctx_key : pctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
    the paper's Table II, resolved per host). *)
 let spin_budget =
   if Domain.recommended_domain_count () > 1 then 256 else 0
-let inject_check_interval = 64 (* drain the MPSC at least this often *)
+let fairness_interval = 64 (* drain injected + overflow at least this often *)
+let steal_rounds = if spin_budget > 0 then 3 else 1
+let steal_backoff_base = 16 (* cpu_relax iterations; doubles per round *)
 
 let make_psched ~domains =
   {
@@ -220,56 +231,105 @@ let make_psched ~domains =
           {
             wid;
             deque = Atomic_deque.create ~dummy:ignore;
+            overflow = Queue.create ();
             rng = (wid * 0x9e3779b9) lor 1;
             steals = 0;
             tick = 0;
+            park_mutex = Mutex.create ();
+            park_cond = Condition.create ();
+            park_wake = false;
           });
     pinject = Mpsc_queue.create ();
     plive = Atomic.make 0;
     pnext_fid = Atomic.make 1;
     stop = Atomic.make false;
     failure = Atomic.make None;
-    idle_mutex = Mutex.create ();
-    idle_cond = Condition.create ();
-    n_idle = 0;
+    idle_stack = Atomic.make [];
+    done_mutex = Mutex.create ();
+    done_cond = Condition.create ();
     n_running = domains;
-    idle_flag = Atomic.make false;
     pexec_mutex = Mutex.create ();
     pexecutors = [];
   }
 
-(* Unpark blocked workers if any.  The atomic flag makes the common
-   nobody-is-idle path lock-free. *)
-let wake_idle ps =
-  if Atomic.get ps.idle_flag then begin
-    Mutex.lock ps.idle_mutex;
-    Condition.broadcast ps.idle_cond;
-    Mutex.unlock ps.idle_mutex
-  end
+(* ---- targeted parking: the idle-worker Treiber stack ----
+
+   Protocol: a parking worker pushes its wid, then re-checks for work
+   (Dekker: producers store work first and read the stack second, so
+   both sides cannot miss each other), then sleeps on its OWN condvar.
+   Whoever pops a wid -- wake_one on a push of work, wake_all on stop
+   -- owes that worker exactly one token; a worker that cancels its
+   parking either removes itself (no token coming) or, having lost the
+   pop race, consumes the token without sleeping.  One token per pop,
+   one consume per push: no token leaks across parking rounds. *)
+
+let deliver_token w =
+  Mutex.lock w.park_mutex;
+  w.park_wake <- true;
+  Condition.signal w.park_cond;
+  Mutex.unlock w.park_mutex
+
+let await_token w =
+  Mutex.lock w.park_mutex;
+  while not w.park_wake do
+    Condition.wait w.park_cond w.park_mutex
+  done;
+  w.park_wake <- false;
+  Mutex.unlock w.park_mutex
+
+let rec idle_push ps wid =
+  let cur = Atomic.get ps.idle_stack in
+  if not (Atomic.compare_and_set ps.idle_stack cur (wid :: cur)) then
+    idle_push ps wid
+
+(* Remove self if still listed: true = removed, no token owed; false =
+   a waker popped us first, its token is on the way. *)
+let rec idle_cancel ps wid =
+  let cur = Atomic.get ps.idle_stack in
+  if List.mem wid cur then
+    if
+      Atomic.compare_and_set ps.idle_stack cur
+        (List.filter (fun w -> w <> wid) cur)
+    then true
+    else idle_cancel ps wid
+  else false
+
+(* Wake exactly one parked worker, if any.  The common nobody-idle path
+   is a single atomic read. *)
+let rec wake_one ps =
+  match Atomic.get ps.idle_stack with
+  | [] -> ()
+  | wid :: rest as cur ->
+      if Atomic.compare_and_set ps.idle_stack cur rest then
+        deliver_token ps.workers.(wid)
+      else wake_one ps
+
+let wake_all ps =
+  List.iter
+    (fun wid -> deliver_token ps.workers.(wid))
+    (Atomic.exchange ps.idle_stack [])
 
 (* Make a runnable continuation available: onto the local deque when
    called from a worker of this scheduler, otherwise (executor threads,
-   foreign domains) onto the MPSC injection channel. *)
+   foreign domains) onto the MPSC injection channel.  Either way one
+   parked worker -- not all of them -- is woken. *)
 let pschedule ps thunk =
   (match Domain.DLS.get pctx_key with
   | Some c when c.ps == ps -> Atomic_deque.push c.w.deque thunk
   | _ -> Mpsc_queue.push ps.pinject thunk);
-  wake_idle ps
+  wake_one ps
 
 let pstop ps =
   Atomic.set ps.stop true;
-  Mutex.lock ps.idle_mutex;
-  Condition.broadcast ps.idle_cond;
-  Mutex.unlock ps.idle_mutex
+  wake_all ps
 
 let pnew_fiber ps =
   Atomic.incr ps.plive;
   {
     fid = Atomic.fetch_and_add ps.pnext_fid 1;
     state = `Runnable;
-    joiners = [];
+    completion = Completion.create ();
     executor = None;
-    lock = Mutex.create ();
   }
 
 let rec pexec (fb : fiber) (thunk : unit -> unit) =
@@ -292,12 +352,20 @@ and phandle ps fb body =
               Some
                 (fun (k : (b, unit) continuation) ->
                   fb.state <- `Runnable;
-                  (* the global FIFO, not the local LIFO deque: a
-                     self-push would be re-popped immediately and
-                     starve co-located fibers *)
-                  Mpsc_queue.push ps.pinject (fun () ->
-                      pexec fb (fun () -> continue k ()));
-                  wake_idle ps)
+                  let thunk () = pexec fb (fun () -> continue k ()) in
+                  match Domain.DLS.get pctx_key with
+                  | Some c when c.ps == ps ->
+                      (* fast path: the worker's private overflow FIFO.
+                         No atomics, no wake-up -- the owner drains it
+                         itself.  FIFO keeps co-located yielders
+                         round-robin (a LIFO deque self-push would
+                         re-pop the yielder immediately), and the
+                         global MPSC -- the old hot path -- is no
+                         longer touched by yields at all. *)
+                      Queue.push thunk c.w.overflow
+                  | _ ->
+                      Mpsc_queue.push ps.pinject thunk;
+                      wake_one ps)
           | Suspend register ->
               Some
                 (fun (k : (b, unit) continuation) ->
@@ -324,17 +392,38 @@ let xorshift x =
   let x = x lxor (x lsr 7) in
   (x lxor (x lsl 17)) land max_int
 
-(* Drain the injection channel into the local deque; the batch head is
-   returned to run now, the rest become stealable local work. *)
+(* Unbiased draw in [0, bound): rejection-sample the low bits against
+   the next power-of-two mask.  [r mod bound] over a 62-bit xorshift is
+   modulo-biased and, worse, correlated draws can camp on one victim. *)
+let rand_below w bound =
+  let rec mask m = if m >= bound - 1 then m else mask ((m lsl 1) lor 1) in
+  let m = mask 1 in
+  let rec draw () =
+    w.rng <- xorshift w.rng;
+    let r = w.rng land m in
+    if r < bound then r else draw ()
+  in
+  draw ()
+
+(* Drain the injection channel into the private overflow FIFO and hand
+   back its head.  Appending the whole batch behind the overflow (rather
+   than pushing it onto the LIFO deque, which reversed each batch for
+   the owner) keeps arrival order end to end: earlier wake-ups always
+   resume before later ones on this worker. *)
 let take_injected ps w =
   match Mpsc_queue.pop_all ps.pinject with
   | [] -> None
-  | x :: rest ->
-      List.iter (Atomic_deque.push w.deque) rest;
-      if rest <> [] then wake_idle ps;
-      Some x
+  | batch ->
+      List.iter (fun t -> Queue.push t w.overflow) batch;
+      Queue.take_opt w.overflow
 
-(* Randomized victim selection: up to 4n probes before giving up. *)
+(* Randomized steal-half: up to [steal_rounds] rounds of n-1 unbiased
+   victim probes (self is never drawn, so no probe is burned skipping
+   it), with bounded-exponential cpu_relax backoff between rounds so a
+   herd of empty-handed thieves does not hammer the victims' cache
+   lines.  A successful probe takes up to half the victim's deque in
+   one visit; the first item runs now, the rest become local stealable
+   work, and one more parked worker is woken to share it. *)
 let try_steal ps w =
   let n = Array.length ps.workers in
   if n = 1 then None
@@ -342,46 +431,72 @@ let try_steal ps w =
     let rec probe tries =
       if tries = 0 then None
       else begin
-        w.rng <- xorshift w.rng;
-        let v = w.rng mod n in
-        if v = w.wid then probe (tries - 1)
-        else
-          match Atomic_deque.steal ps.workers.(v).deque with
-          | Some _ as r ->
-              w.steals <- w.steals + 1;
-              r
-          | None -> probe (tries - 1)
+        let v = rand_below w (n - 1) in
+        let v = if v >= w.wid then v + 1 else v in
+        match Atomic_deque.steal_batch ps.workers.(v).deque with
+        | [] -> probe (tries - 1)
+        | x :: rest ->
+            w.steals <- w.steals + 1 + List.length rest;
+            List.iter (Atomic_deque.push w.deque) rest;
+            if rest <> [] then wake_one ps;
+            Some x
       end
     in
-    probe (4 * n)
+    let rec round r =
+      match probe (n - 1) with
+      | Some _ as res -> res
+      | None ->
+          if r + 1 >= steal_rounds then None
+          else begin
+            for _ = 1 to steal_backoff_base lsl r do
+              Domain.cpu_relax ()
+            done;
+            round (r + 1)
+          end
+    in
+    round 0
   end
 
 let next_task ps w =
   w.tick <- w.tick + 1;
-  (* starvation guard: under a steady local load, still look at the
-     injection channel periodically so external wake-ups make progress *)
-  let injected_first =
-    if w.tick mod inject_check_interval = 0 then take_injected ps w else None
-  in
-  match injected_first with
-  | Some _ as r -> r
-  | None -> (
-      match Atomic_deque.pop w.deque with
-      | Some _ as r -> r
-      | None -> (
-          match take_injected ps w with
-          | Some _ as r -> r
-          | None -> try_steal ps w))
+  if w.tick mod fairness_interval = 0 then
+    (* fairness tick: under a steady local load, give the injection
+       channel and the overflow FIFO a turn so external wake-ups and
+       parked yielders make progress *)
+    match take_injected ps w with
+    | Some _ as r -> r
+    | None -> (
+        match Queue.take_opt w.overflow with
+        | Some _ as r -> r
+        | None -> (
+            match Atomic_deque.pop w.deque with
+            | Some _ as r -> r
+            | None -> try_steal ps w))
+  else
+    match Atomic_deque.pop w.deque with
+    | Some _ as r -> r
+    | None -> (
+        match Queue.take_opt w.overflow with
+        | Some _ as r -> r
+        | None -> (
+            match take_injected ps w with
+            | Some _ as r -> r
+            | None -> try_steal ps w))
 
+(* Work visible to OTHER workers: the injection channel and the deques.
+   Private overflow FIFOs are excluded on purpose -- only the owner can
+   run them, and the owner never parks while its own is non-empty
+   (next_task checks it on every path before returning None). *)
 let work_available ps =
   (not (Mpsc_queue.is_empty ps.pinject))
   || Array.exists (fun w -> not (Atomic_deque.is_empty w.deque)) ps.workers
 
 (* The idle-KC policy (paper Table II): spin briefly (BUSYWAIT -- lowest
-   wake latency), then block on the condition variable (BLOCKING -- no
-   burn).  Pushers look at [idle_flag] after their SC push, parkers set
-   it before their re-check, so a wake-up cannot be lost. *)
-let park ps =
+   wake latency), then park on the per-worker condvar (BLOCKING -- no
+   burn).  Producers store work before reading the idle stack; parkers
+   publish themselves on the stack before re-checking for work -- the
+   Dekker handshake that makes a lost wake-up impossible. *)
+let park ps w =
   let rec spin i =
     if i > 0 && not (Atomic.get ps.stop) && not (work_available ps) then begin
       Domain.cpu_relax ();
@@ -390,15 +505,14 @@ let park ps =
   in
   spin spin_budget;
   if (not (Atomic.get ps.stop)) && not (work_available ps) then begin
-    Mutex.lock ps.idle_mutex;
-    ps.n_idle <- ps.n_idle + 1;
-    Atomic.set ps.idle_flag true;
-    while (not (work_available ps)) && not (Atomic.get ps.stop) do
-      Condition.wait ps.idle_cond ps.idle_mutex
-    done;
-    ps.n_idle <- ps.n_idle - 1;
-    if ps.n_idle = 0 then Atomic.set ps.idle_flag false;
-    Mutex.unlock ps.idle_mutex
+    idle_push ps w.wid;
+    if Atomic.get ps.stop || work_available ps then begin
+      (* work (or stop) arrived while we published ourselves: cancel
+         the parking; if a waker already popped us, its token is in
+         flight -- consume it instead of sleeping on it later *)
+      if not (idle_cancel ps w.wid) then await_token w
+    end
+    else await_token w
   end
 
 let worker_loop ps w =
@@ -412,17 +526,17 @@ let worker_loop ps w =
             let bt = Printexc.get_raw_backtrace () in
             ignore (Atomic.compare_and_set ps.failure None (Some (exn, bt)));
             pstop ps)
-      | None -> park ps);
+      | None -> park ps w);
       go ()
     end
   in
   go ();
   Domain.DLS.set pctx_key None;
   (* last worker out lets [run_parallel] reap the executors *)
-  Mutex.lock ps.idle_mutex;
+  Mutex.lock ps.done_mutex;
   ps.n_running <- ps.n_running - 1;
-  Condition.broadcast ps.idle_cond;
-  Mutex.unlock ps.idle_mutex
+  Condition.broadcast ps.done_cond;
+  Mutex.unlock ps.done_mutex
 
 (* ---------- public API ---------- *)
 
@@ -474,11 +588,11 @@ let run_parallel ?domains ?on_stats main =
      executors must be shut down BEFORE joining the helper domains --
      a domain does not terminate while OS threads it created (the
      executors of fibers that ran there) are still alive. *)
-  Mutex.lock ps.idle_mutex;
+  Mutex.lock ps.done_mutex;
   while ps.n_running > 0 do
-    Condition.wait ps.idle_cond ps.idle_mutex
+    Condition.wait ps.done_cond ps.done_mutex
   done;
-  Mutex.unlock ps.idle_mutex;
+  Mutex.unlock ps.done_mutex;
   Mutex.lock ps.pexec_mutex;
   let executors = ps.pexecutors in
   ps.pexecutors <- [];
@@ -501,34 +615,24 @@ let spawn body = Effect.perform (Spawn body)
 let yield () = Effect.perform Yield
 let self () = Effect.perform Self
 let id fb = fb.fid
-let state fb = fb.state
+
+(* [`Done] is read off the atomic completion cell (so a cross-domain
+   observer synchronizes with the finish); the other states are the
+   owner's informational view. *)
+let state fb = if Completion.is_done fb.completion then `Done else fb.state
 
 (* Park the fiber; [register] receives a wake function callable exactly
    once from any OS thread. *)
 let suspend register = Effect.perform (Suspend register)
 
-(* Wait until [fb] finishes.  The lock pairs with [finish_fiber]: either
-   we see Done (and, having synchronized on the lock, every write the
-   fiber made before finishing), or our waker is on the joiner list
-   before Done is published. *)
+(* Wait until [fb] finishes -- lock-free.  [Completion.add_joiner]
+   either CASes our waker into the joiner list before Done is
+   published (the finisher wakes us) or observes Done and wakes
+   immediately; sequentially consistent atomics make every write the
+   fiber made visible to the woken joiner. *)
 let join fb =
-  let done_already =
-    Mutex.lock fb.lock;
-    let d = fb.state = `Done in
-    Mutex.unlock fb.lock;
-    d
-  in
-  if not done_already then
-    suspend (fun wake ->
-        Mutex.lock fb.lock;
-        if fb.state = `Done then begin
-          Mutex.unlock fb.lock;
-          wake ()
-        end
-        else begin
-          fb.joiners <- wake :: fb.joiners;
-          Mutex.unlock fb.lock
-        end)
+  if not (Completion.is_done fb.completion) then
+    suspend (fun wake -> Completion.add_joiner fb.completion wake)
 
 let live () =
   match Domain.DLS.get pctx_key with

@@ -9,20 +9,23 @@
 
     - {!run_parallel}: the paper's Section VII M:N extension on OCaml 5
       domains — per-domain Chase-Lev deques ({!Atomic_deque}, LIFO owner
-      pop / FIFO randomized steal), a lock-free MPSC injection channel
-      for cross-thread wake-ups, and a spin-then-block idle policy
-      (the paper's Table II idle-KC policies).  Only runnable
-      continuations migrate between domains; a fiber's blocking jobs
-      still route to its home executor, preserving system-call
-      consistency under migration. *)
+      pop / FIFO randomized steal-half batches) plus a private overflow
+      FIFO per worker for its own yields, a lock-free MPSC injection
+      channel reserved for cross-thread wake-ups, lock-free fiber
+      completion ({!Completion}), and a spin-then-park idle policy where
+      parked workers wait on a Treiber idle stack so new work wakes
+      exactly one of them (the paper's Table II idle-KC policies,
+      without the thundering herd).  Only runnable continuations migrate
+      between domains; a fiber's blocking jobs still route to its home
+      executor, preserving system-call consistency under migration. *)
 
 type fiber = {
   fid : int;
   mutable state : [ `Runnable | `Running | `Suspended | `Done ];
-  mutable joiners : (unit -> unit) list;
+  completion : Completion.t;
+      (** lock-free Done/joiners protocol; {!join} never locks *)
   mutable executor : Executor.t option;
       (** lazily-created original KC ({!Blt_rt}) *)
-  lock : Mutex.t;  (** guards the Done transition and [joiners] *)
 }
 
 type scheduler = {

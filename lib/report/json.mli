@@ -1,0 +1,29 @@
+(** A minimal JSON reader for the bench harness: enough to parse the
+    BENCH_*.json files this repo writes (and validate them in CI)
+    without pulling in a JSON dependency.  Full number/string/escape
+    support; not a streaming parser — fine at bench-report scale. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Carries a byte offset and a short description. *)
+
+val parse : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val parse_file : string -> (t, string) result
+(** [Error] covers both I/O failures and parse errors. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -70,6 +70,25 @@ let yield_storm ~domains ~fibers ~yields =
       in
       List.iter Fiber.join fs)
 
+(* Recursive fork-join over a binary tree of depth [depth]: every node
+   does [work] opaque additions, then spawns and joins two children.
+   Unlike [spawn_join]'s flat fan-out from one root, the frontier is
+   produced all over the machine, so load balance depends on thieves
+   moving subtrees -- the steal-half path's headline workload. *)
+let work_steal_tree ~domains ~depth ~work =
+  let nodes = (1 lsl (depth + 1)) - 1 in
+  with_stats ~name:"work_steal_tree" ~domains ~items:nodes (fun () ->
+      let rec node d =
+        spin work;
+        if d < depth then begin
+          let left = Fiber.spawn (fun () -> node (d + 1)) in
+          let right = Fiber.spawn (fun () -> node (d + 1)) in
+          Fiber.join left;
+          Fiber.join right
+        end
+      in
+      node 0)
+
 (* Two fibers, two rendezvous channels, [msgs] round trips: the
    cross-domain wake-up path.  With domains >= 2 the endpoints usually
    land on different domains and every message crosses the MPSC

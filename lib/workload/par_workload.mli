@@ -20,6 +20,12 @@ val spawn_join : domains:int -> fibers:int -> work:int -> result
 val yield_storm : domains:int -> fibers:int -> yields:int -> result
 (** [fibers] fibers each yielding [yields] times: dispatch latency. *)
 
+val work_steal_tree : domains:int -> depth:int -> work:int -> result
+(** Recursive fork-join binary tree: every node does [work] opaque
+    additions then spawns and joins two children ([2^(depth+1) - 1]
+    nodes total).  Load balance depends on work stealing, so this is
+    the steal-half batching workload. *)
+
 val ping_pong : domains:int -> msgs:int -> result
 (** Two fibers bouncing [msgs] messages over rendezvous channels: the
     cross-domain wake-up path. *)

@@ -16,6 +16,8 @@ module Adq = Check.Atomic_deque
 module Buggy = Check.Buggy_deque
 module Mpsc = Check.Mpsc_queue
 module Chan = Check.Channel
+module Compl = Check.Completion
+module Buggy_compl = Check.Buggy_completion
 module Atomic' = Check.Atomic
 module Consistency = Core.Consistency
 
@@ -55,6 +57,7 @@ module type DEQUE = sig
   val push : 'a t -> 'a -> unit
   val pop : 'a t -> 'a option
   val steal : 'a t -> 'a option
+  val steal_batch : ?max_batch:int -> 'a t -> 'a list
 end
 
 let pop_steal_race (module D : DEQUE) () =
@@ -135,6 +138,87 @@ let deque_growth () =
           if c <> 1 then
             failwith (Printf.sprintf "item %d claimed %d times after grow" i c))
         claims )
+
+(* ---------- scenario: steal-half vs the owner's free pops ---------- *)
+
+(* The race that forbids a wide CAS in steal_batch: the owner free-takes
+   slot [bottom-1] without a CAS whenever its post-decrement [top] read
+   shows more than one element.  3 items + 2 owner pops is the minimal
+   overlap window -- the faithful per-element-CAS batch must conserve
+   every item, the wide-CAS variant must double-claim one. *)
+let steal_batch_vs_pop (module D : DEQUE) () =
+  let d = D.create ~dummy:(-1) in
+  for i = 0 to 2 do
+    D.push d i
+  done;
+  let claims = Array.make 3 0 in
+  (* the double-claim can also surface as the thief returning a slot the
+     owner already vacated (the dummy) -- same root cause, same verdict *)
+  let claim i =
+    if i < 0 then failwith "vacated slot claimed by the thief"
+    else claims.(i) <- claims.(i) + 1
+  in
+  let claim1 = function Some i -> claim i | None -> () in
+  ( [
+      (fun () ->
+        claim1 (D.pop d);
+        claim1 (D.pop d));
+      (fun () -> List.iter claim (D.steal_batch d));
+    ],
+    fun () ->
+      let rec drain () =
+        match D.pop d with
+        | Some i ->
+            claim1 (Some i);
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Array.iteri
+        (fun i n ->
+          if n <> 1 then
+            failwith (Printf.sprintf "item %d claimed %d times" i n))
+        claims )
+
+(* ---------- scenario: lock-free completion, finish vs joiners ------- *)
+
+(* Parameterized over the completion implementation so the same
+   scenario drives both the faithful copy and the seeded-bug copy. *)
+module type COMPLETION = sig
+  type t
+
+  val create : unit -> t
+  val is_done : t -> bool
+  val add_joiner : t -> (unit -> unit) -> unit
+  val finish : t -> unit
+end
+
+(* Two joiners race the finisher.  Every interleaving must wake each
+   joiner EXACTLY once -- whether its CAS lands before the finisher's
+   exchange (the finisher runs the wake) or loses against Done (the
+   joiner wakes itself).  A lost wake leaves the joiner's wait_until
+   unsatisfiable, which the checker reports as a deadlock -- exactly
+   how the seeded get-then-set [Buggy_completion.finish] fails. *)
+let completion_race (module C : COMPLETION) () =
+  let c = C.create () in
+  let w0 = Atomic'.make 0 and w1 = Atomic'.make 0 in
+  ( [
+      (fun () -> C.finish c);
+      (fun () ->
+        C.add_joiner c (fun () -> Atomic'.incr w0);
+        Sched.wait_until ~on:(Atomic'.id w0) (fun () -> Atomic'.peek w0 > 0));
+      (fun () ->
+        C.add_joiner c (fun () -> Atomic'.incr w1);
+        Sched.wait_until ~on:(Atomic'.id w1) (fun () -> Atomic'.peek w1 > 0));
+    ],
+    fun () ->
+      if not (C.is_done c) then failwith "completion never reached Done";
+      List.iteri
+        (fun i w ->
+          let n = Atomic'.peek w in
+          if n <> 1 then
+            failwith (Printf.sprintf "joiner %d woken %d times" i n))
+        [ w0; w1 ] )
 
 (* ---------- scenario: MPSC enqueue vs single-consumer drain --------- *)
 
@@ -291,6 +375,8 @@ let couple_vs_steal ~buggy () =
 
 let adq : (module DEQUE) = (module Adq)
 let buggy_adq : (module DEQUE) = (module Buggy)
+let compl : (module COMPLETION) = (module Compl)
+let buggy_compl : (module COMPLETION) = (module Buggy_compl)
 
 let test_pop_steal_race () =
   let stats = expect_pass "pop-vs-steal" (Sched.check (pop_steal_race adq)) in
@@ -305,6 +391,17 @@ let test_deque_conservation () =
 
 let test_deque_growth () =
   ignore (expect_pass "deque-growth" (Sched.check ~max_schedules:4_000 deque_growth))
+
+let test_steal_batch_conservation () =
+  ignore
+    (expect_pass "steal-batch-vs-pop"
+       (Sched.check ~max_schedules:4_000 (steal_batch_vs_pop adq)))
+
+let test_completion_race () =
+  let stats =
+    expect_pass "completion-race" (Sched.check (completion_race compl))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
 
 let test_mpsc () =
   ignore
@@ -368,6 +465,42 @@ let test_buggy_deque_caught () =
       Sched.print_failure f';
       Alcotest.fail "faithful deque failed the buggy deque's schedule"
 
+let test_buggy_steal_batch_caught () =
+  let f, stats =
+    expect_bug "wide-CAS steal_batch"
+      (Sched.check ~max_schedules:4_000 (steal_batch_vs_pop buggy_adq))
+  in
+  Printf.printf
+    "wide-CAS steal_batch double-claim caught after %d schedules\n%!"
+    stats.Sched.schedules;
+  Alcotest.(check bool)
+    "double-claim reported" true
+    (contains ~sub:"claimed" f.Sched.f_reason);
+  (* the faithful per-element-CAS batch survives the failing schedule *)
+  match Sched.replay ~schedule:f.Sched.f_schedule (steal_batch_vs_pop adq) with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful steal_batch failed the wide-CAS schedule"
+
+let test_buggy_completion_caught () =
+  let f, stats =
+    expect_bug "lost-wakeup finish"
+      (Sched.check (completion_race buggy_compl))
+  in
+  Printf.printf "lost wake-up caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  (* the seeded get-then-set finish drops a joiner's wake, which strands
+     its wait_until: the checker must see it as a deadlock *)
+  Alcotest.(check bool)
+    "reported as deadlock" true
+    (contains ~sub:"Deadlock" f.Sched.f_reason);
+  match Sched.replay ~schedule:f.Sched.f_schedule (completion_race compl) with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful completion failed the buggy finish's schedule"
+
 let test_fuzzer_finds_seeded_bug () =
   match Sched.fuzz ~runs:500 ~seed:Test_seed.seed (pop_steal_race buggy_adq) with
   | Sched.Fuzz_pass _ ->
@@ -404,6 +537,8 @@ let test_fuzz_real_structures_clean () =
     [
       ("deque-conservation", deque_conservation);
       ("deque-growth", deque_growth);
+      ("steal-batch-vs-pop", steal_batch_vs_pop adq);
+      ("completion-race", completion_race compl);
       ("mpsc", mpsc_enqueue_drain);
       ("channel", channel_send_recv);
       ("couple-vs-steal", couple_vs_steal ~buggy:false);
@@ -425,6 +560,8 @@ let test_interleaving_budget () =
         ("pop-steal-race", 4_000, pop_steal_race adq);
         ("deque-conservation", 4_000, deque_conservation);
         ("deque-growth", 4_000, deque_growth);
+        ("steal-batch-vs-pop", 4_000, steal_batch_vs_pop adq);
+        ("completion-race", 4_000, completion_race compl);
         ("mpsc-enqueue-drain", 4_000, mpsc_enqueue_drain);
         ("channel-send-recv", 4_000, channel_send_recv);
         ("channel-two-receivers", 4_000, channel_two_receivers);
@@ -452,6 +589,17 @@ let () =
             test_deque_conservation;
           Alcotest.test_case "growth under concurrent steal" `Quick
             test_deque_growth;
+          Alcotest.test_case "steal-half vs owner pops conserves" `Quick
+            test_steal_batch_conservation;
+        ] );
+      ( "completion",
+        [
+          Alcotest.test_case "finish vs joiners wakes exactly once" `Quick
+            test_completion_race;
+          Alcotest.test_case "get-then-set finish loses a wakeup" `Quick
+            test_buggy_completion_caught;
+          Alcotest.test_case "wide-CAS steal_batch double-claims" `Quick
+            test_buggy_steal_batch_caught;
         ] );
       ( "mpsc",
         [ Alcotest.test_case "enqueue vs drain" `Quick test_mpsc ] );

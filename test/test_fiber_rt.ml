@@ -177,6 +177,74 @@ let test_adq_multi_domain_stress () =
     (List.init n Fun.id)
     (List.sort compare all)
 
+let test_adq_steal_batch_semantics () =
+  let d = Adq.create ~dummy:(-1) in
+  Alcotest.(check (list int)) "empty deque" [] (Adq.steal_batch d);
+  for i = 0 to 9 do
+    Adq.push d i
+  done;
+  Alcotest.(check (list int))
+    "half the deque, oldest first" [ 0; 1; 2; 3; 4 ] (Adq.steal_batch d);
+  Alcotest.(check (list int))
+    "max_batch caps the take" [ 5; 6 ]
+    (Adq.steal_batch ~max_batch:2 d);
+  Alcotest.(check (list int)) "ceil(3/2) = 2" [ 7; 8 ] (Adq.steal_batch d);
+  Alcotest.(check (list int)) "last element" [ 9 ] (Adq.steal_batch d);
+  Alcotest.(check (list int)) "drained" [] (Adq.steal_batch d);
+  Alcotest.(check (option int)) "owner agrees" None (Adq.pop d)
+
+(* Same conservation bar as the single-steal stress, with batching
+   thieves: one owner pushing/popping, N domains taking steal-half
+   batches -- every item claimed exactly once across buffer grows. *)
+let test_adq_steal_batch_stress () =
+  let n = 20_000 and stealers = 3 in
+  let d = Adq.create ~dummy:(-1) in
+  let stop = Atomic.make false in
+  let stolen = Array.make stealers [] in
+  let doms =
+    Array.init stealers (fun i ->
+        Domain.spawn (fun () ->
+            let acc = ref [] in
+            while not (Atomic.get stop) do
+              match Adq.steal_batch d with
+              | [] -> Domain.cpu_relax ()
+              | batch -> acc := List.rev_append batch !acc
+            done;
+            let rec drain () =
+              match Adq.steal_batch d with
+              | [] -> ()
+              | batch ->
+                  acc := List.rev_append batch !acc;
+                  drain ()
+            in
+            drain ();
+            stolen.(i) <- !acc))
+  in
+  let popped = ref [] in
+  for x = 0 to n - 1 do
+    Adq.push d x;
+    if x land 3 = 0 then
+      match Adq.pop d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+  done;
+  let rec drain () =
+    match Adq.pop d with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join doms;
+  let all = List.concat (!popped :: Array.to_list stolen) in
+  Alcotest.(check int) "items conserved" n (List.length all);
+  Alcotest.(check (list int))
+    "each item exactly once"
+    (List.init n Fun.id)
+    (List.sort compare all)
+
 (* ---------- MPSC injection channel ---------- *)
 
 let test_mpsc_fifo_batches () =
@@ -705,6 +773,97 @@ let prop_par_spawn_tree_completes =
           List.iter Fiber.join fs);
       Atomic.get finished = n)
 
+(* ---------- lock-free completion ---------- *)
+
+module Completion = Fiber_rt.Completion
+
+(* Raw cross-domain stress on the completion cell: M domains race their
+   add_joiner against one finisher; every wake must fire exactly once,
+   whether the joiner's CAS landed before the finisher's exchange or
+   lost against Done and self-woke. *)
+let test_completion_cross_domain_stress () =
+  let rounds = 50 and joiners = 4 in
+  for _ = 1 to rounds do
+    let c = Completion.create () in
+    let woken = Atomic.make 0 in
+    let doms =
+      Array.init joiners (fun _ ->
+          Domain.spawn (fun () ->
+              let mine = Atomic.make 0 in
+              Completion.add_joiner c (fun () ->
+                  Atomic.incr mine;
+                  Atomic.incr woken);
+              while Atomic.get mine = 0 do
+                Domain.cpu_relax ()
+              done;
+              Atomic.get mine))
+    in
+    Completion.finish c;
+    let per_joiner = Array.map Domain.join doms in
+    Alcotest.(check int) "all joiners woken" joiners (Atomic.get woken);
+    Array.iter
+      (fun n -> Alcotest.(check int) "woken exactly once" 1 n)
+      per_joiner;
+    Alcotest.(check bool) "done sticks" true (Completion.is_done c)
+  done
+
+(* The same protocol end to end through the scheduler: N fibers join one
+   target across M domains, racing the target's finish_fiber.  A lost
+   wake would hang the run; a double wake would over-count. *)
+let test_par_join_stress () =
+  let domains = 4 and joiners = 64 and rounds = 10 in
+  for _ = 1 to rounds do
+    let woken = Atomic.make 0 in
+    Fiber.run_parallel ~domains (fun () ->
+        let target =
+          Fiber.spawn (fun () ->
+              for _ = 1 to 3 do
+                Fiber.yield ()
+              done)
+        in
+        let js =
+          List.init joiners (fun _ ->
+              Fiber.spawn (fun () ->
+                  Fiber.join target;
+                  Atomic.incr woken))
+        in
+        List.iter Fiber.join js);
+    Alcotest.(check int) "every joiner resumed exactly once" joiners
+      (Atomic.get woken)
+  done
+
+(* Foreign-thread wake-ups must resume in arrival order: with a single
+   worker, the MPSC batches drain into the private overflow FIFO, so
+   wakes delivered 0..k-1 resume 0..k-1 (the old path pushed the batch
+   tail onto the LIFO deque and reversed it). *)
+let test_par_injected_fifo_order () =
+  let k = 8 in
+  let order = ref [] in
+  Fiber.run_parallel ~domains:1 (fun () ->
+      let wakes = Array.make k (fun () -> ()) in
+      let registered = Atomic.make 0 in
+      let fs =
+        List.init k (fun i ->
+            Fiber.spawn (fun () ->
+                Fiber.suspend (fun wake ->
+                    wakes.(i) <- wake;
+                    Atomic.incr registered);
+                order := i :: !order))
+      in
+      (* a foreign domain: its wakes take the injection channel *)
+      let waker =
+        Domain.spawn (fun () ->
+            while Atomic.get registered < k do
+              Domain.cpu_relax ()
+            done;
+            Array.iter (fun wake -> wake ()) wakes)
+      in
+      List.iter Fiber.join fs;
+      Domain.join waker);
+  Alcotest.(check (list int))
+    "injected wake-ups resume in arrival order"
+    (List.init k Fun.id) (List.rev !order)
+
 (* ---------- channels ---------- *)
 
 module Channel = Fiber_rt.Channel
@@ -906,6 +1065,15 @@ let () =
             test_adq_grow_preserves_items;
           Alcotest.test_case "multi-domain stress" `Quick
             test_adq_multi_domain_stress;
+          Alcotest.test_case "steal-half batch semantics" `Quick
+            test_adq_steal_batch_semantics;
+          Alcotest.test_case "steal-half multi-domain stress" `Quick
+            test_adq_steal_batch_stress;
+        ] );
+      ( "completion",
+        [
+          Alcotest.test_case "cross-domain wake exactly once" `Quick
+            test_completion_cross_domain_stress;
         ] );
       ( "mpsc",
         [
@@ -934,6 +1102,10 @@ let () =
             test_par_mixed_traffic_stress;
           Alcotest.test_case "stress: exact completion accounting" `Quick
             test_par_stress_exact_completions;
+          Alcotest.test_case "stress: joiners race finish across domains"
+            `Quick test_par_join_stress;
+          Alcotest.test_case "injected wake-ups keep FIFO order" `Quick
+            test_par_injected_fifo_order;
           qcheck prop_par_spawn_tree_completes;
         ] );
       ( "fibers",

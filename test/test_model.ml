@@ -11,11 +11,12 @@
 
 module Adq = Fiber_rt.Atomic_deque
 module Mpsc = Fiber_rt.Mpsc_queue
+module Compl = Fiber_rt.Completion
 module Heap = Ult.Prio_heap
 
 (* ---------- Atomic_deque vs a list used as a stack/queue ---------- *)
 
-type deque_op = Push of int | Pop | Steal
+type deque_op = Push of int | Pop | Steal | Steal_batch
 
 let deque_op_gen =
   QCheck.Gen.(
@@ -24,12 +25,14 @@ let deque_op_gen =
         (3, map (fun v -> Push v) (int_bound 999));
         (2, return Pop);
         (2, return Steal);
+        (2, return Steal_batch);
       ])
 
 let show_deque_op = function
   | Push v -> Printf.sprintf "Push %d" v
   | Pop -> "Pop"
   | Steal -> "Steal"
+  | Steal_batch -> "Steal_batch"
 
 let deque_ops_arb =
   QCheck.make
@@ -47,23 +50,34 @@ let model_deque_apply model op =
       match List.rev model with
       | [] -> ([], None)
       | oldest :: rest -> (List.rev rest, Some oldest))
+  | Steal_batch -> assert false (* handled in the prop: list result *)
 
 let prop_deque_matches_model ops =
   let d = Adq.create ~dummy:(-1) in
   let model = ref [] in
   List.for_all
     (fun op ->
-      let m', expected = model_deque_apply !model op in
-      model := m';
-      let got =
-        match op with
-        | Push v ->
-            Adq.push d v;
-            None
-        | Pop -> Adq.pop d
-        | Steal -> Adq.steal d
-      in
-      got = expected && Adq.length d = List.length !model)
+      match op with
+      | Steal_batch ->
+          (* ceil(n/2) oldest-first, capped at the default max_batch *)
+          let oldest_first = List.rev !model in
+          let k = min ((List.length oldest_first + 1) / 2) 16 in
+          let taken = List.filteri (fun i _ -> i < k) oldest_first in
+          model := List.rev (List.filteri (fun i _ -> i >= k) oldest_first);
+          Adq.steal_batch d = taken && Adq.length d = List.length !model
+      | _ ->
+          let m', expected = model_deque_apply !model op in
+          model := m';
+          let got =
+            match op with
+            | Push v ->
+                Adq.push d v;
+                None
+            | Pop -> Adq.pop d
+            | Steal -> Adq.steal d
+            | Steal_batch -> assert false
+          in
+          got = expected && Adq.length d = List.length !model)
     ops
 
 (* ---------- Mpsc_queue vs a FIFO list ---------- *)
@@ -100,6 +114,54 @@ let prop_mpsc_matches_model ops =
           model := [];
           got = expected && Mpsc.is_empty q)
     ops
+
+(* ---------- Completion vs the Joiners state machine ---------- *)
+
+type compl_op = Add_joiner | Finish | Query_done
+
+let compl_op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, return Add_joiner); (1, return Finish); (2, return Query_done) ])
+
+let show_compl_op = function
+  | Add_joiner -> "Add_joiner"
+  | Finish -> "Finish"
+  | Query_done -> "Query_done"
+
+let compl_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_compl_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 40) compl_op_gen)
+
+(* Reference semantics of the Running -> Joiners -> Done machine, applied
+   sequentially: a joiner added before [finish] fires exactly when
+   [finish] runs; a joiner added after fires immediately; [is_done]
+   tracks whether [finish] happened; a redundant [finish] is a no-op
+   (wakes nobody twice).  Every joiner must end the run woken exactly
+   once. *)
+let prop_completion_matches_model ops =
+  let c = Compl.create () in
+  let wakes = ref [] (* one counter per added joiner *) in
+  let finished = ref false in
+  let all_once () = List.for_all (fun n -> !n = 1) !wakes in
+  let step_ok op =
+    match op with
+    | Add_joiner ->
+        let n = ref 0 in
+        wakes := n :: !wakes;
+        Compl.add_joiner c (fun () -> incr n);
+        !n = if !finished then 1 else 0
+    | Finish ->
+        Compl.finish c;
+        finished := true;
+        all_once ()
+    | Query_done -> Compl.is_done c = !finished
+  in
+  let steps = List.for_all step_ok ops in
+  Compl.finish c;
+  steps && all_once () && Compl.is_done c
 
 (* ---------- Ult.Prio_heap vs a sorted association list ---------- *)
 
@@ -181,6 +243,8 @@ let () =
           t "Atomic_deque = stack+queue list model" deque_ops_arb
             prop_deque_matches_model;
           t "Mpsc_queue = FIFO list model" mpsc_ops_arb prop_mpsc_matches_model;
+          t "Completion = Joiners state machine" compl_ops_arb
+            prop_completion_matches_model;
           t "Ult.Prio_heap = sorted assoc model" heap_ops_arb
             prop_heap_matches_model;
         ] );
