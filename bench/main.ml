@@ -988,14 +988,16 @@ let run_parallel_bench ~quick ~diff () =
     \   on real cores.  Speedup > 1 requires a multicore host; configs with\n\
     \   domains > host_cores are flagged oversubscribed above and in the\n\
     \   JSON: they measure time-sliced overhead, not scaling)";
+  (* diff BEFORE overwriting: the old file is usually this same path,
+     and reading it after the write would compare the run to itself *)
+  (match diff with
+  | Some old_file -> print_diff ~old_file stats
+  | None -> ());
   let json = parallel_json ~quick ~warmup ~stats ~speedups in
   let oc = open_out bench_file in
   output_string oc json;
   close_out oc;
-  Printf.printf "  wrote %s (%d results)\n" bench_file (List.length stats);
-  match diff with
-  | Some old_file -> print_diff ~old_file stats
-  | None -> ()
+  Printf.printf "  wrote %s (%d results)\n" bench_file (List.length stats)
 
 (* CI smoke gate: BENCH_parallel.json must exist, parse, and carry the
    v2 schema with sane fields.  Exit 1 on any violation (the bench-smoke
@@ -1057,6 +1059,361 @@ let run_validate () =
         (List.length results) cores
 
 (* ---------------------------------------------------------------- *)
+(* Net stack: echo load generator over real localhost sockets        *)
+(* ---------------------------------------------------------------- *)
+
+(* An in-process echo benchmark on lib/net: one Tcp_server and N client
+   fibers per sweep point, all on [Fiber.run_parallel] with the reactor
+   thread multiplexing every socket.  Clients connect first and rendez-
+   vous on a Completion latch so the request phase measures steady-state
+   RTTs, not connection setup; each request is a 64-byte write + exact
+   echo read, timed individually.  The sweep always includes 1000
+   concurrent connections (the CI acceptance floor); RLIMIT_NOFILE is
+   raised up front and the fd count must return to its baseline after
+   the run -- [validate-net] gates on that, so a leaked socket fails CI.
+   Results go to BENCH_net.json (schema ulp-pip/net-bench/v1); --diff
+   against an older file regression-tables req/s and p99. *)
+
+module Net_reactor = Net.Reactor
+module Net_io = Net.Fiber_io
+module Net_tcp = Net.Tcp_server
+
+let net_bench_file = "BENCH_net.json"
+let net_msg_bytes = 64
+
+type net_point = {
+  np_conns : int; (* concurrent connections, all live at once *)
+  np_reqs_per_conn : int;
+  np_requests : int; (* completed request/response roundtrips *)
+  np_elapsed_s : float; (* request phase only *)
+  np_req_per_s : float;
+  np_p50_s : float;
+  np_p99_s : float;
+  np_max_s : float;
+  np_accepted : int;
+  np_max_active : int;
+}
+
+let count_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+let net_echo_handler r (c : Net_tcp.conn) =
+  let buf = Bytes.create net_msg_bytes in
+  let rec loop () =
+    match Net_io.read r c.Net_tcp.fd buf 0 net_msg_bytes with
+    | 0 -> ()
+    | n ->
+        Net_io.write_all r c.Net_tcp.fd buf 0 n;
+        loop ()
+  in
+  loop ()
+
+(* One sweep point: [conns] clients connect, rendezvous, then fire
+   [reqs] echo roundtrips each; per-request RTTs feed the percentile
+   stats. *)
+let net_sweep_point r ~conns ~reqs =
+  let module Fiber = Fiber_rt.Fiber in
+  let module Completion = Fiber_rt.Completion in
+  let srv =
+    Net_tcp.start ~reactor:r ~backlog:1024
+      ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+      ~handler:net_echo_handler ()
+  in
+  let port = Net_tcp.port srv in
+  let connected = Atomic.make 0 in
+  let all_connected = Completion.create () in
+  let go = Completion.create () in
+  let await c = Fiber.suspend (fun wake -> Completion.add_joiner c wake) in
+  let lat = Sim.Stats.create () in
+  let lat_lock = Mutex.create () in
+  let done_reqs = Atomic.make 0 in
+  let clients =
+    List.init conns (fun i ->
+        Fiber.spawn (fun () ->
+            let fd =
+              Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0
+            in
+            Unix.set_nonblock fd;
+            Net_io.connect r fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            if Atomic.fetch_and_add connected 1 + 1 = conns then
+              Completion.finish all_connected;
+            await go;
+            let msg =
+              Bytes.init net_msg_bytes (fun j -> Char.chr ((i + j) land 0xff))
+            in
+            let echo = Bytes.create net_msg_bytes in
+            let rtts = Array.make reqs 0.0 in
+            for k = 0 to reqs - 1 do
+              let t0 = Unix.gettimeofday () in
+              Net_io.write_all r fd msg 0 net_msg_bytes;
+              Net_io.read_exact r fd echo 0 net_msg_bytes;
+              rtts.(k) <- Unix.gettimeofday () -. t0;
+              if not (Bytes.equal msg echo) then failwith "echo corrupted"
+            done;
+            Mutex.lock lat_lock;
+            Array.iter (Sim.Stats.add lat) rtts;
+            Mutex.unlock lat_lock;
+            Atomic.fetch_and_add done_reqs reqs |> ignore;
+            Unix.close fd))
+  in
+  await all_connected;
+  (* every connection is live: start the clock and release the herd *)
+  let t0 = Unix.gettimeofday () in
+  Completion.finish go;
+  List.iter Fiber.join clients;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Net_tcp.stop srv;
+  let st = Net_tcp.stats srv in
+  if st.Net_tcp.accepted < conns then
+    failwith
+      (Printf.sprintf "net bench: accepted %d of %d connections"
+         st.Net_tcp.accepted conns);
+  let requests = Atomic.get done_reqs in
+  {
+    np_conns = conns;
+    np_reqs_per_conn = reqs;
+    np_requests = requests;
+    np_elapsed_s = elapsed;
+    np_req_per_s =
+      (if elapsed > 0.0 then float_of_int requests /. elapsed else 0.0);
+    np_p50_s = Sim.Stats.percentile lat 50.0;
+    np_p99_s = Sim.Stats.percentile lat 99.0;
+    np_max_s = Sim.Stats.max_value lat;
+    np_accepted = st.Net_tcp.accepted;
+    np_max_active = st.Net_tcp.max_active;
+  }
+
+let net_json ~quick ~backend ~fd_baseline ~fd_after points =
+  let buf = Buffer.create 2048 in
+  let point_obj p =
+    Printf.sprintf
+      "    {\"connections\": %d, \"reqs_per_conn\": %d, \"requests\": %d, \
+       \"elapsed_s\": %.6f, \"req_per_s\": %.1f, \"p50_s\": %.9f, \"p99_s\": \
+       %.9f, \"max_s\": %.9f, \"accepted\": %d, \"max_active\": %d}"
+      p.np_conns p.np_reqs_per_conn p.np_requests p.np_elapsed_s p.np_req_per_s
+      p.np_p50_s p.np_p99_s p.np_max_s p.np_accepted p.np_max_active
+  in
+  let fd_json = function Some n -> string_of_int n | None -> "null" in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"ulp-pip/net-bench/v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n" (host_cores ()));
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"backend\": \"%s\",\n"
+       (match backend with `Select -> "select" | `Poll -> "poll"));
+  Buffer.add_string buf (Printf.sprintf "  \"msg_bytes\": %d,\n" net_msg_bytes);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fd_baseline\": %s,\n" (fd_json fd_baseline));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"fd_after\": %s,\n" (fd_json fd_after));
+  Buffer.add_string buf "  \"results\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map point_obj points));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+(* Regression table against an older BENCH_net.json: req/s and p99 per
+   connection count.  Reporting only, like the parallel diff -- CI
+   machines differ too much to gate on wall clock. *)
+let print_net_diff ~old_file points =
+  match Json.parse_file old_file with
+  | Error msg ->
+      Printf.eprintf "--diff %s: %s\n" old_file msg;
+      exit 2
+  | Ok doc ->
+      (match Option.bind (Json.member "schema" doc) Json.to_string with
+      | Some "ulp-pip/net-bench/v1" -> ()
+      | Some other ->
+          Printf.eprintf "--diff %s: schema %S is not a net-bench file\n"
+            old_file other;
+          exit 2
+      | None ->
+          Printf.eprintf "--diff %s: missing schema\n" old_file;
+          exit 2);
+      let old_entries =
+        match Option.bind (Json.member "results" doc) Json.to_list with
+        | Some l ->
+            List.filter_map
+              (fun e ->
+                let num k = Option.bind (Json.member k e) Json.to_float in
+                match (num "connections", num "req_per_s", num "p99_s") with
+                | Some c, Some rps, Some p99 ->
+                    Some (int_of_float c, (rps, p99))
+                | _ -> None)
+              l
+        | None -> []
+      in
+      let t =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Net regression vs %s (>1.00x req/s = faster now; <1.00x p99 = \
+                lower latency now)"
+               old_file)
+          ~headers:
+            [ "conns"; "old req/s"; "new req/s"; "ratio"; "old p99 [s]";
+              "new p99 [s]"; "ratio" ]
+          ~aligns:
+            [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+              Table.Right; Table.Right ]
+          ()
+      in
+      List.iter
+        (fun p ->
+          match List.assoc_opt p.np_conns old_entries with
+          | None -> ()
+          | Some (old_rps, old_p99) ->
+              Table.add_row t
+                [
+                  string_of_int p.np_conns;
+                  Printf.sprintf "%.0f" old_rps;
+                  Printf.sprintf "%.0f" p.np_req_per_s;
+                  (if old_rps > 0.0 then
+                     Printf.sprintf "%.2fx" (p.np_req_per_s /. old_rps)
+                   else "-");
+                  sci old_p99;
+                  sci p.np_p99_s;
+                  (if old_p99 > 0.0 then
+                     Printf.sprintf "%.2fx" (p.np_p99_s /. old_p99)
+                   else "-");
+                ])
+        points;
+      Table.print t
+
+let run_net_bench ~quick ~diff () =
+  let sweep = if quick then [ 100; 1000 ] else [ 64; 256; 1000 ] in
+  let reqs = if quick then 5 else 20 in
+  (* ~2 fds per connection, both ends in this process, plus slack *)
+  let achieved = Net.Poller.raise_nofile 8192 in
+  if achieved < 4096 then
+    Printf.eprintf
+      "warning: RLIMIT_NOFILE only %d; the 1000-connection point may fail\n"
+      achieved;
+  let fd_baseline = count_fds () in
+  let r = Net_reactor.create () in
+  let points = ref [] in
+  Fiber_rt.Fiber.run_parallel (fun () ->
+      points :=
+        List.map (fun conns -> net_sweep_point r ~conns ~reqs) sweep);
+  let backend = Net_reactor.backend r in
+  Net_reactor.shutdown r;
+  let fd_after = count_fds () in
+  let points = !points in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Net echo bench (localhost, %d-byte messages, %s backend, %d \
+            reqs/conn; connect first, then a timed steady-state request \
+            phase)"
+           net_msg_bytes
+           (match backend with `Select -> "select" | `Poll -> "poll")
+           reqs)
+      ~headers:
+        [ "conns"; "requests"; "elapsed [s]"; "req/s"; "p50 [s]"; "p99 [s]";
+          "max [s]"; "max active" ]
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.np_conns;
+          string_of_int p.np_requests;
+          Printf.sprintf "%.3f" p.np_elapsed_s;
+          Printf.sprintf "%.0f" p.np_req_per_s;
+          sci p.np_p50_s;
+          sci p.np_p99_s;
+          sci p.np_max_s;
+          string_of_int p.np_max_active;
+        ])
+    points;
+  Table.print t;
+  (match (fd_baseline, fd_after) with
+  | Some b, Some a when a <> b ->
+      Printf.printf "  WARNING: fd count %d -> %d (leak?)\n" b a
+  | Some b, Some _ -> Printf.printf "  fd count stable at %d\n" b
+  | _ -> print_endline "  (no /proc/self/fd: fd accounting skipped)");
+  print_endline
+    "  (every socket is multiplexed by the one reactor thread; worker\n\
+    \   domains never block in the kernel -- DESIGN.md section 5c)";
+  (* diff BEFORE overwriting: the old file is often this same path *)
+  (match diff with
+  | Some old_file -> print_net_diff ~old_file points
+  | None -> ());
+  let json = net_json ~quick ~backend ~fd_baseline ~fd_after points in
+  let oc = open_out net_bench_file in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s (%d sweep points)\n" net_bench_file
+    (List.length points)
+
+(* CI gate for BENCH_net.json: schema, a >= 1000-connection point that
+   actually completed its requests, sane latency fields, and no fd
+   leak.  Exit 1 on violation. *)
+let run_validate_net () =
+  let fail msg =
+    Printf.eprintf "%s: %s\n" net_bench_file msg;
+    exit 1
+  in
+  match Json.parse_file net_bench_file with
+  | Error msg -> fail msg
+  | Ok doc ->
+      (match Option.bind (Json.member "schema" doc) Json.to_string with
+      | Some "ulp-pip/net-bench/v1" -> ()
+      | Some other -> fail (Printf.sprintf "unexpected schema %S" other)
+      | None -> fail "missing schema");
+      let results =
+        match Option.bind (Json.member "results" doc) Json.to_list with
+        | Some (_ :: _ as l) -> l
+        | Some [] -> fail "empty results"
+        | None -> fail "missing results"
+      in
+      let seen_1k = ref false in
+      List.iter
+        (fun e ->
+          let num k =
+            match Option.bind (Json.member k e) Json.to_float with
+            | Some f when Float.is_finite f && f >= 0.0 -> f
+            | _ -> fail (Printf.sprintf "result with missing/bad %S" k)
+          in
+          let conns = int_of_float (num "connections") in
+          let requests = int_of_float (num "requests") in
+          let reqs_per_conn = int_of_float (num "reqs_per_conn") in
+          if requests <> conns * reqs_per_conn then
+            fail
+              (Printf.sprintf
+                 "%d conns: %d requests, expected %d -- some client died"
+                 conns requests (conns * reqs_per_conn));
+          let p50 = num "p50_s" and p99 = num "p99_s" and mx = num "max_s" in
+          if not (p50 <= p99 && p99 <= mx) then
+            fail (Printf.sprintf "%d conns: percentiles not monotone" conns);
+          if num "req_per_s" <= 0.0 then
+            fail (Printf.sprintf "%d conns: zero throughput" conns);
+          if int_of_float (num "accepted") < conns then
+            fail (Printf.sprintf "%d conns: server accepted fewer" conns);
+          if conns >= 1000 then seen_1k := true)
+        results;
+      if not !seen_1k then
+        fail "no sweep point with >= 1000 concurrent connections";
+      (match
+         ( Option.bind (Json.member "fd_baseline" doc) Json.to_float,
+           Option.bind (Json.member "fd_after" doc) Json.to_float )
+       with
+      | Some b, Some a when a <> b ->
+          fail
+            (Printf.sprintf "fd leak: %d before, %d after" (int_of_float b)
+               (int_of_float a))
+      | _ -> ());
+      Printf.printf "%s: valid (%d sweep points, 1000-connection point present)\n"
+        net_bench_file (List.length results)
+
+(* ---------------------------------------------------------------- *)
 (* main                                                              *)
 (* ---------------------------------------------------------------- *)
 
@@ -1099,10 +1456,18 @@ let () =
   let diff, args = extract_diff [] args in
   let names = List.filter (fun a -> a <> "--quick") args in
   let experiments =
-    experiments @ [ ("parallel", run_parallel_bench ~quick ~diff) ]
+    experiments
+    @ [
+        ("parallel", run_parallel_bench ~quick ~diff);
+        ("net", run_net_bench ~quick ~diff);
+      ]
   in
-  (* [validate] is a CI gate, only run by name -- never part of "all" *)
-  let by_name = experiments @ [ ("validate", run_validate) ] in
+  (* the validate targets are CI gates, only run by name -- never part
+     of "all" *)
+  let by_name =
+    experiments
+    @ [ ("validate", run_validate); ("validate-net", run_validate_net) ]
+  in
   let requested =
     match names with [] -> List.map fst experiments | names -> names
   in

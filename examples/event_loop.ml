@@ -1,90 +1,81 @@
-(* A poll()-driven event loop on the simulated kernel — the programming
-   model the paper's Background section contrasts against: one thread
-   multiplexing many non-blocking descriptors.
+(* The event loop, inverted — on the REAL reactor this time.
 
-   Three producers write bursts into their own pipes at different paces;
-   a single consumer multiplexes them with poll() + O_NONBLOCK reads.
-   Compare the shape of this code with the ULP version (quickstart.ml,
-   mpi_overlap.ml): with couple()/decouple(), each consumer would be a
-   plain sequential loop around a blocking read — "it requires more
-   programming effort" is the paper's summary of exactly this file.
+   The previous version of this file hand-rolled a poll()-driven event
+   loop on the simulated kernel: one thread multiplexing non-blocking
+   descriptors, the programming model whose "more programming effort"
+   the paper's Background section complains about.  lib/net makes that
+   loop disappear: the reactor thread owns poll(), and each consumer is
+   a plain sequential read loop in its own fiber — blocking-style code,
+   non-blocking execution.  Only the fiber that would block parks; the
+   worker domains keep running everything else.
+
+   Three producer fibers write bursts into real Unix pipes at different
+   paces (Reactor.sleep for pacing); one consumer fiber per pipe drains
+   it with Fiber_io.read until EOF.  Compare the consumer below with the
+   old explicit poll loop: the multiplexing is still happening — in the
+   reactor — but no application code mentions it.
 
    Run with:  dune exec examples/event_loop.exe *)
 
-open Workload
-open Oskernel
+module Fiber = Fiber_rt.Fiber
+module Reactor = Net.Reactor
+module Fio = Net.Fiber_io
 
-let producers = [ ("fast", 3e-5, 6); ("medium", 7e-5, 4); ("slow", 1.5e-4, 3) ]
+let producers = [ ("fast", 0.003, 6); ("medium", 0.007, 4); ("slow", 0.015, 3) ]
 
 let () =
-  Harness.run ~cost:Arch.Machines.wallaby ~cores:5 (fun env ->
-      let k = env.Harness.kernel and vfs = env.Harness.vfs in
-      let loop_task =
-        Kernel.spawn k ~name:"event-loop" ~cpu:0 (fun task ->
-            (* one pipe per producer, read ends set non-blocking *)
-            let pipes =
-              List.map
-                (fun (name, _, _) ->
-                  let rfd, wfd = Vfs.pipe k vfs ~executing:task () in
-                  (match
-                     Vfs.set_flags k vfs ~executing:task rfd
-                       [ Types.O_RDONLY; Types.O_NONBLOCK ]
-                   with
-                  | Ok () -> ()
-                  | Error _ -> failwith "fcntl failed");
-                  (name, rfd, wfd))
-                producers
+  let r = Reactor.create () in
+  let t0 = Unix.gettimeofday () in
+  let stamp () = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let events = ref 0 in
+  let events_lock = Mutex.create () in
+  Fiber.run_parallel (fun () ->
+      let fibers =
+        List.concat_map
+          (fun (name, gap, bursts) ->
+            let rfd, wfd = Unix.pipe ~cloexec:true () in
+            Unix.set_nonblock rfd;
+            Unix.set_nonblock wfd;
+            let producer =
+              Fiber.spawn (fun () ->
+                  for b = 1 to bursts do
+                    Reactor.sleep r gap;
+                    let line = Printf.sprintf "%s#%d" name b in
+                    Fio.write_all r wfd (Bytes.of_string line) 0
+                      (String.length line)
+                  done;
+                  Unix.close wfd)
             in
-            (* producers are threads writing on their own cores *)
-            List.iteri
-              (fun i ((name, gap, bursts), (_, _, wfd)) ->
-                ignore
-                  (Kernel.spawn k ~share:(`Thread task)
-                     ~name:(name ^ "-producer") ~cpu:(1 + i) (fun p ->
-                       for b = 1 to bursts do
-                         Kernel.nanosleep k p gap;
-                         let line = Printf.sprintf "%s#%d" name b in
-                         ignore
-                           (Vfs.write
-                              ~data:(Bytes.of_string line)
-                              k vfs ~executing:p wfd
-                              ~bytes:(String.length line))
-                       done;
-                       ignore (Vfs.close k vfs ~executing:p wfd))))
-              (List.combine producers pipes);
-            (* the event loop: poll all read ends, drain whoever is ready *)
-            let open_pipes = ref (List.map (fun (n, r, _) -> (n, r)) pipes) in
-            let events = ref 0 in
-            while !open_pipes <> [] do
-              let specs = List.map (fun (_, r) -> (r, Vfs.POLLIN)) !open_pipes in
-              let ready = Vfs.poll k vfs ~executing:task specs in
-              List.iter
-                (fun (fd, _) ->
-                  let name =
-                    fst (List.find (fun (_, r) -> r = fd) !open_pipes)
-                  in
+            let consumer =
+              Fiber.spawn (fun () ->
+                  (* the whole "event loop": a sequential blocking-style
+                     read until EOF.  Parking and multiplexing live in
+                     the reactor, not here. *)
                   let buf = Bytes.create 64 in
                   let rec drain () =
-                    match Vfs.read ~into:buf k vfs ~executing:task fd ~bytes:64 with
-                    | Ok 0 ->
-                        (* EOF: producer done *)
-                        ignore (Vfs.close k vfs ~executing:task fd);
-                        open_pipes :=
-                          List.filter (fun (_, r) -> r <> fd) !open_pipes;
-                        Printf.printf "[%8.1f us] %-6s closed\n"
-                          (Kernel.now k *. 1e6) name
-                    | Ok n ->
+                    match Fio.read r rfd buf 0 64 with
+                    | 0 ->
+                        Unix.close rfd;
+                        Printf.printf "[%8.1f ms] %-6s closed\n%!" (stamp ())
+                          name
+                    | n ->
+                        Mutex.lock events_lock;
                         incr events;
-                        Printf.printf "[%8.1f us] %-6s -> %S\n"
-                          (Kernel.now k *. 1e6) name
+                        Mutex.unlock events_lock;
+                        Printf.printf "[%8.1f ms] %-6s -> %S\n%!" (stamp ())
+                          name
                           (Bytes.sub_string buf 0 n);
                         drain ()
-                    | Error Vfs.EAGAIN -> ()
-                    | Error e -> failwith (Vfs.errno_to_string e)
                   in
                   drain ())
-                ready
-            done;
-            Printf.printf "event loop done: %d messages multiplexed\n" !events)
+            in
+            [ producer; consumer ])
+          producers
       in
-      ignore (Kernel.waitpid k env.Harness.root loop_task))
+      List.iter Fiber.join fibers);
+  Reactor.shutdown r;
+  Printf.printf "event loop done: %d messages multiplexed by the reactor\n"
+    !events;
+  let st = Reactor.stats r in
+  Printf.printf "(reactor: %d poll rounds, %d wakeups, %d timers fired)\n"
+    st.Reactor.polls st.Reactor.wakeups st.Reactor.timers_fired

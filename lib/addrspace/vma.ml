@@ -1,8 +1,9 @@
 (* Virtual memory areas: typed address ranges inside an address space. *)
 
 type kind =
-  | Code of string (* namespace name *)
-  | Data of string (* privatized globals of a namespace *)
+  | Code of string (* unique namespace tag "prog#ns_id", not the bare
+                      program name: two loads of one program -> two tags *)
+  | Data of string (* privatized globals of that namespace, same tag *)
   | Heap
   | Stack of int (* owning task tid *)
   | Tls of int (* owning task tid *)

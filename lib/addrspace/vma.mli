@@ -1,0 +1,46 @@
+(** Virtual memory areas: typed, half-open address ranges inside an
+    {!Addr_space.t}.
+
+    A VMA records what a range of the shared address space is {e for} —
+    which namespace's code or privatized data it backs, whose stack or
+    TLS block it is — so footprint accounting and the demos can tell the
+    paper's per-task regions apart even though every task sees the same
+    single address space. *)
+
+type kind =
+  | Code of string
+      (** Text of one loaded namespace.  The payload is the loader's
+          unique namespace tag ["prog#ns_id"], not the bare program
+          name: loading the same program twice yields two [Code] VMAs
+          with distinct tags. *)
+  | Data of string
+      (** Privatized globals of one namespace (same tag as its [Code]).
+          Each [dlmopen]-style load gets its own copy — PiP's variable
+          privatization. *)
+  | Heap
+  | Stack of int  (** Stack of the task with this tid. *)
+  | Tls of int  (** Thread-local storage block of the task with this tid. *)
+  | Mmap  (** Anonymous mapping (plain [map]/[alloc]). *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  start : int;
+  len : int;  (** bytes; the range is [\[start, start+len)]. *)
+  kind : kind;
+  populated : bool;
+      (** PTEs were pre-created at [map] time (MAP_POPULATE): touching
+          the range takes no demand minor faults. *)
+}
+
+val create : start:int -> len:int -> kind:kind -> populated:bool -> t
+
+val contains : t -> int -> bool
+(** [contains t addr] — [addr] falls in [\[start, start+len)].  The end
+    is exclusive. *)
+
+val overlap : t -> t -> bool
+(** The two ranges share at least one address.  Zero-length VMAs
+    overlap nothing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(* TEST-ONLY copy of the reactor's Readiness cell with a deliberately
+   seeded bug: [post] is a get-then-set instead of a CAS loop.  It reads
+   the state, then unconditionally stores the successor it computed from
+   that stale read.  A fiber whose [await] CAS lands BETWEEN the read and
+   the store is silently overwritten: post saw Idle, stores Ready, and
+   the Waiting registration -- with its wake function -- is gone.  The
+   fiber sleeps forever: the classic lost wakeup of hand-rolled event
+   loops, observed by the interleaving checker as a deadlock.
+
+   The same get-then-set also double-wakes under racing posters: two
+   posts both read Waiting w, both run w.  The faithful [Readiness.post]
+   CAS guarantees exactly one winner.
+
+   test_check asserts that the checker reports a bug on THIS module for
+   both races while the faithful copy passes the same scenarios.  Never
+   use outside tests. *)
+
+type state =
+  | Idle
+  | Ready
+  | Waiting of (unit -> unit)
+
+type t = state Atomic.t
+
+let create () = Atomic.make Idle
+
+(* await is the faithful CAS version: the seeded bug lives in [post]
+   alone, so a caught failure localises to the reactor side. *)
+let rec await t waiter =
+  match Atomic.get t with
+  | Idle ->
+      if Atomic.compare_and_set t Idle (Waiting waiter) then `Registered
+      else await t waiter
+  | Ready ->
+      if Atomic.compare_and_set t Ready Idle then begin
+        waiter ();
+        `Was_ready
+      end
+      else await t waiter
+  | Waiting _ -> invalid_arg "Buggy_reactor.await: cell already has a waiter"
+
+let post t =
+  (* THE SEEDED BUG: the correct code CASes each transition so a
+     concurrent [await] registration forces a retry.  Read-then-store
+     lets a Waiting state written in the window be overwritten -- the
+     waiter's wake never runs. *)
+  let seen = Atomic.get t in
+  (match seen with
+  | Idle -> Atomic.set t Ready
+  | Ready -> ()
+  | Waiting _ -> Atomic.set t Idle);
+  match seen with
+  | Waiting w ->
+      w ();
+      `Woke
+  | Idle -> `Memo
+  | Ready -> `Already
+
+let rec clear t =
+  match Atomic.get t with
+  | Idle -> ()
+  | (Ready | Waiting _) as cur ->
+      if not (Atomic.compare_and_set t cur Idle) then clear t

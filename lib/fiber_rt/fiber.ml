@@ -34,9 +34,31 @@ type fiber = {
   mutable executor : Executor.t option; (* lazily-created original KC *)
 }
 
+(* A wake token is the one-shot resumption right for a suspended fiber,
+   safe to hand to foreign threads (the reactor of lib/net, an
+   executor): [fire] CASes the token claimed and only the winner
+   schedules the continuation, so several racing wakers -- I/O
+   readiness vs a timer, say -- resolve to exactly one resume and the
+   losers learn they lost.  The closure inside routes through the
+   engine that parked the fiber (inject / pschedule). *)
+module Wake = struct
+  type token = { fired : bool Atomic.t; resume : unit -> unit }
+
+  let make resume = { fired = Atomic.make false; resume }
+
+  let fire t =
+    if Atomic.exchange t.fired true then false
+    else begin
+      t.resume ();
+      true
+    end
+
+  let is_fired t = Atomic.get t.fired
+end
+
 type _ Effect.t +=
   | Yield : unit Effect.t
-  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Suspend : (Wake.token -> unit) -> unit Effect.t
   | Spawn : (unit -> unit) -> fiber Effect.t
   | Self : fiber Effect.t
 
@@ -128,14 +150,13 @@ and handle sched fb body =
               Some
                 (fun (k : (b, unit) continuation) ->
                   fb.state <- `Suspended;
-                  let fired = Atomic.make false in
-                  let wake () =
-                    if not (Atomic.exchange fired true) then
-                      inject sched (fun () ->
-                          fb.state <- `Runnable;
-                          exec sched fb (fun () -> continue k ()))
+                  let tok =
+                    Wake.make (fun () ->
+                        inject sched (fun () ->
+                            fb.state <- `Runnable;
+                            exec sched fb (fun () -> continue k ())))
                   in
-                  register wake)
+                  register tok)
           | Spawn body' ->
               Some
                 (fun (k : (b, unit) continuation) ->
@@ -370,13 +391,11 @@ and phandle ps fb body =
               Some
                 (fun (k : (b, unit) continuation) ->
                   fb.state <- `Suspended;
-                  let fired = Atomic.make false in
-                  let wake () =
-                    if not (Atomic.exchange fired true) then
-                      pschedule ps (fun () ->
-                          pexec fb (fun () -> continue k ()))
+                  let tok =
+                    Wake.make (fun () ->
+                        pschedule ps (fun () -> pexec fb (fun () -> continue k ())))
                   in
-                  register wake)
+                  register tok)
           | Spawn body' ->
               Some
                 (fun (k : (b, unit) continuation) ->
@@ -621,9 +640,16 @@ let id fb = fb.fid
    owner's informational view. *)
 let state fb = if Completion.is_done fb.completion then `Done else fb.state
 
+(* Park the fiber; [register] receives the one-shot wake token.  Every
+   waker that might race another should go through [suspend_token] and
+   check [Wake.fire]'s verdict. *)
+let suspend_token register = Effect.perform (Suspend register)
+
 (* Park the fiber; [register] receives a wake function callable exactly
-   once from any OS thread. *)
-let suspend register = Effect.perform (Suspend register)
+   once from any OS thread (extra calls are ignored -- the token
+   underneath absorbs them). *)
+let suspend register =
+  suspend_token (fun tok -> register (fun () -> ignore (Wake.fire tok)))
 
 (* Wait until [fb] finishes -- lock-free.  [Completion.add_joiner]
    either CASes our waker into the joiner list before Done is

@@ -70,9 +70,32 @@ val self : unit -> fiber
 val id : fiber -> int
 val state : fiber -> [ `Runnable | `Running | `Suspended | `Done ]
 
+(** One-shot wake tokens: the resumption right for a suspended fiber,
+    safe to duplicate across racing wakers (I/O readiness vs a timer,
+    an executor vs a canceller).  Exactly one {!Wake.fire} wins. *)
+module Wake : sig
+  type token
+
+  val fire : token -> bool
+  (** Schedule the parked fiber, from any OS thread or domain.  [true]
+      iff this call claimed the token; a [false] return means another
+      waker won and the caller must treat the fiber as not-woken-by-us
+      (e.g. report [`Timeout] only if the timer's fire returned
+      [true]). *)
+
+  val is_fired : token -> bool
+end
+
 val suspend : ((unit -> unit) -> unit) -> unit
 (** Park the calling fiber; the callback receives a wake function
-    callable exactly once from any OS thread or domain. *)
+    callable exactly once from any OS thread or domain (extra calls are
+    absorbed). *)
+
+val suspend_token : (Wake.token -> unit) -> unit
+(** Like {!suspend} but hands out the raw {!Wake.token}, for callers
+    that register several competing wakers and need to know which one
+    won ({!Wake.fire}'s return value).  The token may be fired from any
+    OS thread or domain, even before [register] returns. *)
 
 val join : fiber -> unit
 

@@ -1,0 +1,106 @@
+/* C stubs for lib/net: a poll(2) binding (Unix.select caps file
+ * descriptors at FD_SETSIZE=1024, far below the serving targets) and a
+ * RLIMIT_NOFILE raiser so the echo bench can open thousands of sockets
+ * without asking the user to fiddle with ulimit.
+ *
+ * The poll stub copies the interest arrays out of the OCaml heap,
+ * releases the runtime lock for the syscall (the reactor thread must
+ * not stall the domains), and writes revents back after reacquiring.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/resource.h>
+
+/* Event bits shared with poller.ml -- keep in sync. */
+#define ULP_NET_IN 1
+#define ULP_NET_OUT 2
+#define ULP_NET_ERR 4
+
+/* ulp_net_poll fds events revents n timeout_ms
+ *   fds, events, revents : int array, length >= n; only the first n
+ *   entries are live (the caller reuses oversized scratch arrays whose
+ *   tail holds stale fds -- polling those would return instantly with
+ *   POLLNVAL on fds that have since been closed)
+ *   events bits: ULP_NET_IN / ULP_NET_OUT
+ *   revents bits (written back): ULP_NET_IN (incl. HUP), ULP_NET_OUT,
+ *   ULP_NET_ERR (POLLERR | POLLNVAL)
+ * Returns the number of ready entries; -1 on EINTR (caller retries);
+ * raises Out_of_memory / Invalid_argument on real trouble. */
+CAMLprim value ulp_net_poll(value v_fds, value v_events, value v_revents,
+                            value v_n, value v_timeout_ms)
+{
+  CAMLparam5(v_fds, v_events, v_revents, v_n, v_timeout_ms);
+  mlsize_t n = (mlsize_t)Long_val(v_n);
+  int timeout = Int_val(v_timeout_ms);
+  struct pollfd *pfds;
+  int ret;
+  mlsize_t i;
+
+  if (Wosize_val(v_fds) < n || Wosize_val(v_events) < n ||
+      Wosize_val(v_revents) < n)
+    caml_invalid_argument("ulp_net_poll: live count exceeds array length");
+
+  pfds = (struct pollfd *)malloc(n ? n * sizeof(struct pollfd) : 1);
+  if (pfds == NULL) caml_raise_out_of_memory();
+
+  for (i = 0; i < n; i++) {
+    long ev = Long_val(Field(v_events, i));
+    pfds[i].fd = (int)Long_val(Field(v_fds, i));
+    pfds[i].events = 0;
+    if (ev & ULP_NET_IN) pfds[i].events |= POLLIN;
+    if (ev & ULP_NET_OUT) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  ret = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (ret < 0) {
+    int err = errno;
+    free(pfds);
+    if (err == EINTR) CAMLreturn(Val_int(-1));
+    caml_invalid_argument("ulp_net_poll: poll() failed");
+  }
+
+  for (i = 0; i < n; i++) {
+    long rev = 0;
+    if (pfds[i].revents & (POLLIN | POLLHUP)) rev |= ULP_NET_IN;
+    if (pfds[i].revents & POLLOUT) rev |= ULP_NET_OUT;
+    if (pfds[i].revents & (POLLERR | POLLNVAL)) rev |= ULP_NET_ERR;
+    Store_field(v_revents, i, Val_long(rev));
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ret));
+}
+
+/* ulp_net_raise_nofile want
+ * Raise the soft RLIMIT_NOFILE toward [want] (clamped to the hard
+ * limit).  Returns the resulting soft limit, or -1 if it cannot even
+ * be read. */
+CAMLprim value ulp_net_raise_nofile(value v_want)
+{
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(v_want);
+
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  if (rl.rlim_cur < want) {
+    rlim_t target = want;
+    if (rl.rlim_max != RLIM_INFINITY && target > rl.rlim_max)
+      target = rl.rlim_max;
+    rl.rlim_cur = target;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  }
+  if (rl.rlim_cur > (rlim_t)Max_long) return Val_long(Max_long);
+  return Val_long((long)rl.rlim_cur);
+}

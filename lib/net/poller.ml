@@ -1,0 +1,116 @@
+(* The portable readiness-multiplexing seam of the reactor.
+
+   Two backends behind one [wait] call:
+
+   - [`Poll]: the poll(2) C stub -- no FD_SETSIZE ceiling, the backend
+     the serving targets need (thousands of concurrent sockets).
+   - [`Select]: pure [Unix.select] -- runs anywhere the Unix library
+     does, but Unix.select rejects fds >= FD_SETSIZE (1024); kept as
+     the portable fallback and as an independent implementation to
+     cross-check the poll stub in tests.
+
+   [wait] is stateless with respect to interest (the reactor owns the
+   interest table and passes the current set each round); the poller
+   only owns reusable scratch arrays for the poll backend. *)
+
+type backend = [ `Select | `Poll ]
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool }
+
+(* fds events revents live_count timeout_ms; [live_count] bounds the
+   entries poll(2) sees -- the scratch arrays are longer and their tail
+   holds stale fds from earlier rounds. *)
+external poll_stub :
+  int array -> int array -> int array -> int -> int -> int = "ulp_net_poll"
+
+external raise_nofile_stub : int -> int = "ulp_net_raise_nofile"
+
+(* Unix.file_descr is the raw fd int on Unix systems. *)
+external fd_int : Unix.file_descr -> int = "%identity"
+
+let ev_in = 1
+let ev_out = 2
+let ev_err = 4
+
+type t = {
+  backend : backend;
+  mutable fds : int array; (* poll scratch, grown geometrically *)
+  mutable events : int array;
+  mutable revents : int array;
+}
+
+let create ?(backend = `Auto) () =
+  let backend =
+    match backend with
+    | `Select -> `Select
+    | `Poll -> `Poll
+    | `Auto -> if Sys.unix then `Poll else `Select
+  in
+  { backend; fds = [||]; events = [||]; revents = [||] }
+
+let backend t = t.backend
+
+let raise_nofile want = raise_nofile_stub want
+
+let wait_select ~interest ~timeout_ms =
+  let rd = List.filter_map (fun (fd, r, _) -> if r then Some fd else None) interest in
+  let wr = List.filter_map (fun (fd, _, w) -> if w then Some fd else None) interest in
+  let timeout = if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0 in
+  match Unix.select rd wr [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  | ready_r, ready_w, _ ->
+      (* coalesce per fd so a read+write-ready socket yields one event *)
+      let tbl = Hashtbl.create 16 in
+      let note fd readable writable =
+        let r0, w0 =
+          match Hashtbl.find_opt tbl fd with Some p -> p | None -> (false, false)
+        in
+        Hashtbl.replace tbl fd (r0 || readable, w0 || writable)
+      in
+      List.iter (fun fd -> note fd true false) ready_r;
+      List.iter (fun fd -> note fd false true) ready_w;
+      Hashtbl.fold
+        (fun fd (readable, writable) acc -> { fd; readable; writable } :: acc)
+        tbl []
+
+let ensure_capacity t n =
+  if Array.length t.fds < n then begin
+    let cap = max 64 (max n (2 * Array.length t.fds)) in
+    t.fds <- Array.make cap 0;
+    t.events <- Array.make cap 0;
+    t.revents <- Array.make cap 0
+  end
+
+let wait_poll t ~interest ~timeout_ms =
+  let n = List.length interest in
+  ensure_capacity t n;
+  List.iteri
+    (fun i (fd, r, w) ->
+      t.fds.(i) <- fd_int fd;
+      t.events.(i) <- (if r then ev_in else 0) lor (if w then ev_out else 0);
+      t.revents.(i) <- 0)
+    interest;
+  match poll_stub t.fds t.events t.revents n (max timeout_ms (-1)) with
+  | -1 (* EINTR *) | 0 -> []
+  | _ ->
+      let acc = ref [] in
+      List.iteri
+        (fun i (fd, _, _) ->
+          let rev = t.revents.(i) in
+          if rev <> 0 then
+            (* error/hangup counts as both-ready: the waiter's next
+               syscall surfaces the actual errno *)
+            acc :=
+              {
+                fd;
+                readable = rev land (ev_in lor ev_err) <> 0;
+                writable = rev land (ev_out lor ev_err) <> 0;
+              }
+              :: !acc)
+        interest;
+      !acc
+
+let wait t ~interest ~timeout_ms =
+  match t.backend with
+  | `Select -> wait_select ~interest ~timeout_ms
+  | `Poll -> wait_poll t ~interest ~timeout_ms

@@ -1,0 +1,38 @@
+(** Portable readiness multiplexing for the reactor: one [wait] call,
+    two backends.  [`Poll] binds poll(2) through a local C stub and has
+    no FD_SETSIZE ceiling — the serving default on Unix; [`Select] is
+    pure [Unix.select], portable but limited to fds below 1024, kept as
+    fallback and as an independent cross-check in tests.
+
+    The poller holds no interest state: the reactor owns the interest
+    table and passes the current set to every {!wait} (a few thousand
+    entries rebuild in microseconds; persistent kernel registration is
+    an epoll/kqueue backend behind this same interface). *)
+
+type backend = [ `Select | `Poll ]
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool }
+(** Error/hang-up conditions are reported as both-ready: the waiter's
+    next syscall surfaces the real errno. *)
+
+type t
+
+val create : ?backend:[ `Select | `Poll | `Auto ] -> unit -> t
+(** [`Auto] (default) picks [`Poll] on Unix, [`Select] elsewhere. *)
+
+val backend : t -> backend
+
+val wait :
+  t ->
+  interest:(Unix.file_descr * bool * bool) list ->
+  timeout_ms:int ->
+  event list
+(** Block until some [(fd, want_read, want_write)] entry is ready or
+    the timeout lapses ([timeout_ms < 0] = forever, [0] = non-blocking
+    probe).  Returns ready events, possibly [] (timeout or EINTR —
+    callers loop).  Reactor thread only. *)
+
+val raise_nofile : int -> int
+(** Raise the soft RLIMIT_NOFILE toward the argument (clamped to the
+    hard limit); returns the resulting soft limit, [-1] if unreadable.
+    Lets the bench open thousands of sockets without ulimit fiddling. *)

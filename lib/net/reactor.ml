@@ -1,0 +1,356 @@
+(* The reactor: one dedicated OS thread multiplexing kernel fds and
+   deadlines for every fiber of the ambient runtime.
+
+   Division of labour (the Fig. 8 overlap, for real): worker domains
+   never sit in select/poll -- they run fibers.  A fiber that would
+   block parks on a [Fiber.Wake] token; the reactor thread waits in the
+   poller and, on readiness or deadline, fires the token, which routes
+   the continuation back into the schedulers through the existing
+   foreign-thread injection path (MPSC [pinject] + targeted
+   wake-one).  So KCs (here: the reactor and the executors) block in
+   the kernel while UCs keep computing -- the paper's decoupled model
+   with the poller held out of the workers' hot path.
+
+   Communication into the reactor is lock-free: an MPSC command queue
+   plus a self-pipe poke (a coalescing atomic flag keeps it to one
+   written byte per quiet period).  Readiness handshakes go through
+   [Readiness] cells -- the CAS protocol that makes the
+   register-vs-wake race safe (model-checked in lib/check).  Deadlines
+   live in the hierarchical [Timer_wheel]; cancellation races fire by
+   CAS, so [with_timeout] vs completing I/O resolves to exactly one
+   verdict. *)
+
+module Fiber = Fiber_rt.Fiber
+module Mpsc = Fiber_rt.Mpsc_queue
+
+type dir = [ `R | `W ]
+
+type watch = { wfd : Unix.file_descr; wdir : dir; cell : Readiness.t }
+
+type cmd = Watch of watch | Unwatch of watch | Add_timer of Timer_wheel.timer
+
+type stats = {
+  polls : int;  (** poller wait rounds *)
+  wakeups : int;  (** readiness posts that woke a waiter *)
+  timers_fired : int;
+  commands : int;
+  errors : int;  (** reactor-loop rounds rescued by the fallback wake *)
+}
+
+type t = {
+  poller : Poller.t;
+  cmds : cmd Mpsc.t;
+  poked : bool Atomic.t; (* a poke byte is already in the pipe *)
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  stopping : bool Atomic.t;
+  tick_s : float;
+  epoch : float; (* wall clock of wheel tick 0 *)
+  (* counters: written by the reactor thread, read by anyone *)
+  n_polls : int Atomic.t;
+  n_wakeups : int Atomic.t;
+  n_timers : int Atomic.t;
+  n_cmds : int Atomic.t;
+  n_errors : int Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let now () = Unix.gettimeofday ()
+
+let max_idle_ms = 250 (* poll ceiling: re-check stopping this often *)
+
+(* Absolute wall-clock time -> wheel tick, rounded up so a timer never
+   fires before its deadline. *)
+let tick_of t time =
+  let d = (time -. t.epoch) /. t.tick_s in
+  let up = ceil d in
+  max 1 (int_of_float up)
+
+(* The tick the wheel may advance to: rounded down, so [advance] never
+   claims a tick whose wall-clock window is still open. *)
+let current_tick t = int_of_float ((now () -. t.epoch) /. t.tick_s)
+
+let send t cmd =
+  Mpsc.push t.cmds cmd;
+  if not (Atomic.exchange t.poked true) then
+    (* first poke since the reactor last drained: one byte suffices *)
+    try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+
+(* ---------------- the reactor thread ---------------- *)
+
+type state = {
+  r : t;
+  wheel : Timer_wheel.t;
+  interest : (int, watch list) Hashtbl.t; (* raw fd -> live watches *)
+}
+
+external fd_int : Unix.file_descr -> int = "%identity"
+
+let drain_pipe st =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read st.r.pipe_r buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let post_watch st w =
+  match Readiness.post w.cell with
+  | `Woke -> Atomic.incr st.r.n_wakeups
+  | `Memo | `Already -> ()
+
+let run_commands st =
+  List.iter
+    (fun cmd ->
+      Atomic.incr st.r.n_cmds;
+      match cmd with
+      | Watch w ->
+          if Atomic.get st.r.stopping then post_watch st w
+          else
+            let key = fd_int w.wfd in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt st.interest key) in
+            Hashtbl.replace st.interest key (w :: cur)
+      | Unwatch w -> (
+          let key = fd_int w.wfd in
+          match Hashtbl.find_opt st.interest key with
+          | None -> ()
+          | Some ws -> (
+              match List.filter (fun w' -> w'.cell != w.cell) ws with
+              | [] -> Hashtbl.remove st.interest key
+              | ws' -> Hashtbl.replace st.interest key ws'))
+      | Add_timer tm ->
+          (* during shutdown the post-loop [fire_all] sweep resolves it *)
+          Timer_wheel.add st.wheel tm)
+    (Mpsc.pop_all st.r.cmds)
+
+let interest_list st =
+  Hashtbl.fold
+    (fun _ ws acc ->
+      match ws with
+      | [] -> acc
+      | { wfd; _ } :: _ ->
+          let r = List.exists (fun w -> w.wdir = `R) ws in
+          let wr = List.exists (fun w -> w.wdir = `W) ws in
+          (wfd, r, wr) :: acc)
+    st.interest []
+
+let dispatch_event st (ev : Poller.event) =
+  if fd_int ev.fd = fd_int st.r.pipe_r then drain_pipe st
+  else
+    let key = fd_int ev.fd in
+    match Hashtbl.find_opt st.interest key with
+    | None -> ()
+    | Some ws ->
+        let fires w =
+          match w.wdir with `R -> ev.readable | `W -> ev.writable
+        in
+        let woken, kept = List.partition fires ws in
+        List.iter (post_watch st) woken;
+        (match kept with
+        | [] -> Hashtbl.remove st.interest key
+        | ws' -> Hashtbl.replace st.interest key ws')
+
+(* Last resort when a poller round dies (e.g. a watched fd was closed
+   under select): wake every waiter spuriously; each retries its
+   syscall and surfaces its own errno. *)
+let wake_everyone st =
+  Atomic.incr st.r.n_errors;
+  Hashtbl.iter (fun _ ws -> List.iter (post_watch st) ws) st.interest;
+  Hashtbl.reset st.interest
+
+let poll_timeout_ms st =
+  match Timer_wheel.next_due st.wheel with
+  | None -> max_idle_ms
+  | Some tick ->
+      let dt = float_of_int (tick - Timer_wheel.now st.wheel) *. st.r.tick_s in
+      min max_idle_ms (max 0 (int_of_float (ceil (dt *. 1000.))))
+
+let reactor_loop st =
+  while not (Atomic.get st.r.stopping) do
+    (try
+       (* consume the poke before draining, so a poke raced with the
+          drain leaves a byte for the next round rather than vanishing *)
+       Atomic.set st.r.poked false;
+       drain_pipe st;
+       run_commands st;
+       let fired = Timer_wheel.advance st.wheel ~now:(current_tick st.r) in
+       if fired > 0 then
+         Atomic.set st.r.n_timers (Atomic.get st.r.n_timers + fired);
+       let interest = (st.r.pipe_r, true, false) :: interest_list st in
+       let timeout_ms = poll_timeout_ms st in
+       Atomic.incr st.r.n_polls;
+       let events = Poller.wait st.r.poller ~interest ~timeout_ms in
+       List.iter (dispatch_event st) events
+     with _ -> wake_everyone st)
+  done;
+  (* shutdown: nothing may stay parked on us.  Post every cell and run
+     every still-pending timer action (each action re-checks its own
+     verdict CAS, so late firing is safe). *)
+  run_commands st;
+  Hashtbl.iter (fun _ ws -> List.iter (post_watch st) ws) st.interest;
+  Hashtbl.reset st.interest;
+  let swept = Timer_wheel.fire_all st.wheel in
+  if swept > 0 then Atomic.set st.r.n_timers (Atomic.get st.r.n_timers + swept)
+
+(* ---------------- lifecycle ---------------- *)
+
+let create ?backend ?(tick_s = 0.001) () =
+  let pipe_r, pipe_w = Unix.pipe () in
+  Unix.set_nonblock pipe_r;
+  Unix.set_nonblock pipe_w;
+  let t =
+    {
+      poller = Poller.create ?backend ();
+      cmds = Mpsc.create ();
+      poked = Atomic.make false;
+      pipe_r;
+      pipe_w;
+      stopping = Atomic.make false;
+      tick_s;
+      epoch = now ();
+      n_polls = Atomic.make 0;
+      n_wakeups = Atomic.make 0;
+      n_timers = Atomic.make 0;
+      n_cmds = Atomic.make 0;
+      n_errors = Atomic.make 0;
+      thread = None;
+    }
+  in
+  let st = { r = t; wheel = Timer_wheel.create (); interest = Hashtbl.create 64 } in
+  t.thread <- Some (Thread.create reactor_loop st);
+  t
+
+let backend t = Poller.backend t.poller
+
+let stats t =
+  {
+    polls = Atomic.get t.n_polls;
+    wakeups = Atomic.get t.n_wakeups;
+    timers_fired = Atomic.get t.n_timers;
+    commands = Atomic.get t.n_cmds;
+    errors = Atomic.get t.n_errors;
+  }
+
+let shutdown t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* direct poke: the coalescing flag may already be true *)
+    (try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    t.thread <- None;
+    (* commands that raced the thread's final drain: resolve here so no
+       fiber stays parked on a dead reactor *)
+    List.iter
+      (fun cmd ->
+        match cmd with
+        | Watch w -> ignore (Readiness.post w.cell)
+        | Unwatch _ -> ()
+        | Add_timer tm -> ignore (Timer_wheel.fire tm))
+      (Mpsc.pop_all t.cmds);
+    Unix.close t.pipe_r;
+    Unix.close t.pipe_w
+  end
+
+(* ---------------- fiber-side waits ---------------- *)
+
+exception Reactor_stopped
+
+let check_live t = if Atomic.get t.stopping then raise Reactor_stopped
+
+(* Wait until [fd] is ready in direction [dir], or [deadline] (absolute
+   wall-clock seconds) passes.  The two wakers race on [verdict]; the
+   CAS winner fires the fiber's wake token, the loser's effect is
+   dropped. *)
+let await_fd t ?deadline fd dir =
+  check_live t;
+  let verdict = Atomic.make `None in
+  let cell = Readiness.create () in
+  let timer = ref None in
+  Fiber.suspend_token (fun tok ->
+      let waiter () =
+        if Atomic.compare_and_set verdict `None `Ready then
+          ignore (Fiber.Wake.fire tok)
+      in
+      (match Readiness.await cell waiter with
+      | `Registered | `Was_ready -> ());
+      (match deadline with
+      | None -> ()
+      | Some d ->
+          let tm =
+            Timer_wheel.make ~at:(tick_of t d) (fun () ->
+                if Atomic.compare_and_set verdict `None `Timeout then
+                  ignore (Fiber.Wake.fire tok))
+          in
+          timer := Some tm;
+          send t (Add_timer tm));
+      send t (Watch { wfd = fd; wdir = dir; cell }));
+  match Atomic.get verdict with
+  | `Ready ->
+      (match !timer with Some tm -> ignore (Timer_wheel.cancel tm) | None -> ());
+      `Ready
+  | `Timeout ->
+      (* the registration is dead: reclaim it (the reactor drops the
+         table entry; clear covers a post that raced the timeout) *)
+      send t (Unwatch { wfd = fd; wdir = dir; cell });
+      Readiness.clear cell;
+      `Timeout
+  | `None -> assert false
+
+let sleep_until t time =
+  check_live t;
+  if time > now () then
+    Fiber.suspend_token (fun tok ->
+        let tm =
+          Timer_wheel.make ~at:(tick_of t time) (fun () ->
+              ignore (Fiber.Wake.fire tok))
+        in
+        send t (Add_timer tm))
+
+let sleep t seconds = sleep_until t (now () +. seconds)
+
+(* Race [f] (in a child fiber) against the deadline.  The verdict CAS
+   picks exactly one outcome even when I/O completion and the timer
+   fire in the same instant; the loser's wake attempt is absorbed by
+   the token.  On [`Timeout] the child is NOT cancelled -- it keeps
+   running to completion and its result is discarded (abandon-wait
+   semantics; pair with per-operation [?deadline]s in [Fiber_io] when
+   the I/O itself must stop). *)
+let with_timeout t ~seconds f =
+  check_live t;
+  let deadline = now () +. seconds in
+  let verdict = Atomic.make `None in
+  let result = ref None in
+  let tok_cell = Atomic.make None in
+  let try_wake () =
+    match Atomic.get tok_cell with
+    | Some tok -> ignore (Fiber.Wake.fire tok)
+    | None -> () (* not parked yet: the post-publish check self-fires *)
+  in
+  let _child : Fiber.fiber =
+    Fiber.spawn (fun () ->
+        let r = match f () with v -> Ok v | exception e -> Error e in
+        result := Some r;
+        if Atomic.compare_and_set verdict `None `Done then try_wake ())
+  in
+  let tm =
+    Timer_wheel.make ~at:(tick_of t deadline) (fun () ->
+        if Atomic.compare_and_set verdict `None `Timeout then try_wake ())
+  in
+  send t (Add_timer tm);
+  Fiber.suspend_token (fun tok ->
+      Atomic.set tok_cell (Some tok);
+      (* the race may already be decided: then nobody saw the token *)
+      if Atomic.get verdict <> `None then ignore (Fiber.Wake.fire tok));
+  match Atomic.get verdict with
+  | `Done -> (
+      ignore (Timer_wheel.cancel tm);
+      match !result with
+      | Some (Ok v) -> Ok v
+      | Some (Error e) -> raise e
+      | None -> assert false)
+  | `Timeout -> Error `Timeout
+  | `None -> assert false

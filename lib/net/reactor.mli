@@ -1,0 +1,72 @@
+(** The reactor: a dedicated OS thread multiplexing kernel fds and
+    deadlines for every fiber of the ambient runtime.
+
+    Worker domains never sit in select/poll — they keep running fibers
+    (the paper's decoupled UCs).  A fiber that would block parks on a
+    {!Fiber_rt.Fiber.Wake} token; the reactor waits in the {!Poller}
+    and, on readiness or deadline, fires the token, which re-injects
+    the continuation through the runtime's foreign-thread MPSC path.
+    Readiness handshakes use the {!Readiness} CAS cells (model-checked
+    in [lib/check]); deadlines live in the hierarchical {!Timer_wheel},
+    and every timeout-vs-completion race resolves by a verdict CAS to
+    exactly one outcome.
+
+    Lifecycle: {!create} before (or during) the fiber run; call the
+    wait operations only from inside fibers; {!shutdown} only after the
+    fiber run has drained its net waits (any stragglers are woken
+    spuriously rather than leaked, but that is a recovery path, not the
+    contract). *)
+
+type t
+
+type dir = [ `R | `W ]
+
+type stats = {
+  polls : int;  (** poller wait rounds *)
+  wakeups : int;  (** readiness posts that woke a waiter *)
+  timers_fired : int;
+  commands : int;
+  errors : int;  (** reactor rounds rescued by the wake-everyone fallback *)
+}
+
+exception Reactor_stopped
+(** Raised by the wait operations once {!shutdown} has begun. *)
+
+val create : ?backend:[ `Select | `Poll | `Auto ] -> ?tick_s:float -> unit -> t
+(** Spawn the reactor thread.  [tick_s] is the timer-wheel granularity
+    (default 1 ms).  [backend] as in {!Poller.create}. *)
+
+val shutdown : t -> unit
+(** Stop and join the reactor thread, close its self-pipe, and resolve
+    any in-flight registrations (spurious wake).  Idempotent. *)
+
+val backend : t -> Poller.backend
+val stats : t -> stats
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the time base of every
+    [?deadline] below. *)
+
+val await_fd :
+  t -> ?deadline:float -> Unix.file_descr -> dir -> [ `Ready | `Timeout ]
+(** Park the calling fiber until [fd] is ready in direction [dir]
+    (level-triggered, one-shot) or [deadline] passes.  Exactly one
+    verdict even when readiness and the deadline race.  Error/hang-up
+    conditions report [`Ready] — the caller's next syscall surfaces the
+    errno. *)
+
+val sleep : t -> float -> unit
+(** Park the calling fiber for at least the given seconds; other
+    fibers (and domains) keep running. *)
+
+val sleep_until : t -> float -> unit
+
+val with_timeout :
+  t -> seconds:float -> (unit -> 'a) -> ('a, [ `Timeout ]) result
+(** Run [f] in a child fiber, racing the deadline: [Ok] with its result
+    if it finishes first, [Error `Timeout] otherwise — exactly one
+    verdict, even when completion and deadline coincide.  On timeout
+    [f] is {e not} cancelled: it runs on and its result is discarded
+    (abandon-wait semantics); give the I/O inside a [?deadline] when it
+    must actually stop.  If [f] raised, its exception is re-raised
+    here. *)

@@ -1,0 +1,225 @@
+(* The TCP serving stack on the fiber runtime: one accept-loop fiber,
+   one fiber per connection, bounded by [max_conns] with real
+   backpressure (at capacity the accept loop parks on a [Readiness]
+   gate until a connection retires -- the kernel backlog then throttles
+   clients).  [stop] drains gracefully: stop accepting, wake the accept
+   loop, wait for active connections to retire.
+
+   Counters are atomics (any thread may read [stats] while workers
+   serve); the latency hook keeps a bounded reservoir so [percentile]
+   stays honest at any request volume without unbounded memory. *)
+
+module Fiber = Fiber_rt.Fiber
+
+type conn = { fd : Unix.file_descr; peer : Unix.sockaddr }
+
+(* ---- latency reservoir (Vitter's algorithm R) ---- *)
+
+module Latency = struct
+  type t = {
+    cap : int;
+    samples : float array;
+    count : int Atomic.t; (* total observations *)
+    sum_ns : int Atomic.t; (* nanoseconds: atomic-int-friendly *)
+    max_ns : int Atomic.t;
+    mutable rng : int;
+    lock : Mutex.t; (* reservoir slot writes only; add is cheap *)
+  }
+
+  let create ?(cap = 16384) () =
+    {
+      cap;
+      samples = Array.make cap 0.0;
+      count = Atomic.make 0;
+      sum_ns = Atomic.make 0;
+      max_ns = Atomic.make 0;
+      rng = 0x2545F491;
+      lock = Mutex.create ();
+    }
+
+  let add t dt =
+    (* round up: max_s must never land below a sample the reservoir
+       still holds (percentile <= max stays true) *)
+    let ns = int_of_float (ceil (dt *. 1e9)) in
+    let i = Atomic.fetch_and_add t.count 1 in
+    ignore (Atomic.fetch_and_add t.sum_ns ns);
+    let rec bump () =
+      let m = Atomic.get t.max_ns in
+      if ns > m && not (Atomic.compare_and_set t.max_ns m ns) then bump ()
+    in
+    bump ();
+    Mutex.lock t.lock;
+    (if i < t.cap then t.samples.(i) <- dt
+     else begin
+       (* replace a random slot with probability cap/i: uniform sample *)
+       t.rng <- (t.rng * 25214903917) + 11;
+       let j = abs (t.rng mod (i + 1)) in
+       if j < t.cap then t.samples.(j) <- dt
+     end);
+    Mutex.unlock t.lock
+
+  let count t = Atomic.get t.count
+  let mean t =
+    let n = Atomic.get t.count in
+    if n = 0 then 0.0 else float_of_int (Atomic.get t.sum_ns) /. 1e9 /. float_of_int n
+
+  let max_s t = float_of_int (Atomic.get t.max_ns) /. 1e9
+
+  let percentile t p =
+    Mutex.lock t.lock;
+    let n = min (Atomic.get t.count) t.cap in
+    let copy = Array.sub t.samples 0 n in
+    Mutex.unlock t.lock;
+    if n = 0 then 0.0
+    else begin
+      Array.sort compare copy;
+      let idx = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      copy.(max 0 (min (n - 1) idx))
+    end
+end
+
+type stats = {
+  accepted : int;
+  active : int;
+  max_active : int;
+  completed : int;
+  failed : int;  (** handlers that raised *)
+  accept_retries : int;  (** accept-loop parks waiting for a free slot *)
+}
+
+type t = {
+  reactor : Reactor.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  max_conns : int;
+  handler : Reactor.t -> conn -> unit;
+  stopping : bool Atomic.t;
+  (* counters *)
+  accepted : int Atomic.t;
+  active : int Atomic.t;
+  max_active : int Atomic.t;
+  completed : int Atomic.t;
+  failed : int Atomic.t;
+  accept_retries : int Atomic.t;
+  latency : Latency.t;
+  (* the backpressure gate: a retiring connection posts it; the accept
+     loop awaits it when at capacity *)
+  gate : Readiness.t;
+  (* drain gate: the last retiring connection posts it during stop *)
+  drained : Readiness.t;
+  mutable accept_done : Fiber.fiber option;
+}
+
+let stats t =
+  {
+    accepted = Atomic.get t.accepted;
+    active = Atomic.get t.active;
+    max_active = Atomic.get t.max_active;
+    completed = Atomic.get t.completed;
+    failed = Atomic.get t.failed;
+    accept_retries = Atomic.get t.accept_retries;
+  }
+
+let latency t = t.latency
+let note_latency t dt = Latency.add t.latency dt
+let port t = t.port
+let active t = Atomic.get t.active
+
+let gate_wait cell =
+  Fiber.suspend (fun wake -> ignore (Readiness.await cell wake))
+
+let rec bump_max a v =
+  let m = Atomic.get a in
+  if v > m && not (Atomic.compare_and_set a m v) then bump_max a v
+
+let retire t =
+  let left = Atomic.fetch_and_add t.active (-1) - 1 in
+  ignore (Readiness.post t.gate);
+  if left = 0 && Atomic.get t.stopping then ignore (Readiness.post t.drained)
+
+let serve_conn t fd peer =
+  (match t.handler t.reactor { fd; peer } with
+  | () -> Atomic.incr t.completed
+  | exception _ -> Atomic.incr t.failed);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  retire t
+
+let accept_loop t =
+  let rec go () =
+    if not (Atomic.get t.stopping) then begin
+      (* backpressure: hold accepts while at capacity *)
+      if Atomic.get t.active >= t.max_conns then begin
+        Atomic.incr t.accept_retries;
+        if Atomic.get t.active >= t.max_conns && not (Atomic.get t.stopping)
+        then gate_wait t.gate;
+        go ()
+      end
+      else
+        match Fiber_io.accept t.reactor t.listen_fd with
+        | conn_fd, peer ->
+            Atomic.incr t.accepted;
+            let n = Atomic.fetch_and_add t.active 1 + 1 in
+            bump_max t.max_active n;
+            ignore (Fiber.spawn (fun () -> serve_conn t conn_fd peer));
+            go ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+            (* listener shut down under us: stop requested *)
+            ()
+        | exception Reactor.Reactor_stopped -> ()
+    end
+  in
+  go ()
+
+let start ~reactor ?(backlog = 128) ?(max_conns = max_int) ~addr ~handler () =
+  let listen_fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd backlog;
+     Unix.set_nonblock listen_fd
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> 0
+  in
+  let t =
+    {
+      reactor;
+      listen_fd;
+      port;
+      max_conns;
+      handler;
+      stopping = Atomic.make false;
+      accepted = Atomic.make 0;
+      active = Atomic.make 0;
+      max_active = Atomic.make 0;
+      completed = Atomic.make 0;
+      failed = Atomic.make 0;
+      accept_retries = Atomic.make 0;
+      latency = Latency.create ();
+      gate = Readiness.create ();
+      drained = Readiness.create ();
+      accept_done = None;
+    }
+  in
+  t.accept_done <- Some (Fiber.spawn (fun () -> accept_loop t));
+  t
+
+(* Graceful drain: stop accepting (shutdown() makes the parked accept
+   observe readiness and fail with EINVAL/EBADF), wake a gate-parked
+   accept loop, then wait until every active connection retires. *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    ignore (Readiness.post t.gate);
+    (match t.accept_done with Some f -> Fiber.join f | None -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* connections still in flight: wait for the last to retire *)
+    while Atomic.get t.active > 0 do
+      gate_wait t.drained
+    done
+  end

@@ -1,0 +1,68 @@
+(** TCP serving on the fiber runtime: an accept-loop fiber spawning one
+    fiber per connection, bounded concurrency with real backpressure
+    (at [max_conns] the accept loop parks until a connection retires,
+    letting the kernel backlog throttle clients), graceful drain on
+    {!stop}, and built-in counters plus a bounded-reservoir latency
+    hook.
+
+    All entry points except {!stats}/{!port}/{!active} must run inside
+    the fiber runtime ({!start} spawns fibers; {!stop} joins and
+    parks). *)
+
+type t
+
+type conn = { fd : Unix.file_descr; peer : Unix.sockaddr }
+(** The handler's view of one accepted connection.  The fd is
+    non-blocking; the server closes it when the handler returns (or
+    raises). *)
+
+(** Latency reservoir: thread-safe, bounded memory (uniform sample of
+    up to 16k observations), honest percentiles at any volume. *)
+module Latency : sig
+  type t
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val max_s : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 99.0] over the current sample; 0 when empty. *)
+end
+
+type stats = {
+  accepted : int;
+  active : int;
+  max_active : int;  (** high-water concurrent connections *)
+  completed : int;
+  failed : int;  (** handlers that raised *)
+  accept_retries : int;  (** accept-loop parks waiting for a free slot *)
+}
+
+val start :
+  reactor:Reactor.t ->
+  ?backlog:int ->
+  ?max_conns:int ->
+  addr:Unix.sockaddr ->
+  handler:(Reactor.t -> conn -> unit) ->
+  unit ->
+  t
+(** Bind, listen and spawn the accept loop (so: fiber context).
+    [backlog] defaults to 128, [max_conns] to unlimited.  The handler
+    runs in the connection's own fiber and may park freely
+    ({!Fiber_io}); its exceptions are counted, never propagated. *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, then park until every active
+    connection retires.  Idempotent; fiber context. *)
+
+val port : t -> int
+(** The bound port — useful after binding port 0. *)
+
+val stats : t -> stats
+val active : t -> int
+
+val latency : t -> Latency.t
+val note_latency : t -> float -> unit
+(** The stats hook: handlers record per-request wall-clock latency here;
+    {!latency} exposes count / mean / max / percentiles. *)

@@ -1,0 +1,249 @@
+(* Hierarchical timing wheel (Varghese & Lauck): deadlines live in
+   power-of-two buckets -- level 0 resolves single ticks across a
+   256-tick window, each higher level covers 64x the span of the one
+   below at proportionally coarser slots.  Scheduling and cancelling
+   are O(1); advancing one tick is O(1) amortized, with timers
+   cascading down a level when the wheel below wraps.
+
+   Geometry (1 ms ticks in the reactor):
+
+     level 0:  256 slots x 1 tick        -- 256 ms window
+     level 1:   64 slots x 256 ticks     -- ~16 s
+     level 2:   64 slots x 2^14 ticks    -- ~17 min
+     level 3:   64 slots x 2^20 ticks    -- ~18 h
+     level 4:   64 slots x 2^26 ticks    -- ~49 d (beyond: clamped here)
+
+   Concurrency: the wheel itself is single-threaded (the reactor thread
+   owns it); only a timer's [state] field is atomic so any thread can
+   cancel, racing the reactor's fire -- the CAS decides, exactly one of
+   {fire, cancel} wins.  [make] is thread-free too, so fibers build the
+   timer (and may cancel it) before the reactor ever inserts it. *)
+
+type tstate = Pending | Fired | Cancelled
+
+type timer = {
+  at : int; (* absolute deadline, ticks *)
+  action : unit -> unit;
+  state : tstate Atomic.t;
+  mutable seq : int; (* insertion number: FIFO tie-break within a tick *)
+}
+
+let level0_bits = 8
+let level_bits = 6
+let levels = 5
+
+(* [shift.(l)] = log2 of the tick span of one slot at level l. *)
+let shift =
+  Array.init levels (fun l -> if l = 0 then 0 else level0_bits + ((l - 1) * level_bits))
+
+let slots l = if l = 0 then 1 lsl level0_bits else 1 lsl level_bits
+let mask l = slots l - 1
+let horizon = 1 lsl (level0_bits + ((levels - 1) * level_bits))
+
+type t = {
+  wheel : timer list array array; (* wheel.(level).(slot), unordered *)
+  mutable overdue : timer list; (* at <= now on insertion: next advance *)
+  mutable now : int; (* every timer with at <= now has been dispatched *)
+  mutable next_seq : int;
+  mutable pending : int; (* scheduled - fired - reaped-cancelled *)
+}
+
+let create ?(start = 0) () =
+  {
+    wheel = Array.init levels (fun l -> Array.make (slots l) []);
+    overdue = [];
+    now = start;
+    next_seq = 0;
+    pending = 0;
+  }
+
+let now t = t.now
+
+let make ~at action = { at; action; state = Atomic.make Pending; seq = -1 }
+
+let cancel tm = Atomic.compare_and_set tm.state Pending Cancelled
+
+(* Resolve a timer ahead of (or without) the wheel: the same CAS as the
+   wheel's own fire, so exactly one of {advance, fire, cancel} wins. *)
+let fire tm =
+  if Atomic.compare_and_set tm.state Pending Fired then begin
+    tm.action ();
+    true
+  end
+  else false
+
+let is_pending tm = Atomic.get tm.state = Pending
+let pending t = t.pending
+
+(* Place [tm] in the bucket matching its distance from [t.now].  A due
+   or overdue timer ([at <= now]) never enters the wheel: it joins the
+   overdue list, which the very next [advance] sweeps even when the
+   clock does not move. *)
+let insert_future t tm =
+  let at = tm.at in
+  let delta = at - t.now in
+  (* smallest level whose cumulative span covers the distance: levels
+     0..l together span 2^(shift.(l) + bits(l)) ticks *)
+  let rec find l =
+    let span = 1 lsl (shift.(l) + if l = 0 then level0_bits else level_bits) in
+    if delta < span || l = levels - 1 then l else find (l + 1)
+  in
+  let l = find 0 in
+  let slot =
+    if l = levels - 1 && delta >= horizon then
+      (* beyond the horizon: park in the slot farthest from now; it
+         re-cascades each wrap until the deadline is in range *)
+      (t.now lsr shift.(l)) land mask l
+    else (at lsr shift.(l)) land mask l
+  in
+  t.wheel.(l).(slot) <- tm :: t.wheel.(l).(slot)
+
+let bucket_insert t tm =
+  if tm.at <= t.now then t.overdue <- tm :: t.overdue else insert_future t tm
+
+let add t tm =
+  if tm.seq >= 0 then invalid_arg "Timer_wheel.add: timer already added";
+  tm.seq <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.pending <- t.pending + 1;
+  bucket_insert t tm
+
+let schedule t ~at action =
+  let tm = make ~at action in
+  add t tm;
+  tm
+
+(* Pull the level-l slot fed by the current tick down one level.
+   Called when the wheel below wraps: every timer in that slot now
+   falls within the finer levels' span. *)
+let cascade t l =
+  let slot = (t.now lsr shift.(l)) land mask l in
+  let batch = t.wheel.(l).(slot) in
+  t.wheel.(l).(slot) <- [];
+  List.iter
+    (fun tm ->
+      match Atomic.get tm.state with
+      | Cancelled -> t.pending <- t.pending - 1 (* reap *)
+      | Fired -> ()
+      | Pending -> bucket_insert t tm)
+    batch
+
+(* Advance the wheel to [now], collecting due timers; fire them in
+   deadline order (insertion order within a tick).  Returns the number
+   of actions run. *)
+let advance t ~now:target =
+  let due = ref [] in
+  (* timers already due on insertion (or via a cascade landing exactly
+     on now) wait in [overdue]: sweep them even when the clock is not
+     moving *)
+  let sweep_overdue () =
+    List.iter
+      (fun tm ->
+        match Atomic.get tm.state with
+        | Cancelled -> t.pending <- t.pending - 1
+        | Fired -> ()
+        | Pending -> due := tm :: !due)
+      t.overdue;
+    t.overdue <- []
+  in
+  sweep_overdue ();
+  while t.now < target do
+    t.now <- t.now + 1;
+    (* a wrap at level l-1 exposes a fresh slot at level l: cascade
+       before reading the level-0 slot of this tick *)
+    let rec maybe_cascade l =
+      if l < levels && t.now land ((1 lsl shift.(l)) - 1) = 0 then begin
+        cascade t l;
+        maybe_cascade (l + 1)
+      end
+    in
+    maybe_cascade 1;
+    let slot = t.now land mask 0 in
+    let batch = t.wheel.(0).(slot) in
+    t.wheel.(0).(slot) <- [];
+    List.iter
+      (fun tm ->
+        match Atomic.get tm.state with
+        | Cancelled -> t.pending <- t.pending - 1
+        | Fired -> ()
+        | Pending ->
+            if tm.at <= t.now then due := tm :: !due
+            else bucket_insert t tm (* same slot, a later lap *))
+      batch;
+    sweep_overdue ()
+  done;
+  let due = List.sort (fun a b -> compare (a.at, a.seq) (b.at, b.seq)) !due in
+  List.fold_left
+    (fun n tm ->
+      (* the cancel/fire race: exactly one side wins the CAS *)
+      if Atomic.compare_and_set tm.state Pending Fired then begin
+        t.pending <- t.pending - 1;
+        tm.action ();
+        n + 1
+      end
+      else begin
+        t.pending <- t.pending - 1 (* lost to a concurrent cancel *);
+        n
+      end)
+    0 due
+
+(* A safe wake-up hint: no pending timer is due strictly before the
+   returned tick (for coarse levels it may under-shoot the true
+   deadline; it is never later).  Scans the level-0 window plus every
+   parked coarse timer -- the reactor calls it once per poll round and
+   coarse timers are few. *)
+(* Shutdown sweep: run every still-pending action regardless of its
+   deadline, in (deadline, insertion) order.  Each action must carry
+   its own verdict check (the reactor's do), so firing early is safe. *)
+let fire_all t =
+  let all = ref [] in
+  List.iter (fun tm -> if is_pending tm then all := tm :: !all) t.overdue;
+  t.overdue <- [];
+  Array.iter
+    (fun level ->
+      Array.iteri
+        (fun slot bucket ->
+          level.(slot) <- [];
+          List.iter
+            (fun tm -> if is_pending tm then all := tm :: !all)
+            bucket)
+        level)
+    t.wheel;
+  let all = List.sort (fun a b -> compare (a.at, a.seq) (b.at, b.seq)) !all in
+  let n = List.fold_left (fun n tm -> if fire tm then n + 1 else n) 0 all in
+  t.pending <- 0;
+  n
+
+let next_due t =
+  let best = ref None in
+  let consider tick =
+    match !best with Some b when b <= tick -> () | _ -> best := Some tick
+  in
+  let live bucket = List.exists is_pending bucket in
+  (* an overdue timer is due at once: the current tick is the hint (the
+     caller's advance-to-hint then sweeps it even without tick motion) *)
+  if live t.overdue then consider t.now;
+  (* level 0: exact ticks in the current window *)
+  let exception Found in
+  (try
+     for d = 1 to slots 0 do
+       let tick = t.now + d in
+       if live t.wheel.(0).(tick land mask 0)
+          && List.exists (fun tm -> is_pending tm && tm.at <= tick)
+               t.wheel.(0).(tick land mask 0)
+       then begin
+         consider tick;
+         raise Found
+       end
+     done
+   with Found -> ());
+  (* coarse levels: lower-bound by the slot's start tick *)
+  for l = 1 to levels - 1 do
+    Array.iter
+      (fun bucket ->
+        List.iter
+          (fun tm -> if is_pending tm then consider (max (t.now + 1) tm.at))
+          bucket)
+      t.wheel.(l)
+  done;
+  !best

@@ -1,0 +1,71 @@
+(** Hierarchical timing wheel (Varghese & Lauck) for the reactor's
+    deadlines: O(1) schedule and cancel, O(1)-amortized tick advance,
+    with timers cascading down from coarser levels as their deadline
+    approaches.  5 levels span [2^8 * 64^4] ticks (~49 days at the
+    reactor's 1 ms tick); farther deadlines are parked at the top level
+    and re-cascade each wrap.
+
+    The wheel is single-threaded (the reactor thread owns it); only a
+    timer's state cell is atomic, so {!cancel} may race the reactor's
+    fire from any thread — the CAS guarantees exactly one of
+    \{fire, cancel\} wins, which is what makes [with_timeout] vs
+    completing-I/O races safe. *)
+
+type t
+type timer
+
+val create : ?start:int -> unit -> t
+(** A wheel whose clock starts at tick [start] (default 0). *)
+
+val now : t -> int
+(** Current tick: every timer with [at <= now t] has been dispatched. *)
+
+val make : at:int -> (unit -> unit) -> timer
+(** A detached pending timer — buildable (and cancellable) by any
+    thread before {!add} hands it to the wheel's owner.  [at] is an
+    absolute tick; due or overdue deadlines fire on the next
+    {!advance}. *)
+
+val add : t -> timer -> unit
+(** Insert a timer built with {!make}.  Owner thread only.
+    @raise Invalid_argument if the timer was already added. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> timer
+(** [make] + [add]. *)
+
+val cancel : timer -> bool
+(** [true] iff the timer was still pending: its action will never run.
+    [false] once fired (or already cancelled) — the cancel-after-fire
+    case callers must handle.  Any thread; O(1). *)
+
+val advance : t -> now:int -> int
+(** Move the clock to [now], firing every due, uncancelled action in
+    deadline order (insertion order within a tick).  Actions run on the
+    calling (owner) thread.  Returns the number fired. *)
+
+val next_due : t -> int option
+(** Wake-up hint: [None] when nothing is pending, otherwise a tick such
+    that {!advance}-ing to it makes progress — never later than the
+    earliest pending deadline (clamped to the current tick for overdue
+    timers).  It may under-shoot for timers still parked in coarse
+    levels: advancing to it then fires nothing and yields a sharper
+    hint. *)
+
+val fire : timer -> bool
+(** Resolve a timer immediately, without the wheel: runs the action on
+    the calling thread iff the timer was still pending (the same CAS as
+    the wheel's own fire — exactly one of \{advance, fire, cancel\}
+    wins).  Used by the reactor's shutdown path for timers that never
+    reached the wheel. *)
+
+val fire_all : t -> int
+(** Shutdown sweep: run every still-pending action regardless of
+    deadline, in (deadline, insertion) order; empties the wheel.  Owner
+    thread only.  Safe only for actions that re-check their own verdict
+    (the reactor's all do). *)
+
+val pending : t -> int
+(** Timers neither fired nor reaped; cancelled timers keep counting
+    until the wheel sweeps past their slot. *)
+
+val is_pending : timer -> bool

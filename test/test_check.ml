@@ -220,6 +220,88 @@ let completion_race (module C : COMPLETION) () =
             failwith (Printf.sprintf "joiner %d woken %d times" i n))
         [ w0; w1 ] )
 
+(* ---------- scenario: reactor Readiness, register vs post ---------- *)
+
+(* Parameterized over the readiness-cell implementation so the same
+   scenario drives both the faithful copy (recompiled from
+   lib/net/readiness.ml) and the seeded-bug copy. *)
+module type READINESS = sig
+  type t
+
+  val create : unit -> t
+  val await : t -> (unit -> unit) -> [ `Registered | `Was_ready ]
+  val post : t -> [ `Woke | `Memo | `Already ]
+end
+
+(* The reactor's fundamental race: a fiber registering interest in fd
+   readiness vs the reactor thread posting the edge.  Every interleaving
+   must run the waiter EXACTLY once -- either the post finds the
+   registration (`Woke), or the registration consumes the Ready memo
+   (`Was_ready) and the fiber never parks.  The seeded get-then-set
+   [Buggy_reactor.post] overwrites a registration that lands in its
+   read/store window, stranding the waiter's wait_until: the checker
+   reports the lost wakeup as a deadlock. *)
+let readiness_register_vs_post (module R : READINESS) () =
+  let cell = R.create () in
+  let woken = Atomic'.make 0 in
+  ( [
+      (fun () ->
+        match R.await cell (fun () -> Atomic'.incr woken) with
+        | `Registered ->
+            Sched.wait_until ~on:(Atomic'.id woken) (fun () ->
+                Atomic'.peek woken > 0)
+        | `Was_ready -> ());
+      (fun () -> ignore (R.post cell));
+    ],
+    fun () ->
+      let n = Atomic'.peek woken in
+      if n <> 1 then failwith (Printf.sprintf "waiter woken %d times" n) )
+
+(* Two racing posters (reactor thread + a shutdown/unwatch path) against
+   one registration: at most one of them may claim the waiter.  The
+   faithful CAS Waiting->Idle has exactly one winner; the seeded
+   get-then-set lets both read Waiting and both run the wake. *)
+let readiness_two_posters (module R : READINESS) () =
+  let cell = R.create () in
+  let woken = Atomic'.make 0 in
+  ( [
+      (fun () ->
+        match R.await cell (fun () -> Atomic'.incr woken) with
+        | `Registered ->
+            Sched.wait_until ~on:(Atomic'.id woken) (fun () ->
+                Atomic'.peek woken > 0)
+        | `Was_ready -> ());
+      (fun () -> ignore (R.post cell));
+      (fun () -> ignore (R.post cell));
+    ],
+    fun () ->
+      let n = Atomic'.peek woken in
+      if n <> 1 then failwith (Printf.sprintf "waiter woken %d times" n) )
+
+(* The await_fd verdict protocol in miniature: readiness and a timer
+   race to claim one wake token.  Each side CASes the verdict first and
+   fires the token only on winning, so the fiber resumes exactly once
+   with exactly one verdict -- the invariant behind Reactor.await_fd's
+   timeout handling. *)
+let readiness_timeout_vs_ready (module R : READINESS) () =
+  let cell = R.create () in
+  let verdict = Atomic'.make 0 (* 0 none / 1 ready / 2 timeout *) in
+  let fired = Atomic'.make 0 (* the wake token: must fire exactly once *) in
+  let claim v = if Atomic'.compare_and_set verdict 0 v then Atomic'.incr fired in
+  ( [
+      (fun () ->
+        match R.await cell (fun () -> claim 1) with
+        | `Registered | `Was_ready ->
+            Sched.wait_until ~on:(Atomic'.id fired) (fun () ->
+                Atomic'.peek fired > 0));
+      (fun () -> ignore (R.post cell) (* the fd went ready *));
+      (fun () -> claim 2 (* the timer-wheel deadline fired *));
+    ],
+    fun () ->
+      let f = Atomic'.peek fired and v = Atomic'.peek verdict in
+      if f <> 1 then failwith (Printf.sprintf "token fired %d times" f);
+      if v <> 1 && v <> 2 then failwith "no verdict claimed" )
+
 (* ---------- scenario: MPSC enqueue vs single-consumer drain --------- *)
 
 let mpsc_enqueue_drain () =
@@ -377,6 +459,8 @@ let adq : (module DEQUE) = (module Adq)
 let buggy_adq : (module DEQUE) = (module Buggy)
 let compl : (module COMPLETION) = (module Compl)
 let buggy_compl : (module COMPLETION) = (module Buggy_compl)
+let rdy : (module READINESS) = (module Check.Readiness)
+let buggy_rdy : (module READINESS) = (module Check.Buggy_reactor)
 
 let test_pop_steal_race () =
   let stats = expect_pass "pop-vs-steal" (Sched.check (pop_steal_race adq)) in
@@ -402,6 +486,70 @@ let test_completion_race () =
     expect_pass "completion-race" (Sched.check (completion_race compl))
   in
   Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_readiness_register_vs_post () =
+  let stats =
+    expect_pass "readiness-register-vs-post"
+      (Sched.check (readiness_register_vs_post rdy))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_readiness_two_posters () =
+  let stats =
+    expect_pass "readiness-two-posters"
+      (Sched.check ~max_schedules:4_000 (readiness_two_posters rdy))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_readiness_timeout_vs_ready () =
+  ignore
+    (expect_pass "readiness-timeout-vs-ready"
+       (Sched.check ~max_schedules:4_000 (readiness_timeout_vs_ready rdy)))
+
+let test_buggy_reactor_caught () =
+  let f, stats =
+    expect_bug "get-then-set post"
+      (Sched.check (readiness_register_vs_post buggy_rdy))
+  in
+  Printf.printf "reactor lost wake-up caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  print_string (Sched.failure_to_string f);
+  (* the overwritten registration strands the fiber's park: a deadlock *)
+  Alcotest.(check bool)
+    "reported as deadlock" true
+    (contains ~sub:"Deadlock" f.Sched.f_reason);
+  (* the printed schedule replays to the same failure... *)
+  (match
+     Sched.replay ~schedule:f.Sched.f_schedule
+       (readiness_register_vs_post buggy_rdy)
+   with
+  | Error f' ->
+      Alcotest.(check string)
+        "replay reproduces the same failure" f.Sched.f_reason f'.Sched.f_reason
+  | Ok _ -> Alcotest.fail "replay of the failing schedule passed");
+  (* ...and the faithful cell survives the exact same schedule *)
+  match
+    Sched.replay ~schedule:f.Sched.f_schedule (readiness_register_vs_post rdy)
+  with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful Readiness failed the buggy post's schedule"
+
+let test_buggy_reactor_double_wake () =
+  let f, stats =
+    expect_bug "two posters double-wake"
+      (Sched.check ~max_schedules:4_000 (readiness_two_posters buggy_rdy))
+  in
+  Printf.printf "reactor double-wake caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  match
+    Sched.replay ~schedule:f.Sched.f_schedule (readiness_two_posters rdy)
+  with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful Readiness failed the double-wake schedule"
 
 let test_mpsc () =
   ignore
@@ -539,6 +687,9 @@ let test_fuzz_real_structures_clean () =
       ("deque-growth", deque_growth);
       ("steal-batch-vs-pop", steal_batch_vs_pop adq);
       ("completion-race", completion_race compl);
+      ("readiness-register-vs-post", readiness_register_vs_post rdy);
+      ("readiness-two-posters", readiness_two_posters rdy);
+      ("readiness-timeout-vs-ready", readiness_timeout_vs_ready rdy);
       ("mpsc", mpsc_enqueue_drain);
       ("channel", channel_send_recv);
       ("couple-vs-steal", couple_vs_steal ~buggy:false);
@@ -562,6 +713,9 @@ let test_interleaving_budget () =
         ("deque-growth", 4_000, deque_growth);
         ("steal-batch-vs-pop", 4_000, steal_batch_vs_pop adq);
         ("completion-race", 4_000, completion_race compl);
+        ("readiness-register-vs-post", 4_000, readiness_register_vs_post rdy);
+        ("readiness-two-posters", 4_000, readiness_two_posters rdy);
+        ("readiness-timeout-vs-ready", 4_000, readiness_timeout_vs_ready rdy);
         ("mpsc-enqueue-drain", 4_000, mpsc_enqueue_drain);
         ("channel-send-recv", 4_000, channel_send_recv);
         ("channel-two-receivers", 4_000, channel_two_receivers);
@@ -600,6 +754,19 @@ let () =
             test_buggy_completion_caught;
           Alcotest.test_case "wide-CAS steal_batch double-claims" `Quick
             test_buggy_steal_batch_caught;
+        ] );
+      ( "readiness",
+        [
+          Alcotest.test_case "register vs post wakes exactly once" `Quick
+            test_readiness_register_vs_post;
+          Alcotest.test_case "two posters, one winner" `Quick
+            test_readiness_two_posters;
+          Alcotest.test_case "timeout vs ready claims one verdict" `Quick
+            test_readiness_timeout_vs_ready;
+          Alcotest.test_case "get-then-set post loses the waiter" `Quick
+            test_buggy_reactor_caught;
+          Alcotest.test_case "get-then-set post double-wakes" `Quick
+            test_buggy_reactor_double_wake;
         ] );
       ( "mpsc",
         [ Alcotest.test_case "enqueue vs drain" `Quick test_mpsc ] );

@@ -1,0 +1,526 @@
+(* Tier-1 tests for lib/net: the hierarchical timer wheel (pure,
+   single-threaded), the Readiness handshake cell (sequential API
+   contract; the concurrent interleavings are model-checked in
+   test_check), and the live reactor stack -- sleep, await_fd,
+   with_timeout, Fiber_io on real pipes and sockets, and the TCP server
+   (echo, bounded backpressure, graceful drain, fd hygiene) -- all on
+   the multicore fiber runtime. *)
+
+module Fiber = Fiber_rt.Fiber
+module Tw = Net.Timer_wheel
+module Rd = Net.Readiness
+module Reactor = Net.Reactor
+module Fio = Net.Fiber_io
+module Tcp = Net.Tcp_server
+
+(* ---------- timer wheel ---------- *)
+
+let test_wheel_order () =
+  let w = Tw.create () in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  (* scattered deadlines, two sharing a tick: fire order must be by
+     deadline, insertion order within a tick *)
+  ignore (Tw.schedule w ~at:50 (note 3));
+  ignore (Tw.schedule w ~at:10 (note 0));
+  ignore (Tw.schedule w ~at:30 (note 2));
+  ignore (Tw.schedule w ~at:10 (note 1));
+  Alcotest.(check int) "nothing due before the first tick" 0 (Tw.advance w ~now:9);
+  Alcotest.(check (list int)) "not fired early" [] (List.rev !fired);
+  let n = Tw.advance w ~now:100 in
+  Alcotest.(check int) "all four fired" 4 n;
+  Alcotest.(check (list int)) "deadline order" [ 0; 1; 2; 3 ] (List.rev !fired);
+  Alcotest.(check int) "wheel drained" 0 (Tw.pending w)
+
+let test_wheel_cascade () =
+  let w = Tw.create () in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  (* level 0 spans 256 ticks; 300 parks in level 1, 20_000 in level 2
+     (256 * 64 = 16_384): both must cascade down and still fire in
+     order, never early *)
+  ignore (Tw.schedule w ~at:300 (note 0));
+  ignore (Tw.schedule w ~at:20_000 (note 1));
+  ignore (Tw.advance w ~now:299);
+  Alcotest.(check (list int)) "coarse timers not fired early" [] (List.rev !fired);
+  ignore (Tw.advance w ~now:300);
+  Alcotest.(check (list int)) "level-1 timer cascaded and fired" [ 0 ]
+    (List.rev !fired);
+  ignore (Tw.advance w ~now:19_999);
+  Alcotest.(check (list int)) "level-2 timer still parked" [ 0 ] (List.rev !fired);
+  ignore (Tw.advance w ~now:20_001);
+  Alcotest.(check (list int)) "level-2 timer fired after two cascades"
+    [ 0; 1 ] (List.rev !fired);
+  (* a deadline already in the past fires on the next advance *)
+  ignore (Tw.schedule w ~at:5 (note 2));
+  ignore (Tw.advance w ~now:20_001);
+  Alcotest.(check (list int)) "overdue timer fires immediately" [ 0; 1; 2 ]
+    (List.rev !fired)
+
+let test_wheel_cancel () =
+  let w = Tw.create () in
+  let ran = ref 0 in
+  let tm = Tw.schedule w ~at:10 (fun () -> incr ran) in
+  Alcotest.(check bool) "cancel while pending" true (Tw.cancel tm);
+  Alcotest.(check bool) "second cancel is false" false (Tw.cancel tm);
+  ignore (Tw.advance w ~now:100);
+  Alcotest.(check int) "cancelled action never ran" 0 !ran;
+  (* cancel-after-fire: the race with_timeout resolves by this CAS *)
+  let tm2 = Tw.schedule w ~at:110 (fun () -> incr ran) in
+  ignore (Tw.advance w ~now:120);
+  Alcotest.(check int) "fired" 1 !ran;
+  Alcotest.(check bool) "cancel after fire is false" false (Tw.cancel tm2);
+  Alcotest.(check bool) "fired timer is not pending" false (Tw.is_pending tm2)
+
+let test_wheel_next_due () =
+  let w = Tw.create () in
+  Alcotest.(check (option int)) "empty wheel has no hint" None (Tw.next_due w);
+  let _ = Tw.schedule w ~at:1_000 ignore in
+  (match Tw.next_due w with
+  | None -> Alcotest.fail "pending timer but no hint"
+  | Some h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hint %d never later than the deadline" h)
+        true (h <= 1_000));
+  (* advancing to the (possibly under-shot) hint converges on the timer *)
+  let fired = ref false in
+  let w2 = Tw.create () in
+  let _ = Tw.schedule w2 ~at:20_000 (fun () -> fired := true) in
+  let guard = ref 0 in
+  let rec chase () =
+    match Tw.next_due w2 with
+    | None -> ()
+    | Some h ->
+        incr guard;
+        if !guard > 10 then Alcotest.fail "next_due hint did not converge";
+        ignore (Tw.advance w2 ~now:(max h (Tw.now w2)));
+        if not !fired then chase ()
+  in
+  chase ();
+  Alcotest.(check bool) "chasing the hint fires the timer" true !fired
+
+let test_wheel_fire_all () =
+  let w = Tw.create () in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  ignore (Tw.schedule w ~at:500 (note 1));
+  ignore (Tw.schedule w ~at:40_000 (note 2));
+  let tm = Tw.schedule w ~at:100 (note 0) in
+  ignore (Tw.cancel tm);
+  Alcotest.(check int) "shutdown sweep fires the pending two" 2 (Tw.fire_all w);
+  Alcotest.(check (list int)) "in deadline order, cancelled skipped" [ 1; 2 ]
+    (List.rev !fired);
+  Alcotest.(check int) "wheel empty" 0 (Tw.pending w);
+  (* fire without the wheel: the reactor's shutdown path for timers
+     still in the command queue *)
+  let ran = ref false in
+  let loose = Tw.make ~at:9 (fun () -> ran := true) in
+  Alcotest.(check bool) "loose fire runs the action" true (Tw.fire loose);
+  Alcotest.(check bool) "exactly once" false (Tw.fire loose);
+  Alcotest.(check bool) "fired" true !ran
+
+(* ---------- readiness cell (sequential contract) ---------- *)
+
+let test_readiness_memo () =
+  let c = Rd.create () in
+  Alcotest.(check bool) "post with nobody waiting memoizes" true
+    (Rd.post c = `Memo);
+  Alcotest.(check bool) "second post is already" true (Rd.post c = `Already);
+  let ran = ref 0 in
+  (match Rd.await c (fun () -> incr ran) with
+  | `Was_ready -> ()
+  | `Registered -> Alcotest.fail "memo not consumed");
+  Alcotest.(check int) "memo ran the waiter inline" 1 !ran;
+  (* memo consumed: the next await really parks *)
+  (match Rd.await c (fun () -> incr ran) with
+  | `Registered -> ()
+  | `Was_ready -> Alcotest.fail "stale memo");
+  Alcotest.(check bool) "post wakes the registration" true (Rd.post c = `Woke);
+  Alcotest.(check int) "woken exactly once" 2 !ran;
+  (* clear drops an abandoned registration *)
+  ignore (Rd.await c (fun () -> incr ran));
+  Rd.clear c;
+  Alcotest.(check bool) "cleared cell memoizes again" true (Rd.post c = `Memo);
+  Alcotest.(check int) "abandoned waiter never ran" 2 !ran
+
+(* ---------- live reactor ---------- *)
+
+let with_reactor f =
+  let r = Reactor.create () in
+  Fun.protect ~finally:(fun () -> Reactor.shutdown r) (fun () -> f r)
+
+let test_sleep () =
+  with_reactor (fun r ->
+      let t0 = Unix.gettimeofday () in
+      let order = ref [] in
+      let push tag = order := tag :: !order in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          ignore
+            (Fiber.spawn (fun () ->
+                 Reactor.sleep r 0.06;
+                 push `Long));
+          Reactor.sleep r 0.02;
+          push `Short;
+          ());
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "slept at least the long timer" true (dt >= 0.06);
+      Alcotest.(check bool) "short deadline fired first" true
+        (List.rev !order = [ `Short; `Long ]))
+
+let test_await_fd_pipe () =
+  with_reactor (fun r ->
+      let rd, wr = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock rd;
+      Unix.set_nonblock wr;
+      let got = ref "" in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          ignore
+            (Fiber.spawn (fun () ->
+                 Reactor.sleep r 0.03;
+                 ignore (Unix.write_substring wr "ping" 0 4)));
+          (match Reactor.await_fd r rd `R with
+          | `Ready ->
+              let buf = Bytes.create 16 in
+              let n = Unix.read rd buf 0 16 in
+              got := Bytes.sub_string buf 0 n
+          | `Timeout -> Alcotest.fail "no deadline given, yet Timeout"));
+      Unix.close rd;
+      Unix.close wr;
+      Alcotest.(check string) "readiness delivered the write" "ping" !got)
+
+let test_await_fd_deadline () =
+  with_reactor (fun r ->
+      let rd, wr = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock rd;
+      let verdict = ref `Ready in
+      let t0 = Unix.gettimeofday () in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          (* nobody ever writes: the deadline must win *)
+          verdict := Reactor.await_fd r ~deadline:(Reactor.now () +. 0.05) rd `R);
+      let dt = Unix.gettimeofday () -. t0 in
+      Unix.close rd;
+      Unix.close wr;
+      Alcotest.(check bool) "timed out" true (!verdict = `Timeout);
+      Alcotest.(check bool) "after the deadline" true (dt >= 0.045))
+
+let test_with_timeout () =
+  with_reactor (fun r ->
+      let fast = ref (Error `Timeout) in
+      let slow = ref (Ok ()) in
+      let raised = ref false in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          fast :=
+            Reactor.with_timeout r ~seconds:0.5 (fun () ->
+                Reactor.sleep r 0.01;
+                Ok 42);
+          slow := Reactor.with_timeout r ~seconds:0.02 (fun () -> Reactor.sleep r 0.2);
+          (match Reactor.with_timeout r ~seconds:0.5 (fun () -> failwith "boom") with
+          | exception Failure m when m = "boom" -> raised := true
+          | _ -> ()));
+      (match !fast with
+      | Ok (Ok 42) -> ()
+      | _ -> Alcotest.fail "fast body should win the race");
+      Alcotest.(check bool) "slow body times out" true (!slow = Error `Timeout);
+      Alcotest.(check bool) "body exceptions propagate" true !raised)
+
+let test_with_timeout_racing_io () =
+  (* with_timeout around I/O that completes right at the deadline: run
+     many back-to-back races; every one must resolve to exactly one
+     verdict and, on Ok, carry the read data (never a torn result). *)
+  with_reactor (fun r ->
+      let oks = ref 0 and timeouts = ref 0 in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          for _ = 1 to 20 do
+            let rd, wr = Unix.pipe ~cloexec:true () in
+            Unix.set_nonblock rd;
+            Unix.set_nonblock wr;
+            ignore
+              (Fiber.spawn (fun () ->
+                   Reactor.sleep r 0.01;
+                   ignore (Unix.write_substring wr "x" 0 1)));
+            (match
+               Reactor.with_timeout r ~seconds:0.0105 (fun () ->
+                   let buf = Bytes.create 1 in
+                   let n = Fio.read r rd buf 0 1 in
+                   Bytes.sub_string buf 0 n)
+             with
+            | Ok "x" -> incr oks
+            | Ok other -> Alcotest.failf "torn read %S" other
+            | Error `Timeout -> incr timeouts);
+            (* the abandoned body may still hold the fds for a moment;
+               give it the leftover byte then reap *)
+            Reactor.sleep r 0.02;
+            Unix.close rd;
+            Unix.close wr
+          done);
+      Alcotest.(check int) "every race resolved" 20 (!oks + !timeouts);
+      Printf.printf "timeout-vs-io races: %d completed, %d timed out\n%!" !oks
+        !timeouts)
+
+let test_fiber_io_pipe () =
+  with_reactor (fun r ->
+      let rd, wr = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock rd;
+      Unix.set_nonblock wr;
+      let n = 256 * 1024 in
+      let src = Bytes.init n (fun i -> Char.chr (i land 0xff)) in
+      let dst = Bytes.create n in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          let w =
+            Fiber.spawn (fun () ->
+                (* far beyond the pipe buffer: the writer must park on
+                   `W` while the reader drains *)
+                Fio.write_all r wr src 0 n;
+                Unix.close wr)
+          in
+          Fio.read_exact r rd dst 0 n;
+          Fiber.join w);
+      Unix.close rd;
+      Alcotest.(check bool) "roundtrip intact" true (Bytes.equal src dst))
+
+(* ---------- TCP server ---------- *)
+
+let localhost = Unix.inet_addr_loopback
+
+let echo_handler r (c : Tcp.conn) =
+  let buf = Bytes.create 4096 in
+  let rec loop () =
+    match Fio.read r c.Tcp.fd buf 0 4096 with
+    | 0 -> ()
+    | n ->
+        Fio.write_all r c.Tcp.fd buf 0 n;
+        loop ()
+  in
+  loop ()
+
+let connect_local r port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  Fio.connect r fd (Unix.ADDR_INET (localhost, port));
+  fd
+
+let count_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+let test_tcp_echo () =
+  with_reactor (fun r ->
+      let clients = 16 and rounds = 5 in
+      let ok = Atomic.make 0 in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          let srv =
+            Tcp.start ~reactor:r
+              ~addr:(Unix.ADDR_INET (localhost, 0))
+              ~handler:echo_handler ()
+          in
+          let port = Tcp.port srv in
+          let fibers =
+            List.init clients (fun i ->
+                Fiber.spawn (fun () ->
+                    let fd = connect_local r port in
+                    let msg = Printf.sprintf "hello-%03d" i in
+                    let len = String.length msg in
+                    let buf = Bytes.create len in
+                    for _ = 1 to rounds do
+                      Fio.write_all r fd (Bytes.of_string msg) 0 len;
+                      Fio.read_exact r fd buf 0 len;
+                      if Bytes.to_string buf <> msg then
+                        failwith "echo mismatch"
+                    done;
+                    Unix.close fd;
+                    Atomic.incr ok))
+          in
+          List.iter Fiber.join fibers;
+          Tcp.stop srv;
+          let st = Tcp.stats srv in
+          if st.Tcp.accepted <> clients then
+            failwith
+              (Printf.sprintf "accepted %d of %d" st.Tcp.accepted clients);
+          if st.Tcp.active <> 0 then failwith "connections leaked past stop";
+          if st.Tcp.completed <> clients then
+            failwith
+              (Printf.sprintf "completed %d of %d" st.Tcp.completed clients));
+      Alcotest.(check int) "every client echoed" clients (Atomic.get ok))
+
+let test_tcp_backpressure () =
+  with_reactor (fun r ->
+      let clients = 8 and cap = 2 in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          let srv =
+            Tcp.start ~reactor:r ~max_conns:cap
+              ~addr:(Unix.ADDR_INET (localhost, 0))
+              ~handler:(fun r c ->
+                (* hold the slot so the cap actually binds *)
+                Reactor.sleep r 0.02;
+                echo_handler r c)
+              ()
+          in
+          let port = Tcp.port srv in
+          let fibers =
+            List.init clients (fun _ ->
+                Fiber.spawn (fun () ->
+                    let fd = connect_local r port in
+                    Fio.write_all r fd (Bytes.of_string "hi") 0 2;
+                    let buf = Bytes.create 2 in
+                    Fio.read_exact r fd buf 0 2;
+                    Unix.close fd))
+          in
+          List.iter Fiber.join fibers;
+          Tcp.stop srv;
+          let st = Tcp.stats srv in
+          if st.Tcp.accepted <> clients then
+            failwith (Printf.sprintf "accepted %d" st.Tcp.accepted);
+          if st.Tcp.max_active > cap then
+            failwith
+              (Printf.sprintf "max_conns=%d breached: %d concurrent" cap
+                 st.Tcp.max_active);
+          Printf.printf
+            "backpressure: %d clients through %d slots, %d accept parks\n%!"
+            clients cap st.Tcp.accept_retries))
+
+let test_tcp_graceful_stop () =
+  with_reactor (fun r ->
+      let served = Atomic.make false in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          let srv =
+            Tcp.start ~reactor:r
+              ~addr:(Unix.ADDR_INET (localhost, 0))
+              ~handler:(fun r c ->
+                Reactor.sleep r 0.05;
+                ignore
+                  (Fio.write_once r c.Tcp.fd (Bytes.of_string "bye") 0 3);
+                Atomic.set served true)
+              ()
+          in
+          let port = Tcp.port srv in
+          let fd = connect_local r port in
+          (* ensure the connection is accepted and in its handler *)
+          let rec wait_accept n =
+            if Tcp.active srv = 0 && n > 0 then begin
+              Reactor.sleep r 0.005;
+              wait_accept (n - 1)
+            end
+          in
+          wait_accept 100;
+          Alcotest.(check int) "one live connection" 1 (Tcp.active srv);
+          (* stop must drain: the in-flight handler finishes, is not
+             killed *)
+          Tcp.stop srv;
+          Alcotest.(check bool) "stop waited for the handler" true
+            (Atomic.get served);
+          Alcotest.(check int) "drained" 0 (Tcp.active srv);
+          let buf = Bytes.create 3 in
+          Fio.read_exact r fd buf 0 3;
+          Alcotest.(check string) "response arrived before the drain" "bye"
+            (Bytes.to_string buf);
+          Unix.close fd));
+  ()
+
+let test_tcp_no_fd_leak () =
+  match count_fds () with
+  | None -> () (* no /proc: skip silently, the CI runner has it *)
+  | Some baseline ->
+      with_reactor (fun r ->
+          Fiber.run_parallel ~domains:2 (fun () ->
+              let srv =
+                Tcp.start ~reactor:r
+                  ~addr:(Unix.ADDR_INET (localhost, 0))
+                  ~handler:echo_handler ()
+              in
+              let port = Tcp.port srv in
+              let fibers =
+                List.init 8 (fun _ ->
+                    Fiber.spawn (fun () ->
+                        let fd = connect_local r port in
+                        Fio.write_all r fd (Bytes.of_string "x") 0 1;
+                        let b = Bytes.create 1 in
+                        Fio.read_exact r fd b 0 1;
+                        Unix.close fd))
+              in
+              List.iter Fiber.join fibers;
+              Tcp.stop srv));
+      (* reactor shut down by with_reactor: its self-pipe is gone too *)
+      let after =
+        match count_fds () with Some n -> n | None -> baseline
+      in
+      Alcotest.(check int) "fd count back to baseline" baseline after
+
+let test_latency_hook () =
+  (* the stats hook end-to-end: the handler records per-request latency,
+     the reservoir reports honest count / mean / percentiles *)
+  with_reactor (fun r ->
+      let srv_box = ref None in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          let rec srv_of () =
+            match !srv_box with Some s -> s | None -> (Fiber.yield (); srv_of ())
+          in
+          let srv =
+            Tcp.start ~reactor:r
+              ~addr:(Unix.ADDR_INET (localhost, 0))
+              ~handler:(fun r c ->
+                let t0 = Unix.gettimeofday () in
+                echo_handler r c;
+                Tcp.note_latency (srv_of ()) (Unix.gettimeofday () -. t0))
+              ()
+          in
+          srv_box := Some srv;
+          let fibers =
+            List.init 10 (fun _ ->
+                Fiber.spawn (fun () ->
+                    let fd = connect_local r (Tcp.port srv) in
+                    Fio.write_all r fd (Bytes.of_string "ping") 0 4;
+                    let b = Bytes.create 4 in
+                    Fio.read_exact r fd b 0 4;
+                    Unix.close fd))
+          in
+          List.iter Fiber.join fibers;
+          Tcp.stop srv;
+          let lat = Tcp.latency srv in
+          if Tcp.Latency.count lat <> 10 then
+            failwith (Printf.sprintf "recorded %d of 10" (Tcp.Latency.count lat));
+          let p50 = Tcp.Latency.percentile lat 50.0
+          and p99 = Tcp.Latency.percentile lat 99.0
+          and mx = Tcp.Latency.max_s lat in
+          if not (p50 >= 0.0 && p50 <= p99 && p99 <= mx) then
+            failwith "percentiles not monotone";
+          if Tcp.Latency.mean lat < 0.0 then failwith "negative mean"))
+
+let () =
+  Test_seed.announce "test_net";
+  Alcotest.run "net"
+    [
+      ( "timer-wheel",
+        [
+          Alcotest.test_case "fires in deadline order" `Quick test_wheel_order;
+          Alcotest.test_case "cascades across levels" `Quick test_wheel_cascade;
+          Alcotest.test_case "cancel, incl. after fire" `Quick test_wheel_cancel;
+          Alcotest.test_case "next_due hint converges" `Quick test_wheel_next_due;
+          Alcotest.test_case "fire_all shutdown sweep" `Quick test_wheel_fire_all;
+        ] );
+      ( "readiness",
+        [ Alcotest.test_case "memo / wake / clear contract" `Quick test_readiness_memo ] );
+      ( "reactor",
+        [
+          Alcotest.test_case "sleep parks only the fiber" `Quick test_sleep;
+          Alcotest.test_case "await_fd sees the write" `Quick test_await_fd_pipe;
+          Alcotest.test_case "await_fd deadline" `Quick test_await_fd_deadline;
+          Alcotest.test_case "with_timeout, both verdicts" `Quick
+            test_with_timeout;
+          Alcotest.test_case "with_timeout racing completing I/O" `Quick
+            test_with_timeout_racing_io;
+        ] );
+      ( "fiber-io",
+        [ Alcotest.test_case "pipe roundtrip with parking writer" `Quick
+            test_fiber_io_pipe ] );
+      ( "tcp-server",
+        [
+          Alcotest.test_case "echo, 16 clients" `Quick test_tcp_echo;
+          Alcotest.test_case "max_conns backpressure" `Quick
+            test_tcp_backpressure;
+          Alcotest.test_case "graceful drain on stop" `Quick
+            test_tcp_graceful_stop;
+          Alcotest.test_case "no fd leak" `Quick test_tcp_no_fd_leak;
+          Alcotest.test_case "latency stats hook" `Quick test_latency_hook;
+        ] );
+    ]
