@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean check outputs
+.PHONY: all build test bench examples clean check lint outputs
 
 all: build test
 
@@ -22,6 +22,10 @@ examples:
 
 check:
 	dune exec bin/ulp_pip.exe -- check --blts 8 --roundtrips 16
+
+# static analysis: fails on any unwaivered finding, writes LINT.json
+lint:
+	dune exec bin/ulplint.exe
 
 # the artifacts DESIGN.md's process step 6 asks for
 outputs:

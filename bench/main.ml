@@ -1146,10 +1146,10 @@ let net_sweep_point r ~conns ~reqs =
             let echo = Bytes.create net_msg_bytes in
             let rtts = Array.make reqs 0.0 in
             for k = 0 to reqs - 1 do
-              let t0 = Unix.gettimeofday () in
+              let t0 = Fiber_rt.Clock.now () in
               Net_io.write_all r fd msg 0 net_msg_bytes;
               Net_io.read_exact r fd echo 0 net_msg_bytes;
-              rtts.(k) <- Unix.gettimeofday () -. t0;
+              rtts.(k) <- Fiber_rt.Clock.now () -. t0;
               if not (Bytes.equal msg echo) then failwith "echo corrupted"
             done;
             Mutex.lock lat_lock;
@@ -1160,10 +1160,10 @@ let net_sweep_point r ~conns ~reqs =
   in
   await all_connected;
   (* every connection is live: start the clock and release the herd *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Fiber_rt.Clock.now () in
   Completion.finish go;
   List.iter Fiber.join clients;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Fiber_rt.Clock.now () -. t0 in
   Net_tcp.stop srv;
   let st = Net_tcp.stats srv in
   if st.Net_tcp.accepted < conns then

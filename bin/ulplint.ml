@@ -1,0 +1,53 @@
+(* ulplint -- the repo's concurrency lint (DESIGN.md section 5d).
+
+   Usage: ulplint [options] [path ...]
+   With no paths, walks the default roots (lib bin bench examples test,
+   skipping _build, fixtures and the lib/check sandbox).  Explicit
+   paths are walked in full, so `ulplint lib/check` re-detects the
+   seeded bugs.  Exits 1 iff an unwaivered error remains. *)
+
+let () =
+  let roots = ref [] in
+  let json_path = ref "LINT.json" in
+  let use_waivers = ref true in
+  let quiet = ref false in
+  let show_waived = ref false in
+  let list_rules = ref false in
+  let spec =
+    [
+      ( "--json",
+        Arg.Set_string json_path,
+        "FILE  write the machine-readable report there (default \
+         LINT.json; empty string disables)" );
+      ( "--no-waivers",
+        Arg.Clear use_waivers,
+        "  ignore \"ulplint: allow\" waiver comments and report everything" );
+      ( "--show-waived",
+        Arg.Set show_waived,
+        "  also print findings suppressed by waivers" );
+      ("--quiet", Arg.Set quiet, "  print only the summary line");
+      ("--list-rules", Arg.Set list_rules, "  describe every rule and exit");
+    ]
+  in
+  let usage = "ulplint [options] [path ...]" in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (name, sev, doc) ->
+        Printf.printf "%-22s %-7s %s\n\n" name
+          (Lint.Finding.severity_to_string sev)
+          doc)
+      Lint.Rules.catalog;
+    exit 0
+  end;
+  let roots = match List.rev !roots with [] -> None | rs -> Some rs in
+  let report = Lint.Driver.run ?roots ~use_waivers:!use_waivers () in
+  if !quiet then
+    Printf.printf "ulplint: %d files, %d errors (%d waived), %d warnings\n"
+      report.files_scanned
+      (Lint.Driver.unwaived_errors report)
+      (Lint.Driver.waived_count report)
+      (Lint.Driver.warning_count report)
+  else Lint.Driver.print ~show_waived:!show_waived stdout report;
+  if !json_path <> "" then Lint.Driver.write_json ~path:!json_path report;
+  exit (if Lint.Driver.unwaived_errors report > 0 then 1 else 0)

@@ -25,8 +25,8 @@ let producers = [ ("fast", 0.003, 6); ("medium", 0.007, 4); ("slow", 0.015, 3) ]
 
 let () =
   let r = Reactor.create () in
-  let t0 = Unix.gettimeofday () in
-  let stamp () = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let t0 = Fiber_rt.Clock.now () in
+  let stamp () = (Fiber_rt.Clock.now () -. t0) *. 1e3 in
   let events = ref 0 in
   let events_lock = Mutex.create () in
   Fiber.run_parallel (fun () ->

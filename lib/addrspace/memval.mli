@@ -1,0 +1,26 @@
+(** Values stored in simulated memory cells.  A cell is what one symbol
+    (global variable) or one heap object holds; pointers are plain
+    simulated addresses, so they can be passed between tasks and
+    dereferenced anywhere in the same address space -- the PiP
+    property. *)
+
+type address = int
+
+type value =
+  | Unit
+  | Int of int
+  | Float of float
+  | Str of string
+  | Float_array of float array
+  | Ptr of address
+
+type cell = { mutable v : value }
+
+val cell : value -> cell
+val to_string : value -> string
+
+val as_int : value -> int option
+val as_float : value -> float option
+val as_str : value -> string option
+val as_ptr : value -> address option
+val as_float_array : value -> float array option

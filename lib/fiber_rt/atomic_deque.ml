@@ -64,15 +64,18 @@ let push t x =
   let a = Atomic.get t.buf in
   let a = if b - tp > a.mask then grow t a ~top:tp ~bottom:b else a in
   a.slots.(b land a.mask) <- x;
+  (* ulplint: allow atomic-get-then-set -- Chase-Lev owner side: bottom has a single writer (the owner); thieves only CAS top, so no update can land in the window *)
   Atomic.set t.bottom (b + 1)
 
 let pop t =
   let b = Atomic.get t.bottom - 1 in
   let a = Atomic.get t.buf in
+  (* ulplint: allow atomic-get-then-set -- Chase-Lev owner side: bottom has a single writer; the SC store must precede the top load *)
   Atomic.set t.bottom b (* SC store: visible before the [top] load *);
   let tp = Atomic.get t.top in
   if b < tp then begin
     (* deque was empty; undo *)
+    (* ulplint: allow atomic-get-then-set -- Chase-Lev owner side: restoring bottom, which only the owner writes *)
     Atomic.set t.bottom tp;
     None
   end
@@ -86,6 +89,7 @@ let pop t =
     let x = a.slots.(b land a.mask) in
     let won = Atomic.compare_and_set t.top tp (tp + 1) in
     if won then a.slots.(b land a.mask) <- t.dummy;
+    (* ulplint: allow atomic-get-then-set -- Chase-Lev owner side: the last-element race is decided by the CAS on top above, not by this bottom store *)
     Atomic.set t.bottom (tp + 1);
     if won then Some x else None
   end

@@ -1,0 +1,11 @@
+(* The wall-clock seam: every fiber-side component (reactor epoch and
+   deadlines, bench RTT stamps, workload throughput timers) reads time
+   through [now] instead of calling the syscall directly.  One
+   authorized site keeps the time base swappable (virtual clocks for
+   the checker, monotonic sources later) and lets ulplint's
+   blocking-in-fiber rule hold the rest of the tree to zero raw
+   [Unix.gettimeofday] calls. *)
+
+let now () =
+  (* ulplint: allow blocking-in-fiber -- the clock seam itself: the single authorized gettimeofday site *)
+  Unix.gettimeofday ()

@@ -1,0 +1,7 @@
+(** The wall-clock seam.  Fiber-side code never calls
+    [Unix.gettimeofday] directly; it reads [now] so the time base stays
+    swappable and statically auditable (ulplint's blocking-in-fiber
+    rule enforces this). *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds, as [Unix.gettimeofday]. *)

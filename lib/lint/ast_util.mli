@@ -1,0 +1,54 @@
+(** Parsing and the shared AST traversals the rules are built from
+    (compiler-libs: Pparse + Ast_iterator, read-only). *)
+
+val parse_impl : string -> (Parsetree.structure, string) result
+(** Parse a .ml file; [Error] carries a one-line message. *)
+
+val path_segments : string -> string list
+(** Split a path on ['/'], dropping empty and ["."] segments. *)
+
+val has_pair : string -> string -> string list -> bool
+(** [has_pair a b segs]: [a] directly followed by [b] somewhere. *)
+
+val has_seg : string -> string list -> bool
+
+val flatten : Longident.t -> string list
+(** Like [Longident.flatten] but total ([[]] on [Lapply]). *)
+
+val drop_stdlib : string list -> string list
+(** Normalize an ident path: ["Stdlib" :: p] becomes [p]. *)
+
+val pos_of : Location.t -> int * int
+(** (line, column) of a location's start. *)
+
+val expr_key : Parsetree.expression -> string
+(** Stable printed form of an expression (via [Pprintast]); used to
+    decide that two atomic operations touch the same atomic. *)
+
+val iter_idents :
+  ?fmod:(loc:Location.t -> string list -> unit) ->
+  f:(coupled:bool -> loc:Location.t -> string list -> unit) ->
+  Parsetree.structure ->
+  unit
+(** Visit every value identifier; [coupled] is true inside arguments of
+    [coupled]/[coupled_syscall] applications (the paper's escape hatch:
+    such code runs on the fiber's original KC, where blocking and
+    thread-keyed syscalls are exactly what coupling is for).  [fmod]
+    additionally receives module paths ([Pmod_ident]). *)
+
+type atomic_op = Aget | Aset | Aupd
+
+type aevent = {
+  op : atomic_op;
+  opname : string;
+  key : string;
+  line : int;
+  col : int;
+}
+
+val iter_atomic_frames : analyze:(aevent list -> unit) -> Parsetree.structure -> unit
+(** Call [analyze] once per function body (and once for module-level
+    code) with that frame's [Atomic.*] operations in source order.
+    Nested [fun]s open fresh frames.  [Aupd] covers the atomic
+    read-modify-write family (compare_and_set, exchange, fetch_and_add,
+    incr, decr). *)

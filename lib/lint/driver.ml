@@ -1,0 +1,312 @@
+(* The driver: walk the tree, parse each .ml once, run the in-scope
+   rules, resolve copy_files# manifests for the seam rule, apply
+   waivers, and report -- human lines on stdout, machine-readable
+   LINT.json on request.  Exit is non-zero iff an unwaivered error
+   remains.
+
+   Walk policy: descending from a root we skip _build, dot-directories,
+   directories named "fixtures" (the lint test corpus is deliberately
+   dirty) and lib/check (the checker's sandbox of deliberately seeded
+   bugs; its recompiled modules are linted at their source of truth in
+   lib/fiber_rt / lib/net, and its dune manifest is still read for the
+   seam rule).  A root that is given explicitly is always walked in
+   full -- `ulplint lib/check` is how the tests re-detect the seeded
+   get-then-set bugs. *)
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples"; "test" ]
+
+type report = {
+  roots : string list;
+  files_scanned : int;
+  findings : Finding.t list; (* sorted; includes waived ones *)
+}
+
+(* ---------- small file helpers ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_dir path = try Sys.is_directory path with Sys_error _ -> false
+
+(* Collapse "." and ".." segments so paths resolved relative to a dune
+   file compare equal to walked paths. *)
+let normalize path =
+  let absolute = String.length path > 0 && path.[0] = '/' in
+  let segs =
+    List.fold_left
+      (fun acc seg ->
+        match seg with
+        | "" | "." -> acc
+        | ".." -> ( match acc with _ :: tl when List.hd acc <> ".." -> tl | _ -> seg :: acc)
+        | s -> s :: acc)
+      []
+      (String.split_on_char '/' path)
+  in
+  let body = String.concat "/" (List.rev segs) in
+  if absolute then "/" ^ body else body
+
+(* ---------- the walk ---------- *)
+
+let sorted_dir d = List.sort String.compare (Array.to_list (Sys.readdir d))
+
+let walk roots =
+  let mls = ref [] and dunes = ref [] in
+  let visit_file path name =
+    if Filename.check_suffix name ".ml" then mls := path :: !mls
+    else if name = "dune" then dunes := path :: !dunes
+  in
+  let rec go dir =
+    List.iter
+      (fun name ->
+        let child = Filename.concat dir name in
+        if is_dir child then begin
+          if name = "" || name.[0] = '.' || name = "_build" || name = "fixtures"
+          then ()
+          else if name = "check" && Filename.basename dir = "lib" then begin
+            (* skipped sandbox, but its dune drives the seam rule *)
+            let d = Filename.concat child "dune" in
+            if Sys.file_exists d then dunes := d :: !dunes
+          end
+          else go child
+        end
+        else visit_file child name)
+      (sorted_dir dir)
+  in
+  List.iter
+    (fun root ->
+      let root = normalize root in
+      if is_dir root then go root
+      else if Sys.file_exists root then
+        visit_file root (Filename.basename root))
+    roots;
+  (List.rev !mls, List.rev !dunes)
+
+(* ---------- copy_files# manifests ---------- *)
+
+(* Extract the file operands of every (copy_files ...)/(copy_files# ...)
+   stanza.  Textual scan, not a sexp parser: enough for the shapes this
+   repo writes ((copy_files# (files ../dir/file.ml))); glob patterns and
+   pforms are ignored. *)
+let copy_files_sources ~dune_path text =
+  let dir = Filename.dirname dune_path in
+  let len = String.length text in
+  let find sub from =
+    let m = String.length sub in
+    let rec go i =
+      if i + m > len then None
+      else if String.sub text i m = sub then Some i
+      else go (i + 1)
+    in
+    if from >= len then None else go from
+  in
+  let rec scan from acc =
+    match find "copy_files" from with
+    | None -> List.rev acc
+    | Some i -> (
+        let stanza_end =
+          match find "copy_files" (i + 10) with None -> len | Some j -> j
+        in
+        match find "(files" (i + 10) with
+        | Some j when j < stanza_end -> (
+            match String.index_from_opt text j ')' with
+            | None -> List.rev acc
+            | Some k ->
+                let inner = String.sub text (j + 6) (k - j - 6) in
+                let files =
+                  String.split_on_char ' ' inner
+                  |> List.concat_map (String.split_on_char '\n')
+                  |> List.map String.trim
+                  |> List.filter (fun s ->
+                         s <> ""
+                         && (not (String.contains s '*'))
+                         && not (String.contains s '%'))
+                in
+                let acc =
+                  List.fold_left
+                    (fun acc f ->
+                      normalize (Filename.concat dir f) :: acc)
+                    acc files
+                in
+                scan (k + 1) acc)
+        | _ -> scan (i + 10) acc)
+  in
+  scan 0 []
+
+(* ---------- the run ---------- *)
+
+let run ?(roots = default_roots) ?(use_waivers = true) () =
+  let mls, dunes = walk roots in
+  let findings = ref [] in
+  let add fs = findings := fs @ !findings in
+  (* one waiver scan per file, shared by the walked pass and the seam
+     pass so used/unused accounting stays coherent *)
+  let waiver_tbl = Hashtbl.create 64 in
+  let waivers_of file =
+    match Hashtbl.find_opt waiver_tbl file with
+    | Some ws -> ws
+    | None ->
+        let ws, bad =
+          match read_file file with
+          | text -> Waivers.scan ~file text
+          | exception Sys_error msg ->
+              ( [],
+                [
+                  Finding.make ~rule:"parse-error" ~severity:Finding.Error
+                    ~file ~line:1 ~col:0 ("cannot read file: " ^ msg);
+                ] )
+        in
+        add bad;
+        Hashtbl.add waiver_tbl file ws;
+        ws
+  in
+  let ast_tbl = Hashtbl.create 64 in
+  let ast_of file =
+    match Hashtbl.find_opt ast_tbl file with
+    | Some r -> r
+    | None ->
+        let r = Ast_util.parse_impl file in
+        Hashtbl.add ast_tbl file r;
+        r
+  in
+  (* walked .ml files: waivers, mli coverage, the AST rules *)
+  List.iter
+    (fun file ->
+      ignore (waivers_of file);
+      let segs = Ast_util.path_segments file in
+      if Rules.mli_in_scope segs then add (Rules.check_mli ~file);
+      let rules =
+        List.filter (fun (r : Rules.ast_rule) -> r.in_scope segs) Rules.ast_rules
+      in
+      if rules <> [] then
+        match ast_of file with
+        | Error msg ->
+            add
+              [
+                Finding.make ~rule:"parse-error" ~severity:Finding.Error ~file
+                  ~line:1 ~col:0 msg;
+              ]
+        | Ok ast ->
+            List.iter (fun (r : Rules.ast_rule) -> add (r.check ~file ast)) rules)
+    mls;
+  (* seam rule: every source some dune recompiles via copy_files# *)
+  let seam_seen = Hashtbl.create 16 in
+  List.iter
+    (fun dune ->
+      match read_file dune with
+      | exception Sys_error _ -> ()
+      | text ->
+          List.iter
+            (fun src ->
+              if
+                Filename.check_suffix src ".ml"
+                && (not (Hashtbl.mem seam_seen src))
+                && Sys.file_exists src
+              then begin
+                Hashtbl.add seam_seen src ();
+                ignore (waivers_of src);
+                match ast_of src with
+                | Error _ -> () (* reported by the walked pass if walked *)
+                | Ok ast -> add (Rules.check_seam ~file:src ~dune ast)
+              end)
+            (copy_files_sources ~dune_path:dune text))
+    dunes;
+  (* waivers: mark, then flag the unused ones (walked files only -- a
+     pointed run must not indict waivers whose rules it never ran) *)
+  if use_waivers then begin
+    Hashtbl.iter
+      (fun file ws ->
+        (* a waiver only ever covers findings in its own file *)
+        Waivers.apply ws
+          (List.filter (fun (f : Finding.t) -> f.Finding.file = file) !findings))
+      waiver_tbl;
+    List.iter (fun file -> add (Waivers.unused ~file (waivers_of file))) mls
+  end;
+  {
+    roots;
+    files_scanned = List.length mls;
+    findings = List.sort Finding.order !findings;
+  }
+
+(* ---------- accounting ---------- *)
+
+let unwaived_errors r =
+  List.length
+    (List.filter
+       (fun (f : Finding.t) -> f.severity = Finding.Error && f.waived = None)
+       r.findings)
+
+let waived_count r =
+  List.length (List.filter (fun (f : Finding.t) -> f.waived <> None) r.findings)
+
+let warning_count r =
+  List.length
+    (List.filter
+       (fun (f : Finding.t) -> f.severity = Finding.Warning && f.waived = None)
+       r.findings)
+
+let findings_of_rule r rule =
+  List.filter (fun (f : Finding.t) -> f.Finding.rule = rule) r.findings
+
+(* ---------- output ---------- *)
+
+let print ?(show_waived = false) oc r =
+  List.iter
+    (fun (f : Finding.t) ->
+      if f.waived = None || show_waived then
+        output_string oc (Finding.to_string f ^ "\n"))
+    r.findings;
+  Printf.fprintf oc
+    "ulplint: %d files, %d error%s (%d waived), %d warning%s\n"
+    r.files_scanned (unwaived_errors r)
+    (if unwaived_errors r = 1 then "" else "s")
+    (waived_count r) (warning_count r)
+    (if warning_count r = 1 then "" else "s")
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"schema\": \"ulp-pip/lint/v1\",\n";
+      Printf.fprintf oc "  \"roots\": [%s],\n"
+        (String.concat ", "
+           (List.map (fun s -> "\"" ^ json_escape s ^ "\"") r.roots));
+      Printf.fprintf oc "  \"files_scanned\": %d,\n" r.files_scanned;
+      Printf.fprintf oc "  \"errors\": %d,\n" (unwaived_errors r);
+      Printf.fprintf oc "  \"warnings\": %d,\n" (warning_count r);
+      Printf.fprintf oc "  \"waived\": %d,\n" (waived_count r);
+      Printf.fprintf oc "  \"findings\": [";
+      List.iteri
+        (fun i (f : Finding.t) ->
+          Printf.fprintf oc "%s\n    { \"file\": \"%s\", \"line\": %d, \
+                             \"col\": %d, \"rule\": \"%s\", \"severity\": \
+                             \"%s\", \"message\": \"%s\", \"waived\": %b%s }"
+            (if i = 0 then "" else ",")
+            (json_escape f.file) f.line f.col (json_escape f.rule)
+            (Finding.severity_to_string f.severity)
+            (json_escape f.message)
+            (f.waived <> None)
+            (match f.waived with
+            | None -> ""
+            | Some reason ->
+                Printf.sprintf ", \"reason\": \"%s\"" (json_escape reason)))
+        r.findings;
+      Printf.fprintf oc "\n  ]\n}\n")

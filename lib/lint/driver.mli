@@ -1,0 +1,37 @@
+(** The lint driver: walk, run rules, apply waivers, report.
+    Exit policy: a run fails iff [unwaived_errors] is non-zero. *)
+
+val default_roots : string list
+(** [lib bin bench examples test].  Descending from a root skips
+    _build, dot-directories, "fixtures" directories (the deliberately
+    dirty test corpus) and lib/check (the checker's sandbox of seeded
+    bugs -- still read for its dune copy_files# manifest).  Explicitly
+    given roots are walked in full. *)
+
+type report = {
+  roots : string list;
+  files_scanned : int;
+  findings : Finding.t list;  (** sorted; includes waived ones *)
+}
+
+val run : ?roots:string list -> ?use_waivers:bool -> unit -> report
+(** Walk [roots] (default {!default_roots}), parse each .ml once, run
+    the in-scope rules plus the seam rule over every copy_files#
+    source, then apply waivers unless [use_waivers] is [false]. *)
+
+val unwaived_errors : report -> int
+val waived_count : report -> int
+val warning_count : report -> int
+
+val findings_of_rule : report -> string -> Finding.t list
+
+val print : ?show_waived:bool -> out_channel -> report -> unit
+(** One [file:line:col [rule] message] line per (unwaived, unless
+    [show_waived]) finding, then a summary line. *)
+
+val write_json : path:string -> report -> unit
+(** Machine-readable report, schema [ulp-pip/lint/v1]. *)
+
+val copy_files_sources : dune_path:string -> string -> string list
+(** Exposed for tests: the normalized source paths a dune file's
+    (copy_files ...) stanzas pull in. *)

@@ -1,0 +1,31 @@
+(* One lint diagnostic: a rule name, a severity, a source position and
+   a message.  [waived] is filled in by [Waivers.apply] when a matching
+   "ulplint: allow <rule> -- reason" comment covers the site; a waived
+   error no longer fails the build but stays in LINT.json with its
+   written reason, so waivers are auditable. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  mutable waived : string option; (* the waiver's written reason *)
+}
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message; waived = None }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let order a b =
+  Stdlib.compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d [%s] %s%s" f.file f.line f.col f.rule f.message
+    (match f.waived with
+    | None -> ""
+    | Some reason -> Printf.sprintf " (waived: %s)" reason)

@@ -1,0 +1,31 @@
+(** One lint diagnostic.  A waived error keeps its finding (with the
+    waiver's written reason) but no longer fails the build. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  mutable waived : string option;  (** the waiver's written reason *)
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  t
+
+val severity_to_string : severity -> string
+
+val order : t -> t -> int
+(** Sort key: file, line, column, rule. *)
+
+val to_string : t -> string
+(** [file:line:col [rule] message], plus the waiver reason if waived. *)

@@ -1,0 +1,268 @@
+(* The rule set.  Each rule statically enforces a discipline invariant
+   the runtime otherwise only checks dynamically (lib/check exploring
+   the right interleaving) or not at all:
+
+   - blocking-in-fiber: the scalability invariant behind Fig. 8 -- a
+     worker domain that enters a blocking syscall stalls every fiber
+     scheduled on it.  Blocking belongs to the reactor (Fiber_io /
+     Reactor) or to a coupled section on the fiber's original KC.
+   - atomic-get-then-set: the exact shape of both seeded checker bugs
+     (Buggy_reactor.post, Buggy_completion.finish): a stale read
+     followed by a store lets a concurrent CAS land in the window and
+     be silently overwritten -- the classic lost wakeup.
+   - syscall-consistency: the paper's Section IV guarantee.  The
+     simulation stack must stay host-syscall-free (its syscalls are
+     simulated in lib/oskernel), and thread-keyed syscalls in real
+     fiber code must run coupled to the original KC.
+   - seam-bypass: modules recompiled into lib/check must route every
+     atomic/mutex operation through the shadowing traced modules;
+     a Stdlib.Atomic/Stdlib.Mutex reference silently escapes tracing.
+   - mli-coverage: every lib module outside lib/check carries an .mli,
+     so interface drift (PR 4's missing vma.mli) is caught at once. *)
+
+open Ast_util
+
+type ast_rule = {
+  name : string;
+  severity : Finding.severity;
+  doc : string;
+  in_scope : string list -> bool; (* path segments *)
+  check : file:string -> Parsetree.structure -> Finding.t list;
+}
+
+(* ---------- scopes ---------- *)
+
+let fiber_scope segs =
+  has_pair "lib" "fiber_rt" segs
+  || has_pair "lib" "net" segs
+  || has_pair "lib" "workload" segs
+  || has_seg "examples" segs
+  || has_seg "bench" segs
+
+let sim_stack = [ "sim"; "arch"; "oskernel"; "addrspace"; "ult"; "core"; "aio"; "mpi"; "report" ]
+
+let sim_scope segs = List.exists (fun d -> has_pair "lib" d segs) sim_stack
+
+(* ---------- blocking-in-fiber ---------- *)
+
+let blocking_unix = [ "read"; "write"; "select"; "sleep"; "sleepf"; "gettimeofday" ]
+
+let blocking_in_fiber =
+  {
+    name = "blocking-in-fiber";
+    severity = Finding.Error;
+    doc =
+      "no direct Unix.read/write/select/sleep/sleepf/gettimeofday or \
+       Thread.delay in fiber code (lib/fiber_rt, lib/net, lib/workload, \
+       examples, bench): a worker domain that blocks stalls every fiber \
+       scheduled on it.  Go through Fiber_io/Reactor (Clock.now for \
+       time), or run the call coupled to the fiber's original KC.";
+    in_scope = fiber_scope;
+    check =
+      (fun ~file ast ->
+        let acc = ref [] in
+        let add ~loc what hint =
+          let line, col = pos_of loc in
+          acc :=
+            Finding.make ~rule:"blocking-in-fiber" ~severity:Finding.Error
+              ~file ~line ~col
+              (Printf.sprintf
+                 "%s on a worker domain blocks every fiber scheduled there; %s"
+                 what hint)
+            :: !acc
+        in
+        iter_idents ast ~f:(fun ~coupled ~loc path ->
+            if not coupled then
+              match drop_stdlib path with
+              | [ "Unix"; "gettimeofday" ] ->
+                  add ~loc "Unix.gettimeofday"
+                    "read time through the Fiber_rt.Clock seam"
+              | [ "Unix"; f ] when List.mem f blocking_unix ->
+                  add ~loc
+                    (Printf.sprintf "blocking call Unix.%s" f)
+                    "go through Fiber_io/Reactor, or run it coupled to the \
+                     fiber's original KC"
+              | [ "Thread"; "delay" ] ->
+                  add ~loc "blocking call Thread.delay"
+                    "use Reactor.sleep / Blt_rt.sleep, or run it coupled to \
+                     the fiber's original KC"
+              | _ -> ());
+        List.rev !acc);
+  }
+
+(* ---------- atomic-get-then-set ---------- *)
+
+let atomic_get_then_set =
+  {
+    name = "atomic-get-then-set";
+    severity = Finding.Error;
+    doc =
+      "an Atomic.get followed by an Atomic.set on the same atomic in one \
+       function body, with no interleaving \
+       compare_and_set/exchange/fetch_and_add on it: a concurrent CAS can \
+       land between the stale read and the store and be silently \
+       overwritten (the seeded Buggy_reactor.post / \
+       Buggy_completion.finish lost-wakeup shape).  Use a CAS loop, \
+       exchange, or fetch_and_add.";
+    in_scope = (fun _ -> true);
+    check =
+      (fun ~file ast ->
+        let acc = ref [] in
+        iter_atomic_frames ast ~analyze:(fun evs ->
+            let pending = Hashtbl.create 8 in
+            List.iter
+              (fun (ev : aevent) ->
+                match ev.op with
+                | Aget -> Hashtbl.replace pending ev.key true
+                | Aupd -> Hashtbl.replace pending ev.key false
+                | Aset ->
+                    if Hashtbl.find_opt pending ev.key = Some true then
+                      acc :=
+                        Finding.make ~rule:"atomic-get-then-set"
+                          ~severity:Finding.Error ~file ~line:ev.line
+                          ~col:ev.col
+                          (Printf.sprintf
+                             "Atomic.set %s after an Atomic.get of it in the \
+                              same function with no interleaving CAS: a \
+                              concurrent update can land in the window and \
+                              be overwritten (lost-wakeup shape); use \
+                              compare_and_set/exchange/fetch_and_add"
+                             ev.key)
+                        :: !acc)
+              evs);
+        List.sort Finding.order !acc);
+  }
+
+(* ---------- syscall-consistency ---------- *)
+
+let thread_keyed =
+  [
+    "getpid"; "getppid"; "fork"; "kill"; "signal"; "sigprocmask";
+    "sigpending"; "sigsuspend"; "alarm"; "setitimer";
+  ]
+
+let syscall_consistency =
+  {
+    name = "syscall-consistency";
+    severity = Finding.Error;
+    doc =
+      "the paper's Section IV guarantee, statically.  The simulation \
+       stack (lib/sim, lib/oskernel, lib/core, ...) must stay \
+       host-syscall-free -- its syscalls are simulated -- and \
+       thread-keyed syscalls (getpid, signals, fork, timers) in real \
+       fiber code must run inside coupled/coupled_syscall so they hit \
+       the fiber's original KC.";
+    in_scope = (fun segs -> sim_scope segs || fiber_scope segs);
+    check =
+      (fun ~file ast ->
+        let segs = path_segments file in
+        let sim = sim_scope segs in
+        let acc = ref [] in
+        let add ~loc msg =
+          let line, col = pos_of loc in
+          acc :=
+            Finding.make ~rule:"syscall-consistency" ~severity:Finding.Error
+              ~file ~line ~col msg
+            :: !acc
+        in
+        iter_idents ast ~f:(fun ~coupled ~loc path ->
+            match drop_stdlib path with
+            | "Unix" :: f :: _ when sim ->
+                add ~loc
+                  (Printf.sprintf
+                     "host syscall Unix.%s in the simulation stack: ULP \
+                      syscalls are simulated through lib/oskernel and the \
+                      couple/decouple wrappers; a raw host call bypasses \
+                      the consistency machinery"
+                     f)
+            | [ "Unix"; f ] when (not coupled) && List.mem f thread_keyed ->
+                add ~loc
+                  (Printf.sprintf
+                     "thread-keyed syscall Unix.%s outside a coupled \
+                      section: on a migrated fiber it reads another KC's \
+                      state (Section IV); wrap it in \
+                      Blt_rt.coupled_syscall"
+                     f)
+            | _ -> ());
+        List.rev !acc);
+  }
+
+let ast_rules = [ blocking_in_fiber; atomic_get_then_set; syscall_consistency ]
+
+(* ---------- seam-bypass (driven by dune copy_files# manifests) ---------- *)
+
+let seam_name = "seam-bypass"
+
+let seam_doc =
+  "modules recompiled into lib/check via copy_files# must touch shared \
+   state only through the shadowing traced Atomic/Mutex modules \
+   (Atomic_intf seam); a Stdlib.Atomic or Stdlib.Mutex reference \
+   compiles but silently escapes tracing, so the checker explores a \
+   model that is not the shipped code."
+
+let check_seam ~file ~dune ast =
+  let acc = ref [] in
+  let hit ~loc path =
+    match path with
+    | "Stdlib" :: (("Atomic" | "Mutex") as m) :: _ ->
+        let line, col = pos_of loc in
+        acc :=
+          Finding.make ~rule:seam_name ~severity:Finding.Error ~file ~line
+            ~col
+            (Printf.sprintf
+               "Stdlib.%s referenced in a module recompiled into a checker \
+                library (%s): the call bypasses the traced seam and the \
+                interleaving checker never sees it; use the ambient \
+                %s module"
+               m dune m)
+          :: !acc
+    | _ -> ()
+  in
+  iter_idents ast
+    ~f:(fun ~coupled:_ ~loc path -> hit ~loc path)
+    ~fmod:(fun ~loc path -> hit ~loc path);
+  List.rev !acc
+
+(* ---------- mli-coverage (file-level, no parsing needed) ---------- *)
+
+let mli_name = "mli-coverage"
+
+let mli_doc =
+  "every lib/**/*.ml outside lib/check ships a .mli: missing interfaces \
+   are how doc drift starts (PR 4's vma.mli), and an explicit signature \
+   is what keeps internal mutable state out of reach.  lib/check is \
+   exempt -- its modules exist to shadow and instrument."
+
+let mli_in_scope segs =
+  has_seg "lib" segs && not (has_pair "lib" "check" segs)
+
+let check_mli ~file =
+  let mli = Filename.remove_extension file ^ ".mli" in
+  if Sys.file_exists mli then []
+  else
+    [
+      Finding.make ~rule:mli_name ~severity:Finding.Error ~file ~line:1 ~col:0
+        (Printf.sprintf "module has no interface file (%s)"
+           (Filename.basename mli));
+    ]
+
+(* ---------- catalog ---------- *)
+
+let catalog =
+  [
+    (blocking_in_fiber.name, blocking_in_fiber.severity, blocking_in_fiber.doc);
+    (atomic_get_then_set.name, atomic_get_then_set.severity, atomic_get_then_set.doc);
+    (seam_name, Finding.Error, seam_doc);
+    (syscall_consistency.name, syscall_consistency.severity, syscall_consistency.doc);
+    (mli_name, Finding.Error, mli_doc);
+    ( "parse-error",
+      Finding.Error,
+      "a walked .ml file failed to parse; ulplint cannot vouch for it" );
+    ( "bad-waiver",
+      Finding.Error,
+      "a malformed ulplint directive, or a waiver without a written reason" );
+    ( "unused-waiver",
+      Finding.Warning,
+      "a waiver that suppresses nothing; delete it so exemptions stay \
+       auditable" );
+  ]

@@ -1,0 +1,133 @@
+(* Waiver comments -- the directive is a comment that opens with
+   "ulplint: allow <rule> -- reason" -- suppress findings of <rule> on
+   the same line or the line directly below.  The reason is mandatory:
+   a waiver without one is itself an error ([bad-waiver]), and a waiver
+   that suppresses nothing is flagged as [unused-waiver] so stale
+   exemptions cannot accumulate silently.
+
+   Scanning is textual (comments do not survive into the parsetree):
+   one directive per line, anchored on the comment opener so prose that
+   merely mentions the directive is not mistaken for one. *)
+
+type t = {
+  line : int;
+  rule : string;
+  reason : string;
+  mutable used : bool;
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Drop a trailing "*)" (and anything after it) from the reason text. *)
+let strip_comment_close s =
+  match find_sub s "*)" with
+  | Some i -> String.trim (String.sub s 0 i)
+  | None -> String.trim s
+
+let bad ~file ~line msg =
+  Finding.make ~rule:"bad-waiver" ~severity:Finding.Error ~file ~line ~col:0 msg
+
+(* Built by concatenation so this very file does not contain the marker
+   and scan itself cleanly. *)
+let directive = "(*" ^ " ulplint:"
+
+let scan ~file text =
+  let waivers = ref [] and findings = ref [] in
+  let dlen = String.length directive in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      match find_sub line directive with
+      | None -> ()
+      | Some at ->
+          let rest =
+            String.trim
+              (String.sub line (at + dlen) (String.length line - at - dlen))
+          in
+          if not (starts_with ~prefix:"allow" rest) then
+            findings :=
+              bad ~file ~line:ln
+                "unrecognized ulplint directive (expected \"ulplint: allow \
+                 <rule> -- reason\")"
+              :: !findings
+          else
+            let rest =
+              String.trim (String.sub rest 5 (String.length rest - 5))
+            in
+            let rule, after =
+              match String.index_opt rest ' ' with
+              | None -> (strip_comment_close rest, "")
+              | Some sp ->
+                  ( String.sub rest 0 sp,
+                    String.trim
+                      (String.sub rest sp (String.length rest - sp)) )
+            in
+            if rule = "" then
+              findings :=
+                bad ~file ~line:ln "waiver names no rule" :: !findings
+            else if not (starts_with ~prefix:"--" after) then
+              findings :=
+                bad ~file ~line:ln
+                  (Printf.sprintf
+                     "waiver for '%s' carries no reason (write \"ulplint: \
+                      allow %s -- why this site is safe\")"
+                     rule rule)
+                :: !findings
+            else
+              let reason =
+                strip_comment_close
+                  (String.sub after 2 (String.length after - 2))
+              in
+              if reason = "" then
+                findings :=
+                  bad ~file ~line:ln
+                    (Printf.sprintf "waiver for '%s' carries no reason" rule)
+                  :: !findings
+              else waivers := { line = ln; rule; reason; used = false } :: !waivers)
+    (String.split_on_char '\n' text);
+  (List.rev !waivers, List.rev !findings)
+
+(* The waiver machinery never waives its own diagnostics. *)
+let unwaivable rule =
+  rule = "bad-waiver" || rule = "unused-waiver" || rule = "parse-error"
+
+let apply waivers findings =
+  List.iter
+    (fun (f : Finding.t) ->
+      if not (unwaivable f.Finding.rule) then
+        match
+          List.find_opt
+            (fun w ->
+              w.rule = f.Finding.rule
+              && (w.line = f.Finding.line || w.line + 1 = f.Finding.line))
+            waivers
+        with
+        | Some w ->
+            w.used <- true;
+            f.Finding.waived <- Some w.reason
+        | None -> ())
+    findings
+
+let unused ~file waivers =
+  List.filter_map
+    (fun w ->
+      if w.used then None
+      else
+        Some
+          (Finding.make ~rule:"unused-waiver" ~severity:Finding.Warning ~file
+             ~line:w.line ~col:0
+             (Printf.sprintf
+                "waiver for '%s' suppresses nothing on this or the next line"
+                w.rule)))
+    waivers

@@ -1,0 +1,24 @@
+(** Waiver comments: [(* ulplint: allow <rule> -- reason *)] suppresses
+    findings of [rule] on the same line or the line directly below.
+    Reasons are mandatory; malformed directives become [bad-waiver]
+    errors and waivers that suppress nothing become [unused-waiver]
+    warnings. *)
+
+type t = {
+  line : int;
+  rule : string;
+  reason : string;
+  mutable used : bool;
+}
+
+val scan : file:string -> string -> t list * Finding.t list
+(** Scan source text for waiver directives.  Returns the well-formed
+    waivers plus [bad-waiver] findings for malformed ones. *)
+
+val apply : t list -> Finding.t list -> unit
+(** Mark findings covered by a waiver (same rule, same line or the line
+    below) as waived, and the waiver as used.  Never waives the lint's
+    own [bad-waiver]/[unused-waiver]/[parse-error] diagnostics. *)
+
+val unused : file:string -> t list -> Finding.t list
+(** [unused-waiver] warnings for waivers [apply] never used. *)

@@ -27,6 +27,7 @@ let wait r ?deadline fd dir =
   | `Timeout -> raise Timeout
 
 let rec read r ?deadline fd buf pos len =
+  (* ulplint: allow blocking-in-fiber -- fd is O_NONBLOCK by contract; EAGAIN parks the fiber on the reactor instead of blocking *)
   match Unix.read fd buf pos len with
   | n -> n
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -35,6 +36,7 @@ let rec read r ?deadline fd buf pos len =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read r ?deadline fd buf pos len
 
 let rec write_once r ?deadline fd buf pos len =
+  (* ulplint: allow blocking-in-fiber -- fd is O_NONBLOCK by contract; EAGAIN parks the fiber on the reactor instead of blocking *)
   match Unix.write fd buf pos len with
   | n -> n
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->

@@ -56,6 +56,7 @@ let wait_select ~interest ~timeout_ms =
   let rd = List.filter_map (fun (fd, r, _) -> if r then Some fd else None) interest in
   let wr = List.filter_map (fun (fd, _, w) -> if w then Some fd else None) interest in
   let timeout = if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0 in
+  (* ulplint: allow blocking-in-fiber -- the poller IS the blocking point: it runs on the dedicated reactor thread, never on a worker domain *)
   match Unix.select rd wr [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
   | ready_r, ready_w, _ ->

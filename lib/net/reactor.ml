@@ -55,7 +55,7 @@ type t = {
   mutable thread : Thread.t option;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Fiber_rt.Clock.now ()
 
 let max_idle_ms = 250 (* poll ceiling: re-check stopping this often *)
 
@@ -74,6 +74,7 @@ let send t cmd =
   Mpsc.push t.cmds cmd;
   if not (Atomic.exchange t.poked true) then
     (* first poke since the reactor last drained: one byte suffices *)
+    (* ulplint: allow blocking-in-fiber -- self-pipe poke: pipe_w is O_NONBLOCK, a full pipe returns EAGAIN instead of blocking *)
     try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
     with Unix.Unix_error _ -> ()
 
@@ -90,6 +91,7 @@ external fd_int : Unix.file_descr -> int = "%identity"
 let drain_pipe st =
   let buf = Bytes.create 64 in
   let rec go () =
+    (* ulplint: allow blocking-in-fiber -- draining the O_NONBLOCK self-pipe on the reactor thread; EAGAIN ends the loop *)
     match Unix.read st.r.pipe_r buf 0 64 with
     | 64 -> go ()
     | _ -> ()
@@ -178,8 +180,7 @@ let reactor_loop st =
        drain_pipe st;
        run_commands st;
        let fired = Timer_wheel.advance st.wheel ~now:(current_tick st.r) in
-       if fired > 0 then
-         Atomic.set st.r.n_timers (Atomic.get st.r.n_timers + fired);
+       if fired > 0 then ignore (Atomic.fetch_and_add st.r.n_timers fired);
        let interest = (st.r.pipe_r, true, false) :: interest_list st in
        let timeout_ms = poll_timeout_ms st in
        Atomic.incr st.r.n_polls;
@@ -194,7 +195,7 @@ let reactor_loop st =
   Hashtbl.iter (fun _ ws -> List.iter (post_watch st) ws) st.interest;
   Hashtbl.reset st.interest;
   let swept = Timer_wheel.fire_all st.wheel in
-  if swept > 0 then Atomic.set st.r.n_timers (Atomic.get st.r.n_timers + swept)
+  if swept > 0 then ignore (Atomic.fetch_and_add st.r.n_timers swept)
 
 (* ---------------- lifecycle ---------------- *)
 
@@ -238,6 +239,7 @@ let stats t =
 let shutdown t =
   if not (Atomic.exchange t.stopping true) then begin
     (* direct poke: the coalescing flag may already be true *)
+    (* ulplint: allow blocking-in-fiber -- shutdown poke on the O_NONBLOCK self-pipe; EAGAIN means a poke is already pending *)
     (try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
      with Unix.Unix_error _ -> ());
     (match t.thread with Some th -> Thread.join th | None -> ());

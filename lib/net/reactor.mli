@@ -44,8 +44,8 @@ val backend : t -> Poller.backend
 val stats : t -> stats
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]); the time base of every
-    [?deadline] below. *)
+(** Wall-clock seconds (via the [Fiber_rt.Clock] seam); the time base
+    of every [?deadline] below. *)
 
 val await_fd :
   t -> ?deadline:float -> Unix.file_descr -> dir -> [ `Ready | `Timeout ]

@@ -1,0 +1,117 @@
+(** Shared mutable records of the simulated kernel.  They live in one
+    module (and largely one recursive type group) because tasks, CPUs,
+    file tables, pipes and signal state reference each other; the
+    behaviour lives in [Kernel], [Futex], [Vfs] etc.  The records are
+    deliberately transparent: the kernel modules are the only clients,
+    and tests poke at the fields directly. *)
+
+(* ---------- flags & signals ---------- *)
+
+type open_flag =
+  | O_RDONLY
+  | O_WRONLY
+  | O_RDWR
+  | O_CREAT
+  | O_TRUNC
+  | O_APPEND
+  | O_NONBLOCK
+
+type signal = SIGINT | SIGTERM | SIGUSR1 | SIGUSR2 | SIGKILL | SIGCHLD
+
+val signal_to_string : signal -> string
+
+type signal_disposition = Sig_default | Sig_ignore | Sig_handler of (signal -> unit)
+
+type task_state =
+  | New  (** created, body not yet started *)
+  | Ready  (** on a run queue *)
+  | Running  (** owns its CPU *)
+  | Busywaiting  (** spinning: logically running, occupies its CPU *)
+  | Blocked  (** off-CPU, waiting for a wake *)
+  | Zombie  (** exited, not yet waited for *)
+  | Reaped
+
+val task_state_to_string : task_state -> string
+
+(* ---------- the recursive heart: files, pipes, tasks, cpus ---------- *)
+
+type inode = {
+  ino : int;
+  mutable size : int;
+  mutable link_count : int;
+  mutable open_count : int;
+  mutable content_version : int;  (** bumped on every write *)
+  mutable resident_pages : int;  (** pages with a page-table entry *)
+}
+
+(** A pipe: a bounded in-kernel byte buffer with blocking semantics on
+    both ends -- the canonical blocking system call (and therefore the
+    canonical reason a conventional ULT scheduler stalls). *)
+type pipe = {
+  pipe_id : int;
+  capacity : int;
+  mutable buffered : int;  (** bytes currently in the buffer *)
+  pipe_stored : Buffer.t;  (** actual bytes, for integrity tests *)
+  mutable readers : int;  (** open read-end descriptors (fork-aware) *)
+  mutable writers : int;  (** open write-end descriptors *)
+  mutable read_waiters : task list;  (** blocked readers, FIFO *)
+  mutable write_waiters : task list;  (** blocked writers, FIFO *)
+}
+
+and fd_target = File of inode | Pipe_read of pipe | Pipe_write of pipe
+
+and fd_entry = {
+  target : fd_target;
+  mutable offset : int;
+  mutable flags : open_flag list;  (** mutable: fcntl(F_SETFL) *)
+}
+
+and fd_table = {
+  mutable entries : (int * fd_entry) list;  (** fd -> entry, small tables *)
+  mutable next_fd : int;
+}
+
+and signal_state = {
+  mutable mask : signal list;  (** blocked signals *)
+  mutable pending : signal list;
+  mutable dispositions : (signal * signal_disposition) list;
+  mutable delivered_count : int;
+}
+
+and task = {
+  tid : int;
+  pid : int;  (** process id: own for processes, group leader's for threads *)
+  tname : string;
+  parent_tid : int option;
+  mutable children : task list;
+  mutable state : task_state;
+  mutable cpu : int;  (** current affinity *)
+  fds : fd_table;
+  sigs : signal_state;
+  mutable exit_code : int option;
+  mutable exit_waiters : task list;  (** tasks blocked in waitpid on us *)
+  mutable pending_kill : int option;  (** exit code forced by a fatal signal *)
+  mutable body : (unit -> unit) option;  (** consumed at first dispatch *)
+  mutable park : Sim.Engine.resumer option;
+      (** set while Ready-queued or Blocked *)
+  mutable weight : float;  (** nice value as a weight; default 1.0 *)
+  mutable vruntime : float;  (** weighted virtual runtime (CFS-lite) *)
+  mutable cpu_time : float;
+  mutable syscalls : int;
+  mutable ctx_switches : int;
+  mutable last_syscall_tid : int;
+      (** tid of the KC that ran the last syscall issued by code of this
+          task; used by the consistency checker *)
+}
+
+and cpu = {
+  cpu_id : int;
+  mutable current : task option;
+  runq : task Queue.t;
+  mutable dispatches : int;
+  mutable busy_until : float;  (** bookkeeping only *)
+  mutable busy_time : float;  (** accumulated compute seconds *)
+}
+
+val fd_table_create : unit -> fd_table
+val signal_state_create : unit -> signal_state

@@ -1,0 +1,22 @@
+(** The work-stealing deque interface shared by the two substrates:
+    [Ult.Ws_deque] is the single-threaded policy model the simulated
+    schedulers use, and [Fiber_rt.Atomic_deque] is the real Chase-Lev
+    implementation (OCaml [Atomic] fences) behind the parallel fiber
+    runtime.  Keeping one signature makes the policy model and the
+    production structure interchangeable in scheduling experiments. *)
+
+module type S = sig
+  type 'a t
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val push : 'a t -> 'a -> unit
+  (** Owner side: push at the bottom. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner side: newest first (LIFO, cache-friendly). *)
+
+  val steal : 'a t -> 'a option
+  (** Thief side: oldest first (FIFO). *)
+end

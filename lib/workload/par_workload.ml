@@ -25,7 +25,7 @@ type result = {
   steals : int; (* successful deque steals during the run *)
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Fiber_rt.Clock.now ()
 
 (* Opaque compute kernel: [work] additions the optimizer cannot drop. *)
 let spin work =

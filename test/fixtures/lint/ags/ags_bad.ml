@@ -1,0 +1,11 @@
+(* Fixture: the lost-wakeup shape -- a stale read then a store with no
+   interleaving CAS.  atomic-get-then-set must flag the set. *)
+
+let bump c =
+  let v = Atomic.get c in
+  Atomic.set c (v + 1)
+
+(* nested frames are separate: the inner fun is its own frame *)
+let bump_cb c =
+  let v = Atomic.get c in
+  fun () -> Atomic.set c (v + 1)

@@ -1,0 +1,18 @@
+(* Fixture: the sanctioned forms -- a CAS loop, fetch_and_add, and a
+   set with no prior get in the same frame.  No findings. *)
+
+let rec bump c =
+  let v = Atomic.get c in
+  if not (Atomic.compare_and_set c v (v + 1)) then bump c
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let reset c = Atomic.set c 0
+
+(* get then CAS then set: the CAS resolves the race, the set is the
+   owner's follow-up -- the Chase-Lev pop shape, not flagged *)
+let claim c =
+  let v = Atomic.get c in
+  let won = Atomic.compare_and_set c v (v + 1) in
+  Atomic.set c 0;
+  won

@@ -1,0 +1,6 @@
+(* Fixture: a reasoned waiver on the get-then-set shape. *)
+
+let bump c =
+  let v = Atomic.get c in
+  (* ulplint: allow atomic-get-then-set -- fixture: c has a single writer in this model *)
+  Atomic.set c (v + 1)

@@ -1,0 +1,5 @@
+(* Fixture: a reasoned waiver suppresses the finding. *)
+
+let poke fd b =
+  (* ulplint: allow blocking-in-fiber -- fixture: fd is nonblocking by construction *)
+  Unix.write fd b 0 1

@@ -1,0 +1,3 @@
+(* Fixture: a thread-keyed syscall outside a coupled section. *)
+
+let me () = Unix.getpid ()

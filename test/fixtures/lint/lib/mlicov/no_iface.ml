@@ -1,0 +1,3 @@
+(* Fixture: a lib module with no sibling .mli -- mli-coverage flags it. *)
+
+let x = 1

@@ -1,0 +1,3 @@
+(* Fixture: has a sibling .mli, so mli-coverage stays quiet. *)
+
+let y = 2

@@ -1,0 +1,4 @@
+(* Fixture: ANY host syscall in the simulation stack is a finding --
+   simulated code's syscalls go through lib/oskernel. *)
+
+let stamp () = Unix.time ()

@@ -1,0 +1,11 @@
+(* Fixture: recompiled into a checker library but calling
+   Stdlib.Atomic / Stdlib.Mutex directly -- both escape the traced
+   seam and must be flagged. *)
+
+let peek c = Stdlib.Atomic.get c
+
+let locked m f =
+  Stdlib.Mutex.lock m;
+  let r = f () in
+  Stdlib.Mutex.unlock m;
+  r

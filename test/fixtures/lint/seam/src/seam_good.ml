@@ -1,0 +1,10 @@
+(* Fixture: ambient Atomic/Mutex references resolve to the shadowing
+   traced modules when recompiled into the checker -- not flagged. *)
+
+let peek c = Atomic.get c
+
+let locked m f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r

@@ -1,0 +1,5 @@
+(* Fixture: a reasoned waiver on a deliberate seam escape. *)
+
+let peek c =
+  (* ulplint: allow seam-bypass -- fixture: this probe measures the untraced fast path on purpose *)
+  Stdlib.Atomic.get c

@@ -1,0 +1,6 @@
+(* Fixture: a waiver without a written reason is itself an error. *)
+
+let bump c =
+  let v = Atomic.get c in
+  (* ulplint: allow atomic-get-then-set *)
+  Atomic.set c (v + 1)

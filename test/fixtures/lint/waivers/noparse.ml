@@ -1,0 +1,4 @@
+(* Fixture: does not parse; the lint reports parse-error rather than
+   silently vouching for a file it could not read. *)
+
+let let = (

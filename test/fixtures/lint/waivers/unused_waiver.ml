@@ -1,0 +1,4 @@
+(* Fixture: a waiver that suppresses nothing draws a warning. *)
+
+(* ulplint: allow blocking-in-fiber -- fixture: nothing here blocks, the waiver is stale *)
+let x = 1

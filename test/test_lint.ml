@@ -1,0 +1,182 @@
+(* ulplint's own test suite.
+
+   Each rule gets a known-good / known-bad fixture pair (plus a
+   waivered bad fixture) under test/fixtures/lint -- a directory the
+   lint's default walk skips precisely because it is deliberately
+   dirty.  The suite then points the lint at lib/check to prove it
+   re-detects the seeded interleaving bugs statically, and finally
+   self-checks the repo: the shipped tree must be lint-clean.
+
+   Tests execute from _build/default/test; we chdir to the build root
+   (the nearest ancestor holding dune-project) so the driver's relative
+   roots resolve.  That root's lib/check also holds the materialized
+   copy_files# sources, which is exactly what a source checkout looks
+   like to the lint. *)
+
+module Driver = Lint.Driver
+module Finding = Lint.Finding
+
+let find_root () =
+  let rec go dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then failwith "test_lint: no dune-project above cwd"
+      else go parent
+  in
+  go (Sys.getcwd ())
+
+let () = Sys.chdir (find_root ())
+
+let fx sub = "test/fixtures/lint/" ^ sub
+
+(* findings of [rule] in [file], unwaived unless [waived] *)
+let hits ?(waived = false) report ~file ~rule =
+  List.filter
+    (fun (f : Finding.t) ->
+      f.rule = rule && f.file = file && (f.waived <> None) = waived)
+    report.Driver.findings
+
+let check_n ?waived report ~file ~rule n =
+  Alcotest.(check int)
+    (Printf.sprintf "%s: %d %s%s finding(s)" file n rule
+       (match waived with Some true -> " waived" | _ -> ""))
+    n
+    (List.length (hits ?waived report ~file ~rule))
+
+(* ---------- blocking-in-fiber ---------- *)
+
+let test_blocking () =
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt" ] () in
+  let rule = "blocking-in-fiber" in
+  (* read, Thread.delay, select, gettimeofday *)
+  check_n r ~file:(fx "lib/fiber_rt/bf_bad.ml") ~rule 4;
+  check_n r ~file:(fx "lib/fiber_rt/bf_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/fiber_rt/bf_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/fiber_rt/bf_waived.ml") ~rule 1
+
+(* ---------- atomic-get-then-set ---------- *)
+
+let test_get_then_set () =
+  let r = Driver.run ~roots:[ fx "ags" ] () in
+  let rule = "atomic-get-then-set" in
+  (* one finding: bump.  bump_cb's set lives in a nested frame and the
+     rule is deliberately per-frame *)
+  check_n r ~file:(fx "ags/ags_bad.ml") ~rule 1;
+  check_n r ~file:(fx "ags/ags_good.ml") ~rule 0;
+  check_n r ~file:(fx "ags/ags_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "ags/ags_waived.ml") ~rule 1
+
+(* ---------- syscall-consistency ---------- *)
+
+let test_syscall () =
+  let r = Driver.run ~roots:[ fx "lib" ] () in
+  let rule = "syscall-consistency" in
+  (* sim stack: any host syscall *)
+  check_n r ~file:(fx "lib/sim/sc_sim_bad.ml") ~rule 1;
+  (* fiber code: thread-keyed syscall outside coupled *)
+  check_n r ~file:(fx "lib/fiber_rt/sc_fiber_bad.ml") ~rule 1;
+  check_n r ~file:(fx "lib/fiber_rt/sc_fiber_good.ml") ~rule 0
+
+(* ---------- seam-bypass ---------- *)
+
+let test_seam () =
+  let r = Driver.run ~roots:[ fx "seam" ] () in
+  let rule = "seam-bypass" in
+  (* Stdlib.Atomic.get, Stdlib.Mutex.lock, Stdlib.Mutex.unlock *)
+  check_n r ~file:(fx "seam/src/seam_bad.ml") ~rule 3;
+  check_n r ~file:(fx "seam/src/seam_good.ml") ~rule 0;
+  check_n r ~file:(fx "seam/src/seam_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "seam/src/seam_waived.ml") ~rule 1;
+  (* and the manifest parser itself *)
+  let srcs =
+    Driver.copy_files_sources ~dune_path:(fx "seam/checker/dune")
+      "(copy_files# (files ../src/a.ml ../src/b.ml))"
+  in
+  Alcotest.(check (list string))
+    "copy_files sources resolve relative to the dune"
+    [ fx "seam/src/a.ml"; fx "seam/src/b.ml" ]
+    srcs
+
+(* ---------- mli-coverage ---------- *)
+
+let test_mli () =
+  let r = Driver.run ~roots:[ fx "lib/mlicov" ] () in
+  let rule = "mli-coverage" in
+  check_n r ~file:(fx "lib/mlicov/no_iface.ml") ~rule 1;
+  check_n r ~file:(fx "lib/mlicov/with_iface.ml") ~rule 0
+
+(* ---------- the waiver machinery ---------- *)
+
+let test_waivers () =
+  let r = Driver.run ~roots:[ fx "waivers" ] () in
+  (* reasonless waiver: flagged, and the underlying finding survives *)
+  check_n r ~file:(fx "waivers/bad_waiver.ml") ~rule:"bad-waiver" 1;
+  check_n r ~file:(fx "waivers/bad_waiver.ml") ~rule:"atomic-get-then-set" 1;
+  (* stale waiver: a warning *)
+  let stale = hits r ~file:(fx "waivers/unused_waiver.ml") ~rule:"unused-waiver" in
+  Alcotest.(check int) "one unused-waiver" 1 (List.length stale);
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check string)
+        "unused-waiver is a warning" "warning"
+        (Finding.severity_to_string f.severity))
+    stale;
+  (* unparseable file: reported, not silently vouched for *)
+  check_n r ~file:(fx "waivers/noparse.ml") ~rule:"parse-error" 1;
+  (* --no-waivers reports everything *)
+  let r' = Driver.run ~roots:[ fx "ags" ] ~use_waivers:false () in
+  check_n r' ~file:(fx "ags/ags_waived.ml") ~rule:"atomic-get-then-set" 1
+
+(* ---------- re-detecting the seeded checker bugs ---------- *)
+
+let test_redetect_seeded_bugs () =
+  let r = Driver.run ~roots:[ "lib/check" ] () in
+  let rule = "atomic-get-then-set" in
+  let unwaived file =
+    List.length (hits r ~file:("lib/check/" ^ file) ~rule)
+  in
+  (* Buggy_reactor.post: get then set in both branches *)
+  Alcotest.(check int) "buggy_reactor lost wakeups" 2 (unwaived "buggy_reactor.ml");
+  (* Buggy_completion.finish *)
+  Alcotest.(check int) "buggy_completion lost wakeup" 1 (unwaived "buggy_completion.ml");
+  (* Buggy_deque's downgraded pop CAS *)
+  Alcotest.(check bool) "buggy_deque caught" true (unwaived "buggy_deque.ml" >= 1)
+
+(* ---------- the shipped tree is lint-clean ---------- *)
+
+let test_repo_clean () =
+  let r = Driver.run () in
+  let unwaived =
+    List.filter
+      (fun (f : Finding.t) -> f.severity = Finding.Error && f.waived = None)
+      r.findings
+  in
+  List.iter (fun f -> Printf.eprintf "STRAY: %s\n" (Finding.to_string f)) unwaived;
+  Alcotest.(check int) "no unwaivered errors in the repo" 0 (List.length unwaived);
+  Alcotest.(check int) "no warnings in the repo" 0 (Driver.warning_count r);
+  (* every waiver in the tree carries a reason by construction; make
+     sure none of them went stale *)
+  Alcotest.(check bool) "walked a plausible number of files" true
+    (r.files_scanned > 50)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "blocking-in-fiber" `Quick test_blocking;
+          Alcotest.test_case "atomic-get-then-set" `Quick test_get_then_set;
+          Alcotest.test_case "syscall-consistency" `Quick test_syscall;
+          Alcotest.test_case "seam-bypass" `Quick test_seam;
+          Alcotest.test_case "mli-coverage" `Quick test_mli;
+        ] );
+      ( "waivers",
+        [ Alcotest.test_case "waiver machinery" `Quick test_waivers ] );
+      ( "teeth",
+        [
+          Alcotest.test_case "re-detects seeded checker bugs" `Quick
+            test_redetect_seeded_bugs;
+          Alcotest.test_case "repo self-check is clean" `Quick test_repo_clean;
+        ] );
+    ]
