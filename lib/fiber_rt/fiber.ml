@@ -40,26 +40,65 @@ type fiber = {
    schedules the continuation, so several racing wakers -- I/O
    readiness vs a timer, say -- resolve to exactly one resume and the
    losers learn they lost.  The closure inside routes through the
-   engine that parked the fiber (inject / pschedule). *)
-module Wake = struct
-  type token = { fired : bool Atomic.t; resume : unit -> unit }
+   engine that parked the fiber (inject / pschedule).
 
-  let make resume = { fired = Atomic.make false; resume }
+   [fire_to] is the reactor's targeted entry point: an optional worker
+   hint routes the continuation to that worker's private inbox (the
+   PR-3 fast path -- no global MPSC contention, and the fiber resumes
+   where its cache already is), and an optional [batch] defers the
+   wake-one notification so a poll tick that fires N tokens pays one
+   deduped notification per distinct target instead of N. *)
+module Wake = struct
+  type note = { bkey : int * int; bnotify : unit -> unit }
+
+  (* A batch is single-owner by contract: only the thread that created
+     it may fire into it or flush it (the reactor shard's loop), so the
+     note list needs no synchronization. *)
+  type batch = { mutable notes : note list }
+
+  type token = {
+    fired : bool Atomic.t;
+    resume : int option -> batch option -> unit;
+  }
+
+  let make_routed resume = { fired = Atomic.make false; resume }
+  let make resume = make_routed (fun _ _ -> resume ())
 
   let fire t =
     if Atomic.exchange t.fired true then false
     else begin
-      t.resume ();
+      t.resume None None;
+      true
+    end
+
+  let fire_to ?worker ?batch t =
+    if Atomic.exchange t.fired true then false
+    else begin
+      t.resume worker batch;
       true
     end
 
   let is_fired t = Atomic.get t.fired
+  let batch () = { notes = [] }
+
+  (* engine-internal: record one deferred notification per [key] *)
+  let note b ~key notify =
+    if not (List.exists (fun n -> n.bkey = key) b.notes) then
+      b.notes <- { bkey = key; bnotify = notify } :: b.notes
+
+  let flush b =
+    match b.notes with
+    | [] -> ()
+    | ns ->
+        b.notes <- [];
+        List.iter (fun n -> n.bnotify ()) ns
 end
 
 type _ Effect.t +=
   | Yield : unit Effect.t
   | Suspend : (Wake.token -> unit) -> unit Effect.t
   | Spawn : (unit -> unit) -> fiber Effect.t
+  | Spawn_on : int * (unit -> unit) -> fiber Effect.t
   | Self : fiber Effect.t
 
 exception Not_in_scheduler
@@ -165,6 +204,15 @@ and handle sched fb body =
                     (fun () -> exec sched child (fun () -> handle sched child body'))
                     sched.ready;
                   continue k child)
+          | Spawn_on (_, body') ->
+              (* one thread: placement is meaningless, spawn locally *)
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  let child = new_fiber sched in
+                  Queue.push
+                    (fun () -> exec sched child (fun () -> handle sched child body'))
+                    sched.ready;
+                  continue k child)
           | Self -> Some (fun (k : (b, unit) continuation) -> continue k fb)
           | _ -> None);
     }
@@ -201,6 +249,11 @@ type pworker = {
       (* private FIFO: own yields + injected-batch tails.  Only the
          owner domain touches it, so no synchronization; the owner
          never parks while it is non-empty. *)
+  inbox : (unit -> unit) Mpsc_queue.t;
+      (* targeted cross-thread deliveries (the reactor routing a wake
+         back to the fiber's home worker, [spawn_on]).  Only the owner
+         pops; producers push from any thread.  Not stealable -- that
+         is the point: the continuation resumes on the chosen worker. *)
   mutable rng : int; (* xorshift state for victim selection *)
   mutable steals : int; (* items obtained from other workers' deques *)
   mutable tick : int; (* tasks run; paces the fairness drain *)
@@ -210,6 +263,7 @@ type pworker = {
 }
 
 type psched = {
+  ps_uid : int; (* distinguishes schedulers in Wake batch dedup keys *)
   workers : pworker array;
   pinject : (unit -> unit) Mpsc_queue.t;
       (* cross-thread wake-ups ONLY: executors, foreign domains.  A
@@ -220,9 +274,10 @@ type psched = {
   pnext_fid : int Atomic.t;
   stop : bool Atomic.t;
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
-  idle_stack : int list Atomic.t;
+  idle : Idle_waker.t;
       (* Treiber stack of parked worker ids: a push of work pops and
-         wakes exactly one, instead of broadcasting to all *)
+         wakes exactly one, instead of broadcasting to all.  Factored
+         into [Idle_waker] so lib/check recompiles the exact code. *)
   done_mutex : Mutex.t; (* run-exit accounting only (cold path) *)
   done_cond : Condition.t;
   mutable n_running : int; (* workers still in their loop; guarded above *)
@@ -230,10 +285,23 @@ type psched = {
   mutable pexecutors : Executor.t list;
 }
 
-(* The worker executing on this domain, if any. *)
-type pctx = { ps : psched; w : pworker }
+(* The worker executing on this domain, if any.  [tid] pins the context
+   to the worker's own OS thread: Domain.DLS is shared by every
+   systhread of a domain, so a thread the program creates on a worker
+   domain (a reactor shard, an executor) would otherwise read this
+   worker's context and push to its Chase-Lev deque from a foreign
+   thread -- breaking the deque's single-owner invariant.  Always go
+   through [worker_ctx], never read [pctx_key] directly. *)
+type pctx = { ps : psched; w : pworker; tid : int }
 
 let pctx_key : pctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let worker_ctx () =
+  match Domain.DLS.get pctx_key with
+  | Some c when c.tid = Thread.id (Thread.self ()) -> Some c
+  | _ -> None
+
+let psched_uid = Atomic.make 0
 
 (* Spin-then-block: BUSYWAIT rounds before parking.  Spinning only pays
    when another core can produce work meanwhile; on a single-core host
@@ -247,12 +315,14 @@ let steal_backoff_base = 16 (* cpu_relax iterations; doubles per round *)
 
 let make_psched ~domains =
   {
+    ps_uid = Atomic.fetch_and_add psched_uid 1;
     workers =
       Array.init domains (fun wid ->
           {
             wid;
             deque = Atomic_deque.create ~dummy:ignore;
             overflow = Queue.create ();
+            inbox = Mpsc_queue.create ();
             rng = (wid * 0x9e3779b9) lor 1;
             steals = 0;
             tick = 0;
@@ -265,7 +335,7 @@ let make_psched ~domains =
     pnext_fid = Atomic.make 1;
     stop = Atomic.make false;
     failure = Atomic.make None;
-    idle_stack = Atomic.make [];
+    idle = Idle_waker.create ();
     done_mutex = Mutex.create ();
     done_cond = Condition.create ();
     n_running = domains;
@@ -298,47 +368,63 @@ let await_token w =
   w.park_wake <- false;
   Mutex.unlock w.park_mutex
 
-let rec idle_push ps wid =
-  let cur = Atomic.get ps.idle_stack in
-  if not (Atomic.compare_and_set ps.idle_stack cur (wid :: cur)) then
-    idle_push ps wid
-
-(* Remove self if still listed: true = removed, no token owed; false =
-   a waker popped us first, its token is on the way. *)
-let rec idle_cancel ps wid =
-  let cur = Atomic.get ps.idle_stack in
-  if List.mem wid cur then
-    if
-      Atomic.compare_and_set ps.idle_stack cur
-        (List.filter (fun w -> w <> wid) cur)
-    then true
-    else idle_cancel ps wid
-  else false
-
 (* Wake exactly one parked worker, if any.  The common nobody-idle path
-   is a single atomic read. *)
-let rec wake_one ps =
-  match Atomic.get ps.idle_stack with
-  | [] -> ()
-  | wid :: rest as cur ->
-      if Atomic.compare_and_set ps.idle_stack cur rest then
-        deliver_token ps.workers.(wid)
-      else wake_one ps
+   is a single atomic read inside [Idle_waker.pop]. *)
+let wake_one ps =
+  match Idle_waker.pop ps.idle with
+  | Some wid -> deliver_token ps.workers.(wid)
+  | None -> ()
 
 let wake_all ps =
-  List.iter
-    (fun wid -> deliver_token ps.workers.(wid))
-    (Atomic.exchange ps.idle_stack [])
+  List.iter (fun wid -> deliver_token ps.workers.(wid)) (Idle_waker.drain ps.idle)
+
+(* Targeted wake: worker [wid] has (or is about to get) work in its
+   private inbox; un-park it iff it is parked.  If it is running it
+   will find the inbox in [next_task]; if it is between our inbox push
+   and its own park publication, its post-publication re-check of the
+   inbox closes the Dekker handshake. *)
+let notify_worker ps wid =
+  if Idle_waker.take ps.idle wid then deliver_token ps.workers.(wid)
+
+(* Deliver a thunk to a specific worker's inbox from any thread.  With
+   a [batch], the notification is deferred and deduped per (scheduler,
+   worker) -- the reactor flushes once per poll tick. *)
+let push_targeted ps wid thunk (b : Wake.batch option) =
+  Mpsc_queue.push ps.workers.(wid).inbox thunk;
+  match b with
+  | None -> notify_worker ps wid
+  | Some b -> Wake.note b ~key:(ps.ps_uid, wid) (fun () -> notify_worker ps wid)
+
+let push_foreign ps thunk (b : Wake.batch option) =
+  Mpsc_queue.push ps.pinject thunk;
+  match b with
+  | None -> wake_one ps
+  | Some b -> Wake.note b ~key:(ps.ps_uid, -1) (fun () -> wake_one ps)
 
 (* Make a runnable continuation available: onto the local deque when
    called from a worker of this scheduler, otherwise (executor threads,
    foreign domains) onto the MPSC injection channel.  Either way one
    parked worker -- not all of them -- is woken. *)
 let pschedule ps thunk =
-  (match Domain.DLS.get pctx_key with
+  (match worker_ctx () with
   | Some c when c.ps == ps -> Atomic_deque.push c.w.deque thunk
   | _ -> Mpsc_queue.push ps.pinject thunk);
   wake_one ps
+
+(* Routed resume for parked fibers: a worker of this scheduler takes
+   its local deque (the classic path); any other thread honours the
+   [worker] hint -- the reactor passing the fiber's home worker --
+   falling back to the global injection channel. *)
+let presume ps thunk worker (b : Wake.batch option) =
+  match worker_ctx () with
+  | Some c when c.ps == ps && b = None ->
+      Atomic_deque.push c.w.deque thunk;
+      wake_one ps
+  | _ -> (
+      match worker with
+      | Some wid when wid >= 0 && wid < Array.length ps.workers ->
+          push_targeted ps wid thunk b
+      | _ -> push_foreign ps thunk b)
 
 let pstop ps =
   Atomic.set ps.stop true;
@@ -374,7 +460,7 @@ and phandle ps fb body =
                 (fun (k : (b, unit) continuation) ->
                   fb.state <- `Runnable;
                   let thunk () = pexec fb (fun () -> continue k ()) in
-                  match Domain.DLS.get pctx_key with
+                  match worker_ctx () with
                   | Some c when c.ps == ps ->
                       (* fast path: the worker's private overflow FIFO.
                          No atomics, no wake-up -- the owner drains it
@@ -392,8 +478,10 @@ and phandle ps fb body =
                 (fun (k : (b, unit) continuation) ->
                   fb.state <- `Suspended;
                   let tok =
-                    Wake.make (fun () ->
-                        pschedule ps (fun () -> pexec fb (fun () -> continue k ())))
+                    Wake.make_routed (fun worker batch ->
+                        presume ps
+                          (fun () -> pexec fb (fun () -> continue k ()))
+                          worker batch)
                   in
                   register tok)
           | Spawn body' ->
@@ -401,6 +489,16 @@ and phandle ps fb body =
                 (fun (k : (b, unit) continuation) ->
                   let child = pnew_fiber ps in
                   pschedule ps (fun () -> pexec child (fun () -> phandle ps child body'));
+                  continue k child)
+          | Spawn_on (wid, body') ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  let n = Array.length ps.workers in
+                  let wid = ((wid mod n) + n) mod n in
+                  let child = pnew_fiber ps in
+                  push_targeted ps wid
+                    (fun () -> pexec child (fun () -> phandle ps child body'))
+                    None;
                   continue k child)
           | Self -> Some (fun (k : (b, unit) continuation) -> continue k fb)
           | _ -> None);
@@ -431,6 +529,15 @@ let rand_below w bound =
    resume before later ones on this worker. *)
 let take_injected ps w =
   match Mpsc_queue.pop_all ps.pinject with
+  | [] -> None
+  | batch ->
+      List.iter (fun t -> Queue.push t w.overflow) batch;
+      Queue.take_opt w.overflow
+
+(* Drain the private inbox the same way: whole batch behind the
+   overflow FIFO, arrival order preserved. *)
+let take_inbox w =
+  match Mpsc_queue.pop_all w.inbox with
   | [] -> None
   | batch ->
       List.iter (fun t -> Queue.push t w.overflow) batch;
@@ -480,17 +587,20 @@ let next_task ps w =
   w.tick <- w.tick + 1;
   if w.tick mod fairness_interval = 0 then
     (* fairness tick: under a steady local load, give the injection
-       channel and the overflow FIFO a turn so external wake-ups and
-       parked yielders make progress *)
+       channel, the private inbox and the overflow FIFO a turn so
+       external wake-ups and parked yielders make progress *)
     match take_injected ps w with
     | Some _ as r -> r
     | None -> (
-        match Queue.take_opt w.overflow with
+        match take_inbox w with
         | Some _ as r -> r
         | None -> (
-            match Atomic_deque.pop w.deque with
+            match Queue.take_opt w.overflow with
             | Some _ as r -> r
-            | None -> try_steal ps w))
+            | None -> (
+                match Atomic_deque.pop w.deque with
+                | Some _ as r -> r
+                | None -> try_steal ps w)))
   else
     match Atomic_deque.pop w.deque with
     | Some _ as r -> r
@@ -498,44 +608,57 @@ let next_task ps w =
         match Queue.take_opt w.overflow with
         | Some _ as r -> r
         | None -> (
-            match take_injected ps w with
+            match take_inbox w with
             | Some _ as r -> r
-            | None -> try_steal ps w))
+            | None -> (
+                match take_injected ps w with
+                | Some _ as r -> r
+                | None -> try_steal ps w)))
 
 (* Work visible to OTHER workers: the injection channel and the deques.
    Private overflow FIFOs are excluded on purpose -- only the owner can
    run them, and the owner never parks while its own is non-empty
-   (next_task checks it on every path before returning None). *)
+   (next_task checks it on every path before returning None).  Private
+   inboxes are likewise excluded here; a parking worker checks its OWN
+   inbox via [parkable] below. *)
 let work_available ps =
   (not (Mpsc_queue.is_empty ps.pinject))
   || Array.exists (fun w -> not (Atomic_deque.is_empty w.deque)) ps.workers
+
+let parkable ps w =
+  (not (Atomic.get ps.stop))
+  && (not (work_available ps))
+  && Mpsc_queue.is_empty w.inbox
 
 (* The idle-KC policy (paper Table II): spin briefly (BUSYWAIT -- lowest
    wake latency), then park on the per-worker condvar (BLOCKING -- no
    burn).  Producers store work before reading the idle stack; parkers
    publish themselves on the stack before re-checking for work -- the
-   Dekker handshake that makes a lost wake-up impossible. *)
+   Dekker handshake that makes a lost wake-up impossible.  The same
+   handshake covers targeted deliveries: [push_targeted] pushes the
+   inbox first and reads the stack second, the parker publishes first
+   and re-reads its inbox second. *)
 let park ps w =
   let rec spin i =
-    if i > 0 && not (Atomic.get ps.stop) && not (work_available ps) then begin
+    if i > 0 && parkable ps w then begin
       Domain.cpu_relax ();
       spin (i - 1)
     end
   in
   spin spin_budget;
-  if (not (Atomic.get ps.stop)) && not (work_available ps) then begin
-    idle_push ps w.wid;
-    if Atomic.get ps.stop || work_available ps then begin
+  if parkable ps w then begin
+    Idle_waker.push ps.idle w.wid;
+    if not (parkable ps w) then begin
       (* work (or stop) arrived while we published ourselves: cancel
          the parking; if a waker already popped us, its token is in
          flight -- consume it instead of sleeping on it later *)
-      if not (idle_cancel ps w.wid) then await_token w
+      if not (Idle_waker.take ps.idle w.wid) then await_token w
     end
     else await_token w
   end
 
 let worker_loop ps w =
-  Domain.DLS.set pctx_key (Some { ps; w });
+  Domain.DLS.set pctx_key (Some { ps; w; tid = Thread.id (Thread.self ()) });
   let rec go () =
     if not (Atomic.get ps.stop) then begin
       (match next_task ps w with
@@ -591,7 +714,7 @@ let run_parallel ?domains ?on_stats main =
     | None -> Domain.recommended_domain_count ()
   in
   if domains < 1 then invalid_arg "Fiber.run_parallel: domains must be >= 1";
-  (match Domain.DLS.get pctx_key with
+  (match worker_ctx () with
   | Some _ -> invalid_arg "Fiber.run_parallel: already inside run_parallel"
   | None -> ());
   let ps = make_psched ~domains in
@@ -631,6 +754,7 @@ let run_parallel ?domains ?on_stats main =
   | None -> ()
 
 let spawn body = Effect.perform (Spawn body)
+let spawn_on ~worker body = Effect.perform (Spawn_on (worker, body))
 let yield () = Effect.perform Yield
 let self () = Effect.perform Self
 let id fb = fb.fid
@@ -661,17 +785,22 @@ let join fb =
     suspend (fun wake -> Completion.add_joiner fb.completion wake)
 
 let live () =
-  match Domain.DLS.get pctx_key with
+  match worker_ctx () with
   | Some c -> Atomic.get c.ps.plive
   | None -> (scheduler ()).live
 
 let worker_index () =
-  match Domain.DLS.get pctx_key with Some c -> Some c.w.wid | None -> None
+  match worker_ctx () with Some c -> Some c.w.wid | None -> None
+
+let num_workers () =
+  match worker_ctx () with
+  | Some c -> Some (Array.length c.ps.workers)
+  | None -> None
 
 (* Track an executor (original KC) for shutdown when the run ends;
    works under both engines. *)
 let register_executor e =
-  match Domain.DLS.get pctx_key with
+  match worker_ctx () with
   | Some c ->
       Mutex.lock c.ps.pexec_mutex;
       c.ps.pexecutors <- e :: c.ps.pexecutors;

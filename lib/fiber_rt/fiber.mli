@@ -65,6 +65,15 @@ val scheduler : unit -> scheduler
     {!run_parallel}, which has no [scheduler]). *)
 
 val spawn : (unit -> unit) -> fiber
+
+val spawn_on : worker:int -> (unit -> unit) -> fiber
+(** Spawn with placement: under {!run_parallel} the child starts on
+    worker [worker mod domains] (delivered to its private inbox — the
+    accept distributor of [lib/net] uses this to spread connection
+    handlers round-robin).  Placement is a start hint, not a pin: the
+    child may later migrate by stealing.  Under {!run} this is
+    {!spawn}. *)
+
 val yield : unit -> unit
 val self : unit -> fiber
 val id : fiber -> int
@@ -82,6 +91,31 @@ module Wake : sig
       waker won and the caller must treat the fiber as not-woken-by-us
       (e.g. report [`Timeout] only if the timer's fire returned
       [true]). *)
+
+  type batch
+  (** A single-owner accumulator of deferred wake notifications: only
+      the thread that created a batch may pass it to {!fire_to} or
+      {!flush} it.  The fired continuations are enqueued immediately;
+      the worker *notifications* (un-parking) are deduped per target
+      and delivered by {!flush} — the reactor flushes once per poll
+      tick, so N ready fds cost one notification per distinct worker
+      instead of N. *)
+
+  val batch : unit -> batch
+
+  val fire_to : ?worker:int -> ?batch:batch -> token -> bool
+  (** Like {!fire}, with routing: [worker] (when the token belongs to a
+      {!run_parallel} engine and the index is in range) delivers the
+      continuation to that worker's private inbox — the targeted-wake
+      fast path the reactor uses to resume a fiber on the domain that
+      parked it — instead of the global injection channel.  Out-of-range
+      or absent hints fall back to {!fire}'s routing.  The owner must
+      {!flush} the batch before blocking, or the notification — though
+      never the continuation — is delayed until the next flush. *)
+
+  val flush : batch -> unit
+  (** Deliver the deferred notifications recorded since the last flush.
+      Owner thread only. *)
 
   val is_fired : token -> bool
 end
@@ -105,8 +139,15 @@ val live : unit -> int
 val worker_index : unit -> int option
 (** Under {!run_parallel}, the index of the worker domain currently
     executing the caller ([Some 0 .. domains-1]); [None] under {!run}
-    or outside any engine.  A fiber that observes two different indices
-    across a suspension has migrated. *)
+    or outside any engine — including on OS threads merely sharing a
+    worker's domain (a reactor shard, an executor): the context is
+    keyed by thread identity, not just [Domain.DLS].  A fiber that
+    observes two different indices across a suspension has migrated. *)
+
+val num_workers : unit -> int option
+(** Under {!run_parallel}, the worker-domain count of the ambient run;
+    [None] elsewhere (same thread-identity rule as
+    {!worker_index}). *)
 
 val register_executor : Executor.t -> unit
 (** Track an executor (original KC) for shutdown when the ambient run

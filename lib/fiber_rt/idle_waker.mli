@@ -1,0 +1,28 @@
+(** The idle-worker Treiber stack of the parallel engine, factored out
+    so lib/check can recompile the production code against traced
+    atomics.  Invariant: removing an id — {!pop}, {!take}, {!drain} —
+    transfers the obligation to deliver exactly one wake token to that
+    worker; a worker cancelling its own parking uses {!take} on itself
+    and learns from the result whether a foreign token is in flight. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> int -> unit
+(** Publish a parking worker.  The caller must re-check for work after
+    pushing (the Dekker handshake with producers, who store work first
+    and read this stack second). *)
+
+val take : t -> int -> bool
+(** Remove a specific id: [true] iff this call removed it (the caller
+    now owes/owns that worker's wake token). *)
+
+val pop : t -> int option
+(** Remove the most recently parked id, if any. *)
+
+val drain : t -> int list
+(** Remove and return everything (stop/broadcast path). *)
+
+val snapshot : t -> int list
+(** Read-only view (membership checks on hot paths). *)

@@ -86,6 +86,17 @@ let blocking_in_fiber =
                   add ~loc "blocking call Thread.delay"
                     "use Reactor.sleep / Blt_rt.sleep, or run it coupled to \
                      the fiber's original KC"
+              (* the poller's C stubs release the OCaml runtime lock and
+                 park the calling THREAD in poll(2)/epoll_wait(2) -- as
+                 blocking as Unix.select to a worker domain *)
+              | [ "poll_stub" ] | [ "Poller"; "poll_stub" ] ->
+                  add ~loc "blocking call poll_stub (poll(2))"
+                    "only a reactor-shard thread may wait in the poller; \
+                     fibers go through Fiber_io/Reactor"
+              | [ "epoll_wait_stub" ] | [ "Poller"; "epoll_wait_stub" ] ->
+                  add ~loc "blocking call epoll_wait_stub (epoll_wait(2))"
+                    "only a reactor-shard thread may wait in the poller; \
+                     fibers go through Fiber_io/Reactor"
               | _ -> ());
         List.rev !acc);
   }

@@ -1,11 +1,15 @@
 /* C stubs for lib/net: a poll(2) binding (Unix.select caps file
- * descriptors at FD_SETSIZE=1024, far below the serving targets) and a
- * RLIMIT_NOFILE raiser so the echo bench can open thousands of sockets
- * without asking the user to fiddle with ulimit.
+ * descriptors at FD_SETSIZE=1024, far below the serving targets), an
+ * edge-triggered epoll binding with persistent kernel registration
+ * (the Linux serving backend -- no per-round interest walk at all), a
+ * SO_REUSEPORT setter for sharded accepting, and a RLIMIT_NOFILE
+ * raiser so the echo bench can open thousands of sockets without
+ * asking the user to fiddle with ulimit.
  *
  * The poll stub copies the interest arrays out of the OCaml heap,
  * releases the runtime lock for the syscall (the reactor thread must
  * not stall the domains), and writes revents back after reacquiring.
+ * The epoll_wait stub does the same with its output arrays.
  */
 
 #include <caml/mlvalues.h>
@@ -19,6 +23,11 @@
 #include <stdlib.h>
 #include <string.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
 
 /* Event bits shared with poller.ml -- keep in sync. */
 #define ULP_NET_IN 1
@@ -83,9 +92,150 @@ CAMLprim value ulp_net_poll(value v_fds, value v_events, value v_revents,
   CAMLreturn(Val_int(ret));
 }
 
+/* ---------------- epoll (Linux only) ----------------
+ *
+ * The OCaml side keeps an interest-mask mirror; registrations are
+ * persistent and edge-triggered (EPOLLET).  The linchpin making ET
+ * safe for the reactor's one-shot watches: every watch (re)arm issues
+ * EPOLL_CTL_MOD even when the mask is unchanged, and ep_modify
+ * re-polls the file -- so an edge consumed between a fiber's EAGAIN
+ * and its registration reaching the reactor is re-delivered as a
+ * catch-up event instead of being lost. */
+
+/* Does this build have epoll at all?  (Compile-time property surfaced
+ * at run time so `Auto` backend selection stays a plain OCaml if.) */
+CAMLprim value ulp_net_has_epoll(value v_unit)
+{
+  (void)v_unit;
+#ifdef __linux__
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+/* ulp_net_epoll_create () -> epfd (CLOEXEC); raises on failure. */
+CAMLprim value ulp_net_epoll_create(value v_unit)
+{
+  (void)v_unit;
+#ifdef __linux__
+  int epfd = epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) caml_failwith("ulp_net_epoll_create: epoll_create1 failed");
+  return Val_int(epfd);
+#else
+  caml_invalid_argument("ulp_net_epoll_create: epoll unsupported on this OS");
+#endif
+}
+
+/* ulp_net_epoll_ctl epfd op fd bits
+ *   op: 0 = ADD, 1 = MOD, 2 = DEL
+ *   bits: ULP_NET_IN / ULP_NET_OUT; EPOLLET + EPOLLRDHUP are always
+ *   added (the backend is edge-triggered by construction)
+ * Returns 0 on success, 1 on ENOENT, 2 on EEXIST (both are the
+ * fd-closed-and-reused races the OCaml mirror self-heals from), 3 on
+ * any other per-fd error (EBADF, EPERM: registration is gone/never
+ * possible -- the caller drops its mirror entry). */
+CAMLprim value ulp_net_epoll_ctl(value v_epfd, value v_op, value v_fd,
+                                 value v_bits)
+{
+#ifdef __linux__
+  struct epoll_event ev;
+  int op;
+  long bits = Long_val(v_bits);
+
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLET | EPOLLRDHUP;
+  if (bits & ULP_NET_IN) ev.events |= EPOLLIN;
+  if (bits & ULP_NET_OUT) ev.events |= EPOLLOUT;
+  ev.data.fd = (int)Long_val(v_fd);
+
+  switch (Int_val(v_op)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+
+  if (epoll_ctl(Int_val(v_epfd), op, (int)Long_val(v_fd), &ev) == 0)
+    return Val_int(0);
+  switch (errno) {
+  case ENOENT: return Val_int(1);
+  case EEXIST: return Val_int(2);
+  default: return Val_int(3);
+  }
+#else
+  (void)v_epfd; (void)v_op; (void)v_fd; (void)v_bits;
+  caml_invalid_argument("ulp_net_epoll_ctl: epoll unsupported on this OS");
+#endif
+}
+
+/* ulp_net_epoll_wait epfd out_fds out_revents maxevents timeout_ms
+ *   out_fds / out_revents: int arrays, length >= maxevents; the first
+ *   n entries are written (fd, ULP_NET bits).
+ * Returns n ready entries; -1 on EINTR (caller retries). */
+CAMLprim value ulp_net_epoll_wait(value v_epfd, value v_fds, value v_revents,
+                                  value v_max, value v_timeout_ms)
+{
+#ifdef __linux__
+  CAMLparam5(v_epfd, v_fds, v_revents, v_max, v_timeout_ms);
+  mlsize_t max = (mlsize_t)Long_val(v_max);
+  struct epoll_event *evs;
+  int n;
+  mlsize_t i;
+
+  if (max == 0 || Wosize_val(v_fds) < max || Wosize_val(v_revents) < max)
+    caml_invalid_argument("ulp_net_epoll_wait: maxevents exceeds array length");
+
+  evs = (struct epoll_event *)malloc(max * sizeof(struct epoll_event));
+  if (evs == NULL) caml_raise_out_of_memory();
+
+  caml_release_runtime_system();
+  n = epoll_wait(Int_val(v_epfd), evs, (int)max, Int_val(v_timeout_ms));
+  caml_acquire_runtime_system();
+
+  if (n < 0) {
+    int err = errno;
+    free(evs);
+    if (err == EINTR) CAMLreturn(Val_int(-1));
+    caml_invalid_argument("ulp_net_epoll_wait: epoll_wait failed");
+  }
+
+  for (i = 0; i < (mlsize_t)n; i++) {
+    long rev = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLRDHUP)) rev |= ULP_NET_IN;
+    if (evs[i].events & EPOLLOUT) rev |= ULP_NET_OUT;
+    if (evs[i].events & EPOLLERR) rev |= ULP_NET_ERR;
+    Store_field(v_fds, i, Val_long(evs[i].data.fd));
+    Store_field(v_revents, i, Val_long(rev));
+  }
+  free(evs);
+  CAMLreturn(Val_int(n));
+#else
+  (void)v_epfd; (void)v_fds; (void)v_revents; (void)v_max; (void)v_timeout_ms;
+  caml_invalid_argument("ulp_net_epoll_wait: epoll unsupported on this OS");
+#endif
+}
+
+/* ulp_net_set_reuseport fd -> whether SO_REUSEPORT was applied (false
+ * where the platform lacks it: the caller falls back to a single
+ * listener shared by every accept fiber). */
+CAMLprim value ulp_net_set_reuseport(value v_fd)
+{
+#ifdef SO_REUSEPORT
+  int one = 1;
+  if (setsockopt(Int_val(v_fd), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0)
+    return Val_true;
+  return Val_false;
+#else
+  (void)v_fd;
+  return Val_false;
+#endif
+}
+
 /* ulp_net_raise_nofile want
- * Raise the soft RLIMIT_NOFILE toward [want] (clamped to the hard
- * limit).  Returns the resulting soft limit, or -1 if it cannot even
+ * Raise the soft RLIMIT_NOFILE toward [want].  Privileged processes
+ * (CAP_SYS_RESOURCE) may raise the hard limit too, so try that first
+ * when [want] exceeds it; on EPERM fall back to clamping at the hard
+ * limit.  Returns the resulting soft limit, or -1 if it cannot even
  * be read. */
 CAMLprim value ulp_net_raise_nofile(value v_want)
 {
@@ -94,11 +244,19 @@ CAMLprim value ulp_net_raise_nofile(value v_want)
 
   if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
   if (rl.rlim_cur < want) {
-    rlim_t target = want;
-    if (rl.rlim_max != RLIM_INFINITY && target > rl.rlim_max)
-      target = rl.rlim_max;
-    rl.rlim_cur = target;
-    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    if (rl.rlim_max != RLIM_INFINITY && want > rl.rlim_max) {
+      struct rlimit grown = rl;
+      grown.rlim_cur = want;
+      grown.rlim_max = want;
+      if (setrlimit(RLIMIT_NOFILE, &grown) != 0) {
+        /* unprivileged: the hard limit stands, clamp to it */
+        rl.rlim_cur = rl.rlim_max;
+        (void)setrlimit(RLIMIT_NOFILE, &rl);
+      }
+    } else {
+      rl.rlim_cur = want;
+      (void)setrlimit(RLIMIT_NOFILE, &rl);
+    }
     if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
   }
   if (rl.rlim_cur > (rlim_t)Max_long) return Val_long(Max_long);

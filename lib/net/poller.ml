@@ -1,19 +1,41 @@
-(* The portable readiness-multiplexing seam of the reactor.
+(* The readiness-multiplexing seam of the reactor, now stateful: the
+   poller owns a persistent interest table ([set] mutates it, [wait]
+   consults it) instead of being handed a rebuilt interest list every
+   round -- the per-round array walk was the wall between one reactor
+   and 10k connections.
 
-   Two backends behind one [wait] call:
+   Three backends behind one [set]/[wait] pair:
 
-   - [`Poll]: the poll(2) C stub -- no FD_SETSIZE ceiling, the backend
-     the serving targets need (thousands of concurrent sockets).
-   - [`Select]: pure [Unix.select] -- runs anywhere the Unix library
-     does, but Unix.select rejects fds >= FD_SETSIZE (1024); kept as
-     the portable fallback and as an independent implementation to
-     cross-check the poll stub in tests.
+   - [`Epoll] (Linux, the [`Auto] choice there): persistent
+     edge-triggered kernel registration; [wait] costs O(ready), not
+     O(interest).  The lost-edge race -- data arriving between a
+     fiber's EAGAIN and its watch reaching the reactor, with the edge
+     already consumed -- is closed by issuing EPOLL_CTL_MOD on every
+     (re)arm even when the mask is unchanged: ep_modify re-polls the
+     file and queues a catch-up event if the condition currently
+     holds.  A closed fd leaves the kernel set automatically; the mask
+     mirror self-heals on the next [set] for a reused fd number
+     (EEXIST -> retry as MOD, ENOENT -> retry as ADD).
 
-   [wait] is stateless with respect to interest (the reactor owns the
-   interest table and passes the current set each round); the poller
-   only owns reusable scratch arrays for the poll backend. *)
+   - [`Poll]: the poll(2) C stub -- no FD_SETSIZE ceiling; compact
+     interest arrays maintained incrementally (index table +
+     swap-remove), so [set] is O(1) and [wait] passes the arrays
+     straight to the stub.  Kept as the portable Unix backend and as an
+     independent cross-check of epoll in tests.
 
-type backend = [ `Select | `Poll ]
+   - [`Select]: pure [Unix.select]; rejects fds >= FD_SETSIZE (1024)
+     but runs anywhere the Unix library does.  Its per-round event
+     coalescing reuses one scratch table instead of allocating a fresh
+     Hashtbl every wait (the fallback is allocation-light too).
+
+   Semantics shared by all three: [wait] reports events only for
+   currently-set interest; error/hang-up conditions count as
+   both-ready so the waiter's next syscall surfaces the real errno;
+   [set ~read:false ~write:false] drops interest (epoll keeps the
+   registration with an empty mask -- cheap MOD on rearm beats
+   DEL/ADD churn). *)
+
+type backend = [ `Select | `Poll | `Epoll ]
 
 type event = { fd : Unix.file_descr; readable : bool; writable : bool }
 
@@ -24,94 +46,270 @@ external poll_stub :
   int array -> int array -> int array -> int -> int -> int = "ulp_net_poll"
 
 external raise_nofile_stub : int -> int = "ulp_net_raise_nofile"
+external has_epoll_stub : unit -> bool = "ulp_net_has_epoll"
+external epoll_create_stub : unit -> int = "ulp_net_epoll_create"
+
+(* epfd op fd bits; op 0=ADD 1=MOD 2=DEL; returns 0 ok / 1 ENOENT /
+   2 EEXIST / 3 other *)
+external epoll_ctl_stub : int -> int -> int -> int -> int = "ulp_net_epoll_ctl"
+
+(* epfd out_fds out_revents maxevents timeout_ms -> n ready (-1 EINTR) *)
+external epoll_wait_stub :
+  int -> int array -> int array -> int -> int -> int = "ulp_net_epoll_wait"
+
+external set_reuseport_stub : int -> bool = "ulp_net_set_reuseport"
 
 (* Unix.file_descr is the raw fd int on Unix systems. *)
 external fd_int : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
 
 let ev_in = 1
 let ev_out = 2
 let ev_err = 4
 
-type t = {
-  backend : backend;
-  mutable fds : int array; (* poll scratch, grown geometrically *)
-  mutable events : int array;
-  mutable revents : int array;
+let epoll_available = has_epoll_stub ()
+let raise_nofile want = raise_nofile_stub want
+let set_reuseport fd = set_reuseport_stub (fd_int fd)
+
+(* ---------------- per-backend state ---------------- *)
+
+type select_state = {
+  sel_interest : (int, Unix.file_descr * bool * bool) Hashtbl.t;
+  sel_scratch : (int, Unix.file_descr * bool * bool) Hashtbl.t;
+      (* reused per-round coalescing table; cleared after each wait *)
 }
+
+type poll_state = {
+  mutable pfds : int array; (* compact: entries 0..pn-1 are live *)
+  mutable pevents : int array;
+  mutable previents : int array;
+  mutable pn : int;
+  pindex : (int, int) Hashtbl.t; (* raw fd -> slot, for O(1) set *)
+}
+
+type epoll_state = {
+  epfd : int;
+  masks : (int, int) Hashtbl.t; (* mirror: registered fd -> mask *)
+  mutable efds : int array; (* wait output scratch, grown on saturation *)
+  mutable erevents : int array;
+}
+
+type repr = Sel of select_state | Pol of poll_state | Epl of epoll_state
+
+type t = { backend : backend; repr : repr; mutable closed : bool }
 
 let create ?(backend = `Auto) () =
   let backend =
     match backend with
     | `Select -> `Select
     | `Poll -> `Poll
-    | `Auto -> if Sys.unix then `Poll else `Select
+    | `Epoll ->
+        if epoll_available then `Epoll
+        else invalid_arg "Poller.create: epoll unavailable on this platform"
+    | `Auto ->
+        if epoll_available then `Epoll else if Sys.unix then `Poll else `Select
   in
-  { backend; fds = [||]; events = [||]; revents = [||] }
+  let repr =
+    match backend with
+    | `Select ->
+        Sel
+          {
+            sel_interest = Hashtbl.create 64;
+            sel_scratch = Hashtbl.create 64;
+          }
+    | `Poll ->
+        Pol
+          {
+            pfds = [||];
+            pevents = [||];
+            previents = [||];
+            pn = 0;
+            pindex = Hashtbl.create 64;
+          }
+    | `Epoll ->
+        Epl
+          {
+            epfd = epoll_create_stub ();
+            masks = Hashtbl.create 64;
+            efds = Array.make 256 0;
+            erevents = Array.make 256 0;
+          }
+  in
+  { backend; repr; closed = false }
 
 let backend t = t.backend
 
-let raise_nofile want = raise_nofile_stub want
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.repr with
+    | Epl st -> ( try Unix.close (fd_of_int st.epfd) with Unix.Unix_error _ -> ())
+    | Sel _ | Pol _ -> ()
+  end
 
-let wait_select ~interest ~timeout_ms =
-  let rd = List.filter_map (fun (fd, r, _) -> if r then Some fd else None) interest in
-  let wr = List.filter_map (fun (fd, _, w) -> if w then Some fd else None) interest in
+(* ---------------- set: interest maintenance ---------------- *)
+
+let set_select st fd ~read ~write =
+  let key = fd_int fd in
+  if read || write then Hashtbl.replace st.sel_interest key (fd, read, write)
+  else Hashtbl.remove st.sel_interest key
+
+let grow_poll st need =
+  if Array.length st.pfds < need then begin
+    let cap = max 64 (max need (2 * Array.length st.pfds)) in
+    let copy a = Array.init cap (fun i -> if i < st.pn then a.(i) else 0) in
+    st.pfds <- copy st.pfds;
+    st.pevents <- copy st.pevents;
+    st.previents <- Array.make cap 0
+  end
+
+let set_poll st fd ~read ~write =
+  let key = fd_int fd in
+  let mask = (if read then ev_in else 0) lor if write then ev_out else 0 in
+  match Hashtbl.find_opt st.pindex key with
+  | Some i ->
+      if mask = 0 then begin
+        (* swap-remove keeps the live prefix compact *)
+        let last = st.pn - 1 in
+        Hashtbl.remove st.pindex key;
+        if i <> last then begin
+          let lfd = st.pfds.(last) in
+          st.pfds.(i) <- lfd;
+          st.pevents.(i) <- st.pevents.(last);
+          Hashtbl.replace st.pindex lfd i
+        end;
+        st.pn <- last
+      end
+      else st.pevents.(i) <- mask
+  | None ->
+      if mask <> 0 then begin
+        grow_poll st (st.pn + 1);
+        st.pfds.(st.pn) <- key;
+        st.pevents.(st.pn) <- mask;
+        Hashtbl.replace st.pindex key st.pn;
+        st.pn <- st.pn + 1
+      end
+
+let set_epoll st fd ~read ~write =
+  let key = fd_int fd in
+  let mask = (if read then ev_in else 0) lor if write then ev_out else 0 in
+  let registered = Hashtbl.mem st.masks key in
+  (* Always issue the ctl, even when the mirror says the mask is
+     unchanged: under EPOLLET the MOD's readiness re-check is what
+     redelivers an edge consumed before this watch registered. *)
+  let rec ctl op =
+    match epoll_ctl_stub st.epfd op key mask with
+    | 0 -> Hashtbl.replace st.masks key mask
+    | 1 (* ENOENT *) ->
+        if op = 1 then ctl 0 (* mirror was stale: fd closed + reused *)
+        else Hashtbl.remove st.masks key
+    | 2 (* EEXIST *) -> ctl 1
+    | _ ->
+        (* EBADF and friends: the fd is gone; nothing is registered *)
+        Hashtbl.remove st.masks key
+  in
+  ctl (if registered then 1 else 0)
+
+let set t fd ~read ~write =
+  match t.repr with
+  | Sel st -> set_select st fd ~read ~write
+  | Pol st -> set_poll st fd ~read ~write
+  | Epl st -> set_epoll st fd ~read ~write
+
+(* ---------------- wait ---------------- *)
+
+let wait_select st ~timeout_ms =
+  let rd, wr =
+    Hashtbl.fold
+      (fun _ (fd, r, w) (rd, wr) ->
+        ((if r then fd :: rd else rd), if w then fd :: wr else wr))
+      st.sel_interest ([], [])
+  in
   let timeout = if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0 in
   (* ulplint: allow blocking-in-fiber -- the poller IS the blocking point: it runs on the dedicated reactor thread, never on a worker domain *)
   match Unix.select rd wr [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
   | ready_r, ready_w, _ ->
-      (* coalesce per fd so a read+write-ready socket yields one event *)
-      let tbl = Hashtbl.create 16 in
+      (* coalesce per fd so a read+write-ready socket yields one event;
+         the scratch table is reused across rounds (cleared on exit) so
+         the fallback backend allocates no table per wait *)
+      let tbl = st.sel_scratch in
       let note fd readable writable =
+        let key = fd_int fd in
         let r0, w0 =
-          match Hashtbl.find_opt tbl fd with Some p -> p | None -> (false, false)
+          match Hashtbl.find_opt tbl key with
+          | Some (_, r, w) -> (r, w)
+          | None -> (false, false)
         in
-        Hashtbl.replace tbl fd (r0 || readable, w0 || writable)
+        Hashtbl.replace tbl key (fd, r0 || readable, w0 || writable)
       in
       List.iter (fun fd -> note fd true false) ready_r;
       List.iter (fun fd -> note fd false true) ready_w;
-      Hashtbl.fold
-        (fun fd (readable, writable) acc -> { fd; readable; writable } :: acc)
-        tbl []
+      let evs =
+        Hashtbl.fold
+          (fun _ (fd, readable, writable) acc -> { fd; readable; writable } :: acc)
+          tbl []
+      in
+      Hashtbl.clear tbl;
+      evs
 
-let ensure_capacity t n =
-  if Array.length t.fds < n then begin
-    let cap = max 64 (max n (2 * Array.length t.fds)) in
-    t.fds <- Array.make cap 0;
-    t.events <- Array.make cap 0;
-    t.revents <- Array.make cap 0
-  end
-
-let wait_poll t ~interest ~timeout_ms =
-  let n = List.length interest in
-  ensure_capacity t n;
-  List.iteri
-    (fun i (fd, r, w) ->
-      t.fds.(i) <- fd_int fd;
-      t.events.(i) <- (if r then ev_in else 0) lor (if w then ev_out else 0);
-      t.revents.(i) <- 0)
-    interest;
-  match poll_stub t.fds t.events t.revents n (max timeout_ms (-1)) with
+let wait_poll st ~timeout_ms =
+  (* ulplint: allow blocking-in-fiber -- the poller IS the blocking point: it runs on a dedicated reactor-shard thread, never on a worker domain *)
+  match poll_stub st.pfds st.pevents st.previents st.pn (max timeout_ms (-1)) with
   | -1 (* EINTR *) | 0 -> []
   | _ ->
       let acc = ref [] in
-      List.iteri
-        (fun i (fd, _, _) ->
-          let rev = t.revents.(i) in
-          if rev <> 0 then
-            (* error/hangup counts as both-ready: the waiter's next
-               syscall surfaces the actual errno *)
-            acc :=
-              {
-                fd;
-                readable = rev land (ev_in lor ev_err) <> 0;
-                writable = rev land (ev_out lor ev_err) <> 0;
-              }
-              :: !acc)
-        interest;
+      for i = 0 to st.pn - 1 do
+        let rev = st.previents.(i) in
+        if rev <> 0 then
+          (* error/hangup counts as both-ready: the waiter's next
+             syscall surfaces the actual errno *)
+          acc :=
+            {
+              fd = fd_of_int st.pfds.(i);
+              readable = rev land (ev_in lor ev_err) <> 0;
+              writable = rev land (ev_out lor ev_err) <> 0;
+            }
+            :: !acc
+      done;
       !acc
 
-let wait t ~interest ~timeout_ms =
-  match t.backend with
-  | `Select -> wait_select ~interest ~timeout_ms
-  | `Poll -> wait_poll t ~interest ~timeout_ms
+let wait_epoll st ~timeout_ms =
+  let cap = Array.length st.efds in
+  (* ulplint: allow blocking-in-fiber -- the poller IS the blocking point: each reactor shard's thread waits here; worker domains never enter epoll_wait *)
+  match epoll_wait_stub st.epfd st.efds st.erevents cap (max timeout_ms (-1)) with
+  | -1 (* EINTR *) -> []
+  | n ->
+      let acc = ref [] in
+      for i = 0 to n - 1 do
+        let rev = st.erevents.(i) in
+        acc :=
+          {
+            fd = fd_of_int st.efds.(i);
+            readable = rev land (ev_in lor ev_err) <> 0;
+            writable = rev land (ev_out lor ev_err) <> 0;
+          }
+          :: !acc
+      done;
+      (* saturated output: give the next round more room (events left
+         behind are redelivered -- the ready list persists until the
+         edge is consumed by a level change or MOD) *)
+      if n = cap then begin
+        st.efds <- Array.make (2 * cap) 0;
+        st.erevents <- Array.make (2 * cap) 0
+      end;
+      !acc
+
+let wait t ~timeout_ms =
+  match t.repr with
+  | Sel st -> wait_select st ~timeout_ms
+  | Pol st -> wait_poll st ~timeout_ms
+  | Epl st -> wait_epoll st ~timeout_ms
+
+(* Test/diagnostic hook: the number of fds currently under interest
+   (epoll counts registered fds with a non-empty mask). *)
+let interest_count t =
+  match t.repr with
+  | Sel st -> Hashtbl.length st.sel_interest
+  | Pol st -> st.pn
+  | Epl st -> Hashtbl.fold (fun _ m acc -> if m <> 0 then acc + 1 else acc) st.masks 0

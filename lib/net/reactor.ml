@@ -1,24 +1,30 @@
-(* The reactor: one dedicated OS thread multiplexing kernel fds and
-   deadlines for every fiber of the ambient runtime.
+(* The reactor: OS threads multiplexing kernel fds and deadlines for
+   every fiber of the ambient runtime -- now sharded, one reactor
+   thread (and one poller) per shard, so the serving stack stops
+   funneling every readiness event through a single thread.
 
    Division of labour (the Fig. 8 overlap, for real): worker domains
-   never sit in select/poll -- they run fibers.  A fiber that would
-   block parks on a [Fiber.Wake] token; the reactor thread waits in the
-   poller and, on readiness or deadline, fires the token, which routes
-   the continuation back into the schedulers through the existing
-   foreign-thread injection path (MPSC [pinject] + targeted
-   wake-one).  So KCs (here: the reactor and the executors) block in
-   the kernel while UCs keep computing -- the paper's decoupled model
-   with the poller held out of the workers' hot path.
+   never sit in epoll/poll/select -- they run fibers.  A fiber that
+   would block parks on a [Fiber.Wake] token; a reactor shard waits in
+   its poller and, on readiness or deadline, fires the token.  The
+   paper's KC/UC split says nothing about there being only ONE polling
+   KC, so there are [shards] of them: a watch is assigned at await
+   time to the shard affine to the calling worker ([worker mod
+   shards]), and the wake is routed back to that worker's private
+   inbox ([Fiber.Wake.fire_to ~worker]) instead of the global MPSC
+   injection channel -- the continuation resumes on the domain whose
+   cache already holds the fiber.  Within one poll tick the shard
+   accumulates wakes in a [Fiber.Wake.batch] and flushes once: N ready
+   fds cost one un-park notification per distinct worker, not N.
 
-   Communication into the reactor is lock-free: an MPSC command queue
-   plus a self-pipe poke (a coalescing atomic flag keeps it to one
-   written byte per quiet period).  Readiness handshakes go through
+   Communication into a shard is lock-free: an MPSC command queue plus
+   a self-pipe poke (a coalescing atomic flag keeps it to one written
+   byte per quiet period).  Readiness handshakes go through
    [Readiness] cells -- the CAS protocol that makes the
-   register-vs-wake race safe (model-checked in lib/check).  Deadlines
-   live in the hierarchical [Timer_wheel]; cancellation races fire by
-   CAS, so [with_timeout] vs completing I/O resolves to exactly one
-   verdict. *)
+   register-vs-wake race safe (model-checked in lib/check, including
+   the cross-shard rebind of an fd).  Deadlines live in a per-shard
+   hierarchical [Timer_wheel]; cancellation races fire by CAS, so
+   [with_timeout] vs completing I/O resolves to exactly one verdict. *)
 
 module Fiber = Fiber_rt.Fiber
 module Mpsc = Fiber_rt.Mpsc_queue
@@ -30,29 +36,40 @@ type watch = { wfd : Unix.file_descr; wdir : dir; cell : Readiness.t }
 type cmd = Watch of watch | Unwatch of watch | Add_timer of Timer_wheel.timer
 
 type stats = {
-  polls : int;  (** poller wait rounds *)
+  polls : int;  (** poller wait rounds, summed over shards *)
   wakeups : int;  (** readiness posts that woke a waiter *)
   timers_fired : int;
   commands : int;
   errors : int;  (** reactor-loop rounds rescued by the fallback wake *)
+  shards : int;
 }
 
-type t = {
+type shard = {
+  sid : int;
   poller : Poller.t;
   cmds : cmd Mpsc.t;
   poked : bool Atomic.t; (* a poke byte is already in the pipe *)
   pipe_r : Unix.file_descr;
   pipe_w : Unix.file_descr;
+  batch : Fiber.Wake.batch;
+      (* owned by the shard thread: waiters fired during a poll tick
+         defer their worker notifications here; flushed once per tick *)
+  mutable tid : int; (* the shard thread's id, written at loop start *)
+  mutable thread : Thread.t option;
+}
+
+type t = {
+  shards : shard array;
+  rr : int Atomic.t; (* round-robin for callers with no worker affinity *)
   stopping : bool Atomic.t;
   tick_s : float;
   epoch : float; (* wall clock of wheel tick 0 *)
-  (* counters: written by the reactor thread, read by anyone *)
+  (* counters: written by shard threads, read by anyone *)
   n_polls : int Atomic.t;
   n_wakeups : int Atomic.t;
   n_timers : int Atomic.t;
   n_cmds : int Atomic.t;
   n_errors : int Atomic.t;
-  mutable thread : Thread.t option;
 }
 
 let now () = Fiber_rt.Clock.now ()
@@ -70,29 +87,54 @@ let tick_of t time =
    claims a tick whose wall-clock window is still open. *)
 let current_tick t = int_of_float ((now () -. t.epoch) /. t.tick_s)
 
-let send t cmd =
-  Mpsc.push t.cmds cmd;
-  if not (Atomic.exchange t.poked true) then
-    (* first poke since the reactor last drained: one byte suffices *)
+let send sh cmd =
+  Mpsc.push sh.cmds cmd;
+  if not (Atomic.exchange sh.poked true) then
+    (* first poke since the shard last drained: one byte suffices *)
     (* ulplint: allow blocking-in-fiber -- self-pipe poke: pipe_w is O_NONBLOCK, a full pipe returns EAGAIN instead of blocking *)
-    try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
+    try ignore (Unix.write sh.pipe_w (Bytes.make 1 '!') 0 1)
     with Unix.Unix_error _ -> ()
 
-(* ---------------- the reactor thread ---------------- *)
+(* The shard a watch from this calling context lands on: worker w of
+   the parallel runtime maps to shard [w mod shards] (with shards =
+   domains this is the one-reactor-per-domain topology); callers with
+   no affinity -- the single-threaded engine, foreign threads -- are
+   spread round-robin. *)
+let shard_for t =
+  let n = Array.length t.shards in
+  if n = 1 then t.shards.(0)
+  else
+    match Fiber.worker_index () with
+    | Some w -> t.shards.(w mod n)
+    | None -> t.shards.(Atomic.fetch_and_add t.rr 1 mod n)
+
+(* Fire a wake token with routing: back to the awaiting fiber's home
+   worker, batched when we are on the shard's own thread (the poll-tick
+   dispatch path -- flushed before the next poller wait).  Off-thread
+   invocations (the Was_ready fast path on a worker, shutdown stragglers
+   after the shard joined) must not touch the single-owner batch. *)
+let fire_routed sh home tok =
+  if Thread.id (Thread.self ()) = sh.tid then
+    ignore (Fiber.Wake.fire_to ?worker:home ~batch:sh.batch tok)
+  else ignore (Fiber.Wake.fire_to ?worker:home tok)
+
+(* ---------------- the shard threads ---------------- *)
 
 type state = {
   r : t;
+  sh : shard;
   wheel : Timer_wheel.t;
   interest : (int, watch list) Hashtbl.t; (* raw fd -> live watches *)
 }
 
 external fd_int : Unix.file_descr -> int = "%identity"
+external fd_of_int : int -> Unix.file_descr = "%identity"
 
 let drain_pipe st =
   let buf = Bytes.create 64 in
   let rec go () =
     (* ulplint: allow blocking-in-fiber -- draining the O_NONBLOCK self-pipe on the reactor thread; EAGAIN ends the loop *)
-    match Unix.read st.r.pipe_r buf 0 64 with
+    match Unix.read st.sh.pipe_r buf 0 64 with
     | 64 -> go ()
     | _ -> ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
@@ -105,6 +147,20 @@ let post_watch st w =
   | `Woke -> Atomic.incr st.r.n_wakeups
   | `Memo | `Already -> ()
 
+(* Push the union mask of [key]'s live watches into the poller.  Called
+   on EVERY watch arm -- even an unchanged mask -- because the epoll
+   backend's MOD re-checks readiness, which is what redelivers an edge
+   consumed before this watch registered. *)
+let sync_poller st key =
+  match Hashtbl.find_opt st.interest key with
+  | None | Some [] ->
+      Hashtbl.remove st.interest key;
+      Poller.set st.sh.poller (fd_of_int key) ~read:false ~write:false
+  | Some ws ->
+      let r = List.exists (fun w -> w.wdir = `R) ws in
+      let wr = List.exists (fun w -> w.wdir = `W) ws in
+      Poller.set st.sh.poller (fd_of_int key) ~read:r ~write:wr
+
 let run_commands st =
   List.iter
     (fun cmd ->
@@ -112,36 +168,28 @@ let run_commands st =
       match cmd with
       | Watch w ->
           if Atomic.get st.r.stopping then post_watch st w
-          else
+          else begin
             let key = fd_int w.wfd in
             let cur = Option.value ~default:[] (Hashtbl.find_opt st.interest key) in
-            Hashtbl.replace st.interest key (w :: cur)
+            Hashtbl.replace st.interest key (w :: cur);
+            sync_poller st key
+          end
       | Unwatch w -> (
           let key = fd_int w.wfd in
           match Hashtbl.find_opt st.interest key with
           | None -> ()
-          | Some ws -> (
-              match List.filter (fun w' -> w'.cell != w.cell) ws with
+          | Some ws ->
+              (match List.filter (fun w' -> w'.cell != w.cell) ws with
               | [] -> Hashtbl.remove st.interest key
-              | ws' -> Hashtbl.replace st.interest key ws'))
+              | ws' -> Hashtbl.replace st.interest key ws');
+              sync_poller st key)
       | Add_timer tm ->
           (* during shutdown the post-loop [fire_all] sweep resolves it *)
           Timer_wheel.add st.wheel tm)
-    (Mpsc.pop_all st.r.cmds)
-
-let interest_list st =
-  Hashtbl.fold
-    (fun _ ws acc ->
-      match ws with
-      | [] -> acc
-      | { wfd; _ } :: _ ->
-          let r = List.exists (fun w -> w.wdir = `R) ws in
-          let wr = List.exists (fun w -> w.wdir = `W) ws in
-          (wfd, r, wr) :: acc)
-    st.interest []
+    (Mpsc.pop_all st.sh.cmds)
 
 let dispatch_event st (ev : Poller.event) =
-  if fd_int ev.fd = fd_int st.r.pipe_r then drain_pipe st
+  if fd_int ev.fd = fd_int st.sh.pipe_r then drain_pipe st
   else
     let key = fd_int ev.fd in
     match Hashtbl.find_opt st.interest key with
@@ -152,16 +200,23 @@ let dispatch_event st (ev : Poller.event) =
         in
         let woken, kept = List.partition fires ws in
         List.iter (post_watch st) woken;
-        (match kept with
-        | [] -> Hashtbl.remove st.interest key
-        | ws' -> Hashtbl.replace st.interest key ws')
+        if woken <> [] then begin
+          (match kept with
+          | [] -> Hashtbl.remove st.interest key
+          | ws' -> Hashtbl.replace st.interest key ws');
+          sync_poller st key
+        end
 
 (* Last resort when a poller round dies (e.g. a watched fd was closed
-   under select): wake every waiter spuriously; each retries its
-   syscall and surfaces its own errno. *)
+   under select): wake every waiter of this shard spuriously; each
+   retries its syscall and surfaces its own errno. *)
 let wake_everyone st =
   Atomic.incr st.r.n_errors;
-  Hashtbl.iter (fun _ ws -> List.iter (post_watch st) ws) st.interest;
+  Hashtbl.iter
+    (fun key ws ->
+      List.iter (post_watch st) ws;
+      Poller.set st.sh.poller (fd_of_int key) ~read:false ~write:false)
+    st.interest;
   Hashtbl.reset st.interest
 
 let poll_timeout_ms st =
@@ -171,22 +226,28 @@ let poll_timeout_ms st =
       let dt = float_of_int (tick - Timer_wheel.now st.wheel) *. st.r.tick_s in
       min max_idle_ms (max 0 (int_of_float (ceil (dt *. 1000.))))
 
-let reactor_loop st =
+let shard_loop st =
+  st.sh.tid <- Thread.id (Thread.self ());
+  Poller.set st.sh.poller st.sh.pipe_r ~read:true ~write:false;
   while not (Atomic.get st.r.stopping) do
     (try
        (* consume the poke before draining, so a poke raced with the
           drain leaves a byte for the next round rather than vanishing *)
-       Atomic.set st.r.poked false;
+       Atomic.set st.sh.poked false;
        drain_pipe st;
        run_commands st;
        let fired = Timer_wheel.advance st.wheel ~now:(current_tick st.r) in
        if fired > 0 then ignore (Atomic.fetch_and_add st.r.n_timers fired);
-       let interest = (st.r.pipe_r, true, false) :: interest_list st in
        let timeout_ms = poll_timeout_ms st in
        Atomic.incr st.r.n_polls;
-       let events = Poller.wait st.r.poller ~interest ~timeout_ms in
-       List.iter (dispatch_event st) events
-     with _ -> wake_everyone st)
+       let events = Poller.wait st.sh.poller ~timeout_ms in
+       List.iter (dispatch_event st) events;
+       (* one flush per tick: deliver the batched worker notifications
+          before blocking again *)
+       Fiber.Wake.flush st.sh.batch
+     with _ ->
+       wake_everyone st;
+       Fiber.Wake.flush st.sh.batch)
   done;
   (* shutdown: nothing may stay parked on us.  Post every cell and run
      every still-pending timer action (each action re-checks its own
@@ -195,21 +256,34 @@ let reactor_loop st =
   Hashtbl.iter (fun _ ws -> List.iter (post_watch st) ws) st.interest;
   Hashtbl.reset st.interest;
   let swept = Timer_wheel.fire_all st.wheel in
-  if swept > 0 then ignore (Atomic.fetch_and_add st.r.n_timers swept)
+  if swept > 0 then ignore (Atomic.fetch_and_add st.r.n_timers swept);
+  Fiber.Wake.flush st.sh.batch;
+  Poller.close st.sh.poller
 
 (* ---------------- lifecycle ---------------- *)
 
-let create ?backend ?(tick_s = 0.001) () =
-  let pipe_r, pipe_w = Unix.pipe () in
-  Unix.set_nonblock pipe_r;
-  Unix.set_nonblock pipe_w;
-  let t =
+let create ?backend ?(shards = 1) ?(tick_s = 0.001) () =
+  if shards < 1 then invalid_arg "Reactor.create: shards must be >= 1";
+  let mk_shard sid =
+    let pipe_r, pipe_w = Unix.pipe () in
+    Unix.set_nonblock pipe_r;
+    Unix.set_nonblock pipe_w;
     {
+      sid;
       poller = Poller.create ?backend ();
       cmds = Mpsc.create ();
       poked = Atomic.make false;
       pipe_r;
       pipe_w;
+      batch = Fiber.Wake.batch ();
+      tid = -1;
+      thread = None;
+    }
+  in
+  let t =
+    {
+      shards = Array.init shards mk_shard;
+      rr = Atomic.make 0;
       stopping = Atomic.make false;
       tick_s;
       epoch = now ();
@@ -218,14 +292,19 @@ let create ?backend ?(tick_s = 0.001) () =
       n_timers = Atomic.make 0;
       n_cmds = Atomic.make 0;
       n_errors = Atomic.make 0;
-      thread = None;
     }
   in
-  let st = { r = t; wheel = Timer_wheel.create (); interest = Hashtbl.create 64 } in
-  t.thread <- Some (Thread.create reactor_loop st);
+  Array.iter
+    (fun sh ->
+      let st =
+        { r = t; sh; wheel = Timer_wheel.create (); interest = Hashtbl.create 64 }
+      in
+      sh.thread <- Some (Thread.create shard_loop st))
+    t.shards;
   t
 
-let backend t = Poller.backend t.poller
+let backend t = Poller.backend t.shards.(0).poller
+let shard_count t = Array.length t.shards
 
 let stats t =
   {
@@ -234,27 +313,37 @@ let stats t =
     timers_fired = Atomic.get t.n_timers;
     commands = Atomic.get t.n_cmds;
     errors = Atomic.get t.n_errors;
+    shards = Array.length t.shards;
   }
 
 let shutdown t =
   if not (Atomic.exchange t.stopping true) then begin
-    (* direct poke: the coalescing flag may already be true *)
-    (* ulplint: allow blocking-in-fiber -- shutdown poke on the O_NONBLOCK self-pipe; EAGAIN means a poke is already pending *)
-    (try ignore (Unix.write t.pipe_w (Bytes.make 1 '!') 0 1)
-     with Unix.Unix_error _ -> ());
-    (match t.thread with Some th -> Thread.join th | None -> ());
-    t.thread <- None;
-    (* commands that raced the thread's final drain: resolve here so no
+    Array.iter
+      (fun sh ->
+        (* direct poke: the coalescing flag may already be true *)
+        (* ulplint: allow blocking-in-fiber -- shutdown poke on the O_NONBLOCK self-pipe; EAGAIN means a poke is already pending *)
+        try ignore (Unix.write sh.pipe_w (Bytes.make 1 '!') 0 1)
+        with Unix.Unix_error _ -> ())
+      t.shards;
+    Array.iter
+      (fun sh ->
+        (match sh.thread with Some th -> Thread.join th | None -> ());
+        sh.thread <- None)
+      t.shards;
+    (* commands that raced a shard's final drain: resolve here so no
        fiber stays parked on a dead reactor *)
-    List.iter
-      (fun cmd ->
-        match cmd with
-        | Watch w -> ignore (Readiness.post w.cell)
-        | Unwatch _ -> ()
-        | Add_timer tm -> ignore (Timer_wheel.fire tm))
-      (Mpsc.pop_all t.cmds);
-    Unix.close t.pipe_r;
-    Unix.close t.pipe_w
+    Array.iter
+      (fun sh ->
+        List.iter
+          (fun cmd ->
+            match cmd with
+            | Watch w -> ignore (Readiness.post w.cell)
+            | Unwatch _ -> ()
+            | Add_timer tm -> ignore (Timer_wheel.fire tm))
+          (Mpsc.pop_all sh.cmds);
+        Unix.close sh.pipe_r;
+        Unix.close sh.pipe_w)
+      t.shards
   end
 
 (* ---------------- fiber-side waits ---------------- *)
@@ -266,16 +355,19 @@ let check_live t = if Atomic.get t.stopping then raise Reactor_stopped
 (* Wait until [fd] is ready in direction [dir], or [deadline] (absolute
    wall-clock seconds) passes.  The two wakers race on [verdict]; the
    CAS winner fires the fiber's wake token, the loser's effect is
-   dropped. *)
+   dropped.  The watch goes to the shard affine to this worker and the
+   wake is routed back to this worker's inbox. *)
 let await_fd t ?deadline fd dir =
   check_live t;
+  let sh = shard_for t in
+  let home = Fiber.worker_index () in
   let verdict = Atomic.make `None in
   let cell = Readiness.create () in
   let timer = ref None in
   Fiber.suspend_token (fun tok ->
       let waiter () =
         if Atomic.compare_and_set verdict `None `Ready then
-          ignore (Fiber.Wake.fire tok)
+          fire_routed sh home tok
       in
       (match Readiness.await cell waiter with
       | `Registered | `Was_ready -> ());
@@ -288,16 +380,16 @@ let await_fd t ?deadline fd dir =
                   ignore (Fiber.Wake.fire tok))
           in
           timer := Some tm;
-          send t (Add_timer tm));
-      send t (Watch { wfd = fd; wdir = dir; cell }));
+          send sh (Add_timer tm));
+      send sh (Watch { wfd = fd; wdir = dir; cell }));
   match Atomic.get verdict with
   | `Ready ->
       (match !timer with Some tm -> ignore (Timer_wheel.cancel tm) | None -> ());
       `Ready
   | `Timeout ->
-      (* the registration is dead: reclaim it (the reactor drops the
+      (* the registration is dead: reclaim it (the shard drops the
          table entry; clear covers a post that raced the timeout) *)
-      send t (Unwatch { wfd = fd; wdir = dir; cell });
+      send sh (Unwatch { wfd = fd; wdir = dir; cell });
       Readiness.clear cell;
       `Timeout
   | `None -> assert false
@@ -310,7 +402,7 @@ let sleep_until t time =
           Timer_wheel.make ~at:(tick_of t time) (fun () ->
               ignore (Fiber.Wake.fire tok))
         in
-        send t (Add_timer tm))
+        send (shard_for t) (Add_timer tm))
 
 let sleep t seconds = sleep_until t (now () +. seconds)
 
@@ -342,7 +434,7 @@ let with_timeout t ~seconds f =
     Timer_wheel.make ~at:(tick_of t deadline) (fun () ->
         if Atomic.compare_and_set verdict `None `Timeout then try_wake ())
   in
-  send t (Add_timer tm);
+  send (shard_for t) (Add_timer tm);
   Fiber.suspend_token (fun tok ->
       Atomic.set tok_cell (Some tok);
       (* the race may already be decided: then nobody saw the token *)

@@ -1,15 +1,19 @@
-(** The reactor: a dedicated OS thread multiplexing kernel fds and
-    deadlines for every fiber of the ambient runtime.
+(** The reactor: dedicated OS threads — one per shard — multiplexing
+    kernel fds and deadlines for every fiber of the ambient runtime.
 
-    Worker domains never sit in select/poll — they keep running fibers
-    (the paper's decoupled UCs).  A fiber that would block parks on a
-    {!Fiber_rt.Fiber.Wake} token; the reactor waits in the {!Poller}
-    and, on readiness or deadline, fires the token, which re-injects
-    the continuation through the runtime's foreign-thread MPSC path.
-    Readiness handshakes use the {!Readiness} CAS cells (model-checked
-    in [lib/check]); deadlines live in the hierarchical {!Timer_wheel},
-    and every timeout-vs-completion race resolves by a verdict CAS to
-    exactly one outcome.
+    Worker domains never sit in epoll/poll/select — they keep running
+    fibers (the paper's decoupled UCs).  A fiber that would block parks
+    on a {!Fiber_rt.Fiber.Wake} token; a reactor shard waits in its
+    {!Poller} and, on readiness or deadline, fires the token.  With
+    [~shards:n] the fd watches are assigned by worker affinity at await
+    time ([worker mod n]) and the wake is routed to that worker's
+    private inbox ({!Fiber_rt.Fiber.Wake.fire_to}) rather than the
+    global injection channel, with the un-park notifications batched
+    and flushed once per poll tick.  Readiness handshakes use the
+    {!Readiness} CAS cells (model-checked in [lib/check], including
+    cross-shard rebinding of an fd); deadlines live in per-shard
+    hierarchical {!Timer_wheel}s, and every timeout-vs-completion race
+    resolves by a verdict CAS to exactly one outcome.
 
     Lifecycle: {!create} before (or during) the fiber run; call the
     wait operations only from inside fibers; {!shutdown} only after the
@@ -22,25 +26,36 @@ type t
 type dir = [ `R | `W ]
 
 type stats = {
-  polls : int;  (** poller wait rounds *)
+  polls : int;  (** poller wait rounds, summed over shards *)
   wakeups : int;  (** readiness posts that woke a waiter *)
   timers_fired : int;
   commands : int;
   errors : int;  (** reactor rounds rescued by the wake-everyone fallback *)
+  shards : int;
 }
 
 exception Reactor_stopped
 (** Raised by the wait operations once {!shutdown} has begun. *)
 
-val create : ?backend:[ `Select | `Poll | `Auto ] -> ?tick_s:float -> unit -> t
-(** Spawn the reactor thread.  [tick_s] is the timer-wheel granularity
-    (default 1 ms).  [backend] as in {!Poller.create}. *)
+val create :
+  ?backend:[ `Select | `Poll | `Epoll | `Auto ] ->
+  ?shards:int ->
+  ?tick_s:float ->
+  unit ->
+  t
+(** Spawn the reactor threads.  [shards] (default 1) is the number of
+    reactor threads, each owning a poller — match it to the worker
+    domain count for the one-reactor-per-domain serving topology.
+    [tick_s] is the timer-wheel granularity (default 1 ms).  [backend]
+    as in {!Poller.create}. *)
 
 val shutdown : t -> unit
-(** Stop and join the reactor thread, close its self-pipe, and resolve
-    any in-flight registrations (spurious wake).  Idempotent. *)
+(** Stop and join every shard thread, close the self-pipes and pollers,
+    and resolve any in-flight registrations (spurious wake).
+    Idempotent. *)
 
 val backend : t -> Poller.backend
+val shard_count : t -> int
 val stats : t -> stats
 
 val now : unit -> float
@@ -50,10 +65,13 @@ val now : unit -> float
 val await_fd :
   t -> ?deadline:float -> Unix.file_descr -> dir -> [ `Ready | `Timeout ]
 (** Park the calling fiber until [fd] is ready in direction [dir]
-    (level-triggered, one-shot) or [deadline] passes.  Exactly one
-    verdict even when readiness and the deadline race.  Error/hang-up
-    conditions report [`Ready] — the caller's next syscall surfaces the
-    errno. *)
+    (level-triggered one-shot semantics, whatever the backend) or
+    [deadline] passes.  Exactly one verdict even when readiness and the
+    deadline race.  Error/hang-up conditions report [`Ready] — the
+    caller's next syscall surfaces the errno.  Do not close an fd
+    another fiber is still awaiting: under the epoll backend the kernel
+    silently drops the registration and the waiter parks until
+    {!shutdown}. *)
 
 val sleep : t -> float -> unit
 (** Park the calling fiber for at least the given seconds; other

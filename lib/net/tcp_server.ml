@@ -1,9 +1,32 @@
-(* The TCP serving stack on the fiber runtime: one accept-loop fiber,
-   one fiber per connection, bounded by [max_conns] with real
-   backpressure (at capacity the accept loop parks on a [Readiness]
-   gate until a connection retires -- the kernel backlog then throttles
-   clients).  [stop] drains gracefully: stop accepting, wake the accept
-   loop, wait for active connections to retire.
+(* The TCP serving stack on the fiber runtime, with sharded accepting:
+   [listeners] accept-loop fibers instead of one, so new connections
+   stop funneling through a single fiber (and, under the sharded
+   reactor, through a single poller thread).
+
+   Accept sharding has two modes, picked at [start]:
+
+   - SO_REUSEPORT (Linux and BSDs): one listening socket per accept
+     loop, all bound to the same address; the kernel hash-distributes
+     incoming connections across them, so the loops park on distinct
+     fds and distinct reactor shards with no shared state at all.
+
+   - Fallback (option unsupported): one listening socket shared by all
+     accept loops; every loop parks on the same fd and the reactor
+     wakes them all on readiness -- the non-winners see EAGAIN and
+     re-park (a mild herd, bounded by [listeners]).
+
+   In both modes a lock-free round-robin distributor (one
+   fetch-and-add) spreads the accepted connections' handler fibers
+   across the worker domains via [Fiber.spawn_on] -- connection state
+   is born on the worker that will serve it.
+
+   One fiber per connection, bounded by [max_conns] with real
+   backpressure: at capacity an accept loop parks on its own
+   [Readiness] gate until a connection retires -- the kernel backlog
+   then throttles clients.  (Per-loop gates because a Readiness cell
+   holds exactly one waiter.)  [stop] drains gracefully: stop
+   accepting, wake the accept loops, wait for active connections to
+   retire.
 
    Counters are atomics (any thread may read [stats] while workers
    serve); the latency hook keeps a bounded reservoir so [percentile]
@@ -85,11 +108,15 @@ type stats = {
   completed : int;
   failed : int;  (** handlers that raised *)
   accept_retries : int;  (** accept-loop parks waiting for a free slot *)
+  listeners : int;  (** accept loops *)
+  reuseport : bool;  (** one socket per loop (vs one shared socket) *)
 }
 
 type t = {
   reactor : Reactor.t;
-  listen_fd : Unix.file_descr;
+  listen_fds : Unix.file_descr array; (* one per loop, or a single shared one *)
+  reuseport : bool;
+  n_loops : int;
   port : int;
   max_conns : int;
   handler : Reactor.t -> conn -> unit;
@@ -102,12 +129,16 @@ type t = {
   failed : int Atomic.t;
   accept_retries : int Atomic.t;
   latency : Latency.t;
-  (* the backpressure gate: a retiring connection posts it; the accept
-     loop awaits it when at capacity *)
-  gate : Readiness.t;
+  (* the round-robin distributor: accepted connections' handlers are
+     spawned on worker [fetch_and_add next_worker 1 mod domains] *)
+  next_worker : int Atomic.t;
+  (* per-loop backpressure gates: a retiring connection posts them all;
+     an accept loop at capacity awaits its own (a Readiness cell holds
+     exactly one waiter) *)
+  gates : Readiness.t array;
   (* drain gate: the last retiring connection posts it during stop *)
   drained : Readiness.t;
-  mutable accept_done : Fiber.fiber option;
+  mutable accept_done : Fiber.fiber list;
 }
 
 let stats t =
@@ -118,6 +149,8 @@ let stats t =
     completed = Atomic.get t.completed;
     failed = Atomic.get t.failed;
     accept_retries = Atomic.get t.accept_retries;
+    listeners = t.n_loops;
+    reuseport = t.reuseport;
   }
 
 let latency t = t.latency
@@ -134,7 +167,7 @@ let rec bump_max a v =
 
 let retire t =
   let left = Atomic.fetch_and_add t.active (-1) - 1 in
-  ignore (Readiness.post t.gate);
+  Array.iter (fun g -> ignore (Readiness.post g)) t.gates;
   if left = 0 && Atomic.get t.stopping then ignore (Readiness.post t.drained)
 
 let serve_conn t fd peer =
@@ -144,23 +177,37 @@ let serve_conn t fd peer =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   retire t
 
-let accept_loop t =
+(* Spawn the connection handler on the next worker round-robin (one
+   lock-free fetch-and-add) -- the distributor that spreads load even
+   when a single listener, or an uneven SO_REUSEPORT hash, would pin
+   accepts to one place.  Outside run_parallel there is nothing to
+   distribute over. *)
+let spawn_handler t conn_fd peer =
+  let body () = serve_conn t conn_fd peer in
+  match Fiber.num_workers () with
+  | Some n when n > 1 ->
+      ignore (Fiber.spawn_on ~worker:(Atomic.fetch_and_add t.next_worker 1 mod n) body)
+  | _ -> ignore (Fiber.spawn body)
+
+let accept_loop t i =
+  let listen_fd = t.listen_fds.(i mod Array.length t.listen_fds) in
+  let gate = t.gates.(i) in
   let rec go () =
     if not (Atomic.get t.stopping) then begin
       (* backpressure: hold accepts while at capacity *)
       if Atomic.get t.active >= t.max_conns then begin
         Atomic.incr t.accept_retries;
         if Atomic.get t.active >= t.max_conns && not (Atomic.get t.stopping)
-        then gate_wait t.gate;
+        then gate_wait gate;
         go ()
       end
       else
-        match Fiber_io.accept t.reactor t.listen_fd with
+        match Fiber_io.accept t.reactor listen_fd with
         | conn_fd, peer ->
             Atomic.incr t.accepted;
             let n = Atomic.fetch_and_add t.active 1 + 1 in
             bump_max t.max_active n;
-            ignore (Fiber.spawn (fun () -> serve_conn t conn_fd peer));
+            spawn_handler t conn_fd peer;
             go ()
         | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
             (* listener shut down under us: stop requested *)
@@ -170,25 +217,71 @@ let accept_loop t =
   in
   go ()
 
-let start ~reactor ?(backlog = 128) ?(max_conns = max_int) ~addr ~handler () =
-  let listen_fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-  (try
-     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-     Unix.bind listen_fd addr;
-     Unix.listen listen_fd backlog;
-     Unix.set_nonblock listen_fd
-   with e ->
-     Unix.close listen_fd;
-     raise e);
+(* One listening socket; [reuseport] must be set before bind for the
+   kernel to shard accepts across the group. *)
+let make_listener ~reuseport ~backlog addr =
+  let fd = Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    let rp = if reuseport then Poller.set_reuseport fd else false in
+    Unix.bind fd addr;
+    Unix.listen fd backlog;
+    Unix.set_nonblock fd;
+    (fd, rp)
+  with e ->
+    Unix.close fd;
+    raise e
+
+(* Binding port 0 then adding SO_REUSEPORT group members: the rest of
+   the group must bind the port the kernel actually picked. *)
+let concrete_addr fd = function
+  | Unix.ADDR_INET (host, 0) -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Unix.ADDR_INET (host, p)
+      | a -> a)
+  | a -> a
+
+let start ~reactor ?(backlog = 128) ?(max_conns = max_int) ?listeners ~addr
+    ~handler () =
+  let n_loops =
+    match listeners with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Tcp_server.start: listeners must be >= 1"
+    | None -> Reactor.shard_count reactor
+  in
+  let fd0, rp = make_listener ~reuseport:(n_loops > 1) ~backlog addr in
+  let listen_fds =
+    if not rp then [| fd0 |] (* unsupported (or single loop): share fd0 *)
+    else begin
+      let addr = concrete_addr fd0 addr in
+      let rest = ref [] in
+      (try
+         for _ = 2 to n_loops do
+           let fd, rp' = make_listener ~reuseport:true ~backlog addr in
+           if not rp' then begin
+             Unix.close fd;
+             failwith "SO_REUSEPORT vanished mid-group"
+           end;
+           rest := fd :: !rest
+         done
+       with e ->
+         List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !rest;
+         Unix.close fd0;
+         raise e);
+      Array.of_list (fd0 :: List.rev !rest)
+    end
+  in
   let port =
-    match Unix.getsockname listen_fd with
+    match Unix.getsockname fd0 with
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> 0
   in
   let t =
     {
       reactor;
-      listen_fd;
+      listen_fds;
+      reuseport = Array.length listen_fds > 1;
+      n_loops;
       port;
       max_conns;
       handler;
@@ -200,24 +293,30 @@ let start ~reactor ?(backlog = 128) ?(max_conns = max_int) ~addr ~handler () =
       failed = Atomic.make 0;
       accept_retries = Atomic.make 0;
       latency = Latency.create ();
-      gate = Readiness.create ();
+      next_worker = Atomic.make 0;
+      gates = Array.init n_loops (fun _ -> Readiness.create ());
       drained = Readiness.create ();
-      accept_done = None;
+      accept_done = [];
     }
   in
-  t.accept_done <- Some (Fiber.spawn (fun () -> accept_loop t));
+  t.accept_done <-
+    List.init n_loops (fun i -> Fiber.spawn (fun () -> accept_loop t i));
   t
 
-(* Graceful drain: stop accepting (shutdown() makes the parked accept
-   observe readiness and fail with EINVAL/EBADF), wake a gate-parked
-   accept loop, then wait until every active connection retires. *)
+(* Graceful drain: stop accepting (shutdown() makes the parked accepts
+   observe readiness and fail with EINVAL/EBADF), wake the gate-parked
+   accept loops, then wait until every active connection retires. *)
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
-    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
-     with Unix.Unix_error _ -> ());
-    ignore (Readiness.post t.gate);
-    (match t.accept_done with Some f -> Fiber.join f | None -> ());
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Array.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.listen_fds;
+    Array.iter (fun g -> ignore (Readiness.post g)) t.gates;
+    List.iter Fiber.join t.accept_done;
+    Array.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listen_fds;
     (* connections still in flight: wait for the last to retire *)
     while Atomic.get t.active > 0 do
       gate_wait t.drained

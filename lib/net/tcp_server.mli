@@ -1,9 +1,13 @@
-(** TCP serving on the fiber runtime: an accept-loop fiber spawning one
-    fiber per connection, bounded concurrency with real backpressure
-    (at [max_conns] the accept loop parks until a connection retires,
-    letting the kernel backlog throttle clients), graceful drain on
-    {!stop}, and built-in counters plus a bounded-reservoir latency
-    hook.
+(** TCP serving on the fiber runtime with sharded accepting:
+    [listeners] accept-loop fibers (default: one per reactor shard) —
+    one [SO_REUSEPORT] socket each where the platform supports it, one
+    shared socket otherwise — spawning one fiber per connection, spread
+    across the worker domains by a lock-free round-robin distributor
+    ({!Fiber_rt.Fiber.spawn_on}).  Bounded concurrency with real
+    backpressure (at [max_conns] the accept loops park until a
+    connection retires, letting the kernel backlog throttle clients),
+    graceful drain on {!stop}, and built-in counters plus a
+    bounded-reservoir latency hook.
 
     All entry points except {!stats}/{!port}/{!active} must run inside
     the fiber runtime ({!start} spawns fibers; {!stop} joins and
@@ -37,20 +41,28 @@ type stats = {
   completed : int;
   failed : int;  (** handlers that raised *)
   accept_retries : int;  (** accept-loop parks waiting for a free slot *)
+  listeners : int;  (** accept loops *)
+  reuseport : bool;  (** one [SO_REUSEPORT] socket per loop *)
 }
 
 val start :
   reactor:Reactor.t ->
   ?backlog:int ->
   ?max_conns:int ->
+  ?listeners:int ->
   addr:Unix.sockaddr ->
   handler:(Reactor.t -> conn -> unit) ->
   unit ->
   t
-(** Bind, listen and spawn the accept loop (so: fiber context).
-    [backlog] defaults to 128, [max_conns] to unlimited.  The handler
-    runs in the connection's own fiber and may park freely
-    ({!Fiber_io}); its exceptions are counted, never propagated. *)
+(** Bind, listen and spawn the accept loops (so: fiber context).
+    [backlog] defaults to 128, [max_conns] to unlimited; [listeners]
+    (default {!Reactor.shard_count}) is the accept-loop count — with
+    [SO_REUSEPORT] each loop gets its own socket and the kernel shards
+    incoming connections across them; without it they share one socket
+    (readiness wakes them all; non-winners re-park).  The handler runs
+    in the connection's own fiber — placed on a worker chosen
+    round-robin — and may park freely ({!Fiber_io}); its exceptions are
+    counted, never propagated. *)
 
 val stop : t -> unit
 (** Graceful drain: stop accepting, then park until every active

@@ -302,6 +302,129 @@ let readiness_timeout_vs_ready (module R : READINESS) () =
       if f <> 1 then failwith (Printf.sprintf "token fired %d times" f);
       if v <> 1 && v <> 2 then failwith "no verdict claimed" )
 
+(* ---------- scenario: the sharded wake path (Idle_waker) ---------- *)
+
+(* Parameterized over the idle-stack implementation so the same
+   scenarios drive the faithful copy (recompiled from
+   lib/fiber_rt/idle_waker.ml -- the structure behind the sharded
+   reactor's batched wake flush) and the seeded-bug copy. *)
+module type IDLE = sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val take : t -> int -> bool
+  val pop : t -> int option
+  val snapshot : t -> int list
+end
+
+(* A shard's batch flush issuing a targeted [take] of worker 0 while
+   another waker [pop]s "any one idle", workers 0 and 1 both parked.
+   Conservation: every id is removed by exactly one caller or still on
+   the stack.  The seeded get-then-set [take] publishes a successor
+   computed from a stale read, silently undoing the concurrent pop --
+   the popped worker is resurrected, and a later waker will spend a
+   token on the ghost while a genuinely parked worker sleeps on. *)
+let shard_take_vs_pop (module I : IDLE) () =
+  let t = I.create () in
+  I.push t 0;
+  I.push t 1;
+  let took = ref false and popped = ref None in
+  ( [ (fun () -> took := I.take t 0); (fun () -> popped := I.pop t) ],
+    fun () ->
+      let removed =
+        (if !took then [ 0 ] else [])
+        @ match !popped with Some w -> [ w ] | None -> []
+      in
+      let final = List.sort compare (removed @ I.snapshot t) in
+      if final <> [ 0; 1 ] then
+        failwith
+          (Printf.sprintf "ids not conserved: {%s}"
+             (String.concat ";" (List.map string_of_int final))) )
+
+(* Two shards flushing wake batches aimed at the same parked worker:
+   [take] must have exactly one winner, or two wake tokens are minted
+   where the inbox-delivery protocol promises one. *)
+let shard_two_flushes (module I : IDLE) () =
+  let t = I.create () in
+  I.push t 0;
+  let a = ref false and b = ref false in
+  ( [ (fun () -> a := I.take t 0); (fun () -> b := I.take t 0) ],
+    fun () ->
+      (match (!a, !b) with
+      | true, true -> failwith "worker 0 taken twice: two wake tokens minted"
+      | false, false -> failwith "worker 0 taken by nobody"
+      | _ -> ());
+      if I.snapshot t <> [] then failwith "stack not drained" )
+
+(* A worker cancelling its own parking ([take] on itself, the PR-3
+   park/wake handshake) vs a reactor waker popping it: exactly one side
+   may claim the id.  When the waker wins, its wake token is in flight
+   and the worker must consume it (wait_until), not leak it. *)
+let shard_wake_vs_park (module I : IDLE) () =
+  let t = I.create () in
+  let tokens = Atomic'.make 0 in
+  let cancelled = ref false and woke = ref false in
+  I.push t 0;
+  ( [
+      (fun () ->
+        (* worker 0: found work, cancels its parking *)
+        if I.take t 0 then cancelled := true
+        else
+          (* a waker got there first: its token must arrive *)
+          Sched.wait_until ~on:(Atomic'.id tokens) (fun () ->
+              Atomic'.peek tokens > 0));
+      (fun () ->
+        match I.pop t with
+        | Some 0 ->
+            woke := true;
+            Atomic'.incr tokens
+        | Some w -> failwith (Printf.sprintf "popped ghost worker %d" w)
+        | None -> ());
+    ],
+    fun () ->
+      if !cancelled && !woke then failwith "worker 0 claimed twice";
+      if (not !cancelled) && not !woke then failwith "worker 0 claimed by nobody";
+      if I.snapshot t <> [] then failwith "stack not drained" )
+
+(* ---------- scenario: Readiness rebound across shards ---------- *)
+
+(* The multi-reactor topology's rebind: a fiber awaits, is woken by
+   shard A's dispatch, re-arms the same cell, and is woken again by
+   shard B (the fd's watch moved shards when the fiber migrated
+   workers).  Shard B's post races the re-registration: the CAS cell
+   must deliver exactly one wake per registration -- post either finds
+   the registration or leaves the Ready memo the re-await consumes.
+   The seeded get-then-set post can overwrite the re-registration and
+   strand the fiber.  (B waits for the first wake to be consumed, as
+   the real rebound watch only fires after re-polling.) *)
+let readiness_rebind_across_shards (module R : READINESS) () =
+  let cell = R.create () in
+  let woken = Atomic'.make 0 in
+  ( [
+      (fun () ->
+        (match R.await cell (fun () -> Atomic'.incr woken) with
+        | `Registered ->
+            Sched.wait_until ~on:(Atomic'.id woken) (fun () ->
+                Atomic'.peek woken >= 1)
+        | `Was_ready -> ());
+        (* rebind: the next await_fd re-arms the same cell *)
+        match R.await cell (fun () -> Atomic'.incr woken) with
+        | `Registered ->
+            Sched.wait_until ~on:(Atomic'.id woken) (fun () ->
+                Atomic'.peek woken >= 2)
+        | `Was_ready -> ());
+      (fun () -> ignore (R.post cell) (* shard A: the first edge *));
+      (fun () ->
+        (* shard B: the rebound watch's edge, after the first wake *)
+        Sched.wait_until ~on:(Atomic'.id woken) (fun () ->
+            Atomic'.peek woken >= 1);
+        ignore (R.post cell));
+    ],
+    fun () ->
+      let n = Atomic'.peek woken in
+      if n <> 2 then failwith (Printf.sprintf "woken %d times, want 2" n) )
+
 (* ---------- scenario: MPSC enqueue vs single-consumer drain --------- *)
 
 let mpsc_enqueue_drain () =
@@ -461,6 +584,8 @@ let compl : (module COMPLETION) = (module Compl)
 let buggy_compl : (module COMPLETION) = (module Buggy_compl)
 let rdy : (module READINESS) = (module Check.Readiness)
 let buggy_rdy : (module READINESS) = (module Check.Buggy_reactor)
+let idle : (module IDLE) = (module Check.Idle_waker)
+let buggy_idle : (module IDLE) = (module Check.Buggy_shard)
 
 let test_pop_steal_race () =
   let stats = expect_pass "pop-vs-steal" (Sched.check (pop_steal_race adq)) in
@@ -550,6 +675,100 @@ let test_buggy_reactor_double_wake () =
   | Error f' ->
       Sched.print_failure f';
       Alcotest.fail "faithful Readiness failed the double-wake schedule"
+
+let test_shard_take_vs_pop () =
+  let stats =
+    expect_pass "idle-take-vs-pop" (Sched.check (shard_take_vs_pop idle))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_shard_two_flushes () =
+  let stats =
+    expect_pass "idle-two-flushes" (Sched.check (shard_two_flushes idle))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_shard_wake_vs_park () =
+  let stats =
+    expect_pass "idle-wake-vs-park" (Sched.check (shard_wake_vs_park idle))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_readiness_rebind () =
+  ignore
+    (expect_pass "readiness-rebind-across-shards"
+       (Sched.check ~max_schedules:8_000 (readiness_rebind_across_shards rdy)))
+
+let test_buggy_shard_caught () =
+  (* the targeted flush racing a pop: the stale-read store resurrects
+     the popped worker *)
+  let f, stats =
+    expect_bug "get-then-set take"
+      (Sched.check (shard_take_vs_pop buggy_idle))
+  in
+  Printf.printf "shard-flush lost removal caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  print_string (Sched.failure_to_string f);
+  Alcotest.(check bool)
+    "conservation violated" true
+    (contains ~sub:"not conserved" f.Sched.f_reason);
+  (* the printed schedule replays to the same failure... *)
+  (match
+     Sched.replay ~schedule:f.Sched.f_schedule (shard_take_vs_pop buggy_idle)
+   with
+  | Error f' ->
+      Alcotest.(check string)
+        "replay reproduces the same failure" f.Sched.f_reason f'.Sched.f_reason
+  | Ok _ -> Alcotest.fail "replay of the failing schedule passed");
+  (* ...and the faithful stack survives the exact same schedule *)
+  match Sched.replay ~schedule:f.Sched.f_schedule (shard_take_vs_pop idle) with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful Idle_waker failed the buggy take's schedule"
+
+let test_buggy_shard_double_token () =
+  let f, stats =
+    expect_bug "two flushes double-take"
+      (Sched.check (shard_two_flushes buggy_idle))
+  in
+  Printf.printf "double wake token caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  match Sched.replay ~schedule:f.Sched.f_schedule (shard_two_flushes idle) with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful Idle_waker failed the double-take schedule"
+
+let test_buggy_shard_wake_vs_park () =
+  let f, stats =
+    expect_bug "park-cancel vs waker"
+      (Sched.check (shard_wake_vs_park buggy_idle))
+  in
+  Printf.printf "park-cancel double-claim caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  match Sched.replay ~schedule:f.Sched.f_schedule (shard_wake_vs_park idle) with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful Idle_waker failed the park-cancel schedule"
+
+let test_buggy_rebind_caught () =
+  let f, stats =
+    expect_bug "rebind lost registration"
+      (Sched.check ~max_schedules:8_000
+         (readiness_rebind_across_shards buggy_rdy))
+  in
+  Printf.printf "rebind lost wake-up caught after %d schedules: %s\n%!"
+    stats.Sched.schedules f.Sched.f_reason;
+  match
+    Sched.replay ~schedule:f.Sched.f_schedule
+      (readiness_rebind_across_shards rdy)
+  with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.fail "faithful Readiness failed the rebind schedule"
 
 let test_mpsc () =
   ignore
@@ -690,6 +909,9 @@ let test_fuzz_real_structures_clean () =
       ("readiness-register-vs-post", readiness_register_vs_post rdy);
       ("readiness-two-posters", readiness_two_posters rdy);
       ("readiness-timeout-vs-ready", readiness_timeout_vs_ready rdy);
+      ("readiness-rebind-across-shards", readiness_rebind_across_shards rdy);
+      ("idle-take-vs-pop", shard_take_vs_pop idle);
+      ("idle-wake-vs-park", shard_wake_vs_park idle);
       ("mpsc", mpsc_enqueue_drain);
       ("channel", channel_send_recv);
       ("couple-vs-steal", couple_vs_steal ~buggy:false);
@@ -716,6 +938,10 @@ let test_interleaving_budget () =
         ("readiness-register-vs-post", 4_000, readiness_register_vs_post rdy);
         ("readiness-two-posters", 4_000, readiness_two_posters rdy);
         ("readiness-timeout-vs-ready", 4_000, readiness_timeout_vs_ready rdy);
+        ("readiness-rebind", 8_000, readiness_rebind_across_shards rdy);
+        ("idle-take-vs-pop", 4_000, shard_take_vs_pop idle);
+        ("idle-two-flushes", 4_000, shard_two_flushes idle);
+        ("idle-wake-vs-park", 4_000, shard_wake_vs_park idle);
         ("mpsc-enqueue-drain", 4_000, mpsc_enqueue_drain);
         ("channel-send-recv", 4_000, channel_send_recv);
         ("channel-two-receivers", 4_000, channel_two_receivers);
@@ -767,6 +993,25 @@ let () =
             test_buggy_reactor_caught;
           Alcotest.test_case "get-then-set post double-wakes" `Quick
             test_buggy_reactor_double_wake;
+          Alcotest.test_case "rebind across shards wakes per registration"
+            `Quick test_readiness_rebind;
+          Alcotest.test_case "get-then-set post strands the rebind" `Quick
+            test_buggy_rebind_caught;
+        ] );
+      ( "idle-waker",
+        [
+          Alcotest.test_case "targeted take vs pop conserves ids" `Quick
+            test_shard_take_vs_pop;
+          Alcotest.test_case "two flushes, one winner" `Quick
+            test_shard_two_flushes;
+          Alcotest.test_case "park-cancel vs waker claims once" `Quick
+            test_shard_wake_vs_park;
+          Alcotest.test_case "get-then-set take resurrects a worker" `Quick
+            test_buggy_shard_caught;
+          Alcotest.test_case "get-then-set take double-takes" `Quick
+            test_buggy_shard_double_token;
+          Alcotest.test_case "get-then-set take double-claims the park" `Quick
+            test_buggy_shard_wake_vs_park;
         ] );
       ( "mpsc",
         [ Alcotest.test_case "enqueue vs drain" `Quick test_mpsc ] );

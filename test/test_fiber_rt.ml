@@ -561,6 +561,63 @@ let test_par_worker_index () =
       Alcotest.(check (option int))
         "no worker index under run" None (Fiber.worker_index ()))
 
+(* spawn_on delivers the child to the target worker's private inbox,
+   which only that worker drains: the child's FIRST step runs on the
+   requested worker (later steps may migrate by stealing -- placement
+   is a start hint, not a pin).  Out-of-range ids wrap. *)
+let test_par_spawn_on_placement () =
+  Fiber.run_parallel ~domains:3 (fun () ->
+      Alcotest.(check (option int))
+        "num_workers under run_parallel" (Some 3) (Fiber.num_workers ());
+      let fs =
+        List.init 12 (fun i ->
+            let target = i mod 3 in
+            Fiber.spawn_on ~worker:target (fun () ->
+                match Fiber.worker_index () with
+                | Some w ->
+                    if w <> target then
+                      Alcotest.failf "started on worker %d, wanted %d" w target
+                | None -> Alcotest.fail "no worker context in spawned fiber"))
+      in
+      List.iter Fiber.join fs;
+      (* out-of-range worker ids wrap instead of raising *)
+      let wrapped =
+        Fiber.spawn_on ~worker:5 (fun () ->
+            match Fiber.worker_index () with
+            | Some w ->
+                if w <> 5 mod 3 then
+                  Alcotest.failf "worker 5 wrapped to %d, wanted %d" w (5 mod 3)
+            | None -> Alcotest.fail "no worker context")
+      in
+      Fiber.join wrapped);
+  Alcotest.(check (option int))
+    "num_workers outside run_parallel" None (Fiber.num_workers ())
+
+(* Regression for the scheduler-context thread gate: Domain.DLS is
+   shared by EVERY systhread of a domain, so a raw thread created on a
+   worker domain used to read the worker's context and could push to
+   its single-owner deque from a foreign thread.  The context is keyed
+   by thread identity now -- a non-worker thread must see none. *)
+let test_par_foreign_thread_identity () =
+  Fiber.run_parallel ~domains:2 (fun () ->
+      let saw_index = ref (Some 99) and saw_workers = ref (Some 99) in
+      let th =
+        Thread.create
+          (fun () ->
+            saw_index := Fiber.worker_index ();
+            saw_workers := Fiber.num_workers ())
+          ()
+      in
+      Thread.join th;
+      Alcotest.(check (option int))
+        "foreign thread has no worker identity" None !saw_index;
+      Alcotest.(check (option int))
+        "foreign thread sees no worker count" None !saw_workers;
+      (* the fiber itself still has its identity after the join *)
+      match Fiber.worker_index () with
+      | Some _ -> ()
+      | None -> Alcotest.fail "fiber lost its worker context")
+
 (* The system-call-consistency property under migration: whatever
    domain a fiber's runnable half lands on after each suspension, its
    coupled sections always execute on the SAME home executor thread. *)
@@ -1090,6 +1147,10 @@ let () =
           Alcotest.test_case "exception aborts run" `Quick
             test_par_exception_aborts_run;
           Alcotest.test_case "worker index" `Quick test_par_worker_index;
+          Alcotest.test_case "spawn_on placement + num_workers" `Quick
+            test_par_spawn_on_placement;
+          Alcotest.test_case "foreign thread has no worker identity" `Quick
+            test_par_foreign_thread_identity;
           Alcotest.test_case "executor affinity under migration" `Quick
             test_par_executor_affinity_under_migration;
           Alcotest.test_case "coupled off workers" `Quick

@@ -143,6 +143,147 @@ let test_readiness_memo () =
   Alcotest.(check bool) "cleared cell memoizes again" true (Rd.post c = `Memo);
   Alcotest.(check int) "abandoned waiter never ran" 2 !ran
 
+(* ---------- poller (all backends, sequential contract) ---------- *)
+
+module Poller = Net.Poller
+
+let backend_name = function
+  | `Select -> "select"
+  | `Poll -> "poll"
+  | `Epoll -> "epoll"
+
+let available_backends () : Net.Poller.backend list =
+  [ `Select; `Poll ] @ (if Poller.epoll_available then [ `Epoll ] else [])
+
+(* the contract every backend must honour identically: events only for
+   currently-set interest, interest_count tracks set/drop, a quiet probe
+   returns nothing *)
+let poller_contract (b : Poller.backend) =
+  let p = Poller.create ~backend:(b :> [ `Select | `Poll | `Epoll | `Auto ]) () in
+  let rd, wr = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      Poller.close p;
+      Unix.close rd;
+      Unix.close wr)
+    (fun () ->
+      let name fmt = Printf.sprintf "%s: %s" (backend_name b) fmt in
+      Alcotest.(check bool) (name "created as requested") true
+        (Poller.backend p = b);
+      Alcotest.(check int) (name "fresh poller watches nothing") 0
+        (Poller.interest_count p);
+      Poller.set p rd ~read:true ~write:false;
+      Alcotest.(check int) (name "one fd under interest") 1
+        (Poller.interest_count p);
+      Alcotest.(check bool) (name "quiet pipe, empty probe") true
+        (Poller.wait p ~timeout_ms:0 = []);
+      ignore (Unix.write_substring wr "x" 0 1);
+      (match Poller.wait p ~timeout_ms:500 with
+      | [ ev ] ->
+          Alcotest.(check bool) (name "read event on rd") true
+            (ev.Poller.fd = rd && ev.Poller.readable)
+      | evs -> Alcotest.failf "%s: expected one event, got %d"
+                 (backend_name b) (List.length evs));
+      (* an empty pipe buffer is immediately writable *)
+      Poller.set p wr ~read:false ~write:true;
+      Alcotest.(check int) (name "two fds under interest") 2
+        (Poller.interest_count p);
+      let evs = Poller.wait p ~timeout_ms:500 in
+      Alcotest.(check bool) (name "wr reported writable") true
+        (List.exists (fun e -> e.Poller.fd = wr && e.Poller.writable) evs);
+      (* dropping interest silences a still-ready fd: the byte is still
+         in the pipe, but events follow interest, not kernel state *)
+      Poller.set p rd ~read:false ~write:false;
+      Poller.set p wr ~read:false ~write:false;
+      Alcotest.(check int) (name "interest dropped") 0
+        (Poller.interest_count p);
+      Alcotest.(check bool) (name "no interest, no events") true
+        (Poller.wait p ~timeout_ms:0 = []))
+
+let test_poller_contract () = List.iter poller_contract (available_backends ())
+
+let test_poller_auto () =
+  let p = Poller.create () in
+  Fun.protect
+    ~finally:(fun () -> Poller.close p)
+    (fun () ->
+      if Poller.epoll_available then
+        Alcotest.(check string) "Auto picks epoll where available" "epoll"
+          (backend_name (Poller.backend p))
+      else
+        Alcotest.(check bool) "Auto prefers poll over select" true
+          (Poller.backend p <> `Select))
+
+let test_poller_epoll_gate () =
+  if Poller.epoll_available then begin
+    let p = Poller.create ~backend:`Epoll () in
+    Alcotest.(check bool) "explicit `Epoll honoured" true
+      (Poller.backend p = `Epoll);
+    Poller.close p
+  end
+  else
+    match Poller.create ~backend:`Epoll () with
+    | exception Invalid_argument _ -> ()
+    | p ->
+        Poller.close p;
+        Alcotest.fail "`Epoll created on a platform without epoll"
+
+let test_poller_epoll_recheck () =
+  (* the lost-edge race, closed by set's unconditional EPOLL_CTL_MOD:
+     (a) the edge fires BEFORE the watch registers, and (b) the
+     notification is consumed without draining the data and the same
+     mask is re-armed.  A naive edge-triggered registration reports
+     neither; the MOD readiness re-check must redeliver both. *)
+  if not Poller.epoll_available then ()
+  else begin
+    let p = Poller.create ~backend:`Epoll () in
+    let rd, wr = Unix.pipe ~cloexec:true () in
+    Fun.protect
+      ~finally:(fun () ->
+        Poller.close p;
+        Unix.close rd;
+        Unix.close wr)
+      (fun () ->
+        ignore (Unix.write_substring wr "x" 0 1);
+        Poller.set p rd ~read:true ~write:false;
+        let readable () =
+          List.exists
+            (fun e -> e.Poller.fd = rd && e.Poller.readable)
+            (Poller.wait p ~timeout_ms:500)
+        in
+        Alcotest.(check bool) "edge before the watch still delivered" true
+          (readable ());
+        (* data not drained; re-arm with the identical mask *)
+        Poller.set p rd ~read:true ~write:false;
+        Alcotest.(check bool) "re-armed watch redelivers pending data" true
+          (readable ()))
+  end
+
+let test_set_reuseport () =
+  let s1 = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  if not (Poller.set_reuseport s1) then
+    (* platform without SO_REUSEPORT: Tcp_server falls back to a shared
+       listener; nothing further to assert *)
+    Unix.close s1
+  else begin
+    Unix.bind s1 (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let port =
+      match Unix.getsockname s1 with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    let s2 = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Alcotest.(check bool) "second socket takes the flag" true
+      (Poller.set_reuseport s2);
+    (match Unix.bind s2 (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Alcotest.failf "SO_REUSEPORT rebind refused: %s"
+          (Unix.error_message e));
+    Unix.close s1;
+    Unix.close s2
+  end
+
 (* ---------- live reactor ---------- *)
 
 let with_reactor f =
@@ -486,6 +627,80 @@ let test_latency_hook () =
             failwith "percentiles not monotone";
           if Tcp.Latency.mean lat < 0.0 then failwith "negative mean"))
 
+(* ---------- backend / shard matrix ---------- *)
+
+(* one echo burst against a caller-supplied reactor; returns how many
+   clients round-tripped cleanly plus the server's final stats *)
+let echo_burst r ~clients =
+  let ok = Atomic.make 0 in
+  let final = ref None in
+  Fiber.run_parallel ~domains:2 (fun () ->
+      let srv =
+        Tcp.start ~reactor:r
+          ~addr:(Unix.ADDR_INET (localhost, 0))
+          ~handler:echo_handler ()
+      in
+      let port = Tcp.port srv in
+      let fibers =
+        List.init clients (fun i ->
+            Fiber.spawn (fun () ->
+                let fd = connect_local r port in
+                let msg = Printf.sprintf "msg-%04d" i in
+                let len = String.length msg in
+                let buf = Bytes.create len in
+                for _ = 1 to 3 do
+                  Fio.write_all r fd (Bytes.of_string msg) 0 len;
+                  Fio.read_exact r fd buf 0 len;
+                  if Bytes.to_string buf <> msg then failwith "echo mismatch"
+                done;
+                Unix.close fd;
+                Atomic.incr ok))
+      in
+      List.iter Fiber.join fibers;
+      Tcp.stop srv;
+      let st = Tcp.stats srv in
+      if st.Tcp.accepted <> clients then
+        failwith (Printf.sprintf "accepted %d of %d" st.Tcp.accepted clients);
+      if st.Tcp.active <> 0 then failwith "connections leaked past stop";
+      final := Some st);
+  (Atomic.get ok, Option.get !final)
+
+let test_echo_every_backend () =
+  (* the same echo workload through each compiled-in poller backend:
+     select and poll are epoll's independent cross-checks, so behavioural
+     drift between them is a test failure, not a portability footnote *)
+  List.iter
+    (fun (b : Poller.backend) ->
+      let r =
+        Reactor.create ~backend:(b :> [ `Select | `Poll | `Epoll | `Auto ]) ()
+      in
+      Fun.protect
+        ~finally:(fun () -> Reactor.shutdown r)
+        (fun () ->
+          Alcotest.(check bool)
+            (backend_name b ^ ": reactor picked it") true
+            (Reactor.backend r = b);
+          let ok, _ = echo_burst r ~clients:8 in
+          Alcotest.(check int) (backend_name b ^ ": all clients echoed") 8 ok))
+    (available_backends ())
+
+let test_echo_sharded () =
+  (* two reactor shards: watches land on both shard threads (worker
+     affinity), and Tcp.start defaults to one accept loop per shard —
+     SO_REUSEPORT listeners where the platform has them, a shared
+     socket otherwise.  Either way every client must be served. *)
+  let r = Reactor.create ~shards:2 () in
+  Fun.protect
+    ~finally:(fun () -> Reactor.shutdown r)
+    (fun () ->
+      Alcotest.(check int) "reactor reports two shards" 2
+        (Reactor.shard_count r);
+      let ok, st = echo_burst r ~clients:16 in
+      Alcotest.(check int) "all clients echoed across shards" 16 ok;
+      Alcotest.(check int) "one accept loop per shard" 2 st.Tcp.listeners;
+      Printf.printf "sharded accept: %d listeners (%s)\n%!" st.Tcp.listeners
+        (if st.Tcp.reuseport then "SO_REUSEPORT" else "shared-socket fallback"))
+
 let () =
   Test_seed.announce "test_net";
   Alcotest.run "net"
@@ -500,6 +715,18 @@ let () =
         ] );
       ( "readiness",
         [ Alcotest.test_case "memo / wake / clear contract" `Quick test_readiness_memo ] );
+      ( "poller",
+        [
+          Alcotest.test_case "set/wait contract, every backend" `Quick
+            test_poller_contract;
+          Alcotest.test_case "Auto backend resolution" `Quick test_poller_auto;
+          Alcotest.test_case "`Epoll gated on availability" `Quick
+            test_poller_epoll_gate;
+          Alcotest.test_case "epoll MOD re-check closes lost edges" `Quick
+            test_poller_epoll_recheck;
+          Alcotest.test_case "SO_REUSEPORT double bind" `Quick
+            test_set_reuseport;
+        ] );
       ( "reactor",
         [
           Alcotest.test_case "sleep parks only the fiber" `Quick test_sleep;
@@ -522,5 +749,12 @@ let () =
             test_tcp_graceful_stop;
           Alcotest.test_case "no fd leak" `Quick test_tcp_no_fd_leak;
           Alcotest.test_case "latency stats hook" `Quick test_latency_hook;
+        ] );
+      ( "backend-matrix",
+        [
+          Alcotest.test_case "echo on every backend" `Quick
+            test_echo_every_backend;
+          Alcotest.test_case "echo across two reactor shards" `Quick
+            test_echo_sharded;
         ] );
     ]
