@@ -740,13 +740,14 @@ let run_real () =
 (* ---------------------------------------------------------------- *)
 
 (* Spawn/join fan-out, recursive fork-join (work_steal_tree), yield
-   churn and cross-domain ping-pong on [Fiber.run_parallel] for 1, 2
-   and 4 domains.  Every configuration runs [warmup] discarded rounds
-   plus [reps] measured repetitions; the table and the JSON report
-   median and p99 wall-clock per config, not a single sample.  Results
-   go to BENCH_parallel.json (schema ulp-pip/parallel-bench/v2,
-   documented in README.md) so later PRs can diff the perf trajectory
-   with --diff.  Speedup beyond 1.0 needs real cores: host_cores is
+   churn, cross-domain ping-pong, and the sync scenarios (contended
+   counter under both Mutex kinds, read-mostly rwlock, barrier phases)
+   on [Fiber.run_parallel] for 1, 2 and 4 domains.  Every configuration
+   runs [warmup] discarded rounds plus [reps] measured repetitions; the
+   table and the JSON report median and p99 wall-clock per config, not
+   a single sample.  Results go to BENCH_parallel.json (schema
+   ulp-pip/parallel-bench/v3 = v2 plus the sync rows, documented in
+   README.md) so later PRs can diff the perf trajectory with --diff.  Speedup beyond 1.0 needs real cores: host_cores is
    recorded, and any config with domains > host_cores carries an
    explicit "oversubscribed": true -- those numbers measure scheduler
    overhead under time-slicing, not scaling. *)
@@ -822,7 +823,7 @@ let parallel_json ~quick ~warmup ~stats ~speedups =
       s
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ulp-pip/parallel-bench/v2\",\n";
+  Buffer.add_string buf "  \"schema\": \"ulp-pip/parallel-bench/v3\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (host_cores ()));
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
@@ -897,6 +898,11 @@ let run_parallel_bench ~quick ~diff () =
   let yields = if quick then 50 else 200 in
   let yfibers = if quick then 20 else 100 in
   let msgs = if quick then 2_000 else 20_000 in
+  let sfibers = if quick then 8 else 16 in
+  let siters = if quick then 1_000 else 4_000 in
+  let readers = 8 in
+  let reads = if quick then 2_000 else 10_000 in
+  let phases = if quick then 500 else 2_000 in
   let warmup = 1 in
   let reps = if quick then 3 else 5 in
   let stats =
@@ -912,6 +918,16 @@ let run_parallel_bench ~quick ~diff () =
         (fun ~domains ->
           Par_workload.yield_storm ~domains ~fibers:yfibers ~yields);
         (fun ~domains -> Par_workload.ping_pong ~domains ~msgs);
+        (fun ~domains ->
+          Par_workload.sync_mutex ~domains ~kind:Fiber_rt.Sync.Mutex.Park
+            ~fibers:sfibers ~iters:siters);
+        (fun ~domains ->
+          Par_workload.sync_mutex ~domains ~kind:Fiber_rt.Sync.Mutex.Queued
+            ~fibers:sfibers ~iters:siters);
+        (fun ~domains ->
+          Par_workload.sync_rwlock ~domains ~readers ~reads ~ratio:64);
+        (fun ~domains ->
+          Par_workload.sync_barrier ~domains ~parties:8 ~phases ~work:50);
       ]
   in
   let t =
@@ -1011,7 +1027,7 @@ let run_validate () =
   | Error msg -> fail msg
   | Ok doc ->
       (match Option.bind (Json.member "schema" doc) Json.to_string with
-      | Some "ulp-pip/parallel-bench/v2" -> ()
+      | Some "ulp-pip/parallel-bench/v3" -> ()
       | Some other -> fail (Printf.sprintf "unexpected schema %S" other)
       | None -> fail "missing schema");
       let cores =
@@ -1167,6 +1183,7 @@ let net_run_clients r ~port ~conns ~reqs =
               rtts.(k) <- Fiber_rt.Clock.now () -. t0;
               if not (Bytes.equal msg echo) then failwith "echo corrupted"
             done;
+            (* ulplint: allow raw-mutex-in-fiber -- Sim.Stats sink shared across worker domains; short hold, never parks while held *)
             Mutex.lock lat_lock;
             Array.iter (Sim.Stats.add lat) rtts;
             Mutex.unlock lat_lock;

@@ -59,6 +59,7 @@ let () =
                         Printf.printf "[%8.1f ms] %-6s closed\n%!" (stamp ())
                           name
                     | n ->
+                        (* ulplint: allow raw-mutex-in-fiber -- two-line counter bump shared with the main thread; never parks while held *)
                         Mutex.lock events_lock;
                         incr events;
                         Mutex.unlock events_lock;

@@ -40,12 +40,14 @@ let create ?(capacity = 1) () =
   }
 
 let length t =
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   let n = Queue.length t.items in
   Mutex.unlock t.mutex;
   n
 
 let is_closed t =
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   let c = t.closed in
   Mutex.unlock t.mutex;
@@ -57,11 +59,13 @@ let wait_on t waiters =
   Fiber.suspend (fun wake ->
       Queue.push wake waiters;
       Mutex.unlock t.mutex);
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex
 
 (* Send, suspending while the channel is full.
    @raise Closed if the channel is (or becomes) closed. *)
 let send t v =
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   while Queue.length t.items >= t.capacity && not t.closed do
     wait_on t t.send_waiters
@@ -78,6 +82,7 @@ let send t v =
 (* Receive, suspending while the channel is empty.  Returns [None] once
    the channel is closed and drained. *)
 let recv t =
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   let rec go () =
     match Queue.take_opt t.items with
@@ -99,6 +104,7 @@ let recv t =
   go ()
 
 let try_recv t =
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   match Queue.take_opt t.items with
   | Some v ->
@@ -112,6 +118,7 @@ let try_recv t =
 
 (* Close: senders raise, receivers drain then see [None]. *)
 let close t =
+  (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   if t.closed then Mutex.unlock t.mutex
   else begin

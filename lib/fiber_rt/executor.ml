@@ -18,8 +18,10 @@ type t = {
 
 let worker t () =
   let rec loop () =
+    (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
     Mutex.lock t.mutex;
     while Queue.is_empty t.jobs && not t.stopping do
+      (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
       Condition.wait t.cond t.mutex
     done;
     if Queue.is_empty t.jobs && t.stopping then Mutex.unlock t.mutex
@@ -30,6 +32,7 @@ let worker t () =
          the exception hides real failures: record it for the owner. *)
       (try job ()
        with exn ->
+         (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
          Mutex.lock t.mutex;
          t.failures <- t.failures + 1;
          t.last_error <- Some exn;
@@ -57,6 +60,7 @@ let create () =
   t
 
 let submit t job =
+  (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
   Mutex.lock t.mutex;
   if t.stopping then begin
     Mutex.unlock t.mutex;
@@ -71,12 +75,14 @@ let submit t job =
 let executed t = t.executed
 
 let failures t =
+  (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
   Mutex.lock t.mutex;
   let n = t.failures in
   Mutex.unlock t.mutex;
   n
 
 let last_error t =
+  (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
   Mutex.lock t.mutex;
   let e = t.last_error in
   Mutex.unlock t.mutex;
@@ -87,6 +93,7 @@ let thread_id t =
   match t.thread with Some th -> Thread.id th | None -> -1
 
 let shutdown t =
+  (* ulplint: allow raw-mutex-in-fiber -- the mailbox of a dedicated OS thread (a KC): producers are foreign threads or fibers, the consumer is this thread -- fiber-aware parking cannot wake an OS thread *)
   Mutex.lock t.mutex;
   t.stopping <- true;
   Condition.broadcast t.cond;

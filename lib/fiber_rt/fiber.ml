@@ -140,12 +140,14 @@ let make_scheduler () =
 
 (* Wake-ups may arrive from any OS thread. *)
 let inject sched thunk =
+  (* ulplint: allow raw-mutex-in-fiber -- the injection channel is fed by foreign OS threads (reactors, executors); this IS the engine the fiber primitives park through *)
   Mutex.lock sched.inject_mutex;
   Queue.push thunk sched.injected;
   Condition.signal sched.inject_cond;
   Mutex.unlock sched.inject_mutex
 
 let drain_injected sched =
+  (* ulplint: allow raw-mutex-in-fiber -- the injection channel is fed by foreign OS threads (reactors, executors); this IS the engine the fiber primitives park through *)
   Mutex.lock sched.inject_mutex;
   Queue.transfer sched.injected sched.ready;
   Mutex.unlock sched.inject_mutex
@@ -228,8 +230,10 @@ let run_loop sched =
         loop ()
     | None ->
         if sched.live > 0 then begin
+          (* ulplint: allow raw-mutex-in-fiber -- the injection channel is fed by foreign OS threads (reactors, executors); this IS the engine the fiber primitives park through *)
           Mutex.lock sched.inject_mutex;
           while Queue.is_empty sched.injected do
+            (* ulplint: allow raw-mutex-in-fiber -- the injection channel is fed by foreign OS threads (reactors, executors); this IS the engine the fiber primitives park through *)
             Condition.wait sched.inject_cond sched.inject_mutex
           done;
           Mutex.unlock sched.inject_mutex;
@@ -355,14 +359,17 @@ let make_psched ~domains =
    one consume per push: no token leaks across parking rounds. *)
 
 let deliver_token w =
+  (* ulplint: allow raw-mutex-in-fiber -- worker-domain parking: an idle domain must really sleep in the OS, which is exactly what Sync must never do *)
   Mutex.lock w.park_mutex;
   w.park_wake <- true;
   Condition.signal w.park_cond;
   Mutex.unlock w.park_mutex
 
 let await_token w =
+  (* ulplint: allow raw-mutex-in-fiber -- worker-domain parking: an idle domain must really sleep in the OS, which is exactly what Sync must never do *)
   Mutex.lock w.park_mutex;
   while not w.park_wake do
+    (* ulplint: allow raw-mutex-in-fiber -- worker-domain parking: an idle domain must really sleep in the OS, which is exactly what Sync must never do *)
     Condition.wait w.park_cond w.park_mutex
   done;
   w.park_wake <- false;
@@ -675,6 +682,7 @@ let worker_loop ps w =
   go ();
   Domain.DLS.set pctx_key None;
   (* last worker out lets [run_parallel] reap the executors *)
+  (* ulplint: allow raw-mutex-in-fiber -- run_parallel shutdown handshake between raw domains, outside any fiber engine *)
   Mutex.lock ps.done_mutex;
   ps.n_running <- ps.n_running - 1;
   Condition.broadcast ps.done_cond;
@@ -730,11 +738,14 @@ let run_parallel ?domains ?on_stats main =
      executors must be shut down BEFORE joining the helper domains --
      a domain does not terminate while OS threads it created (the
      executors of fibers that ran there) are still alive. *)
+  (* ulplint: allow raw-mutex-in-fiber -- run_parallel shutdown handshake between raw domains, outside any fiber engine *)
   Mutex.lock ps.done_mutex;
   while ps.n_running > 0 do
+    (* ulplint: allow raw-mutex-in-fiber -- run_parallel shutdown handshake between raw domains, outside any fiber engine *)
     Condition.wait ps.done_cond ps.done_mutex
   done;
   Mutex.unlock ps.done_mutex;
+  (* ulplint: allow raw-mutex-in-fiber -- executor registry shared between raw domains during shutdown, outside any fiber engine *)
   Mutex.lock ps.pexec_mutex;
   let executors = ps.pexecutors in
   ps.pexecutors <- [];
@@ -802,6 +813,7 @@ let num_workers () =
 let register_executor e =
   match worker_ctx () with
   | Some c ->
+      (* ulplint: allow raw-mutex-in-fiber -- executor registry shared between raw domains during shutdown, outside any fiber engine *)
       Mutex.lock c.ps.pexec_mutex;
       c.ps.pexecutors <- e :: c.ps.pexecutors;
       Mutex.unlock c.ps.pexec_mutex

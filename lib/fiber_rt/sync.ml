@@ -1,0 +1,480 @@
+(* Fiber-aware synchronization: parking parks the *fiber*, never the
+   worker domain.
+
+   Every primitive keeps its whole state in a single [Atomic.t] cell
+   holding an immutable record/variant, walked only by CAS (read the
+   current value, build the successor, [compare_and_set], retry on
+   conflict) — the same discipline as [Completion] and [Idle_waker].
+   Waiters park through [Fiber.suspend_token] and are woken through
+   [Fiber.Wake.fire_to] with the worker index recorded at park time, so
+   a wake goes to the parking worker's private inbox when possible.
+
+   Wake-ups are *handoffs*: an unlock that finds a waiter transfers
+   ownership (the lock stays [Locked], the semaphore permit is never
+   re-added) and fires exactly that waiter, so there is no thundering
+   herd and no lost-wakeup window between "release" and "wake".
+
+   This file is recompiled inside lib/check against the traced
+   Atomic/Fiber shims, so it must confine itself to that vocabulary:
+   no [Unix], no [Domain], no Stdlib.Mutex, no unbounded spinning. *)
+
+(* A parked fiber: its one-shot wake token plus the worker that parked
+   it, captured at suspend time so the waker can route the resumption
+   back to the same domain's private inbox. *)
+type waiter = { wtok : Fiber.Wake.token; whome : int option }
+
+let wake_waiter w = ignore (Fiber.Wake.fire_to ?worker:w.whome w.wtok)
+
+(* [split_last ws] on a newest-first waiter list: the oldest waiter and
+   the rest, preserving order.  O(length), and waiter lists only hold
+   currently-parked fibers, so this stays short. *)
+let split_last ws =
+  let rec go acc = function
+    | [] -> None
+    | [ oldest ] -> Some (List.rev acc, oldest)
+    | w :: tl -> go (w :: acc) tl
+  in
+  go [] ws
+
+let default_spin = 32
+
+module Mutex = struct
+  type kind = Park | Queued
+
+  (* ---- spin-then-park variant ----------------------------------- *)
+
+  (* [Locked ws]: held, with [ws] the parked waiters newest-first.
+     Unlock with waiters is a handoff: the state stays [Locked] and the
+     oldest waiter is fired, so it owns the mutex when it resumes. *)
+  type park_state = Unlocked | Locked of waiter list
+
+  type park_mutex = { pstate : park_state Atomic.t; pspin : int }
+
+  (* ---- CLH queued variant --------------------------------------- *)
+
+  (* Each locker enqueues a fresh node with an [exchange] on [tail] and
+     waits on its *predecessor*: spin a bounded number of reads on
+     [released], then park by publishing a waiter into the
+     predecessor's [succ] slot.  The unlocker never waits: it sets
+     [released] on its own node, then fires whatever waiter is
+     published there.  The park path re-checks [released] after
+     publishing and self-fires on a lost race (Dekker handshake); the
+     token's exactly-one-fire claim absorbs the double wake. *)
+  type clh_node = {
+    released : bool Atomic.t;
+    succ : waiter option Atomic.t;
+  }
+
+  type clh_mutex = {
+    tail : clh_node Atomic.t;
+    (* Owned by the current lock holder, written only after acquiring
+       (ordered by the [released] flag), read only by its unlock. *)
+    mutable holder : clh_node;
+    qspin : int;
+  }
+
+  type t = P of park_mutex | Q of clh_mutex
+
+  let create ?(spin = default_spin) ?(kind = Park) () =
+    if spin < 0 then invalid_arg "Sync.Mutex.create: negative spin";
+    match kind with
+    | Park -> P { pstate = Atomic.make Unlocked; pspin = spin }
+    | Queued ->
+        let n0 = { released = Atomic.make true; succ = Atomic.make None } in
+        Q { tail = Atomic.make n0; holder = n0; qspin = spin }
+
+  let kind = function P _ -> Park | Q _ -> Queued
+
+  (* ---- park variant ops ----------------------------------------- *)
+
+  let park_try_lock m =
+    match Atomic.get m.pstate with
+    | Unlocked -> Atomic.compare_and_set m.pstate Unlocked (Locked [])
+    | Locked _ -> false
+
+  let park_lock m =
+    let rec spin budget =
+      park_try_lock m || (budget > 0 && spin (budget - 1))
+    in
+    if not (spin m.pspin) then
+      (* Park.  Registration re-checks under CAS: either we enqueue
+         ourselves while the mutex is held, or we grab it and consume
+         our own token.  Both paths end with us owning the mutex when
+         [suspend_token] returns. *)
+      Fiber.suspend_token (fun tok ->
+          let w = { wtok = tok; whome = Fiber.worker_index () } in
+          let rec register () =
+            match Atomic.get m.pstate with
+            | Unlocked ->
+                if Atomic.compare_and_set m.pstate Unlocked (Locked []) then
+                  ignore (Fiber.Wake.fire tok)
+                else register ()
+            | Locked ws as cur ->
+                if not (Atomic.compare_and_set m.pstate cur (Locked (w :: ws)))
+                then register ()
+          in
+          register ())
+
+  let rec park_unlock m =
+    match Atomic.get m.pstate with
+    | Unlocked -> invalid_arg "Sync.Mutex.unlock: not locked"
+    | Locked [] as cur ->
+        if not (Atomic.compare_and_set m.pstate cur Unlocked) then
+          park_unlock m
+    | Locked ws as cur -> (
+        match split_last ws with
+        | None -> assert false
+        | Some (rest, oldest) ->
+            (* Handoff: state stays [Locked] for [oldest]. *)
+            if Atomic.compare_and_set m.pstate cur (Locked rest) then
+              wake_waiter oldest
+            else park_unlock m)
+
+  (* ---- CLH variant ops ------------------------------------------ *)
+
+  let clh_lock m =
+    let n = { released = Atomic.make false; succ = Atomic.make None } in
+    let pred = Atomic.exchange m.tail n in
+    let rec spin budget =
+      Atomic.get pred.released || (budget > 0 && spin (budget - 1))
+    in
+    if not (spin m.qspin) then
+      Fiber.suspend_token (fun tok ->
+          Atomic.set pred.succ
+            (Some { wtok = tok; whome = Fiber.worker_index () });
+          (* Dekker re-check: the unlocker may have read [succ] as
+             [None] just before we published.  It set [released] first,
+             so one of us sees the other's write. *)
+          if Atomic.get pred.released then ignore (Fiber.Wake.fire tok));
+    m.holder <- n
+
+  let clh_try_lock m =
+    let cur = Atomic.get m.tail in
+    Atomic.get cur.released
+    &&
+    let n = { released = Atomic.make false; succ = Atomic.make None } in
+    if Atomic.compare_and_set m.tail cur n then begin
+      m.holder <- n;
+      true
+    end
+    else false
+
+  let clh_unlock m =
+    let n = m.holder in
+    Atomic.set n.released true;
+    match Atomic.get n.succ with
+    | Some w -> wake_waiter w
+    | None -> ()
+
+  (* ---- dispatch -------------------------------------------------- *)
+
+  let lock = function P m -> park_lock m | Q m -> clh_lock m
+  let try_lock = function P m -> park_try_lock m | Q m -> clh_try_lock m
+  let unlock = function P m -> park_unlock m | Q m -> clh_unlock m
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+end
+
+module Semaphore = struct
+  (* [avail] permits and parked acquirers, newest-first.  Invariant:
+     [avail > 0] implies [sq = []] — a release with waiters hands its
+     permit straight to the oldest waiter without re-adding it, and an
+     acquire only enqueues after re-checking [avail = 0] under CAS. *)
+  type state = { avail : int; sq : waiter list }
+
+  type t = { s : state Atomic.t; spin : int }
+
+  let create ?(spin = default_spin) permits =
+    if permits < 0 then invalid_arg "Sync.Semaphore.create: negative permits";
+    { s = Atomic.make { avail = permits; sq = [] }; spin }
+
+  let try_acquire t =
+    let cur = Atomic.get t.s in
+    cur.avail > 0
+    && Atomic.compare_and_set t.s cur { cur with avail = cur.avail - 1 }
+
+  let acquire t =
+    let rec spin budget =
+      try_acquire t || (budget > 0 && spin (budget - 1))
+    in
+    if not (spin t.spin) then
+      Fiber.suspend_token (fun tok ->
+          let w = { wtok = tok; whome = Fiber.worker_index () } in
+          let rec register () =
+            let cur = Atomic.get t.s in
+            if cur.avail > 0 then begin
+              if Atomic.compare_and_set t.s cur { cur with avail = cur.avail - 1 }
+              then ignore (Fiber.Wake.fire tok)
+              else register ()
+            end
+            else if
+              not (Atomic.compare_and_set t.s cur { cur with sq = w :: cur.sq })
+            then register ()
+          in
+          register ())
+
+  let rec release t =
+    let cur = Atomic.get t.s in
+    match split_last cur.sq with
+    | None ->
+        if not (Atomic.compare_and_set t.s cur { cur with avail = cur.avail + 1 })
+        then release t
+    | Some (rest, oldest) ->
+        (* Permit handoff: [avail] is unchanged, the waiter owns it. *)
+        if Atomic.compare_and_set t.s cur { cur with sq = rest } then
+          wake_waiter oldest
+        else release t
+
+  let available t = (Atomic.get t.s).avail
+
+  let with_acquire t f =
+    acquire t;
+    match f () with
+    | v ->
+        release t;
+        v
+    | exception e ->
+        release t;
+        raise e
+end
+
+module Rwlock = struct
+  (* [readers] active readers, [writer] an active writer, [rq]/[wq]
+     parked readers/writers (newest-first).  Entry policy is
+     writer-preferring: a reader parks whenever a writer is active *or
+     queued*.  Starvation is broken on release: a write release wakes
+     the whole parked-reader batch (counting them all active in the
+     same CAS) before the next writer, so readers and writers
+     alternate under contention.
+
+     Reachable-state invariants (each transition is one CAS):
+     - [writer] implies [readers = 0];
+     - [wq <> []] implies [writer || readers > 0] (a blocked writer
+       always has an active party due to hand it the lock);
+     - [rq <> []] implies [writer || wq <> []]. *)
+  type state = {
+    readers : int;
+    writer : bool;
+    rq : waiter list;
+    wq : waiter list;
+  }
+
+  type t = { rw : state Atomic.t; spin : int }
+
+  let create ?(spin = default_spin) () =
+    { rw = Atomic.make { readers = 0; writer = false; rq = []; wq = [] }; spin }
+
+  let try_acquire_read t =
+    let cur = Atomic.get t.rw in
+    (not cur.writer) && cur.wq = []
+    && Atomic.compare_and_set t.rw cur { cur with readers = cur.readers + 1 }
+
+  let acquire_read t =
+    let rec spin budget =
+      try_acquire_read t || (budget > 0 && spin (budget - 1))
+    in
+    if not (spin t.spin) then
+      Fiber.suspend_token (fun tok ->
+          let w = { wtok = tok; whome = Fiber.worker_index () } in
+          let rec register () =
+            let cur = Atomic.get t.rw in
+            if (not cur.writer) && cur.wq = [] then begin
+              if
+                Atomic.compare_and_set t.rw cur
+                  { cur with readers = cur.readers + 1 }
+              then ignore (Fiber.Wake.fire tok)
+              else register ()
+            end
+            else if
+              not (Atomic.compare_and_set t.rw cur { cur with rq = w :: cur.rq })
+            then register ()
+          in
+          register ())
+
+  let try_acquire_write t =
+    let cur = Atomic.get t.rw in
+    (not cur.writer) && cur.readers = 0
+    && Atomic.compare_and_set t.rw cur { cur with writer = true }
+
+  let acquire_write t =
+    let rec spin budget =
+      try_acquire_write t || (budget > 0 && spin (budget - 1))
+    in
+    if not (spin t.spin) then
+      Fiber.suspend_token (fun tok ->
+          let w = { wtok = tok; whome = Fiber.worker_index () } in
+          let rec register () =
+            let cur = Atomic.get t.rw in
+            if (not cur.writer) && cur.readers = 0 then begin
+              if Atomic.compare_and_set t.rw cur { cur with writer = true } then
+                ignore (Fiber.Wake.fire tok)
+              else register ()
+            end
+            else if
+              not (Atomic.compare_and_set t.rw cur { cur with wq = w :: cur.wq })
+            then register ()
+          in
+          register ())
+
+  let rec release_read t =
+    let cur = Atomic.get t.rw in
+    if cur.readers <= 0 then invalid_arg "Sync.Rwlock.release_read: no reader";
+    if cur.readers = 1 && not cur.writer then begin
+      match split_last cur.wq with
+      | Some (rest, oldest) ->
+          (* Last reader out with a writer parked: handoff. *)
+          if
+            Atomic.compare_and_set t.rw cur
+              { cur with readers = 0; writer = true; wq = rest }
+          then wake_waiter oldest
+          else release_read t
+      | None ->
+          if not (Atomic.compare_and_set t.rw cur { cur with readers = 0 })
+          then release_read t
+    end
+    else if
+      not (Atomic.compare_and_set t.rw cur { cur with readers = cur.readers - 1 })
+    then release_read t
+
+  let rec release_write t =
+    let cur = Atomic.get t.rw in
+    if not cur.writer then invalid_arg "Sync.Rwlock.release_write: no writer";
+    match cur.rq with
+    | _ :: _ ->
+        (* Anti-starvation: the whole parked-reader batch enters before
+           the next writer, all counted active in this one CAS. *)
+        if
+          Atomic.compare_and_set t.rw cur
+            { cur with writer = false; readers = List.length cur.rq; rq = [] }
+        then List.iter wake_waiter (List.rev cur.rq)
+        else release_write t
+    | [] -> (
+        match split_last cur.wq with
+        | Some (rest, oldest) ->
+            (* Writer-to-writer handoff: [writer] stays set. *)
+            if Atomic.compare_and_set t.rw cur { cur with wq = rest } then
+              wake_waiter oldest
+            else release_write t
+        | None ->
+            if not (Atomic.compare_and_set t.rw cur { cur with writer = false })
+            then release_write t)
+
+  let with_read t f =
+    acquire_read t;
+    match f () with
+    | v ->
+        release_read t;
+        v
+    | exception e ->
+        release_read t;
+        raise e
+
+  let with_write t f =
+    acquire_write t;
+    match f () with
+    | v ->
+        release_write t;
+        v
+    | exception e ->
+        release_write t;
+        raise e
+end
+
+module Condition = struct
+  (* Parked waiters, newest-first.  [wait] publishes the waiter and
+     *then* releases the mutex, both inside the suspend registration,
+     so a signaller running between unlock and park still finds the
+     waiter — the lost-wakeup window this ordering closes is exactly
+     what the seeded twin in lib/check reopens. *)
+  type t = waiter list Atomic.t
+
+  let create () = Atomic.make []
+
+  let wait t m =
+    Fiber.suspend_token (fun tok ->
+        let w = { wtok = tok; whome = Fiber.worker_index () } in
+        let rec register () =
+          let cur = Atomic.get t in
+          if not (Atomic.compare_and_set t cur (w :: cur)) then register ()
+        in
+        register ();
+        Mutex.unlock m);
+    Mutex.lock m
+
+  let rec signal t =
+    let cur = Atomic.get t in
+    match split_last cur with
+    | None -> ()
+    | Some (rest, oldest) ->
+        if Atomic.compare_and_set t cur rest then wake_waiter oldest
+        else signal t
+
+  let broadcast t =
+    let ws = Atomic.exchange t [] in
+    List.iter wake_waiter (List.rev ws)
+end
+
+module Barrier = struct
+  (* One generation per [parties] arrivals.  The last arrival swings
+     the whole cell to the next generation (count reset *and*
+     generation bump in the same CAS) before waking anyone, so an
+     early-woken fiber re-entering the barrier can never have its
+     arrival wiped by a late reset — the classic barrier-generation
+     bug its lib/check twin reintroduces. *)
+  type state = { gen : int; arrived : int; bw : waiter list }
+
+  type t = { parties : int; b : state Atomic.t }
+
+  let create parties =
+    if parties < 1 then invalid_arg "Sync.Barrier.create: parties < 1";
+    { parties; b = Atomic.make { gen = 0; arrived = 0; bw = [] } }
+
+  let parties t = t.parties
+
+  let phase t = (Atomic.get t.b).gen
+
+  let await t =
+    let rec arrive () =
+      let cur = Atomic.get t.b in
+      if cur.arrived + 1 = t.parties then
+        if
+          Atomic.compare_and_set t.b cur
+            { gen = cur.gen + 1; arrived = 0; bw = [] }
+        then begin
+          List.iter wake_waiter (List.rev cur.bw);
+          true
+        end
+        else arrive ()
+      else false
+    in
+    if not (arrive ()) then
+      Fiber.suspend_token (fun tok ->
+          let w = { wtok = tok; whome = Fiber.worker_index () } in
+          let rec register () =
+            let cur = Atomic.get t.b in
+            if cur.arrived + 1 = t.parties then begin
+              if
+                Atomic.compare_and_set t.b cur
+                  { gen = cur.gen + 1; arrived = 0; bw = [] }
+              then begin
+                List.iter wake_waiter (List.rev cur.bw);
+                ignore (Fiber.Wake.fire tok)
+              end
+              else register ()
+            end
+            else if
+              not
+                (Atomic.compare_and_set t.b cur
+                   { cur with arrived = cur.arrived + 1; bw = w :: cur.bw })
+            then register ()
+          in
+          register ())
+end

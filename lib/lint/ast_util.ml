@@ -96,6 +96,26 @@ let iter_idents ?(fmod = fun ~loc:_ _ -> ()) ~f structure =
   let it = { default_iterator with expr; module_expr } in
   it.structure it structure
 
+(* ---------- locally defined module names ---------- *)
+
+(* Every module name the file binds itself ([module Mutex = struct
+   ... end] at any depth).  Rules keyed on a bare module path (the
+   raw-mutex-in-fiber [Mutex.lock] pattern) use this to stand down when
+   the file shadows the stdlib module with its own -- sync.ml's
+   fiber-aware [Mutex] being the motivating case. *)
+let defined_module_names structure =
+  let names = ref [] in
+  let open Ast_iterator in
+  let module_binding self mb =
+    (match mb.pmb_name.txt with
+    | Some n -> names := n :: !names
+    | None -> ());
+    default_iterator.module_binding self mb
+  in
+  let it = { default_iterator with module_binding } in
+  it.structure it structure;
+  !names
+
 (* ---------- per-function atomic operation sequences ---------- *)
 
 type atomic_op = Aget | Aset | Aupd

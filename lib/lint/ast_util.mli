@@ -36,6 +36,11 @@ val iter_idents :
     thread-keyed syscalls are exactly what coupling is for).  [fmod]
     additionally receives module paths ([Pmod_ident]). *)
 
+val defined_module_names : Parsetree.structure -> string list
+(** Every module name the file binds itself, at any depth.  Lets rules
+    keyed on a bare stdlib module path ([Mutex.lock]) stand down when
+    the file shadows that module with its own definition. *)
+
 type atomic_op = Aget | Aset | Aupd
 
 type aevent = {

@@ -6,6 +6,12 @@
      worker domain that enters a blocking syscall stalls every fiber
      scheduled on it.  Blocking belongs to the reactor (Fiber_io /
      Reactor) or to a coupled section on the fiber's original KC.
+   - raw-mutex-in-fiber: the synchronization discipline behind
+     lib/fiber_rt/sync.ml -- a Stdlib.Mutex.lock or Condition.wait in
+     fiber code parks the OS thread and with it every fiber on that
+     worker domain; fiber code parks fibers (Sync.Mutex/Condition),
+     raw mutexes stay with the runtime internals that really do
+     coordinate OS threads (waived, with the reason written down).
    - atomic-get-then-set: the exact shape of both seeded checker bugs
      (Buggy_reactor.post, Buggy_completion.finish): a stale read
      followed by a store lets a concurrent CAS land in the window and
@@ -97,6 +103,52 @@ let blocking_in_fiber =
                   add ~loc "blocking call epoll_wait_stub (epoll_wait(2))"
                     "only a reactor-shard thread may wait in the poller; \
                      fibers go through Fiber_io/Reactor"
+              | _ -> ());
+        List.rev !acc);
+  }
+
+(* ---------- raw-mutex-in-fiber ---------- *)
+
+let raw_mutex_in_fiber =
+  {
+    name = "raw-mutex-in-fiber";
+    severity = Finding.Error;
+    doc =
+      "no Stdlib.Mutex.lock / Stdlib.Condition.wait in fiber code \
+       (lib/fiber_rt, lib/net, lib/workload, examples, bench): a raw \
+       mutex parks the OS THREAD, stalling every fiber scheduled on \
+       that worker domain.  Use the fiber-aware Fiber_rt.Sync.Mutex / \
+       Sync.Condition, which park only the calling fiber.  Runtime \
+       internals that coordinate real OS threads (executor run queues, \
+       domain parking, reactor handshakes) legitimately keep raw \
+       mutexes -- under a written waiver.  Files defining their own \
+       Mutex/Condition modules (sync.ml itself) are exempt.";
+    in_scope = fiber_scope;
+    check =
+      (fun ~file ast ->
+        let defined = defined_module_names ast in
+        let shadows m = List.mem m defined in
+        let acc = ref [] in
+        let add ~loc what =
+          let line, col = pos_of loc in
+          acc :=
+            Finding.make ~rule:"raw-mutex-in-fiber" ~severity:Finding.Error
+              ~file ~line ~col
+              (Printf.sprintf
+                 "%s parks the OS thread and stalls every fiber on this \
+                  worker domain; use the fiber-aware Fiber_rt.Sync \
+                  primitive, or waive with the reason this state is \
+                  shared with non-fiber OS threads"
+                 what)
+            :: !acc
+        in
+        iter_idents ast ~f:(fun ~coupled ~loc path ->
+            if not coupled then
+              match drop_stdlib path with
+              | [ "Mutex"; "lock" ] when not (shadows "Mutex") ->
+                  add ~loc "raw Mutex.lock"
+              | [ "Condition"; "wait" ] when not (shadows "Condition") ->
+                  add ~loc "raw Condition.wait"
               | _ -> ());
         List.rev !acc);
   }
@@ -198,7 +250,8 @@ let syscall_consistency =
         List.rev !acc);
   }
 
-let ast_rules = [ blocking_in_fiber; atomic_get_then_set; syscall_consistency ]
+let ast_rules =
+  [ blocking_in_fiber; raw_mutex_in_fiber; atomic_get_then_set; syscall_consistency ]
 
 (* ---------- seam-bypass (driven by dune copy_files# manifests) ---------- *)
 
@@ -262,6 +315,7 @@ let check_mli ~file =
 let catalog =
   [
     (blocking_in_fiber.name, blocking_in_fiber.severity, blocking_in_fiber.doc);
+    (raw_mutex_in_fiber.name, raw_mutex_in_fiber.severity, raw_mutex_in_fiber.doc);
     (atomic_get_then_set.name, atomic_get_then_set.severity, atomic_get_then_set.doc);
     (seam_name, Finding.Error, seam_doc);
     (syscall_consistency.name, syscall_consistency.severity, syscall_consistency.doc);

@@ -448,3 +448,19 @@ let with_timeout t ~seconds f =
       | None -> assert false)
   | `Timeout -> Error `Timeout
   | `None -> assert false
+
+(* Scoped timeouts: arm a wheel timer that cancels the whole scope.
+   Cancellation is cooperative ([Scope.check] in the children), so this
+   composes with [Scope.run]: the timer fires, every child unwinds with
+   [Scope.Cancelled], the scope edge absorbs it.  The disarm thunk uses
+   the wheel's cancel CAS, so disarm-vs-fire resolves to exactly one
+   winner even when the deadline lands mid-disarm. *)
+let cancel_scope_after t ~seconds scope =
+  check_live t;
+  let deadline = now () +. seconds in
+  let tm =
+    Timer_wheel.make ~at:(tick_of t deadline) (fun () ->
+        Fiber_rt.Scope.cancel scope)
+  in
+  send (shard_for t) (Add_timer tm);
+  fun () -> Timer_wheel.cancel tm

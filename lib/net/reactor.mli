@@ -88,3 +88,14 @@ val with_timeout :
     (abandon-wait semantics); give the I/O inside a [?deadline] when it
     must actually stop.  If [f] raised, its exception is re-raised
     here. *)
+
+val cancel_scope_after :
+  t -> seconds:float -> Fiber_rt.Scope.t -> unit -> bool
+(** [cancel_scope_after t ~seconds scope] arms a timer that
+    {!Fiber_rt.Scope.cancel}s [scope] when the deadline passes, giving
+    scoped timeouts: children polling [Scope.check] unwind with
+    [Cancelled], which the scope edge absorbs.  Returns a disarm thunk:
+    [true] if it won the race against the deadline (the scope will not
+    be cancelled by this timer), [false] if the timer already fired.
+    Disarm it when the scope body finishes early, or the timer holds
+    the scope value until the deadline. *)

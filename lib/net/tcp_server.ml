@@ -71,6 +71,7 @@ module Latency = struct
       if ns > m && not (Atomic.compare_and_set t.max_ns m ns) then bump ()
     in
     bump ();
+    (* ulplint: allow raw-mutex-in-fiber -- reservoir guard shared with stats readers on foreign OS threads; O(1) hold, no park possible while held *)
     Mutex.lock t.lock;
     (if i < t.cap then t.samples.(i) <- dt
      else begin
@@ -89,6 +90,7 @@ module Latency = struct
   let max_s t = float_of_int (Atomic.get t.max_ns) /. 1e9
 
   let percentile t p =
+    (* ulplint: allow raw-mutex-in-fiber -- reservoir guard shared with stats readers on foreign OS threads; O(1) hold, no park possible while held *)
     Mutex.lock t.lock;
     let n = min (Atomic.get t.count) t.cap in
     let copy = Array.sub t.samples 0 n in

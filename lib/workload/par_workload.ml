@@ -119,6 +119,83 @@ let ping_pong ~domains ~msgs =
       Fiber.join pinger;
       Fiber.join ponger)
 
+(* ---------- synchronization workloads (lib/fiber_rt/sync.ml) ---------- *)
+
+module Sync = Fiber_rt.Sync
+
+(* Contended counter: [fibers] fibers each take the lock [iters] times
+   to bump a plain ref.  Pure handoff throughput under maximal
+   contention; run once per [Mutex.kind] to compare the spin-then-park
+   list mutex with the CLH queue lock. *)
+let sync_mutex ~domains ~kind ~fibers ~iters =
+  let name =
+    match kind with
+    | Sync.Mutex.Park -> "sync_mutex_park"
+    | Sync.Mutex.Queued -> "sync_mutex_queued"
+  in
+  with_stats ~name ~domains ~items:(fibers * iters) (fun () ->
+      let m = Sync.Mutex.create ~kind () in
+      let counter = ref 0 in
+      let fs =
+        List.init fibers (fun _ ->
+            Fiber.spawn (fun () ->
+                for _ = 1 to iters do
+                  Sync.Mutex.with_lock m (fun () -> incr counter)
+                done))
+      in
+      List.iter Fiber.join fs;
+      assert (!counter = fibers * iters))
+
+(* Read-mostly rwlock: 1 writer bumping a pair of cells, [readers]
+   readers spinning read sections ([ratio] reads per write).  Measures
+   reader-side throughput while the writer-preferring entry keeps the
+   writer from starving. *)
+let sync_rwlock ~domains ~readers ~reads ~ratio =
+  let writes = max 1 (reads / max 1 ratio) in
+  with_stats ~name:"sync_rwlock_readmostly" ~domains
+    ~items:((readers * reads) + writes)
+    (fun () ->
+      let rw = Sync.Rwlock.create () in
+      let a = ref 0 and b = ref 0 in
+      let writer =
+        Fiber.spawn (fun () ->
+            for _ = 1 to writes do
+              Sync.Rwlock.with_write rw (fun () ->
+                  incr a;
+                  incr b);
+              Fiber.yield ()
+            done)
+      in
+      let rs =
+        List.init readers (fun _ ->
+            Fiber.spawn (fun () ->
+                for _ = 1 to reads do
+                  Sync.Rwlock.with_read rw (fun () ->
+                      if !a <> !b then failwith "torn read")
+                done))
+      in
+      List.iter Fiber.join rs;
+      Fiber.join writer)
+
+(* Barrier phases: [parties] fibers in lockstep over [phases]
+   generations, [work] opaque additions per fiber per phase.  The cost
+   of the full-rendezvous wake pattern (one arrival wakes parties-1
+   parked fibers per generation). *)
+let sync_barrier ~domains ~parties ~phases ~work =
+  with_stats ~name:"sync_barrier_phases" ~domains ~items:(parties * phases)
+    (fun () ->
+      let b = Sync.Barrier.create parties in
+      let fs =
+        List.init parties (fun _ ->
+            Fiber.spawn (fun () ->
+                for _ = 1 to phases do
+                  spin work;
+                  Sync.Barrier.await b
+                done))
+      in
+      List.iter Fiber.join fs;
+      assert (Sync.Barrier.phase b = phases))
+
 (* The speedup curve of the acceptance criteria: [spawn_join] at each
    domain count, plus the ratio to the 1-domain run. *)
 let speedup_curve ~domain_counts ~fibers ~work =

@@ -30,6 +30,27 @@ val ping_pong : domains:int -> msgs:int -> result
 (** Two fibers bouncing [msgs] messages over rendezvous channels: the
     cross-domain wake-up path. *)
 
+val sync_mutex :
+  domains:int ->
+  kind:Fiber_rt.Sync.Mutex.kind ->
+  fibers:int ->
+  iters:int ->
+  result
+(** Contended counter: [fibers] fibers each take the lock [iters] times
+    to bump a shared ref — pure handoff throughput under maximal
+    contention, one run per {!Fiber_rt.Sync.Mutex.kind} (the
+    spin-then-park list mutex vs the CLH queue lock). *)
+
+val sync_rwlock :
+  domains:int -> readers:int -> reads:int -> ratio:int -> result
+(** Read-mostly rwlock: [readers] readers of [reads] sections each
+    against one writer doing one write per [ratio] reads. *)
+
+val sync_barrier :
+  domains:int -> parties:int -> phases:int -> work:int -> result
+(** [parties] fibers in lockstep across [phases] barrier generations,
+    [work] opaque additions per fiber per phase. *)
+
 val speedup_curve :
   domain_counts:int list -> fibers:int -> work:int -> (result * float) list
 (** [spawn_join] at each domain count paired with its speedup relative

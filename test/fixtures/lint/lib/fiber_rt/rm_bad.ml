@@ -1,0 +1,20 @@
+(* Fixture: raw-mutex-in-fiber must flag the thread-parking entry
+   points (Mutex.lock, Condition.wait), qualified or not, but never the
+   non-parking companions (unlock, signal). *)
+
+let m = Mutex.create ()
+let c = Condition.create ()
+
+let wait_for pred =
+  Mutex.lock m;
+  while not (pred ()) do
+    Condition.wait c m
+  done;
+  Mutex.unlock m
+
+let locked_stdlib f =
+  Stdlib.Mutex.lock m;
+  let v = f () in
+  Mutex.unlock m;
+  Condition.signal c;
+  v

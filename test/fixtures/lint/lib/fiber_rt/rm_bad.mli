@@ -1,0 +1,3 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val wait_for : (unit -> bool) -> unit
+val locked_stdlib : (unit -> 'a) -> 'a

@@ -1,0 +1,27 @@
+(* Fixture: a file that defines its own Mutex/Condition modules (the
+   sync.ml shape) uses them freely -- the rule must stand down. *)
+
+module Mutex = struct
+  type t = bool ref
+
+  let create () = ref false
+  let lock t = t := true
+  let unlock t = t := false
+end
+
+module Condition = struct
+  type t = unit
+
+  let create () = ()
+  let wait () _m = ()
+end
+
+let m = Mutex.create ()
+let c = Condition.create ()
+
+let locked f =
+  Mutex.lock m;
+  Condition.wait c m;
+  let v = f () in
+  Mutex.unlock m;
+  v

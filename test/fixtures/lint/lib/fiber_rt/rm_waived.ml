@@ -1,0 +1,9 @@
+(* Fixture: a reasoned waiver suppresses the finding. *)
+
+let m = Mutex.create ()
+
+let bump r =
+  (* ulplint: allow raw-mutex-in-fiber -- fixture: state shared with a non-fiber OS thread *)
+  Mutex.lock m;
+  incr r;
+  Mutex.unlock m

@@ -1,0 +1,2 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val bump : int ref -> unit

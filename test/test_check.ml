@@ -576,6 +576,341 @@ let couple_vs_steal ~buggy () =
           (Printf.sprintf "expected 2 consistency checks, saw %d"
              (Consistency.checks cons)) )
 
+(* ---------- scenario: Sync primitives and their seeded twins ------- *)
+
+(* The copied fiber-aware synchronization (lib/fiber_rt/sync.ml) under
+   the traced shims: parking is the shim's guarded step, so a lost
+   wakeup — the bug family every seeded twin reintroduces — surfaces as
+   the checker's deadlock detection.  All primitives are created with
+   [spin:0]: the bounded pre-park spin only widens the state space
+   without adding transitions the park path does not already have. *)
+
+module Sy = Check.Sync
+module Bsy = Check.Buggy_sync
+module Sco = Check.Scope
+module Bsco = Check.Buggy_scope
+
+module type MUTEX = sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module Park_mutex : MUTEX = struct
+  type t = Sy.Mutex.t
+
+  let create () = Sy.Mutex.create ~spin:0 ~kind:Sy.Mutex.Park ()
+  let lock = Sy.Mutex.lock
+  let unlock = Sy.Mutex.unlock
+end
+
+module Clh_mutex : MUTEX = struct
+  type t = Sy.Mutex.t
+
+  let create () = Sy.Mutex.create ~spin:0 ~kind:Sy.Mutex.Queued ()
+  let lock = Sy.Mutex.lock
+  let unlock = Sy.Mutex.unlock
+end
+
+module Bad_mutex : MUTEX = struct
+  type t = Bsy.Mutex.t
+
+  let create () = Bsy.Mutex.create ~spin:0 ()
+  let lock = Bsy.Mutex.lock
+  let unlock = Bsy.Mutex.unlock
+end
+
+(* N threads through one critical section: a traced gauge counts
+   occupants, so a mutual-exclusion failure is an immediate bug, and a
+   lost handoff wake (the seeded get-then-set unlock) strands a parked
+   locker — a deadlock. *)
+let mutex_exclusion ?(threads = 3) (module M : MUTEX) () =
+  let m = M.create () in
+  let in_cs = Atomic'.make 0 in
+  let body () =
+    M.lock m;
+    if Atomic'.fetch_and_add in_cs 1 <> 0 then
+      failwith "mutual exclusion violated";
+    Atomic'.decr in_cs;
+    M.unlock m
+  in
+  ( List.init threads (fun _ -> body),
+    fun () ->
+      if Atomic'.peek in_cs <> 0 then failwith "critical section not empty" )
+
+module type SEMAPHORE = sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+end
+
+module Good_sem : SEMAPHORE = struct
+  type t = Sy.Semaphore.t
+
+  let create n = Sy.Semaphore.create ~spin:0 n
+  let acquire = Sy.Semaphore.acquire
+  let release = Sy.Semaphore.release
+  let available = Sy.Semaphore.available
+end
+
+module Bad_sem : SEMAPHORE = struct
+  type t = Bsy.Semaphore.t
+
+  let create n = Bsy.Semaphore.create ~spin:0 n
+  let acquire = Bsy.Semaphore.acquire
+  let release = Bsy.Semaphore.release
+  let available = Bsy.Semaphore.available
+end
+
+(* Three acquirers over one permit: the gauge proves at most one holder
+   at a time, and the permit handoff chain must reach everyone — the
+   seeded get-then-set release wipes a registration and strands it. *)
+let semaphore_permits (module S : SEMAPHORE) () =
+  let s = S.create 1 in
+  let holders = Atomic'.make 0 in
+  let body () =
+    S.acquire s;
+    if Atomic'.fetch_and_add holders 1 <> 0 then
+      failwith "more holders than permits";
+    Atomic'.decr holders;
+    S.release s
+  in
+  ( [ body; body; body ],
+    fun () ->
+      if S.available s <> 1 then
+        failwith (Printf.sprintf "%d permits survive, want 1" (S.available s)) )
+
+module type RWLOCK = sig
+  type t
+
+  val create : unit -> t
+  val acquire_read : t -> unit
+  val release_read : t -> unit
+  val acquire_write : t -> unit
+  val release_write : t -> unit
+end
+
+module Good_rw : RWLOCK = struct
+  type t = Sy.Rwlock.t
+
+  let create () = Sy.Rwlock.create ~spin:0 ()
+  let acquire_read = Sy.Rwlock.acquire_read
+  let release_read = Sy.Rwlock.release_read
+  let acquire_write = Sy.Rwlock.acquire_write
+  let release_write = Sy.Rwlock.release_write
+end
+
+module Bad_rw : RWLOCK = struct
+  type t = Bsy.Rwlock.t
+
+  let create () = Bsy.Rwlock.create ~spin:0 ()
+  let acquire_read = Bsy.Rwlock.acquire_read
+  let release_read = Bsy.Rwlock.release_read
+  let acquire_write = Bsy.Rwlock.acquire_write
+  let release_write = Bsy.Rwlock.release_write
+end
+
+(* A writer against two readers, gauges on both sides: writers must see
+   zero readers and readers must see no writer, in every
+   interleaving of the park/handoff paths. *)
+let rwlock_exclusion (module RW : RWLOCK) () =
+  let rw = RW.create () in
+  let readers = Atomic'.make 0 and writing = Atomic'.make 0 in
+  let reader () =
+    RW.acquire_read rw;
+    Atomic'.incr readers;
+    if Atomic'.peek writing <> 0 then failwith "reader overlaps writer";
+    Atomic'.decr readers;
+    RW.release_read rw
+  in
+  let writer () =
+    RW.acquire_write rw;
+    if Atomic'.fetch_and_add writing 1 <> 0 then failwith "two writers";
+    if Atomic'.peek readers <> 0 then failwith "writer overlaps readers";
+    Atomic'.decr writing;
+    RW.release_write rw
+  in
+  ( [ reader; reader; writer ],
+    fun () ->
+      if Atomic'.peek readers <> 0 || Atomic'.peek writing <> 0 then
+        failwith "lock not quiescent" )
+
+(* The anti-starvation batch wake: the write lock is taken in the
+   setup, so both readers must park (or arrive after release); its
+   release must admit the WHOLE batch.  The seeded release_write wakes
+   only the oldest parked reader — the straggler never gets a wake it
+   is owed, and the checker reports the stranded park as deadlock. *)
+let rwlock_release_batch (module RW : RWLOCK) () =
+  let rw = RW.create () in
+  RW.acquire_write rw;
+  let served = Atomic'.make 0 in
+  let reader () =
+    RW.acquire_read rw;
+    Atomic'.incr served;
+    RW.release_read rw
+  in
+  ( [ (fun () -> RW.release_write rw); reader; reader ],
+    fun () ->
+      let n = Atomic'.peek served in
+      if n <> 2 then failwith (Printf.sprintf "%d readers served, want 2" n) )
+
+module type CONDVAR = sig
+  type mutex
+  type t
+
+  val mcreate : unit -> mutex
+  val lock : mutex -> unit
+  val unlock : mutex -> unit
+  val create : unit -> t
+  val wait : t -> mutex -> unit
+  val signal : t -> unit
+end
+
+module Good_cond : CONDVAR = struct
+  type mutex = Sy.Mutex.t
+  type t = Sy.Condition.t
+
+  let mcreate () = Sy.Mutex.create ~spin:0 ()
+  let lock = Sy.Mutex.lock
+  let unlock = Sy.Mutex.unlock
+  let create = Sy.Condition.create
+  let wait = Sy.Condition.wait
+  let signal = Sy.Condition.signal
+end
+
+(* The buggy condition pairs with the FAITHFUL mutex: the seeded bug is
+   purely the wait protocol's unlock-before-publish ordering. *)
+module Bad_cond : CONDVAR = struct
+  type mutex = Sy.Mutex.t
+  type t = Bsy.Condition.t
+
+  let mcreate () = Sy.Mutex.create ~spin:0 ()
+  let lock = Sy.Mutex.lock
+  let unlock = Sy.Mutex.unlock
+  let create = Bsy.Condition.create
+  let wait = Bsy.Condition.wait
+  let signal = Bsy.Condition.signal
+end
+
+(* The textbook mailbox: consumer waits for the flag under the mutex,
+   producer sets it and signals.  The faithful wait publishes the
+   waiter before unlocking, so the signal can never fall into a gap;
+   the seeded unlock-first wait loses it and the consumer parks
+   forever. *)
+let condition_mailbox (module C : CONDVAR) () =
+  let m = C.mcreate () in
+  let c = C.create () in
+  let full = Atomic'.make false in
+  ( [
+      (fun () ->
+        C.lock m;
+        while not (Atomic'.get full) do
+          C.wait c m
+        done;
+        C.unlock m);
+      (fun () ->
+        C.lock m;
+        Atomic'.set full true;
+        C.signal c;
+        C.unlock m);
+    ],
+    fun () -> if not (Atomic'.peek full) then failwith "mailbox still empty" )
+
+module type BARRIER = sig
+  type t
+
+  val create : int -> t
+  val await : t -> unit
+  val phase : t -> int
+end
+
+module Good_bar : BARRIER = struct
+  type t = Sy.Barrier.t
+
+  let create = Sy.Barrier.create
+  let await = Sy.Barrier.await
+  let phase = Sy.Barrier.phase
+end
+
+module Bad_bar : BARRIER = struct
+  type t = Bsy.Barrier.t
+
+  let create = Bsy.Barrier.create
+  let await = Bsy.Barrier.await
+  let phase = Bsy.Barrier.phase
+end
+
+(* Two parties crossing the barrier twice back-to-back: the reuse case
+   that needs the generation bump and count reset in ONE atomic swing.
+   The seeded twin wakes before resetting (and counts arrivals apart
+   from the waiter list), so an early-woken party re-arriving for phase
+   two can be wiped by the stale reset — a deadlock, or a phase count
+   that never reaches 2. *)
+let barrier_two_phases (module B : BARRIER) () =
+  let b = B.create 2 in
+  let body () =
+    B.await b;
+    B.await b
+  in
+  ( [ body; body ],
+    fun () ->
+      let p = B.phase b in
+      if p <> 2 then failwith (Printf.sprintf "phase %d after 2 rounds" p) )
+
+module type SCOPE = sig
+  type t
+
+  val create : unit -> t
+  val enter : t -> unit
+  val leave : t -> unit
+  val await : t -> unit
+  val fail : t -> exn -> unit
+  val failure : t -> exn option
+  val is_cancelled : t -> bool
+  val live : t -> int
+end
+
+let scope : (module SCOPE) = (module Sco)
+let buggy_scope : (module SCOPE) = (module Bsco)
+
+(* Two children exiting while the parent races into [await]: the
+   1 -> 0 crossing of the live count must happen exactly once, whoever
+   gets there last.  The seeded get-then-set [leave] lets the two
+   children both read 2 and both store 1 — the count never reaches 0
+   and the parent sleeps forever. *)
+let scope_exit_race (module S : SCOPE) () =
+  let t = S.create () in
+  S.enter t;
+  S.enter t;
+  ( [ (fun () -> S.leave t); (fun () -> S.leave t); (fun () -> S.await t) ],
+    fun () ->
+      if S.live t <> 0 then
+        failwith (Printf.sprintf "live = %d after everyone left" (S.live t)) )
+
+(* Racing failures: both children fail, both exit; exactly one
+   exception is recorded (first CAS wins), the scope is cancelled, and
+   the parent still unblocks. *)
+let scope_fail_race (module S : SCOPE) () =
+  let t = S.create () in
+  S.enter t;
+  S.enter t;
+  let child msg () =
+    S.fail t (Failure msg);
+    S.leave t
+  in
+  ( [ child "a"; child "b"; (fun () -> S.await t) ],
+    fun () ->
+      (match S.failure t with
+      | Some (Failure msg) when msg = "a" || msg = "b" -> ()
+      | Some _ -> failwith "wrong failure recorded"
+      | None -> failwith "no failure recorded");
+      if not (S.is_cancelled t) then failwith "failure did not cancel" )
+
 (* ---------- the model-checked assertions ---------- *)
 
 let adq : (module DEQUE) = (module Adq)
@@ -810,6 +1145,130 @@ let test_couple_vs_steal_buggy () =
     "Enforce fired" true
     (contains ~sub:"Violation" f.Sched.f_reason)
 
+(* ---------- sync/scope: faithful copies pass ---------- *)
+
+let park_mutex : (module MUTEX) = (module Park_mutex)
+let clh_mutex : (module MUTEX) = (module Clh_mutex)
+let bad_mutex : (module MUTEX) = (module Bad_mutex)
+let good_sem : (module SEMAPHORE) = (module Good_sem)
+let bad_sem : (module SEMAPHORE) = (module Bad_sem)
+let good_rw : (module RWLOCK) = (module Good_rw)
+let bad_rw : (module RWLOCK) = (module Bad_rw)
+let good_cond : (module CONDVAR) = (module Good_cond)
+let bad_cond : (module CONDVAR) = (module Bad_cond)
+let good_bar : (module BARRIER) = (module Good_bar)
+let bad_bar : (module BARRIER) = (module Bad_bar)
+
+let test_mutex_exclusion () =
+  ignore
+    (expect_pass "mutex-exclusion (park)"
+       (Sched.check ~max_schedules:8_000 (mutex_exclusion park_mutex)))
+
+let test_clh_mutex_exclusion () =
+  ignore
+    (expect_pass "mutex-exclusion (clh)"
+       (Sched.check ~max_schedules:8_000 (mutex_exclusion clh_mutex)))
+
+let test_semaphore_permits () =
+  ignore
+    (expect_pass "semaphore-permits"
+       (Sched.check ~max_schedules:8_000 (semaphore_permits good_sem)))
+
+let test_rwlock_exclusion () =
+  ignore
+    (expect_pass "rwlock-exclusion"
+       (Sched.check ~max_schedules:12_000 (rwlock_exclusion good_rw)))
+
+let test_rwlock_release_batch () =
+  let stats =
+    expect_pass "rwlock-release-batch"
+      (Sched.check ~max_schedules:8_000 (rwlock_release_batch good_rw))
+  in
+  ignore stats
+
+let test_condition_mailbox () =
+  ignore
+    (expect_pass "condition-mailbox"
+       (Sched.check ~max_schedules:8_000 (condition_mailbox good_cond)))
+
+let test_barrier_two_phases () =
+  ignore
+    (expect_pass "barrier-two-phases"
+       (Sched.check ~max_schedules:8_000 (barrier_two_phases good_bar)))
+
+let test_scope_exit_race () =
+  let stats =
+    expect_pass "scope-exit-race" (Sched.check (scope_exit_race scope))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_scope_fail_race () =
+  ignore
+    (expect_pass "scope-fail-race"
+       (Sched.check ~max_schedules:8_000 (scope_fail_race scope)))
+
+(* ---------- sync/scope: seeded twins caught, faithful replays ------- *)
+
+(* Every twin must (a) be reported as a bug, (b) replay its failing
+   schedule to the same failure, and (c) leave the faithful copy clean
+   under the EXACT same schedule — the twin test's whole point. *)
+let twin_caught name ~buggy ~faithful ~expect_reason () =
+  let f, stats = expect_bug name (Sched.check ~max_schedules:20_000 buggy) in
+  Printf.printf "%s caught after %d schedules: %s\n%!" name
+    stats.Sched.schedules f.Sched.f_reason;
+  Alcotest.(check bool)
+    (Printf.sprintf "reason mentions %S" expect_reason)
+    true
+    (contains ~sub:expect_reason f.Sched.f_reason);
+  (match Sched.replay ~schedule:f.Sched.f_schedule buggy with
+  | Error f' ->
+      Alcotest.(check string)
+        "replay reproduces the same failure" f.Sched.f_reason f'.Sched.f_reason
+  | Ok _ -> Alcotest.fail "replay of the failing schedule passed");
+  match Sched.replay ~schedule:f.Sched.f_schedule faithful with
+  | Ok _ -> ()
+  | Error f' ->
+      Sched.print_failure f';
+      Alcotest.failf "faithful copy failed the %s schedule" name
+
+(* The get-then-set unlock wipes a parking locker: lost wakeup ->
+   deadlock. *)
+let test_buggy_mutex_caught =
+  twin_caught "buggy-mutex-unlock"
+    ~buggy:(mutex_exclusion ~threads:2 bad_mutex)
+    ~faithful:(mutex_exclusion ~threads:2 park_mutex)
+    ~expect_reason:"Deadlock"
+
+let test_buggy_semaphore_caught =
+  twin_caught "buggy-semaphore-release"
+    ~buggy:(semaphore_permits bad_sem)
+    ~faithful:(semaphore_permits good_sem)
+    ~expect_reason:"Deadlock"
+
+let test_buggy_rwlock_caught =
+  twin_caught "buggy-rwlock-batch"
+    ~buggy:(rwlock_release_batch bad_rw)
+    ~faithful:(rwlock_release_batch good_rw)
+    ~expect_reason:"Deadlock"
+
+let test_buggy_condition_caught =
+  twin_caught "buggy-condition-wait"
+    ~buggy:(condition_mailbox bad_cond)
+    ~faithful:(condition_mailbox good_cond)
+    ~expect_reason:"Deadlock"
+
+let test_buggy_barrier_caught =
+  twin_caught "buggy-barrier-generation"
+    ~buggy:(barrier_two_phases bad_bar)
+    ~faithful:(barrier_two_phases good_bar)
+    ~expect_reason:"Deadlock"
+
+let test_buggy_scope_caught =
+  twin_caught "buggy-scope-leave"
+    ~buggy:(scope_exit_race buggy_scope)
+    ~faithful:(scope_exit_race scope)
+    ~expect_reason:"Deadlock"
+
 (* ---------- the checker catches the seeded bug ---------- *)
 
 let test_buggy_deque_caught () =
@@ -915,6 +1374,15 @@ let test_fuzz_real_structures_clean () =
       ("mpsc", mpsc_enqueue_drain);
       ("channel", channel_send_recv);
       ("couple-vs-steal", couple_vs_steal ~buggy:false);
+      ("mutex-exclusion-park", mutex_exclusion park_mutex);
+      ("mutex-exclusion-clh", mutex_exclusion clh_mutex);
+      ("semaphore-permits", semaphore_permits good_sem);
+      ("rwlock-exclusion", rwlock_exclusion good_rw);
+      ("rwlock-release-batch", rwlock_release_batch good_rw);
+      ("condition-mailbox", condition_mailbox good_cond);
+      ("barrier-two-phases", barrier_two_phases good_bar);
+      ("scope-exit-race", scope_exit_race scope);
+      ("scope-fail-race", scope_fail_race scope);
     ]
 
 (* ---------- the acceptance gate: >= 10k interleavings, bounded time -- *)
@@ -946,6 +1414,15 @@ let test_interleaving_budget () =
         ("channel-send-recv", 4_000, channel_send_recv);
         ("channel-two-receivers", 4_000, channel_two_receivers);
         ("couple-vs-steal", 4_000, couple_vs_steal ~buggy:false);
+        ("mutex-exclusion-park", 8_000, mutex_exclusion park_mutex);
+        ("mutex-exclusion-clh", 8_000, mutex_exclusion clh_mutex);
+        ("semaphore-permits", 8_000, semaphore_permits good_sem);
+        ("rwlock-exclusion", 12_000, rwlock_exclusion good_rw);
+        ("rwlock-release-batch", 8_000, rwlock_release_batch good_rw);
+        ("condition-mailbox", 8_000, condition_mailbox good_cond);
+        ("barrier-two-phases", 8_000, barrier_two_phases good_bar);
+        ("scope-exit-race", 4_000, scope_exit_race scope);
+        ("scope-fail-race", 8_000, scope_fail_race scope);
       ]
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -1028,6 +1505,42 @@ let () =
             test_couple_vs_steal;
           Alcotest.test_case "foreign-KC syscall caught" `Quick
             test_couple_vs_steal_buggy;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mutex exclusion + handoff (park)" `Quick
+            test_mutex_exclusion;
+          Alcotest.test_case "mutex exclusion + handoff (CLH)" `Quick
+            test_clh_mutex_exclusion;
+          Alcotest.test_case "semaphore permits conserved" `Quick
+            test_semaphore_permits;
+          Alcotest.test_case "rwlock readers/writer exclusion" `Quick
+            test_rwlock_exclusion;
+          Alcotest.test_case "rwlock write release admits the batch" `Quick
+            test_rwlock_release_batch;
+          Alcotest.test_case "condition mailbox never loses the signal" `Quick
+            test_condition_mailbox;
+          Alcotest.test_case "barrier reusable across generations" `Quick
+            test_barrier_two_phases;
+          Alcotest.test_case "get-then-set unlock strands a locker" `Quick
+            test_buggy_mutex_caught;
+          Alcotest.test_case "get-then-set release loses an acquirer" `Quick
+            test_buggy_semaphore_caught;
+          Alcotest.test_case "wake-one write release starves a reader" `Quick
+            test_buggy_rwlock_caught;
+          Alcotest.test_case "unlock-before-publish wait loses the signal"
+            `Quick test_buggy_condition_caught;
+          Alcotest.test_case "split-cell barrier wipes a re-arrival" `Quick
+            test_buggy_barrier_caught;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "exit race completes exactly once" `Quick
+            test_scope_exit_race;
+          Alcotest.test_case "racing failures record one winner" `Quick
+            test_scope_fail_race;
+          Alcotest.test_case "get-then-set leave strands the parent" `Quick
+            test_buggy_scope_caught;
         ] );
       ( "checker",
         [

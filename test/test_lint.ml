@@ -55,6 +55,20 @@ let test_blocking () =
   check_n r ~file:(fx "lib/fiber_rt/bf_waived.ml") ~rule 0;
   check_n ~waived:true r ~file:(fx "lib/fiber_rt/bf_waived.ml") ~rule 1
 
+(* ---------- raw-mutex-in-fiber ---------- *)
+
+let test_raw_mutex () =
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt" ] () in
+  let rule = "raw-mutex-in-fiber" in
+  (* Mutex.lock, Condition.wait, Stdlib.Mutex.lock -- but never the
+     non-parking unlock/signal *)
+  check_n r ~file:(fx "lib/fiber_rt/rm_bad.ml") ~rule 3;
+  (* a file defining its own Mutex/Condition (the sync.ml shape) is
+     exempt *)
+  check_n r ~file:(fx "lib/fiber_rt/rm_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/fiber_rt/rm_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/fiber_rt/rm_waived.ml") ~rule 1
+
 (* ---------- atomic-get-then-set ---------- *)
 
 let test_get_then_set () =
@@ -141,7 +155,15 @@ let test_redetect_seeded_bugs () =
   (* Buggy_completion.finish *)
   Alcotest.(check int) "buggy_completion lost wakeup" 1 (unwaived "buggy_completion.ml");
   (* Buggy_deque's downgraded pop CAS *)
-  Alcotest.(check bool) "buggy_deque caught" true (unwaived "buggy_deque.ml" >= 1)
+  Alcotest.(check bool) "buggy_deque caught" true (unwaived "buggy_deque.ml" >= 1);
+  (* Buggy_sync: the get-then-set unlock/release twins (Mutex.unlock
+     and Semaphore.release, two store branches each); the Condition /
+     Barrier / Rwlock twins are protocol-order bugs only the dynamic
+     checker can see *)
+  Alcotest.(check int) "buggy_sync lost wakeups" 4 (unwaived "buggy_sync.ml");
+  (* Buggy_scope.leave's non-atomic decrement *)
+  Alcotest.(check int) "buggy_scope lost completion" 1
+    (unwaived "buggy_scope.ml")
 
 (* ---------- the shipped tree is lint-clean ---------- *)
 
@@ -166,6 +188,7 @@ let () =
       ( "rules",
         [
           Alcotest.test_case "blocking-in-fiber" `Quick test_blocking;
+          Alcotest.test_case "raw-mutex-in-fiber" `Quick test_raw_mutex;
           Alcotest.test_case "atomic-get-then-set" `Quick test_get_then_set;
           Alcotest.test_case "syscall-consistency" `Quick test_syscall;
           Alcotest.test_case "seam-bypass" `Quick test_seam;

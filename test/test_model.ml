@@ -13,6 +13,10 @@ module Adq = Fiber_rt.Atomic_deque
 module Mpsc = Fiber_rt.Mpsc_queue
 module Compl = Fiber_rt.Completion
 module Heap = Ult.Prio_heap
+module Idle = Fiber_rt.Idle_waker
+module Sync = Fiber_rt.Sync
+module Scope = Fiber_rt.Scope
+module Fiber = Fiber_rt.Fiber
 
 (* ---------- Atomic_deque vs a list used as a stack/queue ---------- *)
 
@@ -224,6 +228,382 @@ let prop_heap_matches_model ops =
               got = Some v && Heap.length h = List.length !model))
     ops
 
+(* ---------- Idle_waker vs a plain list stack ---------- *)
+
+(* Worker ids are drawn from a tiny range so Take/Pop hit both present
+   and absent ids; duplicates are possible, and [take]'s filter-all
+   semantics must match the model's. *)
+type idle_op = Ipush of int | Itake of int | Ipop | Idrain | Isnap
+
+let idle_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun w -> Ipush w) (int_bound 3));
+        (3, map (fun w -> Itake w) (int_bound 3));
+        (2, return Ipop);
+        (1, return Idrain);
+        (2, return Isnap);
+      ])
+
+let show_idle_op = function
+  | Ipush w -> Printf.sprintf "Push %d" w
+  | Itake w -> Printf.sprintf "Take %d" w
+  | Ipop -> "Pop"
+  | Idrain -> "Drain"
+  | Isnap -> "Snapshot"
+
+let idle_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_idle_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) idle_op_gen)
+
+let prop_idle_matches_model ops =
+  let t = Idle.create () in
+  let model = ref [] (* newest first, like the Treiber stack *) in
+  List.for_all
+    (fun op ->
+      match op with
+      | Ipush w ->
+          Idle.push t w;
+          model := w :: !model;
+          true
+      | Itake w ->
+          let expected = List.mem w !model in
+          model := List.filter (fun x -> x <> w) !model;
+          Idle.take t w = expected
+      | Ipop ->
+          let expected =
+            match !model with
+            | [] -> None
+            | newest :: rest ->
+                model := rest;
+                Some newest
+          in
+          Idle.pop t = expected
+      | Idrain ->
+          let expected = !model in
+          model := [];
+          Idle.drain t = expected
+      | Isnap -> Idle.snapshot t = !model)
+    ops
+
+(* ---------- Sync.Mutex vs a held/free bit ---------- *)
+
+(* Sequential interpretation: [lock] on a free mutex must take the fast
+   path (no fiber engine here, so an attempt to park would be an
+   unhandled effect — itself a failure), [try_lock] mirrors the bit,
+   and a [Park] unlock of a free mutex raises. *)
+type mutex_op = Mlock | Mtry | Munlock
+
+let mutex_op_gen =
+  QCheck.Gen.(
+    frequency [ (2, return Mlock); (3, return Mtry); (4, return Munlock) ])
+
+let show_mutex_op = function
+  | Mlock -> "Lock"
+  | Mtry -> "Try_lock"
+  | Munlock -> "Unlock"
+
+let mutex_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_mutex_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) mutex_op_gen)
+
+let prop_mutex_matches_model kind ops =
+  let m = Sync.Mutex.create ~kind () in
+  let held = ref false in
+  List.for_all
+    (fun op ->
+      match op with
+      | Mlock ->
+          (* Locking a held mutex would park forever: skip, the model
+             has no second thread to unlock it. *)
+          if !held then true
+          else begin
+            Sync.Mutex.lock m;
+            held := true;
+            true
+          end
+      | Mtry ->
+          let got = Sync.Mutex.try_lock m in
+          let expected = not !held in
+          if got then held := true;
+          got = expected
+      | Munlock ->
+          if !held then begin
+            Sync.Mutex.unlock m;
+            held := false;
+            true
+          end
+          else if kind = Sync.Mutex.Park then (
+            (* a free Park mutex rejects the unlock *)
+            match Sync.Mutex.unlock m with
+            | () -> false
+            | exception Invalid_argument _ -> true)
+          else true (* CLH unlock-by-holder only: skip when free *))
+    ops
+
+(* ---------- Sync.Semaphore vs a counter ---------- *)
+
+type sem_op = Sacq | Stry | Srel
+
+let sem_op_gen =
+  QCheck.Gen.(
+    frequency [ (3, return Sacq); (3, return Stry); (4, return Srel) ])
+
+let show_sem_op = function
+  | Sacq -> "Acquire"
+  | Stry -> "Try_acquire"
+  | Srel -> "Release"
+
+let sem_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(pair int (list show_sem_op))
+    ~shrink:QCheck.Shrink.(pair int list)
+    QCheck.Gen.(pair (int_bound 3) (list_size (int_bound 60) sem_op_gen))
+
+let prop_sem_matches_model (permits, ops) =
+  let s = Sync.Semaphore.create permits in
+  let avail = ref permits in
+  List.for_all
+    (fun op ->
+      let ok =
+        match op with
+        | Sacq ->
+            (* acquiring with no permit would park: skip *)
+            if !avail = 0 then true
+            else begin
+              Sync.Semaphore.acquire s;
+              decr avail;
+              true
+            end
+        | Stry ->
+            let got = Sync.Semaphore.try_acquire s in
+            let expected = !avail > 0 in
+            if got then decr avail;
+            got = expected
+        | Srel ->
+            Sync.Semaphore.release s;
+            incr avail;
+            true
+      in
+      ok && Sync.Semaphore.available s = !avail)
+    ops
+
+(* ---------- Sync.Rwlock vs {readers; writer} ---------- *)
+
+type rw_op = Rtry_r | Rtry_w | Rrel_r | Rrel_w
+
+let rw_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Rtry_r);
+        (3, return Rtry_w);
+        (3, return Rrel_r);
+        (2, return Rrel_w);
+      ])
+
+let show_rw_op = function
+  | Rtry_r -> "Try_read"
+  | Rtry_w -> "Try_write"
+  | Rrel_r -> "Release_read"
+  | Rrel_w -> "Release_write"
+
+let rw_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_rw_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) rw_op_gen)
+
+let prop_rw_matches_model ops =
+  let rw = Sync.Rwlock.create () in
+  let readers = ref 0 and writer = ref false in
+  List.for_all
+    (fun op ->
+      match op with
+      | Rtry_r ->
+          let got = Sync.Rwlock.try_acquire_read rw in
+          let expected = not !writer in
+          if got then incr readers;
+          got = expected
+      | Rtry_w ->
+          let got = Sync.Rwlock.try_acquire_write rw in
+          let expected = (not !writer) && !readers = 0 in
+          if got then writer := true;
+          got = expected
+      | Rrel_r ->
+          if !readers > 0 then begin
+            Sync.Rwlock.release_read rw;
+            decr readers;
+            true
+          end
+          else (
+            match Sync.Rwlock.release_read rw with
+            | () -> false
+            | exception Invalid_argument _ -> true)
+      | Rrel_w ->
+          if !writer then begin
+            Sync.Rwlock.release_write rw;
+            writer := false;
+            true
+          end
+          else (
+            match Sync.Rwlock.release_write rw with
+            | () -> false
+            | exception Invalid_argument _ -> true))
+    ops
+
+(* ---------- Sync.Barrier (parties=1) vs an await counter ---------- *)
+
+(* With a single party every [await] completes a generation inline, so
+   the generation arithmetic is observable sequentially. *)
+let barrier_awaits_arb =
+  QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 50)
+
+let prop_barrier_counts_generations n =
+  let b = Sync.Barrier.create 1 in
+  for _ = 1 to n do
+    Sync.Barrier.await b
+  done;
+  Sync.Barrier.phase b = n && Sync.Barrier.parties b = 1
+
+(* ---------- Sync.Condition: FIFO wake order under Fiber.run -------- *)
+
+(* The reference model is the waiter queue itself: [signal] wakes the
+   oldest parked fiber, [broadcast] wakes everyone oldest-first.  Under
+   the deterministic single-threaded engine a spawned waiter runs to
+   its park on the next yield, so registration order is the spawn
+   order and the recorded wake order must equal the model's pops.
+   (Relies on the no-spurious-wakeup guarantee: each waiter waits
+   once.) *)
+type cond_op = Cwait | Csignal | Cbroadcast
+
+let cond_op_gen =
+  QCheck.Gen.(
+    frequency [ (4, return Cwait); (3, return Csignal); (1, return Cbroadcast) ])
+
+let show_cond_op = function
+  | Cwait -> "Wait"
+  | Csignal -> "Signal"
+  | Cbroadcast -> "Broadcast"
+
+let cond_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_cond_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 30) cond_op_gen)
+
+let prop_condition_fifo ops =
+  let woken = ref [] (* wake order, oldest first, as recorded *) in
+  let expected = ref [] (* model's predicted wake order *) in
+  let parked = ref [] (* model: waiter ids, oldest first *) in
+  let ok = ref true in
+  Fiber.run (fun () ->
+      let m = Sync.Mutex.create () in
+      let c = Sync.Condition.create () in
+      let next_id = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Cwait ->
+              let id = !next_id in
+              incr next_id;
+              ignore
+                (Fiber.spawn (fun () ->
+                     Sync.Mutex.lock m;
+                     Sync.Condition.wait c m;
+                     woken := !woken @ [ id ];
+                     Sync.Mutex.unlock m));
+              (* run the waiter to its park *)
+              Fiber.yield ();
+              parked := !parked @ [ id ]
+          | Csignal ->
+              Sync.Condition.signal c;
+              (match !parked with
+              | [] -> ()
+              | oldest :: rest ->
+                  parked := rest;
+                  expected := !expected @ [ oldest ]);
+              (* let the woken waiter record itself *)
+              Fiber.yield ();
+              Fiber.yield ()
+          | Cbroadcast ->
+              Sync.Condition.broadcast c;
+              expected := !expected @ !parked;
+              parked := [];
+              Fiber.yield ();
+              Fiber.yield ())
+        ops;
+      (* flush everyone still parked *)
+      Sync.Condition.broadcast c;
+      expected := !expected @ !parked;
+      parked := [];
+      ok := true);
+  !woken = !expected && !ok
+
+(* ---------- Scope vs first-failure-wins ---------- *)
+
+(* A random brood of children, each succeeding, failing with a tagged
+   exception, or cancelling the scope.  Under the deterministic engine
+   children run in spawn order, so the reference is simply: every
+   child runs, and [run]'s outcome is the FIRST failing child's
+   exception (cancellation alone stays quiet). *)
+type child_spec = Ok_child | Fail_child of int | Cancel_child
+
+let child_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, return Ok_child);
+        (2, map (fun i -> Fail_child i) (int_bound 99));
+        (1, return Cancel_child);
+      ])
+
+let show_child = function
+  | Ok_child -> "Ok"
+  | Fail_child i -> Printf.sprintf "Fail %d" i
+  | Cancel_child -> "Cancel"
+
+let children_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_child)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 20) child_gen)
+
+exception Tagged of int
+
+let prop_scope_first_failure children =
+  let ran = ref 0 in
+  let outcome = ref None in
+  Fiber.run (fun () ->
+      match
+        Scope.run (fun sc ->
+            List.iter
+              (fun spec ->
+                Scope.spawn sc (fun () ->
+                    incr ran;
+                    match spec with
+                    | Ok_child -> ()
+                    | Fail_child i -> raise (Tagged i)
+                    | Cancel_child -> Scope.cancel sc))
+              children;
+            "body-done")
+      with
+      | v -> outcome := Some (Ok v)
+      | exception e -> outcome := Some (Error e));
+  let expected =
+    match
+      List.find_opt (function Fail_child _ -> true | _ -> false) children
+    with
+    | Some (Fail_child i) -> Error (Tagged i)
+    | _ -> Ok "body-done"
+  in
+  !ran = List.length children && !outcome = Some expected
+
 (* ---------- runner ---------- *)
 
 let () =
@@ -247,5 +627,18 @@ let () =
             prop_completion_matches_model;
           t "Ult.Prio_heap = sorted assoc model" heap_ops_arb
             prop_heap_matches_model;
+          t "Idle_waker = list stack model" idle_ops_arb
+            prop_idle_matches_model;
+          t "Sync.Mutex (park) = held/free bit" mutex_ops_arb
+            (prop_mutex_matches_model Sync.Mutex.Park);
+          t "Sync.Mutex (CLH) = held/free bit" mutex_ops_arb
+            (prop_mutex_matches_model Sync.Mutex.Queued);
+          t "Sync.Semaphore = counter model" sem_ops_arb prop_sem_matches_model;
+          t "Sync.Rwlock = {readers;writer} model" rw_ops_arb
+            prop_rw_matches_model;
+          t "Sync.Barrier(1) = generation counter" barrier_awaits_arb
+            prop_barrier_counts_generations;
+          t "Sync.Condition wakes FIFO" cond_ops_arb prop_condition_fifo;
+          t "Scope = first-failure-wins" children_arb prop_scope_first_failure;
         ] );
     ]

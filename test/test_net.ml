@@ -119,6 +119,30 @@ let test_wheel_fire_all () =
   Alcotest.(check bool) "exactly once" false (Tw.fire loose);
   Alcotest.(check bool) "fired" true !ran
 
+let test_wheel_past_deadlines () =
+  (* deadlines at, before, or WAY before the current tick must all fire
+     on the very next advance, in deadline order, never be lost in a
+     wrapped slot, and never block the wheel's progress *)
+  let w = Tw.create ~start:1_000 () in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  ignore (Tw.schedule w ~at:1_000 (note 1)) (* exactly now *);
+  ignore (Tw.schedule w ~at:999 (note 0)) (* just past *);
+  ignore (Tw.schedule w ~at:(-50) (note 2)) (* negative tick *);
+  ignore (Tw.schedule w ~at:0 (note 3)) (* epoch *);
+  Alcotest.(check bool)
+    "overdue timers surface in next_due" true
+    (Tw.next_due w <> None);
+  let n = Tw.advance w ~now:1_001 in
+  Alcotest.(check int) "all overdue timers fired in one advance" 4 n;
+  Alcotest.(check (list int))
+    "fired in deadline order" [ 2; 3; 0; 1 ] (List.rev !fired);
+  Alcotest.(check int) "wheel drained" 0 (Tw.pending w);
+  (* a cancelled overdue timer is skipped, not resurrected *)
+  let tm = Tw.schedule w ~at:5 (note 9) in
+  Alcotest.(check bool) "cancel overdue" true (Tw.cancel tm);
+  Alcotest.(check int) "cancelled overdue never fires" 0 (Tw.advance w ~now:1_002)
+
 (* ---------- readiness cell (sequential contract) ---------- *)
 
 let test_readiness_memo () =
@@ -397,6 +421,112 @@ let test_with_timeout_racing_io () =
       Alcotest.(check int) "every race resolved" 20 (!oks + !timeouts);
       Printf.printf "timeout-vs-io races: %d completed, %d timed out\n%!" !oks
         !timeouts)
+
+let test_sleep_edge_cases () =
+  (* zero, negative and already-past deadlines must return promptly --
+     no park, or a park the overdue sweep releases on the next tick --
+     and never hang the engine *)
+  with_reactor (fun r ->
+      let t0 = Unix.gettimeofday () in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          Reactor.sleep r 0.;
+          Reactor.sleep r (-1.);
+          Reactor.sleep_until r 0. (* the 1970 deadline *);
+          Reactor.sleep_until r (Reactor.now () -. 5.));
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "degenerate sleeps returned promptly (%.3fs)" dt)
+        true (dt < 1.0))
+
+let test_with_timeout_edge_cases () =
+  with_reactor (fun r ->
+      let zero = ref (Ok 0) in
+      let neg = ref (Ok 0) in
+      let instant = ref (Error `Timeout) in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          (* a deadline at (or before) "now" races a body that parks:
+             the timer must win, promptly *)
+          zero := Reactor.with_timeout r ~seconds:0. (fun () ->
+              Reactor.sleep r 0.5;
+              1);
+          neg := Reactor.with_timeout r ~seconds:(-3.) (fun () ->
+              Reactor.sleep r 0.5;
+              2);
+          (* a body that never parks may beat even an expired deadline:
+             either verdict is legal, but it must resolve *)
+          instant := Reactor.with_timeout r ~seconds:0. (fun () -> 3));
+      Alcotest.(check bool) "zero deadline times out" true (!zero = Error `Timeout);
+      Alcotest.(check bool) "negative deadline times out" true (!neg = Error `Timeout);
+      (match !instant with
+      | Ok 3 | Error `Timeout -> ()
+      | Ok n -> Alcotest.failf "torn instant body: %d" n))
+
+let test_with_timeout_deadline_during_cancel () =
+  (* the Done path cancels the armed timer AFTER winning the verdict
+     CAS; drive body completion and deadline onto the same tick many
+     times so the cancel frequently races the concurrent fire.  Every
+     iteration must resolve to exactly one verdict and Ok always
+     carries the body's value (the loser's wake is absorbed). *)
+  with_reactor (fun r ->
+      let oks = ref 0 and timeouts = ref 0 in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          for i = 1 to 30 do
+            match
+              Reactor.with_timeout r ~seconds:0.005 (fun () ->
+                  Reactor.sleep r 0.005;
+                  i)
+            with
+            | Ok j when j = i -> incr oks
+            | Ok j -> Alcotest.failf "iteration %d returned %d" i j
+            | Error `Timeout -> incr timeouts
+          done);
+      Alcotest.(check int) "every race resolved" 30 (!oks + !timeouts);
+      Printf.printf "deadline-vs-cancel races: %d Ok, %d Timeout\n%!" !oks
+        !timeouts)
+
+(* ---------- scoped timeouts (reactor x Scope) ---------- *)
+
+module Scope = Fiber_rt.Scope
+
+let test_cancel_scope_after_fires () =
+  with_reactor (fun r ->
+      let cancelled_children = Atomic.make 0 in
+      let t0 = Unix.gettimeofday () in
+      Fiber.run_parallel ~domains:2 (fun () ->
+          let v =
+            Scope.run (fun sc ->
+                let _disarm = Reactor.cancel_scope_after r ~seconds:0.03 sc in
+                for _ = 1 to 3 do
+                  Scope.spawn sc (fun () ->
+                      try
+                        while true do
+                          Scope.check sc;
+                          Reactor.sleep r 0.005
+                        done
+                      with Scope.Cancelled ->
+                        ignore (Atomic.fetch_and_add cancelled_children 1);
+                        raise Scope.Cancelled)
+                done;
+                "deadline-bounded")
+          in
+          Alcotest.(check string)
+            "cancelled scope still returns the body value" "deadline-bounded" v);
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "every child unwound via Cancelled" 3
+        (Atomic.get cancelled_children);
+      Alcotest.(check bool) "released by the deadline, not a hang" true
+        (dt >= 0.025 && dt < 5.0))
+
+let test_cancel_scope_after_disarm () =
+  with_reactor (fun r ->
+      Fiber.run_parallel ~domains:2 (fun () ->
+          Scope.run (fun sc ->
+              let disarm = Reactor.cancel_scope_after r ~seconds:5.0 sc in
+              Scope.spawn sc (fun () -> Reactor.sleep r 0.01);
+              Alcotest.(check bool)
+                "disarm beats a far deadline" true (disarm ());
+              Alcotest.(check bool) "second disarm is false" false (disarm ()));
+          Alcotest.(check bool) "scope never cancelled" true true))
 
 let test_fiber_io_pipe () =
   with_reactor (fun r ->
@@ -712,6 +842,8 @@ let () =
           Alcotest.test_case "cancel, incl. after fire" `Quick test_wheel_cancel;
           Alcotest.test_case "next_due hint converges" `Quick test_wheel_next_due;
           Alcotest.test_case "fire_all shutdown sweep" `Quick test_wheel_fire_all;
+          Alcotest.test_case "past and negative deadlines" `Quick
+            test_wheel_past_deadlines;
         ] );
       ( "readiness",
         [ Alcotest.test_case "memo / wake / clear contract" `Quick test_readiness_memo ] );
@@ -736,6 +868,19 @@ let () =
             test_with_timeout;
           Alcotest.test_case "with_timeout racing completing I/O" `Quick
             test_with_timeout_racing_io;
+          Alcotest.test_case "sleep 0 / negative / past" `Quick
+            test_sleep_edge_cases;
+          Alcotest.test_case "with_timeout expired deadlines" `Quick
+            test_with_timeout_edge_cases;
+          Alcotest.test_case "deadline fires during the cancel path" `Quick
+            test_with_timeout_deadline_during_cancel;
+        ] );
+      ( "scope-timeout",
+        [
+          Alcotest.test_case "cancel_scope_after fires" `Quick
+            test_cancel_scope_after_fires;
+          Alcotest.test_case "cancel_scope_after disarm" `Quick
+            test_cancel_scope_after_disarm;
         ] );
       ( "fiber-io",
         [ Alcotest.test_case "pipe roundtrip with parking writer" `Quick

@@ -1,0 +1,487 @@
+(* Unit + multi-domain stress tests for the fiber-aware synchronization
+   toolkit (lib/fiber_rt/sync.ml, scope.ml).
+
+   The single-threaded cases pin down API semantics deterministically
+   under [Fiber.run]; the stress cases run the real parallel engine
+   ([Fiber.run_parallel]) with randomized yield points drawn from
+   TEST_SEED so failures replay: every failure message carries the seed
+   (TEST_SEED=<n> reruns the exact same schedule pressure). *)
+
+module Fiber = Fiber_rt.Fiber
+module Sync = Fiber_rt.Sync
+module Scope = Fiber_rt.Scope
+
+let () = Test_seed.announce "test_sync"
+
+(* Fail with the active seed appended, so any stress failure is
+   replayable with [TEST_SEED=<seed> dune exec test/test_sync.exe]. *)
+let failf fmt =
+  Printf.ksprintf
+    (fun s -> Alcotest.failf "%s (TEST_SEED=%d)" s Test_seed.seed)
+    fmt
+
+let checkf cond fmt =
+  Printf.ksprintf
+    (fun s ->
+      if not cond then
+        Alcotest.failf "%s (TEST_SEED=%d)" s Test_seed.seed)
+    fmt
+
+(* A per-fiber RNG derived from TEST_SEED; drives optional yields so
+   the interleavings vary between seeds but not between reruns. *)
+let maybe_yield rng =
+  if Random.State.int rng 4 = 0 then Fiber.yield ()
+
+let stress_domains = 4
+
+(* ------------------------------------------------------------------ *)
+(* Mutex                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mutex_single kind () =
+  Fiber.run (fun () ->
+      let m = Sync.Mutex.create ~kind () in
+      checkf (Sync.Mutex.kind m = kind) "kind survives create";
+      Sync.Mutex.lock m;
+      checkf (not (Sync.Mutex.try_lock m)) "try_lock on a held mutex";
+      Sync.Mutex.unlock m;
+      checkf (Sync.Mutex.try_lock m) "try_lock on a free mutex";
+      Sync.Mutex.unlock m;
+      (* with_lock releases on exceptions. *)
+      (try Sync.Mutex.with_lock m (fun () -> raise Exit)
+       with Exit -> ());
+      checkf (Sync.Mutex.try_lock m) "with_lock released after raise";
+      Sync.Mutex.unlock m)
+
+let test_mutex_unlock_unlocked () =
+  Fiber.run (fun () ->
+      let m = Sync.Mutex.create ~kind:Sync.Mutex.Park () in
+      match Sync.Mutex.unlock m with
+      | () -> failf "unlock of an unlocked Park mutex must raise"
+      | exception Invalid_argument _ -> ())
+
+(* The classic contended-counter total: [fibers] fibers each add
+   [iters] to a plain ref under the lock, with seeded random yields
+   inside and outside the critical section.  Any lost update or broken
+   mutual exclusion shows up as a wrong total. *)
+let test_mutex_stress kind () =
+  let fibers = 16 and iters = 400 in
+  let m = Sync.Mutex.create ~kind () in
+  let total = ref 0 in
+  let in_cs = Atomic.make 0 in
+  let overlap = Atomic.make false in
+  Fiber.run_parallel ~domains:stress_domains (fun () ->
+      let fs =
+        List.init fibers (fun i ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state i in
+                for _ = 1 to iters do
+                  maybe_yield rng;
+                  Sync.Mutex.with_lock m (fun () ->
+                      if Atomic.fetch_and_add in_cs 1 <> 0 then
+                        Atomic.set overlap true;
+                      let v = !total in
+                      maybe_yield rng;
+                      total := v + 1;
+                      ignore (Atomic.fetch_and_add in_cs (-1)))
+                done))
+      in
+      List.iter Fiber.join fs);
+  checkf (not (Atomic.get overlap)) "two fibers inside the %s critical section"
+    (match kind with Sync.Mutex.Park -> "Park" | Sync.Mutex.Queued -> "Queued");
+  checkf
+    (!total = fibers * iters)
+    "contended counter: expected %d, got %d" (fibers * iters) !total
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_semaphore_single () =
+  Fiber.run (fun () ->
+      let s = Sync.Semaphore.create 2 in
+      checkf (Sync.Semaphore.available s = 2) "fresh permits";
+      Sync.Semaphore.acquire s;
+      checkf (Sync.Semaphore.try_acquire s) "second permit";
+      checkf (not (Sync.Semaphore.try_acquire s)) "exhausted";
+      Sync.Semaphore.release s;
+      checkf (Sync.Semaphore.available s = 1) "released one";
+      Sync.Semaphore.release s;
+      (match Sync.Semaphore.create (-1) with
+      | _ -> failf "negative permits must raise"
+      | exception Invalid_argument _ -> ()))
+
+let test_semaphore_stress () =
+  let permits = 4 and fibers = 16 and iters = 150 in
+  let s = Sync.Semaphore.create permits in
+  let in_flight = Atomic.make 0 in
+  let high_water = Atomic.make 0 in
+  Fiber.run_parallel ~domains:stress_domains (fun () ->
+      let fs =
+        List.init fibers (fun i ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state (100 + i) in
+                for _ = 1 to iters do
+                  Sync.Semaphore.with_acquire s (fun () ->
+                      let n = Atomic.fetch_and_add in_flight 1 + 1 in
+                      let rec bump () =
+                        let hw = Atomic.get high_water in
+                        if n > hw then
+                          if not (Atomic.compare_and_set high_water hw n)
+                          then bump ()
+                      in
+                      bump ();
+                      maybe_yield rng;
+                      ignore (Atomic.fetch_and_add in_flight (-1)))
+                done))
+      in
+      List.iter Fiber.join fs);
+  let hw = Atomic.get high_water in
+  checkf (hw <= permits) "semaphore admitted %d holders (permits=%d)" hw permits;
+  checkf
+    (Sync.Semaphore.available s = permits)
+    "permits restored: %d <> %d"
+    (Sync.Semaphore.available s)
+    permits
+
+(* ------------------------------------------------------------------ *)
+(* Rwlock                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_rwlock_single () =
+  Fiber.run (fun () ->
+      let rw = Sync.Rwlock.create () in
+      Sync.Rwlock.acquire_read rw;
+      checkf (Sync.Rwlock.try_acquire_read rw) "readers share";
+      checkf (not (Sync.Rwlock.try_acquire_write rw)) "writer excluded";
+      Sync.Rwlock.release_read rw;
+      Sync.Rwlock.release_read rw;
+      Sync.Rwlock.acquire_write rw;
+      checkf (not (Sync.Rwlock.try_acquire_read rw)) "reader excluded";
+      checkf (not (Sync.Rwlock.try_acquire_write rw)) "writers exclusive";
+      Sync.Rwlock.release_write rw;
+      (match Sync.Rwlock.release_read rw with
+      | () -> failf "release_read with no reader must raise"
+      | exception Invalid_argument _ -> ());
+      match Sync.Rwlock.release_write rw with
+      | () -> failf "release_write with no writer must raise"
+      | exception Invalid_argument _ -> ())
+
+(* Two cells that only writers touch, always keeping them equal with a
+   yield in between; readers assert equality.  A broken rwlock lets a
+   reader observe the torn middle state. *)
+let test_rwlock_stress () =
+  let writers = 4 and readers = 12 in
+  let w_iters = 120 and r_iters = 250 in
+  let rw = Sync.Rwlock.create () in
+  let a = ref 0 and b = ref 0 in
+  let torn = Atomic.make false in
+  let w_overlap = Atomic.make false in
+  let in_write = Atomic.make 0 in
+  Fiber.run_parallel ~domains:stress_domains (fun () ->
+      let ws =
+        List.init writers (fun i ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state (200 + i) in
+                for _ = 1 to w_iters do
+                  maybe_yield rng;
+                  Sync.Rwlock.with_write rw (fun () ->
+                      if Atomic.fetch_and_add in_write 1 <> 0 then
+                        Atomic.set w_overlap true;
+                      incr a;
+                      maybe_yield rng;
+                      incr b;
+                      ignore (Atomic.fetch_and_add in_write (-1)))
+                done))
+      in
+      let rs =
+        List.init readers (fun i ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state (300 + i) in
+                for _ = 1 to r_iters do
+                  maybe_yield rng;
+                  Sync.Rwlock.with_read rw (fun () ->
+                      let va = !a in
+                      maybe_yield rng;
+                      let vb = !b in
+                      if va <> vb then Atomic.set torn true)
+                done))
+      in
+      List.iter Fiber.join ws;
+      List.iter Fiber.join rs);
+  checkf (not (Atomic.get w_overlap)) "two writers held the rwlock at once";
+  checkf (not (Atomic.get torn)) "reader observed a torn write (a <> b)";
+  checkf
+    (!a = writers * w_iters && !b = writers * w_iters)
+    "write total: a=%d b=%d expected %d" !a !b (writers * w_iters)
+
+(* ------------------------------------------------------------------ *)
+(* Condition: a bounded buffer with produce/consume conservation.     *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_bounded_buffer () =
+  let capacity = 4 and producers = 4 and consumers = 4 in
+  let per_producer = 200 in
+  let m = Sync.Mutex.create () in
+  let not_full = Sync.Condition.create () in
+  let not_empty = Sync.Condition.create () in
+  let buf = Queue.create () in
+  let consumed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let stop = producers * per_producer in
+  Fiber.run_parallel ~domains:stress_domains (fun () ->
+      let ps =
+        List.init producers (fun p ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state (400 + p) in
+                for i = 1 to per_producer do
+                  maybe_yield rng;
+                  Sync.Mutex.lock m;
+                  while Queue.length buf >= capacity do
+                    Sync.Condition.wait not_full m
+                  done;
+                  Queue.push ((p * per_producer) + i) buf;
+                  Sync.Condition.signal not_empty;
+                  Sync.Mutex.unlock m
+                done))
+      in
+      let cs =
+        List.init consumers (fun c ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state (500 + c) in
+                let continue_ = ref true in
+                while !continue_ do
+                  maybe_yield rng;
+                  Sync.Mutex.lock m;
+                  while
+                    Queue.is_empty buf && Atomic.get consumed < stop
+                  do
+                    Sync.Condition.wait not_empty m
+                  done;
+                  (match Queue.take_opt buf with
+                  | Some v ->
+                      ignore (Atomic.fetch_and_add sum v);
+                      if Atomic.fetch_and_add consumed 1 + 1 >= stop then
+                        (* Everything is consumed: flush the sibling
+                           consumers still parked on [not_empty]. *)
+                        Sync.Condition.broadcast not_empty
+                  | None -> continue_ := false);
+                  Sync.Condition.signal not_full;
+                  Sync.Mutex.unlock m
+                done))
+      in
+      List.iter Fiber.join ps;
+      List.iter Fiber.join cs);
+  let expected_n = producers * per_producer in
+  let expected_sum =
+    (* Producer p pushes p*per_producer + i for i in 1..per_producer. *)
+    let bases = List.init producers (fun p -> p * per_producer * per_producer) in
+    List.fold_left ( + ) 0 bases
+    + (producers * (per_producer * (per_producer + 1) / 2))
+  in
+  checkf
+    (Atomic.get consumed = expected_n)
+    "consumed %d of %d items" (Atomic.get consumed) expected_n;
+  checkf
+    (Atomic.get sum = expected_sum)
+    "item sum %d <> expected %d (lost or duplicated items)"
+    (Atomic.get sum) expected_sum
+
+(* ------------------------------------------------------------------ *)
+(* Barrier: lockstep phases.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_barrier_single () =
+  Fiber.run (fun () ->
+      (match Sync.Barrier.create 0 with
+      | _ -> failf "0-party barrier must raise"
+      | exception Invalid_argument _ -> ());
+      let b = Sync.Barrier.create 1 in
+      checkf (Sync.Barrier.parties b = 1) "parties";
+      Sync.Barrier.await b;
+      Sync.Barrier.await b;
+      checkf (Sync.Barrier.phase b = 2) "a 1-party barrier never parks")
+
+let test_barrier_stress () =
+  let parties = 8 and phases = 25 in
+  let b = Sync.Barrier.create parties in
+  let arrivals = Array.init phases (fun _ -> Atomic.make 0) in
+  let bad_phase = Atomic.make (-1) in
+  Fiber.run_parallel ~domains:stress_domains (fun () ->
+      let fs =
+        List.init parties (fun i ->
+            Fiber.spawn (fun () ->
+                let rng = Test_seed.derived_state (600 + i) in
+                for p = 0 to phases - 1 do
+                  maybe_yield rng;
+                  ignore (Atomic.fetch_and_add arrivals.(p) 1);
+                  Sync.Barrier.await b;
+                  (* Every party arrived at phase [p] before anyone
+                     crossed the barrier out of it. *)
+                  if Atomic.get arrivals.(p) <> parties then
+                    Atomic.set bad_phase p
+                done))
+      in
+      List.iter Fiber.join fs);
+  checkf
+    (Atomic.get bad_phase = -1)
+    "crossed barrier phase %d with %d/%d arrivals"
+    (Atomic.get bad_phase)
+    (Atomic.get arrivals.(max 0 (Atomic.get bad_phase)))
+    parties;
+  checkf
+    (Sync.Barrier.phase b = phases)
+    "generations: %d <> %d" (Sync.Barrier.phase b) phases
+
+(* ------------------------------------------------------------------ *)
+(* Scope                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_scope_waits_for_children () =
+  let done_ = Array.make 5 false in
+  Fiber.run (fun () ->
+      Scope.run (fun sc ->
+          for i = 0 to 4 do
+            Scope.spawn sc (fun () ->
+                for _ = 0 to i do
+                  Fiber.yield ()
+                done;
+                done_.(i) <- true)
+          done);
+      Array.iteri
+        (fun i d -> checkf d "child %d not finished when Scope.run returned" i)
+        done_)
+
+let test_scope_failure_propagates () =
+  Fiber.run (fun () ->
+      let sibling_saw_cancel = ref false in
+      match
+        Scope.run (fun sc ->
+            Scope.spawn sc (fun () ->
+                (* Poll cancellation cooperatively until the failing
+                   sibling takes the scope down. *)
+                try
+                  while true do
+                    Scope.check sc;
+                    Fiber.yield ()
+                  done
+                with Scope.Cancelled ->
+                  sibling_saw_cancel := true;
+                  raise Scope.Cancelled);
+            Scope.spawn sc (fun () ->
+                Fiber.yield ();
+                failwith "boom"))
+      with
+      | () -> failf "Scope.run must re-raise the child failure"
+      | exception Failure msg ->
+          checkf (msg = "boom") "wrong failure: %s" msg;
+          checkf !sibling_saw_cancel "sibling never observed cancellation")
+
+let test_scope_cancel_is_quiet () =
+  Fiber.run (fun () ->
+      let v =
+        Scope.run (fun sc ->
+            Scope.spawn sc (fun () ->
+                try
+                  while true do
+                    Scope.check sc;
+                    Fiber.yield ()
+                  done
+                with Scope.Cancelled -> raise Scope.Cancelled);
+            Fiber.yield ();
+            Scope.cancel sc;
+            checkf (Scope.is_cancelled sc) "cancel is sticky";
+            checkf (Scope.failure sc = None) "cancel records no failure";
+            "body-value")
+      in
+      checkf (v = "body-value") "cancelled scope still returns the body value")
+
+let test_scope_spawn_after_exit () =
+  Fiber.run (fun () ->
+      let leaked = ref None in
+      Scope.run (fun sc -> leaked := Some sc);
+      let sc = Option.get !leaked in
+      checkf (Scope.live sc = 0) "scope drained";
+      match Scope.spawn sc (fun () -> ()) with
+      | () -> failf "spawn into an exited scope must raise"
+      | exception Invalid_argument _ -> ())
+
+exception Tagged of int
+
+let test_scope_stress () =
+  let children = 64 in
+  let ran = Atomic.make 0 in
+  let observed = ref None in
+  (try
+     Fiber.run_parallel ~domains:stress_domains (fun () ->
+         Scope.run (fun sc ->
+             for i = 0 to children - 1 do
+               Scope.spawn sc (fun () ->
+                   let rng = Test_seed.derived_state (700 + i) in
+                   maybe_yield rng;
+                   ignore (Atomic.fetch_and_add ran 1);
+                   (* A seeded quarter of the children fail; the scope
+                      must surface exactly one failure, after ALL
+                      children ran. *)
+                   if Random.State.int rng 4 = 0 then raise (Tagged i))
+             done))
+   with Tagged i -> observed := Some i);
+  checkf
+    (Atomic.get ran = children)
+    "only %d/%d children ran before Scope.run returned" (Atomic.get ran)
+    children;
+  (* Whether a failure surfaced depends on the seed; when one did it
+     must be one of the children's tags. *)
+  match !observed with
+  | None -> ()
+  | Some i -> checkf (i >= 0 && i < children) "alien failure tag %d" i
+
+let test_scope_first_failure_wins () =
+  let winner = ref (-1) in
+  (try
+     Fiber.run_parallel ~domains:stress_domains (fun () ->
+         Scope.run (fun sc ->
+             for i = 0 to 15 do
+               Scope.spawn sc (fun () -> raise (Tagged i))
+             done))
+   with Tagged i -> winner := i);
+  checkf (!winner >= 0 && !winner < 16) "exactly one tag must surface, got %d"
+    !winner
+
+(* ------------------------------------------------------------------ *)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "mutex",
+        [
+          case "single/park" (test_mutex_single Sync.Mutex.Park);
+          case "single/queued" (test_mutex_single Sync.Mutex.Queued);
+          case "unlock-unlocked" test_mutex_unlock_unlocked;
+          case "stress/park" (test_mutex_stress Sync.Mutex.Park);
+          case "stress/queued" (test_mutex_stress Sync.Mutex.Queued);
+        ] );
+      ( "semaphore",
+        [
+          case "single" test_semaphore_single;
+          case "stress" test_semaphore_stress;
+        ] );
+      ( "rwlock",
+        [ case "single" test_rwlock_single; case "stress" test_rwlock_stress ]
+      );
+      ("condition", [ case "bounded-buffer" test_condition_bounded_buffer ]);
+      ( "barrier",
+        [ case "single" test_barrier_single; case "stress" test_barrier_stress ]
+      );
+      ( "scope",
+        [
+          case "waits-for-children" test_scope_waits_for_children;
+          case "failure-propagates" test_scope_failure_propagates;
+          case "cancel-is-quiet" test_scope_cancel_is_quiet;
+          case "spawn-after-exit" test_scope_spawn_after_exit;
+          case "stress" test_scope_stress;
+          case "first-failure-wins" test_scope_first_failure_wins;
+        ] );
+    ]
