@@ -746,18 +746,23 @@ let run_real () =
    runs [warmup] discarded rounds plus [reps] measured repetitions; the
    table and the JSON report median and p99 wall-clock per config, not
    a single sample.  Results go to BENCH_parallel.json (schema
-   ulp-pip/parallel-bench/v3 = v2 plus the sync rows, documented in
-   README.md) so later PRs can diff the perf trajectory with --diff.  Speedup beyond 1.0 needs real cores: host_cores is
-   recorded, and any config with domains > host_cores carries an
-   explicit "oversubscribed": true -- those numbers measure scheduler
-   overhead under time-slicing, not scaling. *)
+   ulp-pip/parallel-bench/v4 = v3 plus per-run scheduler telemetry --
+   steal_fail_rate, parks, wakes, active_workers_p50 -- and speedups
+   for EVERY workload, documented in README.md) so later PRs can diff
+   the perf trajectory with --diff (which now gates on speedup
+   regressions across the full sweep).  Speedup beyond 1.0 needs real
+   cores: host_cores is recorded, and the "oversubscribed" flag is now
+   MEASURED -- true iff the run's median active-worker count exceeded
+   the host's cores -- so a domains=4 run the elastic scheduler
+   collapsed to one active worker is honestly not oversubscribed: it
+   time-sliced nothing. *)
 
 module Stats = Sim.Stats
 module Json = Report.Json
+module Ss = Fiber_rt.Fiber.Sched_stats
 
 let parallel_domain_counts = [ 1; 2; 4 ]
 let host_cores () = Domain.recommended_domain_count ()
-let oversubscribed ~domains = domains > host_cores ()
 let bench_file = "BENCH_parallel.json"
 
 type pstat = {
@@ -769,6 +774,15 @@ type pstat = {
   ps_p99_s : float; (* = max for small rep counts; still honest *)
   ps_median_tput : float;
   ps_steals : int; (* median across reps *)
+  (* scheduler telemetry, medians across reps *)
+  ps_steal_fail_rate : float;
+  ps_parks : int;
+  ps_deep_parks : int;
+  ps_wakes : int;
+  ps_spins : int;
+  ps_inj_drains : int;
+  ps_active_p50 : int; (* median active-worker count the pool sustained *)
+  ps_oversub : bool; (* measured: active_p50 > host_cores *)
 }
 
 let measure ~warmup ~reps run =
@@ -784,7 +798,20 @@ let measure ~warmup ~reps run =
   let elapsed = stat_of (fun r -> r.Par_workload.elapsed) in
   let tput = stat_of (fun r -> r.Par_workload.throughput) in
   let steals = stat_of (fun r -> float_of_int r.Par_workload.steals) in
+  let sched_of f =
+    stat_of (fun r ->
+        match r.Par_workload.sched with Some s -> f s | None -> 0.0)
+  in
+  let imed st = int_of_float (Stats.median st +. 0.5) in
+  let fail_rate = sched_of Ss.steal_fail_rate in
+  let parks = sched_of (fun s -> float_of_int s.Ss.parks) in
+  let deep_parks = sched_of (fun s -> float_of_int s.Ss.deep_parks) in
+  let wakes = sched_of (fun s -> float_of_int s.Ss.wakes) in
+  let spins = sched_of (fun s -> float_of_int s.Ss.spins) in
+  let inj_drains = sched_of (fun s -> float_of_int s.Ss.inj_drains) in
+  let active_p50 = sched_of (fun s -> float_of_int (Ss.active_p50 s)) in
   let r0 = List.hd rs in
+  let ps_active_p50 = max 1 (imed active_p50) in
   {
     ps_name = r0.Par_workload.name;
     ps_domains = r0.Par_workload.domains;
@@ -793,7 +820,15 @@ let measure ~warmup ~reps run =
     ps_median_s = Stats.median elapsed;
     ps_p99_s = Stats.percentile elapsed 99.0;
     ps_median_tput = Stats.median tput;
-    ps_steals = int_of_float (Stats.median steals +. 0.5);
+    ps_steals = imed steals;
+    ps_steal_fail_rate = Stats.median fail_rate;
+    ps_parks = imed parks;
+    ps_deep_parks = imed deep_parks;
+    ps_wakes = imed wakes;
+    ps_spins = imed spins;
+    ps_inj_drains = imed inj_drains;
+    ps_active_p50;
+    ps_oversub = ps_active_p50 > host_cores ();
   }
 
 let json_escape s =
@@ -809,21 +844,23 @@ let parallel_json ~quick ~warmup ~stats ~speedups =
     Printf.sprintf
       "    {\"name\": \"%s\", \"domains\": %d, \"oversubscribed\": %b, \
        \"items\": %d, \"reps\": %d, \"median_s\": %.9f, \"p99_s\": %.9f, \
-       \"median_throughput_per_s\": %.3f, \"steals\": %d}"
-      (json_escape p.ps_name) p.ps_domains
-      (oversubscribed ~domains:p.ps_domains)
-      p.ps_items p.ps_reps p.ps_median_s p.ps_p99_s p.ps_median_tput p.ps_steals
+       \"median_throughput_per_s\": %.3f, \"steals\": %d, \
+       \"steal_fail_rate\": %.4f, \"parks\": %d, \"deep_parks\": %d, \
+       \"wakes\": %d, \"spins\": %d, \"inj_drains\": %d, \
+       \"active_workers_p50\": %d}"
+      (json_escape p.ps_name) p.ps_domains p.ps_oversub p.ps_items p.ps_reps
+      p.ps_median_s p.ps_p99_s p.ps_median_tput p.ps_steals
+      p.ps_steal_fail_rate p.ps_parks p.ps_deep_parks p.ps_wakes p.ps_spins
+      p.ps_inj_drains p.ps_active_p50
   in
-  let speedup_obj (name, domains, s) =
+  let speedup_obj (p, s) =
     Printf.sprintf
       "    {\"name\": \"%s\", \"domains\": %d, \"oversubscribed\": %b, \
        \"speedup_vs_1\": %.4f}"
-      (json_escape name) domains
-      (oversubscribed ~domains)
-      s
+      (json_escape p.ps_name) p.ps_domains p.ps_oversub s
   in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"ulp-pip/parallel-bench/v3\",\n";
+  Buffer.add_string buf "  \"schema\": \"ulp-pip/parallel-bench/v4\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"host_cores\": %d,\n" (host_cores ()));
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
@@ -835,10 +872,17 @@ let parallel_json ~quick ~warmup ~stats ~speedups =
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-(* Regression table against a previous BENCH_parallel.json (v1 files
-   carry a single elapsed_s sample; v2 carries the median).  Reporting
-   only -- no gating, no exit code: machines differ, CI shares cores. *)
-let print_diff ~old_file stats =
+(* Regression tables against a previous BENCH_parallel.json (v1 files
+   carry a single elapsed_s sample; v2+ carry the median).  The
+   wall-clock table is reporting only; the SPEEDUP table across the
+   full sweep gates — a workload whose speedup_vs_1 fell below
+   [speedup_gate_ratio] × its old value is returned as a regression
+   (the caller exits non-zero), except on a 1-core host where the gate
+   auto-relaxes to a warning: a shared 1-core CI runner measures its
+   neighbours as much as this code, but it still records the drop. *)
+let speedup_gate_ratio = 0.8
+
+let print_diff ~old_file ~speedups stats =
   match Json.parse_file old_file with
   | Error msg ->
       Printf.eprintf "--diff %s: %s\n" old_file msg;
@@ -888,7 +932,61 @@ let print_diff ~old_file stats =
                    else "-");
                 ])
         stats;
-      Table.print t
+      Table.print t;
+      (* speedup_vs_1 regression sweep: every (workload, domains) the
+         old file also measured *)
+      let old_speedups =
+        match Option.bind (Json.member "speedups" doc) Json.to_list with
+        | Some l ->
+            List.filter_map
+              (fun e ->
+                let num k = Option.bind (Json.member k e) Json.to_float in
+                match
+                  ( Option.bind (Json.member "name" e) Json.to_string,
+                    num "domains",
+                    num "speedup_vs_1" )
+                with
+                | Some name, Some d, Some s -> Some ((name, int_of_float d), s)
+                | _ -> None)
+              l
+        | None -> []
+      in
+      let st =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Speedup_vs_1 regression vs %s (ratio >= %.2f passes)" old_file
+               speedup_gate_ratio)
+          ~headers:[ "workload"; "domains"; "old"; "new"; "ratio"; "gate" ]
+          ~aligns:
+            [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+              Table.Left ]
+          ()
+      in
+      let regressions = ref [] in
+      List.iter
+        (fun (p, s) ->
+          if p.ps_domains > 1 then
+            match List.assoc_opt (p.ps_name, p.ps_domains) old_speedups with
+            | None -> ()
+            | Some old_s ->
+                let ratio = if old_s > 0.0 then s /. old_s else Float.infinity in
+                let ok = ratio >= speedup_gate_ratio in
+                if not ok then
+                  regressions :=
+                    (p.ps_name, p.ps_domains, old_s, s) :: !regressions;
+                Table.add_row st
+                  [
+                    p.ps_name;
+                    string_of_int p.ps_domains;
+                    Printf.sprintf "%.2fx" old_s;
+                    Printf.sprintf "%.2fx" s;
+                    Printf.sprintf "%.2f" ratio;
+                    (if ok then "ok" else "REGRESSED");
+                  ])
+        speedups;
+      Table.print st;
+      List.rev !regressions
 
 let run_parallel_bench ~quick ~diff () =
   let fibers = if quick then 2_000 else 20_000 in
@@ -940,11 +1038,11 @@ let run_parallel_bench ~quick ~diff () =
            (if host_cores () = 1 then "" else "s")
            warmup reps)
       ~headers:
-        [ "workload"; "domains"; "oversub"; "items"; "median [s]"; "p99 [s]";
-          "items/s"; "steals" ]
+        [ "workload"; "domains"; "oversub"; "act p50"; "steal fail"; "parks";
+          "items"; "median [s]"; "items/s"; "steals" ]
       ~aligns:
         [ Table.Left; Table.Right; Table.Left; Table.Right; Table.Right;
-          Table.Right; Table.Right; Table.Right ]
+          Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
       ()
   in
   List.iter
@@ -953,47 +1051,56 @@ let run_parallel_bench ~quick ~diff () =
         [
           p.ps_name;
           string_of_int p.ps_domains;
-          (if oversubscribed ~domains:p.ps_domains then "YES" else "-");
+          (if p.ps_oversub then "YES" else "-");
+          string_of_int p.ps_active_p50;
+          Printf.sprintf "%.2f" p.ps_steal_fail_rate;
+          string_of_int p.ps_parks;
           string_of_int p.ps_items;
           sci p.ps_median_s;
-          sci p.ps_p99_s;
           Printf.sprintf "%.0f" p.ps_median_tput;
           string_of_int p.ps_steals;
         ])
     stats;
   Table.print t;
-  (* speedup curves from the medians, for the two scaling workloads *)
+  (* speedup curves from the medians, for EVERY workload in the sweep:
+     under the elastic pool the non-scaling workloads are exactly where
+     oversubscription regressions used to hide *)
+  let workload_names =
+    List.fold_left
+      (fun acc p -> if List.mem p.ps_name acc then acc else p.ps_name :: acc)
+      [] stats
+    |> List.rev
+  in
   let speedups =
     List.concat_map
       (fun wname ->
-        let of_workload =
-          List.filter (fun p -> p.ps_name = wname) stats
-        in
+        let of_workload = List.filter (fun p -> p.ps_name = wname) stats in
         match List.find_opt (fun p -> p.ps_domains = 1) of_workload with
         | None -> []
         | Some base ->
             List.map
               (fun p ->
-                ( p.ps_name,
-                  p.ps_domains,
+                ( p,
                   if p.ps_median_s > 0.0 then base.ps_median_s /. p.ps_median_s
                   else 0.0 ))
               of_workload)
-      [ "spawn_join"; "work_steal_tree" ]
+      workload_names
   in
   let st =
     Table.create ~title:"Speedup vs 1 domain (median wall clock)"
-      ~headers:[ "workload"; "domains"; "oversub"; "speedup" ]
-      ~aligns:[ Table.Left; Table.Right; Table.Left; Table.Right ]
+      ~headers:[ "workload"; "domains"; "oversub"; "act p50"; "speedup" ]
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Left; Table.Right; Table.Right ]
       ()
   in
   List.iter
-    (fun (name, domains, s) ->
+    (fun (p, s) ->
       Table.add_row st
         [
-          name;
-          string_of_int domains;
-          (if oversubscribed ~domains then "YES" else "-");
+          p.ps_name;
+          string_of_int p.ps_domains;
+          (if p.ps_oversub then "YES" else "-");
+          string_of_int p.ps_active_p50;
           Printf.sprintf "%.2fx" s;
         ])
     speedups;
@@ -1001,23 +1108,46 @@ let run_parallel_bench ~quick ~diff () =
   print_endline
     "  (per-worker overflow FIFO for yields, steal-half batches, lock-free\n\
     \   join, targeted one-worker wake-ups -- the Section VII M:N extension\n\
-    \   on real cores.  Speedup > 1 requires a multicore host; configs with\n\
-    \   domains > host_cores are flagged oversubscribed above and in the\n\
-    \   JSON: they measure time-sliced overhead, not scaling)";
+    \   on real cores.  Speedup > 1 requires a multicore host; the oversub\n\
+    \   flag is measured -- active_workers_p50 > host_cores -- so a run\n\
+    \   that collapsed its excess domains into deep park reads '-' even\n\
+    \   when more domains were requested than cores exist)";
   (* diff BEFORE overwriting: the old file is usually this same path,
      and reading it after the write would compare the run to itself *)
-  (match diff with
-  | Some old_file -> print_diff ~old_file stats
-  | None -> ());
+  let regressions =
+    match diff with
+    | Some old_file -> print_diff ~old_file ~speedups stats
+    | None -> []
+  in
   let json = parallel_json ~quick ~warmup ~stats ~speedups in
   let oc = open_out bench_file in
   output_string oc json;
   close_out oc;
-  Printf.printf "  wrote %s (%d results)\n" bench_file (List.length stats)
+  Printf.printf "  wrote %s (%d results)\n" bench_file (List.length stats);
+  (* gate AFTER the write so a regressed run still leaves a fresh file
+     to inspect.  On a 1-core host the gate relaxes to a warning: a
+     shared single-core runner's numbers swing with its neighbours. *)
+  if regressions <> [] then begin
+    List.iter
+      (fun (name, domains, old_s, new_s) ->
+        Printf.eprintf "  speedup regression: %s@%d %.2fx -> %.2fx\n" name
+          domains old_s new_s)
+      regressions;
+    if host_cores () > 1 then exit 3
+    else
+      Printf.eprintf
+        "  (host has 1 core: speedup-regression gate relaxed to warning)\n"
+  end
 
 (* CI smoke gate: BENCH_parallel.json must exist, parse, and carry the
-   v2 schema with sane fields.  Exit 1 on any violation (the bench-smoke
-   job fails on crash or malformed output, never on perf numbers). *)
+   v4 schema with sane fields.  Exit 1 on any violation (the bench-smoke
+   job fails on crash, malformed output, or a broken invariant -- and,
+   since v4, on the one perf property the elastic pool guarantees on
+   ANY host: an oversubscribed run must stay within [oversub_slowdown]
+   of the same workload at domains=1, because the adaptive loop is
+   supposed to collapse the excess workers rather than thrash). *)
+let oversub_slowdown = 1.35
+
 let run_validate () =
   let fail msg =
     Printf.eprintf "%s: %s\n" bench_file msg;
@@ -1027,7 +1157,7 @@ let run_validate () =
   | Error msg -> fail msg
   | Ok doc ->
       (match Option.bind (Json.member "schema" doc) Json.to_string with
-      | Some "ulp-pip/parallel-bench/v3" -> ()
+      | Some "ulp-pip/parallel-bench/v4" -> ()
       | Some other -> fail (Printf.sprintf "unexpected schema %S" other)
       | None -> fail "missing schema");
       let cores =
@@ -1041,36 +1171,94 @@ let run_validate () =
         | Some [] -> fail "empty results"
         | None -> fail "missing results"
       in
+      let rows =
+        List.map
+          (fun e ->
+            let num k =
+              match Option.bind (Json.member k e) Json.to_float with
+              | Some f when Float.is_finite f && f >= 0.0 -> f
+              | _ -> fail (Printf.sprintf "result with missing/bad %S" k)
+            in
+            let name =
+              match Option.bind (Json.member "name" e) Json.to_string with
+              | Some n -> n
+              | None -> fail "result without name"
+            in
+            let domains = int_of_float (num "domains") in
+            let where = Printf.sprintf "%s@%d" name domains in
+            ignore (num "p99_s");
+            ignore (num "median_throughput_per_s");
+            ignore (num "steals");
+            (* v4 scheduler telemetry: present and sane in every row *)
+            List.iter
+              (fun k -> ignore (num k))
+              [ "parks"; "deep_parks"; "wakes"; "spins"; "inj_drains" ];
+            let sfr = num "steal_fail_rate" in
+            if sfr > 1.0 then
+              fail (Printf.sprintf "%s: steal_fail_rate %.4f > 1" where sfr);
+            let active = int_of_float (num "active_workers_p50") in
+            if active < 1 || active > domains then
+              fail
+                (Printf.sprintf "%s: active_workers_p50 %d outside [1, %d]"
+                   where active domains);
+            let flag =
+              match
+                Option.bind (Json.member "oversubscribed" e) Json.to_bool
+              with
+              | Some f -> f
+              | None -> fail (where ^ ": missing oversubscribed flag")
+            in
+            (* v4 flag honesty is MEASURED: the flag reports what the
+               pool did (active workers vs cores), not what was asked *)
+            if flag <> (active > cores) then
+              fail
+                (Printf.sprintf
+                   "%s: oversubscribed=%b but active_workers_p50=%d, \
+                    host_cores=%d -- the flag must reflect measured width"
+                   where flag active cores);
+            (name, domains, num "median_s"))
+          results
+      in
+      (* oversubscription gate: requesting more domains than cores must
+         not cost more than [oversub_slowdown] vs the 1-domain run *)
       List.iter
-        (fun e ->
-          let num k =
-            match Option.bind (Json.member k e) Json.to_float with
-            | Some f when Float.is_finite f && f >= 0.0 -> f
-            | _ -> fail (Printf.sprintf "result with missing/bad %S" k)
-          in
-          let name =
-            match Option.bind (Json.member "name" e) Json.to_string with
-            | Some n -> n
-            | None -> fail "result without name"
-          in
-          let domains = int_of_float (num "domains") in
-          ignore (num "median_s");
-          ignore (num "p99_s");
-          ignore (num "median_throughput_per_s");
-          ignore (num "steals");
-          match Option.bind (Json.member "oversubscribed" e) Json.to_bool with
-          | Some flag ->
-              if flag <> (domains > cores) then
-                fail
-                  (Printf.sprintf
-                     "%s@%d: oversubscribed=%b but host_cores=%d -- the flag \
-                      must be honest"
-                     name domains flag cores)
-          | None -> fail (name ^ ": missing oversubscribed flag"))
-        results;
-      (match Option.bind (Json.member "speedups" doc) Json.to_list with
-      | Some (_ :: _) -> ()
-      | _ -> fail "missing/empty speedups");
+        (fun (name, domains, median_s) ->
+          if domains > cores then
+            match
+              List.find_opt (fun (n, d, _) -> n = name && d = 1) rows
+            with
+            | None -> fail (name ^ ": oversubscribed row without domains=1 peer")
+            | Some (_, _, base_s) ->
+                if base_s > 0.0 && median_s > oversub_slowdown *. base_s then
+                  fail
+                    (Printf.sprintf
+                       "%s@%d: %.4fs vs %.4fs at domains=1 (%.2fx > %.2fx \
+                        allowed) -- the elastic pool failed to collapse"
+                       name domains median_s base_s (median_s /. base_s)
+                       oversub_slowdown))
+        rows;
+      (* speedups must cover the full sweep, not a chosen subset *)
+      let speedups =
+        match Option.bind (Json.member "speedups" doc) Json.to_list with
+        | Some (_ :: _ as l) ->
+            List.filter_map
+              (fun e ->
+                match
+                  ( Option.bind (Json.member "name" e) Json.to_string,
+                    Option.bind (Json.member "domains" e) Json.to_float )
+                with
+                | Some n, Some d -> Some (n, int_of_float d)
+                | _ -> None)
+              l
+        | _ -> fail "missing/empty speedups"
+      in
+      List.iter
+        (fun (name, domains, _) ->
+          if not (List.mem (name, domains) speedups) then
+            fail
+              (Printf.sprintf "speedups missing %s@%d -- must cover the full \
+                               sweep" name domains))
+        rows;
       Printf.printf "%s: valid (%d results, host_cores=%d)\n" bench_file
         (List.length results) cores
 

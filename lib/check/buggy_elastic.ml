@@ -1,0 +1,123 @@
+(* TEST-ONLY copy of Elastic -- the worker-pool accounting behind the
+   oversubscription-adaptive scheduler -- with a deliberately seeded
+   bug: [wake]'s pressure counter is bumped with a get-then-set instead
+   of a fetch-and-add.
+
+   Two producers missing the shallow stack concurrently both read
+   pressure = p, both store p + 1: one miss evaporates.  The re-enlist
+   threshold that converts accumulated injection pressure into a deep
+   wake is computed against the under-count, so it is never crossed --
+   and a deep-parked worker sleeps through the very pressure that
+   should revive it while foreign work sits on the injection channel.
+   Under the explorer that is a replayable deadlock: the deep worker's
+   wait for its re-enlist token can never be satisfied.
+
+   The faithful [Elastic.wake] uses [Atomic.fetch_and_add], whose return
+   value gives each miss a distinct count, so some caller always
+   observes the threshold.  test_check asserts the checker reports a
+   bug on THIS module under those schedules while the faithful copy
+   passes the same scenarios (and survives replay of the failing
+   schedules).  Never use outside tests. *)
+
+type t = {
+  shallow : Idle_waker.t;
+  deep : Idle_waker.t;
+  n_deep : int Atomic.t;
+  pressure : int Atomic.t;
+  target : int Atomic.t;
+  base : int;
+  total : int;
+  re_enlist_after : int;
+}
+
+let create ~total ~target ~re_enlist_after =
+  if total < 1 then invalid_arg "Buggy_elastic.create: total must be >= 1";
+  let target = max 1 (min total target) in
+  {
+    shallow = Idle_waker.create ();
+    deep = Idle_waker.create ();
+    n_deep = Atomic.make 0;
+    pressure = Atomic.make 0;
+    target = Atomic.make target;
+    base = target;
+    total;
+    re_enlist_after = max 1 re_enlist_after;
+  }
+
+let total t = t.total
+let target t = Atomic.get t.target
+let n_deep t = Atomic.get t.n_deep
+let active t = t.total - Atomic.get t.n_deep
+let pressure t = Atomic.get t.pressure
+let over_target t = t.total - Atomic.get t.n_deep > Atomic.get t.target
+let park t wid = Idle_waker.push t.shallow wid
+let cancel t wid = Idle_waker.take t.shallow wid
+
+let rec enter_deep t wid =
+  let d = Atomic.get t.n_deep in
+  if d + 1 >= t.total then false
+  else if Atomic.compare_and_set t.n_deep d (d + 1) then begin
+    Idle_waker.push t.deep wid;
+    true
+  end
+  else enter_deep t wid
+
+let cancel_deep t wid =
+  if Idle_waker.take t.deep wid then begin
+    ignore (Atomic.fetch_and_add t.n_deep (-1));
+    true
+  end
+  else false
+
+let rec decay_target t =
+  let cur = Atomic.get t.target in
+  if cur > t.base then
+    if not (Atomic.compare_and_set t.target cur (cur - 1)) then decay_target t
+
+let rec raise_target t =
+  let cur = Atomic.get t.target in
+  if cur < t.total then
+    if not (Atomic.compare_and_set t.target cur (cur + 1)) then raise_target t
+
+let wake ?(foreign = false) t =
+  match Idle_waker.pop t.shallow with
+  | Some _ as hit -> hit
+  | None ->
+      let d = Atomic.get t.n_deep in
+      if d > 0 && (foreign || t.total - d < Atomic.get t.target) then begin
+        (* THE SEEDED BUG: the faithful code is
+             let p = Atomic.fetch_and_add t.pressure 1 in
+           whose return value hands every miss a distinct count.  The
+           read-compute-store below lets two concurrent misses both
+           observe p and both publish p + 1: an increment is lost and
+           the threshold test runs against the under-count. *)
+        let p = Atomic.get t.pressure in
+        Atomic.set t.pressure (p + 1);
+        if p + 1 >= t.re_enlist_after && Atomic.exchange t.pressure 0 > 0 then (
+          match Idle_waker.pop t.deep with
+          | Some wid ->
+              ignore (Atomic.fetch_and_add t.n_deep (-1));
+              raise_target t;
+              Some wid
+          | None -> None)
+        else None
+      end
+      else None
+
+let claim t wid =
+  if Idle_waker.take t.shallow wid then true
+  else if Idle_waker.take t.deep wid then begin
+    ignore (Atomic.fetch_and_add t.n_deep (-1));
+    true
+  end
+  else false
+
+let drain t =
+  let d = Idle_waker.drain t.deep in
+  (match d with
+  | [] -> ()
+  | l -> ignore (Atomic.fetch_and_add t.n_deep (-List.length l)));
+  Idle_waker.drain t.shallow @ d
+
+let snapshot_shallow t = Idle_waker.snapshot t.shallow
+let snapshot_deep t = Idle_waker.snapshot t.deep

@@ -1,0 +1,81 @@
+(** Elastic worker-pool accounting for the oversubscription-adaptive
+    scheduler: a shallow (wake-eligible) idle stack, a deep-park set
+    excluded from routine wakes, and an active-worker target that
+    pressure re-enlists raise and chronic-idle collapses decay.
+
+    Protocol summary (the Dekker handshake of {!Idle_waker}, extended):
+    a parker publishes itself on a stack and then re-checks for work; a
+    producer stores work and then pops a stack.  Whoever removes an id
+    — {!wake}, {!claim}, {!drain}, or the parker's own {!cancel} /
+    {!cancel_deep} — owes (or withholds) exactly one wake token.
+    Deep-parked workers are invisible to {!wake}'s shallow round-robin;
+    they return via targeted {!claim}s, stop-time {!drain}, or
+    sustained foreign-push pressure crossing [re_enlist_after].
+
+    Recompiled into lib/check against traced atomics; the seeded
+    [Buggy_elastic] twin turns the pressure counter's fetch-and-add
+    into a get-then-set and loses the re-enlist wake — a replayable
+    deadlock the explorer catches. *)
+
+type t
+
+val create : total:int -> target:int -> re_enlist_after:int -> t
+(** [total] workers, initial active-worker [target] (clamped to
+    [1, total]); every [re_enlist_after] foreign wake misses convert
+    into one deep re-enlist.  @raise Invalid_argument if [total < 1]. *)
+
+val total : t -> int
+
+val target : t -> int
+(** Current active-worker target: starts at [min total target], raised
+    by pressure re-enlists, decayed toward the initial value by
+    chronic-idle collapses. *)
+
+val n_deep : t -> int
+val active : t -> int
+(** [total - n_deep]: workers not deep-parked (running or shallow). *)
+
+val pressure : t -> int
+val over_target : t -> bool
+(** More workers awake than the target wants: callers with nothing
+    local should shed (deep park) instead of stealing. *)
+
+val park : t -> int -> unit
+(** Publish [wid] on the shallow stack (then re-check for work, then
+    sleep — the caller's obligation). *)
+
+val cancel : t -> int -> bool
+(** Remove [wid] from the shallow stack: [true] = removed (no token
+    coming); [false] = a waker popped it first, consume its token. *)
+
+val enter_deep : t -> int -> bool
+(** Claim a deep slot and publish [wid]: [false] when the floor (at
+    least one non-deep worker) would be violated.  On [true] the caller
+    must re-check its private work / stop flag, then sleep. *)
+
+val cancel_deep : t -> int -> bool
+(** Like {!cancel} for the deep stack; releases the deep slot on
+    [true]. *)
+
+val decay_target : t -> unit
+(** One chronic-idle collapse: move the target one step back toward its
+    initial value (never below it). *)
+
+val wake : ?foreign:bool -> t -> int option
+(** Pop one shallow-parked worker for a unit of new work.  A miss
+    accumulates re-enlist pressure when the push is foreign
+    ([~foreign:true] — executors, the reactor) or when the pool is
+    below its own target (chronic-idle collapses left a gap); crossing
+    the threshold re-enlists one deep worker and raises the target.
+    The caller owes the returned worker exactly one wake token. *)
+
+val claim : t -> int -> bool
+(** Targeted wake for a private-inbox delivery: remove [wid] from
+    whichever stack holds it.  [true] = the caller owes [wid] a token.
+    A deep hit releases the slot without raising the target. *)
+
+val drain : t -> int list
+(** Stop: remove and return every parked worker, shallow and deep. *)
+
+val snapshot_shallow : t -> int list
+val snapshot_deep : t -> int list

@@ -264,10 +264,58 @@ type pworker = {
   park_mutex : Mutex.t; (* per-worker parking: targeted wake-ups *)
   park_cond : Condition.t;
   mutable park_wake : bool; (* a pending wake token; guarded by park_mutex *)
+  w_launched : bool Atomic.t;
+      (* the worker's domain exists.  Workers beyond the elastic target
+         start UNLAUNCHED and preloaded into deep park: a domain that
+         is never woken is never spawned — it costs no spawn/join
+         milliseconds and, crucially, is no stop-the-world GC partner.
+         The first wake/claim that pops such a worker launches it
+         ([pspawn]); an explicit [~domains] is honored as capacity, not
+         as an eager fleet. *)
+  (* -- scheduler telemetry: cheap monotonic counters.  All but
+     [t_wakes] are owner-written plain fields (no contention, no
+     atomics on the hot path); aggregation is racy-but-monotonic for
+     mid-run snapshots and exact at run end (the done handshake is a
+     happens-before edge covering every worker's last write). *)
+  mutable t_steal_attempts : int; (* try_steal sessions entered *)
+  mutable t_steal_fails : int; (* sessions that came back empty *)
+  mutable t_parks : int; (* shallow (wake-eligible) parks slept *)
+  mutable t_deep_parks : int; (* deep (collapsed) parks slept *)
+  mutable t_spins : int; (* cpu_relax iterations before parking *)
+  mutable t_inj_drains : int; (* non-empty injection-channel drains *)
+  t_wakes : int Atomic.t; (* tokens delivered to us, by any thread *)
+  act_hist : int array;
+      (* samples of the pool's active-worker count (index = active, in
+         [0, domains]), taken at fairness ticks and park entries: the
+         distribution behind [Sched_stats.active_p50] *)
+  (* -- adaptive state, owned by the per-run loop (see [adapt]): *)
+  w_deep : bool Atomic.t; (* deep-parked; thieves skip us as victim *)
+  mutable spin_budget : int; (* current spin-before-park budget *)
+  mutable steal_rounds : int; (* current steal rounds per session *)
+  mutable ewma : float; (* steal-failure EWMA, the oversubscription signal *)
+  mutable idle_streak : int; (* consecutive woken-to-find-nothing parks *)
+}
+
+(* Per-run tuning, resolved in [make_psched] — NOT at module load.
+   (The old module-level [spin_budget]/[steal_rounds] were computed
+   once from [recommended_domain_count] when [Fiber] was first linked,
+   so a 1-core CI loader baked spin_budget = 0 into every subsequent
+   run regardless of the host it actually ran on, and a multicore
+   loader kept 4-domain runs spinning on a 1-core cgroup.)  These are
+   the BASE values; the adaptive loop owns the live per-worker copies
+   and moves them between 0 and [max_spin] as the steal-failure EWMA
+   swings. *)
+type tune = {
+  base_spin : int; (* initial spin-before-park budget *)
+  max_spin : int; (* adaptive re-expansion ceiling *)
+  base_rounds : int; (* initial steal rounds per session *)
+  deep_after : int; (* idle_streak threshold for chronic-idle collapse *)
+  host_cores : int; (* recommended_domain_count at run start *)
 }
 
 type psched = {
   ps_uid : int; (* distinguishes schedulers in Wake batch dedup keys *)
+  ptune : tune;
   workers : pworker array;
   pinject : (unit -> unit) Mpsc_queue.t;
       (* cross-thread wake-ups ONLY: executors, foreign domains.  A
@@ -278,13 +326,24 @@ type psched = {
   pnext_fid : int Atomic.t;
   stop : bool Atomic.t;
   failure : (exn * Printexc.raw_backtrace) option Atomic.t;
-  idle : Idle_waker.t;
-      (* Treiber stack of parked worker ids: a push of work pops and
-         wakes exactly one, instead of broadcasting to all.  Factored
-         into [Idle_waker] so lib/check recompiles the exact code. *)
+  elastic : Elastic.t;
+      (* Elastic idle accounting: a shallow Treiber stack of parked
+         worker ids (a push of work pops and wakes exactly one, instead
+         of broadcasting to all) plus a deep-park set excluded from
+         routine wakes and victim probes, with an active-worker target
+         the adaptive loop moves.  Factored into [Elastic] (over
+         [Idle_waker]) so lib/check recompiles the exact code. *)
   done_mutex : Mutex.t; (* run-exit accounting only (cold path) *)
   done_cond : Condition.t;
-  mutable n_running : int; (* workers still in their loop; guarded above *)
+  mutable n_running : int; (* launched workers still in their loop; guarded above *)
+  mutable pdomains : unit Domain.t list;
+      (* spawned helper domains, for the final join; guarded by
+         [done_mutex] (spawning is rare and cold) *)
+  mutable pspawn : int -> unit;
+      (* launch worker [wid]'s domain if not yet launched; installed by
+         [run_parallel] (it closes over [worker_loop], defined later)
+         and called by whoever pops an unlaunched worker off the deep
+         stack *)
   pexec_mutex : Mutex.t;
   mutable pexecutors : Executor.t list;
 }
@@ -307,45 +366,110 @@ let worker_ctx () =
 
 let psched_uid = Atomic.make 0
 
-(* Spin-then-block: BUSYWAIT rounds before parking.  Spinning only pays
-   when another core can produce work meanwhile; on a single-core host
-   it just burns the producer's timeslice (the latency/power knob of
-   the paper's Table II, resolved per host). *)
-let spin_budget =
-  if Domain.recommended_domain_count () > 1 then 256 else 0
 let fairness_interval = 64 (* drain injected + overflow at least this often *)
-let steal_rounds = if spin_budget > 0 then 3 else 1
 let steal_backoff_base = 16 (* cpu_relax iterations; doubles per round *)
+let re_enlist_after = 64 (* eligible wake misses per deep re-enlist *)
+
+(* EWMA of steal-session failures, per worker: alpha weights the last
+   session a quarter; crossing [hi] is the oversubscribed signature
+   (spinning burns the timeslice of whoever holds the work) and
+   collapses the budgets to immediate parking; falling below [lo]
+   (steals succeeding again) re-expands them bounded-exponentially. *)
+let ewma_alpha = 0.25
+let ewma_hi = 0.75
+let ewma_lo = 0.25
+
+(* Spin-then-block: BUSYWAIT rounds before parking (the latency/power
+   knob of the paper's Table II).  Spinning only pays when another core
+   can produce work meanwhile, so the base budget is 0 on a 1-core
+   host; [ULP_SPIN_BUDGET] pins both base and ceiling for benching. *)
+let make_tune ~domains =
+  let host_cores = Domain.recommended_domain_count () in
+  let default_spin = if host_cores > 1 then 256 else 0 in
+  let pinned =
+    match Sys.getenv_opt "ULP_SPIN_BUDGET" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 0 -> Some n
+        | _ -> None)
+    | None -> None
+  in
+  let base_spin = match pinned with Some n -> n | None -> default_spin in
+  let max_spin =
+    match pinned with
+    | Some n -> n
+    | None -> if domains <= host_cores then max 256 base_spin else 32
+  in
+  {
+    base_spin;
+    max_spin;
+    base_rounds = (if base_spin > 0 then 3 else 1);
+    deep_after = 8;
+    host_cores;
+  }
 
 let make_psched ~domains =
-  {
-    ps_uid = Atomic.fetch_and_add psched_uid 1;
-    workers =
-      Array.init domains (fun wid ->
-          {
-            wid;
-            deque = Atomic_deque.create ~dummy:ignore;
-            overflow = Queue.create ();
-            inbox = Mpsc_queue.create ();
-            rng = (wid * 0x9e3779b9) lor 1;
-            steals = 0;
-            tick = 0;
-            park_mutex = Mutex.create ();
-            park_cond = Condition.create ();
-            park_wake = false;
-          });
-    pinject = Mpsc_queue.create ();
-    plive = Atomic.make 0;
-    pnext_fid = Atomic.make 1;
-    stop = Atomic.make false;
-    failure = Atomic.make None;
-    idle = Idle_waker.create ();
-    done_mutex = Mutex.create ();
-    done_cond = Condition.create ();
-    n_running = domains;
-    pexec_mutex = Mutex.create ();
-    pexecutors = [];
-  }
+  let ptune = make_tune ~domains in
+  (* Target = the host's real parallelism (never above what we were
+     given): with domains > cores the pool converges to ~cores active
+     workers instead of thrashing; pressure re-enlists can still raise
+     it back toward [domains].  Workers [eager, domains) start
+     unlaunched AND preloaded into deep park, so on an oversubscribed
+     host the excess domains are never even spawned unless re-enlist
+     pressure (or a targeted [spawn_on]/inbox claim) demands them. *)
+  let eager = max 1 (min domains ptune.host_cores) in
+  let ps =
+    {
+      ps_uid = Atomic.fetch_and_add psched_uid 1;
+      ptune;
+      workers =
+        Array.init domains (fun wid ->
+            {
+              wid;
+              deque = Atomic_deque.create ~dummy:ignore;
+              overflow = Queue.create ();
+              inbox = Mpsc_queue.create ();
+              rng = (wid * 0x9e3779b9) lor 1;
+              steals = 0;
+              tick = 0;
+              park_mutex = Mutex.create ();
+              park_cond = Condition.create ();
+              park_wake = false;
+              w_launched = Atomic.make (wid = 0);
+              t_steal_attempts = 0;
+              t_steal_fails = 0;
+              t_parks = 0;
+              t_deep_parks = 0;
+              t_spins = 0;
+              t_inj_drains = 0;
+              t_wakes = Atomic.make 0;
+              act_hist = Array.make (domains + 1) 0;
+              w_deep = Atomic.make (wid >= eager);
+              spin_budget = ptune.base_spin;
+              steal_rounds = ptune.base_rounds;
+              ewma = 0.5;
+              idle_streak = 0;
+            });
+      pinject = Mpsc_queue.create ();
+      plive = Atomic.make 0;
+      pnext_fid = Atomic.make 1;
+      stop = Atomic.make false;
+      failure = Atomic.make None;
+      elastic =
+        Elastic.create ~total:domains ~target:eager ~re_enlist_after;
+      done_mutex = Mutex.create ();
+      done_cond = Condition.create ();
+      n_running = 1 (* worker 0 runs on the calling domain *);
+      pdomains = [];
+      pspawn = ignore (* installed by run_parallel *);
+      pexec_mutex = Mutex.create ();
+      pexecutors = [];
+    }
+  in
+  for wid = eager to domains - 1 do
+    ignore (Elastic.enter_deep ps.elastic wid)
+  done;
+  ps
 
 (* ---- targeted parking: the idle-worker Treiber stack ----
 
@@ -359,6 +483,7 @@ let make_psched ~domains =
    one consume per push: no token leaks across parking rounds. *)
 
 let deliver_token w =
+  Atomic.incr w.t_wakes;
   (* ulplint: allow raw-mutex-in-fiber -- worker-domain parking: an idle domain must really sleep in the OS, which is exactly what Sync must never do *)
   Mutex.lock w.park_mutex;
   w.park_wake <- true;
@@ -376,22 +501,41 @@ let await_token w =
   Mutex.unlock w.park_mutex
 
 (* Wake exactly one parked worker, if any.  The common nobody-idle path
-   is a single atomic read inside [Idle_waker.pop]. *)
-let wake_one ps =
-  match Idle_waker.pop ps.idle with
-  | Some wid -> deliver_token ps.workers.(wid)
+   is a single atomic read inside [Elastic.wake].  [foreign] marks
+   pushes from outside the worker pool (executors, reactor shards):
+   those — plus local misses while the pool is below its own target —
+   accumulate the re-enlist pressure that pulls deep-parked workers
+   back when the pool has genuinely shed too far. *)
+let wake_some ps ~foreign =
+  match Elastic.wake ~foreign ps.elastic with
+  | Some wid ->
+      ps.pspawn wid;
+      deliver_token ps.workers.(wid)
   | None -> ()
 
+let wake_one ps = wake_some ps ~foreign:false
+
+(* Stop: never launch a domain just to tell it to stop — unlaunched
+   workers popped off the deep stack are simply dropped. *)
 let wake_all ps =
-  List.iter (fun wid -> deliver_token ps.workers.(wid)) (Idle_waker.drain ps.idle)
+  List.iter
+    (fun wid ->
+      let w = ps.workers.(wid) in
+      if Atomic.get w.w_launched then deliver_token w)
+    (Elastic.drain ps.elastic)
 
 (* Targeted wake: worker [wid] has (or is about to get) work in its
-   private inbox; un-park it iff it is parked.  If it is running it
-   will find the inbox in [next_task]; if it is between our inbox push
-   and its own park publication, its post-publication re-check of the
-   inbox closes the Dekker handshake. *)
+   private inbox; un-park it iff it is parked — shallow or deep (an
+   affinity delivery is for this one worker; nobody else can run it).
+   If it is running it will find the inbox in [next_task]; if it is
+   between our inbox push and its own park publication, its
+   post-publication re-check of the inbox closes the Dekker
+   handshake. *)
 let notify_worker ps wid =
-  if Idle_waker.take ps.idle wid then deliver_token ps.workers.(wid)
+  if Elastic.claim ps.elastic wid then begin
+    ps.pspawn wid;
+    deliver_token ps.workers.(wid)
+  end
 
 (* Deliver a thunk to a specific worker's inbox from any thread.  With
    a [batch], the notification is deferred and deduped per (scheduler,
@@ -405,18 +549,19 @@ let push_targeted ps wid thunk (b : Wake.batch option) =
 let push_foreign ps thunk (b : Wake.batch option) =
   Mpsc_queue.push ps.pinject thunk;
   match b with
-  | None -> wake_one ps
-  | Some b -> Wake.note b ~key:(ps.ps_uid, -1) (fun () -> wake_one ps)
+  | None -> wake_some ps ~foreign:true
+  | Some b -> Wake.note b ~key:(ps.ps_uid, -1) (fun () -> wake_some ps ~foreign:true)
 
 (* Make a runnable continuation available: onto the local deque when
    called from a worker of this scheduler, otherwise (executor threads,
    foreign domains) onto the MPSC injection channel.  Either way one
    parked worker -- not all of them -- is woken. *)
 let pschedule ps thunk =
-  (match worker_ctx () with
-  | Some c when c.ps == ps -> Atomic_deque.push c.w.deque thunk
-  | _ -> Mpsc_queue.push ps.pinject thunk);
-  wake_one ps
+  match worker_ctx () with
+  | Some c when c.ps == ps ->
+      Atomic_deque.push c.w.deque thunk;
+      wake_one ps
+  | _ -> push_foreign ps thunk None
 
 (* Routed resume for parked fibers: a worker of this scheduler takes
    its local deque (the classic path); any other thread honours the
@@ -477,9 +622,7 @@ and phandle ps fb body =
                          global MPSC -- the old hot path -- is no
                          longer touched by yields at all. *)
                       Queue.push thunk c.w.overflow
-                  | _ ->
-                      Mpsc_queue.push ps.pinject thunk;
-                      wake_one ps)
+                  | _ -> push_foreign ps thunk None)
           | Suspend register ->
               Some
                 (fun (k : (b, unit) continuation) ->
@@ -538,6 +681,7 @@ let take_injected ps w =
   match Mpsc_queue.pop_all ps.pinject with
   | [] -> None
   | batch ->
+      w.t_inj_drains <- w.t_inj_drains + 1;
       List.iter (fun t -> Queue.push t w.overflow) batch;
       Queue.take_opt w.overflow
 
@@ -550,36 +694,63 @@ let take_inbox w =
       List.iter (fun t -> Queue.push t w.overflow) batch;
       Queue.take_opt w.overflow
 
-(* Randomized steal-half: up to [steal_rounds] rounds of n-1 unbiased
+(* The adaptation step, run after every steal session: update the
+   steal-failure EWMA and move this worker's live budgets.  Crossing
+   [ewma_hi] is the oversubscribed signature — the victims we keep
+   probing empty-handed are not producing because they share our core —
+   so spinning collapses to immediate parking and stealing to one
+   round.  Falling under [ewma_lo] (steals succeeding again) re-expands
+   the spin budget bounded-exponentially toward the per-run ceiling and
+   restores the base steal rounds. *)
+let adapt ps w ~failed =
+  if failed then w.t_steal_fails <- w.t_steal_fails + 1;
+  w.ewma <-
+    (if failed then ewma_alpha else 0.0) +. ((1.0 -. ewma_alpha) *. w.ewma);
+  if w.ewma >= ewma_hi then begin
+    w.spin_budget <- 0;
+    w.steal_rounds <- 1
+  end
+  else if w.ewma <= ewma_lo then begin
+    if w.spin_budget < ps.ptune.max_spin then
+      w.spin_budget <- min ps.ptune.max_spin (max 16 (2 * w.spin_budget));
+    w.steal_rounds <- ps.ptune.base_rounds
+  end
+
+(* Randomized steal-half: up to [w.steal_rounds] rounds of n-1 unbiased
    victim probes (self is never drawn, so no probe is burned skipping
-   it), with bounded-exponential cpu_relax backoff between rounds so a
-   herd of empty-handed thieves does not hammer the victims' cache
-   lines.  A successful probe takes up to half the victim's deque in
-   one visit; the first item runs now, the rest become local stealable
-   work, and one more parked worker is woken to share it. *)
+   it; deep-parked victims are skipped — their deques were empty when
+   they collapsed and nobody else fills them), with bounded-exponential
+   cpu_relax backoff between rounds so a herd of empty-handed thieves
+   does not hammer the victims' cache lines.  A successful probe takes
+   up to half the victim's deque in one visit; the first item runs now,
+   the rest become local stealable work, and one more parked worker is
+   woken to share it. *)
 let try_steal ps w =
   let n = Array.length ps.workers in
   if n = 1 then None
   else begin
+    w.t_steal_attempts <- w.t_steal_attempts + 1;
     let rec probe tries =
       if tries = 0 then None
       else begin
         let v = rand_below w (n - 1) in
         let v = if v >= w.wid then v + 1 else v in
-        match Atomic_deque.steal_batch ps.workers.(v).deque with
-        | [] -> probe (tries - 1)
-        | x :: rest ->
-            w.steals <- w.steals + 1 + List.length rest;
-            List.iter (Atomic_deque.push w.deque) rest;
-            if rest <> [] then wake_one ps;
-            Some x
+        if Atomic.get ps.workers.(v).w_deep then probe (tries - 1)
+        else
+          match Atomic_deque.steal_batch ps.workers.(v).deque with
+          | [] -> probe (tries - 1)
+          | x :: rest ->
+              w.steals <- w.steals + 1 + List.length rest;
+              List.iter (Atomic_deque.push w.deque) rest;
+              if rest <> [] then wake_one ps;
+              Some x
       end
     in
     let rec round r =
       match probe (n - 1) with
       | Some _ as res -> res
       | None ->
-          if r + 1 >= steal_rounds then None
+          if r + 1 >= w.steal_rounds then None
           else begin
             for _ = 1 to steal_backoff_base lsl r do
               Domain.cpu_relax ()
@@ -587,15 +758,37 @@ let try_steal ps w =
             round (r + 1)
           end
     in
-    round 0
+    let res = round 0 in
+    adapt ps w ~failed:(match res with None -> true | Some _ -> false);
+    res
   end
+
+(* Sample the pool's active-worker count into this worker's private
+   histogram (fairness ticks + park entries): the raw distribution
+   behind [Sched_stats.active_p50] and the bench's measured
+   oversubscription flag. *)
+let sample_active ps w =
+  let a = Elastic.active ps.elastic in
+  let a = max 0 (min (Array.length ps.workers) a) in
+  w.act_hist.(a) <- w.act_hist.(a) + 1
+
+(* The structural shed gate: when more workers are awake than the
+   elastic target wants, a worker with nothing local does NOT go
+   stealing — returning None sends it to [park], which collapses it
+   straight into deep park.  The test is count-based (active > target),
+   not wid-based, so whichever workers actually hold work keep running
+   and the excess sheds itself; with domains <= cores the target equals
+   the worker count and this gate never fires. *)
+let steal_or_shed ps w =
+  if Elastic.over_target ps.elastic then None else try_steal ps w
 
 let next_task ps w =
   w.tick <- w.tick + 1;
-  if w.tick mod fairness_interval = 0 then
+  if w.tick mod fairness_interval = 0 then begin
     (* fairness tick: under a steady local load, give the injection
        channel, the private inbox and the overflow FIFO a turn so
        external wake-ups and parked yielders make progress *)
+    sample_active ps w;
     match take_injected ps w with
     | Some _ as r -> r
     | None -> (
@@ -607,7 +800,8 @@ let next_task ps w =
             | None -> (
                 match Atomic_deque.pop w.deque with
                 | Some _ as r -> r
-                | None -> try_steal ps w)))
+                | None -> steal_or_shed ps w)))
+  end
   else
     match Atomic_deque.pop w.deque with
     | Some _ as r -> r
@@ -620,7 +814,7 @@ let next_task ps w =
             | None -> (
                 match take_injected ps w with
                 | Some _ as r -> r
-                | None -> try_steal ps w)))
+                | None -> steal_or_shed ps w)))
 
 (* Work visible to OTHER workers: the injection channel and the deques.
    Private overflow FIFOs are excluded on purpose -- only the owner can
@@ -637,39 +831,98 @@ let parkable ps w =
   && (not (work_available ps))
   && Mpsc_queue.is_empty w.inbox
 
-(* The idle-KC policy (paper Table II): spin briefly (BUSYWAIT -- lowest
-   wake latency), then park on the per-worker condvar (BLOCKING -- no
-   burn).  Producers store work before reading the idle stack; parkers
-   publish themselves on the stack before re-checking for work -- the
-   Dekker handshake that makes a lost wake-up impossible.  The same
-   handshake covers targeted deliveries: [push_targeted] pushes the
-   inbox first and reads the stack second, the parker publishes first
-   and re-reads its inbox second. *)
+(* The idle-KC policy (paper Table II), now three-tiered:
+
+   1. STRUCTURAL SHED — the pool is over its active-worker target (only
+      possible when domains > cores): this worker found nothing local
+      and must not fight the workers that hold work for a shared core,
+      so it collapses into deep park without spinning or stealing.  Its
+      post-publication re-check is PRIVATE-ONLY (stop flag, own inbox):
+      work elsewhere is exactly what it is shedding away from, and the
+      enter_deep floor plus the shallow protocol below keep that work
+      reachable by a non-deep worker.
+
+   2. CHRONIC IDLE — woken [deep_after] consecutive times to find
+      nothing (the pool cannot feed this many workers): deep park with
+      the FULL parkable re-check, and the target decays one step so the
+      structural gate learns the thinner width.
+
+   3. SPIN-THEN-SHALLOW — the PR-3 protocol under the adaptive budget:
+      spin briefly (BUSYWAIT — lowest wake latency), then park on the
+      per-worker condvar (BLOCKING — no burn).
+
+   Producers store work before reading the idle stacks; parkers publish
+   themselves before re-checking — the Dekker handshake that makes a
+   lost wake-up impossible.  The same handshake covers targeted
+   deliveries: [push_targeted] pushes the inbox first and reads the
+   stacks second, the parker publishes first and re-reads its inbox
+   second.  A failed cancel means a waker already popped us and its
+   token is in flight — consume it now instead of sleeping on it in a
+   later parking round. *)
 let park ps w =
-  let rec spin i =
-    if i > 0 && parkable ps w then begin
-      Domain.cpu_relax ();
-      spin (i - 1)
-    end
+  sample_active ps w;
+  let el = ps.elastic in
+  let deep_sleep () =
+    Atomic.set w.w_deep true;
+    w.t_deep_parks <- w.t_deep_parks + 1;
+    await_token w;
+    Atomic.set w.w_deep false;
+    w.idle_streak <- 0
   in
-  spin spin_budget;
-  if parkable ps w then begin
-    Idle_waker.push ps.idle w.wid;
-    if not (parkable ps w) then begin
-      (* work (or stop) arrived while we published ourselves: cancel
-         the parking; if a waker already popped us, its token is in
-         flight -- consume it instead of sleeping on it later *)
-      if not (Idle_waker.take ps.idle w.wid) then await_token w
+  let stopping () = Atomic.get ps.stop in
+  if (not (stopping ())) && Elastic.over_target el && Elastic.enter_deep el w.wid
+  then begin
+    if stopping () || not (Mpsc_queue.is_empty w.inbox) then begin
+      if not (Elastic.cancel_deep el w.wid) then await_token w
     end
-    else await_token w
+    else deep_sleep ()
+  end
+  else if
+    (not (stopping ()))
+    && w.idle_streak >= ps.ptune.deep_after
+    && Elastic.enter_deep el w.wid
+  then begin
+    if not (parkable ps w) then begin
+      if not (Elastic.cancel_deep el w.wid) then await_token w
+    end
+    else begin
+      Elastic.decay_target el;
+      deep_sleep ()
+    end
+  end
+  else begin
+    let rec spin i =
+      if i > 0 && parkable ps w then begin
+        w.t_spins <- w.t_spins + 1;
+        Domain.cpu_relax ();
+        spin (i - 1)
+      end
+    in
+    spin w.spin_budget;
+    if parkable ps w then begin
+      Elastic.park el w.wid;
+      if not (parkable ps w) then begin
+        if not (Elastic.cancel el w.wid) then await_token w
+      end
+      else begin
+        w.t_parks <- w.t_parks + 1;
+        await_token w;
+        w.idle_streak <- w.idle_streak + 1
+      end
+    end
   end
 
 let worker_loop ps w =
   Domain.DLS.set pctx_key (Some { ps; w; tid = Thread.id (Thread.self ()) });
+  (* a lazily-launched worker arrives here having just been popped off
+     the deep stack: it is live again, and a victim candidate *)
+  Atomic.set w.w_deep false;
+  sample_active ps w;
   let rec go () =
     if not (Atomic.get ps.stop) then begin
       (match next_task ps w with
       | Some thunk -> (
+          w.idle_streak <- 0;
           try thunk ()
           with exn ->
             let bt = Printexc.get_raw_backtrace () in
@@ -687,6 +940,92 @@ let worker_loop ps w =
   ps.n_running <- ps.n_running - 1;
   Condition.broadcast ps.done_cond;
   Mutex.unlock ps.done_mutex
+
+(* ---------- scheduler telemetry snapshots ---------- *)
+
+module Sched_stats = struct
+  type t = {
+    domains : int;
+    steals : int;
+    steal_attempts : int;
+    steal_fails : int;
+    parks : int;
+    deep_parks : int;
+    wakes : int;
+    spins : int;
+    inj_drains : int;
+    active_now : int;
+    target_now : int;
+    active_hist : int array;
+  }
+
+  let steal_fail_rate t =
+    if t.steal_attempts = 0 then 0.0
+    else float_of_int t.steal_fails /. float_of_int t.steal_attempts
+
+  (* Weighted median of the active-worker samples: the pool width the
+     run actually converged to (requested [domains] is what the caller
+     asked for; this is what the host sustained). *)
+  let active_p50 t =
+    let total = Array.fold_left ( + ) 0 t.active_hist in
+    if total = 0 then t.active_now
+    else begin
+      let half = (total + 1) / 2 in
+      let acc = ref 0 and res = ref t.domains in
+      (try
+         Array.iteri
+           (fun i c ->
+             acc := !acc + c;
+             if !acc >= half && c > 0 then begin
+               res := i;
+               raise Exit
+             end)
+           t.active_hist
+       with Exit -> ());
+      !res
+    end
+end
+
+(* Aggregate the per-worker counters.  Mid-run this is a racy (but
+   per-counter monotonic) snapshot; at run end — after the done
+   handshake — it is exact. *)
+let snapshot_sched ps =
+  let n = Array.length ps.workers in
+  let hist = Array.make (n + 1) 0 in
+  let steals = ref 0
+  and attempts = ref 0
+  and fails = ref 0
+  and parks = ref 0
+  and deep = ref 0
+  and wakes = ref 0
+  and spins = ref 0
+  and drains = ref 0 in
+  Array.iter
+    (fun w ->
+      steals := !steals + w.steals;
+      attempts := !attempts + w.t_steal_attempts;
+      fails := !fails + w.t_steal_fails;
+      parks := !parks + w.t_parks;
+      deep := !deep + w.t_deep_parks;
+      wakes := !wakes + Atomic.get w.t_wakes;
+      spins := !spins + w.t_spins;
+      drains := !drains + w.t_inj_drains;
+      Array.iteri (fun i c -> hist.(i) <- hist.(i) + c) w.act_hist)
+    ps.workers;
+  {
+    Sched_stats.domains = n;
+    steals = !steals;
+    steal_attempts = !attempts;
+    steal_fails = !fails;
+    parks = !parks;
+    deep_parks = !deep;
+    wakes = !wakes;
+    spins = !spins;
+    inj_drains = !drains;
+    active_now = Elastic.active ps.elastic;
+    target_now = Elastic.target ps.elastic;
+    active_hist = hist;
+  }
 
 (* ---------- public API ---------- *)
 
@@ -711,7 +1050,11 @@ let run main =
       Queue.push (fun () -> exec sched fb (fun () -> handle sched fb main)) sched.ready;
       run_loop sched)
 
-type par_stats = { par_domains : int; par_steals : int }
+type par_stats = {
+  par_domains : int;
+  par_steals : int;
+  par_sched : Sched_stats.t;
+}
 
 (* Run [main] plus everything it spawns to completion on [domains]
    domains (the calling domain is worker 0). *)
@@ -726,12 +1069,33 @@ let run_parallel ?domains ?on_stats main =
   | Some _ -> invalid_arg "Fiber.run_parallel: already inside run_parallel"
   | None -> ());
   let ps = make_psched ~domains in
+  (* Launch a worker's domain exactly once.  Holding [done_mutex]
+     across the spawn keeps the [n_running] increment, the spawn and
+     the [pdomains] registration one atomic step against the shutdown
+     handshake (the child may block on the same mutex at ITS exit, but
+     never while we hold it waiting on the child). *)
+  ps.pspawn <-
+    (fun wid ->
+      let w = ps.workers.(wid) in
+      if
+        (not (Atomic.get w.w_launched))
+        && Atomic.compare_and_set w.w_launched false true
+      then begin
+        (* ulplint: allow raw-mutex-in-fiber -- run_parallel worker-domain launch accounting between raw domains, outside any fiber engine *)
+        Mutex.lock ps.done_mutex;
+        ps.n_running <- ps.n_running + 1;
+        ps.pdomains <- Domain.spawn (fun () -> worker_loop ps w) :: ps.pdomains;
+        Mutex.unlock ps.done_mutex
+      end);
   let fb = pnew_fiber ps in
   Mpsc_queue.push ps.pinject (fun () -> pexec fb (fun () -> phandle ps fb main));
-  let helpers =
-    Array.init (domains - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop ps ps.workers.(i + 1)))
-  in
+  (* Eager fleet = the elastic target (min domains cores): on a
+     well-provisioned host every requested domain starts now, exactly
+     as before; on an oversubscribed one the excess stays unlaunched
+     in deep park until pressure re-enlists it. *)
+  for wid = 1 to Elastic.target ps.elastic - 1 do
+    ps.pspawn wid
+  done;
   worker_loop ps ps.workers.(0);
   (* Executors may be registered up to the very last thunk a helper
      runs, so only reap them once every worker loop has exited; the
@@ -744,6 +1108,8 @@ let run_parallel ?domains ?on_stats main =
     (* ulplint: allow raw-mutex-in-fiber -- run_parallel shutdown handshake between raw domains, outside any fiber engine *)
     Condition.wait ps.done_cond ps.done_mutex
   done;
+  let helpers = ps.pdomains in
+  ps.pdomains <- [];
   Mutex.unlock ps.done_mutex;
   (* ulplint: allow raw-mutex-in-fiber -- executor registry shared between raw domains during shutdown, outside any fiber engine *)
   Mutex.lock ps.pexec_mutex;
@@ -751,13 +1117,15 @@ let run_parallel ?domains ?on_stats main =
   ps.pexecutors <- [];
   Mutex.unlock ps.pexec_mutex;
   List.iter Executor.shutdown executors;
-  Array.iter Domain.join helpers;
+  List.iter Domain.join helpers;
   (match on_stats with
   | Some f ->
+      let sched = snapshot_sched ps in
       f
         {
           par_domains = domains;
-          par_steals = Array.fold_left (fun acc w -> acc + w.steals) 0 ps.workers;
+          par_steals = sched.Sched_stats.steals;
+          par_sched = sched;
         }
   | None -> ());
   match Atomic.get ps.failure with
@@ -807,6 +1175,12 @@ let num_workers () =
   match worker_ctx () with
   | Some c -> Some (Array.length c.ps.workers)
   | None -> None
+
+(* Mid-run racy snapshot of the ambient parallel engine's telemetry
+   (each counter is monotonic; cross-counter ratios are approximate
+   while workers run). *)
+let sched_stats () =
+  match worker_ctx () with Some c -> Some (snapshot_sched c.ps) | None -> None
 
 (* Track an executor (original KC) for shutdown when the run ends;
    works under both engines. *)

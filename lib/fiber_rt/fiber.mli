@@ -12,12 +12,20 @@
       pop / FIFO randomized steal-half batches) plus a private overflow
       FIFO per worker for its own yields, a lock-free MPSC injection
       channel reserved for cross-thread wake-ups, lock-free fiber
-      completion ({!Completion}), and a spin-then-park idle policy where
-      parked workers wait on a Treiber idle stack so new work wakes
-      exactly one of them (the paper's Table II idle-KC policies,
-      without the thundering herd).  Only runnable continuations migrate
-      between domains; a fiber's blocking jobs still route to its home
-      executor, preserving system-call consistency under migration. *)
+      completion ({!Completion}), and an elastic, self-measuring
+      spin-then-park idle policy: parked workers wait on a Treiber idle
+      stack so new work wakes exactly one of them (the paper's Table II
+      idle-KC policies, without the thundering herd), per-run spin and
+      steal budgets adapt to the measured steal-failure rate, and when
+      [domains] exceeds the host's cores the excess workers collapse
+      into deep park (excluded from victim probes and routine wakes,
+      re-enlisted on injection pressure) so the pool converges to
+      roughly one active worker per core instead of thrashing.  Only
+      runnable continuations migrate between domains; a fiber's
+      blocking jobs still route to its home executor, preserving
+      system-call consistency under migration.  [ULP_SPIN_BUDGET] (an
+      integer, read per run) pins both the base and ceiling of the spin
+      budget for benching. *)
 
 type fiber = {
   fid : int;
@@ -45,19 +53,59 @@ val run : (unit -> unit) -> unit
 (** Run [main] plus everything it spawns to completion on the calling
     OS thread; shuts the executors down on exit. *)
 
+(** Scheduler telemetry: cheap monotonic per-worker counters aggregated
+    lock-free.  A snapshot taken mid-run ({!sched_stats}) is racy but
+    each counter is monotonic; the snapshot delivered through
+    [on_stats] after a run is exact. *)
+module Sched_stats : sig
+  type t = {
+    domains : int;  (** worker count of the run *)
+    steals : int;  (** items obtained from other workers' deques *)
+    steal_attempts : int;  (** steal sessions entered *)
+    steal_fails : int;  (** sessions that came back empty *)
+    parks : int;  (** shallow (wake-eligible) parks slept *)
+    deep_parks : int;  (** deep (collapsed-worker) parks slept *)
+    wakes : int;  (** wake tokens delivered to workers *)
+    spins : int;  (** cpu_relax iterations burned before parking *)
+    inj_drains : int;  (** non-empty injection-channel drains *)
+    active_now : int;  (** workers not deep-parked, at snapshot time *)
+    target_now : int;  (** the elastic active-worker target *)
+    active_hist : int array;
+        (** samples of the active-worker count (index = count, in
+            [0, domains]), taken at fairness ticks and park entries *)
+  }
+
+  val steal_fail_rate : t -> float
+  (** [steal_fails / steal_attempts] (0 when no sessions ran): the
+      oversubscribed signature when it stays near 1. *)
+
+  val active_p50 : t -> int
+  (** Weighted median of [active_hist]: the pool width the run actually
+      converged to, as opposed to the [domains] it was asked for. *)
+end
+
 type par_stats = {
   par_domains : int;  (** worker domains of the finished run *)
   par_steals : int;  (** successful deque steals across all workers *)
+  par_sched : Sched_stats.t;  (** full scheduler telemetry of the run *)
 }
 
 val run_parallel :
   ?domains:int -> ?on_stats:(par_stats -> unit) -> (unit -> unit) -> unit
 (** Run [main] plus everything it spawns to completion on [domains]
     worker domains (default [Domain.recommended_domain_count ()]; the
-    calling domain is worker 0).  Executors are shut down on exit; an
-    uncaught exception in any fiber aborts the run and re-raises here.
-    [on_stats] receives scheduler counters after completion.
+    calling domain is worker 0).  An explicit [domains] above the
+    host's core count is honored — all domains are spawned — but the
+    adaptive idle policy may collapse the excess into deep park.
+    Executors are shut down on exit; an uncaught exception in any fiber
+    aborts the run and re-raises here.  [on_stats] receives scheduler
+    counters after completion.
     @raise Invalid_argument for [domains < 1] or when nested. *)
+
+val sched_stats : unit -> Sched_stats.t option
+(** Under {!run_parallel}, a racy-but-monotonic mid-run snapshot of the
+    ambient engine's telemetry; [None] elsewhere (same thread-identity
+    rule as {!worker_index}). *)
 
 val scheduler : unit -> scheduler
 (** The ambient single-threaded scheduler.

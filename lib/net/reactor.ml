@@ -262,7 +262,16 @@ let shard_loop st =
 
 (* ---------------- lifecycle ---------------- *)
 
-let create ?backend ?(shards = 1) ?(tick_s = 0.001) () =
+let create ?backend ?shards ?(tick_s = 0.001) () =
+  (* default shard count follows the host's real parallelism, not a
+     fixed 1: each shard is an OS thread, and like the fiber engine's
+     worker pool there is nothing to gain from more pollers than
+     cores *)
+  let shards =
+    match shards with
+    | Some s -> s
+    | None -> Domain.recommended_domain_count ()
+  in
   if shards < 1 then invalid_arg "Reactor.create: shards must be >= 1";
   let mk_shard sid =
     let pipe_r, pipe_w = Unix.pipe () in

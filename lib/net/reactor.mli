@@ -43,9 +43,11 @@ val create :
   ?tick_s:float ->
   unit ->
   t
-(** Spawn the reactor threads.  [shards] (default 1) is the number of
-    reactor threads, each owning a poller — match it to the worker
-    domain count for the one-reactor-per-domain serving topology.
+(** Spawn the reactor threads.  [shards] (default
+    [Domain.recommended_domain_count ()], i.e. the host's real
+    parallelism) is the number of reactor threads, each owning a
+    poller — match it to the worker domain count for the
+    one-reactor-per-domain serving topology.
     [tick_s] is the timer-wheel granularity (default 1 ms).  [backend]
     as in {!Poller.create}. *)
 

@@ -23,6 +23,9 @@ type result = {
   elapsed : float; (* wall-clock seconds *)
   throughput : float; (* items per second *)
   steals : int; (* successful deque steals during the run *)
+  sched : Fiber.Sched_stats.t option;
+      (* full scheduler telemetry of the run (None only for results
+         not produced by [with_stats]) *)
 }
 
 let now () = Fiber_rt.Clock.now ()
@@ -37,9 +40,12 @@ let spin work =
 
 let with_stats ~name ~domains ~items f =
   let steals = ref 0 in
+  let sched = ref None in
   let t0 = now () in
   Fiber.run_parallel ~domains
-    ~on_stats:(fun s -> steals := s.Fiber.par_steals)
+    ~on_stats:(fun s ->
+      steals := s.Fiber.par_steals;
+      sched := Some s.Fiber.par_sched)
     f;
   let elapsed = now () -. t0 in
   {
@@ -49,6 +55,7 @@ let with_stats ~name ~domains ~items f =
     elapsed;
     throughput = (if elapsed > 0.0 then float_of_int items /. elapsed else 0.0);
     steals = !steals;
+    sched = !sched;
   }
 
 (* Fan out [fibers] fibers of [work] compute each from one root, join

@@ -11,6 +11,10 @@ type result = {
   elapsed : float;  (** wall-clock seconds *)
   throughput : float;  (** items per second *)
   steals : int;  (** successful deque steals during the run *)
+  sched : Fiber_rt.Fiber.Sched_stats.t option;
+      (** full scheduler telemetry of the run — steal fail rate, parks,
+          wakes, the active-worker histogram behind the measured
+          oversubscription flag *)
 }
 
 val spawn_join : domains:int -> fibers:int -> work:int -> result

@@ -813,6 +813,94 @@ let test_par_stress_exact_completions () =
        Test_seed.seed)
     (n + expected_children) (Atomic.get completions)
 
+(* Elastic-pool churn: an oversubscribed run (domains = 4, regardless
+   of host cores) alternating seeded parallel bursts, quiet sequential
+   stretches (chronic-idle collapse decays the pool), and waves of
+   foreign wakes from short-lived OS threads (injection pressure,
+   which re-enlists deep-parked workers -- on a small host this is
+   also the lazy launch path for domains that never started).  The
+   pool must keep every completion exactly once through the whole
+   collapse/re-expand cycle, and the run's telemetry must be sane. *)
+let test_par_elastic_collapse_stress () =
+  let domains = 4 and rounds = 5 in
+  let rng = Test_seed.derived_state 7777 in
+  let bursts = Array.init rounds (fun _ -> 8 + Random.State.int rng 25) in
+  let expected = Array.fold_left ( + ) 0 bursts in
+  let completions = Atomic.make 0 in
+  let stats = ref None in
+  let mid_snapshot_ok = ref false in
+  let t0 = Unix.gettimeofday () in
+  Fiber.run_parallel ~domains
+    ~on_stats:(fun s -> stats := Some s.Fiber.par_sched)
+    (fun () ->
+      Array.iter
+        (fun burst ->
+          (* parallel burst: fan out, join all *)
+          let fs =
+            List.init burst (fun _ ->
+                Fiber.spawn (fun () ->
+                    for _ = 1 to 3 do
+                      Fiber.yield ()
+                    done;
+                    Atomic.incr completions))
+          in
+          List.iter Fiber.join fs;
+          (* quiet stretch: only this fiber runs; idle workers spin
+             down and chronically idle ones collapse into deep park *)
+          for _ = 1 to 200 do
+            Fiber.yield ()
+          done;
+          (* foreign pressure: 80 external wakes cross the re-enlist
+             threshold and pull a worker back out of deep park *)
+          let pending = ref [] in
+          for _ = 1 to 80 do
+            Fiber.suspend (fun wake ->
+                pending := Thread.create (fun () -> wake ()) () :: !pending)
+          done;
+          List.iter Thread.join !pending)
+        bursts;
+      match Fiber.sched_stats () with
+      | Some s ->
+          mid_snapshot_ok :=
+            s.Fiber.Sched_stats.domains = domains
+            && s.Fiber.Sched_stats.active_now >= 1
+            && s.Fiber.Sched_stats.active_now <= domains
+      | None -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  let msg what =
+    Printf.sprintf "%s (TEST_SEED=%d to reproduce)" what Test_seed.seed
+  in
+  Alcotest.(check int)
+    (msg "every burst fiber completed exactly once")
+    expected (Atomic.get completions);
+  Alcotest.(check bool) (msg "mid-run sched_stats sane") true !mid_snapshot_ok;
+  (match !stats with
+  | None -> Alcotest.fail (msg "on_stats not called")
+  | Some s ->
+      let open Fiber.Sched_stats in
+      Alcotest.(check int) (msg "telemetry domains") domains s.domains;
+      let p50 = active_p50 s in
+      Alcotest.(check bool)
+        (msg (Printf.sprintf "active_p50 %d within [1, %d]" p50 domains))
+        true
+        (p50 >= 1 && p50 <= domains);
+      Alcotest.(check bool)
+        (msg "target within [1, domains]")
+        true
+        (s.target_now >= 1 && s.target_now <= domains);
+      Alcotest.(check bool)
+        (msg "steal_fail_rate within [0, 1]")
+        true
+        (let r = steal_fail_rate s in
+         r >= 0.0 && r <= 1.0);
+      Alcotest.(check bool)
+        (msg "active-worker histogram sampled")
+        true
+        (Array.fold_left ( + ) 0 s.active_hist > 0));
+  Alcotest.(check bool)
+    (msg (Printf.sprintf "bounded runtime (%.2fs)" dt))
+    true (dt < 30.0)
+
 let prop_par_spawn_tree_completes =
   QCheck.Test.make ~name:"parallel: n fibers of k yields all finish" ~count:10
     QCheck.(triple (int_range 1 4) (int_range 1 12) (int_range 0 8))
@@ -1165,6 +1253,8 @@ let () =
             test_par_stress_exact_completions;
           Alcotest.test_case "stress: joiners race finish across domains"
             `Quick test_par_join_stress;
+          Alcotest.test_case "stress: elastic collapse and re-expand" `Quick
+            test_par_elastic_collapse_stress;
           Alcotest.test_case "injected wake-ups keep FIFO order" `Quick
             test_par_injected_fifo_order;
           qcheck prop_par_spawn_tree_completes;
