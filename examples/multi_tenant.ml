@@ -1,0 +1,114 @@
+(* Multi-tenant TCP serving: one user-level process per connection.
+
+   The serving stack below Tcp_server is shared -- reactor shards,
+   accept loops, worker domains -- but each accepted connection is
+   served inside its OWN ULP (lib/proc): the handler detaches the
+   socket from the server, spawns a child ULP that adopts it into its
+   private descriptor table, and waitpid-reaps the child when the
+   conversation ends.  What that buys over a bare handler fiber:
+
+   - isolation: the tenant's descriptors live in the ULP's table; when
+     the ULP exits -- normally, by Proc.exit, or killed -- close_all
+     releases them exactly once, whatever fibers it grew;
+   - identity: the vpid names the tenant, so the server's stats can
+     attribute load per tenant (Tcp_server.note_tenant, a lock-free
+     CAS/fetch-and-add table -- no locks on the serving path);
+   - control: Proc.kill on the vpid cancels that connection's whole
+     fiber tree without touching its neighbours.
+
+   The clients are ULPs too: socket, connect, request loop -- every
+   descriptor through the private table, no raw fd calls anywhere
+   (the raw-fd-in-proc lint rule holds this file to that).
+
+   Run with:  dune exec examples/multi_tenant.exe *)
+
+module Fiber = Fiber_rt.Fiber
+module Reactor = Net.Reactor
+module Tcp = Net.Tcp_server
+
+let clients = 6
+let reqs_per_client = 5
+let msg_bytes = 32
+
+(* Per-connection ULP: adopt the socket, then echo request lines until
+   the peer closes.  One note_tenant per request makes tenant_loads a
+   requests-served-per-ULP breakdown. *)
+let serve_tenant srv r u vfd =
+  let buf = Bytes.create msg_bytes in
+  let rec loop () =
+    Proc.check u;
+    (* cancellation point: a killed tenant stops here *)
+    match Proc.Io.read r u vfd buf 0 msg_bytes with
+    | 0 -> () (* peer closed; close_all releases vfd on exit *)
+    | n ->
+        Tcp.note_tenant srv (Proc.getpid u);
+        Proc.Io.write_all r u vfd buf 0 n;
+        loop ()
+  in
+  loop ()
+
+let handler root srv r (c : Tcp.conn) =
+  (* ownership moves to the tenant ULP's table before anything can
+     fail: from here the server will not close the fd *)
+  Tcp.detach c;
+  let child =
+    Proc.spawn ~parent:root (fun u ->
+        let vfd = Proc.Io.adopt u c.Tcp.fd in
+        serve_tenant srv r u vfd)
+  in
+  (* the handler fiber doubles as the reaper, so Tcp_server's active
+     count retires exactly when the tenant ULP is gone *)
+  match Proc.waitpid ~parent:root ~vpid:(Proc.getpid child) with
+  | Ok _ -> ()
+  | Error `Echild -> ()
+
+(* Client ULP: one connection, [reqs_per_client] round trips, every
+   descriptor through its own private table. *)
+let client root r port i =
+  Proc.spawn ~parent:root (fun u ->
+      let vfd = Proc.Io.socket u Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+      Proc.Io.connect r u vfd addr;
+      let buf = Bytes.create msg_bytes in
+      for req = 1 to reqs_per_client do
+        let line = Printf.sprintf "tenant %d request %d" i req in
+        Bytes.fill buf 0 msg_bytes ' ';
+        Bytes.blit_string line 0 buf 0 (String.length line);
+        Proc.Io.write_all r u vfd buf 0 msg_bytes;
+        Proc.Io.read_exact r u vfd buf 0 msg_bytes
+      done;
+      Proc.Io.close u vfd)
+
+let () =
+  let r = Reactor.create () in
+  let w = Proc.boot () in
+  Fiber.run_parallel ~domains:2 (fun () ->
+      let root = Proc.root w in
+      let srv_cell = ref None in
+      let srv =
+        Tcp.start ~reactor:r
+          ~addr:(Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+          ~handler:(fun r c ->
+            match !srv_cell with
+            | Some srv -> handler root srv r c
+            | None -> assert false)
+          ()
+      in
+      srv_cell := Some srv;
+      let port = Tcp.port srv in
+      let kids = List.init clients (fun i -> client root r port (i + 1)) in
+      List.iter
+        (fun c -> ignore (Proc.waitpid ~parent:root ~vpid:(Proc.getpid c)))
+        kids;
+      Tcp.stop srv;
+      let st = Tcp.stats srv in
+      Printf.printf
+        "served %d connections as %d tenant ULPs (%d completed, %d failed)\n"
+        st.Tcp.accepted st.Tcp.tenants st.Tcp.completed st.Tcp.failed;
+      List.iter
+        (fun (vpid, reqs) ->
+          Printf.printf "  tenant vpid %3d: %d requests\n" vpid reqs)
+        (List.sort compare (Tcp.tenant_loads srv));
+      Printf.printf "world population back to %d (root only)\n"
+        (Proc.live_procs w));
+  Reactor.shutdown r

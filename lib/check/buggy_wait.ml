@@ -1,0 +1,44 @@
+(* TEST-ONLY copy of Wait_cell -- the waitpid linearization point of
+   the process layer -- with a deliberately seeded bug: [finish] reads
+   the waiter list with a plain [get] and publishes [Exited] with a
+   plain [set] instead of the CAS-with-retry.
+
+   A [waitpid] fiber whose [add_waiter] CAS lands between the read and
+   the store is silently overwritten: the child publishes its exit
+   status over the stale (empty) waiter list, the parked parent's wake
+   never fires, and the parent sleeps forever -- the classic waitpid
+   lost wakeup, observed by the checker as a replayable deadlock.
+
+   The faithful Wait_cell swings Running -> Exited by CAS, so a finish
+   racing a registration retries and sees the waiter (or the waiter's
+   retry sees Exited and wakes itself).  test_check asserts the checker
+   reports a bug on THIS module while the faithful copy survives the
+   exact failing schedule.  Never use outside tests. *)
+
+type 'a state = Running of (unit -> unit) list | Exited of 'a
+
+type 'a t = 'a state Atomic.t
+
+let create () = Atomic.make (Running [])
+
+let status t =
+  match Atomic.get t with Exited s -> Some s | Running _ -> None
+
+let is_done t = status t <> None
+
+let rec add_waiter t k =
+  match Atomic.get t with
+  | Exited _ -> k ()
+  | Running ws as cur ->
+      if not (Atomic.compare_and_set t cur (Running (k :: ws))) then
+        add_waiter t k
+
+(* BUG: get-then-set -- a waiter registered in the window between the
+   read of [ws] and the blind store is dropped on the floor. *)
+let finish t s =
+  match Atomic.get t with
+  | Exited _ -> false
+  | Running ws ->
+      Atomic.set t (Exited s);
+      List.iter (fun k -> k ()) ws;
+      true

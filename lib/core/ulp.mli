@@ -4,7 +4,15 @@
     Spawn programs as ULPs inside one shared address space, schedule
     them like user-level threads, and route system calls back to each
     ULP's original kernel context with couple()/decouple().  Every
-    syscall wrapper goes through the {!Consistency} checker. *)
+    syscall wrapper goes through the {!Consistency} checker.
+
+    This is the {e S1 simulator}: kernel contexts, syscalls and pids
+    here are simulation objects (lib/sim, lib/oskernel), built to
+    measure the paper's protocols.  Its production (S3) twin is
+    [lib/proc] — real user-level processes as Scope-rooted fiber trees
+    on the effects runtime, with private fd tables, virtual PIDs,
+    signals and wait semantics against the real host.  The two stacks
+    share the paper's model, not code; see DESIGN.md §5h. *)
 
 open Oskernel
 

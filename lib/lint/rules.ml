@@ -41,6 +41,7 @@ type ast_rule = {
 let fiber_scope segs =
   has_pair "lib" "fiber_rt" segs
   || has_pair "lib" "net" segs
+  || has_pair "lib" "proc" segs
   || has_pair "lib" "workload" segs
   || has_seg "examples" segs
   || has_seg "bench" segs
@@ -250,8 +251,70 @@ let syscall_consistency =
         List.rev !acc);
   }
 
+(* ---------- raw-fd-in-proc ---------- *)
+
+let raw_fd_calls = [ "openfile"; "close"; "dup"; "dup2"; "pipe"; "socket" ]
+
+let raw_fd_in_proc =
+  {
+    name = "raw-fd-in-proc";
+    severity = Finding.Warning;
+    doc =
+      "no direct Unix.openfile/close/dup/dup2/pipe/socket in the process \
+       layer (lib/proc) or in ULP-managed handlers (examples referencing \
+       Proc): a host fd touched behind the private fd table's back \
+       bypasses the refcount, so a sharing ULP double-closes or leaks.  \
+       Go through Proc.Io (openfile/close/dup/share), which resolves \
+       and pins descriptors through the owning ULP's table.  The \
+       table's own entry points and destroy callback are the one \
+       authorized home of these calls -- under a written waiver.";
+    in_scope =
+      (fun segs -> has_pair "lib" "proc" segs || has_seg "examples" segs);
+    check =
+      (fun ~file ast ->
+        let segs = path_segments file in
+        (* in examples, only handlers that actually manage ULPs are
+           held to the table discipline *)
+        let ulp_managed =
+          if has_pair "lib" "proc" segs then true
+          else begin
+            let found = ref false in
+            iter_idents ast ~f:(fun ~coupled:_ ~loc:_ path ->
+                match path with "Proc" :: _ -> found := true | _ -> ());
+            !found
+          end
+        in
+        if not ulp_managed then []
+        else begin
+          let acc = ref [] in
+          iter_idents ast ~f:(fun ~coupled:_ ~loc path ->
+              match drop_stdlib path with
+              | [ "Unix"; f ] when List.mem f raw_fd_calls ->
+                  let line, col = pos_of loc in
+                  acc :=
+                    Finding.make ~rule:"raw-fd-in-proc"
+                      ~severity:Finding.Warning ~file ~line ~col
+                      (Printf.sprintf
+                         "Unix.%s bypasses the ULP's private fd table: the \
+                          refcount never sees it, so a sharing ULP \
+                          double-closes or leaks the host fd; go through \
+                          Proc.Io, or waive the table's own entry points \
+                          with the reason"
+                         f)
+                    :: !acc
+              | _ -> ());
+          List.rev !acc
+        end);
+  }
+
 let ast_rules =
-  [ blocking_in_fiber; raw_mutex_in_fiber; atomic_get_then_set; syscall_consistency ]
+  [
+    blocking_in_fiber;
+    raw_mutex_in_fiber;
+    atomic_get_then_set;
+    syscall_consistency;
+    raw_fd_in_proc;
+  ]
 
 (* ---------- seam-bypass (driven by dune copy_files# manifests) ---------- *)
 
@@ -319,6 +382,7 @@ let catalog =
     (atomic_get_then_set.name, atomic_get_then_set.severity, atomic_get_then_set.doc);
     (seam_name, Finding.Error, seam_doc);
     (syscall_consistency.name, syscall_consistency.severity, syscall_consistency.doc);
+    (raw_fd_in_proc.name, raw_fd_in_proc.severity, raw_fd_in_proc.doc);
     (mli_name, Finding.Error, mli_doc);
     ( "parse-error",
       Finding.Error,

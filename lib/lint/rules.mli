@@ -12,6 +12,7 @@ type ast_rule = {
 val blocking_in_fiber : ast_rule
 val atomic_get_then_set : ast_rule
 val syscall_consistency : ast_rule
+val raw_fd_in_proc : ast_rule
 
 val ast_rules : ast_rule list
 (** The rules run on every in-scope walked file. *)

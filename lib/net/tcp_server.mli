@@ -15,10 +15,21 @@
 
 type t
 
-type conn = { fd : Unix.file_descr; peer : Unix.sockaddr }
+type conn = {
+  fd : Unix.file_descr;
+  peer : Unix.sockaddr;
+  mutable detached : bool;  (** set via {!detach}; read by the server *)
+}
 (** The handler's view of one accepted connection.  The fd is
     non-blocking; the server closes it when the handler returns (or
-    raises). *)
+    raises) unless the handler called {!detach}. *)
+
+val detach : conn -> unit
+(** Take ownership of the connection's fd: the server will not close it
+    when the handler returns.  Call this {e before} handing the fd to
+    another owner — e.g. {!Proc.Io.adopt} into a per-connection ULP's
+    private table, whose refcount then controls the close — so there is
+    never a moment with two parties believing they own the fd. *)
 
 (** Latency reservoir: thread-safe, bounded memory (uniform sample of
     up to 16k observations), honest percentiles at any volume. *)
@@ -43,6 +54,10 @@ type stats = {
   accept_retries : int;  (** accept-loop parks waiting for a free slot *)
   listeners : int;  (** accept loops *)
   reuseport : bool;  (** one [SO_REUSEPORT] socket per loop *)
+  tenants : int;  (** distinct keys seen by {!note_tenant} *)
+  tenant_overflow : int;
+      (** {!note_tenant} calls dropped because the (fixed, 1024-slot)
+          attribution table was full *)
 }
 
 val start :
@@ -78,3 +93,15 @@ val latency : t -> Latency.t
 val note_latency : t -> float -> unit
 (** The stats hook: handlers record per-request wall-clock latency here;
     {!latency} exposes count / mean / max / percentiles. *)
+
+val note_tenant : t -> int -> unit
+(** Attribute the current connection to tenant [key] — in the
+    one-ULP-per-connection topology (examples/multi_tenant.ml) the
+    serving ULP's vpid, but any small non-negative id works.  Lock-free
+    (linear probe + CAS claim + fetch-and-add on an open-addressed
+    atomic table); a full table spills to [tenant_overflow] rather than
+    blocking.  @raise Invalid_argument on a negative key. *)
+
+val tenant_loads : t -> (int * int) list
+(** Racy snapshot of [(key, connections attributed)] pairs, unordered;
+    counts only move up, so each entry is a lower bound at read time. *)

@@ -1,0 +1,124 @@
+(* The fd-table core: refcounted handles in fixed slot tables, the
+   lock-free heart of the S3 process layer's private descriptor
+   namespaces (DESIGN.md section 5h).
+
+   A [res] is one host resource (in production a [Unix.file_descr])
+   plus a reference count: one reference per table slot that names it,
+   so two ULPs sharing an accepted socket hold rc = 2 and the host fd
+   is destroyed exactly once, when the LAST slot drops.  The count is
+   walked by CAS only:
+
+   - [retain] is a CAS loop that REFUSES to resurrect from zero: a dup
+     racing the last close either lands before it (rc 1 -> 2) or
+     observes the death and reports the descriptor stale.  A plain
+     increment here is the classic use-after-close.
+   - [release] is a fetch-and-add; exactly one caller observes the
+     1 -> 0 crossing and runs [destroy].  A get-then-set here lets two
+     racing closers both read 2 and both store 1 -- the host fd leaks
+     (or, paired with a resurrecting retain, double-closes); that exact
+     twin is seeded in lib/check/buggy_fd.ml and caught by the
+     explorer.
+
+   A [table] is one ULP's descriptor namespace: a fixed array of slots,
+   each an atomic [res option].  Allocation scans from slot 0 and
+   claims the first empty by CAS -- POSIX's lowest-free-descriptor rule
+   -- and [dup2] displaces the target slot by [exchange], so a racing
+   close of the same slot sees the old occupant exactly once.
+
+   This file is recompiled into lib/check against the traced shims
+   (copy_files# in lib/check/dune), so it sticks to the Atomic + Array
+   vocabulary: no Unix, no Fiber, no clocks. *)
+
+type 'a res = { v : 'a; rc : int Atomic.t; destroy : 'a -> unit }
+
+let resource ~destroy v = { v; rc = Atomic.make 1; destroy }
+let value r = r.v
+let refs r = Atomic.get r.rc
+
+let rec retain r =
+  let n = Atomic.get r.rc in
+  if n <= 0 then false (* dead: never resurrect a closed handle *)
+  else if Atomic.compare_and_set r.rc n (n + 1) then true
+  else retain r
+
+let release r = if Atomic.fetch_and_add r.rc (-1) = 1 then r.destroy r.v
+
+type 'a table = { slots : 'a res option Atomic.t array }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Fd_core.create: capacity must be >= 1";
+  { slots = Array.init capacity (fun _ -> Atomic.make None) }
+
+let capacity t = Array.length t.slots
+
+let in_range t i = i >= 0 && i < Array.length t.slots
+
+(* Lowest free slot, by CAS from index 0 up: a failed claim means the
+   slot just filled, so move on; a slot freed behind the scan is the
+   same transient POSIX allows (the "lowest" is evaluated at claim
+   time). *)
+let alloc t r =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else
+      let s = t.slots.(i) in
+      match Atomic.get s with
+      | None -> if Atomic.compare_and_set s None (Some r) then Some i else go i
+      | Some _ -> go (i + 1)
+  in
+  go 0
+
+let get t i = if in_range t i then Atomic.get t.slots.(i) else None
+
+let close t i =
+  if not (in_range t i) then false
+  else
+    match Atomic.exchange t.slots.(i) None with
+    | None -> false
+    | Some r ->
+        release r;
+        true
+
+let close_all t =
+  let n = ref 0 in
+  for i = 0 to Array.length t.slots - 1 do
+    if close t i then incr n
+  done;
+  !n
+
+let count t =
+  let n = ref 0 in
+  Array.iter (fun s -> if Atomic.get s <> None then incr n) t.slots;
+  !n
+
+let dup t i =
+  match get t i with
+  | None -> Error `Badf
+  | Some r -> (
+      if not (retain r) then Error `Badf
+      else
+        match alloc t r with
+        | Some j -> Ok j
+        | None ->
+            release r;
+            Error `Mfile)
+
+(* POSIX dup2: [dst] names the same resource as [src]; an open [dst] is
+   closed first -- here in one [exchange], so a concurrent close of the
+   same slot sees the displaced occupant exactly once.  [src] = [dst]
+   on an open descriptor is a no-op that succeeds. *)
+let dup2 t ~src ~dst =
+  if not (in_range t dst) then Error `Badf
+  else
+    match get t src with
+    | None -> Error `Badf
+    | Some r ->
+        if src = dst then Ok ()
+        else if not (retain r) then Error `Badf
+        else begin
+          (match Atomic.exchange t.slots.(dst) (Some r) with
+          | None -> ()
+          | Some old -> release old);
+          Ok ()
+        end

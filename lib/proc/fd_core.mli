@@ -1,0 +1,72 @@
+(** The fd-table core: refcounted handles in fixed slot tables — the
+    lock-free machinery behind each ULP's private descriptor namespace
+    (DESIGN.md §5h).  Generic over the resource ([Unix.file_descr] in
+    production; an instrumented token under lib/check, where this file
+    is recompiled against the traced shims and its refcount protocol is
+    model-checked against the seeded [Buggy_fd] twin). *)
+
+(** {1 Refcounted resources} *)
+
+type 'a res
+(** One shared resource and its reference count: one reference per
+    table slot naming it.  [destroy] runs exactly once, when the last
+    reference drops. *)
+
+val resource : destroy:('a -> unit) -> 'a -> 'a res
+(** A fresh resource with refcount 1 (the creating slot's reference). *)
+
+val value : 'a res -> 'a
+
+val refs : 'a res -> int
+(** Current reference count (racy snapshot; 0 once destroyed). *)
+
+val retain : 'a res -> bool
+(** Take one more reference.  [false] if the count already hit zero —
+    the handle is dead and must not be resurrected (the dup-vs-close
+    race resolves to EBADF, never use-after-close). *)
+
+val release : 'a res -> unit
+(** Drop one reference; the 1 → 0 crossing runs [destroy], exactly
+    once across racing releasers. *)
+
+(** {1 Slot tables} *)
+
+type 'a table
+(** One descriptor namespace: a fixed array of slots (descriptor =
+    index), each holding at most one resource reference. *)
+
+val create : capacity:int -> 'a table
+(** @raise Invalid_argument when [capacity < 1].  Slots beyond
+    [capacity] behave as EMFILE ({!alloc} returns [None]). *)
+
+val capacity : 'a table -> int
+
+val alloc : 'a table -> 'a res -> int option
+(** Claim the lowest free slot (POSIX allocation order), taking
+    ownership of the caller's reference; [None] when the table is full
+    (the caller still owns the reference and must {!release} it). *)
+
+val get : 'a table -> int -> 'a res option
+(** The current occupant; [None] for a free or out-of-range slot.  The
+    returned reference is NOT retained — {!retain} before using it
+    across a suspension point. *)
+
+val close : 'a table -> int -> bool
+(** Empty the slot and release its reference; [false] on EBADF (free or
+    out-of-range). *)
+
+val close_all : 'a table -> int
+(** Close every open slot (ULP exit); returns the number released. *)
+
+val count : 'a table -> int
+(** Open slots (racy snapshot). *)
+
+val dup : 'a table -> int -> (int, [ `Badf | `Mfile ]) result
+(** POSIX [dup]: retain the occupant of the source slot and bind it to
+    the lowest free slot. *)
+
+val dup2 : 'a table -> src:int -> dst:int -> (unit, [ `Badf ]) result
+(** POSIX [dup2]: make [dst] name [src]'s resource, closing an open
+    [dst] first — displaced and released exactly once even against a
+    racing {!close} of the same slot.  [src = dst] on an open
+    descriptor succeeds without closing anything. *)

@@ -1,0 +1,64 @@
+(* The virtual-PID namespace: a lock-free int-keyed map of live and
+   zombie ULPs.  Fixed power-of-two bucket array, each bucket an atomic
+   association list walked by CAS-cons (insert) and CAS-filter
+   (remove); [find] is a plain read of the bucket snapshot.
+
+   Sized for the "thousands of isolated ULPs" scenario: with the
+   default 1024 buckets a 10k-process table keeps bucket chains under a
+   dozen entries, and no operation ever takes a lock -- a spawn storm
+   across worker domains only contends on the CAS of its own bucket.
+
+   Keys are assumed unique (vpids come from one fetch-and-add counter);
+   inserting a key twice leaves both entries and [find] returns the
+   newer.  Recompiled into lib/check against the traced shims
+   (copy_files# in lib/check/dune): Atomic + list vocabulary only. *)
+
+type 'a t = {
+  buckets : (int * 'a) list Atomic.t array;
+  size : int Atomic.t;
+  mask : int;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(buckets = 1024) () =
+  if buckets < 1 then invalid_arg "Proc_table.create: buckets must be >= 1";
+  let n = pow2 buckets 1 in
+  {
+    buckets = Array.init n (fun _ -> Atomic.make []);
+    size = Atomic.make 0;
+    mask = n - 1;
+  }
+
+let bucket t k = t.buckets.(k land t.mask)
+
+let rec add t k v =
+  let b = bucket t k in
+  let cur = Atomic.get b in
+  if Atomic.compare_and_set b cur ((k, v) :: cur) then
+    ignore (Atomic.fetch_and_add t.size 1)
+  else add t k v
+
+let find t k = List.assoc_opt k (Atomic.get (bucket t k))
+
+let mem t k = find t k <> None
+
+let rec remove t k =
+  let b = bucket t k in
+  let cur = Atomic.get b in
+  if not (List.mem_assoc k cur) then false
+  else
+    let next = List.filter (fun (k', _) -> k' <> k) cur in
+    if Atomic.compare_and_set b cur next then begin
+      ignore (Atomic.fetch_and_add t.size (-1));
+      true
+    end
+    else remove t k
+
+let length t = Atomic.get t.size
+
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc b ->
+      List.fold_left (fun acc (k, v) -> f acc k v) acc (Atomic.get b))
+    init t.buckets

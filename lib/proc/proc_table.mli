@@ -1,0 +1,24 @@
+(** The virtual-PID namespace: a lock-free int-keyed map (fixed
+    power-of-two bucket array, CAS-cons / CAS-filter chains).  Keys are
+    assumed unique — vpids come from one fetch-and-add counter.
+    Recompiled into lib/check against the traced shims. *)
+
+type 'a t
+
+val create : ?buckets:int -> unit -> 'a t
+(** [buckets] (default 1024) is rounded up to a power of two. *)
+
+val add : 'a t -> int -> 'a -> unit
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val remove : 'a t -> int -> bool
+(** [true] iff the key was present (reaping is the only caller, and it
+    removes each vpid exactly once). *)
+
+val length : 'a t -> int
+(** Live entries (exact: maintained by fetch-and-add on the winning
+    insert/remove). *)
+
+val fold : 'a t -> init:'acc -> f:('acc -> int -> 'a -> 'acc) -> 'acc
+(** Racy snapshot fold over every entry, bucket by bucket. *)

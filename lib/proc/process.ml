@@ -1,0 +1,282 @@
+(* User-level processes on the fiber runtime (substrate S3): the
+   paper's core object -- a process with a private fd namespace, a PID
+   and signal state inside one shared address space -- realized as a
+   Scope-rooted fiber tree.  The S1 simulator (lib/core/ulp.ml) models
+   the same object on simulated kernel contexts; this is the production
+   twin on real domains (DESIGN.md section 5h).
+
+   One ULP is:
+
+   - a private fd table (Fd_core): descriptors resolve through the
+     owning ULP's slots, host fds are refcounted so sharing never
+     double-closes;
+   - a vpid in a lock-free process table (Proc_table), with
+     parent/child links for wait semantics;
+   - an exit-status cell (Wait_cell) that parked waitpid fibers hang
+     their wakes on;
+   - a pending-signal mask plus per-signal handlers, delivered at
+     cancellation points ([check]); the default disposition terminates
+     the whole fiber tree through the Scope's first-failure-wins
+     cancellation, exactly like a process-directed fatal signal.
+
+   Lifecycle protocol (all lock-free, all exercised by lib/check and
+   the qcheck models):
+
+     spawn:   vpid = fetch_and_add; table.add; parent.children CAS-cons;
+              fiber runs body inside a fresh Scope
+     exit:    close_all fds; re-parent live children to the root ULP
+              (adopted := true); Wait_cell.finish publishes the status
+              and wakes waiters; an adopted (orphan) zombie reaps
+              itself -- the root is init, it never waits
+     waitpid: find the child among our children; park on its wait cell;
+              claim the zombie by CAS (claimed: exactly one reaper) and
+              drop it from the table
+     kill:    set the pending bit; no handler installed -> Scope.fail
+              with Killed (first failure wins, tree cancels); handler
+              installed -> delivered at the target's next [check]
+
+   The orphan handshake is the usual store/load pairing: the exiting
+   child publishes its status THEN reads [adopted]; the exiting parent
+   stores [adopted] THEN reads the status -- at least one side observes
+   both and the zombie is reaped by exactly one (the [claimed] CAS). *)
+
+module Fiber = Fiber_rt.Fiber
+module Scope = Fiber_rt.Scope
+
+exception Proc_exit of int
+(** Raised by {!exit}; absorbed by the ULP's root fiber. *)
+
+exception Killed of int
+(** The default signal disposition, recorded as the Scope failure. *)
+
+type status = Exited of int | Signaled of int
+
+let sigint = 2
+let sigkill = 9
+let sigusr1 = 10
+let sigusr2 = 12
+let sigterm = 15
+let max_signal = 31
+
+type t = {
+  vpid : int;
+  world : world;
+  parent : int Atomic.t; (* re-written once if orphaned to the root *)
+  adopted : bool Atomic.t; (* re-parented: root auto-reaps it *)
+  claimed : bool Atomic.t; (* zombie reaped exactly once *)
+  fds : Unix.file_descr Fd_core.table;
+  scope : Scope.t; (* the ULP's fiber tree *)
+  waitc : status Wait_cell.t;
+  pending : int Atomic.t; (* signal bitmask, bit (1 lsl signum) *)
+  handlers : (int -> unit) option Atomic.t array;
+  children : t list Atomic.t; (* CAS-cons; dead entries filtered lazily *)
+}
+
+and world = {
+  table : t Proc_table.t;
+  next_vpid : int Atomic.t;
+  fd_capacity : int;
+  mutable root_ulp : t option; (* set once by boot, before publication *)
+}
+
+let make_proc w ~vpid ~parent_vpid ~fd_capacity =
+  {
+    vpid;
+    world = w;
+    parent = Atomic.make parent_vpid;
+    adopted = Atomic.make false;
+    claimed = Atomic.make false;
+    fds = Fd_core.create ~capacity:fd_capacity;
+    scope = Scope.create ();
+    waitc = Wait_cell.create ();
+    pending = Atomic.make 0;
+    handlers = Array.init (max_signal + 1) (fun _ -> Atomic.make None);
+    children = Atomic.make [];
+  }
+
+let boot ?(fd_capacity = 256) () =
+  let w =
+    {
+      table = Proc_table.create ();
+      next_vpid = Atomic.make 1;
+      fd_capacity;
+      root_ulp = None;
+    }
+  in
+  let vpid = Atomic.fetch_and_add w.next_vpid 1 in
+  let r = make_proc w ~vpid ~parent_vpid:0 ~fd_capacity in
+  Proc_table.add w.table vpid r;
+  w.root_ulp <- Some r;
+  w
+
+let root w =
+  match w.root_ulp with
+  | Some r -> r
+  | None -> invalid_arg "Proc.root: world not booted"
+
+let world u = u.world
+let fds u = u.fds
+let scope u = u.scope
+let getpid u = u.vpid
+let getppid u = Atomic.get u.parent
+let status_of u = Wait_cell.status u.waitc
+let live_procs w = Proc_table.length w.table
+let find w vpid = Proc_table.find w.table vpid
+
+let exit (_ : t) code = raise (Proc_exit code)
+
+let check_signals u =
+  let bits = Atomic.exchange u.pending 0 in
+  if bits <> 0 then
+    for s = 1 to max_signal do
+      if bits land (1 lsl s) <> 0 then
+        match Atomic.get u.handlers.(s) with
+        | Some h when s <> sigkill -> h s
+        | _ ->
+            (* default disposition: terminate the tree.  [fail] is
+               first-wins and idempotent, so re-asserting what [kill]
+               already recorded is harmless. *)
+            Scope.fail u.scope (Killed s)
+    done
+
+let check u =
+  check_signals u;
+  Scope.check u.scope
+
+let pending u = Atomic.get u.pending
+
+let on_signal u ~signum h =
+  if signum < 1 || signum > max_signal then
+    invalid_arg "Proc.on_signal: bad signal number";
+  if signum = sigkill then invalid_arg "Proc.on_signal: SIGKILL is uncatchable";
+  Atomic.set u.handlers.(signum) h
+
+let rec set_pending u signum =
+  let cur = Atomic.get u.pending in
+  let next = cur lor (1 lsl signum) in
+  if cur <> next && not (Atomic.compare_and_set u.pending cur next) then
+    set_pending u signum
+
+let kill w ~vpid signum =
+  if signum < 1 || signum > max_signal then
+    invalid_arg "Proc.kill: bad signal number";
+  match Proc_table.find w.table vpid with
+  | None -> Error `Esrch
+  | Some p ->
+      set_pending p signum;
+      (match Atomic.get p.handlers.(signum) with
+      | Some _ when signum <> sigkill -> () (* delivered at p's next check *)
+      | _ -> Scope.fail p.scope (Killed signum));
+      Ok ()
+
+(* ---------- the child/zombie bookkeeping ---------- *)
+
+let rec add_child parent c =
+  let cur = Atomic.get parent.children in
+  if not (Atomic.compare_and_set parent.children cur (c :: cur)) then
+    add_child parent c
+
+(* Claim the zombie: exactly one reaper drops it from the table. *)
+let try_reap c =
+  if Atomic.compare_and_set c.claimed false true then begin
+    ignore (Proc_table.remove c.world.table c.vpid);
+    true
+  end
+  else false
+
+let find_child parent vpid =
+  List.find_opt
+    (fun c -> c.vpid = vpid && not (Atomic.get c.claimed))
+    (Atomic.get parent.children)
+
+let children parent =
+  List.filter_map
+    (fun c -> if Atomic.get c.claimed then None else Some c.vpid)
+    (Atomic.get parent.children)
+
+let do_exit u st =
+  ignore (Fd_core.close_all u.fds);
+  (* Orphan the children to the root ULP (init): live ones will
+     self-reap when they exit; already-dead ones are reaped here.  The
+     adopted/zombie handshake guarantees at least one side sees both
+     flags, and the [claimed] CAS that exactly one acts. *)
+  let rt = root u.world in
+  List.iter
+    (fun c ->
+      if not (Atomic.get c.claimed) then begin
+        Atomic.set c.parent rt.vpid;
+        Atomic.set c.adopted true;
+        add_child rt c;
+        if Wait_cell.is_done c.waitc then ignore (try_reap c)
+      end)
+    (Atomic.get u.children);
+  ignore (Wait_cell.finish u.waitc st);
+  if Atomic.get u.adopted then ignore (try_reap u)
+
+let spawn ?worker ?fd_capacity ~parent body =
+  let w = parent.world in
+  let vpid = Atomic.fetch_and_add w.next_vpid 1 in
+  let fd_capacity = Option.value fd_capacity ~default:w.fd_capacity in
+  let u = make_proc w ~vpid ~parent_vpid:parent.vpid ~fd_capacity in
+  Proc_table.add w.table vpid u;
+  add_child parent u;
+  let run () =
+    let normal =
+      match body u with
+      | () -> 0
+      | exception Proc_exit n ->
+          (* exit() kills the whole ULP: cancel any sibling fibers *)
+          Scope.fail u.scope (Proc_exit n);
+          n
+      | exception Scope.Cancelled -> 0
+      | exception e ->
+          Scope.fail u.scope e;
+          0
+    in
+    (* wait for every fiber of the ULP's tree, then settle the status:
+       a recorded failure (exit, fatal signal, uncaught exception from
+       any fiber) outranks the body's plain return *)
+    Scope.await u.scope;
+    let st =
+      match Scope.failure u.scope with
+      | Some (Proc_exit n) -> Exited n
+      | Some (Killed s) -> Signaled s
+      | Some _ -> Exited 125 (* uncaught exception: abnormal exit *)
+      | None ->
+          if Scope.is_cancelled u.scope then Signaled sigkill
+          else Exited normal
+    in
+    do_exit u st
+  in
+  (match worker with
+  | Some wk -> ignore (Fiber.spawn_on ~worker:wk run)
+  | None -> ignore (Fiber.spawn run));
+  u
+
+let spawn_fiber ?worker u body = Scope.spawn ?worker u.scope body
+
+(* ---------- wait semantics ---------- *)
+
+let try_waitpid ~parent ~vpid =
+  match find_child parent vpid with
+  | None -> Error `Echild
+  | Some c -> (
+      match Wait_cell.status c.waitc with
+      | None -> Ok None
+      | Some st -> if try_reap c then Ok (Some st) else Error `Echild)
+
+let waitpid ~parent ~vpid =
+  match find_child parent vpid with
+  | None -> Error `Echild
+  | Some c -> (
+      (* park the calling FIBER (never the domain) until the child
+         exits; the wake rides the Wait_cell waiter list and is routed
+         back to the worker that parked us *)
+      if not (Wait_cell.is_done c.waitc) then
+        Fiber.suspend_token (fun tok ->
+            let home = Fiber.worker_index () in
+            Wait_cell.add_waiter c.waitc (fun () ->
+                ignore (Fiber.Wake.fire_to ?worker:home tok)));
+      match Wait_cell.status c.waitc with
+      | Some st -> if try_reap c then Ok st else Error `Echild
+      | None -> assert false (* the cell finishes before waiters run *))

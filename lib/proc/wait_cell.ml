@@ -1,0 +1,47 @@
+(* The wait(2) linearization point: a one-shot cell carrying a ULP's
+   exit status, with a CAS-cons list of waiters registered by parked
+   [waitpid] fibers.
+
+   The protocol is the Completion shape with a payload:
+
+   - Running holds the waiters registered so far; [add_waiter] conses
+     by CAS, and a CAS that fails against a concurrent [finish] retries
+     and observes Exited, running the callback immediately -- so a
+     waiter racing the child's exit is woken exactly once, never lost.
+   - [finish] swings Running -> Exited by CAS and then runs the
+     captured waiter list.  The CAS retry is what makes a waiter that
+     registered in the window visible: a get-then-set here publishes
+     the status over a stale list and the parked parent sleeps forever
+     (the seeded lib/check/buggy_wait.ml twin, reported by the explorer
+     as a replayable deadlock).
+
+   Recompiled into lib/check against the traced shims (copy_files# in
+   lib/check/dune): Atomic vocabulary only. *)
+
+type 'a state = Running of (unit -> unit) list | Exited of 'a
+
+type 'a t = 'a state Atomic.t
+
+let create () = Atomic.make (Running [])
+
+let status t =
+  match Atomic.get t with Exited s -> Some s | Running _ -> None
+
+let is_done t = status t <> None
+
+let rec add_waiter t k =
+  match Atomic.get t with
+  | Exited _ -> k () (* already exited: wake immediately *)
+  | Running ws as cur ->
+      if not (Atomic.compare_and_set t cur (Running (k :: ws))) then
+        add_waiter t k
+
+let rec finish t s =
+  match Atomic.get t with
+  | Exited _ -> false (* a ULP exits once; late finishes lose *)
+  | Running ws as cur ->
+      if Atomic.compare_and_set t cur (Exited s) then begin
+        List.iter (fun k -> k ()) ws;
+        true
+      end
+      else finish t s

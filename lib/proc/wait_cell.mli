@@ -1,0 +1,25 @@
+(** The wait(2) linearization point: a one-shot exit-status cell with a
+    lock-free waiter list — what a parked [Proc.waitpid] fiber hangs
+    its wake on.  Recompiled into lib/check and model-checked against
+    the seeded lost-wakeup twin ([Buggy_wait]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Running, no status, no waiters. *)
+
+val status : 'a t -> 'a option
+(** [Some s] once {!finish} won; [None] while running. *)
+
+val is_done : 'a t -> bool
+
+val add_waiter : 'a t -> (unit -> unit) -> unit
+(** Register a callback to run when the cell finishes.  If it already
+    finished, the callback runs immediately (in the caller); otherwise
+    it runs in the finisher.  Exactly once either way — the
+    register-vs-finish race is resolved by CAS. *)
+
+val finish : 'a t -> 'a -> bool
+(** Publish the status and run every registered waiter.  [true] iff
+    this call won (a cell finishes once; later calls return [false] and
+    run nothing). *)

@@ -17,6 +17,13 @@ type result = {
           oversubscription flag *)
 }
 
+val with_stats :
+  name:string -> domains:int -> items:int -> (unit -> unit) -> result
+(** Run [f] under {!Fiber_rt.Fiber.run_parallel} with [domains] workers
+    and package wall clock + scheduler telemetry as a [result] — the
+    wrapper behind every workload here, exported so other libraries
+    (e.g. {!Proc_workload}) produce rows of the same shape. *)
+
 val spawn_join : domains:int -> fibers:int -> work:int -> result
 (** Fan out [fibers] fibers of [work] opaque additions each, join all —
     the embarrassingly parallel speedup-curve workload. *)

@@ -1,0 +1,26 @@
+(** ULP cost benchmarks for the process layer: each pair prices one
+    lib/proc mechanism against the bare fiber runtime underneath it,
+    returning {!Par_workload.result} rows for BENCH_parallel.json.
+    Reactor/fd setup happens outside the timed region. *)
+
+val ulp_spawn : domains:int -> ulps:int -> rounds:int -> Par_workload.result
+(** Row ["proc_spawn"]: [rounds] passes, each creating [ulps]
+    concurrent ULPs (vpid, process-table entry, private fd table,
+    Scope) and waitpid-reaping every one; fails the run if a zombie
+    survives a pass.  [items = ulps * rounds]. *)
+
+val ulp_spawn_fiber_base :
+  domains:int -> ulps:int -> rounds:int -> Par_workload.result
+(** Row ["proc_spawn_fiber_base"]: the same passes over bare
+    spawn/join fibers — the baseline {!ulp_spawn} is priced against. *)
+
+val fd_indirection :
+  domains:int -> ulps:int -> writes:int -> Par_workload.result
+(** Row ["proc_fd_table"]: ONE host fd (/dev/null) shared into every
+    ULP's private table ({!Proc.Io.share} refcounting), then
+    [ulps * writes] 1-byte writes through the Proc_io
+    resolve-pin-write-release path. *)
+
+val fd_direct : domains:int -> ulps:int -> writes:int -> Par_workload.result
+(** Row ["proc_fd_direct"]: the same writes through bare
+    {!Net.Fiber_io} on the host fd — the indirection-free baseline. *)

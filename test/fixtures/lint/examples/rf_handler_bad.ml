@@ -1,0 +1,8 @@
+(* Fixture: a ULP-managed connection handler (it references Proc)
+   closing the host fd directly -- one finding: the ULP's table still
+   names that fd, so the refcount is bypassed and the eventual
+   close_all double-closes. *)
+
+let handler u conn =
+  let _vfd = Proc.Io.adopt u conn in
+  Unix.close conn

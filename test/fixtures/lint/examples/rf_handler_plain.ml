@@ -1,0 +1,5 @@
+(* Fixture: a plain fiber handler with no ULP in sight -- the fd-table
+   discipline does not apply, so the raw close is fine here (fd hygiene
+   for plain handlers is test_net's dynamic gate).  No findings. *)
+
+let handler conn = Unix.close conn

@@ -1,0 +1,9 @@
+(* Fixture: raw host-fd lifecycle calls behind the fd table's back, in
+   process-layer code.  Three findings: openfile, dup, close -- each
+   bypasses the refcount that keeps sharing ULPs from double-closing. *)
+
+let leak path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let d = Unix.dup fd in
+  Unix.close fd;
+  d

@@ -1,0 +1,9 @@
+(* Fixture: descriptor lifecycle through the owning ULP's table -- the
+   Proc.Io entry points resolve, pin and refcount the host fd.  No
+   findings. *)
+
+let through_the_table u path =
+  let vfd = Proc.Io.openfile u path [ Unix.O_RDONLY ] 0 in
+  let d = Proc.Io.dup u vfd in
+  Proc.Io.close u vfd;
+  d

@@ -1,0 +1,6 @@
+(* Fixture: the one authorized home of a raw close -- the table's
+   destroy callback -- carries its written waiver. *)
+
+let host_close fd =
+  (* ulplint: allow raw-fd-in-proc -- the fd table's destroy callback: the one place a host fd is closed, exactly once per handle *)
+  try Unix.close fd with Unix.Unix_error _ -> ()

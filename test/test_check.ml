@@ -1006,6 +1006,165 @@ let scope_fail_race (module S : SCOPE) () =
       | None -> failwith "no failure recorded");
       if not (S.is_cancelled t) then failwith "failure did not cancel" )
 
+(* ---------- proc: fd refcounts, wait cells, the vpid table ---------- *)
+
+module Cfiber = Check.Fiber
+module Ptab = Check.Proc_table
+
+(* Parameterized over the fd-table implementation so the same scenarios
+   drive the faithful Fd_core copy and the seeded get-then-set twin. *)
+module type FD = sig
+  type 'a res
+  type 'a table
+
+  val resource : destroy:('a -> unit) -> 'a -> 'a res
+  val refs : 'a res -> int
+  val retain : 'a res -> bool
+  val create : capacity:int -> 'a table
+  val alloc : 'a table -> 'a res -> int option
+  val dup : 'a table -> int -> (int, [ `Badf | `Mfile ]) result
+  val dup2 : 'a table -> src:int -> dst:int -> (unit, [ `Badf ]) result
+  val close : 'a table -> int -> bool
+  val close_all : 'a table -> int
+end
+
+let good_fd : (module FD) = (module Check.Fd_core)
+let bad_fd : (module FD) = (module Check.Buggy_fd)
+
+(* Two ULPs sharing one host fd (rc = 2 via retain) both close their
+   slot: exactly one release must observe the 1 -> 0 crossing and run
+   destroy.  The seeded get-then-set release lets both read 2 and both
+   store 1 -- the host fd leaks (destroy count 0, a dangling ref). *)
+let fd_shared_close (module F : FD) () =
+  let destroyed = ref 0 in
+  let t = F.create ~capacity:2 in
+  let r = F.resource ~destroy:(fun _ -> incr destroyed) 7 in
+  (match F.alloc t r with Some 0 -> () | _ -> assert false);
+  assert (F.retain r);
+  (match F.alloc t r with Some 1 -> () | _ -> assert false);
+  ( [ (fun () -> ignore (F.close t 0)); (fun () -> ignore (F.close t 1)) ],
+    fun () ->
+      if !destroyed <> 1 then
+        failwith (Printf.sprintf "fd-refcount: destroyed %d times" !destroyed);
+      if F.refs r <> 0 then
+        failwith (Printf.sprintf "fd-refcount: %d refs left" (F.refs r)) )
+
+(* dup racing the last close: the faithful retain refuses to resurrect
+   a dead handle (rc 0), so the dup either lands before the death or
+   reports EBADF.  The seeded twin's unguarded retain resurrects the
+   destroyed fd into a fresh slot -- whose later close destroys the
+   host fd a second time (by then possibly someone else's). *)
+let fd_dup_vs_close (module F : FD) () =
+  let destroyed = ref 0 in
+  let t = F.create ~capacity:2 in
+  let r = F.resource ~destroy:(fun _ -> incr destroyed) 7 in
+  (match F.alloc t r with Some 0 -> () | _ -> assert false);
+  ( [ (fun () -> ignore (F.close t 0)); (fun () -> ignore (F.dup t 0)) ],
+    fun () ->
+      ignore (F.close_all t);
+      if !destroyed <> 1 then
+        failwith (Printf.sprintf "fd-refcount: destroyed %d times" !destroyed);
+      if F.refs r <> 0 then
+        failwith (Printf.sprintf "fd-refcount: %d refs left" (F.refs r)) )
+
+(* POSIX dup2 onto an open slot races a close of the same slot: the
+   displaced occupant must be released exactly once, whichever of the
+   [exchange]s wins the slot. *)
+let fd_dup2_vs_close (module F : FD) () =
+  let da = ref 0 and db = ref 0 in
+  let t = F.create ~capacity:2 in
+  let a = F.resource ~destroy:(fun _ -> incr da) 1 in
+  let b = F.resource ~destroy:(fun _ -> incr db) 2 in
+  (match F.alloc t a with Some 0 -> () | _ -> assert false);
+  (match F.alloc t b with Some 1 -> () | _ -> assert false);
+  ( [
+      (fun () -> ignore (F.dup2 t ~src:0 ~dst:1));
+      (fun () -> ignore (F.close t 1));
+    ],
+    fun () ->
+      ignore (F.close_all t);
+      if !db <> 1 then
+        failwith (Printf.sprintf "fd-refcount: dst destroyed %d times" !db);
+      if !da <> 1 then
+        failwith (Printf.sprintf "fd-refcount: src destroyed %d times" !da);
+      if F.refs a <> 0 || F.refs b <> 0 then failwith "fd-refcount: refs left" )
+
+(* Two concurrent allocations in an empty table: the lowest-free-slot
+   CAS scan must hand out exactly slots 0 and 1 (POSIX's lowest-free
+   rule, evaluated at claim time). *)
+let fd_alloc_race (module F : FD) () =
+  let t = F.create ~capacity:4 in
+  let mk () = F.resource ~destroy:(fun _ -> ()) 0 in
+  let s0 = ref (-1) and s1 = ref (-1) in
+  ( [
+      (fun () -> s0 := (match F.alloc t (mk ()) with Some i -> i | None -> -1));
+      (fun () -> s1 := (match F.alloc t (mk ()) with Some i -> i | None -> -1));
+    ],
+    fun () ->
+      if not (min !s0 !s1 = 0 && max !s0 !s1 = 1) then
+        failwith (Printf.sprintf "fd-slots: got %d and %d" !s0 !s1) )
+
+module type WAIT = sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val status : 'a t -> 'a option
+  val add_waiter : 'a t -> (unit -> unit) -> unit
+  val finish : 'a t -> 'a -> bool
+end
+
+let good_wait : (module WAIT) = (module Check.Wait_cell)
+let bad_wait : (module WAIT) = (module Check.Buggy_wait)
+
+(* waitpid parking vs the child's exit: the waiter registers its wake
+   and parks (a guarded step on the token); the finish CAS must either
+   see the registration or force the registration's retry to see
+   Exited.  The seeded get-then-set finish publishes the status over
+   the stale waiter list -- the parent sleeps forever (Deadlock). *)
+let wait_exit_vs_waiter (module W : WAIT) () =
+  let c = W.create () in
+  ( [
+      (fun () ->
+        Cfiber.suspend_token (fun tok ->
+            W.add_waiter c (fun () -> ignore (Cfiber.Wake.fire tok))));
+      (fun () -> ignore (W.finish c 7));
+    ],
+    fun () ->
+      match W.status c with
+      | Some 7 -> ()
+      | _ -> failwith "wait-cell: status not published" )
+
+(* Racing waiters for one child: both register, both must be woken by
+   the single finish (claiming the zombie is the process table's CAS,
+   not the cell's concern). *)
+let wait_two_waiters (module W : WAIT) () =
+  let c = W.create () in
+  let woken = ref 0 in
+  let waiter () =
+    Cfiber.suspend_token (fun tok ->
+        W.add_waiter c (fun () -> ignore (Cfiber.Wake.fire tok)));
+    incr woken
+  in
+  ( [ waiter; waiter; (fun () -> ignore (W.finish c 1)) ],
+    fun () ->
+      if !woken <> 2 then
+        failwith (Printf.sprintf "wait-cell: woke %d of 2" !woken) )
+
+(* Spawn racing an exit in the SAME bucket (buckets = 2, keys 1 and 3):
+   the CAS-cons insert and the CAS-filter remove must both land. *)
+let table_add_remove_race () =
+  let t = Ptab.create ~buckets:2 () in
+  Ptab.add t 1 "one";
+  ( [
+      (fun () -> Ptab.add t 3 "three");
+      (fun () -> ignore (Ptab.remove t 1));
+    ],
+    fun () ->
+      if Ptab.find t 3 <> Some "three" then failwith "proc-table: add lost";
+      if Ptab.find t 1 <> None then failwith "proc-table: remove lost";
+      if Ptab.length t <> 1 then
+        failwith (Printf.sprintf "proc-table: size %d" (Ptab.length t)) )
+
 (* ---------- the model-checked assertions ---------- *)
 
 let adq : (module DEQUE) = (module Adq)
@@ -1357,6 +1516,48 @@ let test_scope_fail_race () =
     (expect_pass "scope-fail-race"
        (Sched.check ~max_schedules:8_000 (scope_fail_race scope)))
 
+let test_fd_shared_close () =
+  let stats =
+    expect_pass "fd-shared-close" (Sched.check (fd_shared_close good_fd))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_fd_dup_vs_close () =
+  let stats =
+    expect_pass "fd-dup-vs-close"
+      (Sched.check ~max_schedules:8_000 (fd_dup_vs_close good_fd))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_fd_dup2_vs_close () =
+  ignore
+    (expect_pass "fd-dup2-vs-close"
+       (Sched.check ~max_schedules:8_000 (fd_dup2_vs_close good_fd)))
+
+let test_fd_alloc_race () =
+  let stats =
+    expect_pass "fd-alloc-race" (Sched.check (fd_alloc_race good_fd))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_wait_exit_vs_waiter () =
+  let stats =
+    expect_pass "wait-exit-vs-waiter"
+      (Sched.check (wait_exit_vs_waiter good_wait))
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
+let test_wait_two_waiters () =
+  ignore
+    (expect_pass "wait-two-waiters"
+       (Sched.check ~max_schedules:8_000 (wait_two_waiters good_wait)))
+
+let test_table_add_remove () =
+  let stats =
+    expect_pass "proc-table-add-remove" (Sched.check table_add_remove_race)
+  in
+  Alcotest.(check bool) "exhaustive" true stats.Sched.complete
+
 (* ---------- sync/scope: seeded twins caught, faithful replays ------- *)
 
 (* Every twin must (a) be reported as a bug, (b) replay its failing
@@ -1417,6 +1618,30 @@ let test_buggy_scope_caught =
   twin_caught "buggy-scope-leave"
     ~buggy:(scope_exit_race buggy_scope)
     ~faithful:(scope_exit_race scope)
+    ~expect_reason:"Deadlock"
+
+(* The get-then-set release loses the 1 -> 0 crossing: two sharing ULPs
+   close, nobody destroys -- the host fd leaks. *)
+let test_buggy_fd_caught =
+  twin_caught "buggy-fd-refcount"
+    ~buggy:(fd_shared_close bad_fd)
+    ~faithful:(fd_shared_close good_fd)
+    ~expect_reason:"fd-refcount"
+
+(* The unguarded retain resurrects a destroyed handle: dup racing the
+   last close hands out a dead fd, whose close destroys it again. *)
+let test_buggy_fd_resurrect_caught =
+  twin_caught "buggy-fd-resurrect"
+    ~buggy:(fd_dup_vs_close bad_fd)
+    ~faithful:(fd_dup_vs_close good_fd)
+    ~expect_reason:"fd-refcount"
+
+(* The get-then-set finish publishes the exit status over a stale
+   waiter list: the parked waitpid fiber is never woken. *)
+let test_buggy_wait_caught =
+  twin_caught "buggy-wait-finish"
+    ~buggy:(wait_exit_vs_waiter bad_wait)
+    ~faithful:(wait_exit_vs_waiter good_wait)
     ~expect_reason:"Deadlock"
 
 (* ---------- the checker catches the seeded bug ---------- *)
@@ -1533,6 +1758,13 @@ let test_fuzz_real_structures_clean () =
       ("barrier-two-phases", barrier_two_phases good_bar);
       ("scope-exit-race", scope_exit_race scope);
       ("scope-fail-race", scope_fail_race scope);
+      ("fd-shared-close", fd_shared_close good_fd);
+      ("fd-dup-vs-close", fd_dup_vs_close good_fd);
+      ("fd-dup2-vs-close", fd_dup2_vs_close good_fd);
+      ("fd-alloc-race", fd_alloc_race good_fd);
+      ("wait-exit-vs-waiter", wait_exit_vs_waiter good_wait);
+      ("wait-two-waiters", wait_two_waiters good_wait);
+      ("proc-table-add-remove", table_add_remove_race);
     ]
 
 (* ---------- the acceptance gate: >= 10k interleavings, bounded time -- *)
@@ -1573,6 +1805,13 @@ let test_interleaving_budget () =
         ("barrier-two-phases", 8_000, barrier_two_phases good_bar);
         ("scope-exit-race", 4_000, scope_exit_race scope);
         ("scope-fail-race", 8_000, scope_fail_race scope);
+        ("fd-shared-close", 4_000, fd_shared_close good_fd);
+        ("fd-dup-vs-close", 8_000, fd_dup_vs_close good_fd);
+        ("fd-dup2-vs-close", 8_000, fd_dup2_vs_close good_fd);
+        ("fd-alloc-race", 4_000, fd_alloc_race good_fd);
+        ("wait-exit-vs-waiter", 4_000, wait_exit_vs_waiter good_wait);
+        ("wait-two-waiters", 8_000, wait_two_waiters good_wait);
+        ("proc-table-add-remove", 4_000, table_add_remove_race);
       ]
   in
   let dt = Unix.gettimeofday () -. t0 in
@@ -1702,6 +1941,29 @@ let () =
             test_scope_fail_race;
           Alcotest.test_case "get-then-set leave strands the parent" `Quick
             test_buggy_scope_caught;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "shared fd closes destroy exactly once" `Quick
+            test_fd_shared_close;
+          Alcotest.test_case "dup vs last close never resurrects" `Quick
+            test_fd_dup_vs_close;
+          Alcotest.test_case "dup2 displaces the target exactly once" `Quick
+            test_fd_dup2_vs_close;
+          Alcotest.test_case "racing allocs take the lowest free slots"
+            `Quick test_fd_alloc_race;
+          Alcotest.test_case "waitpid park vs exit never loses the wake"
+            `Quick test_wait_exit_vs_waiter;
+          Alcotest.test_case "one finish wakes every waiter" `Quick
+            test_wait_two_waiters;
+          Alcotest.test_case "vpid add vs remove in one bucket" `Quick
+            test_table_add_remove;
+          Alcotest.test_case "get-then-set release leaks the host fd" `Quick
+            test_buggy_fd_caught;
+          Alcotest.test_case "unguarded retain double-closes" `Quick
+            test_buggy_fd_resurrect_caught;
+          Alcotest.test_case "get-then-set finish strands waitpid" `Quick
+            test_buggy_wait_caught;
         ] );
       ( "checker",
         [

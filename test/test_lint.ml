@@ -92,6 +92,20 @@ let test_syscall () =
   check_n r ~file:(fx "lib/fiber_rt/sc_fiber_bad.ml") ~rule 1;
   check_n r ~file:(fx "lib/fiber_rt/sc_fiber_good.ml") ~rule 0
 
+(* ---------- raw-fd-in-proc ---------- *)
+
+let test_raw_fd () =
+  let r = Driver.run ~roots:[ fx "lib/proc"; fx "examples" ] () in
+  let rule = "raw-fd-in-proc" in
+  (* openfile, dup, close behind the table's back *)
+  check_n r ~file:(fx "lib/proc/rf_bad.ml") ~rule 3;
+  check_n r ~file:(fx "lib/proc/rf_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/proc/rf_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/proc/rf_waived.ml") ~rule 1;
+  (* handlers: only ULP-managed examples are held to the discipline *)
+  check_n r ~file:(fx "examples/rf_handler_bad.ml") ~rule 1;
+  check_n r ~file:(fx "examples/rf_handler_plain.ml") ~rule 0
+
 (* ---------- seam-bypass ---------- *)
 
 let test_seam () =
@@ -163,7 +177,11 @@ let test_redetect_seeded_bugs () =
   Alcotest.(check int) "buggy_sync lost wakeups" 4 (unwaived "buggy_sync.ml");
   (* Buggy_scope.leave's non-atomic decrement *)
   Alcotest.(check int) "buggy_scope lost completion" 1
-    (unwaived "buggy_scope.ml")
+    (unwaived "buggy_scope.ml");
+  (* Buggy_fd: the get-then-set pair (retain resurrects, release leaks) *)
+  Alcotest.(check int) "buggy_fd refcount races" 2 (unwaived "buggy_fd.ml");
+  (* Buggy_wait.finish publishes over a stale waiter list *)
+  Alcotest.(check int) "buggy_wait lost wakeup" 1 (unwaived "buggy_wait.ml")
 
 (* ---------- the shipped tree is lint-clean ---------- *)
 
@@ -191,6 +209,7 @@ let () =
           Alcotest.test_case "raw-mutex-in-fiber" `Quick test_raw_mutex;
           Alcotest.test_case "atomic-get-then-set" `Quick test_get_then_set;
           Alcotest.test_case "syscall-consistency" `Quick test_syscall;
+          Alcotest.test_case "raw-fd-in-proc" `Quick test_raw_fd;
           Alcotest.test_case "seam-bypass" `Quick test_seam;
           Alcotest.test_case "mli-coverage" `Quick test_mli;
         ] );

@@ -747,6 +747,228 @@ let prop_scope_first_failure children =
   in
   !ran = List.length children && !outcome = Some expected
 
+(* ---------- Proc.Fd_core vs a slot-array reference ---------- *)
+
+module Fd = Proc.Fd_core
+
+type fd_op = FAlloc | FClose of int | FDup of int | FDup2 of int * int | FCloseAll
+
+let fd_cap = 6
+
+let fd_op_gen =
+  QCheck.Gen.(
+    let slot = int_bound (fd_cap - 1) in
+    frequency
+      [
+        (4, return FAlloc);
+        (3, map (fun i -> FClose i) slot);
+        (2, map (fun i -> FDup i) slot);
+        (2, map2 (fun s d -> FDup2 (s, d)) slot slot);
+        (1, return FCloseAll);
+      ])
+
+let show_fd_op = function
+  | FAlloc -> "Alloc"
+  | FClose i -> Printf.sprintf "Close %d" i
+  | FDup i -> Printf.sprintf "Dup %d" i
+  | FDup2 (s, d) -> Printf.sprintf "Dup2 (%d,%d)" s d
+  | FCloseAll -> "CloseAll"
+
+let fd_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_fd_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) fd_op_gen)
+
+(* The reference: a plain slot array of resource ids plus a per-id
+   refcount table and a destroy log, updated by the POSIX rules spelled
+   out in fd_core.ml.  Every observable -- returned slots, error cases,
+   destroy order, surviving refcounts -- must coincide. *)
+let prop_fd_matches_model ops =
+  let t = Fd.create ~capacity:fd_cap in
+  let resources = Hashtbl.create 16 in
+  let real_destroyed = ref [] in
+  let mk id =
+    let r = Fd.resource ~destroy:(fun i -> real_destroyed := i :: !real_destroyed) id in
+    Hashtbl.replace resources id r;
+    r
+  in
+  let slots = Array.make fd_cap None in
+  let refs = Hashtbl.create 16 in
+  let ref_destroyed = ref [] in
+  let ref_decr id =
+    let n = Hashtbl.find refs id in
+    if n = 1 then begin
+      Hashtbl.remove refs id;
+      ref_destroyed := id :: !ref_destroyed
+    end
+    else Hashtbl.replace refs id (n - 1)
+  in
+  let ref_lowest_free () =
+    let rec go i =
+      if i >= fd_cap then None else if slots.(i) = None then Some i else go (i + 1)
+    in
+    go 0
+  in
+  let next_id = ref 0 in
+  let ok = ref true in
+  let expect op real model =
+    if real <> model then begin
+      Printf.printf "fd model diverged on %s: real %s, model %s\n%!"
+        (show_fd_op op) real model;
+      ok := false
+    end
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | FAlloc ->
+          let id = !next_id in
+          incr next_id;
+          let real =
+            match Fd.alloc t (mk id) with
+            | Some i -> string_of_int i
+            | None ->
+                (* caller still owns the handle: drop it, as adopt does *)
+                Fd.release (Hashtbl.find resources id);
+                "full"
+          in
+          let model =
+            match ref_lowest_free () with
+            | Some i ->
+                slots.(i) <- Some id;
+                Hashtbl.replace refs id 1;
+                string_of_int i
+            | None ->
+                ref_destroyed := id :: !ref_destroyed;
+                "full"
+          in
+          expect op real model
+      | FClose i ->
+          let real = string_of_bool (Fd.close t i) in
+          let model =
+            match slots.(i) with
+            | None -> "false"
+            | Some id ->
+                slots.(i) <- None;
+                ref_decr id;
+                "true"
+          in
+          expect op real model
+      | FDup i ->
+          let real =
+            match Fd.dup t i with
+            | Ok j -> string_of_int j
+            | Error `Badf -> "badf"
+            | Error `Mfile -> "mfile"
+          in
+          let model =
+            match slots.(i) with
+            | None -> "badf"
+            | Some id -> (
+                match ref_lowest_free () with
+                | Some j ->
+                    slots.(j) <- Some id;
+                    Hashtbl.replace refs id (Hashtbl.find refs id + 1);
+                    string_of_int j
+                | None -> "mfile")
+          in
+          expect op real model
+      | FDup2 (src, dst) ->
+          let real =
+            match Fd.dup2 t ~src ~dst with
+            | Ok () -> "ok"
+            | Error `Badf -> "badf"
+          in
+          let model =
+            match slots.(src) with
+            | None -> "badf"
+            | Some id ->
+                if src <> dst then begin
+                  Hashtbl.replace refs id (Hashtbl.find refs id + 1);
+                  (match slots.(dst) with
+                  | None -> ()
+                  | Some old -> ref_decr old);
+                  slots.(dst) <- Some id
+                end;
+                "ok"
+          in
+          expect op real model
+      | FCloseAll ->
+          let real = string_of_int (Fd.close_all t) in
+          let n = ref 0 in
+          for i = 0 to fd_cap - 1 do
+            match slots.(i) with
+            | None -> ()
+            | Some id ->
+                incr n;
+                slots.(i) <- None;
+                ref_decr id
+          done;
+          expect op real (string_of_int !n))
+    ops;
+  (* final state: occupancy, destroy log (order included), live refs *)
+  !ok
+  && Fd.count t
+     = Array.fold_left (fun a s -> if s = None then a else a + 1) 0 slots
+  && !real_destroyed = !ref_destroyed
+  && Hashtbl.fold
+       (fun id n acc -> acc && Fd.refs (Hashtbl.find resources id) = n)
+       refs true
+
+(* ---------- Proc.Table vs a Hashtbl (unique vpids) ---------- *)
+
+module Ptab = Proc.Table
+
+type pt_op = PAdd of int | PRemove of int | PFind of int
+
+let pt_op_gen =
+  QCheck.Gen.(
+    let key = int_bound 7 in
+    frequency
+      [
+        (3, map (fun k -> PAdd k) key);
+        (2, map (fun k -> PRemove k) key);
+        (3, map (fun k -> PFind k) key);
+      ])
+
+let show_pt_op = function
+  | PAdd k -> Printf.sprintf "Add %d" k
+  | PRemove k -> Printf.sprintf "Remove %d" k
+  | PFind k -> Printf.sprintf "Find %d" k
+
+let pt_ops_arb =
+  QCheck.make
+    ~print:QCheck.Print.(list show_pt_op)
+    ~shrink:QCheck.Shrink.list
+    QCheck.Gen.(list_size (int_bound 60) pt_op_gen)
+
+(* Keys 0..7 over 2 buckets force long shared chains.  vpids are unique
+   by construction in the process layer (one fetch-and-add counter), so
+   an Add of a live key is skipped on both sides. *)
+let prop_ptab_matches_model ops =
+  let t = Ptab.create ~buckets:2 () in
+  let h = Hashtbl.create 16 in
+  let tick = ref 0 in
+  List.for_all
+    (fun op ->
+      incr tick;
+      match op with
+      | PAdd k ->
+          if not (Ptab.mem t k) then begin
+            Ptab.add t k !tick;
+            Hashtbl.replace h k !tick
+          end;
+          Ptab.length t = Hashtbl.length h
+      | PRemove k ->
+          let real = Ptab.remove t k in
+          let model = Hashtbl.mem h k in
+          Hashtbl.remove h k;
+          real = model && Ptab.length t = Hashtbl.length h
+      | PFind k -> Ptab.find t k = Hashtbl.find_opt h k)
+    ops
+  && Ptab.fold t ~init:true ~f:(fun acc k v -> acc && Hashtbl.find_opt h k = Some v)
+
 (* ---------- runner ---------- *)
 
 let () =
@@ -785,5 +1007,8 @@ let () =
             prop_barrier_counts_generations;
           t "Sync.Condition wakes FIFO" cond_ops_arb prop_condition_fifo;
           t "Scope = first-failure-wins" children_arb prop_scope_first_failure;
+          t "Proc.Fd_core = slot-array + refcount model" fd_ops_arb
+            prop_fd_matches_model;
+          t "Proc.Table = Hashtbl model" pt_ops_arb prop_ptab_matches_model;
         ] );
     ]
