@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean check lint outputs
+.PHONY: all build test bench examples clean check lint lint-diff outputs
 
 all: build test
 
@@ -26,6 +26,12 @@ check:
 # static analysis: fails on any unwaivered finding, writes LINT.json
 lint:
 	dune exec bin/ulplint.exe
+
+# the CI baseline gate locally: fails on any finding (warnings too)
+# that is new relative to the committed LINT.json
+lint-diff:
+	cp LINT.json /tmp/lint_baseline.json
+	dune exec bin/ulplint.exe -- --diff /tmp/lint_baseline.json
 
 # the artifacts DESIGN.md's process step 6 asks for
 outputs:

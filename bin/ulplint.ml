@@ -4,7 +4,10 @@
    With no paths, walks the default roots (lib bin bench examples test,
    skipping _build, fixtures and the lib/check sandbox).  Explicit
    paths are walked in full, so `ulplint lib/check` re-detects the
-   seeded bugs.  Exits 1 iff an unwaivered error remains. *)
+   seeded bugs.  Exits 1 iff an unwaivered error remains; with --diff,
+   exits 1 iff a NEW unwaivered finding (any severity) is absent from
+   the baseline LINT.json -- the CI gate that lets known waived noise
+   through while stopping regressions. *)
 
 let () =
   let roots = ref [] in
@@ -13,6 +16,7 @@ let () =
   let quiet = ref false in
   let show_waived = ref false in
   let list_rules = ref false in
+  let diff_baseline = ref "" in
   let spec =
     [
       ( "--json",
@@ -27,6 +31,10 @@ let () =
         "  also print findings suppressed by waivers" );
       ("--quiet", Arg.Set quiet, "  print only the summary line");
       ("--list-rules", Arg.Set list_rules, "  describe every rule and exit");
+      ( "--diff",
+        Arg.Set_string diff_baseline,
+        "FILE  gate on findings NEW vs this baseline LINT.json instead of \
+         on all unwaivered errors" );
     ]
   in
   let usage = "ulplint [options] [path ...]" in
@@ -50,4 +58,21 @@ let () =
       (Lint.Driver.warning_count report)
   else Lint.Driver.print ~show_waived:!show_waived stdout report;
   if !json_path <> "" then Lint.Driver.write_json ~path:!json_path report;
-  exit (if Lint.Driver.unwaived_errors report > 0 then 1 else 0)
+  if !diff_baseline <> "" then
+    match Lint.Driver.diff ~baseline:!diff_baseline report with
+    | Error msg ->
+        Printf.eprintf "ulplint --diff: %s\n" msg;
+        exit 2
+    | Ok [] ->
+        Printf.printf "ulplint --diff: no new findings vs %s\n" !diff_baseline;
+        exit 0
+    | Ok new_findings ->
+        Printf.printf "ulplint --diff: %d new finding%s vs %s:\n"
+          (List.length new_findings)
+          (if List.length new_findings = 1 then "" else "s")
+          !diff_baseline;
+        List.iter
+          (fun f -> print_endline ("  " ^ Lint.Finding.to_string f))
+          new_findings;
+        exit 1
+  else exit (if Lint.Driver.unwaived_errors report > 0 then 1 else 0)

@@ -1,0 +1,43 @@
+(* TEST-ONLY two-lock transfer cell with a deliberately seeded
+   lock-order inversion: [credit] takes [order_a] then [order_b], while
+   [debit] takes [order_b] then [order_a].
+
+   Two threads running [credit] and [debit] concurrently can each take
+   their first lock and then wait forever for the other's -- the
+   textbook AB/BA deadlock ("Basic Lock Algorithms in Lightweight
+   Thread Environments" is exactly about how this degenerates under
+   lightweight threading, where the blocked holder may never be
+   preempted back in).  The faithful shape,
+   test/fixtures/lint/lib/fiber_rt/lo_good.ml, takes the locks in one
+   global order in both directions and passes the same analysis.
+
+   ulplint's lock-order-inversion rule must flag BOTH acquisition sites
+   when pointed at lib/check (`ulplint lib/check`, as test_lint does):
+   the A->B edge from [credit] and the B->A edge from [debit] close a
+   cycle on the definition-site lock identities below.  The Mutex here
+   is the sibling traced shim, so the checker can also explore this
+   module directly.  Never use outside tests. *)
+
+let order_a = Mutex.create ()
+let order_b = Mutex.create ()
+
+let balance_a = ref 0
+let balance_b = ref 0
+
+(* takes A then B *)
+let credit n =
+  Mutex.lock order_a;
+  Mutex.lock order_b;
+  balance_a := !balance_a - n;
+  balance_b := !balance_b + n;
+  Mutex.unlock order_b;
+  Mutex.unlock order_a
+
+(* BUG: takes B then A -- opposite order to [credit] *)
+let debit n =
+  Mutex.lock order_b;
+  Mutex.lock order_a;
+  balance_b := !balance_b - n;
+  balance_a := !balance_a + n;
+  Mutex.unlock order_a;
+  Mutex.unlock order_b

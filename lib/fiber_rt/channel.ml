@@ -68,6 +68,7 @@ let send t v =
   (* ulplint: allow raw-mutex-in-fiber -- held only for O(1) queue ops, never across a park (wait_on drops it); shared with senders on other domains and traced as Check.Mutex in lib/check *)
   Mutex.lock t.mutex;
   while Queue.length t.items >= t.capacity && not t.closed do
+    (* ulplint: allow park-while-locked -- wait_on publishes the waker and unlocks INSIDE the suspend registration, then relocks on resume: the no-lost-wakeup handoff, model-checked as the Check-recompiled Channel in lib/check *)
     wait_on t t.send_waiters
   done;
   if t.closed then begin
@@ -97,6 +98,7 @@ let recv t =
           None
         end
         else begin
+          (* ulplint: allow park-while-locked -- wait_on publishes the waker and unlocks INSIDE the suspend registration, then relocks on resume: the no-lost-wakeup handoff, model-checked as the Check-recompiled Channel in lib/check *)
           wait_on t t.recv_waiters;
           go ()
         end

@@ -18,6 +18,9 @@ val flatten : Longident.t -> string list
 val drop_stdlib : string list -> string list
 (** Normalize an ident path: ["Stdlib" :: p] becomes [p]. *)
 
+val ident_of_expr : Parsetree.expression -> string list option
+(** The flattened path of a [Pexp_ident], [None] otherwise. *)
+
 val pos_of : Location.t -> int * int
 (** (line, column) of a location's start. *)
 

@@ -1,0 +1,51 @@
+(** Pass 2 of the interprocedural engine (DESIGN.md section 5i): a
+    set-once monotone fixpoint over the call graph of Pass-1 summaries
+    (may-park, may-block, reaches-cancellation, each with its first
+    witness chain), then the three call-path rules built on it. *)
+
+type facts = {
+  fc_fn : Summary.fn;
+  fc_fs : Summary.file_summary;
+  mutable parks : (int * int * string list) option;
+      (** anchor (line, col) in [fc_fn]'s file, witness chain to the
+          parking leaf *)
+  mutable blocks : (int * int * string list) option;
+  mutable cancels : bool;
+}
+
+type t = {
+  by_name : (string, facts list) Hashtbl.t;
+  all : facts list;
+}
+
+val park_leaf : string list -> string option
+(** Calls that park the calling fiber.  [Sync.Mutex.lock]-family
+    acquisitions are deliberately absent: nested-acquisition risk is
+    lock-order-inversion's domain. *)
+
+val cancel_leaf : string list -> string option
+(** Cancellation points: the explicit polls ([Proc.check] /
+    [Scope.check]) plus every park leaf (the wake path re-checks). *)
+
+val candidates : prefix:string list -> string list -> string list
+(** Candidate qualified names for a path written inside a module
+    prefix, most specific first; shared with {!Lockgraph}. *)
+
+val prefix_of_name : string -> string list
+(** The module prefix of a qualified function name
+    (["Sync.Mutex.lock"] -> [["Sync"; "Mutex"]]). *)
+
+val resolve : t -> prefix:string list -> string list -> facts list
+(** All summarized functions a call may refer to ([[]] when the target
+    is outside the summarized world: stdlib, stubs, local closures). *)
+
+val build : Summary.file_summary list -> t
+(** Run the fixpoint.  Deterministic: facts and witnesses depend only
+    on the summary list order. *)
+
+val stats : t -> int * int * int * int
+(** (functions, may_park, may_block, reaches_cancellation). *)
+
+val findings : t -> Finding.t list
+(** The three interprocedural rules: transitive-blocking-in-fiber,
+    park-while-locked, missed-cancellation-point.  Unsorted. *)

@@ -1,8 +1,9 @@
-(* The driver: walk the tree, parse each .ml once, run the in-scope
-   rules, resolve copy_files# manifests for the seam rule, apply
-   waivers, and report -- human lines on stdout, machine-readable
-   LINT.json on request.  Exit is non-zero iff an unwaivered error
-   remains.
+(* The driver: walk the tree, parse each .ml once, build the Pass-1
+   summaries, run the per-file rules AND the interprocedural engine
+   (Callgraph fixpoint + Lockgraph) over them, resolve copy_files#
+   manifests for the seam rule, apply waivers, and report -- human
+   lines on stdout, machine-readable LINT.json (schema v2) on request.
+   Exit is non-zero iff an unwaivered error remains.
 
    Walk policy: descending from a root we skip _build, dot-directories,
    directories named "fixtures" (the lint test corpus is deliberately
@@ -15,10 +16,20 @@
 
 let default_roots = [ "lib"; "bin"; "bench"; "examples"; "test" ]
 
+type stats = {
+  functions : int;            (* summarized functions *)
+  may_park : int;
+  may_block : int;
+  reaches_cancellation : int;
+  locks : int;                (* module-level lock definitions *)
+  lock_order_edges : int;
+}
+
 type report = {
   roots : string list;
-  files_scanned : int;
-  findings : Finding.t list; (* sorted; includes waived ones *)
+  files_scanned : int;        (* files that parsed, not files skipped *)
+  findings : Finding.t list;  (* sorted; includes waived ones *)
+  stats : stats;
 }
 
 (* ---------- small file helpers ---------- *)
@@ -171,26 +182,47 @@ let run ?(roots = default_roots) ?(use_waivers = true) () =
         Hashtbl.add ast_tbl file r;
         r
   in
-  (* walked .ml files: waivers, mli coverage, the AST rules *)
+  (* walked .ml files: waivers, mli coverage, the per-file AST rules,
+     and the Pass-1 summary for the interprocedural engine *)
+  let parsed = ref 0 in
+  let summaries = ref [] in
   List.iter
     (fun file ->
-      ignore (waivers_of file);
+      let waivers = waivers_of file in
       let segs = Ast_util.path_segments file in
       if Rules.mli_in_scope segs then add (Rules.check_mli ~file);
-      let rules =
-        List.filter (fun (r : Rules.ast_rule) -> r.in_scope segs) Rules.ast_rules
-      in
-      if rules <> [] then
-        match ast_of file with
-        | Error msg ->
-            add
-              [
-                Finding.make ~rule:"parse-error" ~severity:Finding.Error ~file
-                  ~line:1 ~col:0 msg;
-              ]
-        | Ok ast ->
-            List.iter (fun (r : Rules.ast_rule) -> add (r.check ~file ast)) rules)
+      match ast_of file with
+      | Error msg ->
+          add
+            [
+              Finding.make ~rule:"parse-error" ~severity:Finding.Error ~file
+                ~line:1 ~col:0 msg;
+            ]
+      | Ok ast ->
+          incr parsed;
+          List.iter
+            (fun (r : Rules.ast_rule) ->
+              if r.in_scope segs then add (r.check ~file ast))
+            Rules.ast_rules;
+          (* a blocking-in-fiber waiver at the leaf stops the may-block
+             taint at its source, so one written seam exemption
+             (Clock.now) covers every transitive caller *)
+          let waived_blocking line =
+            List.exists
+              (fun (w : Waivers.t) ->
+                w.rule = "blocking-in-fiber"
+                && (w.line = line || w.line + 1 = line))
+              waivers
+          in
+          summaries :=
+            Summary.of_structure ~file ~waived_blocking ast :: !summaries)
     mls;
+  let summaries = List.rev !summaries in
+  (* Pass 2: the call-graph fixpoint and the lock-order graph *)
+  let cg = Callgraph.build summaries in
+  add (Callgraph.findings cg);
+  let lg = Lockgraph.build summaries in
+  add lg.Lockgraph.findings;
   (* seam rule: every source some dune recompiles via copy_files# *)
   let seam_seen = Hashtbl.create 16 in
   List.iter
@@ -224,10 +256,22 @@ let run ?(roots = default_roots) ?(use_waivers = true) () =
       waiver_tbl;
     List.iter (fun file -> add (Waivers.unused ~file (waivers_of file))) mls
   end;
+  let functions, may_park, may_block, reaches_cancellation =
+    Callgraph.stats cg
+  in
   {
     roots;
-    files_scanned = List.length mls;
+    files_scanned = !parsed;
     findings = List.sort Finding.order !findings;
+    stats =
+      {
+        functions;
+        may_park;
+        may_block;
+        reaches_cancellation;
+        locks = lg.Lockgraph.locks;
+        lock_order_edges = lg.Lockgraph.edges;
+      };
   }
 
 (* ---------- accounting ---------- *)
@@ -280,12 +324,24 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* schema v2: the summaries section and per-rule counts make a report
+   diffable at a glance; findings are sorted (Finding.order) and keys
+   are emitted in one fixed order, so baseline diffs are line-stable. *)
+let rule_counts r =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Hashtbl.replace tbl f.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.rule)))
+    r.findings;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
 let write_json ~path r =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "{\n  \"schema\": \"ulp-pip/lint/v1\",\n";
+      Printf.fprintf oc "{\n  \"schema\": \"ulp-pip/lint/v2\",\n";
       Printf.fprintf oc "  \"roots\": [%s],\n"
         (String.concat ", "
            (List.map (fun s -> "\"" ^ json_escape s ^ "\"") r.roots));
@@ -293,12 +349,24 @@ let write_json ~path r =
       Printf.fprintf oc "  \"errors\": %d,\n" (unwaived_errors r);
       Printf.fprintf oc "  \"warnings\": %d,\n" (warning_count r);
       Printf.fprintf oc "  \"waived\": %d,\n" (waived_count r);
+      Printf.fprintf oc
+        "  \"summaries\": { \"functions\": %d, \"may_park\": %d, \
+         \"may_block\": %d, \"reaches_cancellation\": %d, \"locks\": %d, \
+         \"lock_order_edges\": %d },\n"
+        r.stats.functions r.stats.may_park r.stats.may_block
+        r.stats.reaches_cancellation r.stats.locks r.stats.lock_order_edges;
+      Printf.fprintf oc "  \"rule_counts\": {%s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (rule, n) ->
+                Printf.sprintf " \"%s\": %d" (json_escape rule) n)
+              (rule_counts r)));
       Printf.fprintf oc "  \"findings\": [";
       List.iteri
         (fun i (f : Finding.t) ->
           Printf.fprintf oc "%s\n    { \"file\": \"%s\", \"line\": %d, \
                              \"col\": %d, \"rule\": \"%s\", \"severity\": \
-                             \"%s\", \"message\": \"%s\", \"waived\": %b%s }"
+                             \"%s\", \"message\": \"%s\", \"waived\": %b%s%s }"
             (if i = 0 then "" else ",")
             (json_escape f.file) f.line f.col (json_escape f.rule)
             (Finding.severity_to_string f.severity)
@@ -307,6 +375,44 @@ let write_json ~path r =
             (match f.waived with
             | None -> ""
             | Some reason ->
-                Printf.sprintf ", \"reason\": \"%s\"" (json_escape reason)))
+                Printf.sprintf ", \"reason\": \"%s\"" (json_escape reason))
+            (match f.path with
+            | [] -> ""
+            | path ->
+                Printf.sprintf ", \"path\": [%s]"
+                  (String.concat ", "
+                     (List.map
+                        (fun s -> "\"" ^ json_escape s ^ "\"")
+                        path))))
         r.findings;
       Printf.fprintf oc "\n  ]\n}\n")
+
+(* ---------- --diff: gate only NEW unwaivered findings ---------- *)
+
+(* A baseline finding is identified by (file, rule, line): stable under
+   unrelated edits, tight enough that a second occurrence of the same
+   rule in the same file on a new line is still new.  Both v1 and v2
+   baselines parse (the fields used exist in both). *)
+let diff ~baseline r =
+  match Report.Json.parse_file baseline with
+  | Error msg -> Error (Printf.sprintf "%s: %s" baseline msg)
+  | Ok json -> (
+      match Option.bind (Report.Json.member "findings" json) Report.Json.to_list with
+      | None -> Error (baseline ^ ": no \"findings\" array")
+      | Some known ->
+          let key_tbl = Hashtbl.create 64 in
+          List.iter
+            (fun f ->
+              let str k = Option.bind (Report.Json.member k f) Report.Json.to_string in
+              let num k = Option.bind (Report.Json.member k f) Report.Json.to_float in
+              match (str "file", str "rule", num "line") with
+              | Some file, Some rule, Some line ->
+                  Hashtbl.replace key_tbl (file, rule, int_of_float line) ()
+              | _ -> ())
+            known;
+          Ok
+            (List.filter
+               (fun (f : Finding.t) ->
+                 f.waived = None
+                 && not (Hashtbl.mem key_tbl (f.file, f.rule, f.line)))
+               r.findings))

@@ -8,16 +8,28 @@ val default_roots : string list
     bugs -- still read for its dune copy_files# manifest).  Explicitly
     given roots are walked in full. *)
 
+type stats = {
+  functions : int;             (** summarized functions *)
+  may_park : int;
+  may_block : int;
+  reaches_cancellation : int;
+  locks : int;                 (** module-level lock definitions *)
+  lock_order_edges : int;
+}
+
 type report = {
   roots : string list;
-  files_scanned : int;
-  findings : Finding.t list;  (** sorted; includes waived ones *)
+  files_scanned : int;         (** files that parsed, not files skipped *)
+  findings : Finding.t list;   (** sorted; includes waived ones *)
+  stats : stats;
 }
 
 val run : ?roots:string list -> ?use_waivers:bool -> unit -> report
 (** Walk [roots] (default {!default_roots}), parse each .ml once, run
-    the in-scope rules plus the seam rule over every copy_files#
-    source, then apply waivers unless [use_waivers] is [false]. *)
+    the in-scope per-file rules, build the Pass-1 summaries and run the
+    interprocedural engine (Callgraph fixpoint + Lockgraph) over them,
+    run the seam rule over every copy_files# source, then apply waivers
+    unless [use_waivers] is [false]. *)
 
 val unwaived_errors : report -> int
 val waived_count : report -> int
@@ -29,8 +41,20 @@ val print : ?show_waived:bool -> out_channel -> report -> unit
 (** One [file:line:col [rule] message] line per (unwaived, unless
     [show_waived]) finding, then a summary line. *)
 
+val rule_counts : report -> (string * int) list
+(** Findings (including waived) per rule, sorted by rule name. *)
+
 val write_json : path:string -> report -> unit
-(** Machine-readable report, schema [ulp-pip/lint/v1]. *)
+(** Machine-readable report, schema [ulp-pip/lint/v2]: summaries
+    section, per-rule counts, findings sorted by
+    (file, line, col, rule, message) with deterministic key order, and
+    call-path evidence under ["path"]. *)
+
+val diff : baseline:string -> report -> (Finding.t list, string) result
+(** The report's unwaivered findings (any severity) whose
+    (file, rule, line) key is absent from the baseline LINT.json --
+    the set a CI baseline gate fails on.  Reads v1 and v2 baselines;
+    [Error] is an I/O or parse problem. *)
 
 val copy_files_sources : dune_path:string -> string -> string list
 (** Exposed for tests: the normalized source paths a dune file's

@@ -13,16 +13,21 @@ type t = {
   line : int;
   col : int;
   message : string;
+  path : string list; (* call-path evidence, caller-to-leaf; [] if n/a *)
   mutable waived : string option; (* the waiver's written reason *)
 }
 
-let make ~rule ~severity ~file ~line ~col message =
-  { rule; severity; file; line; col; message; waived = None }
+let make ~rule ~severity ~file ~line ~col ?(path = []) message =
+  { rule; severity; file; line; col; message; path; waived = None }
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
+(* The message tiebreak keeps two findings of one rule at one site
+   (say, two locks held across the same park) in a stable order. *)
 let order a b =
-  Stdlib.compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
+  Stdlib.compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
 
 let to_string f =
   Printf.sprintf "%s:%d:%d [%s] %s%s" f.file f.line f.col f.rule f.message

@@ -10,6 +10,9 @@ type t = {
   line : int;
   col : int;
   message : string;
+  path : string list;
+      (** call-path evidence for the interprocedural rules, ordered
+          caller-to-leaf ([] when not applicable) *)
   mutable waived : string option;  (** the waiver's written reason *)
 }
 
@@ -19,13 +22,14 @@ val make :
   file:string ->
   line:int ->
   col:int ->
+  ?path:string list ->
   string ->
   t
 
 val severity_to_string : severity -> string
 
 val order : t -> t -> int
-(** Sort key: file, line, column, rule. *)
+(** Sort key: file, line, column, rule, message. *)
 
 val to_string : t -> string
 (** [file:line:col [rule] message], plus the waiver reason if waived. *)

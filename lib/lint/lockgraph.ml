@@ -1,0 +1,250 @@
+(* The global lock-acquisition-order graph (DESIGN.md section 5i).
+
+   Identity first: a lock participates in ordering findings only when
+   its use site resolves to a module-level [let x = Mutex.create ()]
+   definition -- the identity is then the definition site,
+   "file:line (Qualified.name)", so two files naming the same lock
+   differently still meet in one node.  Field projections ([t.mutex])
+   and computed expressions track held-ness for park-while-locked but
+   stay OUT of this graph: keying them by field name would conflate
+   every record's [mutex] field and flood the rule with false cycles.
+
+   Edges: held-lock H at an acquisition of L adds H -> L; a call made
+   with H held adds H -> L for every lock L the callee may
+   transitively acquire (a may-acquire fixpoint, same shape as
+   Callgraph's).  A cycle through any edge means two executions can
+   take the same locks in opposite orders and deadlock; the finding
+   lands on the acquisition (or call) site of the edge and carries one
+   witness cycle, edge by edge, as its call-path evidence. *)
+
+open Summary
+
+type result = {
+  findings : Finding.t list; (* unsorted *)
+  locks : int;               (* module-level lock definitions seen *)
+  edges : int;               (* distinct order edges *)
+}
+
+(* canonical lock id -> pretty name, for messages *)
+let pretty_of_canon canon = canon
+
+let build summaries =
+  (* --- the definition table: qualified name -> canonical id --- *)
+  let defs = Hashtbl.create 32 in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun (qname, kind, line) ->
+          if not (Hashtbl.mem defs qname) then
+            Hashtbl.replace defs qname
+              (Printf.sprintf "%s (%s:%d, %s)" qname fs.fs_file line
+                 (kind_to_string kind)))
+        fs.fs_lockdefs)
+    summaries;
+  let canon (l : lock) =
+    match l.lk_expr with
+    | Lpath p ->
+        let rec first = function
+          | [] -> None
+          | c :: rest -> (
+              match Hashtbl.find_opt defs c with
+              | Some id -> Some id
+              | None -> first rest)
+        in
+        first (Callgraph.candidates ~prefix:l.lk_module p)
+    | Lfield _ | Lother _ -> None
+  in
+  (* --- may-acquire fixpoint: fn name -> set of canonical ids, each
+     with the witness of its ultimate acquisition site --- *)
+  let all_fns = List.concat_map (fun fs -> fs.fs_fns) summaries in
+  let by_name = Hashtbl.create 256 in
+  List.iter
+    (fun f ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_name f.fn_name) in
+      Hashtbl.replace by_name f.fn_name (prev @ [ f ]))
+    all_fns;
+  let acq : (string, (string, string) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let acq_of name =
+    match Hashtbl.find_opt acq name with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.replace acq name tbl;
+        tbl
+  in
+  List.iter
+    (fun f ->
+      let tbl = acq_of f.fn_name in
+      List.iter
+        (fun a ->
+          match canon a.a_lock with
+          | Some id ->
+              if not (Hashtbl.mem tbl id) then
+                Hashtbl.replace tbl id
+                  (Printf.sprintf "%s (%s:%d)" f.fn_name f.fn_file a.a_line)
+          | None -> ())
+        f.fn_acquires)
+    all_fns;
+  let resolve_fns ~prefix path =
+    let rec first = function
+      | [] -> []
+      | c :: rest -> (
+          match Hashtbl.find_opt by_name c with
+          | Some fs -> fs
+          | None -> first rest)
+    in
+    first (Callgraph.candidates ~prefix path)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun f ->
+        let tbl = acq_of f.fn_name in
+        let prefix = Callgraph.prefix_of_name f.fn_name in
+        List.iter
+          (fun c ->
+            List.iter
+              (fun (g : fn) ->
+                if g.fn_name <> f.fn_name then
+                  Hashtbl.iter
+                    (fun id witness ->
+                      if not (Hashtbl.mem tbl id) then begin
+                        Hashtbl.replace tbl id witness;
+                        changed := true
+                      end)
+                    (acq_of g.fn_name))
+              (resolve_fns ~prefix c.c_path))
+          f.fn_calls)
+      all_fns
+  done;
+  (* --- edges: (held, acquired) -> site + description, first wins ---
+     Collected in summary-list order, so the representative site for
+     each edge is deterministic. *)
+  let edges : (string * string, string * int * int * string) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let edge_order = ref [] in
+  let add_edge u v site =
+    if u <> v && not (Hashtbl.mem edges (u, v)) then begin
+      Hashtbl.replace edges (u, v) site;
+      edge_order := (u, v) :: !edge_order
+    end
+  in
+  List.iter
+    (fun f ->
+      let prefix = Callgraph.prefix_of_name f.fn_name in
+      (* direct: an acquisition with locks already held *)
+      List.iter
+        (fun a ->
+          match canon a.a_lock with
+          | None -> ()
+          | Some v ->
+              List.iter
+                (fun h ->
+                  match canon h with
+                  | Some u ->
+                      add_edge u v
+                        ( f.fn_file, a.a_line, a.a_col,
+                          Printf.sprintf "%s acquires %s holding %s" f.fn_name
+                            v u )
+                  | None -> ())
+                a.a_held)
+        f.fn_acquires;
+      (* through calls: everything the callee may acquire *)
+      List.iter
+        (fun c ->
+          if c.c_held <> [] then
+            List.iter
+              (fun (g : fn) ->
+                if g.fn_name <> f.fn_name then
+                  Hashtbl.iter
+                    (fun v witness ->
+                      List.iter
+                        (fun h ->
+                          match canon h with
+                          | Some u ->
+                              add_edge u v
+                                ( f.fn_file, c.c_line, c.c_col,
+                                  Printf.sprintf
+                                    "%s calls %s holding %s; the callee \
+                                     acquires %s at %s"
+                                    f.fn_name
+                                    (String.concat "." c.c_path)
+                                    u v witness )
+                          | None -> ())
+                        c.c_held)
+                    (acq_of g.fn_name))
+              (resolve_fns ~prefix c.c_path))
+        f.fn_calls)
+    all_fns;
+  let edge_order = List.rev !edge_order in
+  (* --- cycles: for each edge u -> v, a path v ..> u closes one --- *)
+  let succs u =
+    List.filter_map (fun (a, b) -> if a = u then Some b else None) edge_order
+  in
+  let find_path src dst =
+    (* BFS, returning the node path src..dst *)
+    let parent = Hashtbl.create 16 in
+    let q = Queue.create () in
+    Queue.push src q;
+    Hashtbl.replace parent src src;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let n = Queue.pop q in
+      if n = dst then found := true
+      else
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem parent s) then begin
+              Hashtbl.replace parent s n;
+              Queue.push s q
+            end)
+          (succs n)
+    done;
+    if not !found then None
+    else begin
+      let rec back n acc =
+        if n = src then n :: acc else back (Hashtbl.find parent n) (n :: acc)
+      in
+      Some (back dst [])
+    end
+  in
+  let findings =
+    List.filter_map
+      (fun (u, v) ->
+        match find_path v u with
+        | None -> None
+        | Some nodes ->
+            let file, line, col, desc = Hashtbl.find edges (u, v) in
+            (* evidence: this edge, then each edge closing the cycle *)
+            let path =
+              desc
+              :: (let rec pairs = function
+                    | a :: (b :: _ as tl) ->
+                        let _, _, _, d2 = Hashtbl.find edges (a, b) in
+                        d2 :: pairs tl
+                    | _ -> []
+                  in
+                  pairs nodes)
+            in
+            let cycle = String.concat " -> " (u :: nodes) in
+            Some
+              (Finding.make ~rule:"lock-order-inversion"
+                 ~severity:Finding.Error ~file ~line ~col ~path
+                 (Printf.sprintf
+                    "acquiring %s while holding %s inverts the acquisition \
+                     order established elsewhere (cycle: %s): two executions \
+                     can take these locks in opposite orders and deadlock; \
+                     pick one global order, or waive with the reason the \
+                     orders can never overlap"
+                    (pretty_of_canon v) (pretty_of_canon u) cycle)))
+      edge_order
+  in
+  {
+    findings;
+    locks = Hashtbl.length defs;
+    edges = List.length edge_order;
+  }

@@ -373,11 +373,65 @@ let check_mli ~file =
            (Filename.basename mli));
     ]
 
+(* ---------- the interprocedural rules (engine in Summary / Callgraph /
+   Lockgraph; metadata here so the catalog stays the one registry) ---------- *)
+
+let transitive_blocking_name = "transitive-blocking-in-fiber"
+
+let transitive_blocking_doc =
+  "a fiber-context function that reaches a blocking syscall through a \
+   wrapper chain ('Fibers are not (P)Threads': blocking leaks through \
+   helpers the direct rule cannot see).  Built on per-function \
+   summaries + a call-graph fixpoint; the finding sits at the call \
+   site and carries the full chain down to the leaf.  Waive the seam \
+   itself (the direct blocking-in-fiber site) to clear every caller \
+   with one written reason."
+
+let park_while_locked_name = "park-while-locked"
+
+let park_while_locked_doc =
+  "calling a may-park function (directly or transitively) while the \
+   held-lock summary says a mutex/rwlock is held: the fiber that must \
+   take that lock to produce the wakeup can never run -- the classic \
+   stall-every-fiber deadlock shape.  Condition.wait is exempt on its \
+   own mutex (released atomically around the park); Sync.Mutex.lock \
+   itself is excluded (nested acquisition is lock-order-inversion's \
+   domain).  Waivers must write down the handoff protocol that makes \
+   the park safe."
+
+let lock_order_inversion_name = "lock-order-inversion"
+
+let lock_order_inversion_doc =
+  "a cycle in the global lock-acquisition-order graph ('Basic Lock \
+   Algorithms in Lightweight Thread Environments'): two executions can \
+   take the same locks in opposite orders and deadlock.  Lock \
+   identities are definition sites (module-level create bindings), so \
+   field projections never conflate; edges come from nested \
+   acquisitions and from calls made with a lock held into functions \
+   that may acquire another.  The finding carries one witness cycle, \
+   edge by edge."
+
+let missed_cancellation_name = "missed-cancellation-point"
+
+let missed_cancellation_doc =
+  "a loop in ULP handler code (lib/proc, or examples referencing Proc) \
+   none of whose calls reaches a cancellation point (Proc.check / \
+   Scope.check / any parking call): signal delivery is cooperative \
+   (ROADMAP residual), so the ULP is unkillable while it spins.  \
+   CAS-retry loops (atomic RMW in the body) and call-free compute \
+   loops are exempt."
+
 (* ---------- catalog ---------- *)
 
 let catalog =
   [
     (blocking_in_fiber.name, blocking_in_fiber.severity, blocking_in_fiber.doc);
+    ( transitive_blocking_name,
+      Finding.Error,
+      transitive_blocking_doc );
+    (park_while_locked_name, Finding.Error, park_while_locked_doc);
+    (lock_order_inversion_name, Finding.Error, lock_order_inversion_doc);
+    (missed_cancellation_name, Finding.Warning, missed_cancellation_doc);
     (raw_mutex_in_fiber.name, raw_mutex_in_fiber.severity, raw_mutex_in_fiber.doc);
     (atomic_get_then_set.name, atomic_get_then_set.severity, atomic_get_then_set.doc);
     (seam_name, Finding.Error, seam_doc);

@@ -9,6 +9,11 @@ type ast_rule = {
   check : file:string -> Parsetree.structure -> Finding.t list;
 }
 
+val fiber_scope : string list -> bool
+(** lib/fiber_rt, lib/net, lib/proc, lib/workload, examples, bench: the
+    directories whose code runs on (or spawns onto) worker domains.
+    Shared with the interprocedural rules in {!Callgraph}. *)
+
 val blocking_in_fiber : ast_rule
 val atomic_get_then_set : ast_rule
 val syscall_consistency : ast_rule
@@ -16,6 +21,18 @@ val raw_fd_in_proc : ast_rule
 
 val ast_rules : ast_rule list
 (** The rules run on every in-scope walked file. *)
+
+val transitive_blocking_name : string
+val transitive_blocking_doc : string
+val park_while_locked_name : string
+val park_while_locked_doc : string
+val lock_order_inversion_name : string
+val lock_order_inversion_doc : string
+val missed_cancellation_name : string
+val missed_cancellation_doc : string
+(** Metadata for the interprocedural rules (DESIGN.md section 5i);
+    the engine itself lives in {!Summary} / {!Callgraph} /
+    {!Lockgraph}. *)
 
 val seam_name : string
 val seam_doc : string

@@ -82,6 +82,7 @@ let close t i =
 
 let close_all t =
   let n = ref 0 in
+  (* ulplint: allow missed-cancellation-point -- bounded sweep of the fixed-size slot array at table teardown, when the owning ULP is already exiting; close is the table's own refcounted entry point and never parks *)
   for i = 0 to Array.length t.slots - 1 do
     if close t i then incr n
   done;

@@ -128,6 +128,7 @@ let exit (_ : t) code = raise (Proc_exit code)
 let check_signals u =
   let bits = Atomic.exchange u.pending 0 in
   if bits <> 0 then
+    (* ulplint: allow missed-cancellation-point -- this loop IS the delivery step Proc.check runs at a cancellation point: it drains one exchanged max_signal-bit mask (bounded) and must not recursively re-enter check *)
     for s = 1 to max_signal do
       if bits land (1 lsl s) <> 0 then
         match Atomic.get u.handlers.(s) with

@@ -1,0 +1,20 @@
+(* Fixture: lock-order-inversion must flag the AB/BA cycle -- one
+   finding per inverted acquisition site, each keyed to the
+   definition-site lock identities below. *)
+
+let order_a = Sync.Mutex.create ()
+let order_b = Sync.Mutex.create ()
+
+(* takes A then B *)
+let ab () =
+  Sync.Mutex.lock order_a;
+  Sync.Mutex.lock order_b;
+  Sync.Mutex.unlock order_b;
+  Sync.Mutex.unlock order_a
+
+(* BUG: takes B then A -- opposite order *)
+let ba () =
+  Sync.Mutex.lock order_b;
+  Sync.Mutex.lock order_a;
+  Sync.Mutex.unlock order_a;
+  Sync.Mutex.unlock order_b

@@ -1,0 +1,22 @@
+(* Fixture: the faithful copy of the seeded Buggy_lockorder twin
+   (lib/check/buggy_lockorder.ml): both directions take the locks in
+   ONE global order, so the acquisition-order graph has a single edge
+   and no cycle.  No findings. *)
+
+let order_a = Sync.Mutex.create ()
+let order_b = Sync.Mutex.create ()
+
+let credit n =
+  Sync.Mutex.lock order_a;
+  Sync.Mutex.lock order_b;
+  ignore n;
+  Sync.Mutex.unlock order_b;
+  Sync.Mutex.unlock order_a
+
+(* same A-then-B order: the edge A -> B is consistent, no inversion *)
+let debit n =
+  Sync.Mutex.lock order_a;
+  Sync.Mutex.lock order_b;
+  ignore n;
+  Sync.Mutex.unlock order_b;
+  Sync.Mutex.unlock order_a

@@ -1,0 +1,20 @@
+(* Fixture: both inverted acquisition sites carry a written reason, so
+   the cycle findings are waived (the two phases provably never run
+   concurrently in this fixture's story). *)
+
+let order_a = Sync.Mutex.create ()
+let order_b = Sync.Mutex.create ()
+
+let ab () =
+  Sync.Mutex.lock order_a;
+  (* ulplint: allow lock-order-inversion -- fixture: ab runs only at startup, ba only at shutdown; the orders never overlap *)
+  Sync.Mutex.lock order_b;
+  Sync.Mutex.unlock order_b;
+  Sync.Mutex.unlock order_a
+
+let ba () =
+  Sync.Mutex.lock order_b;
+  (* ulplint: allow lock-order-inversion -- fixture: ab runs only at startup, ba only at shutdown; the orders never overlap *)
+  Sync.Mutex.lock order_a;
+  Sync.Mutex.unlock order_a;
+  Sync.Mutex.unlock order_b

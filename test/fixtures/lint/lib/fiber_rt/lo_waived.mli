@@ -1,0 +1,5 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val order_a : Sync.Mutex.t
+val order_b : Sync.Mutex.t
+val ab : unit -> unit
+val ba : unit -> unit

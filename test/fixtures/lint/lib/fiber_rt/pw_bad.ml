@@ -1,0 +1,21 @@
+(* Fixture: park-while-locked must flag a park made with a fiber mutex
+   held -- directly (Fiber.yield between lock and unlock) and
+   transitively (a helper that parks, called from the critical
+   section).  The fiber that would produce the wakeup may need this
+   very lock, and then neither side runs again. *)
+
+let m = Sync.Mutex.create ()
+
+let parky_helper () = Fiber.yield ()
+
+(* BUG: direct park with [m] held *)
+let direct () =
+  Sync.Mutex.lock m;
+  Fiber.yield ();
+  Sync.Mutex.unlock m
+
+(* BUG: the park is one call away -- only the summary fixpoint sees it *)
+let via_helper () =
+  Sync.Mutex.lock m;
+  parky_helper ();
+  Sync.Mutex.unlock m

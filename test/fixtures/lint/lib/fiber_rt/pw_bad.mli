@@ -1,0 +1,5 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val m : Sync.Mutex.t
+val parky_helper : unit -> unit
+val direct : unit -> unit
+val via_helper : unit -> unit

@@ -1,0 +1,23 @@
+(* Fixture: the safe shapes around park-while-locked.  Release before
+   parking; park on [Condition.wait c m], which atomically releases [m]
+   around the park (Pass 1 subtracts it from the held set); branches
+   that release on one arm re-join on the intersection.  No findings. *)
+
+let m = Sync.Mutex.create ()
+let c = Sync.Condition.create ()
+
+let release_then_park () =
+  Sync.Mutex.lock m;
+  Sync.Mutex.unlock m;
+  Fiber.yield ()
+
+let wait_handoff pred =
+  Sync.Mutex.with_lock m (fun () ->
+      while not (pred ()) do
+        Sync.Condition.wait c m
+      done)
+
+let branch_releases flag =
+  Sync.Mutex.lock m;
+  if flag then Sync.Mutex.unlock m else Sync.Mutex.unlock m;
+  Fiber.yield ()

@@ -1,0 +1,6 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val m : Sync.Mutex.t
+val c : Sync.Condition.t
+val release_then_park : unit -> unit
+val wait_handoff : (unit -> bool) -> unit
+val branch_releases : bool -> unit

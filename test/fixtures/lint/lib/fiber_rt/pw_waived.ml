@@ -1,0 +1,10 @@
+(* Fixture: a waiver spelling out the handoff protocol suppresses the
+   finding. *)
+
+let m = Sync.Mutex.create ()
+
+let handoff () =
+  Sync.Mutex.lock m;
+  (* ulplint: allow park-while-locked -- fixture: the waker is registered before the park and never takes m *)
+  Fiber.yield ();
+  Sync.Mutex.unlock m

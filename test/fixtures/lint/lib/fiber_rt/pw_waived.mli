@@ -1,0 +1,3 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val m : Sync.Mutex.t
+val handoff : unit -> unit

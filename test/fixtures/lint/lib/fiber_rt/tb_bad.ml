@@ -1,0 +1,6 @@
+(* Fixture: transitive-blocking-in-fiber must flag a fiber-scope
+   function that reaches Unix.read only through the wrapper chain in
+   ../../util/io_helper.ml.  No syscall appears in THIS file, so the
+   direct blocking-in-fiber rule provably finds nothing here. *)
+
+let pump fd buf = Io_helper.copy_all fd buf

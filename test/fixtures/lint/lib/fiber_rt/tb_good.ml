@@ -1,0 +1,8 @@
+(* Fixture: a fiber-scope wrapper chain that never reaches a blocking
+   leaf -- pure bookkeeping all the way down.  No findings. *)
+
+let shuffle buf = Bytes.length buf
+
+let pump buf =
+  let n = shuffle buf in
+  n + 1

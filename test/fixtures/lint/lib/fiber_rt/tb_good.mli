@@ -1,0 +1,3 @@
+(* fixture interface: keeps mli-coverage quiet for this file *)
+val shuffle : Bytes.t -> int
+val pump : Bytes.t -> int

@@ -1,0 +1,23 @@
+(* Fixture: missed-cancellation-point must flag handler loops that
+   never reach a cancellation point -- a while loop and a top-level
+   self-recursion, both spinning through a helper that never parks or
+   polls.  Signals for this ULP would sit in the pending mask forever:
+   cooperative delivery needs the loop to touch Proc.check, Scope.check
+   or any parking call. *)
+
+let counter = ref 0
+
+let work () = incr counter
+
+(* BUG: no cancellation point on any iteration *)
+let spin_forever flag =
+  while !flag do
+    work ()
+  done
+
+(* BUG: the recursive-function spelling of the same loop *)
+let rec pump flag =
+  if !flag then begin
+    work ();
+    pump flag
+  end

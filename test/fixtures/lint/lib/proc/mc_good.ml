@@ -1,0 +1,23 @@
+(* Fixture: the shapes missed-cancellation-point must NOT flag.  A loop
+   that polls Proc.check; one that parks (parking is a cancellation
+   point -- the wake path re-checks); a CAS-retry loop (atomic RMW in
+   the body converges in a few spins); and a call-free compute loop
+   (the documented preemption residual, not a missing poll). *)
+
+let polls u flag =
+  while !flag do
+    Proc.check u
+  done
+
+let parks flag =
+  while !flag do
+    Fiber.yield ()
+  done
+
+let rec cas_retry t =
+  let v = Atomic.get t in
+  if not (Atomic.compare_and_set t v (v + 1)) then cas_retry t
+
+let pow2 n =
+  let rec go acc = if acc >= n then acc else go (acc * 2) in
+  go 1

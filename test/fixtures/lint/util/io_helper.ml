@@ -1,0 +1,12 @@
+(* Fixture: a NON-fiber-scope utility wrapping a blocking syscall.  On
+   its own this file is clean (blocking is fine off the worker
+   domains); the point is the wrapper chain -- tb_bad.ml in the
+   fiber-scope fixture dir reaches Unix.read only through
+   [copy_all] -> [slurp], which the direct blocking-in-fiber rule
+   cannot see and transitive-blocking-in-fiber must. *)
+
+let slurp fd buf = Unix.read fd buf 0 (Bytes.length buf)
+
+let copy_all fd buf =
+  let n = slurp fd buf in
+  n

@@ -126,6 +126,86 @@ let test_seam () =
     [ fx "seam/src/a.ml"; fx "seam/src/b.ml" ]
     srcs
 
+(* ---------- transitive-blocking-in-fiber ---------- *)
+
+let test_transitive_blocking () =
+  (* util/ holds the non-fiber helper chain the wrapper calls into *)
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt"; fx "util" ] () in
+  let rule = "transitive-blocking-in-fiber" in
+  check_n r ~file:(fx "lib/fiber_rt/tb_bad.ml") ~rule 1;
+  (* the acceptance case: tb_bad.ml contains no syscall of its own, so
+     the direct per-file rule provably finds nothing there -- only the
+     interprocedural chain through Io_helper does *)
+  check_n r ~file:(fx "lib/fiber_rt/tb_bad.ml") ~rule:"blocking-in-fiber" 0;
+  (* the finding carries the call path as evidence *)
+  (match hits r ~file:(fx "lib/fiber_rt/tb_bad.ml") ~rule with
+  | [ f ] ->
+      Alcotest.(check bool) "call path has >= 2 hops" true
+        (List.length f.path >= 2);
+      Alcotest.(check bool) "path ends at the syscall" true
+        (match List.rev f.path with leaf :: _ -> leaf = "Unix.read" | [] -> false)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  check_n r ~file:(fx "lib/fiber_rt/tb_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/fiber_rt/tb_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/fiber_rt/tb_waived.ml") ~rule 1
+
+(* ---------- park-while-locked ---------- *)
+
+let test_park_while_locked () =
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt" ] () in
+  let rule = "park-while-locked" in
+  (* a direct Fiber.yield under the lock, and a transitive one through
+     a helper that parks *)
+  check_n r ~file:(fx "lib/fiber_rt/pw_bad.ml") ~rule 2;
+  (* release-then-park, Condition.wait's lock handoff, and
+     branch-balanced releases are all clean *)
+  check_n r ~file:(fx "lib/fiber_rt/pw_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/fiber_rt/pw_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/fiber_rt/pw_waived.ml") ~rule 1
+
+(* ---------- lock-order-inversion ---------- *)
+
+let test_lock_order () =
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt" ] () in
+  let rule = "lock-order-inversion" in
+  (* both closing edges of the AB/BA cycle are reported *)
+  check_n r ~file:(fx "lib/fiber_rt/lo_bad.ml") ~rule 2;
+  (* the message names both locks by definition site *)
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool) "identifies order_a by definition site" true
+        (let needle = "Lo_bad.order_a" in
+         let len = String.length needle in
+         let n = String.length f.message in
+         let rec scan i =
+           i + len <= n && (String.sub f.message i len = needle || scan (i + 1))
+         in
+         scan 0))
+    (hits r ~file:(fx "lib/fiber_rt/lo_bad.ml") ~rule);
+  (* the faithful copy of the seeded twin takes both locks in one
+     global order and passes *)
+  check_n r ~file:(fx "lib/fiber_rt/lo_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/fiber_rt/lo_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/fiber_rt/lo_waived.ml") ~rule 2
+
+(* ---------- missed-cancellation-point ---------- *)
+
+let test_missed_cancellation () =
+  let r = Driver.run ~roots:[ fx "lib/proc" ] () in
+  let rule = "missed-cancellation-point" in
+  (* the while-loop and recursive-function spellings of the same spin *)
+  check_n r ~file:(fx "lib/proc/mc_bad.ml") ~rule 2;
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check string) "missed-cancellation-point is a warning"
+        "warning"
+        (Finding.severity_to_string f.severity))
+    (hits r ~file:(fx "lib/proc/mc_bad.ml") ~rule);
+  (* polling, parking, CAS-retry and call-free loops are all exempt *)
+  check_n r ~file:(fx "lib/proc/mc_good.ml") ~rule 0;
+  check_n r ~file:(fx "lib/proc/mc_waived.ml") ~rule 0;
+  check_n ~waived:true r ~file:(fx "lib/proc/mc_waived.ml") ~rule 1
+
 (* ---------- mli-coverage ---------- *)
 
 let test_mli () =
@@ -181,7 +261,77 @@ let test_redetect_seeded_bugs () =
   (* Buggy_fd: the get-then-set pair (retain resurrects, release leaks) *)
   Alcotest.(check int) "buggy_fd refcount races" 2 (unwaived "buggy_fd.ml");
   (* Buggy_wait.finish publishes over a stale waiter list *)
-  Alcotest.(check int) "buggy_wait lost wakeup" 1 (unwaived "buggy_wait.ml")
+  Alcotest.(check int) "buggy_wait lost wakeup" 1 (unwaived "buggy_wait.ml");
+  (* Buggy_lockorder: credit takes A->B, debit takes B->A; both edges
+     of the cycle are reported, on definition-site lock identities *)
+  let lo file =
+    List.length (hits r ~file:("lib/check/" ^ file) ~rule:"lock-order-inversion")
+  in
+  Alcotest.(check int) "buggy_lockorder AB/BA deadlock" 2
+    (lo "buggy_lockorder.ml")
+
+(* ---------- the JSON report and the --diff baseline gate ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains ~needle hay =
+  let len = String.length needle and n = String.length hay in
+  let rec scan i =
+    i + len <= n && (String.sub hay i len = needle || scan (i + 1))
+  in
+  scan 0
+
+let test_json_v2 () =
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt"; fx "util" ] () in
+  let path = Filename.temp_file "ulplint_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Driver.write_json ~path r;
+      let s = read_file path in
+      Alcotest.(check bool) "schema is v2" true
+        (contains ~needle:{|"schema": "ulp-pip/lint/v2"|} s);
+      Alcotest.(check bool) "has a summaries section" true
+        (contains ~needle:{|"summaries"|} s);
+      Alcotest.(check bool) "has per-rule counts" true
+        (contains ~needle:{|"rule_counts"|} s);
+      (* the transitive finding serializes its call-path evidence *)
+      Alcotest.(check bool) "findings carry path evidence" true
+        (contains ~needle:{|"path": ["Io_helper.copy_all|} s));
+  (* the summary stats are live, not zero-filled *)
+  Alcotest.(check bool) "summarized some functions" true (r.stats.functions > 0);
+  Alcotest.(check bool) "some functions may park" true (r.stats.may_park > 0);
+  Alcotest.(check bool) "found the module-level locks" true (r.stats.locks >= 2);
+  Alcotest.(check bool) "recorded lock-order edges" true
+    (r.stats.lock_order_edges >= 2)
+
+let test_diff () =
+  let r = Driver.run ~roots:[ fx "lib/fiber_rt"; fx "util" ] () in
+  let path = Filename.temp_file "ulplint_base" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Driver.write_json ~path r;
+      (* a report diffed against its own baseline introduces nothing *)
+      (match Driver.diff ~baseline:path r with
+      | Ok [] -> ()
+      | Ok fs -> Alcotest.failf "self-diff found %d new findings" (List.length fs)
+      | Error e -> Alcotest.failf "self-diff errored: %s" e);
+      (* a run over different code shows up as new against that baseline *)
+      let r' = Driver.run ~roots:[ "lib/check" ] () in
+      match Driver.diff ~baseline:path r' with
+      | Ok [] -> Alcotest.fail "lib/check vs fixture baseline must differ"
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "cross-diff errored: %s" e);
+  (* a missing baseline is an I/O error, not a crash or a pass *)
+  match Driver.diff ~baseline:"/nonexistent/lint.json" r with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing baseline must be an Error"
 
 (* ---------- the shipped tree is lint-clean ---------- *)
 
@@ -213,8 +363,22 @@ let () =
           Alcotest.test_case "seam-bypass" `Quick test_seam;
           Alcotest.test_case "mli-coverage" `Quick test_mli;
         ] );
+      ( "interprocedural",
+        [
+          Alcotest.test_case "transitive-blocking-in-fiber" `Quick
+            test_transitive_blocking;
+          Alcotest.test_case "park-while-locked" `Quick test_park_while_locked;
+          Alcotest.test_case "lock-order-inversion" `Quick test_lock_order;
+          Alcotest.test_case "missed-cancellation-point" `Quick
+            test_missed_cancellation;
+        ] );
       ( "waivers",
         [ Alcotest.test_case "waiver machinery" `Quick test_waivers ] );
+      ( "report",
+        [
+          Alcotest.test_case "LINT.json schema v2" `Quick test_json_v2;
+          Alcotest.test_case "--diff baseline gate" `Quick test_diff;
+        ] );
       ( "teeth",
         [
           Alcotest.test_case "re-detects seeded checker bugs" `Quick
